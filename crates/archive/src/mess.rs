@@ -1,0 +1,312 @@
+//! Semantic-diversity injection: manufacturing the poster's table.
+//!
+//! Each generated variable name may be replaced by a messy variant drawn
+//! from one of the table's seven categories. Every injection is recorded in
+//! the ground truth so the experiments can score exactly how much of each
+//! category the wrangling process resolved.
+
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// The seven categories of the poster's table, plus `Clean` for untouched
+/// names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MessCategory {
+    /// Name left as the canonical spelling.
+    Clean,
+    /// `air_temperature` → `air_temperatrue`, `airtemp`.
+    Misspelling,
+    /// Ad-hoc synonyms not in the curated table (`h2o_temp`).
+    Synonym,
+    /// `MWHLA`-style abbreviations (`ATastn`).
+    Abbreviation,
+    /// QA / bookkeeping columns (`qa_level`).
+    Excessive,
+    /// `temp`: temporary or temperature?
+    Ambiguous,
+    /// Bare `temperature` whose meaning depends on the source context.
+    SourceContext,
+    /// `fluores375` vs the broader `fluorescence` concept.
+    MultiLevel,
+}
+
+impl MessCategory {
+    /// Stable display name (matches the poster's table rows).
+    pub fn name(&self) -> &'static str {
+        match self {
+            MessCategory::Clean => "clean",
+            MessCategory::Misspelling => "minor variations and misspellings",
+            MessCategory::Synonym => "synonyms",
+            MessCategory::Abbreviation => "abbreviations",
+            MessCategory::Excessive => "excessive variables",
+            MessCategory::Ambiguous => "ambiguous usages",
+            MessCategory::SourceContext => "source-context naming variations",
+            MessCategory::MultiLevel => "concepts at multiple levels of detail",
+        }
+    }
+
+    /// All injectable categories (everything except `Clean`).
+    pub fn all() -> [MessCategory; 7] {
+        [
+            MessCategory::Misspelling,
+            MessCategory::Synonym,
+            MessCategory::Abbreviation,
+            MessCategory::Excessive,
+            MessCategory::Ambiguous,
+            MessCategory::SourceContext,
+            MessCategory::MultiLevel,
+        ]
+    }
+}
+
+/// Per-category injection probabilities (independent draws per variable
+/// occurrence; `Excessive` is per file).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MessIntensity {
+    /// Probability a variable name is misspelled.
+    pub misspelling: f64,
+    /// Probability a variable name uses an ad-hoc synonym.
+    pub synonym: f64,
+    /// Probability a variable name is abbreviated.
+    pub abbreviation: f64,
+    /// Probability a file grows QA columns.
+    pub excessive: f64,
+    /// Probability an eligible name degrades to its ambiguous short form.
+    pub ambiguous: f64,
+}
+
+impl Default for MessIntensity {
+    fn default() -> Self {
+        MessIntensity {
+            misspelling: 0.10,
+            synonym: 0.12,
+            abbreviation: 0.08,
+            excessive: 0.5,
+            ambiguous: 0.15,
+        }
+    }
+}
+
+/// Deterministically misspells `name`: transpose, drop, or double one
+/// letter (never the first character, keeping the result recognizable).
+pub fn misspell(name: &str, rng: &mut impl RngExt) -> String {
+    let chars: Vec<char> = name.chars().collect();
+    let letters: Vec<usize> =
+        (1..chars.len()).filter(|&i| chars[i].is_ascii_alphabetic()).collect();
+    if letters.is_empty() {
+        return name.to_string();
+    }
+    let ix = letters[rng.random_range(0..letters.len())];
+    let mut out = chars.clone();
+    match rng.random_range(0..3u32) {
+        0 => {
+            // transpose with the previous letter (never disturbing the
+            // first character, which keeps variants recognizable)
+            if ix >= 2 && out[ix - 1].is_ascii_alphabetic() {
+                out.swap(ix - 1, ix);
+            } else if ix + 1 < out.len() && out[ix + 1].is_ascii_alphabetic() {
+                out.swap(ix, ix + 1);
+            }
+        }
+        1 => {
+            // drop
+            out.remove(ix);
+        }
+        _ => {
+            // double
+            let c = out[ix];
+            out.insert(ix, c);
+        }
+    }
+    let result: String = out.into_iter().collect();
+    if result == name {
+        // the transposition was a no-op (identical neighbours): double instead
+        let c = chars[ix];
+        let mut out = chars;
+        out.insert(ix, c);
+        out.into_iter().collect()
+    } else {
+        result
+    }
+}
+
+/// A "minor variation": same tokens, different case/separator convention
+/// (`water_temperature` → `waterTemperature`, `WATER_TEMPERATURE`,
+/// `water-temperature`, `water temperature`-style with dots).
+pub fn case_variant(name: &str, rng: &mut impl RngExt) -> String {
+    let tokens = metamess_core::text::split_identifier(name);
+    if tokens.len() < 2 {
+        return name.to_uppercase();
+    }
+    match rng.random_range(0..3u32) {
+        0 => {
+            // camelCase
+            let mut out = tokens[0].clone();
+            for t in &tokens[1..] {
+                let mut cs = t.chars();
+                if let Some(c) = cs.next() {
+                    out.extend(c.to_uppercase());
+                    out.push_str(cs.as_str());
+                }
+            }
+            out
+        }
+        1 => name.to_uppercase(),
+        _ => tokens.join("-"),
+    }
+}
+
+/// Ad-hoc synonyms per canonical name — spellings field techs actually use,
+/// deliberately *not* present in the curated starter vocabulary.
+pub fn adhoc_synonyms(canonical: &str) -> &'static [&'static str] {
+    match canonical {
+        "air_temperature" => &["airtemp", "air_temp", "t_atm"],
+        "water_temperature" => &["wtr_temp", "h2o_temp", "watertemp"],
+        "sea_surface_temperature" => &["surface_temp", "seatemp"],
+        "salinity" => &["salin", "salt"],
+        "specific_conductivity" => &["sp_cond", "cond"],
+        "dissolved_oxygen" => &["dox", "o2", "oxy"],
+        "turbidity" => &["turbid", "neph"],
+        "chlorophyll_fluorescence" => &["chlfl", "fluor"],
+        "wind_speed" => &["windspd", "ws"],
+        "wind_direction" => &["winddir", "wd"],
+        "air_pressure" => &["press_atm", "bp"],
+        "relative_humidity" => &["relhum", "hum"],
+        "precipitation" => &["precip"],
+        "solar_radiation" => &["solrad", "swr"],
+        "depth" => &["dep", "dpth"],
+        "nitrate" => &["nitr", "n03"], // the digit-zero typo is intentional
+        "phosphate" => &["phos"],
+        "ph" => &["p_h"],
+        "water_pressure" => &["wpress"],
+        "photosynthetically_active_radiation" => &["par_sensor"],
+        _ => &[],
+    }
+}
+
+/// The `ATastn`-style abbreviation of a canonical name: uppercase initials
+/// of its tokens plus the poster's `astn` (at-station) suffix.
+pub fn abbreviate(canonical: &str) -> String {
+    let initials: String = metamess_core::text::split_identifier(canonical)
+        .iter()
+        .filter_map(|t| t.chars().next())
+        .map(|c| c.to_ascii_uppercase())
+        .collect();
+    format!("{initials}astn")
+}
+
+/// QA / bookkeeping column names the Excessive category sprinkles in.
+pub const QA_COLUMNS: &[&str] =
+    &["qa_level", "battery_voltage", "instrument_status", "checksum"];
+
+/// Per-variable QA flag column name (`temp_flag` style).
+pub fn flag_column(var_name: &str) -> String {
+    format!("{var_name}_flag")
+}
+
+/// Ambiguous short forms: canonical → the short name curators must clarify.
+pub fn ambiguous_form(canonical: &str) -> Option<&'static str> {
+    match canonical {
+        "water_temperature" | "air_temperature" | "sea_surface_temperature" => Some("temp"),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn category_names_match_poster() {
+        assert_eq!(MessCategory::Misspelling.name(), "minor variations and misspellings");
+        assert_eq!(MessCategory::all().len(), 7);
+        assert!(!MessCategory::all().contains(&MessCategory::Clean));
+    }
+
+    #[test]
+    fn misspell_changes_but_preserves_first_char() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let m = misspell("air_temperature", &mut rng);
+            assert_ne!(m, "air_temperature");
+            assert!(m.starts_with('a'));
+            // stays close: edit distance at most 2-ish by construction
+            assert!(m.len() >= "air_temperature".len() - 1);
+            assert!(m.len() <= "air_temperature".len() + 1);
+        }
+    }
+
+    #[test]
+    fn misspell_is_deterministic_per_seed() {
+        let a = misspell("salinity", &mut StdRng::seed_from_u64(42));
+        let b = misspell("salinity", &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn misspell_degenerate_inputs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(misspell("x", &mut rng), "x");
+        assert_eq!(misspell("", &mut rng), "");
+    }
+
+    #[test]
+    fn case_variant_preserves_tokens() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..30 {
+            let v = case_variant("water_temperature", &mut rng);
+            assert_ne!(v, "water_temperature");
+            let toks = metamess_core::text::split_identifier(&v);
+            assert_eq!(toks, vec!["water", "temperature"], "{v}");
+        }
+        // single-token names go uppercase
+        let v = case_variant("salinity", &mut StdRng::seed_from_u64(1));
+        assert_eq!(v, "SALINITY");
+    }
+
+    #[test]
+    fn abbreviation_matches_poster_example() {
+        // The poster's figure: ATastn → sea surface temperature is the
+        // discovered rule; our abbreviation of air_temperature is ATastn.
+        assert_eq!(abbreviate("air_temperature"), "ATastn");
+        assert_eq!(abbreviate("sea_surface_temperature"), "SSTastn");
+        assert_eq!(abbreviate("wind_speed"), "WSastn");
+    }
+
+    #[test]
+    fn adhoc_synonyms_not_in_curated_vocab() {
+        let vocab = metamess_vocab_check();
+        for canon in ["water_temperature", "salinity", "dissolved_oxygen"] {
+            for syn in adhoc_synonyms(canon) {
+                assert!(
+                    !vocab.contains(&syn.to_string()),
+                    "{syn} leaked into curated vocabulary"
+                );
+            }
+        }
+    }
+
+    /// The curated alternates, duplicated here as a guard: if the starter
+    /// vocabulary grows one of the ad-hoc spellings, discovery experiments
+    /// would silently measure nothing.
+    fn metamess_vocab_check() -> Vec<String> {
+        // keep in sync with Vocabulary::observatory_default's alternates
+        ["atemp", "t_air", "wtemp", "t_water", "sst", "sal", "spcond", "conductivity", "do",
+         "oxygen", "do_sat", "chl_fluor", "fluorescence", "turb", "wspd", "wdir", "baro"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn ambiguous_forms() {
+        assert_eq!(ambiguous_form("water_temperature"), Some("temp"));
+        assert_eq!(ambiguous_form("turbidity"), None);
+    }
+
+    #[test]
+    fn flag_column_shape() {
+        assert_eq!(flag_column("temp"), "temp_flag");
+    }
+}

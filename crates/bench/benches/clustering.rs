@@ -1,0 +1,73 @@
+//! Criterion bench: transformation-discovery clustering — key-collision
+//! methods vs kNN, blocked vs unblocked (E6's method comparison, plus the
+//! blocking ablation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use metamess_discover::{
+    key_collision_clusters, knn_clusters, KeyMethod, KnnConfig, ValueCount,
+};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+use std::hint::black_box;
+
+/// Synthesizes a vocabulary of `n` distinct values with injected variants.
+fn value_pool(n: usize) -> Vec<ValueCount> {
+    let stems = [
+        "air_temperature", "water_temperature", "salinity", "dissolved_oxygen", "turbidity",
+        "wind_speed", "wind_direction", "air_pressure", "nitrate", "phosphate", "chlorophyll",
+        "precipitation", "solar_radiation", "relative_humidity", "conductivity",
+    ];
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let stem = stems[i % stems.len()];
+        let value = match i % 5 {
+            0 => stem.to_string(),
+            1 => format!("{stem}_{}", i / stems.len()),
+            2 => metamess_archive::misspell(stem, &mut rng),
+            3 => format!("{}_{}", stem.to_uppercase(), rng.random_range(0..30u32)),
+            _ => format!("{stem}{}", i % 97),
+        };
+        out.push(ValueCount::new(value, 1 + (i as u64 % 40)));
+    }
+    out
+}
+
+fn bench_key_collision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering/key-collision");
+    for n in [200usize, 1000, 5000] {
+        let pool = value_pool(n);
+        for method in [
+            KeyMethod::Fingerprint,
+            KeyMethod::IdentifierFingerprint,
+            KeyMethod::NgramFingerprint { n: 2 },
+            KeyMethod::Metaphone,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(method.name(), n),
+                &pool,
+                |b, pool| b.iter(|| black_box(key_collision_clusters(black_box(pool), method))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_knn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering/knn");
+    group.sample_size(20);
+    for n in [200usize, 1000] {
+        let pool = value_pool(n);
+        let blocked = KnnConfig::default();
+        let unblocked = KnnConfig { blocking: None, ..KnnConfig::default() };
+        group.bench_with_input(BenchmarkId::new("blocked", n), &pool, |b, pool| {
+            b.iter(|| black_box(knn_clusters(black_box(pool), &blocked)))
+        });
+        group.bench_with_input(BenchmarkId::new("unblocked", n), &pool, |b, pool| {
+            b.iter(|| black_box(knn_clusters(black_box(pool), &unblocked)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_key_collision, bench_knn);
+criterion_main!(benches);

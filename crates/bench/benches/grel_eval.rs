@@ -1,0 +1,65 @@
+//! Criterion bench: GREL parse + evaluation throughput (the transformation
+//! engine's inner loop when rules carry expressions).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use metamess_core::value::{Record, Value};
+use metamess_transform::grel::{eval, parse, EvalContext};
+use metamess_transform::{apply_operations, Operation};
+use std::hint::black_box;
+
+fn bench_parse(c: &mut Criterion) {
+    let exprs = [
+        "value",
+        "value.trim().toLowercase()",
+        "if(isBlank(value), 'unknown', value.replace('_', ' '))",
+        "substring(value, 0, 4) + '-' + toString(length(value))",
+    ];
+    c.bench_function("grel/parse", |b| {
+        b.iter(|| {
+            for e in &exprs {
+                black_box(parse(black_box(e)).unwrap());
+            }
+        })
+    });
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let expr = parse("if(isBlank(value), 'unknown', value.trim().toLowercase())").unwrap();
+    let values: Vec<Value> = (0..64)
+        .map(|i| match i % 3 {
+            0 => Value::Text(format!("  Air_Temp_{i} ")),
+            1 => Value::Null,
+            _ => Value::Text(format!("salinity{i}")),
+        })
+        .collect();
+    c.bench_function("grel/eval-64-cells", |b| {
+        b.iter(|| {
+            for v in &values {
+                black_box(eval(black_box(&expr), &EvalContext::of_value(v)).unwrap());
+            }
+        })
+    });
+}
+
+fn bench_mass_edit(c: &mut Criterion) {
+    let mut rows: Vec<Record> = (0..1000)
+        .map(|i| {
+            let mut r = Record::new();
+            r.set("field", format!("name_{}", i % 50));
+            r
+        })
+        .collect();
+    let ops: Vec<Operation> = (0..20)
+        .map(|i| Operation::mass_edit("field", vec![format!("name_{i}")], &format!("canon_{i}")))
+        .collect();
+    c.bench_function("transform/mass-edit-1k-rows-20-rules", |b| {
+        b.iter(|| {
+            let mut t = rows.clone();
+            black_box(apply_operations(&mut t, black_box(&ops)).unwrap())
+        })
+    });
+    let _ = &mut rows;
+}
+
+criterion_group!(benches, bench_parse, bench_eval, bench_mass_edit);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Criterion bench: the wrangling pipeline — whole-chain runs and the
+//! individual stages (E5's cost profile).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use metamess_archive::{generate, ArchiveSpec};
+use metamess_pipeline::{
+    ArchiveInput, DiscoverTransformations, PerformKnownTransformations, Pipeline,
+    PipelineContext, ScanArchive,
+};
+use metamess_pipeline::Component;
+use metamess_vocab::Vocabulary;
+use std::hint::black_box;
+
+fn ctx() -> PipelineContext {
+    let archive = generate(&ArchiveSpec::default());
+    PipelineContext::new(ArchiveInput::Memory(archive.files), Vocabulary::observatory_default())
+}
+
+fn bench_full_chain(c: &mut Criterion) {
+    c.bench_function("pipeline/standard-chain-first-run", |b| {
+        b.iter_with_setup(ctx, |mut ctx| {
+            black_box(Pipeline::standard().run(&mut ctx).unwrap());
+            ctx
+        })
+    });
+
+    // Rerun over an unchanged archive (everything reused).
+    c.bench_function("pipeline/standard-chain-rerun", |b| {
+        b.iter_with_setup(
+            || {
+                let mut c = ctx();
+                Pipeline::standard().run(&mut c).unwrap();
+                c
+            },
+            |mut ctx| {
+                black_box(Pipeline::standard().run(&mut ctx).unwrap());
+                ctx
+            },
+        )
+    });
+}
+
+fn bench_stages(c: &mut Criterion) {
+    c.bench_function("pipeline/stage-scan", |b| {
+        b.iter_with_setup(ctx, |mut ctx| {
+            black_box(ScanArchive.run(&mut ctx).unwrap());
+            ctx
+        })
+    });
+
+    c.bench_function("pipeline/stage-known-transformations", |b| {
+        b.iter_with_setup(
+            || {
+                let mut c = ctx();
+                ScanArchive.run(&mut c).unwrap();
+                c
+            },
+            |mut ctx| {
+                black_box(PerformKnownTransformations.run(&mut ctx).unwrap());
+                ctx
+            },
+        )
+    });
+
+    c.bench_function("pipeline/stage-discover", |b| {
+        b.iter_with_setup(
+            || {
+                let mut c = ctx();
+                ScanArchive.run(&mut c).unwrap();
+                PerformKnownTransformations.run(&mut c).unwrap();
+                c
+            },
+            |mut ctx| {
+                black_box(DiscoverTransformations::default().run(&mut ctx).unwrap());
+                ctx
+            },
+        )
+    });
+}
+
+criterion_group!(benches, bench_full_chain, bench_stages);
+criterion_main!(benches);

@@ -1,0 +1,372 @@
+//! The metadata catalog: an ordered map of dataset features plus the
+//! working-vs-published distinction from the poster's process diagram.
+//!
+//! All wrangling happens against a *working* catalog; `publish` validates and
+//! atomically promotes a snapshot to the *published* catalog that search uses.
+
+use crate::error::{Error, Result};
+use crate::feature::DatasetFeature;
+use crate::id::DatasetId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A single mutation applied to a catalog. This is also the WAL record type:
+/// replaying mutations in order reconstructs the catalog.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Mutation {
+    /// Insert or replace a dataset feature.
+    Put(Box<DatasetFeature>),
+    /// Remove a dataset.
+    Delete(DatasetId),
+    /// Set a catalog-level property (e.g. archive name, vocabulary version).
+    SetProperty {
+        /// Property key.
+        key: String,
+        /// Property value.
+        value: String,
+    },
+    /// Remove all entries and properties (used when rebuilding from scratch).
+    Clear,
+}
+
+/// An in-memory metadata catalog.
+///
+/// Iteration order is deterministic (by [`DatasetId`]) so that snapshots,
+/// diffs and experiment output are reproducible.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Catalog {
+    entries: BTreeMap<DatasetId, DatasetFeature>,
+    properties: BTreeMap<String, String>,
+    /// Monotonic count of mutations applied; used as an optimistic version.
+    generation: u64,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Applies one mutation, bumping the generation.
+    pub fn apply(&mut self, m: &Mutation) {
+        match m {
+            Mutation::Put(f) => {
+                self.entries.insert(f.id, (**f).clone());
+            }
+            Mutation::Delete(id) => {
+                self.entries.remove(id);
+            }
+            Mutation::SetProperty { key, value } => {
+                self.properties.insert(key.clone(), value.clone());
+            }
+            Mutation::Clear => {
+                self.entries.clear();
+                self.properties.clear();
+            }
+        }
+        self.generation += 1;
+    }
+
+    /// Inserts or replaces a dataset feature.
+    pub fn put(&mut self, f: DatasetFeature) {
+        self.apply(&Mutation::Put(Box::new(f)));
+    }
+
+    /// Removes a dataset; returns whether it was present.
+    pub fn delete(&mut self, id: DatasetId) -> bool {
+        let present = self.entries.contains_key(&id);
+        self.apply(&Mutation::Delete(id));
+        present
+    }
+
+    /// Sets a catalog-level property.
+    pub fn set_property(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.apply(&Mutation::SetProperty { key: key.into(), value: value.into() });
+    }
+
+    /// Reads a catalog-level property.
+    pub fn property(&self, key: &str) -> Option<&str> {
+        self.properties.get(key).map(String::as_str)
+    }
+
+    /// All properties, sorted by key.
+    pub fn properties(&self) -> &BTreeMap<String, String> {
+        &self.properties
+    }
+
+    /// Looks up a dataset feature by id.
+    pub fn get(&self, id: DatasetId) -> Option<&DatasetFeature> {
+        self.entries.get(&id)
+    }
+
+    /// Looks up by id, returning a catalog error when absent.
+    pub fn get_required(&self, id: DatasetId) -> Result<&DatasetFeature> {
+        self.get(id).ok_or_else(|| Error::not_found("dataset", id.to_string()))
+    }
+
+    /// Mutable lookup by id (bumps the generation since callers will mutate).
+    pub fn get_mut(&mut self, id: DatasetId) -> Option<&mut DatasetFeature> {
+        let e = self.entries.get_mut(&id);
+        if e.is_some() {
+            self.generation += 1;
+        }
+        e
+    }
+
+    /// Looks up a dataset by its archive-relative path.
+    pub fn get_by_path(&self, path: &str) -> Option<&DatasetFeature> {
+        self.get(DatasetId::from_path(path))
+    }
+
+    /// Number of datasets.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the catalog holds no datasets.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates dataset features in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &DatasetFeature> {
+        self.entries.values()
+    }
+
+    /// Iterates mutably in id order (bumps the generation).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut DatasetFeature> {
+        self.generation += 1;
+        self.entries.values_mut()
+    }
+
+    /// Current generation (mutation count).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Total variables across all datasets.
+    pub fn variable_count(&self) -> usize {
+        self.iter().map(|d| d.variables.len()).sum()
+    }
+
+    /// Fraction of variables resolved (canonical name or flagged), the
+    /// catalog-wide "mess that's left" metric. 1.0 for an empty catalog.
+    pub fn resolution_fraction(&self) -> f64 {
+        let total = self.variable_count();
+        if total == 0 {
+            return 1.0;
+        }
+        let resolved: usize = self
+            .iter()
+            .flat_map(|d| d.variables.iter())
+            .filter(|v| v.resolution.is_resolved() || v.flags.qa || v.flags.hidden)
+            .count();
+        resolved as f64 / total as f64
+    }
+
+    /// Differences between this catalog and `other`, as the mutations that
+    /// would turn `self` into `other`. Used by publish and by rerun reports.
+    pub fn diff(&self, other: &Catalog) -> Vec<Mutation> {
+        let mut out = Vec::new();
+        for (id, f) in &other.entries {
+            match self.entries.get(id) {
+                Some(existing) if existing == f => {}
+                _ => out.push(Mutation::Put(Box::new(f.clone()))),
+            }
+        }
+        for id in self.entries.keys() {
+            if !other.entries.contains_key(id) {
+                out.push(Mutation::Delete(*id));
+            }
+        }
+        for (k, v) in &other.properties {
+            if self.properties.get(k) != Some(v) {
+                out.push(Mutation::SetProperty { key: k.clone(), value: v.clone() });
+            }
+        }
+        out
+    }
+}
+
+/// A catalog pair implementing the poster's working → published flow.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CatalogPair {
+    /// Catalog being wrangled.
+    pub working: Catalog,
+    /// Last published catalog (what search queries).
+    pub published: Catalog,
+    /// Number of completed publishes.
+    pub publish_count: u64,
+}
+
+impl CatalogPair {
+    /// Creates an empty pair.
+    pub fn new() -> CatalogPair {
+        CatalogPair::default()
+    }
+
+    /// Publishes the working catalog: the published side becomes a snapshot
+    /// of the working side. Returns the mutations that changed.
+    pub fn publish(&mut self) -> Vec<Mutation> {
+        let delta = self.published.diff(&self.working);
+        self.published = self.working.clone();
+        self.publish_count += 1;
+        delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::{NameResolution, VariableFeature};
+
+    fn ds(path: &str, vars: &[&str]) -> DatasetFeature {
+        let mut d = DatasetFeature::new(path);
+        for v in vars {
+            d.variables.push(VariableFeature::new(*v));
+        }
+        d
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let mut c = Catalog::new();
+        let d = ds("a.csv", &["t"]);
+        let id = d.id;
+        c.put(d);
+        assert_eq!(c.len(), 1);
+        assert!(c.get(id).is_some());
+        assert!(c.get_by_path("a.csv").is_some());
+        assert!(c.delete(id));
+        assert!(!c.delete(id));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn generation_increments() {
+        let mut c = Catalog::new();
+        assert_eq!(c.generation(), 0);
+        c.put(ds("a.csv", &[]));
+        c.set_property("archive", "cmop-sim");
+        assert_eq!(c.generation(), 2);
+        assert_eq!(c.property("archive"), Some("cmop-sim"));
+    }
+
+    #[test]
+    fn get_required_errors() {
+        let c = Catalog::new();
+        let e = c.get_required(DatasetId(7)).unwrap_err();
+        assert!(matches!(e, Error::NotFound { .. }));
+    }
+
+    #[test]
+    fn clear_wipes_everything() {
+        let mut c = Catalog::new();
+        c.put(ds("a.csv", &[]));
+        c.set_property("k", "v");
+        c.apply(&Mutation::Clear);
+        assert!(c.is_empty());
+        assert!(c.property("k").is_none());
+    }
+
+    #[test]
+    fn replay_reconstructs() {
+        let mut c = Catalog::new();
+        let muts = vec![
+            Mutation::Put(Box::new(ds("a.csv", &["t"]))),
+            Mutation::Put(Box::new(ds("b.csv", &["s"]))),
+            Mutation::SetProperty { key: "k".into(), value: "v".into() },
+            Mutation::Delete(DatasetId::from_path("a.csv")),
+        ];
+        for m in &muts {
+            c.apply(m);
+        }
+        let mut replayed = Catalog::new();
+        for m in &muts {
+            replayed.apply(m);
+        }
+        assert_eq!(c, replayed);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn resolution_fraction_catalog_wide() {
+        let mut c = Catalog::new();
+        assert_eq!(c.resolution_fraction(), 1.0);
+        let mut d = ds("a.csv", &["x", "y"]);
+        d.variable_mut("x").unwrap().resolve("xx", NameResolution::KnownTranslation);
+        c.put(d);
+        c.put(ds("b.csv", &["z"]));
+        assert!((c.resolution_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c.variable_count(), 3);
+    }
+
+    #[test]
+    fn diff_produces_minimal_mutations() {
+        let mut a = Catalog::new();
+        a.put(ds("same.csv", &["t"]));
+        a.put(ds("gone.csv", &[]));
+        a.set_property("k", "old");
+
+        let mut b = Catalog::new();
+        b.put(ds("same.csv", &["t"]));
+        b.put(ds("new.csv", &[]));
+        b.set_property("k", "new");
+
+        let delta = a.diff(&b);
+        // one Put (new.csv), one Delete (gone.csv), one SetProperty
+        assert_eq!(delta.len(), 3);
+        let mut a2 = a.clone();
+        for m in &delta {
+            a2.apply(m);
+        }
+        assert_eq!(a2.entries, b.entries);
+        assert_eq!(a2.properties, b.properties);
+    }
+
+    #[test]
+    fn diff_detects_changed_entry() {
+        let mut a = Catalog::new();
+        a.put(ds("x.csv", &["t"]));
+        let mut b = a.clone();
+        b.get_mut(DatasetId::from_path("x.csv")).unwrap().record_count = 10;
+        let delta = a.diff(&b);
+        assert_eq!(delta.len(), 1);
+        assert!(matches!(&delta[0], Mutation::Put(f) if f.record_count == 10));
+    }
+
+    #[test]
+    fn publish_swaps_and_counts() {
+        let mut pair = CatalogPair::new();
+        pair.working.put(ds("a.csv", &["t"]));
+        let delta = pair.publish();
+        assert_eq!(delta.len(), 1);
+        assert_eq!(pair.published.len(), 1);
+        assert_eq!(pair.publish_count, 1);
+        // Publishing again with no change yields an empty delta.
+        let delta2 = pair.publish();
+        assert!(delta2.is_empty());
+        assert_eq!(pair.publish_count, 2);
+    }
+
+    #[test]
+    fn published_isolated_from_working() {
+        let mut pair = CatalogPair::new();
+        pair.working.put(ds("a.csv", &[]));
+        pair.publish();
+        pair.working.put(ds("b.csv", &[]));
+        assert_eq!(pair.published.len(), 1);
+        assert_eq!(pair.working.len(), 2);
+    }
+
+    #[test]
+    fn iteration_is_id_ordered() {
+        let mut c = Catalog::new();
+        c.put(ds("zzz.csv", &[]));
+        c.put(ds("aaa.csv", &[]));
+        let ids: Vec<DatasetId> = c.iter().map(|d| d.id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(ids, sorted);
+    }
+}

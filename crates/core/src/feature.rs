@@ -1,0 +1,303 @@
+//! Catalog features: the per-dataset summaries the paper's architecture
+//! stores instead of the data itself.
+//!
+//! "Individual datasets scanned once, summarized into a 'feature' per data
+//! [set]; features stored in catalog; similarity search is performed over
+//! catalog's contents." — the poster's IR-architecture figure.
+
+use crate::geo::GeoBBox;
+use crate::id::{DatasetId, VariableId};
+use crate::stats::NumericSummary;
+use crate::time::TimeInterval;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Curation flags attached to a variable (the poster's semantic-diversity
+/// table: QA variables are excluded from search, ambiguous ones exposed,
+/// hidden ones suppressed entirely).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct VariableFlags {
+    /// Quality-assurance / bookkeeping variable: excluded from search but
+    /// shown in detailed dataset views ("Excessive variables" category).
+    pub qa: bool,
+    /// Name is ambiguous and the curator has not yet clarified it
+    /// ("Ambiguous usages" category, e.g. `temp`).
+    pub ambiguous: bool,
+    /// Curator chose to hide the variable from all views.
+    pub hidden: bool,
+}
+
+impl VariableFlags {
+    /// True when the variable should participate in ranked search.
+    pub fn searchable(&self) -> bool {
+        !self.qa && !self.hidden
+    }
+}
+
+/// How a variable's canonical name was assigned — the wrangling provenance the
+/// curator reviews when validating the process (curatorial activity 4).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum NameResolution {
+    /// Not yet resolved ("the mess that's left").
+    #[default]
+    Unresolved,
+    /// Name was already the preferred term.
+    AlreadyCanonical,
+    /// Resolved through the known-translation table (synonym table).
+    KnownTranslation,
+    /// Resolved through a *discovered* transformation (clustering).
+    DiscoveredTranslation {
+        /// Clustering method that proposed it (e.g. `"fingerprint"`).
+        method: String,
+    },
+    /// Curator resolved it by hand.
+    Curated,
+}
+
+impl NameResolution {
+    /// True when the variable has a canonical name assigned.
+    pub fn is_resolved(&self) -> bool {
+        !matches!(self, NameResolution::Unresolved)
+    }
+}
+
+/// Summary of a single variable (column) of a dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VariableFeature {
+    /// Column name exactly as harvested from the file.
+    pub name: String,
+    /// Canonical variable name after wrangling, when resolved.
+    pub canonical_name: Option<String>,
+    /// How the canonical name was assigned.
+    pub resolution: NameResolution,
+    /// Unit string exactly as harvested (e.g. `degC`), when present.
+    pub unit: Option<String>,
+    /// Canonical unit after wrangling (e.g. `celsius`).
+    pub canonical_unit: Option<String>,
+    /// True once the normalize-units stage has converted the summary into
+    /// the canonical unit (guards against double conversion on rerun).
+    #[serde(default)]
+    pub unit_normalized: bool,
+    /// Source context ("Source-context naming variations" category):
+    /// e.g. `air` vs `water` for a bare `temperature` column.
+    pub context: Option<String>,
+    /// Hierarchy path assigned by the generate-hierarchies stage, root first
+    /// (e.g. `["physical", "temperature", "water_temperature"]`).
+    pub hierarchy: Vec<String>,
+    /// One-pass numeric summary of the variable's values.
+    pub summary: NumericSummary,
+    /// Null cells observed.
+    pub null_count: u64,
+    /// Total cells observed.
+    pub total_count: u64,
+    /// Curation flags.
+    pub flags: VariableFlags,
+}
+
+impl VariableFeature {
+    /// Creates an unresolved feature for a harvested column name.
+    pub fn new(name: impl Into<String>) -> VariableFeature {
+        VariableFeature {
+            name: name.into(),
+            canonical_name: None,
+            resolution: NameResolution::Unresolved,
+            unit: None,
+            canonical_unit: None,
+            unit_normalized: false,
+            context: None,
+            hierarchy: Vec::new(),
+            summary: NumericSummary::new(),
+            null_count: 0,
+            total_count: 0,
+            flags: VariableFlags::default(),
+        }
+    }
+
+    /// The name search should match against: canonical when resolved,
+    /// harvested otherwise.
+    pub fn search_name(&self) -> &str {
+        self.canonical_name.as_deref().unwrap_or(&self.name)
+    }
+
+    /// Assigns the canonical name with its resolution provenance.
+    pub fn resolve(&mut self, canonical: impl Into<String>, how: NameResolution) {
+        self.canonical_name = Some(canonical.into());
+        self.resolution = how;
+    }
+
+    /// Value range `(min, max)` when the variable is numeric and non-empty.
+    pub fn value_range(&self) -> Option<(f64, f64)> {
+        self.summary.range()
+    }
+}
+
+/// Provenance of a dataset feature: where it came from and which wrangling
+/// run produced it. Lets reruns skip unchanged files and lets the curator
+/// trace any catalog entry back to its file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Provenance {
+    /// Content fingerprint of the source file (FNV-1a over bytes).
+    pub content_fingerprint: u64,
+    /// File size in bytes at scan time.
+    pub file_len: u64,
+    /// Identifier of the pipeline run that produced this feature.
+    pub pipeline_run: u64,
+    /// Name of the format parser that read the file.
+    pub format: String,
+}
+
+/// The catalog entry for one dataset: everything search and the dataset
+/// summary page need, and nothing else.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetFeature {
+    /// Stable id (derived from `path`).
+    pub id: DatasetId,
+    /// Archive-relative path of the source file.
+    pub path: String,
+    /// Human-readable title (often derived from naming conventions).
+    pub title: String,
+    /// Observation platform / source (e.g. station `saturn01`, a cruise id).
+    pub source: Option<String>,
+    /// Spatial extent, when the dataset carries positions.
+    pub bbox: Option<GeoBBox>,
+    /// Temporal extent, when the dataset carries times.
+    pub time: Option<TimeInterval>,
+    /// Number of data records summarized.
+    pub record_count: u64,
+    /// Per-variable summaries, in file column order.
+    pub variables: Vec<VariableFeature>,
+    /// External metadata merged in by the add-external-metadata stage
+    /// (key → value, e.g. `"principal_investigator" → "..."`).
+    pub external: BTreeMap<String, String>,
+    /// Scan/run provenance.
+    pub provenance: Provenance,
+}
+
+impl DatasetFeature {
+    /// Creates an empty feature for an archive-relative path.
+    pub fn new(path: impl Into<String>) -> DatasetFeature {
+        let path = path.into();
+        DatasetFeature {
+            id: DatasetId::from_path(&path),
+            title: path.clone(),
+            path,
+            source: None,
+            bbox: None,
+            time: None,
+            record_count: 0,
+            variables: Vec::new(),
+            external: BTreeMap::new(),
+            provenance: Provenance::default(),
+        }
+    }
+
+    /// Looks up a variable by harvested name.
+    pub fn variable(&self, name: &str) -> Option<&VariableFeature> {
+        self.variables.iter().find(|v| v.name == name)
+    }
+
+    /// Mutable lookup by harvested name.
+    pub fn variable_mut(&mut self, name: &str) -> Option<&mut VariableFeature> {
+        self.variables.iter_mut().find(|v| v.name == name)
+    }
+
+    /// Variables that participate in search (not QA, not hidden).
+    pub fn searchable_variables(&self) -> impl Iterator<Item = &VariableFeature> {
+        self.variables.iter().filter(|v| v.flags.searchable())
+    }
+
+    /// Global id of a variable of this dataset.
+    pub fn variable_id(&self, name: &str) -> VariableId {
+        VariableId::new(self.id, name)
+    }
+
+    /// Fraction of variables with a resolved canonical name, the per-dataset
+    /// measure of "the mess that's left". QA and hidden variables still count:
+    /// marking them *is* their resolution, tracked via flags instead.
+    pub fn resolution_fraction(&self) -> f64 {
+        if self.variables.is_empty() {
+            return 1.0;
+        }
+        let resolved = self
+            .variables
+            .iter()
+            .filter(|v| v.resolution.is_resolved() || v.flags.qa || v.flags.hidden)
+            .count();
+        resolved as f64 / self.variables.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::GeoPoint;
+
+    #[test]
+    fn flags_searchable() {
+        let mut f = VariableFlags::default();
+        assert!(f.searchable());
+        f.qa = true;
+        assert!(!f.searchable());
+        f.qa = false;
+        f.hidden = true;
+        assert!(!f.searchable());
+    }
+
+    #[test]
+    fn variable_search_name_prefers_canonical() {
+        let mut v = VariableFeature::new("airtemp");
+        assert_eq!(v.search_name(), "airtemp");
+        v.resolve("air_temperature", NameResolution::KnownTranslation);
+        assert_eq!(v.search_name(), "air_temperature");
+        assert!(v.resolution.is_resolved());
+    }
+
+    #[test]
+    fn dataset_id_derived_from_path() {
+        let d = DatasetFeature::new("stations/saturn01/2010.csv");
+        assert_eq!(d.id, DatasetId::from_path("stations/saturn01/2010.csv"));
+    }
+
+    #[test]
+    fn dataset_variable_lookup() {
+        let mut d = DatasetFeature::new("x.csv");
+        d.variables.push(VariableFeature::new("temp"));
+        d.variables.push(VariableFeature::new("sal"));
+        assert!(d.variable("temp").is_some());
+        assert!(d.variable("none").is_none());
+        d.variable_mut("sal").unwrap().flags.qa = true;
+        assert_eq!(d.searchable_variables().count(), 1);
+    }
+
+    #[test]
+    fn resolution_fraction_counts_flags_as_handled() {
+        let mut d = DatasetFeature::new("x.csv");
+        assert_eq!(d.resolution_fraction(), 1.0);
+        d.variables.push(VariableFeature::new("a"));
+        d.variables.push(VariableFeature::new("b"));
+        d.variables.push(VariableFeature::new("qa_level"));
+        assert_eq!(d.resolution_fraction(), 0.0);
+        d.variable_mut("a").unwrap().resolve("alpha", NameResolution::AlreadyCanonical);
+        d.variable_mut("qa_level").unwrap().flags.qa = true;
+        assert!((d.resolution_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feature_serde_round_trip() {
+        let mut d = DatasetFeature::new("cruise/c1/cast3.cdl");
+        d.bbox = Some(GeoBBox::point(GeoPoint::new(45.5, -124.4).unwrap()));
+        d.external.insert("pi".into(), "Megler".into());
+        let mut v = VariableFeature::new("ATastn");
+        v.resolve(
+            "sea_surface_temperature",
+            NameResolution::DiscoveredTranslation { method: "fingerprint".into() },
+        );
+        v.summary.observe(5.0);
+        v.summary.observe(10.0);
+        d.variables.push(v);
+        let json = serde_json::to_string(&d).unwrap();
+        let back: DatasetFeature = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(back.variables[0].value_range(), Some((5.0, 10.0)));
+    }
+}

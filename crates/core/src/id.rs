@@ -1,0 +1,97 @@
+//! Stable identifiers for catalog entities.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Stable identifier of a dataset in the catalog.
+///
+/// Derived deterministically from the dataset's archive-relative path so that
+/// re-running the wrangling process (curatorial activity 2) assigns the same
+/// ids and the working catalog can be diffed against the published one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct DatasetId(pub u64);
+
+impl DatasetId {
+    /// Derives an id from an archive-relative path (FNV-1a 64).
+    pub fn from_path(path: &str) -> DatasetId {
+        DatasetId(fnv1a(path.as_bytes()))
+    }
+}
+
+impl fmt::Display for DatasetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ds-{:016x}", self.0)
+    }
+}
+
+/// Identifier of a variable *within* a dataset (its harvested column name is
+/// the natural key; this pairs it with the dataset for global uniqueness).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VariableId {
+    /// Owning dataset.
+    pub dataset: DatasetId,
+    /// Column name exactly as harvested from the file.
+    pub name: String,
+}
+
+impl VariableId {
+    /// Creates a variable id.
+    pub fn new(dataset: DatasetId, name: impl Into<String>) -> VariableId {
+        VariableId { dataset, name: name.into() }
+    }
+}
+
+impl fmt::Display for VariableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.dataset, self.name)
+    }
+}
+
+/// FNV-1a 64-bit hash. Used for path-derived ids and cheap content
+/// fingerprints; *not* used where collision resistance matters.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_is_deterministic() {
+        let a = DatasetId::from_path("stations/saturn01/2010/06.csv");
+        let b = DatasetId::from_path("stations/saturn01/2010/06.csv");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_paths_distinct_ids() {
+        let a = DatasetId::from_path("a.csv");
+        let b = DatasetId::from_path("b.csv");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fnv_known_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn display_forms() {
+        let d = DatasetId(0xabc);
+        assert_eq!(d.to_string(), "ds-0000000000000abc");
+        let v = VariableId::new(d, "water_temp");
+        assert_eq!(v.to_string(), "ds-0000000000000abc/water_temp");
+    }
+}

@@ -1,0 +1,31 @@
+//! # metamess-core
+//!
+//! Core types for *Taming the Metadata Mess* (Megler, 2013): the dynamic
+//! value model harvested from archive files, geospatial and temporal
+//! primitives, one-pass summaries, the per-dataset **feature** record, the
+//! metadata **catalog** (working and published), and a durable snapshot+WAL
+//! store with crash recovery.
+//!
+//! Everything downstream — harvesting, transformation, discovery, ranked
+//! search, the wrangling pipeline — builds on these types.
+
+pub mod catalog;
+pub mod error;
+pub mod feature;
+pub mod geo;
+pub mod id;
+pub mod stats;
+pub mod store;
+pub mod text;
+pub mod time;
+pub mod value;
+
+pub use catalog::{Catalog, CatalogPair, Mutation};
+pub use error::{Error, Result};
+pub use feature::{DatasetFeature, NameResolution, Provenance, VariableFeature, VariableFlags};
+pub use geo::{GeoBBox, GeoPoint};
+pub use id::{DatasetId, VariableId};
+pub use stats::{ColumnSummary, NumericSummary};
+pub use store::{DurableCatalog, RecoveryMode, StoreOptions};
+pub use time::{TimeInterval, Timestamp};
+pub use value::{Record, Value};

@@ -1,0 +1,338 @@
+//! The durable catalog: snapshot + WAL with crash recovery.
+//!
+//! A [`DurableCatalog`] owns a directory containing `snapshot.bin` and
+//! `wal.log`. Every mutation is appended to the WAL before being applied in
+//! memory; `checkpoint` folds the WAL into a fresh snapshot and resets the
+//! log. Opening replays snapshot-then-WAL, optionally truncating a torn tail.
+
+use super::snapshot::{read_snapshot, write_snapshot};
+use super::wal::{RecoveryMode, Wal};
+use crate::catalog::{Catalog, Mutation};
+use crate::error::{IoContext, Result};
+use crate::feature::DatasetFeature;
+use crate::id::DatasetId;
+use std::path::{Path, PathBuf};
+
+/// Tuning and durability options for a [`DurableCatalog`].
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// fsync the WAL on every append (safest, slowest). When false, records
+    /// are buffered and synced at checkpoints and on `flush`.
+    pub sync_on_append: bool,
+    /// Automatically checkpoint after this many WAL appends (0 = never).
+    pub auto_checkpoint_every: u64,
+    /// Recovery behaviour for a damaged WAL tail.
+    pub recovery: RecoveryMode,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            sync_on_append: false,
+            auto_checkpoint_every: 0,
+            recovery: RecoveryMode::TruncateTail,
+        }
+    }
+}
+
+/// What recovery found when opening a store.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// Whether a snapshot was loaded.
+    pub snapshot_loaded: bool,
+    /// Number of WAL mutations replayed on top of the snapshot.
+    pub wal_mutations: usize,
+    /// Bytes of damaged WAL tail truncated during recovery.
+    pub truncated_bytes: u64,
+}
+
+/// A catalog with snapshot+WAL durability.
+///
+/// ```
+/// use metamess_core::feature::DatasetFeature;
+/// use metamess_core::store::{DurableCatalog, StoreOptions};
+///
+/// let dir = std::env::temp_dir().join(format!("mm-doc-{}", std::process::id()));
+/// let _ = std::fs::remove_dir_all(&dir);
+/// {
+///     let mut store = DurableCatalog::open(&dir, StoreOptions::default())?;
+///     store.put(DatasetFeature::new("stations/s1/2010/01.csv"))?;
+///     store.checkpoint()?;
+/// }
+/// // reopening replays snapshot + WAL
+/// let store = DurableCatalog::open(&dir, StoreOptions::default())?;
+/// assert_eq!(store.catalog().len(), 1);
+/// # Ok::<(), metamess_core::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct DurableCatalog {
+    dir: PathBuf,
+    catalog: Catalog,
+    wal: Wal,
+    options: StoreOptions,
+    recovery: RecoveryReport,
+    appends_since_checkpoint: u64,
+}
+
+impl DurableCatalog {
+    /// Opens (creating if needed) a durable catalog in `dir`.
+    pub fn open(dir: impl AsRef<Path>, options: StoreOptions) -> Result<DurableCatalog> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).io_ctx(format!("create store dir {}", dir.display()))?;
+        let snap_path = dir.join("snapshot.bin");
+        let wal_path = dir.join("wal.log");
+
+        let mut recovery = RecoveryReport::default();
+        let mut catalog = match read_snapshot(&snap_path)? {
+            Some(c) => {
+                recovery.snapshot_loaded = true;
+                c
+            }
+            None => Catalog::new(),
+        };
+        let replay = Wal::replay(&wal_path, options.recovery)?;
+        recovery.wal_mutations = replay.mutations.len();
+        recovery.truncated_bytes = replay.truncated_bytes;
+        for m in &replay.mutations {
+            catalog.apply(m);
+        }
+        let wal = Wal::open(&wal_path, options.sync_on_append)?;
+        Ok(DurableCatalog {
+            dir,
+            catalog,
+            wal,
+            options,
+            recovery,
+            appends_since_checkpoint: 0,
+        })
+    }
+
+    /// The recovery report from `open`.
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// Read access to the in-memory catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Directory backing this store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Applies a mutation durably: WAL first, then memory.
+    pub fn apply(&mut self, m: Mutation) -> Result<()> {
+        self.wal.append(&m)?;
+        self.catalog.apply(&m);
+        self.appends_since_checkpoint += 1;
+        if self.options.auto_checkpoint_every > 0
+            && self.appends_since_checkpoint >= self.options.auto_checkpoint_every
+        {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Durable insert-or-replace of a dataset feature.
+    pub fn put(&mut self, f: DatasetFeature) -> Result<()> {
+        self.apply(Mutation::Put(Box::new(f)))
+    }
+
+    /// Durable delete.
+    pub fn delete(&mut self, id: DatasetId) -> Result<()> {
+        self.apply(Mutation::Delete(id))
+    }
+
+    /// Durable property set.
+    pub fn set_property(&mut self, key: impl Into<String>, value: impl Into<String>) -> Result<()> {
+        self.apply(Mutation::SetProperty { key: key.into(), value: value.into() })
+    }
+
+    /// Replaces the entire catalog contents durably (Clear + Puts + props).
+    /// Used by publish: the published store becomes a copy of the working
+    /// catalog in one WAL-ordered sequence.
+    pub fn replace_with(&mut self, other: &Catalog) -> Result<()> {
+        self.apply(Mutation::Clear)?;
+        for (k, v) in other.properties() {
+            self.apply(Mutation::SetProperty { key: k.clone(), value: v.clone() })?;
+        }
+        for f in other.iter() {
+            self.apply(Mutation::Put(Box::new(f.clone())))?;
+        }
+        Ok(())
+    }
+
+    /// Flushes and fsyncs buffered WAL records.
+    pub fn flush(&mut self) -> Result<()> {
+        self.wal.flush_and_sync()
+    }
+
+    /// Writes a snapshot of the current catalog and resets the WAL.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        self.wal.flush_and_sync()?;
+        write_snapshot(self.dir.join("snapshot.bin"), &self.catalog)?;
+        self.wal.reset()?;
+        self.appends_since_checkpoint = 0;
+        Ok(())
+    }
+
+    /// WAL appends since the last checkpoint.
+    pub fn pending_wal_records(&self) -> u64 {
+        self.appends_since_checkpoint
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs::{self, OpenOptions};
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("metamess-durable-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn opts_sync() -> StoreOptions {
+        StoreOptions { sync_on_append: true, ..StoreOptions::default() }
+    }
+
+    #[test]
+    fn fresh_store_is_empty() {
+        let dir = tmpdir("fresh");
+        let s = DurableCatalog::open(&dir, StoreOptions::default()).unwrap();
+        assert!(s.catalog().is_empty());
+        assert_eq!(s.recovery_report(), &RecoveryReport::default());
+    }
+
+    #[test]
+    fn survives_reopen_via_wal_only() {
+        let dir = tmpdir("wal-only");
+        {
+            let mut s = DurableCatalog::open(&dir, opts_sync()).unwrap();
+            s.put(DatasetFeature::new("a.csv")).unwrap();
+            s.put(DatasetFeature::new("b.csv")).unwrap();
+            s.set_property("k", "v").unwrap();
+            // no checkpoint, no clean shutdown beyond drop
+        }
+        let s = DurableCatalog::open(&dir, opts_sync()).unwrap();
+        assert_eq!(s.catalog().len(), 2);
+        assert_eq!(s.catalog().property("k"), Some("v"));
+        assert!(!s.recovery_report().snapshot_loaded);
+        assert_eq!(s.recovery_report().wal_mutations, 3);
+    }
+
+    #[test]
+    fn checkpoint_then_reopen_uses_snapshot() {
+        let dir = tmpdir("ckpt");
+        {
+            let mut s = DurableCatalog::open(&dir, opts_sync()).unwrap();
+            s.put(DatasetFeature::new("a.csv")).unwrap();
+            s.checkpoint().unwrap();
+            s.put(DatasetFeature::new("b.csv")).unwrap();
+        }
+        let s = DurableCatalog::open(&dir, opts_sync()).unwrap();
+        assert!(s.recovery_report().snapshot_loaded);
+        assert_eq!(s.recovery_report().wal_mutations, 1);
+        assert_eq!(s.catalog().len(), 2);
+    }
+
+    #[test]
+    fn torn_wal_tail_recovers_prefix() {
+        let dir = tmpdir("torn");
+        {
+            let mut s = DurableCatalog::open(&dir, opts_sync()).unwrap();
+            s.put(DatasetFeature::new("a.csv")).unwrap();
+            s.put(DatasetFeature::new("b.csv")).unwrap();
+        }
+        let wal = dir.join("wal.log");
+        let len = fs::metadata(&wal).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&wal).unwrap();
+        f.set_len(len - 7).unwrap();
+        drop(f);
+
+        let s = DurableCatalog::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(s.catalog().len(), 1);
+        assert!(s.recovery_report().truncated_bytes > 0);
+    }
+
+    #[test]
+    fn strict_mode_surfaces_corruption() {
+        let dir = tmpdir("strict");
+        {
+            let mut s = DurableCatalog::open(&dir, opts_sync()).unwrap();
+            s.put(DatasetFeature::new("a.csv")).unwrap();
+        }
+        let wal = dir.join("wal.log");
+        let len = fs::metadata(&wal).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&wal).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+        let e = DurableCatalog::open(
+            &dir,
+            StoreOptions { recovery: RecoveryMode::Strict, ..StoreOptions::default() },
+        )
+        .unwrap_err();
+        assert!(e.is_corrupt());
+    }
+
+    #[test]
+    fn auto_checkpoint_triggers() {
+        let dir = tmpdir("auto");
+        let mut s = DurableCatalog::open(
+            &dir,
+            StoreOptions { auto_checkpoint_every: 2, sync_on_append: true, ..Default::default() },
+        )
+        .unwrap();
+        s.put(DatasetFeature::new("a.csv")).unwrap();
+        assert_eq!(s.pending_wal_records(), 1);
+        s.put(DatasetFeature::new("b.csv")).unwrap();
+        assert_eq!(s.pending_wal_records(), 0);
+        assert!(dir.join("snapshot.bin").exists());
+    }
+
+    #[test]
+    fn replace_with_copies_full_state() {
+        let dir = tmpdir("replace");
+        let mut src = Catalog::new();
+        src.put(DatasetFeature::new("x.csv"));
+        src.set_property("archive", "sim");
+        {
+            let mut s = DurableCatalog::open(&dir, opts_sync()).unwrap();
+            s.put(DatasetFeature::new("stale.csv")).unwrap();
+            s.replace_with(&src).unwrap();
+        }
+        let s = DurableCatalog::open(&dir, opts_sync()).unwrap();
+        assert_eq!(s.catalog().len(), 1);
+        assert!(s.catalog().get_by_path("x.csv").is_some());
+        assert_eq!(s.catalog().property("archive"), Some("sim"));
+    }
+
+    #[test]
+    fn delete_is_durable() {
+        let dir = tmpdir("del");
+        let id = DatasetId::from_path("a.csv");
+        {
+            let mut s = DurableCatalog::open(&dir, opts_sync()).unwrap();
+            s.put(DatasetFeature::new("a.csv")).unwrap();
+            s.delete(id).unwrap();
+        }
+        let s = DurableCatalog::open(&dir, opts_sync()).unwrap();
+        assert!(s.catalog().get(id).is_none());
+    }
+
+    #[test]
+    fn unsynced_store_flush_persists() {
+        let dir = tmpdir("flush");
+        {
+            let mut s = DurableCatalog::open(&dir, StoreOptions::default()).unwrap();
+            s.put(DatasetFeature::new("a.csv")).unwrap();
+            s.flush().unwrap();
+        }
+        let s = DurableCatalog::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(s.catalog().len(), 1);
+    }
+}

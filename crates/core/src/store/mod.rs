@@ -1,0 +1,11 @@
+//! Durable storage for the metadata catalog: CRC-checked WAL + snapshots.
+
+pub mod crc;
+mod durable;
+mod snapshot;
+mod wal;
+
+pub use crc::{crc32, Crc32};
+pub use durable::{DurableCatalog, RecoveryReport, StoreOptions};
+pub use snapshot::{read_snapshot, write_snapshot};
+pub use wal::{RecoveryMode, ReplaySummary, Wal};

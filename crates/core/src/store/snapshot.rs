@@ -1,0 +1,151 @@
+//! Point-in-time catalog snapshots.
+//!
+//! Layout: `MMSNAP01` magic, u32 payload length, u32 CRC-32, JSON payload.
+//! Snapshots are written to a temporary file, fsynced, then atomically
+//! renamed into place so an interrupted checkpoint never damages the
+//! previous snapshot.
+
+use super::crc::crc32;
+use crate::catalog::Catalog;
+use crate::error::{Error, IoContext, Result};
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"MMSNAP01";
+
+/// Writes `catalog` as a snapshot at `path`, atomically.
+pub fn write_snapshot(path: impl AsRef<Path>, catalog: &Catalog) -> Result<()> {
+    let path = path.as_ref();
+    let payload = serde_json::to_vec(catalog)
+        .map_err(|e| Error::invalid(format!("unencodable catalog: {e}")))?;
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)
+            .io_ctx(format!("create snapshot tmp {}", tmp.display()))?;
+        f.write_all(MAGIC).io_ctx("write snapshot magic")?;
+        f.write_all(&(payload.len() as u32).to_le_bytes()).io_ctx("write snapshot len")?;
+        f.write_all(&crc32(&payload).to_le_bytes()).io_ctx("write snapshot crc")?;
+        f.write_all(&payload).io_ctx("write snapshot payload")?;
+        f.sync_all().io_ctx("sync snapshot tmp")?;
+    }
+    fs::rename(&tmp, path).io_ctx(format!("rename snapshot into {}", path.display()))?;
+    // Best-effort directory sync so the rename itself is durable.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Reads a snapshot. Returns `Ok(None)` when the file does not exist,
+/// `Err(Corrupt)` when it exists but fails verification.
+pub fn read_snapshot(path: impl AsRef<Path>) -> Result<Option<Catalog>> {
+    let path = path.as_ref();
+    let mut f = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(Error::io(format!("open snapshot {}", path.display()), e)),
+    };
+    let mut bytes = Vec::new();
+    f.read_to_end(&mut bytes).io_ctx("read snapshot")?;
+    if bytes.len() < 16 || &bytes[..8] != MAGIC {
+        return Err(Error::corrupt(format!("snapshot {}: bad magic/header", path.display())));
+    }
+    let len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    if bytes.len() != 16 + len {
+        return Err(Error::corrupt(format!(
+            "snapshot {}: expected {} payload bytes, file has {}",
+            path.display(),
+            len,
+            bytes.len() - 16
+        )));
+    }
+    let payload = &bytes[16..];
+    if crc32(payload) != crc {
+        return Err(Error::corrupt(format!("snapshot {}: crc mismatch", path.display())));
+    }
+    let catalog: Catalog = serde_json::from_slice(payload)
+        .map_err(|e| Error::corrupt(format!("snapshot {}: undecodable: {e}", path.display())))?;
+    Ok(Some(catalog))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::DatasetFeature;
+    use std::path::PathBuf;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("metamess-snap-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn sample_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.put(DatasetFeature::new("a.csv"));
+        c.put(DatasetFeature::new("b.cdl"));
+        c.set_property("archive", "sim");
+        c
+    }
+
+    #[test]
+    fn round_trip() {
+        let dir = tmpdir("rt");
+        let p = dir.join("snapshot.bin");
+        let c = sample_catalog();
+        write_snapshot(&p, &c).unwrap();
+        let back = read_snapshot(&p).unwrap().unwrap();
+        // Generation is part of the snapshot too.
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn missing_is_none() {
+        let dir = tmpdir("miss");
+        assert!(read_snapshot(dir.join("none.bin")).unwrap().is_none());
+    }
+
+    #[test]
+    fn corrupt_payload_detected() {
+        let dir = tmpdir("corrupt");
+        let p = dir.join("snapshot.bin");
+        write_snapshot(&p, &sample_catalog()).unwrap();
+        let mut bytes = fs::read(&p).unwrap();
+        let ix = bytes.len() - 3;
+        bytes[ix] ^= 0x10;
+        fs::write(&p, &bytes).unwrap();
+        assert!(read_snapshot(&p).unwrap_err().is_corrupt());
+    }
+
+    #[test]
+    fn truncated_detected() {
+        let dir = tmpdir("trunc");
+        let p = dir.join("snapshot.bin");
+        write_snapshot(&p, &sample_catalog()).unwrap();
+        let bytes = fs::read(&p).unwrap();
+        fs::write(&p, &bytes[..bytes.len() - 8]).unwrap();
+        assert!(read_snapshot(&p).unwrap_err().is_corrupt());
+    }
+
+    #[test]
+    fn overwrite_replaces_atomically() {
+        let dir = tmpdir("ow");
+        let p = dir.join("snapshot.bin");
+        write_snapshot(&p, &sample_catalog()).unwrap();
+        let mut c2 = sample_catalog();
+        c2.put(DatasetFeature::new("c.obslog"));
+        write_snapshot(&p, &c2).unwrap();
+        let back = read_snapshot(&p).unwrap().unwrap();
+        assert_eq!(back.len(), 3);
+        assert!(!dir.join("snapshot.tmp").exists());
+    }
+}

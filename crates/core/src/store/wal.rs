@@ -1,0 +1,353 @@
+//! Append-only write-ahead log of catalog mutations.
+//!
+//! Record layout (little-endian):
+//!
+//! ```text
+//! file   := MAGIC record*
+//! MAGIC  := b"MMWAL001"                       (8 bytes)
+//! record := len:u32 crc:u32 payload:[u8; len]
+//! ```
+//!
+//! `crc` is the CRC-32 of the payload. The payload is the JSON encoding of a
+//! [`Mutation`](crate::catalog::Mutation). Torn final records (a crash during
+//! append) are detected and may be truncated away; corruption *before* the
+//! tail is reported as [`Error::Corrupt`].
+
+use super::crc::crc32;
+use crate::catalog::Mutation;
+use crate::error::{Error, IoContext, Result};
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 8] = b"MMWAL001";
+/// Refuse to read a single record larger than this (corruption guard).
+const MAX_RECORD_LEN: u32 = 64 * 1024 * 1024;
+
+/// How [`Wal::replay`] treats a damaged tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryMode {
+    /// Any invalid data is an error.
+    Strict,
+    /// A damaged *final* region is truncated away (normal crash recovery);
+    /// damage followed by further valid data is still an error.
+    TruncateTail,
+}
+
+/// Outcome of a WAL replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplaySummary {
+    /// Mutations successfully decoded, in append order.
+    pub mutations: Vec<Mutation>,
+    /// Bytes of damaged tail that were truncated (0 when clean).
+    pub truncated_bytes: u64,
+}
+
+/// An open write-ahead log.
+pub struct Wal {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    /// Records appended since open/replay (for telemetry and checkpoints).
+    appended: u64,
+    /// Synchronous durability: fsync after every append.
+    sync_on_append: bool,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("path", &self.path)
+            .field("appended", &self.appended)
+            .field("sync_on_append", &self.sync_on_append)
+            .finish()
+    }
+}
+
+impl Wal {
+    /// Opens (creating if needed) the log at `path` for appending.
+    pub fn open(path: impl AsRef<Path>, sync_on_append: bool) -> Result<Wal> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(&path)
+            .io_ctx(format!("open wal {}", path.display()))?;
+        let len = file
+            .metadata()
+            .io_ctx(format!("stat wal {}", path.display()))?
+            .len();
+        if len == 0 {
+            file.write_all(MAGIC).io_ctx("write wal magic")?;
+            file.sync_all().io_ctx("sync wal magic")?;
+        }
+        Ok(Wal { path, writer: BufWriter::new(file), appended: 0, sync_on_append })
+    }
+
+    /// Replays every valid record from the log at `path` without opening it
+    /// for writing. Returns the decoded mutations.
+    pub fn replay(path: impl AsRef<Path>, mode: RecoveryMode) -> Result<ReplaySummary> {
+        let path = path.as_ref();
+        let mut file = match File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(ReplaySummary { mutations: Vec::new(), truncated_bytes: 0 })
+            }
+            Err(e) => return Err(Error::io(format!("open wal {}", path.display()), e)),
+        };
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes).io_ctx("read wal")?;
+        if bytes.is_empty() {
+            return Ok(ReplaySummary { mutations: Vec::new(), truncated_bytes: 0 });
+        }
+        if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+            return Err(Error::corrupt(format!("wal {}: bad magic", path.display())));
+        }
+
+        let mut mutations = Vec::new();
+        let mut pos = MAGIC.len();
+        let mut valid_end = pos;
+        let mut damage: Option<String> = None;
+        while pos < bytes.len() {
+            if pos + 8 > bytes.len() {
+                damage = Some("torn record header".into());
+                break;
+            }
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+            let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+            if len > MAX_RECORD_LEN {
+                damage = Some(format!("record length {len} exceeds cap"));
+                break;
+            }
+            let start = pos + 8;
+            let end = start + len as usize;
+            if end > bytes.len() {
+                damage = Some("torn record payload".into());
+                break;
+            }
+            let payload = &bytes[start..end];
+            if crc32(payload) != crc {
+                damage = Some("crc mismatch".into());
+                break;
+            }
+            let m: Mutation = serde_json::from_slice(payload).map_err(|e| {
+                Error::corrupt(format!("wal {}: undecodable mutation: {e}", path.display()))
+            })?;
+            mutations.push(m);
+            pos = end;
+            valid_end = end;
+        }
+
+        if let Some(reason) = damage {
+            match mode {
+                RecoveryMode::Strict => {
+                    return Err(Error::corrupt(format!(
+                        "wal {}: {reason} at byte {valid_end}",
+                        path.display()
+                    )));
+                }
+                RecoveryMode::TruncateTail => {
+                    let truncated = (bytes.len() - valid_end) as u64;
+                    let f = OpenOptions::new()
+                        .write(true)
+                        .open(path)
+                        .io_ctx("open wal for truncate")?;
+                    f.set_len(valid_end as u64).io_ctx("truncate wal tail")?;
+                    f.sync_all().io_ctx("sync truncated wal")?;
+                    return Ok(ReplaySummary { mutations, truncated_bytes: truncated });
+                }
+            }
+        }
+        Ok(ReplaySummary { mutations, truncated_bytes: 0 })
+    }
+
+    /// Appends one mutation. The record is durable after this call when the
+    /// log was opened with `sync_on_append`.
+    pub fn append(&mut self, m: &Mutation) -> Result<()> {
+        let payload = serde_json::to_vec(m)
+            .map_err(|e| Error::invalid(format!("unencodable mutation: {e}")))?;
+        if payload.len() as u64 > MAX_RECORD_LEN as u64 {
+            return Err(Error::invalid(format!("mutation of {} bytes exceeds cap", payload.len())));
+        }
+        let len = (payload.len() as u32).to_le_bytes();
+        let crc = crc32(&payload).to_le_bytes();
+        self.writer.write_all(&len).io_ctx("append wal len")?;
+        self.writer.write_all(&crc).io_ctx("append wal crc")?;
+        self.writer.write_all(&payload).io_ctx("append wal payload")?;
+        self.appended += 1;
+        if self.sync_on_append {
+            self.flush_and_sync()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes buffered records and fsyncs the file.
+    pub fn flush_and_sync(&mut self) -> Result<()> {
+        self.writer.flush().io_ctx("flush wal")?;
+        self.writer.get_ref().sync_all().io_ctx("sync wal")?;
+        Ok(())
+    }
+
+    /// Truncates the log back to just the magic header (after a checkpoint).
+    pub fn reset(&mut self) -> Result<()> {
+        self.writer.flush().io_ctx("flush wal before reset")?;
+        let file = self.writer.get_mut();
+        file.set_len(MAGIC.len() as u64).io_ctx("truncate wal")?;
+        file.seek(SeekFrom::End(0)).io_ctx("seek wal end")?;
+        file.sync_all().io_ctx("sync wal after reset")?;
+        self.appended = 0;
+        Ok(())
+    }
+
+    /// Records appended since this handle was opened or last reset.
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Path of the log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::DatasetFeature;
+    use std::fs;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("metamess-wal-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn put(path: &str) -> Mutation {
+        Mutation::Put(Box::new(DatasetFeature::new(path)))
+    }
+
+    #[test]
+    fn append_and_replay() {
+        let dir = tmpdir("basic");
+        let wal = dir.join("wal.log");
+        {
+            let mut w = Wal::open(&wal, true).unwrap();
+            w.append(&put("a.csv")).unwrap();
+            w.append(&put("b.csv")).unwrap();
+            w.append(&Mutation::Delete(crate::id::DatasetId::from_path("a.csv"))).unwrap();
+            assert_eq!(w.appended(), 3);
+        }
+        let r = Wal::replay(&wal, RecoveryMode::Strict).unwrap();
+        assert_eq!(r.mutations.len(), 3);
+        assert_eq!(r.truncated_bytes, 0);
+        assert!(matches!(r.mutations[2], Mutation::Delete(_)));
+    }
+
+    #[test]
+    fn replay_missing_file_is_empty() {
+        let dir = tmpdir("missing");
+        let r = Wal::replay(dir.join("nope.log"), RecoveryMode::Strict).unwrap();
+        assert!(r.mutations.is_empty());
+    }
+
+    #[test]
+    fn reopen_appends_after_existing() {
+        let dir = tmpdir("reopen");
+        let wal = dir.join("wal.log");
+        {
+            let mut w = Wal::open(&wal, true).unwrap();
+            w.append(&put("a.csv")).unwrap();
+        }
+        {
+            let mut w = Wal::open(&wal, true).unwrap();
+            w.append(&put("b.csv")).unwrap();
+        }
+        let r = Wal::replay(&wal, RecoveryMode::Strict).unwrap();
+        assert_eq!(r.mutations.len(), 2);
+    }
+
+    #[test]
+    fn torn_tail_truncated() {
+        let dir = tmpdir("torn");
+        let wal = dir.join("wal.log");
+        {
+            let mut w = Wal::open(&wal, true).unwrap();
+            w.append(&put("a.csv")).unwrap();
+            w.append(&put("b.csv")).unwrap();
+        }
+        // Chop ten bytes off the end: the final record is torn.
+        let len = fs::metadata(&wal).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&wal).unwrap();
+        f.set_len(len - 10).unwrap();
+        drop(f);
+
+        // Strict mode refuses.
+        assert!(Wal::replay(&wal, RecoveryMode::Strict).unwrap_err().is_corrupt());
+        // Truncate mode salvages the first record.
+        let r = Wal::replay(&wal, RecoveryMode::TruncateTail).unwrap();
+        assert_eq!(r.mutations.len(), 1);
+        assert!(r.truncated_bytes > 0);
+        // After truncation the log is clean again and appendable.
+        let mut w = Wal::open(&wal, true).unwrap();
+        w.append(&put("c.csv")).unwrap();
+        drop(w);
+        let r2 = Wal::replay(&wal, RecoveryMode::Strict).unwrap();
+        assert_eq!(r2.mutations.len(), 2);
+    }
+
+    #[test]
+    fn bitflip_detected() {
+        let dir = tmpdir("bitflip");
+        let wal = dir.join("wal.log");
+        {
+            let mut w = Wal::open(&wal, true).unwrap();
+            w.append(&put("a.csv")).unwrap();
+        }
+        let mut bytes = fs::read(&wal).unwrap();
+        let ix = bytes.len() - 5;
+        bytes[ix] ^= 0x40;
+        fs::write(&wal, &bytes).unwrap();
+        assert!(Wal::replay(&wal, RecoveryMode::Strict).unwrap_err().is_corrupt());
+        let r = Wal::replay(&wal, RecoveryMode::TruncateTail).unwrap();
+        assert!(r.mutations.is_empty());
+        assert!(r.truncated_bytes > 0);
+    }
+
+    #[test]
+    fn bad_magic_rejected_even_in_truncate_mode() {
+        let dir = tmpdir("magic");
+        let wal = dir.join("wal.log");
+        fs::write(&wal, b"NOTAWAL0rest").unwrap();
+        assert!(Wal::replay(&wal, RecoveryMode::TruncateTail).unwrap_err().is_corrupt());
+    }
+
+    #[test]
+    fn reset_empties_log() {
+        let dir = tmpdir("reset");
+        let wal = dir.join("wal.log");
+        let mut w = Wal::open(&wal, true).unwrap();
+        w.append(&put("a.csv")).unwrap();
+        w.reset().unwrap();
+        assert_eq!(w.appended(), 0);
+        w.append(&put("b.csv")).unwrap();
+        drop(w);
+        let r = Wal::replay(&wal, RecoveryMode::Strict).unwrap();
+        assert_eq!(r.mutations.len(), 1);
+        assert!(matches!(&r.mutations[0], Mutation::Put(f) if f.path == "b.csv"));
+    }
+
+    #[test]
+    fn absurd_length_field_is_damage_not_allocation() {
+        let dir = tmpdir("hugelen");
+        let wal = dir.join("wal.log");
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(b"junk");
+        fs::write(&wal, &bytes).unwrap();
+        assert!(Wal::replay(&wal, RecoveryMode::Strict).unwrap_err().is_corrupt());
+        let r = Wal::replay(&wal, RecoveryMode::TruncateTail).unwrap();
+        assert!(r.mutations.is_empty());
+    }
+}

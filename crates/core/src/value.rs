@@ -1,0 +1,428 @@
+//! The dynamic value and record model shared by harvesters, transforms and
+//! the catalog.
+//!
+//! Scientific files carry loosely typed cells; the wrangling pipeline needs a
+//! single representation that preserves what was read while allowing numeric
+//! summarization. [`Value`] is deliberately small: the catalog stores
+//! *summaries*, not data, so values mostly flow through harvesting and
+//! transformation.
+
+use crate::time::Timestamp;
+use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
+use std::fmt;
+
+/// A dynamically typed cell value as harvested from an archive file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Missing / blank cell.
+    Null,
+    /// Boolean flag (QA columns frequently use these).
+    Bool(bool),
+    /// Integer measurement or count.
+    Int(i64),
+    /// Floating point measurement.
+    Float(f64),
+    /// Free text.
+    Text(String),
+    /// A parsed instant in time.
+    Time(Timestamp),
+}
+
+impl Value {
+    /// Parses a raw textual cell into the most specific [`Value`].
+    ///
+    /// Follows the conventions of the archive formats: empty strings and the
+    /// sentinel spellings `NA`, `NaN`, `null`, `-9999`, `-999.9` become
+    /// [`Value::Null`]; ISO-8601-ish timestamps become [`Value::Time`];
+    /// integers and floats parse numerically; everything else stays text.
+    pub fn sniff(raw: &str) -> Value {
+        let t = raw.trim();
+        if t.is_empty() {
+            return Value::Null;
+        }
+        match t {
+            "NA" | "N/A" | "na" | "NaN" | "nan" | "null" | "NULL" | "-9999" | "-999.9"
+            | "-9999.0" => return Value::Null,
+            "true" | "TRUE" | "True" => return Value::Bool(true),
+            "false" | "FALSE" | "False" => return Value::Bool(false),
+            _ => {}
+        }
+        if let Ok(i) = t.parse::<i64>() {
+            return Value::Int(i);
+        }
+        if let Ok(f) = t.parse::<f64>() {
+            if f.is_finite() {
+                return Value::Float(f);
+            }
+            return Value::Null;
+        }
+        if let Ok(ts) = Timestamp::parse(t) {
+            return Value::Time(ts);
+        }
+        Value::Text(t.to_string())
+    }
+
+    /// True when the value is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view: integers and floats as `f64`, everything else `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view, without lossy float conversion.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Text view; numbers are not stringified.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Timestamp view.
+    pub fn as_time(&self) -> Option<Timestamp> {
+        match self {
+            Value::Time(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// Renders the value the way archive writers serialize it.
+    ///
+    /// `Null` renders as the empty string so that round-tripping a blank cell
+    /// is lossless.
+    pub fn render(&self) -> Cow<'_, str> {
+        match self {
+            Value::Null => Cow::Borrowed(""),
+            Value::Bool(b) => Cow::Borrowed(if *b { "true" } else { "false" }),
+            Value::Int(i) => Cow::Owned(i.to_string()),
+            Value::Float(f) => Cow::Owned(format_float(*f)),
+            Value::Text(s) => Cow::Borrowed(s),
+            Value::Time(t) => Cow::Owned(t.to_iso8601()),
+        }
+    }
+
+    /// Name of the value's type, for diagnostics and validation messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Text(_) => "text",
+            Value::Time(_) => "time",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        if f.is_finite() { Value::Float(f) } else { Value::Null }
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Text(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Text(s)
+    }
+}
+impl From<Timestamp> for Value {
+    fn from(t: Timestamp) -> Self {
+        Value::Time(t)
+    }
+}
+
+/// Formats a float the way the archive writers do: shortest representation
+/// that round-trips, without scientific notation for typical magnitudes.
+fn format_float(f: f64) -> String {
+    if f == f.trunc() && f.abs() < 1e15 {
+        // Keep a trailing ".0" so the value re-sniffs as a float.
+        format!("{f:.1}")
+    } else {
+        format!("{f}")
+    }
+}
+
+/// A named row of values, as produced by file parsers and consumed by the
+/// transformation engine. Column order is preserved — curators see columns in
+/// file order, exactly like the paper's Google Refine workflow.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Record {
+    columns: Vec<String>,
+    values: Vec<Value>,
+}
+
+impl Record {
+    /// Creates an empty record.
+    pub fn new() -> Self {
+        Record::default()
+    }
+
+    /// Creates a record from parallel column/value lists.
+    ///
+    /// Returns an error if the lengths differ or a column name repeats.
+    pub fn from_pairs(
+        columns: Vec<String>,
+        values: Vec<Value>,
+    ) -> crate::error::Result<Self> {
+        if columns.len() != values.len() {
+            return Err(crate::error::Error::invalid(format!(
+                "record has {} columns but {} values",
+                columns.len(),
+                values.len()
+            )));
+        }
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|p| p == c) {
+                return Err(crate::error::Error::invalid(format!(
+                    "duplicate column name '{c}'"
+                )));
+            }
+        }
+        Ok(Record { columns, values })
+    }
+
+    /// Appends a column. Replaces the value if the column already exists.
+    pub fn set(&mut self, column: impl Into<String>, value: impl Into<Value>) {
+        let column = column.into();
+        let value = value.into();
+        if let Some(ix) = self.index_of(&column) {
+            self.values[ix] = value;
+        } else {
+            self.columns.push(column);
+            self.values.push(value);
+        }
+    }
+
+    /// Looks up a value by column name.
+    pub fn get(&self, column: &str) -> Option<&Value> {
+        self.index_of(column).map(|ix| &self.values[ix])
+    }
+
+    /// Mutable lookup by column name.
+    pub fn get_mut(&mut self, column: &str) -> Option<&mut Value> {
+        self.index_of(column).map(move |ix| &mut self.values[ix])
+    }
+
+    /// Removes a column, returning its value.
+    pub fn remove(&mut self, column: &str) -> Option<Value> {
+        let ix = self.index_of(column)?;
+        self.columns.remove(ix);
+        Some(self.values.remove(ix))
+    }
+
+    /// Renames a column in place; no-op when `from` is absent.
+    ///
+    /// Returns an error if `to` already exists (would create a duplicate).
+    pub fn rename(&mut self, from: &str, to: &str) -> crate::error::Result<bool> {
+        if from == to {
+            return Ok(self.index_of(from).is_some());
+        }
+        if self.index_of(to).is_some() {
+            return Err(crate::error::Error::conflict(format!(
+                "cannot rename '{from}' to existing column '{to}'"
+            )));
+        }
+        match self.index_of(from) {
+            Some(ix) => {
+                self.columns[ix] = to.to_string();
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Column names in file order.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Values in file order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when the record has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Iterates `(column, value)` pairs in file order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.columns.iter().map(String::as_str).zip(self.values.iter())
+    }
+
+    fn index_of(&self, column: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == column)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sniff_null_sentinels() {
+        for raw in ["", "  ", "NA", "NaN", "null", "-9999", "-999.9"] {
+            assert!(Value::sniff(raw).is_null(), "raw {raw:?}");
+        }
+    }
+
+    #[test]
+    fn sniff_numbers() {
+        assert_eq!(Value::sniff("42"), Value::Int(42));
+        assert_eq!(Value::sniff("-7"), Value::Int(-7));
+        assert_eq!(Value::sniff("3.25"), Value::Float(3.25));
+        assert_eq!(Value::sniff("1e3"), Value::Float(1000.0));
+    }
+
+    #[test]
+    fn sniff_bools_and_text() {
+        assert_eq!(Value::sniff("true"), Value::Bool(true));
+        assert_eq!(Value::sniff("FALSE"), Value::Bool(false));
+        assert_eq!(Value::sniff("water_temp"), Value::Text("water_temp".into()));
+    }
+
+    #[test]
+    fn sniff_timestamp() {
+        let v = Value::sniff("2010-06-15T12:00:00Z");
+        assert!(matches!(v, Value::Time(_)));
+    }
+
+    #[test]
+    fn sniff_infinite_float_is_null() {
+        assert!(Value::sniff("inf").is_null());
+    }
+
+    #[test]
+    fn render_round_trips_typical_values() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(-3),
+            Value::Float(2.5),
+            Value::Text("chl_a".into()),
+        ] {
+            assert_eq!(Value::sniff(&v.render()), v, "value {v:?}");
+        }
+    }
+
+    #[test]
+    fn render_integral_float_keeps_type() {
+        let v = Value::Float(5.0);
+        assert_eq!(v.render(), "5.0");
+        assert_eq!(Value::sniff(&v.render()), v);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(4).as_f64(), Some(4.0));
+        assert_eq!(Value::Float(1.5).as_f64(), Some(1.5));
+        assert_eq!(Value::Text("x".into()).as_f64(), None);
+        assert_eq!(Value::Int(4).as_i64(), Some(4));
+        assert_eq!(Value::Text("x".into()).as_text(), Some("x"));
+    }
+
+    #[test]
+    fn record_set_get_replace() {
+        let mut r = Record::new();
+        r.set("temp", 5.5);
+        r.set("site", "saturn01");
+        assert_eq!(r.len(), 2);
+        r.set("temp", 6.0);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get("temp"), Some(&Value::Float(6.0)));
+        assert_eq!(r.get("missing"), None);
+    }
+
+    #[test]
+    fn record_from_pairs_validates() {
+        assert!(Record::from_pairs(vec!["a".into()], vec![]).is_err());
+        assert!(
+            Record::from_pairs(vec!["a".into(), "a".into()], vec![Value::Null, Value::Null])
+                .is_err()
+        );
+        let r =
+            Record::from_pairs(vec!["a".into(), "b".into()], vec![Value::Int(1), Value::Int(2)])
+                .unwrap();
+        assert_eq!(r.columns(), &["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn record_rename() {
+        let mut r = Record::new();
+        r.set("temp", 1.0);
+        r.set("sal", 30.0);
+        assert!(r.rename("temp", "water_temperature").unwrap());
+        assert!(r.get("water_temperature").is_some());
+        assert!(r.get("temp").is_none());
+        assert!(!r.rename("gone", "x").unwrap());
+        assert!(r.rename("sal", "water_temperature").is_err());
+    }
+
+    #[test]
+    fn record_rename_to_self() {
+        let mut r = Record::new();
+        r.set("a", 1i64);
+        assert!(r.rename("a", "a").unwrap());
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn record_remove_preserves_order() {
+        let mut r = Record::new();
+        r.set("a", 1i64);
+        r.set("b", 2i64);
+        r.set("c", 3i64);
+        assert_eq!(r.remove("b"), Some(Value::Int(2)));
+        assert_eq!(r.columns(), &["a".to_string(), "c".to_string()]);
+    }
+
+    #[test]
+    fn record_iter_order() {
+        let mut r = Record::new();
+        r.set("z", 1i64);
+        r.set("a", 2i64);
+        let cols: Vec<&str> = r.iter().map(|(c, _)| c).collect();
+        assert_eq!(cols, vec!["z", "a"]);
+    }
+}

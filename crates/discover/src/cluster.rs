@@ -1,0 +1,367 @@
+//! Clustering of variant metadata values — the "discover transformations"
+//! stage of the poster's wrangling process.
+//!
+//! Two families, mirroring Google Refine:
+//!
+//! * **Key collision** ([`key_collision_clusters`]) — values sharing a
+//!   normalized key form a cluster. High precision, recall limited by the
+//!   keyer.
+//! * **Nearest neighbour** ([`knn_clusters`]) — values within an edit-
+//!   distance radius are linked; blocking keeps the candidate set sub-
+//!   quadratic. Higher recall, lower precision.
+
+use crate::distance::levenshtein_bounded;
+use crate::keys::KeyMethod;
+use crate::unionfind::UnionFind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One value to cluster, with its occurrence count (Refine clusters facet
+/// choices, which carry counts; counts pick the canonical spelling).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValueCount {
+    /// The raw value.
+    pub value: String,
+    /// Number of rows carrying it.
+    pub count: u64,
+}
+
+impl ValueCount {
+    /// Convenience constructor.
+    pub fn new(value: impl Into<String>, count: u64) -> ValueCount {
+        ValueCount { value: value.into(), count }
+    }
+}
+
+/// A discovered cluster of variant values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// Member values with counts, ordered by descending count then value.
+    pub members: Vec<ValueCount>,
+    /// The shared key (key collision) or a representative (kNN).
+    pub key: String,
+    /// Method that produced the cluster.
+    pub method: String,
+    /// Cohesion in `[0, 1]`: 1 = members are near-identical. For key
+    /// collision this is based on pairwise normalized distance; for kNN it is
+    /// derived from the link distances.
+    pub cohesion: f64,
+}
+
+impl Cluster {
+    /// Total row count across members.
+    pub fn total_count(&self) -> u64 {
+        self.members.iter().map(|m| m.count).sum()
+    }
+
+    /// The proposed canonical value: the most frequent member (ties broken
+    /// lexicographically, matching the deterministic member order).
+    pub fn canonical(&self) -> &str {
+        &self.members[0].value
+    }
+
+    /// The variant values (everything except the canonical pick).
+    pub fn variants(&self) -> impl Iterator<Item = &ValueCount> {
+        self.members.iter().skip(1)
+    }
+}
+
+fn sort_members(members: &mut [ValueCount]) {
+    members.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.value.cmp(&b.value)));
+}
+
+fn mean_pairwise_similarity(members: &[ValueCount]) -> f64 {
+    if members.len() < 2 {
+        return 1.0;
+    }
+    // Case differences are cosmetic for cohesion purposes: `AIR TEMP` and
+    // `air_temp` are near-certain variants, so compare casefolded.
+    let folded: Vec<String> = members.iter().map(|m| m.value.to_lowercase()).collect();
+    let mut total = 0.0;
+    let mut pairs = 0u64;
+    for i in 0..folded.len() {
+        for j in (i + 1)..folded.len() {
+            total += 1.0 - crate::distance::normalized_distance(&folded[i], &folded[j]);
+            pairs += 1;
+        }
+    }
+    total / pairs as f64
+}
+
+/// Groups values whose key (under `method`) collides. Only groups with two
+/// or more distinct values become clusters. Output is deterministic: clusters
+/// sorted by key.
+///
+/// ```
+/// use metamess_discover::{key_collision_clusters, KeyMethod, ValueCount};
+///
+/// let values = vec![
+///     ValueCount::new("air_temp", 40),
+///     ValueCount::new("airTemp", 3),
+///     ValueCount::new("salinity", 20),
+/// ];
+/// let clusters = key_collision_clusters(&values, KeyMethod::IdentifierFingerprint);
+/// assert_eq!(clusters.len(), 1);
+/// assert_eq!(clusters[0].canonical(), "air_temp"); // the frequent spelling wins
+/// ```
+pub fn key_collision_clusters(values: &[ValueCount], method: KeyMethod) -> Vec<Cluster> {
+    let mut by_key: BTreeMap<String, Vec<ValueCount>> = BTreeMap::new();
+    for v in values {
+        let key = method.key(&v.value);
+        if key.is_empty() {
+            continue; // unkeyable values (pure punctuation) never cluster
+        }
+        by_key.entry(key).or_default().push(v.clone());
+    }
+    let mut out = Vec::new();
+    for (key, mut members) in by_key {
+        // merge duplicates of the same literal value
+        members.sort_by(|a, b| a.value.cmp(&b.value));
+        members.dedup_by(|a, b| {
+            if a.value == b.value {
+                b.count += a.count;
+                true
+            } else {
+                false
+            }
+        });
+        if members.len() < 2 {
+            continue;
+        }
+        sort_members(&mut members);
+        let cohesion = mean_pairwise_similarity(&members);
+        out.push(Cluster { members, key, method: method.name(), cohesion });
+    }
+    out
+}
+
+/// Configuration for nearest-neighbour clustering.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KnnConfig {
+    /// Maximum edit distance to link two values.
+    pub radius: usize,
+    /// Block values by this keyer before pairing; `None` compares every pair
+    /// (quadratic — only for small sets or the blocking ablation).
+    pub blocking: Option<KeyMethod>,
+    /// Ignore values shorter than this (tiny strings link spuriously).
+    pub min_length: usize,
+}
+
+impl Default for KnnConfig {
+    fn default() -> Self {
+        KnnConfig {
+            radius: 2,
+            blocking: Some(KeyMethod::NgramFingerprint { n: 1 }),
+            min_length: 4,
+        }
+    }
+}
+
+/// Links values within `config.radius` edit distance into clusters.
+///
+/// With blocking, only values sharing a block key are compared — Refine's
+/// "blocking chars" idea; the n=1 n-gram key blocks on the character set,
+/// which edit-distance-close strings nearly always share.
+pub fn knn_clusters(values: &[ValueCount], config: &KnnConfig) -> Vec<Cluster> {
+    // Deduplicate literal values first.
+    let mut uniq: BTreeMap<String, u64> = BTreeMap::new();
+    for v in values {
+        *uniq.entry(v.value.clone()).or_insert(0) += v.count;
+    }
+    let items: Vec<ValueCount> =
+        uniq.into_iter().map(|(value, count)| ValueCount { value, count }).collect();
+    let n = items.len();
+    let mut uf = UnionFind::new(n);
+    let mut link_distances: Vec<Vec<usize>> = vec![Vec::new(); n];
+
+    let compare = |uf: &mut UnionFind, dists: &mut Vec<Vec<usize>>, i: usize, j: usize| {
+        let a = &items[i].value;
+        let b = &items[j].value;
+        if a.chars().count() < config.min_length || b.chars().count() < config.min_length {
+            return;
+        }
+        if let Some(d) = levenshtein_bounded(a, b, config.radius) {
+            if d > 0 {
+                uf.union(i, j);
+                dists[i].push(d);
+                dists[j].push(d);
+            }
+        }
+    };
+
+    match &config.blocking {
+        Some(method) => {
+            let mut blocks: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+            for (ix, it) in items.iter().enumerate() {
+                blocks.entry(method.key(&it.value)).or_default().push(ix);
+            }
+            for block in blocks.values() {
+                for (a, &i) in block.iter().enumerate() {
+                    for &j in &block[a + 1..] {
+                        compare(&mut uf, &mut link_distances, i, j);
+                    }
+                }
+            }
+        }
+        None => {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    compare(&mut uf, &mut link_distances, i, j);
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for group in uf.groups() {
+        if group.len() < 2 {
+            continue;
+        }
+        let mut members: Vec<ValueCount> = group.iter().map(|&ix| items[ix].clone()).collect();
+        sort_members(&mut members);
+        // Cohesion from link distances: 1 - mean(d)/radius, clamped.
+        let ds: Vec<usize> = group.iter().flat_map(|&ix| link_distances[ix].iter().copied()).collect();
+        let cohesion = if ds.is_empty() {
+            0.0
+        } else {
+            let mean = ds.iter().sum::<usize>() as f64 / ds.len() as f64;
+            (1.0 - mean / (config.radius.max(1) as f64 + 1.0)).clamp(0.0, 1.0)
+        };
+        let key = members[0].value.clone();
+        out.push(Cluster { members, key, method: format!("knn-lev{}", config.radius), cohesion });
+    }
+    out.sort_by(|a, b| a.key.cmp(&b.key));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vc(pairs: &[(&str, u64)]) -> Vec<ValueCount> {
+        pairs.iter().map(|(v, c)| ValueCount::new(*v, *c)).collect()
+    }
+
+    #[test]
+    fn key_collision_basic() {
+        let values = vc(&[
+            ("air_temp", 10),
+            ("airTemp", 3),
+            ("AIR TEMP", 1),
+            ("salinity", 20),
+        ]);
+        let clusters = key_collision_clusters(&values, KeyMethod::IdentifierFingerprint);
+        assert_eq!(clusters.len(), 1);
+        let c = &clusters[0];
+        assert_eq!(c.members.len(), 3);
+        assert_eq!(c.canonical(), "air_temp"); // highest count
+        assert_eq!(c.total_count(), 14);
+        assert!(c.cohesion > 0.3);
+    }
+
+    #[test]
+    fn key_collision_merges_duplicate_literals() {
+        let values = vc(&[("x_y", 1), ("x_y", 2), ("xY", 1)]);
+        let clusters = key_collision_clusters(&values, KeyMethod::IdentifierFingerprint);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].members[0], ValueCount::new("x_y", 3));
+    }
+
+    #[test]
+    fn key_collision_singletons_are_not_clusters() {
+        let values = vc(&[("alpha", 1), ("beta", 1)]);
+        assert!(key_collision_clusters(&values, KeyMethod::Fingerprint).is_empty());
+    }
+
+    #[test]
+    fn key_collision_deterministic_order() {
+        let values = vc(&[("b a", 1), ("a b", 1), ("z w", 1), ("w z", 1)]);
+        let c1 = key_collision_clusters(&values, KeyMethod::Fingerprint);
+        let c2 = key_collision_clusters(&values, KeyMethod::Fingerprint);
+        assert_eq!(c1, c2);
+        assert_eq!(c1.len(), 2);
+        assert!(c1[0].key < c1[1].key);
+    }
+
+    #[test]
+    fn canonical_tie_broken_lexicographically() {
+        let values = vc(&[("a b", 5), ("b a", 5)]);
+        let clusters = key_collision_clusters(&values, KeyMethod::Fingerprint);
+        assert_eq!(clusters[0].canonical(), "a b");
+    }
+
+    #[test]
+    fn knn_links_misspellings() {
+        let values = vc(&[
+            ("air_temperature", 50),
+            ("air_temperatrue", 2), // transposition (distance 2 in Levenshtein)
+            ("air_temperture", 1),  // dropped letter
+            ("salinity", 30),
+        ]);
+        let clusters = knn_clusters(&values, &KnnConfig::default());
+        assert_eq!(clusters.len(), 1);
+        let c = &clusters[0];
+        assert_eq!(c.canonical(), "air_temperature");
+        assert_eq!(c.members.len(), 3);
+        assert_eq!(c.method, "knn-lev2");
+    }
+
+    #[test]
+    fn knn_radius_controls_linking() {
+        let values = vc(&[("abcdef", 1), ("abcxyz", 1)]); // distance 3
+        let tight = knn_clusters(&values, &KnnConfig { radius: 2, blocking: None, min_length: 4 });
+        assert!(tight.is_empty());
+        let loose = knn_clusters(&values, &KnnConfig { radius: 3, blocking: None, min_length: 4 });
+        assert_eq!(loose.len(), 1);
+    }
+
+    #[test]
+    fn knn_min_length_guards_short_strings() {
+        let values = vc(&[("do", 5), ("dox", 1), ("ph", 9)]);
+        let clusters = knn_clusters(&values, &KnnConfig::default());
+        assert!(clusters.is_empty());
+    }
+
+    #[test]
+    fn knn_blocking_equivalent_on_typical_data() {
+        // Blocking on the character-set key keeps distance<=1 doubles together.
+        let values = vc(&[
+            ("water_temperature", 9),
+            ("water_temperatuer", 1), // transposition: same char set
+            ("turbidity", 5),
+            ("turbiditty", 1), // doubled letter: same char set
+        ]);
+        let blocked = knn_clusters(&values, &KnnConfig::default());
+        let unblocked =
+            knn_clusters(&values, &KnnConfig { blocking: None, ..KnnConfig::default() });
+        assert_eq!(blocked.len(), 2);
+        // Same clusters either way for this data.
+        assert_eq!(blocked, unblocked);
+    }
+
+    #[test]
+    fn knn_transitive_chains_merge() {
+        let values = vc(&[("aaaa", 1), ("aaab", 1), ("aabb", 1)]);
+        let clusters = knn_clusters(&values, &KnnConfig { radius: 1, blocking: None, min_length: 4 });
+        // aaaa-aaab at 1, aaab-aabb at 1 → one cluster of three
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].members.len(), 3);
+    }
+
+    #[test]
+    fn knn_identical_values_do_not_self_cluster() {
+        let values = vc(&[("same", 2), ("same", 3)]);
+        let clusters = knn_clusters(&values, &KnnConfig { radius: 2, blocking: None, min_length: 4 });
+        assert!(clusters.is_empty());
+    }
+
+    #[test]
+    fn cohesion_higher_for_tighter_clusters() {
+        let tight = vc(&[("abcdefgh", 1), ("abcdefgx", 1)]);
+        let loose = vc(&[("abcdefgh", 1), ("abxxefgh", 1)]);
+        let cfg = KnnConfig { radius: 3, blocking: None, min_length: 4 };
+        let ct = knn_clusters(&tight, &cfg);
+        let cl = knn_clusters(&loose, &cfg);
+        assert!(ct[0].cohesion > cl[0].cohesion);
+    }
+}

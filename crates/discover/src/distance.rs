@@ -1,0 +1,255 @@
+//! String distances for nearest-neighbour clustering.
+//!
+//! Refine's kNN clustering offers Levenshtein distance; we add the OSA
+//! (transposition-aware) variant and a bounded early-exit implementation so
+//! clustering scales to large value sets.
+
+/// Levenshtein edit distance (insert/delete/substitute, unit costs),
+/// computed over Unicode scalar values with a rolling single-row DP.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut prev_diag = row[0];
+        row[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = if ca == cb { 0 } else { 1 };
+            let val = (row[j] + 1).min(row[j + 1] + 1).min(prev_diag + cost);
+            prev_diag = row[j + 1];
+            row[j + 1] = val;
+        }
+    }
+    row[b.len()]
+}
+
+/// Bounded Levenshtein: returns `Some(d)` when `d <= max`, else `None`.
+/// Uses the banded DP, O(max · min(|a|,|b|)).
+pub fn levenshtein_bounded(a: &str, b: &str, max: usize) -> Option<usize> {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (a, b) = if a.len() > b.len() { (b, a) } else { (a, b) };
+    if b.len() - a.len() > max {
+        return None;
+    }
+    if a.is_empty() {
+        return if b.len() <= max { Some(b.len()) } else { None };
+    }
+    const BIG: usize = usize::MAX / 2;
+    let mut row: Vec<usize> = (0..=b.len()).map(|j| if j <= max { j } else { BIG }).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = (i + 1).saturating_sub(max);
+        let hi = (i + 1 + max).min(b.len());
+        let mut row_min = BIG;
+        let mut prev_diag;
+        if lo == 0 {
+            prev_diag = row[0];
+            row[0] = i + 1;
+            row_min = i + 1;
+        } else {
+            // Outside the band on the left.
+            prev_diag = row[lo - 1];
+            row[lo - 1] = BIG;
+        }
+        for j in lo.max(1)..=hi {
+            let cb = b[j - 1];
+            let cost = if ca == cb { 0 } else { 1 };
+            let up = row[j];
+            let left = if j >= 1 { row[j - 1] } else { BIG };
+            let val = (left.saturating_add(1))
+                .min(up.saturating_add(1))
+                .min(prev_diag.saturating_add(cost));
+            prev_diag = up;
+            row[j] = val;
+            row_min = row_min.min(val);
+        }
+        // Cells right of the band stay invalid.
+        for cell in row.iter_mut().skip(hi + 1) {
+            *cell = BIG;
+        }
+        if row_min > max {
+            return None;
+        }
+    }
+    let d = row[b.len()];
+    if d <= max {
+        Some(d)
+    } else {
+        None
+    }
+}
+
+/// Optimal string alignment distance: Levenshtein plus adjacent
+/// transposition (catches the classic `temperatrue` typo at distance 1).
+pub fn osa_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (n, m) = (a.len(), b.len());
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+    let mut d = vec![vec![0usize; m + 1]; n + 1];
+    for (i, item) in d.iter_mut().enumerate() {
+        item[0] = i;
+    }
+    for (j, cell) in d[0].iter_mut().enumerate() {
+        *cell = j;
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            let cost = if a[i - 1] == b[j - 1] { 0 } else { 1 };
+            let mut v = (d[i - 1][j] + 1).min(d[i][j - 1] + 1).min(d[i - 1][j - 1] + cost);
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                v = v.min(d[i - 2][j - 2] + 1);
+            }
+            d[i][j] = v;
+        }
+    }
+    d[n][m]
+}
+
+/// Normalized edit distance in `[0, 1]`: OSA distance divided by the longer
+/// length (0 = identical, 1 = nothing shared).
+pub fn normalized_distance(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    let longest = la.max(lb);
+    if longest == 0 {
+        return 0.0;
+    }
+    osa_distance(a, b) as f64 / longest as f64
+}
+
+/// Jaro similarity in `[0, 1]`.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches_a: Vec<char> = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                matches_a.push(ca);
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    let matches_b: Vec<char> =
+        b.iter().zip(b_used.iter()).filter(|(_, u)| **u).map(|(c, _)| *c).collect();
+    let t = matches_a.iter().zip(matches_b.iter()).filter(|(x, y)| x != y).count() as f64 / 2.0;
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity: Jaro boosted by shared prefix (up to 4 chars).
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a.chars().zip(b.chars()).take(4).take_while(|(x, y)| x == y).count() as f64;
+    j + prefix * 0.1 * (1.0 - j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_known() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("air_temperature", "air_temperatrue"), 2);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn osa_counts_transposition_as_one() {
+        assert_eq!(osa_distance("air_temperature", "air_temperatrue"), 1);
+        assert_eq!(osa_distance("ab", "ba"), 1);
+        assert_eq!(osa_distance("abc", "abc"), 0);
+        assert_eq!(osa_distance("ca", "abc"), 3);
+    }
+
+    #[test]
+    fn bounded_agrees_with_full() {
+        let pairs = [
+            ("kitten", "sitting"),
+            ("airtemp", "air_temp"),
+            ("salinity", "salinty"),
+            ("a", "zzzz"),
+            ("", "xy"),
+            ("same", "same"),
+        ];
+        for (a, b) in pairs {
+            let full = levenshtein(a, b);
+            for max in 0..6 {
+                let bounded = levenshtein_bounded(a, b, max);
+                if full <= max {
+                    assert_eq!(bounded, Some(full), "{a} {b} max={max}");
+                } else {
+                    assert_eq!(bounded, None, "{a} {b} max={max}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_length_gap_short_circuit() {
+        assert_eq!(levenshtein_bounded("ab", "abcdefgh", 3), None);
+    }
+
+    #[test]
+    fn normalized_bounds() {
+        assert_eq!(normalized_distance("", ""), 0.0);
+        assert_eq!(normalized_distance("abc", "abc"), 0.0);
+        assert_eq!(normalized_distance("abc", "xyz"), 1.0);
+        let d = normalized_distance("airtemp", "air_temp");
+        assert!(d > 0.0 && d < 0.5, "{d}");
+    }
+
+    #[test]
+    fn jaro_known_values() {
+        assert!((jaro("martha", "marhta") - 0.944444).abs() < 1e-4);
+        assert!((jaro_winkler("martha", "marhta") - 0.961111).abs() < 1e-4);
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+        assert_eq!(jaro("abc", "abc"), 1.0);
+    }
+
+    #[test]
+    fn jaro_winkler_prefers_shared_prefix() {
+        let jw_pref = jaro_winkler("temperature", "temperatur");
+        let jw_nopref = jaro_winkler("temperature", "emperaturet");
+        assert!(jw_pref > jw_nopref);
+    }
+
+    #[test]
+    fn unicode_safe() {
+        assert_eq!(levenshtein("über", "uber"), 1);
+        assert_eq!(osa_distance("naïve", "naive"), 1);
+    }
+}

@@ -1,0 +1,226 @@
+//! Phonetic keys for key-collision clustering.
+//!
+//! Refine offers metaphone-family keyers; we implement classic **Soundex**
+//! (exact to the published algorithm) and a compact **metaphone-style** code
+//! that captures the consonant skeleton of English-ish identifiers. Both are
+//! applied token-wise by the phonetic fingerprint keyer.
+
+/// American Soundex code of a word: one letter + three digits.
+/// Non-alphabetic input yields an empty string.
+pub fn soundex(word: &str) -> String {
+    let letters: Vec<char> = word
+        .chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .map(|c| c.to_ascii_uppercase())
+        .collect();
+    let Some(&first) = letters.first() else {
+        return String::new();
+    };
+    fn code(c: char) -> u8 {
+        match c {
+            'B' | 'F' | 'P' | 'V' => 1,
+            'C' | 'G' | 'J' | 'K' | 'Q' | 'S' | 'X' | 'Z' => 2,
+            'D' | 'T' => 3,
+            'L' => 4,
+            'M' | 'N' => 5,
+            'R' => 6,
+            // 0 = vowels and the ignored H/W/Y
+            _ => 0,
+        }
+    }
+    let mut out = String::new();
+    out.push(first);
+    let mut last_code = code(first);
+    for &c in &letters[1..] {
+        let k = code(c);
+        if c == 'H' || c == 'W' {
+            // H and W do not reset the previous code.
+            continue;
+        }
+        if k != 0 && k != last_code {
+            out.push((b'0' + k) as char);
+            if out.len() == 4 {
+                return out;
+            }
+        }
+        last_code = k;
+    }
+    while out.len() < 4 {
+        out.push('0');
+    }
+    out
+}
+
+/// A compact metaphone-style consonant-skeleton code.
+///
+/// Rules (simplified from Philips' Metaphone, adequate for identifier
+/// tokens): drop vowels except when leading, fold common digraphs
+/// (PH→F, SH/CH→X, TH→0, CK→K, GH→silent-ish), map C→K/S by context,
+/// collapse doubled letters.
+pub fn metaphone_lite(word: &str) -> String {
+    let w: Vec<char> = word
+        .chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .map(|c| c.to_ascii_uppercase())
+        .collect();
+    if w.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    let mut i = 0;
+    let n = w.len();
+    let is_vowel = |c: char| matches!(c, 'A' | 'E' | 'I' | 'O' | 'U');
+    while i < n {
+        let c = w[i];
+        let next = w.get(i + 1).copied();
+        // collapse doubles (except leading)
+        if i > 0 && w[i - 1] == c {
+            i += 1;
+            continue;
+        }
+        match c {
+            'A' | 'E' | 'I' | 'O' | 'U' => {
+                if i == 0 {
+                    out.push(c);
+                }
+            }
+            'P' => {
+                if next == Some('H') {
+                    out.push('F');
+                    i += 1;
+                } else {
+                    out.push('P');
+                }
+            }
+            'S' => {
+                if next == Some('H') {
+                    out.push('X');
+                    i += 1;
+                } else {
+                    out.push('S');
+                }
+            }
+            'C' => {
+                if next == Some('H') {
+                    out.push('X');
+                    i += 1;
+                } else if next == Some('K') {
+                    out.push('K');
+                    i += 1;
+                } else if matches!(next, Some('E') | Some('I') | Some('Y')) {
+                    out.push('S');
+                } else {
+                    out.push('K');
+                }
+            }
+            'T' => {
+                if next == Some('H') {
+                    out.push('0');
+                    i += 1;
+                } else {
+                    out.push('T');
+                }
+            }
+            'G' => {
+                if next == Some('H') {
+                    // GH: silent before a consonant / at end; F-ish folded to K
+                    i += 1;
+                    out.push('K');
+                } else {
+                    out.push('K');
+                }
+            }
+            'D' => out.push('T'),
+            'K' => out.push('K'),
+            'Q' => out.push('K'),
+            'X' => out.push_str("KS"),
+            'Z' => out.push('S'),
+            'V' => out.push('F'),
+            'W' | 'Y' => {
+                // keep only when followed by a vowel
+                if next.is_some_and(is_vowel) {
+                    out.push(c);
+                }
+            }
+            'H' => {
+                // keep H only between vowels
+                let prev_vowel = i > 0 && is_vowel(w[i - 1]);
+                if prev_vowel && next.is_some_and(is_vowel) {
+                    out.push('H');
+                }
+            }
+            other => out.push(other),
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soundex_published_vectors() {
+        // Canonical examples from the Soundex specification.
+        assert_eq!(soundex("Robert"), "R163");
+        assert_eq!(soundex("Rupert"), "R163");
+        assert_eq!(soundex("Ashcraft"), "A261");
+        assert_eq!(soundex("Ashcroft"), "A261");
+        assert_eq!(soundex("Tymczak"), "T522");
+        assert_eq!(soundex("Pfister"), "P236");
+        assert_eq!(soundex("Honeyman"), "H555");
+    }
+
+    #[test]
+    fn soundex_padding_and_empty() {
+        assert_eq!(soundex("Lee"), "L000");
+        assert_eq!(soundex(""), "");
+        assert_eq!(soundex("123"), "");
+    }
+
+    #[test]
+    fn soundex_case_insensitive() {
+        assert_eq!(soundex("ROBERT"), soundex("robert"));
+    }
+
+    #[test]
+    fn metaphone_groups_misspellings() {
+        // The motivating pairs: misspellings share a code.
+        assert_eq!(metaphone_lite("temperature"), metaphone_lite("temperture"));
+        assert_eq!(metaphone_lite("salinity"), metaphone_lite("salinitee"));
+        assert_eq!(metaphone_lite("fosfate"), metaphone_lite("phosphate"));
+    }
+
+    #[test]
+    fn metaphone_distinguishes_different_words() {
+        assert_ne!(metaphone_lite("temperature"), metaphone_lite("turbidity"));
+        assert_ne!(metaphone_lite("salinity"), metaphone_lite("velocity"));
+    }
+
+    #[test]
+    fn metaphone_digraphs() {
+        assert!(metaphone_lite("photo").starts_with('F'));
+        assert!(metaphone_lite("shale").starts_with('X'));
+        assert!(metaphone_lite("charm").starts_with('X'));
+        assert!(metaphone_lite("thick").starts_with('0'));
+    }
+
+    #[test]
+    fn metaphone_c_contexts() {
+        assert!(metaphone_lite("cell").starts_with('S'));
+        assert!(metaphone_lite("call").starts_with('K'));
+    }
+
+    #[test]
+    fn metaphone_collapses_doubles() {
+        assert_eq!(metaphone_lite("bb"), metaphone_lite("b"));
+        assert_eq!(metaphone_lite("aggregate"), metaphone_lite("agregate"));
+    }
+
+    #[test]
+    fn metaphone_empty_and_symbols() {
+        assert_eq!(metaphone_lite(""), "");
+        assert_eq!(metaphone_lite("_-42"), "");
+    }
+}

@@ -1,0 +1,164 @@
+//! Turning discovered clusters into Refine `core/mass-edit` rules —
+//! the export side of the poster's Google-Refine round trip.
+
+use crate::cluster::Cluster;
+use metamess_transform::Operation;
+use serde::{Deserialize, Serialize};
+
+/// A proposed transformation rule awaiting curator review.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuleProposal {
+    /// The executable operation (always a `core/mass-edit`).
+    pub operation: Operation,
+    /// Canonical value the variants map to.
+    pub to: String,
+    /// Variant values being folded.
+    pub from: Vec<String>,
+    /// Discovery method (e.g. `fingerprint`, `knn-lev2`).
+    pub method: String,
+    /// Confidence in `[0, 1]`; see [`confidence`].
+    pub confidence: f64,
+    /// Rows affected if applied.
+    pub support: u64,
+}
+
+/// Confidence of a cluster-derived rule.
+///
+/// Blends two signals, both in `[0, 1]`:
+/// * **cohesion** — how similar the members are;
+/// * **dominance** — how much more frequent the canonical member is than the
+///   variants (a 100:1 split is a typo; a 50:50 split might be two real
+///   variables).
+pub fn confidence(cluster: &Cluster) -> f64 {
+    let total = cluster.total_count().max(1) as f64;
+    let canonical_count = cluster.members[0].count as f64;
+    let dominance = canonical_count / total;
+    0.6 * cluster.cohesion + 0.4 * dominance
+}
+
+/// Converts one cluster into a rule proposal for `column`.
+pub fn cluster_to_rule(cluster: &Cluster, column: &str) -> RuleProposal {
+    let to = cluster.canonical().to_string();
+    let from: Vec<String> = cluster.variants().map(|m| m.value.clone()).collect();
+    let support = cluster.variants().map(|m| m.count).sum();
+    RuleProposal {
+        operation: Operation::mass_edit(column, from.clone(), &to),
+        to,
+        from,
+        method: cluster.method.clone(),
+        confidence: confidence(cluster),
+        support,
+    }
+}
+
+/// Converts clusters into proposals, highest confidence first.
+pub fn clusters_to_rules(clusters: &[Cluster], column: &str) -> Vec<RuleProposal> {
+    let mut out: Vec<RuleProposal> = clusters.iter().map(|c| cluster_to_rule(c, column)).collect();
+    out.sort_by(|a, b| {
+        b.confidence
+            .partial_cmp(&a.confidence)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.to.cmp(&b.to))
+    });
+    out
+}
+
+/// Extracts the operations from accepted proposals, ready for
+/// [`metamess_transform::apply_operations`] or JSON export.
+pub fn accepted_operations(proposals: &[RuleProposal], min_confidence: f64) -> Vec<Operation> {
+    proposals
+        .iter()
+        .filter(|p| p.confidence >= min_confidence)
+        .map(|p| p.operation.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{key_collision_clusters, ValueCount};
+    use crate::keys::KeyMethod;
+    use metamess_transform::{apply_operations, operations_to_json, parse_operations};
+    use metamess_core::value::Record;
+
+    fn clusters() -> Vec<Cluster> {
+        let values = vec![
+            ValueCount::new("air_temp", 40),
+            ValueCount::new("airTemp", 3),
+            ValueCount::new("wind speed", 10),
+            ValueCount::new("Wind_Speed", 9),
+        ];
+        key_collision_clusters(&values, KeyMethod::IdentifierFingerprint)
+    }
+
+    #[test]
+    fn rule_shape() {
+        let cs = clusters();
+        let rules = clusters_to_rules(&cs, "field");
+        assert_eq!(rules.len(), 2);
+        let air = rules.iter().find(|r| r.to == "air_temp").unwrap();
+        assert_eq!(air.from, vec!["airTemp".to_string()]);
+        assert_eq!(air.support, 3);
+        match &air.operation {
+            Operation::MassEdit { column_name, edits, .. } => {
+                assert_eq!(column_name, "field");
+                assert_eq!(edits[0].to, "air_temp");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn confidence_favors_dominant_canonical() {
+        let cs = clusters();
+        let rules = clusters_to_rules(&cs, "field");
+        let air = rules.iter().find(|r| r.to == "air_temp").unwrap();
+        let wind = rules.iter().find(|r| r.to == "wind speed").unwrap();
+        // air_temp dominates 40:3; wind speed is an even 10:9 split.
+        assert!(air.confidence > wind.confidence);
+        // and the list is sorted accordingly
+        assert_eq!(rules[0].to, "air_temp");
+    }
+
+    #[test]
+    fn confidence_bounds() {
+        for c in clusters() {
+            let conf = confidence(&c);
+            assert!((0.0..=1.0).contains(&conf), "{conf}");
+        }
+    }
+
+    #[test]
+    fn accept_threshold_filters() {
+        let cs = clusters();
+        let rules = clusters_to_rules(&cs, "field");
+        let all = accepted_operations(&rules, 0.0);
+        assert_eq!(all.len(), 2);
+        let none = accepted_operations(&rules, 1.01);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn exported_rules_round_trip_and_apply() {
+        let cs = clusters();
+        let rules = clusters_to_rules(&cs, "field");
+        let ops = accepted_operations(&rules, 0.0);
+        // Export to Refine JSON and back.
+        let json = operations_to_json(&ops);
+        let back = parse_operations(&json).unwrap();
+        assert_eq!(back, ops);
+        // Apply to a table.
+        let mut table: Vec<Record> = ["airTemp", "air_temp", "Wind_Speed"]
+            .iter()
+            .map(|f| {
+                let mut r = Record::new();
+                r.set("field", *f);
+                r
+            })
+            .collect();
+        let report = apply_operations(&mut table, &back).unwrap();
+        assert_eq!(report.total_changed(), 2);
+        assert_eq!(table[0].get("field").unwrap().as_text(), Some("air_temp"));
+        assert_eq!(table[2].get("field").unwrap().as_text(), Some("wind speed"));
+    }
+}

@@ -1,0 +1,81 @@
+//! Disjoint-set forest used to merge candidate pairs into clusters.
+
+/// Union-find with path halving and union by size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> UnionFind {
+        UnionFind { parent: (0..n).collect(), size: vec![1; n] }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns false when already joined.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+        true
+    }
+
+    /// Groups element indices by representative, each group sorted, groups
+    /// ordered by their smallest element (deterministic output).
+    pub fn groups(&mut self) -> Vec<Vec<usize>> {
+        let n = self.parent.len();
+        let mut by_root: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+        for i in 0..n {
+            let r = self.find(i);
+            by_root.entry(r).or_default().push(i);
+        }
+        let mut out: Vec<Vec<usize>> = by_root.into_values().collect();
+        out.sort_by_key(|g| g[0]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons() {
+        let mut u = UnionFind::new(3);
+        assert_eq!(u.groups(), vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn union_and_groups() {
+        let mut u = UnionFind::new(5);
+        assert!(u.union(0, 2));
+        assert!(u.union(3, 4));
+        assert!(!u.union(2, 0));
+        assert_eq!(u.groups(), vec![vec![0, 2], vec![1], vec![3, 4]]);
+    }
+
+    #[test]
+    fn transitive_union() {
+        let mut u = UnionFind::new(4);
+        u.union(0, 1);
+        u.union(1, 2);
+        assert_eq!(u.find(0), u.find(2));
+        assert_eq!(u.groups()[0], vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests for distances, keys, and clustering invariants.
+
+use metamess_discover::*;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn levenshtein_metric_axioms(a in "[a-z_]{0,12}", b in "[a-z_]{0,12}", c in "[a-z_]{0,12}") {
+        let dab = levenshtein(&a, &b);
+        let dba = levenshtein(&b, &a);
+        prop_assert_eq!(dab, dba);                     // symmetry
+        prop_assert_eq!(levenshtein(&a, &a), 0);       // identity
+        if a != b { prop_assert!(dab > 0); }           // separation
+        let dac = levenshtein(&a, &c);
+        let dcb = levenshtein(&c, &b);
+        prop_assert!(dab <= dac + dcb);                // triangle inequality
+        // bounded by longer length
+        prop_assert!(dab <= a.chars().count().max(b.chars().count()));
+        // at least the length difference
+        prop_assert!(dab >= a.chars().count().abs_diff(b.chars().count()));
+    }
+
+    #[test]
+    fn osa_never_exceeds_levenshtein(a in "[a-z]{0,10}", b in "[a-z]{0,10}") {
+        prop_assert!(osa_distance(&a, &b) <= levenshtein(&a, &b));
+    }
+
+    #[test]
+    fn bounded_levenshtein_agrees(a in "[a-z_]{0,10}", b in "[a-z_]{0,10}", max in 0usize..6) {
+        let full = levenshtein(&a, &b);
+        match levenshtein_bounded(&a, &b, max) {
+            Some(d) => { prop_assert_eq!(d, full); prop_assert!(d <= max); }
+            None => prop_assert!(full > max),
+        }
+    }
+
+    #[test]
+    fn normalized_distance_in_unit_interval(a in "[ -~]{0,16}", b in "[ -~]{0,16}") {
+        let d = normalized_distance(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&d));
+        prop_assert_eq!(normalized_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn jaro_winkler_in_unit_interval(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
+        let s = jaro_winkler(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s), "{}", s);
+        prop_assert!((jaro_winkler(&a, &b) - jaro_winkler(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fingerprint_is_idempotent_and_order_invariant(
+        words in prop::collection::vec("[a-z]{1,6}", 1..5)) {
+        let joined = words.join(" ");
+        let mut shuffled = words.clone();
+        shuffled.reverse();
+        let rejoined = shuffled.join("  ");
+        prop_assert_eq!(fingerprint_key(&joined), fingerprint_key(&rejoined));
+        let k = fingerprint_key(&joined);
+        prop_assert_eq!(fingerprint_key(&k), k);
+    }
+
+    #[test]
+    fn keys_never_panic_on_arbitrary_input(s in "\\PC{0,24}") {
+        for m in [
+            KeyMethod::Fingerprint,
+            KeyMethod::IdentifierFingerprint,
+            KeyMethod::NgramFingerprint { n: 2 },
+            KeyMethod::Metaphone,
+            KeyMethod::Soundex,
+        ] {
+            let _ = m.key(&s);
+        }
+        let _ = soundex(&s);
+        let _ = metaphone_lite(&s);
+    }
+
+    #[test]
+    fn clusters_partition_their_members(
+        values in prop::collection::vec(("[a-zA-Z_ ]{1,10}", 1u64..20), 1..30)) {
+        let vcs: Vec<ValueCount> =
+            values.iter().map(|(v, c)| ValueCount::new(v.clone(), *c)).collect();
+        let clusters = key_collision_clusters(&vcs, KeyMethod::Fingerprint);
+        // every member value appears in at most one cluster
+        let mut seen = std::collections::HashSet::new();
+        for c in &clusters {
+            prop_assert!(c.members.len() >= 2);
+            for m in &c.members {
+                prop_assert!(seen.insert(m.value.clone()), "value {} in two clusters", m.value);
+            }
+            // members of a cluster share the cluster key
+            for m in &c.members {
+                prop_assert_eq!(KeyMethod::Fingerprint.key(&m.value), c.key.clone());
+            }
+            // canonical has the max count
+            let maxc = c.members.iter().map(|m| m.count).max().unwrap();
+            prop_assert_eq!(c.members[0].count, maxc);
+        }
+    }
+
+    #[test]
+    fn knn_members_within_radius_of_some_member(
+        values in prop::collection::vec("[a-z]{4,8}", 2..15)) {
+        let vcs: Vec<ValueCount> = values.iter().map(|v| ValueCount::new(v.clone(), 1)).collect();
+        let cfg = KnnConfig { radius: 2, blocking: None, min_length: 4 };
+        let clusters = knn_clusters(&vcs, &cfg);
+        for c in &clusters {
+            for m in &c.members {
+                // connectivity: some other member within the radius
+                let linked = c.members.iter().any(|o| {
+                    o.value != m.value && levenshtein(&o.value, &m.value) <= cfg.radius
+                });
+                prop_assert!(linked, "member {} unlinked in cluster {:?}", m.value, c.key);
+            }
+        }
+    }
+
+    #[test]
+    fn blocking_is_a_subset_of_unblocked(values in prop::collection::vec("[a-z]{4,7}", 2..12)) {
+        let vcs: Vec<ValueCount> = values.iter().map(|v| ValueCount::new(v.clone(), 1)).collect();
+        let unblocked = knn_clusters(&vcs, &KnnConfig { radius: 2, blocking: None, min_length: 4 });
+        let blocked = knn_clusters(&vcs, &KnnConfig::default());
+        // Every blocked pair-link also exists unblocked, so blocked clusters
+        // are refinements: each blocked cluster's members all appear together
+        // in one unblocked cluster.
+        for bc in &blocked {
+            let holder = unblocked.iter().find(|uc| {
+                bc.members.iter().all(|m| uc.members.iter().any(|u| u.value == m.value))
+            });
+            prop_assert!(holder.is_some());
+        }
+    }
+
+    #[test]
+    fn rule_confidence_in_unit_interval(
+        values in prop::collection::vec(("[a-zA-Z_]{1,8}", 1u64..50), 2..20)) {
+        let vcs: Vec<ValueCount> =
+            values.iter().map(|(v, c)| ValueCount::new(v.clone(), *c)).collect();
+        let clusters = key_collision_clusters(&vcs, KeyMethod::IdentifierFingerprint);
+        for r in clusters_to_rules(&clusters, "field") {
+            prop_assert!((0.0..=1.0).contains(&r.confidence));
+            prop_assert!(!r.from.is_empty());
+            prop_assert!(!r.from.contains(&r.to));
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! CDL-lite: a textual NetCDF-style format.
+//!
+//! Moored-sensor archives commonly publish NetCDF; its text rendering (CDL)
+//! is what `ncdump` prints. This module parses and writes the subset the
+//! synthetic archive uses:
+//!
+//! ```text
+//! netcdf saturn01_201006 {
+//! dimensions:
+//!     time = 240 ;
+//! variables:
+//!     double water_temp(time) ;
+//!         water_temp:units = "degC" ;
+//!         water_temp:long_name = "water temperature" ;
+//! // global attributes:
+//!     :station = "saturn01" ;
+//!     :latitude = 46.18 ;
+//! data:
+//!  water_temp = 10.1, 10.2, _ ;
+//! }
+//! ```
+//!
+//! `_` is the CDL fill/missing marker.
+
+use crate::model::{ColumnDef, FormatKind, ParsedFile};
+use metamess_core::error::{Error, Result};
+use metamess_core::value::{Record, Value};
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Section {
+    Preamble,
+    Dimensions,
+    Variables,
+    Data,
+}
+
+fn unquote(s: &str) -> String {
+    let s = s.trim();
+    if s.len() >= 2 && s.starts_with('"') && s.ends_with('"') {
+        s[1..s.len() - 1].replace("\\\"", "\"")
+    } else {
+        s.to_string()
+    }
+}
+
+/// Parses CDL-lite text.
+pub fn parse_cdl(text: &str) -> Result<ParsedFile> {
+    let mut out = ParsedFile::new(FormatKind::Cdl);
+    let mut section = Section::Preamble;
+    let mut name_seen = false;
+    let mut data: Vec<(String, Vec<Value>)> = Vec::new();
+    // Data statements can span lines until ';'. Accumulate.
+    let mut pending = String::new();
+
+    for (ln0, raw) in text.lines().enumerate() {
+        let ln = ln0 + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with("//") {
+            continue; // comments, incl. "// global attributes:"
+        }
+        if !name_seen {
+            let rest = line
+                .strip_prefix("netcdf")
+                .ok_or_else(|| Error::parse_at("cdl", "expected 'netcdf <name> {'", ln))?;
+            let name = rest.trim().trim_end_matches('{').trim();
+            if name.is_empty() {
+                return Err(Error::parse_at("cdl", "missing dataset name", ln));
+            }
+            out.metadata.insert("dataset_name".into(), name.to_string());
+            name_seen = true;
+            continue;
+        }
+        match line {
+            "dimensions:" => {
+                section = Section::Dimensions;
+                continue;
+            }
+            "variables:" => {
+                section = Section::Variables;
+                continue;
+            }
+            "data:" => {
+                section = Section::Data;
+                continue;
+            }
+            "}" => break,
+            _ => {}
+        }
+        match section {
+            Section::Preamble => {
+                return Err(Error::parse_at("cdl", format!("unexpected line '{line}'"), ln))
+            }
+            Section::Dimensions => {
+                // `time = 240 ;` — recorded as metadata for validation.
+                let stmt = line.trim_end_matches(';').trim();
+                if let Some((k, v)) = stmt.split_once('=') {
+                    out.metadata
+                        .insert(format!("dim_{}", k.trim().to_ascii_lowercase()), v.trim().into());
+                }
+            }
+            Section::Variables => {
+                let stmt = line.trim_end_matches(';').trim();
+                if let Some((lhs, rhs)) = stmt.split_once('=') {
+                    // attribute: `var:attr = value` or global `:attr = value`
+                    let lhs = lhs.trim();
+                    let rhs = unquote(rhs.trim());
+                    let (var, attr) = lhs
+                        .split_once(':')
+                        .ok_or_else(|| Error::parse_at("cdl", "attribute without ':'", ln))?;
+                    let var = var.trim();
+                    let attr = attr.trim().to_ascii_lowercase();
+                    if var.is_empty() {
+                        out.metadata.insert(attr, rhs);
+                    } else {
+                        let col = out.columns.iter_mut().find(|c| c.name == var).ok_or_else(
+                            || Error::parse_at("cdl", format!("attribute for undeclared variable '{var}'"), ln),
+                        )?;
+                        match attr.as_str() {
+                            "units" => col.unit = Some(rhs),
+                            "long_name" => col.description = Some(rhs),
+                            _ => {} // other attributes tolerated
+                        }
+                    }
+                } else {
+                    // declaration: `double water_temp(time)`
+                    let mut parts = stmt.split_whitespace();
+                    let _ty = parts
+                        .next()
+                        .ok_or_else(|| Error::parse_at("cdl", "empty declaration", ln))?;
+                    let rest: String = parts.collect::<Vec<_>>().join(" ");
+                    let name = rest.split('(').next().unwrap_or("").trim();
+                    if name.is_empty() {
+                        return Err(Error::parse_at("cdl", "variable declaration without name", ln));
+                    }
+                    if out.columns.iter().any(|c| c.name == name) {
+                        return Err(Error::parse_at("cdl", format!("duplicate variable '{name}'"), ln));
+                    }
+                    out.columns.push(ColumnDef::new(name));
+                }
+            }
+            Section::Data => {
+                pending.push(' ');
+                pending.push_str(line);
+                if !line.ends_with(';') {
+                    continue;
+                }
+                let stmt = pending.trim().trim_end_matches(';').trim().to_string();
+                pending.clear();
+                let (var, list) = stmt
+                    .split_once('=')
+                    .ok_or_else(|| Error::parse_at("cdl", "data statement without '='", ln))?;
+                let var = var.trim();
+                if out.column(var).is_none() {
+                    return Err(Error::parse_at(
+                        "cdl",
+                        format!("data for undeclared variable '{var}'"),
+                        ln,
+                    ));
+                }
+                let values: Vec<Value> = list
+                    .split(',')
+                    .map(|tok| {
+                        let tok = tok.trim();
+                        if tok == "_" {
+                            Value::Null
+                        } else {
+                            Value::sniff(&unquote(tok))
+                        }
+                    })
+                    .collect();
+                data.push((var.to_string(), values));
+            }
+        }
+    }
+    if !name_seen {
+        return Err(Error::parse("cdl", "empty file"));
+    }
+    if !pending.trim().is_empty() {
+        return Err(Error::parse("cdl", "unterminated data statement"));
+    }
+
+    // Zip per-variable data vectors into rows.
+    let nrows = data.iter().map(|(_, v)| v.len()).max().unwrap_or(0);
+    for i in 0..nrows {
+        let mut rec = Record::new();
+        for col in &out.columns {
+            let v = data
+                .iter()
+                .find(|(n, _)| n == &col.name)
+                .and_then(|(_, vs)| vs.get(i).cloned())
+                .unwrap_or(Value::Null);
+            rec.set(col.name.clone(), v);
+        }
+        out.rows.push(rec);
+    }
+    Ok(out)
+}
+
+/// Writes a [`ParsedFile`] as CDL-lite text (inverse of [`parse_cdl`]).
+pub fn write_cdl(file: &ParsedFile) -> String {
+    let name = file.meta("dataset_name").unwrap_or("dataset");
+    let mut out = format!("netcdf {name} {{\n");
+    out.push_str("dimensions:\n");
+    out.push_str(&format!("    time = {} ;\n", file.rows.len()));
+    out.push_str("variables:\n");
+    for c in &file.columns {
+        out.push_str(&format!("    double {}(time) ;\n", c.name));
+        if let Some(u) = &c.unit {
+            out.push_str(&format!("        {}:units = \"{}\" ;\n", c.name, u));
+        }
+        if let Some(d) = &c.description {
+            out.push_str(&format!("        {}:long_name = \"{}\" ;\n", c.name, d));
+        }
+    }
+    out.push_str("// global attributes:\n");
+    for (k, v) in &file.metadata {
+        if k == "dataset_name" || k.starts_with("dim_") {
+            continue;
+        }
+        match v.parse::<f64>() {
+            Ok(_) => out.push_str(&format!("    :{k} = {v} ;\n")),
+            Err(_) => out.push_str(&format!("    :{k} = \"{v}\" ;\n")),
+        }
+    }
+    out.push_str("data:\n");
+    // a zero-row file writes no data statements (an empty list would read
+    // back as one null cell)
+    let columns: &[ColumnDef] = if file.rows.is_empty() { &[] } else { &file.columns };
+    for c in columns {
+        let rendered: Vec<String> = file
+            .rows
+            .iter()
+            .map(|r| {
+                let v = r.get(&c.name).cloned().unwrap_or(Value::Null);
+                match v {
+                    Value::Null => "_".to_string(),
+                    Value::Text(s) => format!("\"{s}\""),
+                    other => other.render().into_owned(),
+                }
+            })
+            .collect();
+        out.push_str(&format!(" {} = {} ;\n", c.name, rendered.join(", ")));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"netcdf saturn01_201006 {
+dimensions:
+    time = 3 ;
+variables:
+    double water_temp(time) ;
+        water_temp:units = "degC" ;
+        water_temp:long_name = "water temperature" ;
+    double sal(time) ;
+        sal:units = "PSU" ;
+// global attributes:
+    :station = "saturn01" ;
+    :latitude = 46.18 ;
+    :longitude = -123.18 ;
+data:
+ water_temp = 10.1, 10.2, _ ;
+ sal = 28.0, 28.5,
+       29.0 ;
+}
+"#;
+
+    #[test]
+    fn parse_sample() {
+        let p = parse_cdl(SAMPLE).unwrap();
+        assert_eq!(p.meta("dataset_name"), Some("saturn01_201006"));
+        assert_eq!(p.meta("station"), Some("saturn01"));
+        assert_eq!(p.meta_f64("latitude"), Some(46.18));
+        assert_eq!(p.columns.len(), 2);
+        assert_eq!(p.column("water_temp").unwrap().unit.as_deref(), Some("degC"));
+        assert_eq!(
+            p.column("water_temp").unwrap().description.as_deref(),
+            Some("water temperature")
+        );
+        assert_eq!(p.rows.len(), 3);
+        assert!(p.rows[2].get("water_temp").unwrap().is_null()); // the `_`
+        assert_eq!(p.rows[2].get("sal"), Some(&Value::Float(29.0)));
+    }
+
+    #[test]
+    fn multiline_data_statement() {
+        let p = parse_cdl(SAMPLE).unwrap();
+        assert_eq!(p.rows[1].get("sal"), Some(&Value::Float(28.5)));
+    }
+
+    #[test]
+    fn dimension_recorded() {
+        let p = parse_cdl(SAMPLE).unwrap();
+        assert_eq!(p.meta("dim_time"), Some("3"));
+    }
+
+    #[test]
+    fn round_trip() {
+        let p = parse_cdl(SAMPLE).unwrap();
+        let text = write_cdl(&p);
+        let back = parse_cdl(&text).unwrap();
+        assert_eq!(back.columns, p.columns);
+        assert_eq!(back.rows, p.rows);
+        assert_eq!(back.meta("station"), Some("saturn01"));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_cdl("").is_err());
+        assert!(parse_cdl("not a cdl file").is_err());
+        assert!(parse_cdl("netcdf {\n}").is_err()); // missing name
+        // attribute for undeclared variable
+        let bad = "netcdf x {\nvariables:\n    ghost:units = \"m\" ;\n}";
+        assert!(parse_cdl(bad).is_err());
+        // data for undeclared variable
+        let bad2 = "netcdf x {\nvariables:\n    double a(time) ;\ndata:\n b = 1 ;\n}";
+        assert!(parse_cdl(bad2).is_err());
+        // duplicate variable
+        let bad3 = "netcdf x {\nvariables:\n double a(t) ;\n double a(t) ;\n}";
+        assert!(parse_cdl(bad3).is_err());
+        // unterminated data
+        let bad4 = "netcdf x {\nvariables:\n double a(t) ;\ndata:\n a = 1, 2\n}";
+        assert!(parse_cdl(bad4).is_err());
+    }
+
+    #[test]
+    fn global_attr_without_quotes() {
+        let t = "netcdf x {\nvariables:\n    double a(t) ;\n    :depth_m = 12.5 ;\ndata:\n a = 1 ;\n}";
+        let p = parse_cdl(t).unwrap();
+        assert_eq!(p.meta_f64("depth_m"), Some(12.5));
+    }
+
+    #[test]
+    fn ragged_data_padded_with_null() {
+        let t = "netcdf x {\nvariables:\n double a(t) ;\n double b(t) ;\ndata:\n a = 1, 2, 3 ;\n b = 9 ;\n}";
+        let p = parse_cdl(t).unwrap();
+        assert_eq!(p.rows.len(), 3);
+        assert!(p.rows[1].get("b").unwrap().is_null());
+    }
+
+    #[test]
+    fn text_values_quoted() {
+        let t = "netcdf x {\nvariables:\n double a(t) ;\ndata:\n a = \"hi\", 2 ;\n}";
+        let p = parse_cdl(t).unwrap();
+        assert_eq!(p.rows[0].get("a").unwrap().as_text(), Some("hi"));
+    }
+}

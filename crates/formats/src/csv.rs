@@ -1,0 +1,380 @@
+//! Delimited-text parser with the observatory's header conventions.
+//!
+//! The dialect family covers what station archives actually contain:
+//!
+//! * comma, tab, or semicolon delimiters (auto-detected or configured);
+//! * RFC-4180 quoting with embedded delimiters, quotes, and newlines;
+//! * a `#`-comment preamble whose `key: value` lines are file metadata;
+//! * an optional parenthesized **units row** right under the header,
+//!   e.g. `(UTC),(degC),(PSU)`;
+//! * inline unit suffixes in headers, e.g. `temp (degC)`.
+
+use crate::model::{ColumnDef, FormatKind, ParsedFile};
+use metamess_core::error::{Error, Result};
+use metamess_core::value::{Record, Value};
+
+/// Parser configuration.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field delimiter; `None` auto-detects among `,`, `\t`, `;`.
+    pub delimiter: Option<char>,
+    /// Treat lines starting with this as metadata/comment preamble.
+    pub comment: char,
+    /// Recognize a parenthesized units row under the header.
+    pub units_row: bool,
+    /// Maximum tolerated ragged rows (rows whose field count differs from
+    /// the header) before the file is rejected; ragged rows are skipped.
+    pub max_ragged_rows: usize,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions { delimiter: None, comment: '#', units_row: true, max_ragged_rows: 10 }
+    }
+}
+
+/// Splits one physical CSV text into logical records honoring quotes.
+/// Returns rows of raw fields.
+fn split_rows(text: &str, delim: char) -> Result<Vec<Vec<String>>> {
+    let mut rows = Vec::new();
+    let mut field = String::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+    let mut line = 1usize;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push(c);
+                }
+                _ => field.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                if field.is_empty() {
+                    in_quotes = true;
+                } else {
+                    return Err(Error::parse_at("csv", "quote inside unquoted field", line));
+                }
+            }
+            '\r' => {} // tolerate CRLF
+            '\n' => {
+                line += 1;
+                row.push(std::mem::take(&mut field));
+                rows.push(std::mem::take(&mut row));
+            }
+            c if c == delim => {
+                row.push(std::mem::take(&mut field));
+            }
+            _ => field.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(Error::parse_at("csv", "unterminated quoted field", line));
+    }
+    if !field.is_empty() || !row.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+/// Auto-detects the delimiter from the first non-comment line.
+fn detect_delimiter(text: &str, comment: char) -> char {
+    for raw in text.lines() {
+        let l = raw.trim();
+        if l.is_empty() || l.starts_with(comment) {
+            continue;
+        }
+        let counts = [
+            (',', l.matches(',').count()),
+            ('\t', l.matches('\t').count()),
+            (';', l.matches(';').count()),
+        ];
+        return counts.iter().max_by_key(|(_, c)| *c).map(|(d, _)| *d).unwrap_or(',');
+    }
+    ','
+}
+
+/// Extracts an inline unit from a header like `temp (degC)`.
+fn split_inline_unit(header: &str) -> (String, Option<String>) {
+    let h = header.trim();
+    if let Some(open) = h.rfind('(') {
+        if let Some(close) = h[open..].find(')') {
+            let unit = h[open + 1..open + close].trim();
+            let name = h[..open].trim();
+            if !name.is_empty() && !unit.is_empty() {
+                return (name.to_string(), Some(unit.to_string()));
+            }
+        }
+    }
+    (h.to_string(), None)
+}
+
+/// True when a row looks like a parenthesized units row: every non-empty
+/// field is `(...)`.
+fn is_units_row(fields: &[String]) -> bool {
+    let mut any = false;
+    for f in fields {
+        let f = f.trim();
+        if f.is_empty() {
+            continue;
+        }
+        if !(f.starts_with('(') && f.ends_with(')')) {
+            return false;
+        }
+        any = true;
+    }
+    any
+}
+
+/// Parses delimited text into a [`ParsedFile`].
+pub fn parse_csv(text: &str, options: &CsvOptions) -> Result<ParsedFile> {
+    let mut out = ParsedFile::new(FormatKind::Csv);
+
+    // Preamble: comment lines before the header, `key: value` harvested.
+    let mut body_start = 0usize;
+    for raw in text.split_inclusive('\n') {
+        let trimmed = raw.trim();
+        if trimmed.starts_with(options.comment) {
+            let line = trimmed.trim_start_matches(options.comment).trim();
+            if let Some((k, v)) = line.split_once(':') {
+                out.metadata.insert(k.trim().to_ascii_lowercase(), v.trim().to_string());
+            }
+            body_start += raw.len();
+        } else if trimmed.is_empty() {
+            body_start += raw.len();
+        } else {
+            break;
+        }
+    }
+    let body = &text[body_start..];
+    if body.trim().is_empty() {
+        return Err(Error::parse("csv", "no header row"));
+    }
+
+    let delim = options.delimiter.unwrap_or_else(|| detect_delimiter(body, options.comment));
+    let mut rows = split_rows(body, delim)?;
+    // Drop trailing all-empty rows.
+    while rows.last().is_some_and(|r| r.iter().all(|f| f.trim().is_empty())) {
+        rows.pop();
+    }
+    if rows.is_empty() {
+        return Err(Error::parse("csv", "no header row"));
+    }
+    let header = rows.remove(0);
+    let mut columns: Vec<ColumnDef> = Vec::with_capacity(header.len());
+    for h in &header {
+        let (name, unit) = split_inline_unit(h);
+        if name.is_empty() {
+            return Err(Error::parse("csv", "empty column name in header"));
+        }
+        if columns.iter().any(|c| c.name == name) {
+            return Err(Error::parse("csv", format!("duplicate column '{name}'")));
+        }
+        columns.push(ColumnDef { name, unit, description: None });
+    }
+
+    // Optional units row.
+    if options.units_row {
+        if let Some(first) = rows.first() {
+            if is_units_row(first) {
+                let units = rows.remove(0);
+                for (c, u) in columns.iter_mut().zip(units.iter()) {
+                    let u = u.trim().trim_start_matches('(').trim_end_matches(')').trim();
+                    if !u.is_empty() && c.unit.is_none() {
+                        c.unit = Some(u.to_string());
+                    }
+                }
+            }
+        }
+    }
+
+    let mut ragged = 0usize;
+    for fields in rows {
+        if fields.iter().all(|f| f.trim().is_empty()) {
+            continue;
+        }
+        if fields.len() != columns.len() {
+            ragged += 1;
+            if ragged > options.max_ragged_rows {
+                return Err(Error::parse(
+                    "csv",
+                    format!("more than {} ragged rows", options.max_ragged_rows),
+                ));
+            }
+            continue;
+        }
+        let mut rec = Record::new();
+        for (c, f) in columns.iter().zip(fields.iter()) {
+            rec.set(c.name.clone(), Value::sniff(f));
+        }
+        out.rows.push(rec);
+    }
+    out.columns = columns;
+    Ok(out)
+}
+
+/// Serializes a [`ParsedFile`] back to CSV (used by the archive generator).
+/// Writes the comment preamble, header (with inline units when present), and
+/// rows; quotes fields containing the delimiter, quotes, or newlines.
+pub fn write_csv(file: &ParsedFile, delimiter: char) -> String {
+    let mut out = String::new();
+    for (k, v) in &file.metadata {
+        out.push_str(&format!("# {k}: {v}\n"));
+    }
+    let quote = |s: &str| -> String {
+        if s.contains(delimiter) || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    };
+    let headers: Vec<String> = file
+        .columns
+        .iter()
+        .map(|c| match &c.unit {
+            Some(u) => quote(&format!("{} ({})", c.name, u)),
+            None => quote(&c.name),
+        })
+        .collect();
+    out.push_str(&headers.join(&delimiter.to_string()));
+    out.push('\n');
+    for row in &file.rows {
+        let fields: Vec<String> = file
+            .columns
+            .iter()
+            .map(|c| quote(&row.get(&c.name).cloned().unwrap_or(Value::Null).render()))
+            .collect();
+        out.push_str(&fields.join(&delimiter.to_string()));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_csv() {
+        let p = parse_csv("time,temp,sal\n1,10.5,28\n2,10.6,29\n", &CsvOptions::default()).unwrap();
+        assert_eq!(p.columns.len(), 3);
+        assert_eq!(p.rows.len(), 2);
+        assert_eq!(p.rows[0].get("temp"), Some(&Value::Float(10.5)));
+        assert_eq!(p.rows[1].get("sal"), Some(&Value::Int(29)));
+    }
+
+    #[test]
+    fn comment_preamble_metadata() {
+        let text = "# station: saturn01\n# lat: 46.18\n# lon: -123.18\ntime,temp\n1,9.5\n";
+        let p = parse_csv(text, &CsvOptions::default()).unwrap();
+        assert_eq!(p.meta("station"), Some("saturn01"));
+        assert_eq!(p.meta_f64("lat"), Some(46.18));
+        assert_eq!(p.rows.len(), 1);
+    }
+
+    #[test]
+    fn units_row() {
+        let text = "time,temp,sal\n(UTC),(degC),(PSU)\n2010-06-01T00:00:00Z,10.5,28\n";
+        let p = parse_csv(text, &CsvOptions::default()).unwrap();
+        assert_eq!(p.column("temp").unwrap().unit.as_deref(), Some("degC"));
+        assert_eq!(p.column("sal").unwrap().unit.as_deref(), Some("PSU"));
+        assert_eq!(p.rows.len(), 1);
+    }
+
+    #[test]
+    fn inline_header_units() {
+        let text = "time (UTC),water temp (degC)\n2010-06-01,10.0\n";
+        let p = parse_csv(text, &CsvOptions::default()).unwrap();
+        assert_eq!(p.columns[1].name, "water temp");
+        assert_eq!(p.columns[1].unit.as_deref(), Some("degC"));
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let text = "name,note\n\"O'Hara, site\",\"said \"\"hi\"\"\"\nplain,\"multi\nline\"\n";
+        let p = parse_csv(text, &CsvOptions::default()).unwrap();
+        assert_eq!(p.rows[0].get("name").unwrap().as_text(), Some("O'Hara, site"));
+        assert_eq!(p.rows[0].get("note").unwrap().as_text(), Some("said \"hi\""));
+        assert_eq!(p.rows[1].get("note").unwrap().as_text(), Some("multi\nline"));
+    }
+
+    #[test]
+    fn tab_and_semicolon_autodetect() {
+        let p = parse_csv("a\tb\n1\t2\n", &CsvOptions::default()).unwrap();
+        assert_eq!(p.columns.len(), 2);
+        let p2 = parse_csv("a;b\n1;2\n", &CsvOptions::default()).unwrap();
+        assert_eq!(p2.columns.len(), 2);
+    }
+
+    #[test]
+    fn explicit_delimiter_overrides() {
+        let opts = CsvOptions { delimiter: Some(';'), ..CsvOptions::default() };
+        let p = parse_csv("a,b;c\n1,2;3\n", &opts).unwrap();
+        // split on ';' only
+        assert_eq!(p.columns.len(), 2);
+        assert_eq!(p.columns[0].name, "a,b");
+    }
+
+    #[test]
+    fn ragged_rows_skipped_within_budget() {
+        let text = "a,b\n1,2\n3\n4,5\n";
+        let p = parse_csv(text, &CsvOptions::default()).unwrap();
+        assert_eq!(p.rows.len(), 2);
+        let strict = CsvOptions { max_ragged_rows: 0, ..CsvOptions::default() };
+        assert!(parse_csv(text, &strict).is_err());
+    }
+
+    #[test]
+    fn null_sentinels_in_cells() {
+        let p = parse_csv("a,b\nNA,-9999\n", &CsvOptions::default()).unwrap();
+        assert!(p.rows[0].get("a").unwrap().is_null());
+        assert!(p.rows[0].get("b").unwrap().is_null());
+    }
+
+    #[test]
+    fn errors_on_garbage() {
+        assert!(parse_csv("", &CsvOptions::default()).is_err());
+        assert!(parse_csv("# only: comments\n", &CsvOptions::default()).is_err());
+        assert!(parse_csv("a,a\n1,2\n", &CsvOptions::default()).is_err()); // dup column
+        assert!(parse_csv("a,\"b\n1,2\n", &CsvOptions::default()).is_err()); // unterminated
+        assert!(parse_csv("a,b\"c\n", &CsvOptions::default()).is_err()); // stray quote
+    }
+
+    #[test]
+    fn write_parse_round_trip() {
+        let text = "# station: ogi01\ntime,temp (degC),note\n1,10.5,ok\n2,,\"x,y\"\n";
+        let p = parse_csv(text, &CsvOptions::default()).unwrap();
+        let written = write_csv(&p, ',');
+        let back = parse_csv(&written, &CsvOptions::default()).unwrap();
+        assert_eq!(back.columns, p.columns);
+        assert_eq!(back.rows, p.rows);
+        assert_eq!(back.metadata, p.metadata);
+    }
+
+    #[test]
+    fn crlf_tolerated() {
+        let p = parse_csv("a,b\r\n1,2\r\n", &CsvOptions::default()).unwrap();
+        assert_eq!(p.rows.len(), 1);
+        assert_eq!(p.rows[0].get("b"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn trailing_blank_lines_ignored() {
+        let p = parse_csv("a,b\n1,2\n\n\n", &CsvOptions::default()).unwrap();
+        assert_eq!(p.rows.len(), 1);
+    }
+}

@@ -1,0 +1,355 @@
+//! The harvester: scan → sniff → parse → extract, with incremental reruns.
+//!
+//! Running and *re*-running the process is curatorial activity 2; the
+//! harvester skips files whose length and content fingerprint match what the
+//! previous catalog recorded, reusing the stored feature.
+
+use crate::extract::extract_feature;
+use crate::naming::{infer_path_facts, NamingRule};
+use crate::scan::{scan_memory, FileEntry, ScanConfig};
+use metamess_core::catalog::Catalog;
+use metamess_core::error::{IoContext, Result};
+use metamess_core::feature::DatasetFeature;
+use metamess_formats::sniff_and_parse;
+use std::path::Path;
+
+/// Harvest configuration.
+#[derive(Debug, Clone, Default)]
+pub struct HarvestConfig {
+    /// Scan-stage configuration.
+    pub scan: ScanConfig,
+    /// Naming conventions, first match wins.
+    pub naming: Vec<NamingRule>,
+    /// Identifier of this pipeline run (stamped into provenance).
+    pub pipeline_run: u64,
+    /// Worker threads for parse + extract; 0 or 1 = single-threaded.
+    /// Output is identical regardless of parallelism.
+    pub parallelism: usize,
+}
+
+/// One file the harvester could not read — reported, never fatal: a single
+/// bad file must not stop an archive scan.
+#[derive(Debug)]
+pub struct HarvestError {
+    /// Archive-relative path.
+    pub rel_path: String,
+    /// What went wrong.
+    pub error: metamess_core::error::Error,
+}
+
+/// Outcome of a harvest pass.
+#[derive(Debug, Default)]
+pub struct HarvestReport {
+    /// Newly extracted features (changed or new files).
+    pub features: Vec<DatasetFeature>,
+    /// Features reused unchanged from the previous catalog.
+    pub reused: Vec<DatasetFeature>,
+    /// Files that failed to parse.
+    pub errors: Vec<HarvestError>,
+    /// Files scanned in total.
+    pub scanned: usize,
+}
+
+impl HarvestReport {
+    /// All features (new + reused), path-sorted.
+    pub fn all_features(&self) -> Vec<&DatasetFeature> {
+        let mut out: Vec<&DatasetFeature> =
+            self.features.iter().chain(self.reused.iter()).collect();
+        out.sort_by(|a, b| a.path.cmp(&b.path));
+        out
+    }
+}
+
+/// A content source the harvester can read from.
+pub trait ArchiveSource {
+    /// Lists candidate files.
+    fn list(&self, config: &ScanConfig) -> Result<Vec<FileEntry>>;
+    /// Reads a file's content.
+    fn read(&self, rel_path: &str) -> Result<String>;
+}
+
+/// An archive rooted in a real directory.
+pub struct DirSource<'a> {
+    /// Archive root.
+    pub root: &'a Path,
+}
+
+impl ArchiveSource for DirSource<'_> {
+    fn list(&self, config: &ScanConfig) -> Result<Vec<FileEntry>> {
+        crate::scan::scan_directory(self.root, config)
+    }
+    fn read(&self, rel_path: &str) -> Result<String> {
+        let p = self.root.join(rel_path);
+        let bytes = std::fs::read(&p).io_ctx(format!("read {}", p.display()))?;
+        String::from_utf8(bytes).map_err(|_| {
+            metamess_core::error::Error::parse(
+                format!("file {rel_path}"),
+                "not valid utf-8 text",
+            )
+        })
+    }
+}
+
+/// An in-memory archive (`(rel_path, content)` pairs).
+pub struct MemorySource<'a> {
+    /// Files of the archive.
+    pub files: &'a [(String, String)],
+}
+
+impl ArchiveSource for MemorySource<'_> {
+    fn list(&self, config: &ScanConfig) -> Result<Vec<FileEntry>> {
+        Ok(scan_memory(self.files, config))
+    }
+    fn read(&self, rel_path: &str) -> Result<String> {
+        self.files
+            .iter()
+            .find(|(p, _)| p == rel_path)
+            .map(|(_, c)| c.clone())
+            .ok_or_else(|| metamess_core::error::Error::not_found("file", rel_path))
+    }
+}
+
+/// Outcome of processing one scanned file.
+enum FileOutcome {
+    Feature(Box<DatasetFeature>),
+    Reused(Box<DatasetFeature>),
+    Error(HarvestError),
+}
+
+fn process_entry(
+    source: &impl ArchiveSource,
+    config: &HarvestConfig,
+    previous: Option<&Catalog>,
+    entry: &FileEntry,
+) -> FileOutcome {
+    if let Some(prev) = previous {
+        if let Some(existing) = prev.get_by_path(&entry.rel_path) {
+            if existing.provenance.content_fingerprint == entry.fingerprint
+                && existing.provenance.file_len == entry.len
+            {
+                return FileOutcome::Reused(Box::new(existing.clone()));
+            }
+        }
+    }
+    let content = match source.read(&entry.rel_path) {
+        Ok(c) => c,
+        Err(e) => {
+            return FileOutcome::Error(HarvestError {
+                rel_path: entry.rel_path.clone(),
+                error: e,
+            })
+        }
+    };
+    match sniff_and_parse(Path::new(&entry.rel_path), &content) {
+        Ok(parsed) => {
+            let facts = infer_path_facts(&config.naming, &entry.rel_path);
+            FileOutcome::Feature(Box::new(extract_feature(
+                &entry.rel_path,
+                &parsed,
+                &facts,
+                entry.fingerprint,
+                entry.len,
+                config.pipeline_run,
+            )))
+        }
+        Err(e) => FileOutcome::Error(HarvestError { rel_path: entry.rel_path.clone(), error: e }),
+    }
+}
+
+/// Harvests an archive. When `previous` is given, unchanged files (same
+/// length and fingerprint) reuse their stored feature instead of re-parsing.
+///
+/// With `config.parallelism > 1`, files are parsed on that many scoped
+/// worker threads; results keep scan order, so output is byte-identical to
+/// the single-threaded run.
+pub fn harvest(
+    source: &(impl ArchiveSource + Sync),
+    config: &HarvestConfig,
+    previous: Option<&Catalog>,
+) -> Result<HarvestReport> {
+    let entries = source.list(&config.scan)?;
+    let mut report = HarvestReport { scanned: entries.len(), ..HarvestReport::default() };
+
+    let outcomes: Vec<FileOutcome> = if config.parallelism > 1 && entries.len() > 1 {
+        let workers = config.parallelism.min(entries.len());
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let mut slots: Vec<Option<FileOutcome>> = Vec::new();
+        slots.resize_with(entries.len(), || None);
+        let slots_mutex = std::sync::Mutex::new(&mut slots);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let ix = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if ix >= entries.len() {
+                        break;
+                    }
+                    let outcome = process_entry(source, config, previous, &entries[ix]);
+                    slots_mutex.lock().expect("slot lock")[ix] = Some(outcome);
+                });
+            }
+        })
+        .expect("harvest workers never panic");
+        slots.into_iter().map(|s| s.expect("every slot filled")).collect()
+    } else {
+        entries.iter().map(|e| process_entry(source, config, previous, e)).collect()
+    };
+
+    for outcome in outcomes {
+        match outcome {
+            FileOutcome::Feature(f) => report.features.push(*f),
+            FileOutcome::Reused(f) => report.reused.push(*f),
+            FileOutcome::Error(e) => report.errors.push(e),
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naming::observatory_rules;
+    use metamess_archive::{generate, ArchiveSpec};
+
+    fn config() -> HarvestConfig {
+        HarvestConfig { scan: ScanConfig::default(), naming: observatory_rules(), pipeline_run: 1, parallelism: 1 }
+    }
+
+    #[test]
+    fn harvest_generated_archive() {
+        let archive = generate(&ArchiveSpec::tiny());
+        let source = MemorySource { files: &archive.files };
+        let report = harvest(&source, &config(), None).unwrap();
+        // every truth dataset harvested; every malformed file reported
+        assert_eq!(report.features.len(), archive.truth.datasets.len());
+        assert_eq!(report.errors.len(), archive.truth.malformed.len());
+        for t in &archive.truth.datasets {
+            let f = report.features.iter().find(|f| f.path == t.path).unwrap();
+            assert_eq!(f.source.as_deref(), Some(t.source.as_str()), "{}", t.path);
+            assert_eq!(
+                f.external.get("context").map(String::as_str),
+                Some(t.context.as_str()),
+                "{}",
+                t.path
+            );
+            let b = f.bbox.expect("bbox");
+            assert!((b.min_lat - t.bbox.min_lat).abs() < 0.01, "{}", t.path);
+            let time = f.time.expect("time");
+            assert_eq!(time.start, t.time.start, "{}", t.path);
+        }
+    }
+
+    #[test]
+    fn harvested_variables_match_truth() {
+        let archive = generate(&ArchiveSpec::tiny());
+        let source = MemorySource { files: &archive.files };
+        let report = harvest(&source, &config(), None).unwrap();
+        for t in &archive.truth.datasets {
+            let f = report.features.iter().find(|f| f.path == t.path).unwrap();
+            for tv in &t.variables {
+                if ["time", "lat", "lon"].contains(&tv.harvested.as_str()) {
+                    continue; // coordinates fold into bbox/interval
+                }
+                assert!(
+                    f.variable(&tv.harvested).is_some(),
+                    "{} missing {}",
+                    t.path,
+                    tv.harvested
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rerun_with_unchanged_archive_reuses_everything() {
+        let archive = generate(&ArchiveSpec::tiny());
+        let source = MemorySource { files: &archive.files };
+        let first = harvest(&source, &config(), None).unwrap();
+        let mut catalog = Catalog::new();
+        for f in &first.features {
+            catalog.put(f.clone());
+        }
+        let second = harvest(&source, &config(), Some(&catalog)).unwrap();
+        assert!(second.features.is_empty());
+        assert_eq!(second.reused.len(), first.features.len());
+        assert_eq!(second.all_features().len(), first.features.len());
+    }
+
+    #[test]
+    fn rerun_reparses_only_changed_files() {
+        let archive = generate(&ArchiveSpec::tiny());
+        let mut files = archive.files.clone();
+        let source = MemorySource { files: &files };
+        let first = harvest(&source, &config(), None).unwrap();
+        let mut catalog = Catalog::new();
+        for f in &first.features {
+            catalog.put(f.clone());
+        }
+        // modify one station file
+        let ix = files.iter().position(|(p, _)| p.ends_with(".csv") && p.starts_with("stations")).unwrap();
+        files[ix].1.push('\n');
+        files[ix].1 = files[ix].1.replace("10.", "11.");
+        let changed_path = files[ix].0.clone();
+        let source2 = MemorySource { files: &files };
+        let second = harvest(&source2, &config(), Some(&catalog)).unwrap();
+        assert_eq!(second.features.len(), 1);
+        assert_eq!(second.features[0].path, changed_path);
+    }
+
+    #[test]
+    fn parallel_harvest_identical_to_serial() {
+        let archive = generate(&ArchiveSpec::default());
+        let source = MemorySource { files: &archive.files };
+        let serial = harvest(&source, &config(), None).unwrap();
+        for workers in [2usize, 4, 8] {
+            let cfg = HarvestConfig { parallelism: workers, ..config() };
+            let parallel = harvest(&source, &cfg, None).unwrap();
+            assert_eq!(parallel.features, serial.features, "workers={workers}");
+            assert_eq!(parallel.scanned, serial.scanned);
+            assert_eq!(parallel.errors.len(), serial.errors.len());
+            let se: Vec<&str> = serial.errors.iter().map(|e| e.rel_path.as_str()).collect();
+            let pe: Vec<&str> = parallel.errors.iter().map(|e| e.rel_path.as_str()).collect();
+            assert_eq!(se, pe);
+        }
+    }
+
+    #[test]
+    fn parallel_harvest_with_reuse() {
+        let archive = generate(&ArchiveSpec::tiny());
+        let source = MemorySource { files: &archive.files };
+        let first = harvest(&source, &config(), None).unwrap();
+        let mut prev = Catalog::new();
+        for f in &first.features {
+            prev.put(f.clone());
+        }
+        let cfg = HarvestConfig { parallelism: 4, ..config() };
+        let second = harvest(&source, &cfg, Some(&prev)).unwrap();
+        assert!(second.features.is_empty());
+        assert_eq!(second.reused.len(), first.features.len());
+    }
+
+    #[test]
+    fn disk_source_equivalent_to_memory() {
+        let archive = generate(&ArchiveSpec::tiny());
+        let dir = std::env::temp_dir().join(format!("metamess-harv-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        archive.write_to(&dir).unwrap();
+        let disk = harvest(&DirSource { root: &dir }, &config(), None).unwrap();
+        let mem = harvest(&MemorySource { files: &archive.files }, &config(), None).unwrap();
+        assert_eq!(disk.features.len(), mem.features.len());
+        // features identical modulo nothing — paths and summaries match
+        for (d, m) in disk.features.iter().zip(mem.features.iter()) {
+            assert_eq!(d, m);
+        }
+    }
+
+    #[test]
+    fn scoped_scan_only_sees_its_root() {
+        let archive = generate(&ArchiveSpec::tiny());
+        let source = MemorySource { files: &archive.files };
+        let mut cfg = config();
+        cfg.scan.roots = vec!["cruises".into()];
+        let report = harvest(&source, &cfg, None).unwrap();
+        assert!(report.features.iter().all(|f| f.path.starts_with("cruises/")));
+        assert!(!report.features.is_empty());
+    }
+}

@@ -1,0 +1,195 @@
+//! Naming conventions: turning archive paths into titles, sources and
+//! contexts when the file itself is silent.
+//!
+//! The scan stage is "configured with naming conventions"; each convention
+//! is a pattern over path segments with named captures.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// What a naming convention inferred from a path.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathFacts {
+    /// Human-readable title.
+    pub title: Option<String>,
+    /// Source platform (station/cruise/mission).
+    pub source: Option<String>,
+    /// Source context key.
+    pub context: Option<String>,
+    /// Extra captured fields (year, month, cast number, ...).
+    pub fields: BTreeMap<String, String>,
+}
+
+/// One convention: a segment pattern like
+/// `stations/{station}/{year}/{month}` (extension ignored), plus templates.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NamingRule {
+    /// Segment pattern; `{name}` captures a segment, literals must match.
+    pub pattern: String,
+    /// Title template with `{name}` substitutions.
+    pub title: String,
+    /// Capture name (or literal prefixed `=`) providing the source.
+    pub source: String,
+    /// Context assigned when the rule matches (may be overridden by file
+    /// metadata).
+    pub context: Option<String>,
+}
+
+impl NamingRule {
+    /// Tries to match an archive-relative path (extension stripped).
+    pub fn matches(&self, rel_path: &str) -> Option<PathFacts> {
+        let stem = match rel_path.rsplit_once('.') {
+            Some((s, ext)) if !ext.contains('/') => s,
+            _ => rel_path,
+        };
+        let segs: Vec<&str> = stem.split('/').collect();
+        let pats: Vec<&str> = self.pattern.split('/').collect();
+        if segs.len() != pats.len() {
+            return None;
+        }
+        let mut fields = BTreeMap::new();
+        for (p, s) in pats.iter().zip(&segs) {
+            if let Some(name) = p.strip_prefix('{').and_then(|x| x.strip_suffix('}')) {
+                // `{name:prefix_}` requires the segment to carry the prefix
+                if let Some((name, prefix)) = name.split_once(':') {
+                    let rest = s.strip_prefix(prefix)?;
+                    fields.insert(name.to_string(), rest.to_string());
+                } else {
+                    fields.insert(name.to_string(), s.to_string());
+                }
+            } else if p != s {
+                return None;
+            }
+        }
+        let substitute = |template: &str| -> String {
+            let mut out = template.to_string();
+            for (k, v) in &fields {
+                out = out.replace(&format!("{{{k}}}"), v);
+            }
+            out
+        };
+        let source = match self.source.strip_prefix('=') {
+            Some(lit) => Some(lit.to_string()),
+            None => fields.get(&self.source).cloned(),
+        };
+        Some(PathFacts {
+            title: Some(substitute(&self.title)),
+            source,
+            context: self.context.clone(),
+            fields,
+        })
+    }
+}
+
+/// The conventions of the synthetic observatory archive (and, realistically,
+/// of any station/cruise/glider layout).
+pub fn observatory_rules() -> Vec<NamingRule> {
+    vec![
+        NamingRule {
+            pattern: "stations/{station}/{year}/{month}".into(),
+            title: "Station {station}, {year}-{month}".into(),
+            source: "station".into(),
+            context: None, // station context comes from file metadata
+        },
+        NamingRule {
+            pattern: "cruises/{cruise}/{cast:cast_}".into(),
+            title: "Cruise {cruise}, cast {cast}".into(),
+            source: "cruise".into(),
+            context: Some("ctd".into()),
+        },
+        NamingRule {
+            pattern: "gliders/{mission}/track".into(),
+            title: "Glider mission {mission}".into(),
+            source: "mission".into(),
+            context: Some("glider".into()),
+        },
+    ]
+}
+
+/// Applies the first matching rule; falls back to the path stem as title.
+pub fn infer_path_facts(rules: &[NamingRule], rel_path: &str) -> PathFacts {
+    for r in rules {
+        if let Some(f) = r.matches(rel_path) {
+            return f;
+        }
+    }
+    PathFacts { title: Some(rel_path.to_string()), ..PathFacts::default() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn station_rule() {
+        let rules = observatory_rules();
+        let f = infer_path_facts(&rules, "stations/saturn01/2010/06.csv");
+        assert_eq!(f.title.as_deref(), Some("Station saturn01, 2010-06"));
+        assert_eq!(f.source.as_deref(), Some("saturn01"));
+        assert_eq!(f.fields["year"], "2010");
+        assert!(f.context.is_none());
+    }
+
+    #[test]
+    fn cruise_rule_with_prefix_capture() {
+        let rules = observatory_rules();
+        let f = infer_path_facts(&rules, "cruises/c02/cast_03.obslog");
+        assert_eq!(f.title.as_deref(), Some("Cruise c02, cast 03"));
+        assert_eq!(f.source.as_deref(), Some("c02"));
+        assert_eq!(f.context.as_deref(), Some("ctd"));
+    }
+
+    #[test]
+    fn glider_rule() {
+        let rules = observatory_rules();
+        let f = infer_path_facts(&rules, "gliders/g01/track.csv");
+        assert_eq!(f.title.as_deref(), Some("Glider mission g01"));
+        assert_eq!(f.context.as_deref(), Some("glider"));
+    }
+
+    #[test]
+    fn fallback_is_path() {
+        let rules = observatory_rules();
+        let f = infer_path_facts(&rules, "misc/odd_file.csv");
+        assert_eq!(f.title.as_deref(), Some("misc/odd_file.csv"));
+        assert!(f.source.is_none());
+    }
+
+    #[test]
+    fn literal_segments_must_match() {
+        let rules = observatory_rules();
+        assert!(rules[0].matches("cruises/c01/cast_01.obslog").is_none());
+        assert!(rules[1].matches("cruises/c01/notcast_01.obslog").is_none());
+    }
+
+    #[test]
+    fn segment_count_must_match() {
+        let rules = observatory_rules();
+        assert!(rules[0].matches("stations/s1/2010/01/extra.csv").is_none());
+        assert!(rules[0].matches("stations/s1/2010.csv").is_none());
+    }
+
+    #[test]
+    fn literal_source() {
+        let r = NamingRule {
+            pattern: "adhoc/{name}".into(),
+            title: "Ad-hoc {name}".into(),
+            source: "=fieldwork".into(),
+            context: None,
+        };
+        let f = r.matches("adhoc/sample7.csv").unwrap();
+        assert_eq!(f.source.as_deref(), Some("fieldwork"));
+    }
+
+    #[test]
+    fn extension_with_dots_in_dirs() {
+        let r = NamingRule {
+            pattern: "a.b/{x}".into(),
+            title: "{x}".into(),
+            source: "x".into(),
+            context: None,
+        };
+        // extension stripping must not eat "/": "a.b/c" has no file extension
+        assert!(r.matches("a.b/c").is_some());
+    }
+}

@@ -1,0 +1,199 @@
+//! Directory scanning: the configured entry point of the wrangling chain.
+//!
+//! "Configure: directories, file types, naming conventions" — the scan stage
+//! walks the archive deterministically, filters by the configured
+//! extensions/directories, and fingerprints content so reruns can skip
+//! unchanged files.
+
+use metamess_core::error::{IoContext, Result};
+use metamess_core::id::fnv1a;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Scan-stage configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScanConfig {
+    /// Archive-relative directories to scan; empty = whole archive.
+    /// The curator's "specifying an additional directory to scan" process
+    /// improvement is an append here.
+    pub roots: Vec<String>,
+    /// File extensions to consider (lowercase, no dot); empty = all.
+    pub extensions: Vec<String>,
+    /// Path substrings to skip (e.g. `"scratch/"`).
+    pub exclude: Vec<String>,
+}
+
+impl Default for ScanConfig {
+    fn default() -> Self {
+        ScanConfig {
+            roots: Vec::new(),
+            extensions: vec![
+                "csv".into(),
+                "tsv".into(),
+                "txt".into(),
+                "cdl".into(),
+                "nc".into(),
+                "obslog".into(),
+                "cnv".into(),
+                "cast".into(),
+                "bin".into(), // deliberately included: sniffing reports junk
+            ],
+            exclude: vec!["ground_truth.json".into()],
+        }
+    }
+}
+
+impl ScanConfig {
+    /// True when the archive-relative path passes the configuration.
+    pub fn accepts(&self, rel: &str) -> bool {
+        if self.exclude.iter().any(|e| rel.contains(e.as_str())) {
+            return false;
+        }
+        if !self.roots.is_empty() && !self.roots.iter().any(|r| {
+            let r = r.trim_end_matches('/');
+            rel == r || rel.starts_with(&format!("{r}/"))
+        }) {
+            return false;
+        }
+        if !self.extensions.is_empty() {
+            let ext = Path::new(rel)
+                .extension()
+                .and_then(|e| e.to_str())
+                .map(|e| e.to_ascii_lowercase())
+                .unwrap_or_default();
+            if !self.extensions.contains(&ext) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// One file found by the scan.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileEntry {
+    /// Archive-relative path (always `/`-separated).
+    pub rel_path: String,
+    /// File length in bytes.
+    pub len: u64,
+    /// FNV-1a fingerprint of the content.
+    pub fingerprint: u64,
+}
+
+/// Walks `archive_dir` and returns accepted files, path-sorted.
+pub fn scan_directory(archive_dir: &Path, config: &ScanConfig) -> Result<Vec<FileEntry>> {
+    let mut out = Vec::new();
+    let mut stack = vec![archive_dir.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries = std::fs::read_dir(&dir).io_ctx(format!("read dir {}", dir.display()))?;
+        for e in entries {
+            let e = e.io_ctx("read dir entry")?;
+            let path = e.path();
+            if path.is_dir() {
+                stack.push(path);
+                continue;
+            }
+            let rel = rel_path(archive_dir, &path);
+            if !config.accepts(&rel) {
+                continue;
+            }
+            let bytes =
+                std::fs::read(&path).io_ctx(format!("read file {}", path.display()))?;
+            out.push(FileEntry {
+                rel_path: rel,
+                len: bytes.len() as u64,
+                fingerprint: fnv1a(&bytes),
+            });
+        }
+    }
+    out.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(out)
+}
+
+/// Scans an in-memory archive (`(rel_path, content)` pairs) the same way.
+pub fn scan_memory(files: &[(String, String)], config: &ScanConfig) -> Vec<FileEntry> {
+    let mut out: Vec<FileEntry> = files
+        .iter()
+        .filter(|(rel, _)| config.accepts(rel))
+        .map(|(rel, content)| FileEntry {
+            rel_path: rel.clone(),
+            len: content.len() as u64,
+            fingerprint: fnv1a(content.as_bytes()),
+        })
+        .collect();
+    out.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    out
+}
+
+fn rel_path(base: &Path, full: &Path) -> String {
+    full.strip_prefix(base)
+        .unwrap_or(full)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_accepts_extensions() {
+        let c = ScanConfig::default();
+        assert!(c.accepts("stations/s1/2010/01.csv"));
+        assert!(c.accepts("a.CDL"));
+        assert!(!c.accepts("readme.md"));
+        assert!(!c.accepts("noext"));
+        assert!(!c.accepts("ground_truth.json"));
+    }
+
+    #[test]
+    fn config_roots_scope() {
+        let c = ScanConfig { roots: vec!["stations".into()], ..ScanConfig::default() };
+        assert!(c.accepts("stations/s1/x.csv"));
+        assert!(!c.accepts("cruises/c1/x.obslog"));
+        // no prefix-string false positives
+        assert!(!c.accepts("stationsextra/x.csv"));
+    }
+
+    #[test]
+    fn config_exclude() {
+        let c = ScanConfig { exclude: vec!["scratch/".into()], ..ScanConfig::default() };
+        assert!(!c.accepts("scratch/x.csv"));
+        assert!(c.accepts("keep/x.csv"));
+    }
+
+    #[test]
+    fn memory_scan_sorted_and_fingerprinted() {
+        let files = vec![
+            ("b.csv".to_string(), "x,y\n1,2\n".to_string()),
+            ("a.csv".to_string(), "x,y\n3,4\n".to_string()),
+        ];
+        let entries = scan_memory(&files, &ScanConfig::default());
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].rel_path, "a.csv");
+        assert_ne!(entries[0].fingerprint, entries[1].fingerprint);
+        assert_eq!(entries[1].len, 8);
+    }
+
+    #[test]
+    fn directory_scan_matches_memory_scan() {
+        let dir = std::env::temp_dir().join(format!("metamess-scan-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("sub")).unwrap();
+        std::fs::write(dir.join("a.csv"), "x\n1\n").unwrap();
+        std::fs::write(dir.join("sub/b.csv"), "y\n2\n").unwrap();
+        std::fs::write(dir.join("skip.md"), "nope").unwrap();
+        let config = ScanConfig::default();
+        let disk = scan_directory(&dir, &config).unwrap();
+        let mem = scan_memory(
+            &[
+                ("a.csv".to_string(), "x\n1\n".to_string()),
+                ("sub/b.csv".to_string(), "y\n2\n".to_string()),
+            ],
+            &config,
+        );
+        assert_eq!(disk, mem);
+    }
+}

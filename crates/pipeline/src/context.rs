@@ -1,0 +1,104 @@
+//! Shared state flowing through the wrangling chain.
+
+use metamess_core::catalog::CatalogPair;
+use metamess_discover::RuleProposal;
+use metamess_harvest::HarvestConfig;
+use metamess_vocab::Vocabulary;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// Where the archive lives.
+#[derive(Debug, Clone)]
+pub enum ArchiveInput {
+    /// In-memory `(rel_path, content)` pairs (tests, benches, generators).
+    Memory(Vec<(String, String)>),
+    /// A directory on disk.
+    Dir(PathBuf),
+}
+
+/// One validation finding (curatorial activity 4).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValidationFinding {
+    /// Validation rule name.
+    pub rule: String,
+    /// `"error"` or `"warning"`.
+    pub severity: Severity,
+    /// Affected dataset path, when specific.
+    pub path: Option<String>,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// Finding severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Severity {
+    /// Must be fixed before publish.
+    Error,
+    /// Curator should look, but publish may proceed.
+    Warning,
+}
+
+/// The mutable state all components read and write.
+pub struct PipelineContext {
+    /// The archive being wrangled.
+    pub archive: ArchiveInput,
+    /// Harvest (scan-stage) configuration.
+    pub harvest: HarvestConfig,
+    /// Working and published catalogs.
+    pub catalogs: CatalogPair,
+    /// The controlled vocabulary (grows as the curator improves it).
+    pub vocab: Vocabulary,
+    /// External metadata: source → key → value, merged by the
+    /// add-external-metadata stage.
+    pub external: BTreeMap<String, BTreeMap<String, String>>,
+    /// Rule proposals produced by discovery, awaiting curator review.
+    pub proposals: Vec<RuleProposal>,
+    /// Proposals the curator accepted (consumed by the perform-discovered
+    /// stage).
+    pub accepted: Vec<RuleProposal>,
+    /// Findings from the validation stage.
+    pub findings: Vec<ValidationFinding>,
+    /// Provenance of synonym-table entries that originated in discovery:
+    /// normalized variant → clustering method. Lets the known-transformations
+    /// stage stamp `DiscoveredTranslation` even after the curator folded the
+    /// rule into the table.
+    pub discovered_provenance: BTreeMap<String, String>,
+    /// Dataset paths the curator expects to exist ("determining that
+    /// expected datasets show up").
+    pub expected_datasets: Vec<String>,
+    /// Monotonic pipeline-run counter.
+    pub run_id: u64,
+}
+
+impl PipelineContext {
+    /// Creates a context over an archive with the starter vocabulary.
+    pub fn new(archive: ArchiveInput, vocab: Vocabulary) -> PipelineContext {
+        PipelineContext {
+            archive,
+            harvest: HarvestConfig {
+                naming: metamess_harvest::observatory_rules(),
+                // single-threaded by default: the catalog_store bench shows
+                // parallel parsing only pays for large files or slow sources
+                // (small-file parses are allocator-bound); output is
+                // identical either way, so callers can raise this freely
+                parallelism: 1,
+                ..HarvestConfig::default()
+            },
+            catalogs: CatalogPair::new(),
+            vocab,
+            external: BTreeMap::new(),
+            proposals: Vec::new(),
+            accepted: Vec::new(),
+            findings: Vec::new(),
+            discovered_provenance: BTreeMap::new(),
+            expected_datasets: Vec::new(),
+            run_id: 0,
+        }
+    }
+
+    /// Errors among the findings.
+    pub fn validation_errors(&self) -> impl Iterator<Item = &ValidationFinding> {
+        self.findings.iter().filter(|f| f.severity == Severity::Error)
+    }
+}

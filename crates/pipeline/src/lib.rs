@@ -1,0 +1,31 @@
+//! # metamess-pipeline
+//!
+//! The paper's primary contribution: the **metadata wrangling process** — a
+//! chain of composable components (scan archive, perform known
+//! transformations, add external metadata, discover transformations,
+//! perform discovered transformations, generate hierarchies, validate,
+//! publish), a pipeline runner that records the shrinking "mess that's
+//! left" after every stage, and a scripted curator implementing the
+//! poster's four curatorial activities as an iterated run/improve/rerun
+//! loop.
+
+mod component;
+mod context;
+mod curator;
+#[allow(clippy::module_inception)]
+mod pipeline;
+mod stages;
+mod validate;
+
+pub use component::{Component, StageReport};
+pub use context::{ArchiveInput, PipelineContext, Severity, ValidationFinding};
+pub use curator::{CurationLoop, CurationStep, CuratorPolicy};
+pub use pipeline::{Pipeline, RunReport};
+pub use stages::{
+    detect_ambiguity, AddExternalMetadata, DiscoverTransformations, DiscoveryConfig,
+    GenerateHierarchies, NormalizeUnits, PerformDiscoveredTransformations,
+    PerformKnownTransformations, Publish, ScanArchive,
+};
+pub use validate::{
+    ExpectedDatasets, FeatureSanity, FileTypeUniformity, NamesInVocabulary, Validate, Validator,
+};

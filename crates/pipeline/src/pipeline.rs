@@ -1,0 +1,217 @@
+//! The pipeline runner: composes components into the metadata processing
+//! chain and runs (and re-runs) it, recording the shrinking "mess that's
+//! left" after every stage.
+
+use crate::component::{Component, StageReport};
+use crate::context::PipelineContext;
+use crate::stages::{
+    AddExternalMetadata, DiscoverTransformations, GenerateHierarchies, NormalizeUnits,
+    PerformDiscoveredTransformations, PerformKnownTransformations, Publish, ScanArchive,
+};
+use crate::validate::Validate;
+use metamess_core::error::Result;
+use serde::{Deserialize, Serialize};
+
+/// Report of one full pipeline run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Run identifier.
+    pub run_id: u64,
+    /// Per-stage reports, in execution order.
+    pub stages: Vec<StageReport>,
+}
+
+impl RunReport {
+    /// The resolution fraction trajectory across stages — the data behind
+    /// the poster's two-panel process figure ("the mess that's left").
+    pub fn resolution_trajectory(&self) -> Vec<(String, f64)> {
+        self.stages.iter().map(|s| (s.component.clone(), s.resolution_after)).collect()
+    }
+
+    /// The report of a named stage.
+    pub fn stage(&self, name: &str) -> Option<&StageReport> {
+        self.stages.iter().find(|s| s.component == name)
+    }
+
+    /// Renders a compact text table of the run.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "run #{:<3} {:<36} {:>9} {:>9} {:>7} {:>10}",
+            self.run_id, "stage", "processed", "changed", "errors", "resolved"
+        );
+        for s in &self.stages {
+            let _ = writeln!(
+                out,
+                "         {:<36} {:>9} {:>9} {:>7} {:>9.1}%",
+                s.component,
+                s.processed,
+                s.changed,
+                s.errors.len(),
+                100.0 * s.resolution_after
+            );
+        }
+        out
+    }
+}
+
+/// A composed metadata processing chain.
+pub struct Pipeline {
+    components: Vec<Box<dyn Component>>,
+}
+
+impl Pipeline {
+    /// Composes a pipeline from components, in execution order.
+    pub fn new(components: Vec<Box<dyn Component>>) -> Pipeline {
+        Pipeline { components }
+    }
+
+    /// The poster's standard chain: scan → known transforms → external
+    /// metadata → discover → perform discovered → hierarchies → validate →
+    /// publish.
+    pub fn standard() -> Pipeline {
+        Pipeline::new(vec![
+            Box::new(ScanArchive),
+            Box::new(PerformKnownTransformations),
+            Box::new(NormalizeUnits),
+            Box::new(AddExternalMetadata),
+            Box::new(DiscoverTransformations::default()),
+            Box::new(PerformDiscoveredTransformations),
+            Box::new(GenerateHierarchies),
+            Box::new(Validate::default()),
+            Box::new(Publish::default()),
+        ])
+    }
+
+    /// The first-run chain without discovery (the poster's left panel:
+    /// known transformations only, leaving "the mess that's left").
+    pub fn known_only() -> Pipeline {
+        Pipeline::new(vec![
+            Box::new(ScanArchive),
+            Box::new(PerformKnownTransformations),
+            Box::new(NormalizeUnits),
+            Box::new(AddExternalMetadata),
+            Box::new(GenerateHierarchies),
+            Box::new(Validate::default()),
+            Box::new(Publish::default()),
+        ])
+    }
+
+    /// Component names, in order.
+    pub fn component_names(&self) -> Vec<&'static str> {
+        self.components.iter().map(|c| c.name()).collect()
+    }
+
+    /// Runs every component once, in order. Stops at the first hard error.
+    pub fn run(&mut self, ctx: &mut PipelineContext) -> Result<RunReport> {
+        ctx.run_id += 1;
+        let mut report = RunReport { run_id: ctx.run_id, stages: Vec::new() };
+        for c in &mut self.components {
+            let stage = c.run(ctx)?;
+            report.stages.push(stage);
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ArchiveInput;
+    use metamess_archive::{generate, ArchiveSpec};
+    use metamess_vocab::Vocabulary;
+
+    fn ctx() -> PipelineContext {
+        let archive = generate(&ArchiveSpec::tiny());
+        PipelineContext::new(
+            ArchiveInput::Memory(archive.files),
+            Vocabulary::observatory_default(),
+        )
+    }
+
+    #[test]
+    fn standard_chain_runs_end_to_end() {
+        let mut c = ctx();
+        let report = Pipeline::standard().run(&mut c).unwrap();
+        assert_eq!(report.run_id, 1);
+        assert_eq!(report.stages.len(), 9);
+        assert!(!c.catalogs.published.is_empty());
+        // resolution is monotone across resolution-affecting stages
+        let traj = report.resolution_trajectory();
+        for w in traj.windows(2) {
+            assert!(
+                w[1].1 >= w[0].1 - 1e-9,
+                "resolution regressed {} -> {}: {:?}",
+                w[0].0,
+                w[1].0,
+                traj
+            );
+        }
+    }
+
+    #[test]
+    fn known_only_leaves_more_mess_than_standard() {
+        let mut c1 = ctx();
+        let r1 = Pipeline::known_only().run(&mut c1).unwrap();
+        let mut c2 = ctx();
+        let mut std_pipe = Pipeline::standard();
+        let _first = std_pipe.run(&mut c2).unwrap();
+        // accept high-confidence proposals whose pick is canonical, rerun
+        c2.accepted = c2
+            .proposals
+            .iter()
+            .filter(|p| c2.vocab.synonyms.contains(&p.to))
+            .cloned()
+            .collect();
+        let r2 = std_pipe.run(&mut c2).unwrap();
+        let known = r1.stages.last().unwrap().resolution_after;
+        let with_discovery = r2.stages.last().unwrap().resolution_after;
+        assert!(
+            with_discovery > known,
+            "discovery should resolve more: {with_discovery} vs {known}"
+        );
+    }
+
+    #[test]
+    fn rerun_is_stable_and_incremental() {
+        let mut c = ctx();
+        let mut p = Pipeline::standard();
+        p.run(&mut c).unwrap();
+        let snapshot = c.catalogs.published.clone();
+        let r2 = p.run(&mut c).unwrap();
+        // rescan reuses everything
+        assert_eq!(r2.stage("scan-archive").unwrap().changed, 0);
+        // published catalog stable when nothing was accepted in between
+        assert_eq!(c.catalogs.published.len(), snapshot.len());
+        assert_eq!(r2.run_id, 2);
+    }
+
+    #[test]
+    fn report_render_shows_stages() {
+        let mut c = ctx();
+        let r = Pipeline::standard().run(&mut c).unwrap();
+        let text = r.render();
+        assert!(text.contains("scan-archive"));
+        assert!(text.contains("publish"));
+        assert!(text.contains('%'));
+    }
+
+    #[test]
+    fn custom_composition() {
+        use crate::stages::{PerformKnownTransformations, ScanArchive};
+        let mut p = Pipeline::new(vec![
+            Box::new(ScanArchive),
+            Box::new(PerformKnownTransformations),
+        ]);
+        assert_eq!(
+            p.component_names(),
+            vec!["scan-archive", "perform-known-transformations"]
+        );
+        let mut c = ctx();
+        let r = p.run(&mut c).unwrap();
+        assert_eq!(r.stages.len(), 2);
+        assert!(c.catalogs.published.is_empty()); // no publish stage
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests for the wrangling pipeline over randomized mess
+//! intensities and archive shapes.
+
+use metamess_archive::{generate, ArchiveSpec, MessIntensity};
+use metamess_pipeline::{ArchiveInput, Pipeline, PipelineContext};
+use metamess_vocab::Vocabulary;
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = ArchiveSpec> {
+    (
+        0u64..10_000,
+        1usize..4,
+        0usize..3,
+        1usize..4,
+        (0.0f64..0.4, 0.0f64..0.4, 0.0f64..0.3, 0.0f64..1.0, 0.0f64..0.4),
+    )
+        .prop_map(|(seed, stations, cruises, months, (mis, syn, abbr, exc, amb))| ArchiveSpec {
+            seed,
+            stations,
+            cruises,
+            glider_missions: 1,
+            months,
+            rows_per_file: 8,
+            mess: MessIntensity {
+                misspelling: mis,
+                synonym: syn,
+                abbreviation: abbr,
+                excessive: exc,
+                ambiguous: amb,
+            },
+            include_malformed: true,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pipeline_never_fails_and_resolution_is_monotone(spec in arb_spec()) {
+        let archive = generate(&spec);
+        let n_datasets = archive.truth.datasets.len();
+        let mut ctx = PipelineContext::new(
+            ArchiveInput::Memory(archive.files),
+            Vocabulary::observatory_default(),
+        );
+        let mut pipeline = Pipeline::standard();
+        let report = pipeline.run(&mut ctx).unwrap();
+
+        // every well-formed dataset published, malformed reported not fatal
+        prop_assert_eq!(ctx.catalogs.published.len(), n_datasets);
+        prop_assert_eq!(
+            report.stage("scan-archive").unwrap().errors.len(),
+            archive.truth.malformed.len()
+        );
+        // resolution monotone across the chain
+        let traj = report.resolution_trajectory();
+        for w in traj.windows(2) {
+            prop_assert!(w[1].1 >= w[0].1 - 1e-9, "{traj:?}");
+        }
+        // QA flags only on QA-truth columns (marking never misfires)
+        for td in &archive.truth.datasets {
+            let d = ctx.catalogs.published.get_by_path(&td.path).unwrap();
+            for tv in &td.variables {
+                if let Some(v) = d.variable(&tv.harvested) {
+                    if v.flags.qa {
+                        prop_assert!(
+                            tv.qa || tv.harvested.ends_with("_flag"),
+                            "false QA mark on {} in {}",
+                            tv.harvested,
+                            td.path
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rerun_is_idempotent(spec in arb_spec()) {
+        let archive = generate(&spec);
+        let mut ctx = PipelineContext::new(
+            ArchiveInput::Memory(archive.files),
+            Vocabulary::observatory_default(),
+        );
+        let mut pipeline = Pipeline::standard();
+        pipeline.run(&mut ctx).unwrap();
+        let first = ctx.catalogs.published.clone();
+        let r2 = pipeline.run(&mut ctx).unwrap();
+        // nothing rescanned, published catalog entries unchanged
+        prop_assert_eq!(r2.stage("scan-archive").unwrap().changed, 0);
+        let ids1: Vec<_> = first.iter().map(|d| d.id).collect();
+        let ids2: Vec<_> = ctx.catalogs.published.iter().map(|d| d.id).collect();
+        prop_assert_eq!(ids1, ids2);
+        for d in first.iter() {
+            let d2 = ctx.catalogs.published.get(d.id).unwrap();
+            prop_assert_eq!(d, d2);
+        }
+    }
+
+    #[test]
+    fn zero_mess_resolves_completely(seed in 0u64..5_000) {
+        let spec = ArchiveSpec {
+            seed,
+            stations: 2,
+            cruises: 1,
+            glider_missions: 1,
+            months: 2,
+            rows_per_file: 6,
+            mess: MessIntensity {
+                misspelling: 0.0,
+                synonym: 0.0,
+                abbreviation: 0.0,
+                excessive: 0.0,
+                ambiguous: 0.0,
+            },
+            include_malformed: false,
+        };
+        let archive = generate(&spec);
+        let mut ctx = PipelineContext::new(
+            ArchiveInput::Memory(archive.files),
+            Vocabulary::observatory_default(),
+        );
+        Pipeline::standard().run(&mut ctx).unwrap();
+        // all names are canonical; resolution is total
+        prop_assert!(
+            (ctx.catalogs.published.resolution_fraction() - 1.0).abs() < 1e-12,
+            "{}",
+            ctx.catalogs.published.resolution_fraction()
+        );
+    }
+}

@@ -1,0 +1,374 @@
+//! The search engine: index construction over the published catalog and
+//! ranked top-k retrieval.
+//!
+//! Candidate generation uses the spatial R-tree, the temporal interval
+//! index, and an inverted term index; candidates are then scored exactly.
+//! Because ranking is similarity (not boolean filtering), the engine falls
+//! back to scoring the whole catalog when the candidate set is too small to
+//! fill `limit` confidently — and `use_indexes = false` forces the full
+//! scan, which the benchmarks use as the ablation baseline.
+
+use crate::interval::IntervalIndex;
+use crate::query::{Query, SpatialTerm};
+use crate::rtree::RTree;
+use crate::score::{score_dataset_prepared, PreparedTerm, ScoreBreakdown};
+use metamess_core::catalog::Catalog;
+use metamess_core::feature::DatasetFeature;
+use metamess_core::geo::GeoBBox;
+use metamess_core::id::DatasetId;
+use metamess_core::text::normalize_term;
+use metamess_core::time::TimeInterval;
+use metamess_vocab::Vocabulary;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One ranked search result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchHit {
+    /// Dataset id.
+    pub id: DatasetId,
+    /// Archive-relative path.
+    pub path: String,
+    /// Dataset title.
+    pub title: String,
+    /// Combined score in `[0, 1]`.
+    pub score: f64,
+    /// Per-facet explanation.
+    pub breakdown: ScoreBreakdown,
+}
+
+/// The "Data Near Here" search engine.
+pub struct SearchEngine {
+    vocab: Vocabulary,
+    datasets: Vec<DatasetFeature>,
+    rtree: RTree,
+    intervals: IntervalIndex,
+    terms: BTreeMap<String, Vec<usize>>,
+    /// Use the indexes for candidate generation (true) or score every
+    /// dataset (false) — the ablation switch.
+    pub use_indexes: bool,
+}
+
+impl SearchEngine {
+    /// Builds the engine over a catalog snapshot.
+    pub fn build(catalog: &Catalog, vocab: Vocabulary) -> SearchEngine {
+        let datasets: Vec<DatasetFeature> = catalog.iter().cloned().collect();
+        let mut spatial_entries = Vec::new();
+        let mut time_entries = Vec::new();
+        let mut terms: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (ix, d) in datasets.iter().enumerate() {
+            if let Some(b) = &d.bbox {
+                spatial_entries.push((*b, ix));
+            }
+            if let Some(t) = &d.time {
+                time_entries.push((*t, ix));
+            }
+            for v in d.searchable_variables() {
+                let mut keys: BTreeSet<String> = BTreeSet::new();
+                keys.insert(normalize_term(&v.name));
+                keys.insert(normalize_term(v.search_name()));
+                if let Some((canon, _)) = vocab.synonyms.resolve(v.search_name()) {
+                    keys.insert(normalize_term(canon));
+                    // index under every hierarchy ancestor so a query for a
+                    // broader concept reaches the leaf variables
+                    for anc in vocab.hierarchy_of(canon) {
+                        keys.insert(normalize_term(&anc));
+                    }
+                }
+                for k in keys {
+                    let posting = terms.entry(k).or_default();
+                    if posting.last() != Some(&ix) {
+                        posting.push(ix);
+                    }
+                }
+            }
+        }
+        SearchEngine {
+            vocab,
+            rtree: RTree::build(spatial_entries),
+            intervals: IntervalIndex::build(time_entries),
+            terms,
+            datasets,
+            use_indexes: true,
+        }
+    }
+
+    /// Number of indexed datasets.
+    pub fn len(&self) -> usize {
+        self.datasets.len()
+    }
+
+    /// True when no datasets are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.datasets.is_empty()
+    }
+
+    /// The vocabulary the engine expands terms with.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// The dataset behind a hit (for summary rendering).
+    pub fn dataset(&self, id: DatasetId) -> Option<&DatasetFeature> {
+        self.datasets.iter().find(|d| d.id == id)
+    }
+
+    fn candidates(&self, query: &Query) -> BTreeSet<usize> {
+        let mut out = BTreeSet::new();
+        let generous = (query.limit * 5).max(50);
+        if let Some(spatial) = &query.spatial {
+            match spatial {
+                SpatialTerm::Near { point, radius_km } => {
+                    for (ix, _) in self.rtree.nearest(point, generous) {
+                        out.insert(ix);
+                    }
+                    // everything within 4 radii
+                    let dlat = 4.0 * radius_km / 111.0;
+                    let dlon = 4.0 * radius_km / (111.0 * point.lat.to_radians().cos().max(0.1));
+                    let window = GeoBBox {
+                        min_lat: (point.lat - dlat).max(-90.0),
+                        max_lat: (point.lat + dlat).min(90.0),
+                        min_lon: (point.lon - dlon).max(-180.0),
+                        max_lon: (point.lon + dlon).min(180.0),
+                    };
+                    out.extend(self.rtree.intersecting(&window));
+                }
+                SpatialTerm::Region(region) => {
+                    out.extend(self.rtree.intersecting(region));
+                    // plus the nearest boxes around its centre
+                    for (ix, _) in self.rtree.nearest(&region.center(), generous) {
+                        out.insert(ix);
+                    }
+                }
+            }
+        }
+        if let Some(window) = &query.time {
+            let pad = (window.duration_secs() as i64).max(86_400);
+            let expanded = TimeInterval::new(
+                window.start.plus_seconds(-pad),
+                window.end.plus_seconds(pad),
+            );
+            out.extend(self.intervals.overlapping(&expanded));
+        }
+        for term in &query.variables {
+            let mut keys: BTreeSet<String> = BTreeSet::new();
+            for e in self.vocab.expand_term(&term.name) {
+                keys.insert(normalize_term(&e));
+            }
+            keys.insert(normalize_term(&term.name));
+            // broaden through ancestors so sibling-level matches surface
+            if let Some((canon, _)) = self.vocab.synonyms.resolve(&term.name) {
+                for anc in self.vocab.hierarchy_of(canon) {
+                    keys.insert(normalize_term(&anc));
+                }
+            }
+            for k in keys {
+                if let Some(postings) = self.terms.get(&k) {
+                    out.extend(postings.iter().copied());
+                }
+            }
+        }
+        out
+    }
+
+    /// Runs a ranked search, returning at most `query.limit` hits, best
+    /// first (ties broken by path for determinism).
+    pub fn search(&self, query: &Query) -> Vec<SearchHit> {
+        let candidate_ixs: Vec<usize> = if !self.use_indexes || query.is_empty() {
+            (0..self.datasets.len()).collect()
+        } else {
+            let c = self.candidates(query);
+            // Similarity ranking: when the candidate pool cannot comfortably
+            // fill the requested k, score everything instead.
+            if c.len() < query.limit * 3 {
+                (0..self.datasets.len()).collect()
+            } else {
+                c.into_iter().collect()
+            }
+        };
+        let prepared: Vec<PreparedTerm> =
+            query.variables.iter().map(|t| PreparedTerm::prepare(t, &self.vocab)).collect();
+        let mut hits: Vec<SearchHit> = candidate_ixs
+            .into_iter()
+            .map(|ix| {
+                let d = &self.datasets[ix];
+                let breakdown = score_dataset_prepared(query, &prepared, d, &self.vocab);
+                SearchHit {
+                    id: d.id,
+                    path: d.path.clone(),
+                    title: d.title.clone(),
+                    score: breakdown.total,
+                    breakdown,
+                }
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.path.cmp(&b.path))
+        });
+        hits.truncate(query.limit);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metamess_core::feature::{NameResolution, VariableFeature};
+    use metamess_core::geo::GeoPoint;
+    use metamess_core::time::Timestamp;
+
+    fn make_dataset(
+        path: &str,
+        lat: f64,
+        lon: f64,
+        month: u32,
+        vars: &[(&str, &str, f64, f64)],
+    ) -> DatasetFeature {
+        let mut d = DatasetFeature::new(path);
+        d.title = path.to_string();
+        d.bbox = Some(GeoBBox::point(GeoPoint::new(lat, lon).unwrap()));
+        d.time = Some(TimeInterval::new(
+            Timestamp::from_ymd(2010, month, 1).unwrap(),
+            Timestamp::from_ymd(2010, month, 28).unwrap(),
+        ));
+        for (name, canon, lo, hi) in vars {
+            let mut v = VariableFeature::new(*name);
+            if !canon.is_empty() {
+                v.resolve(*canon, NameResolution::KnownTranslation);
+            }
+            v.summary.observe(*lo);
+            v.summary.observe(*hi);
+            d.variables.push(v);
+        }
+        d
+    }
+
+    fn engine() -> SearchEngine {
+        let mut c = Catalog::new();
+        // coastal station with cool temperatures in summer
+        c.put(make_dataset(
+            "coast.csv",
+            45.50,
+            -124.38,
+            6,
+            &[("temp", "water_temperature", 5.0, 10.0), ("sal", "salinity", 28.0, 33.0)],
+        ));
+        // estuary station, warmer
+        c.put(make_dataset(
+            "estuary.csv",
+            46.18,
+            -123.18,
+            6,
+            &[("wtemp", "water_temperature", 14.0, 20.0)],
+        ));
+        // winter file at the coastal site
+        c.put(make_dataset(
+            "coast_winter.csv",
+            45.50,
+            -124.38,
+            1,
+            &[("temp", "water_temperature", 4.0, 8.0)],
+        ));
+        // met station nearby
+        c.put(make_dataset(
+            "met.csv",
+            45.52,
+            -124.40,
+            6,
+            &[("airtmp", "air_temperature", 10.0, 22.0)],
+        ));
+        SearchEngine::build(&c, Vocabulary::observatory_default())
+    }
+
+    #[test]
+    fn poster_query_ranks_coastal_summer_first() {
+        let e = engine();
+        let q = Query::parse(
+            "near 45.5,-124.4 within 25km from 2010-05-01 to 2010-08-31 \
+             with water_temperature between 5 and 10",
+        )
+        .unwrap();
+        let hits = e.search(&q);
+        assert_eq!(hits[0].path, "coast.csv");
+        assert!(hits[0].score > 0.9, "{}", hits[0].score);
+        // winter file at the same site ranks below (time mismatch)
+        let winter_rank = hits.iter().position(|h| h.path == "coast_winter.csv").unwrap();
+        assert!(winter_rank > 0);
+        // scores strictly ordered
+        for w in hits.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn indexed_and_linear_agree_on_ranking() {
+        let mut e = engine();
+        let q = Query::parse("near 46.0,-123.5 with salinity limit 4").unwrap();
+        let indexed = e.search(&q);
+        e.use_indexes = false;
+        let linear = e.search(&q);
+        assert_eq!(
+            indexed.iter().map(|h| &h.path).collect::<Vec<_>>(),
+            linear.iter().map(|h| &h.path).collect::<Vec<_>>()
+        );
+        for (a, b) in indexed.iter().zip(linear.iter()) {
+            assert!((a.score - b.score).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn synonym_query_finds_resolved_variable() {
+        let e = engine();
+        // "wtemp" is a curated alternate of water_temperature
+        let q = Query::parse("with wtemp").unwrap();
+        let hits = e.search(&q);
+        assert!(hits[0].score > 0.8);
+        assert!(hits.iter().take(3).any(|h| h.path == "estuary.csv"));
+    }
+
+    #[test]
+    fn limit_respected() {
+        let e = engine();
+        let q = Query::parse("with water_temperature limit 2").unwrap();
+        assert_eq!(e.search(&q).len(), 2);
+    }
+
+    #[test]
+    fn empty_engine() {
+        let e = SearchEngine::build(&Catalog::new(), Vocabulary::observatory_default());
+        assert!(e.is_empty());
+        assert!(e.search(&Query::parse("with salinity").unwrap()).is_empty());
+    }
+
+    #[test]
+    fn empty_query_returns_zero_scores() {
+        let e = engine();
+        let hits = e.search(&Query::new());
+        assert!(!hits.is_empty());
+        assert!(hits.iter().all(|h| h.score == 0.0));
+    }
+
+    #[test]
+    fn breakdown_explains_facets() {
+        let e = engine();
+        let q = Query::parse("near 45.5,-124.4 with water_temperature").unwrap();
+        let hits = e.search(&q);
+        let b = &hits[0].breakdown;
+        assert!(b.space.is_some());
+        assert!(b.time.is_none()); // no time clause
+        assert!(b.variables.is_some());
+        assert_eq!(b.variable_matches.len(), 1);
+        assert!(b.variable_matches[0].1.is_some());
+    }
+
+    #[test]
+    fn dataset_lookup_by_hit_id() {
+        let e = engine();
+        let q = Query::parse("with salinity").unwrap();
+        let hits = e.search(&q);
+        let d = e.dataset(hits[0].id).unwrap();
+        assert_eq!(d.path, hits[0].path);
+    }
+}

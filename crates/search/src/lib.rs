@@ -1,0 +1,26 @@
+//! # metamess-search
+//!
+//! "Data Near Here": ranked similarity search over the metadata catalog —
+//! query model and text query language, distance-based scoring over
+//! location/time/variables with vocabulary expansion, a static R-tree and
+//! interval index for candidate generation, and the text renderings of the
+//! poster's search-interface and dataset-summary figures.
+
+mod browse;
+mod engine;
+mod interval;
+mod query;
+mod rtree;
+mod score;
+mod summary;
+
+pub use browse::{browse_all, browse_taxonomy, BrowseNode, BrowseTree};
+pub use engine::{SearchEngine, SearchHit};
+pub use interval::IntervalIndex;
+pub use query::{Query, SpatialTerm, VariableTerm, Weights};
+pub use rtree::RTree;
+pub use score::{
+    prepared_term_score, score_dataset, score_dataset_prepared, spatial_score, temporal_score,
+    variable_term_score, PreparedTerm, ScoreBreakdown,
+};
+pub use summary::{render_results, render_summary};

@@ -1,0 +1,372 @@
+//! The query model and the "Data Near Here" text query language.
+//!
+//! The poster's example information need — *"observations collected near
+//! [lat = 45.5, lon = -124.4] in mid-2010, with temperature between 5-10C"*
+//! — is written:
+//!
+//! ```text
+//! near 45.5,-124.4 within 50km from 2010-05-01 to 2010-08-31 with temperature between 5 and 10
+//! ```
+//!
+//! Clauses, all optional, in any order:
+//! * `near <lat>,<lon> [within <km>km]` — spatial point + radius
+//! * `in <minlat>,<minlon>..<maxlat>,<maxlon>` — spatial region
+//! * `from <date> to <date>` / `during <YYYY>[-MM]` — time window
+//! * `with <variable> [between <a> and <b>]` — variable term (repeatable)
+
+use metamess_core::error::{Error, Result};
+use metamess_core::geo::{GeoBBox, GeoPoint};
+use metamess_core::time::{TimeInterval, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// Spatial constraint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SpatialTerm {
+    /// Near a point, with a characteristic radius in km.
+    Near {
+        /// Query point.
+        point: GeoPoint,
+        /// Characteristic radius (km); distance decays against this scale.
+        radius_km: f64,
+    },
+    /// Within / near a region.
+    Region(GeoBBox),
+}
+
+/// One variable term of a query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VariableTerm {
+    /// Variable name as the scientist typed it.
+    pub name: String,
+    /// Desired value range, when given.
+    pub range: Option<(f64, f64)>,
+}
+
+/// Relative weights of the three facet families (normalized at use).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Weights {
+    /// Spatial facet weight.
+    pub space: f64,
+    /// Temporal facet weight.
+    pub time: f64,
+    /// Variable facet weight.
+    pub variables: f64,
+}
+
+impl Default for Weights {
+    fn default() -> Self {
+        Weights { space: 1.0, time: 1.0, variables: 1.0 }
+    }
+}
+
+/// A ranked-search query over location, time, and variables.
+///
+/// ```
+/// use metamess_search::Query;
+///
+/// let q = Query::parse(
+///     "near 45.5,-124.4 within 50km during 2010-06 with temperature between 5 and 10",
+/// )
+/// .unwrap();
+/// assert_eq!(q.variables[0].range, Some((5.0, 10.0)));
+/// assert!(q.spatial.is_some() && q.time.is_some());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// Spatial constraint, when any.
+    pub spatial: Option<SpatialTerm>,
+    /// Time window, when any.
+    pub time: Option<TimeInterval>,
+    /// Variable terms (any number).
+    pub variables: Vec<VariableTerm>,
+    /// Facet weights.
+    pub weights: Weights,
+    /// Maximum results to return.
+    pub limit: usize,
+}
+
+impl Query {
+    /// An empty query (matches everything weakly).
+    pub fn new() -> Query {
+        Query { limit: 10, ..Query::default() }
+    }
+
+    /// Builder: spatial point + radius.
+    pub fn near(mut self, lat: f64, lon: f64, radius_km: f64) -> Result<Query> {
+        self.spatial =
+            Some(SpatialTerm::Near { point: GeoPoint::new(lat, lon)?, radius_km: radius_km.max(0.1) });
+        Ok(self)
+    }
+
+    /// Builder: spatial region.
+    pub fn in_region(mut self, bbox: GeoBBox) -> Query {
+        self.spatial = Some(SpatialTerm::Region(bbox));
+        self
+    }
+
+    /// Builder: time window.
+    pub fn between(mut self, start: Timestamp, end: Timestamp) -> Query {
+        self.time = Some(TimeInterval::new(start, end));
+        self
+    }
+
+    /// Builder: adds a variable term.
+    pub fn with_variable(mut self, name: impl Into<String>, range: Option<(f64, f64)>) -> Query {
+        let range = range.map(|(a, b)| if a <= b { (a, b) } else { (b, a) });
+        self.variables.push(VariableTerm { name: name.into(), range });
+        self
+    }
+
+    /// Builder: result limit.
+    pub fn limit(mut self, k: usize) -> Query {
+        self.limit = k.max(1);
+        self
+    }
+
+    /// True when the query has no constraints at all.
+    pub fn is_empty(&self) -> bool {
+        self.spatial.is_none() && self.time.is_none() && self.variables.is_empty()
+    }
+
+    /// Parses the text query language; see the module docs for the grammar.
+    pub fn parse(text: &str) -> Result<Query> {
+        let tokens: Vec<&str> = text.split_whitespace().collect();
+        let mut q = Query::new();
+        let mut i = 0;
+        let err = |msg: &str| Error::parse("query", msg.to_string());
+        let take = |tokens: &[&str], i: &mut usize, what: &str| -> Result<String> {
+            let t = tokens
+                .get(*i)
+                .ok_or_else(|| Error::parse("query", format!("expected {what} at end of query")))?;
+            *i += 1;
+            Ok((*t).to_string())
+        };
+        while i < tokens.len() {
+            match tokens[i].to_ascii_lowercase().as_str() {
+                "near" => {
+                    i += 1;
+                    let coords = take(&tokens, &mut i, "lat,lon")?;
+                    let (lat, lon) = coords
+                        .split_once(',')
+                        .ok_or_else(|| err("'near' needs lat,lon"))?;
+                    let lat: f64 = lat.trim().parse().map_err(|_| err("bad latitude"))?;
+                    let lon: f64 = lon.trim().parse().map_err(|_| err("bad longitude"))?;
+                    let mut radius = 25.0;
+                    if tokens.get(i).is_some_and(|t| t.eq_ignore_ascii_case("within")) {
+                        i += 1;
+                        let r = take(&tokens, &mut i, "radius")?;
+                        let r = r.trim_end_matches("km").trim_end_matches("KM");
+                        radius = r.parse().map_err(|_| err("bad radius"))?;
+                    }
+                    q = q.near(lat, lon, radius)?;
+                }
+                "in" => {
+                    i += 1;
+                    let spec = take(&tokens, &mut i, "region")?;
+                    let (a, b) = spec.split_once("..").ok_or_else(|| err("'in' needs a..b"))?;
+                    let parse_pt = |s: &str| -> Result<GeoPoint> {
+                        let (lat, lon) =
+                            s.split_once(',').ok_or_else(|| err("region corner needs lat,lon"))?;
+                        GeoPoint::new(
+                            lat.trim().parse().map_err(|_| err("bad latitude"))?,
+                            lon.trim().parse().map_err(|_| err("bad longitude"))?,
+                        )
+                    };
+                    let p1 = parse_pt(a)?;
+                    let p2 = parse_pt(b)?;
+                    let bbox = GeoBBox {
+                        min_lat: p1.lat.min(p2.lat),
+                        max_lat: p1.lat.max(p2.lat),
+                        min_lon: p1.lon.min(p2.lon),
+                        max_lon: p1.lon.max(p2.lon),
+                    };
+                    q = q.in_region(bbox);
+                }
+                "from" => {
+                    i += 1;
+                    let a = take(&tokens, &mut i, "start date")?;
+                    if !tokens.get(i).is_some_and(|t| t.eq_ignore_ascii_case("to")) {
+                        return Err(err("'from <date>' needs 'to <date>'"));
+                    }
+                    i += 1;
+                    let b = take(&tokens, &mut i, "end date")?;
+                    let start = Timestamp::parse(&a)?;
+                    let end_base = Timestamp::parse(&b)?;
+                    // a bare end *date* is inclusive: extend to end of day
+                    let end = if b.len() == 10 { end_base.plus_seconds(86_399) } else { end_base };
+                    q = q.between(start, end);
+                }
+                "during" => {
+                    i += 1;
+                    let spec = take(&tokens, &mut i, "year or year-month")?;
+                    let (start, end) = parse_during(&spec)?;
+                    q = q.between(start, end);
+                }
+                "with" => {
+                    i += 1;
+                    let name = take(&tokens, &mut i, "variable name")?;
+                    let mut range = None;
+                    if tokens.get(i).is_some_and(|t| t.eq_ignore_ascii_case("between")) {
+                        i += 1;
+                        let a = take(&tokens, &mut i, "range start")?;
+                        if !tokens.get(i).is_some_and(|t| t.eq_ignore_ascii_case("and")) {
+                            return Err(err("'between <a>' needs 'and <b>'"));
+                        }
+                        i += 1;
+                        let b = take(&tokens, &mut i, "range end")?;
+                        let a: f64 = a.parse().map_err(|_| err("bad range start"))?;
+                        let b: f64 = b.parse().map_err(|_| err("bad range end"))?;
+                        range = Some((a, b));
+                    }
+                    q = q.with_variable(name, range);
+                }
+                "limit" => {
+                    i += 1;
+                    let k = take(&tokens, &mut i, "limit")?;
+                    q = q.limit(k.parse().map_err(|_| err("bad limit"))?);
+                }
+                other => {
+                    return Err(Error::parse("query", format!("unknown clause '{other}'")));
+                }
+            }
+        }
+        Ok(q)
+    }
+}
+
+/// `during 2010` → the whole year; `during 2010-06` → the whole month.
+fn parse_during(spec: &str) -> Result<(Timestamp, Timestamp)> {
+    let parts: Vec<&str> = spec.split('-').collect();
+    let bad = || Error::parse("query", format!("bad 'during' spec '{spec}'"));
+    match parts.as_slice() {
+        [y] => {
+            let y: i64 = y.parse().map_err(|_| bad())?;
+            Ok((
+                Timestamp::from_ymd(y, 1, 1)?,
+                Timestamp::from_ymd(y + 1, 1, 1)?.plus_seconds(-1),
+            ))
+        }
+        [y, m] => {
+            let y: i64 = y.parse().map_err(|_| bad())?;
+            let m: u32 = m.parse().map_err(|_| bad())?;
+            let start = Timestamp::from_ymd(y, m, 1)?;
+            let (ny, nm) = if m == 12 { (y + 1, 1) } else { (y, m + 1) };
+            Ok((start, Timestamp::from_ymd(ny, nm, 1)?.plus_seconds(-1)))
+        }
+        _ => Err(bad()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_poster_query() {
+        let q = Query::parse(
+            "near 45.5,-124.4 within 50km from 2010-05-01 to 2010-08-31 \
+             with temperature between 5 and 10",
+        )
+        .unwrap();
+        match q.spatial.unwrap() {
+            SpatialTerm::Near { point, radius_km } => {
+                assert_eq!(point.lat, 45.5);
+                assert_eq!(point.lon, -124.4);
+                assert_eq!(radius_km, 50.0);
+            }
+            other => panic!("{other:?}"),
+        }
+        let t = q.time.unwrap();
+        assert_eq!(t.start.to_date_string(), "2010-05-01");
+        assert_eq!(t.end.to_date_string(), "2010-08-31");
+        assert_eq!(q.variables.len(), 1);
+        assert_eq!(q.variables[0].name, "temperature");
+        assert_eq!(q.variables[0].range, Some((5.0, 10.0)));
+    }
+
+    #[test]
+    fn parse_default_radius() {
+        let q = Query::parse("near 46.0,-123.5").unwrap();
+        match q.spatial.unwrap() {
+            SpatialTerm::Near { radius_km, .. } => assert_eq!(radius_km, 25.0),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_region() {
+        let q = Query::parse("in 46.3,-124.0..45.9,-123.0").unwrap();
+        match q.spatial.unwrap() {
+            SpatialTerm::Region(b) => {
+                assert_eq!(b.min_lat, 45.9);
+                assert_eq!(b.max_lat, 46.3);
+                assert_eq!(b.min_lon, -124.0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_during_forms() {
+        let q = Query::parse("during 2010").unwrap();
+        let t = q.time.unwrap();
+        assert_eq!(t.start.to_date_string(), "2010-01-01");
+        assert_eq!(t.end.to_date_string(), "2010-12-31");
+        let q2 = Query::parse("during 2010-06").unwrap();
+        let t2 = q2.time.unwrap();
+        assert_eq!(t2.start.to_date_string(), "2010-06-01");
+        assert_eq!(t2.end.to_date_string(), "2010-06-30");
+        let q3 = Query::parse("during 2010-12").unwrap();
+        assert_eq!(q3.time.unwrap().end.to_date_string(), "2010-12-31");
+    }
+
+    #[test]
+    fn parse_multiple_variables() {
+        let q = Query::parse("with salinity with temperature between 5 and 10 limit 3").unwrap();
+        assert_eq!(q.variables.len(), 2);
+        assert_eq!(q.variables[0].range, None);
+        assert_eq!(q.limit, 3);
+    }
+
+    #[test]
+    fn parse_errors() {
+        for bad in [
+            "near",
+            "near 45.5",
+            "near notanumber,-124",
+            "from 2010-01-01",
+            "from 2010-01-01 until 2010-02-01",
+            "with temperature between 5",
+            "with temperature between 5 and x",
+            "frobnicate everything",
+            "in 45,-124",
+            "during 2010-06-01-02",
+            "limit x",
+        ] {
+            assert!(Query::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn builder_normalizes_range() {
+        let q = Query::new().with_variable("t", Some((10.0, 5.0)));
+        assert_eq!(q.variables[0].range, Some((5.0, 10.0)));
+    }
+
+    #[test]
+    fn empty_query() {
+        let q = Query::parse("").unwrap();
+        assert!(q.is_empty());
+        assert_eq!(q.limit, 10);
+    }
+
+    #[test]
+    fn inclusive_end_date() {
+        let q = Query::parse("from 2010-05-01 to 2010-05-02").unwrap();
+        let t = q.time.unwrap();
+        assert_eq!(t.end.to_iso8601(), "2010-05-02T23:59:59Z");
+        // explicit timestamp end is taken verbatim
+        let q2 = Query::parse("from 2010-05-01 to 2010-05-02T06:00:00Z").unwrap();
+        assert_eq!(q2.time.unwrap().end.to_iso8601(), "2010-05-02T06:00:00Z");
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for the spatial and temporal indexes against brute force.
+
+use metamess_core::geo::{GeoBBox, GeoPoint};
+use metamess_core::time::{TimeInterval, Timestamp};
+use metamess_search::{IntervalIndex, RTree};
+use proptest::prelude::*;
+
+/// Boxes within the regional domain the catalog documents: the clamp-then-
+/// haversine box distance is a true minimum there (it is *not* a sphere-wide
+/// lower bound, which `GeoBBox::distance_km`'s docs call out), so nearest-
+/// neighbour search is exact on this domain.
+fn arb_bbox() -> impl Strategy<Value = GeoBBox> {
+    ((40.0f64..50.0, -130.0f64..-120.0), (0.0f64..2.0, 0.0f64..2.0)).prop_map(
+        |((lat, lon), (dlat, dlon))| GeoBBox {
+            min_lat: lat,
+            max_lat: (lat + dlat).min(90.0),
+            min_lon: lon,
+            max_lon: (lon + dlon).min(180.0),
+        },
+    )
+}
+
+fn arb_interval() -> impl Strategy<Value = TimeInterval> {
+    (0i64..1_000_000, 0i64..50_000)
+        .prop_map(|(a, len)| TimeInterval::new(Timestamp(a), Timestamp(a + len)))
+}
+
+proptest! {
+    #[test]
+    fn rtree_intersection_equals_brute_force(
+        boxes in prop::collection::vec(arb_bbox(), 0..120),
+        query in arb_bbox(),
+    ) {
+        let entries: Vec<(GeoBBox, usize)> =
+            boxes.iter().copied().enumerate().map(|(i, b)| (b, i)).collect();
+        let tree = RTree::build(entries.clone());
+        let mut expect: Vec<usize> = entries
+            .iter()
+            .filter(|(b, _)| b.intersects(&query))
+            .map(|(_, p)| *p)
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(tree.intersecting(&query), expect);
+    }
+
+    #[test]
+    fn rtree_nearest_matches_brute_force(
+        boxes in prop::collection::vec(arb_bbox(), 1..100),
+        lat in 38.0f64..52.0,
+        lon in -132.0f64..-118.0,
+        k in 1usize..12,
+    ) {
+        let entries: Vec<(GeoBBox, usize)> =
+            boxes.iter().copied().enumerate().map(|(i, b)| (b, i)).collect();
+        let tree = RTree::build(entries.clone());
+        let p = GeoPoint { lat, lon };
+        let got = tree.nearest(&p, k);
+        prop_assert_eq!(got.len(), k.min(entries.len()));
+        let mut all: Vec<f64> = entries.iter().map(|(b, _)| b.distance_km(&p)).collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (ix, (_, d)) in got.iter().enumerate() {
+            prop_assert!((d - all[ix]).abs() < 1e-9, "rank {ix}: {d} vs {}", all[ix]);
+        }
+        // nondecreasing distances
+        for w in got.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn interval_index_equals_brute_force(
+        intervals in prop::collection::vec(arb_interval(), 0..150),
+        query in arb_interval(),
+    ) {
+        let entries: Vec<(TimeInterval, usize)> =
+            intervals.iter().copied().enumerate().map(|(i, iv)| (iv, i)).collect();
+        let ix = IntervalIndex::build(entries.clone());
+        let mut expect: Vec<usize> = entries
+            .iter()
+            .filter(|(iv, _)| iv.overlaps(&query))
+            .map(|(_, p)| *p)
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(ix.overlapping(&query), expect);
+    }
+
+    #[test]
+    fn interval_stabbing_equals_brute_force(
+        intervals in prop::collection::vec(arb_interval(), 0..150),
+        t in 0i64..1_050_000,
+    ) {
+        let entries: Vec<(TimeInterval, usize)> =
+            intervals.iter().copied().enumerate().map(|(i, iv)| (iv, i)).collect();
+        let ix = IntervalIndex::build(entries.clone());
+        let mut expect: Vec<usize> = entries
+            .iter()
+            .filter(|(iv, _)| iv.contains(Timestamp(t)))
+            .map(|(_, p)| *p)
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(ix.stabbing(Timestamp(t)), expect);
+    }
+}

@@ -1,0 +1,100 @@
+//! Abstract syntax tree for the GREL subset.
+
+/// A GREL expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// String literal.
+    Str(String),
+    /// Numeric literal.
+    Number(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// A variable: `value`, or `cells` member access is modelled as
+    /// [`Expr::Cell`].
+    Var(String),
+    /// `cells["column"]` / `cells.column` — another column of the row.
+    Cell(String),
+    /// Function call `f(args...)`.
+    Call {
+        /// Function name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Method call `recv.m(args...)` — sugar for `m(recv, args...)`.
+    Method {
+        /// Receiver expression.
+        recv: Box<Expr>,
+        /// Method name.
+        name: String,
+        /// Arguments after the receiver.
+        args: Vec<Expr>,
+    },
+    /// Indexing / slicing `recv[a]` or `recv[a, b]` (GREL slice syntax).
+    Index {
+        /// Receiver expression.
+        recv: Box<Expr>,
+        /// Start index.
+        start: Box<Expr>,
+        /// Optional end index.
+        end: Option<Box<Expr>>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Logical not.
+    Not,
+    /// Numeric negation.
+    Neg,
+}
+
+/// Binary operators, loosest-binding last.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `+` (numeric addition or string concatenation).
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}

@@ -1,0 +1,633 @@
+//! Evaluator for the GREL subset.
+//!
+//! Evaluation happens per cell: `value` is the current cell, `cells[...]`
+//! reads sibling columns of the same row. The builtin function set covers
+//! what the paper's metadata-wrangling expressions need (string cleanup,
+//! predicates, conditionals, fingerprints).
+
+use super::ast::{BinaryOp, Expr, UnaryOp};
+use metamess_core::error::{Error, Result};
+use metamess_core::value::{Record, Value};
+
+/// Evaluation context for one cell.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalContext<'a> {
+    /// The current cell value (`value` in GREL).
+    pub value: &'a Value,
+    /// The row the cell belongs to, when available (`cells[...]`).
+    pub record: Option<&'a Record>,
+}
+
+impl<'a> EvalContext<'a> {
+    /// Context over a lone value (no row).
+    pub fn of_value(value: &'a Value) -> EvalContext<'a> {
+        EvalContext { value, record: None }
+    }
+}
+
+/// Evaluates an expression in a context.
+pub fn eval(expr: &Expr, ctx: &EvalContext<'_>) -> Result<Value> {
+    match expr {
+        Expr::Str(s) => Ok(Value::Text(s.clone())),
+        Expr::Number(n) => Ok(num(*n)),
+        Expr::Bool(b) => Ok(Value::Bool(*b)),
+        Expr::Null => Ok(Value::Null),
+        Expr::Var(name) => match name.as_str() {
+            "value" => Ok(ctx.value.clone()),
+            other => Err(Error::invalid(format!("unknown variable '{other}'"))),
+        },
+        Expr::Cell(col) => {
+            let rec = ctx
+                .record
+                .ok_or_else(|| Error::invalid("cells[...] used without a row context"))?;
+            Ok(rec.get(col).cloned().unwrap_or(Value::Null))
+        }
+        Expr::Call { name, args } => {
+            let mut vals = Vec::with_capacity(args.len());
+            // `if` is lazy in its branches.
+            if name == "if" {
+                return eval_if(args, ctx);
+            }
+            for a in args {
+                vals.push(eval(a, ctx)?);
+            }
+            call(name, &vals)
+        }
+        Expr::Method { recv, name, args } => {
+            if name == "if" {
+                return Err(Error::invalid("'if' is not a method"));
+            }
+            let mut vals = Vec::with_capacity(args.len() + 1);
+            vals.push(eval(recv, ctx)?);
+            for a in args {
+                vals.push(eval(a, ctx)?);
+            }
+            call(name, &vals)
+        }
+        Expr::Index { recv, start, end } => {
+            let r = eval(recv, ctx)?;
+            let s = eval(start, ctx)?;
+            let e = match end {
+                Some(e) => Some(eval(e, ctx)?),
+                None => None,
+            };
+            index(&r, &s, e.as_ref())
+        }
+        Expr::Unary { op, expr } => {
+            let v = eval(expr, ctx)?;
+            match op {
+                UnaryOp::Not => Ok(Value::Bool(!truthy(&v))),
+                UnaryOp::Neg => {
+                    let n = v
+                        .as_f64()
+                        .ok_or_else(|| Error::invalid(format!("cannot negate {}", v.type_name())))?;
+                    Ok(num(-n))
+                }
+            }
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            // Short-circuit logical operators.
+            match op {
+                BinaryOp::And => {
+                    let l = eval(lhs, ctx)?;
+                    if !truthy(&l) {
+                        return Ok(Value::Bool(false));
+                    }
+                    let r = eval(rhs, ctx)?;
+                    return Ok(Value::Bool(truthy(&r)));
+                }
+                BinaryOp::Or => {
+                    let l = eval(lhs, ctx)?;
+                    if truthy(&l) {
+                        return Ok(Value::Bool(true));
+                    }
+                    let r = eval(rhs, ctx)?;
+                    return Ok(Value::Bool(truthy(&r)));
+                }
+                _ => {}
+            }
+            let l = eval(lhs, ctx)?;
+            let r = eval(rhs, ctx)?;
+            binary(*op, &l, &r)
+        }
+    }
+}
+
+fn eval_if(args: &[Expr], ctx: &EvalContext<'_>) -> Result<Value> {
+    if args.len() != 3 {
+        return Err(Error::invalid(format!("if() takes 3 arguments, got {}", args.len())));
+    }
+    let cond = eval(&args[0], ctx)?;
+    if truthy(&cond) {
+        eval(&args[1], ctx)
+    } else {
+        eval(&args[2], ctx)
+    }
+}
+
+/// Converts an f64 to the tightest Value (Int when integral).
+fn num(n: f64) -> Value {
+    if n.fract() == 0.0 && n.abs() < i64::MAX as f64 {
+        Value::Int(n as i64)
+    } else {
+        Value::Float(n)
+    }
+}
+
+/// GREL truthiness: false, null, empty string, and 0 are false.
+pub fn truthy(v: &Value) -> bool {
+    match v {
+        Value::Null => false,
+        Value::Bool(b) => *b,
+        Value::Int(i) => *i != 0,
+        Value::Float(f) => *f != 0.0,
+        Value::Text(s) => !s.is_empty(),
+        Value::Time(_) => true,
+    }
+}
+
+fn as_str(v: &Value) -> String {
+    v.render().into_owned()
+}
+
+fn need_str(v: &Value, _f: &str) -> Result<String> {
+    // GREL string functions accept any scalar and stringify it; null reads
+    // as the empty string (matches Refine's isBlank-oriented pipelines).
+    match v {
+        Value::Text(s) => Ok(s.clone()),
+        Value::Null => Ok(String::new()),
+        other => Ok(other.render().into_owned()),
+    }
+}
+
+fn need_num(v: &Value, f: &str) -> Result<f64> {
+    v.as_f64().ok_or_else(|| Error::invalid(format!("{f}: expected number, got {}", v.type_name())))
+}
+
+fn index(recv: &Value, start: &Value, end: Option<&Value>) -> Result<Value> {
+    let s = need_str(recv, "index")?;
+    let chars: Vec<char> = s.chars().collect();
+    let n = chars.len() as i64;
+    let clamp = |ix: i64| -> usize {
+        let ix = if ix < 0 { ix + n } else { ix };
+        ix.clamp(0, n) as usize
+    };
+    let a = need_num(start, "index")? as i64;
+    match end {
+        None => {
+            let ix = if a < 0 { a + n } else { a };
+            if ix < 0 || ix >= n {
+                return Ok(Value::Null);
+            }
+            Ok(Value::Text(chars[ix as usize].to_string()))
+        }
+        Some(e) => {
+            let b = need_num(e, "slice")? as i64;
+            let (a, b) = (clamp(a), clamp(b));
+            if a >= b {
+                return Ok(Value::Text(String::new()));
+            }
+            Ok(Value::Text(chars[a..b].iter().collect()))
+        }
+    }
+}
+
+fn binary(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
+    use BinaryOp::*;
+    match op {
+        Add => {
+            if let (Some(a), Some(b)) = (l.as_f64(), r.as_f64()) {
+                Ok(num(a + b))
+            } else {
+                Ok(Value::Text(format!("{}{}", as_str(l), as_str(r))))
+            }
+        }
+        Sub | Mul | Div | Mod => {
+            let a = need_num(l, "arithmetic")?;
+            let b = need_num(r, "arithmetic")?;
+            let out = match op {
+                Sub => a - b,
+                Mul => a * b,
+                Div => {
+                    if b == 0.0 {
+                        return Err(Error::invalid("division by zero"));
+                    }
+                    a / b
+                }
+                Mod => {
+                    if b == 0.0 {
+                        return Err(Error::invalid("modulo by zero"));
+                    }
+                    a.rem_euclid(b)
+                }
+                _ => unreachable!(),
+            };
+            Ok(num(out))
+        }
+        Eq => Ok(Value::Bool(value_eq(l, r))),
+        Ne => Ok(Value::Bool(!value_eq(l, r))),
+        Lt | Le | Gt | Ge => {
+            let ord = compare(l, r)?;
+            let b = match op {
+                Lt => ord.is_lt(),
+                Le => ord.is_le(),
+                Gt => ord.is_gt(),
+                Ge => ord.is_ge(),
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(b))
+        }
+        And | Or => unreachable!("short-circuited in eval"),
+    }
+}
+
+fn value_eq(l: &Value, r: &Value) -> bool {
+    match (l.as_f64(), r.as_f64()) {
+        (Some(a), Some(b)) => a == b,
+        _ => as_str(l) == as_str(r),
+    }
+}
+
+fn compare(l: &Value, r: &Value) -> Result<std::cmp::Ordering> {
+    match (l.as_f64(), r.as_f64()) {
+        (Some(a), Some(b)) => a
+            .partial_cmp(&b)
+            .ok_or_else(|| Error::invalid("incomparable numbers (NaN)")),
+        _ => Ok(as_str(l).cmp(&as_str(r))),
+    }
+}
+
+/// The Refine-style fingerprint key: trim, lowercase, strip punctuation,
+/// split on whitespace, sort and deduplicate tokens, rejoin.
+pub fn fingerprint_key(s: &str) -> String {
+    let lowered = s.trim().to_lowercase();
+    let cleaned: String = lowered
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c } else { ' ' })
+        .collect();
+    let mut tokens: Vec<&str> = cleaned.split_whitespace().collect();
+    tokens.sort_unstable();
+    tokens.dedup();
+    tokens.join(" ")
+}
+
+fn call(name: &str, args: &[Value]) -> Result<Value> {
+    let argn = |n: usize| -> Result<()> {
+        if args.len() != n {
+            Err(Error::invalid(format!("{name}() takes {n} argument(s), got {}", args.len())))
+        } else {
+            Ok(())
+        }
+    };
+    match name {
+        "trim" | "strip" => {
+            argn(1)?;
+            Ok(Value::Text(need_str(&args[0], name)?.trim().to_string()))
+        }
+        "toLowercase" => {
+            argn(1)?;
+            Ok(Value::Text(need_str(&args[0], name)?.to_lowercase()))
+        }
+        "toUppercase" => {
+            argn(1)?;
+            Ok(Value::Text(need_str(&args[0], name)?.to_uppercase()))
+        }
+        "toTitlecase" => {
+            argn(1)?;
+            let s = need_str(&args[0], name)?.to_lowercase();
+            let mut out = String::with_capacity(s.len());
+            let mut boundary = true;
+            for c in s.chars() {
+                if boundary && c.is_alphabetic() {
+                    out.extend(c.to_uppercase());
+                    boundary = false;
+                } else {
+                    out.push(c);
+                    if !c.is_alphanumeric() {
+                        boundary = true;
+                    }
+                }
+            }
+            Ok(Value::Text(out))
+        }
+        "length" => {
+            argn(1)?;
+            Ok(Value::Int(need_str(&args[0], name)?.chars().count() as i64))
+        }
+        "replace" => {
+            argn(3)?;
+            let s = need_str(&args[0], name)?;
+            let find = need_str(&args[1], name)?;
+            let repl = need_str(&args[2], name)?;
+            if find.is_empty() {
+                return Ok(Value::Text(s));
+            }
+            Ok(Value::Text(s.replace(&find, &repl)))
+        }
+        "replaceChars" => {
+            argn(3)?;
+            let s = need_str(&args[0], name)?;
+            let from: Vec<char> = need_str(&args[1], name)?.chars().collect();
+            let to: Vec<char> = need_str(&args[2], name)?.chars().collect();
+            let out: String = s
+                .chars()
+                .map(|c| match from.iter().position(|f| *f == c) {
+                    Some(ix) => to.get(ix).copied().unwrap_or(c),
+                    None => c,
+                })
+                .collect();
+            Ok(Value::Text(out))
+        }
+        "splitPart" | "partition" => {
+            argn(3)?;
+            let s = need_str(&args[0], name)?;
+            let sep = need_str(&args[1], name)?;
+            let ix = need_num(&args[2], name)? as i64;
+            if sep.is_empty() {
+                return Err(Error::invalid(format!("{name}: empty separator")));
+            }
+            let parts: Vec<&str> = s.split(&sep).collect();
+            let n = parts.len() as i64;
+            let ix = if ix < 0 { ix + n } else { ix };
+            if ix < 0 || ix >= n {
+                return Ok(Value::Null);
+            }
+            Ok(Value::Text(parts[ix as usize].to_string()))
+        }
+        "startsWith" => {
+            argn(2)?;
+            Ok(Value::Bool(need_str(&args[0], name)?.starts_with(&need_str(&args[1], name)?)))
+        }
+        "endsWith" => {
+            argn(2)?;
+            Ok(Value::Bool(need_str(&args[0], name)?.ends_with(&need_str(&args[1], name)?)))
+        }
+        "contains" => {
+            argn(2)?;
+            Ok(Value::Bool(need_str(&args[0], name)?.contains(&need_str(&args[1], name)?)))
+        }
+        "indexOf" => {
+            argn(2)?;
+            let s = need_str(&args[0], name)?;
+            let pat = need_str(&args[1], name)?;
+            match s.find(&pat) {
+                Some(byte_ix) => Ok(Value::Int(s[..byte_ix].chars().count() as i64)),
+                None => Ok(Value::Int(-1)),
+            }
+        }
+        "substring" => {
+            if args.len() == 2 {
+                return index(&args[0], &args[1], Some(&Value::Int(i64::MAX)));
+            }
+            argn(3)?;
+            index(&args[0], &args[1], Some(&args[2]))
+        }
+        "toNumber" => {
+            argn(1)?;
+            match &args[0] {
+                Value::Int(_) | Value::Float(_) => Ok(args[0].clone()),
+                Value::Text(s) => s
+                    .trim()
+                    .parse::<f64>()
+                    .map(num)
+                    .map_err(|_| Error::invalid(format!("toNumber: '{s}' is not numeric"))),
+                other => Err(Error::invalid(format!("toNumber: cannot convert {}", other.type_name()))),
+            }
+        }
+        "toString" => {
+            argn(1)?;
+            Ok(Value::Text(as_str(&args[0])))
+        }
+        "isBlank" => {
+            argn(1)?;
+            let b = match &args[0] {
+                Value::Null => true,
+                Value::Text(s) => s.trim().is_empty(),
+                _ => false,
+            };
+            Ok(Value::Bool(b))
+        }
+        "isNull" => {
+            argn(1)?;
+            Ok(Value::Bool(args[0].is_null()))
+        }
+        "isNumeric" => {
+            argn(1)?;
+            let b = match &args[0] {
+                Value::Int(_) | Value::Float(_) => true,
+                Value::Text(s) => s.trim().parse::<f64>().is_ok(),
+                _ => false,
+            };
+            Ok(Value::Bool(b))
+        }
+        "coalesce" => {
+            for a in args {
+                if !a.is_null() {
+                    return Ok(a.clone());
+                }
+            }
+            Ok(Value::Null)
+        }
+        "fingerprint" => {
+            argn(1)?;
+            Ok(Value::Text(fingerprint_key(&need_str(&args[0], name)?)))
+        }
+        "round" => {
+            argn(1)?;
+            Ok(num(need_num(&args[0], name)?.round()))
+        }
+        "floor" => {
+            argn(1)?;
+            Ok(num(need_num(&args[0], name)?.floor()))
+        }
+        "ceil" => {
+            argn(1)?;
+            Ok(num(need_num(&args[0], name)?.ceil()))
+        }
+        "abs" => {
+            argn(1)?;
+            Ok(num(need_num(&args[0], name)?.abs()))
+        }
+        "max" => {
+            argn(2)?;
+            Ok(num(need_num(&args[0], name)?.max(need_num(&args[1], name)?)))
+        }
+        "min" => {
+            argn(2)?;
+            Ok(num(need_num(&args[0], name)?.min(need_num(&args[1], name)?)))
+        }
+        other => Err(Error::invalid(format!("unknown GREL function '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::parser::parse;
+    use super::*;
+
+    fn run(src: &str, value: Value) -> Result<Value> {
+        let e = parse(src)?;
+        eval(&e, &EvalContext::of_value(&value))
+    }
+
+    fn text(s: &str) -> Value {
+        Value::Text(s.into())
+    }
+
+    #[test]
+    fn trim_lower_chain() {
+        assert_eq!(run("value.trim().toLowercase()", text("  Air_Temp ")).unwrap(), text("air_temp"));
+    }
+
+    #[test]
+    fn function_and_method_equivalent() {
+        let v = text(" X ");
+        assert_eq!(run("trim(value)", v.clone()).unwrap(), run("value.trim()", v).unwrap());
+    }
+
+    #[test]
+    fn replace_underscores() {
+        assert_eq!(run("value.replace('_', ' ')", text("a_b_c")).unwrap(), text("a b c"));
+        // empty find is a no-op
+        assert_eq!(run("value.replace('', 'x')", text("ab")).unwrap(), text("ab"));
+    }
+
+    #[test]
+    fn replace_chars() {
+        assert_eq!(run("value.replaceChars('áé', 'ae')", text("áéx")).unwrap(), text("aex"));
+    }
+
+    #[test]
+    fn title_case() {
+        assert_eq!(
+            run("value.toTitlecase()", text("sea surface temperature")).unwrap(),
+            text("Sea Surface Temperature")
+        );
+    }
+
+    #[test]
+    fn substring_and_slice() {
+        assert_eq!(run("value.substring(0, 3)", text("fluores375")).unwrap(), text("flu"));
+        assert_eq!(run("value.substring(7)", text("fluores375")).unwrap(), text("375"));
+        assert_eq!(run("value[0, 4]", text("fluores375")).unwrap(), text("fluo"));
+        assert_eq!(run("value[1]", text("abc")).unwrap(), text("b"));
+        assert_eq!(run("value[-1]", text("abc")).unwrap(), text("c"));
+        assert_eq!(run("value[9]", text("abc")).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn predicates() {
+        assert_eq!(run("value.startsWith('qa_')", text("qa_level")).unwrap(), Value::Bool(true));
+        assert_eq!(run("value.endsWith('_qc')", text("sal_qc")).unwrap(), Value::Bool(true));
+        assert_eq!(run("value.contains('temp')", text("airtemp")).unwrap(), Value::Bool(true));
+        assert_eq!(run("value.indexOf('temp')", text("airtemp")).unwrap(), Value::Int(3));
+        assert_eq!(run("value.indexOf('zz')", text("airtemp")).unwrap(), Value::Int(-1));
+    }
+
+    #[test]
+    fn is_blank_null_numeric() {
+        assert_eq!(run("isBlank(value)", text("  ")).unwrap(), Value::Bool(true));
+        assert_eq!(run("isBlank(value)", Value::Null).unwrap(), Value::Bool(true));
+        assert_eq!(run("isBlank(value)", text("x")).unwrap(), Value::Bool(false));
+        assert_eq!(run("isNull(value)", Value::Null).unwrap(), Value::Bool(true));
+        assert_eq!(run("isNumeric(value)", text("3.5")).unwrap(), Value::Bool(true));
+        assert_eq!(run("isNumeric(value)", text("x")).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn if_is_lazy() {
+        // The false branch would divide by zero if evaluated eagerly.
+        assert_eq!(run("if(true, 1, 1/0)", Value::Null).unwrap(), Value::Int(1));
+        assert_eq!(run("if(false, 1, 2)", Value::Null).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn arithmetic_and_types() {
+        assert_eq!(run("1 + 2 * 3", Value::Null).unwrap(), Value::Int(7));
+        assert_eq!(run("7 / 2", Value::Null).unwrap(), Value::Float(3.5));
+        assert_eq!(run("7 % 3", Value::Null).unwrap(), Value::Int(1));
+        assert!(run("1 / 0", Value::Null).is_err());
+        assert_eq!(run("'a' + 'b'", Value::Null).unwrap(), text("ab"));
+        assert_eq!(run("'n=' + 3", Value::Null).unwrap(), text("n=3"));
+    }
+
+    #[test]
+    fn comparison_and_logic() {
+        assert_eq!(run("value > 5", Value::Int(6)).unwrap(), Value::Bool(true));
+        assert_eq!(run("value == 'abc'", text("abc")).unwrap(), Value::Bool(true));
+        assert_eq!(run("3 == 3.0", Value::Null).unwrap(), Value::Bool(true));
+        assert_eq!(run("1 < 2 && 2 < 3", Value::Null).unwrap(), Value::Bool(true));
+        // short-circuit: the rhs error is never reached
+        assert_eq!(run("false && (1/0 == 1)", Value::Null).unwrap(), Value::Bool(false));
+        assert_eq!(run("true || (1/0 == 1)", Value::Null).unwrap(), Value::Bool(true));
+        assert_eq!(run("!false", Value::Null).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn cells_access() {
+        let mut rec = Record::new();
+        rec.set("site", "saturn01");
+        rec.set("field", "temp");
+        let e = parse("cells['site'] + '/' + value").unwrap();
+        let v = Value::Text("temp".into());
+        let got = eval(&e, &EvalContext { value: &v, record: Some(&rec) }).unwrap();
+        assert_eq!(got, text("saturn01/temp"));
+        // Missing column reads as null, and cells without a row context errors.
+        let e2 = parse("isNull(cells['nope'])").unwrap();
+        assert_eq!(
+            eval(&e2, &EvalContext { value: &v, record: Some(&rec) }).unwrap(),
+            Value::Bool(true)
+        );
+        assert!(eval(&e2, &EvalContext::of_value(&v)).is_err());
+    }
+
+    #[test]
+    fn fingerprint_builtin() {
+        assert_eq!(
+            run("fingerprint(value)", text("  Sea-Surface  TEMPERATURE ")).unwrap(),
+            text("sea surface temperature")
+        );
+        // token sort + dedup
+        assert_eq!(
+            run("value.fingerprint()", text("temp air temp")).unwrap(),
+            text("air temp")
+        );
+    }
+
+    #[test]
+    fn numeric_builtins() {
+        assert_eq!(run("round(2.4)", Value::Null).unwrap(), Value::Int(2));
+        assert_eq!(run("ceil(2.1)", Value::Null).unwrap(), Value::Int(3));
+        assert_eq!(run("floor(2.9)", Value::Null).unwrap(), Value::Int(2));
+        assert_eq!(run("abs(-4)", Value::Null).unwrap(), Value::Int(4));
+        assert_eq!(run("max(2, 5)", Value::Null).unwrap(), Value::Int(5));
+        assert_eq!(run("min(2, 5)", Value::Null).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn coalesce_and_tonumber() {
+        assert_eq!(run("coalesce(null, 'x')", Value::Null).unwrap(), text("x"));
+        assert_eq!(run("coalesce(null, null)", Value::Null).unwrap(), Value::Null);
+        assert_eq!(run("toNumber(value)", text(" 42 ")).unwrap(), Value::Int(42));
+        assert!(run("toNumber(value)", text("x")).is_err());
+    }
+
+    #[test]
+    fn split_part() {
+        assert_eq!(run("splitPart(value, '_', 0)", text("air_temp")).unwrap(), text("air"));
+        assert_eq!(run("splitPart(value, '_', -1)", text("air_temp")).unwrap(), text("temp"));
+        assert_eq!(run("splitPart(value, '_', 5)", text("air_temp")).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn unknown_function_and_variable() {
+        assert!(run("nosuch(value)", Value::Null).is_err());
+        assert!(run("bogusvar", Value::Null).is_err());
+    }
+
+    #[test]
+    fn wrong_arity() {
+        assert!(run("trim(value, value)", Value::Null).is_err());
+        assert!(run("if(true, 1)", Value::Null).is_err());
+    }
+}

@@ -1,0 +1,343 @@
+//! Lexer for the GREL expression subset.
+//!
+//! GREL (Google Refine Expression Language) expressions appear inside
+//! exported operation JSON, e.g. `value.trim().toLowercase()` or
+//! `if(isBlank(value), "unknown", value)`. This lexer produces the token
+//! stream the parser consumes.
+
+use metamess_core::error::{Error, Result};
+
+/// A GREL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (`value`, `trim`, `true`, ...).
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// String literal (single- or double-quoted).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` or `and`
+    And,
+    /// `||` or `or`
+    Or,
+    /// `!` or `not`
+    Not,
+}
+
+/// Lexes a GREL expression into tokens.
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token::RBracket);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token::Percent);
+                i += 1;
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Eq);
+                    i += 2;
+                } else {
+                    return Err(Error::parse("grel", "single '=' (use '==')"));
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Not);
+                    i += 1;
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&'&') {
+                    tokens.push(Token::And);
+                    i += 2;
+                } else {
+                    return Err(Error::parse("grel", "single '&' (use '&&')"));
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&'|') {
+                    tokens.push(Token::Or);
+                    i += 2;
+                } else {
+                    return Err(Error::parse("grel", "single '|' (use '||')"));
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let mut s = String::new();
+                i += 1;
+                let mut closed = false;
+                while i < bytes.len() {
+                    let d = bytes[i];
+                    if d == '\\' {
+                        match bytes.get(i + 1) {
+                            Some('n') => s.push('\n'),
+                            Some('t') => s.push('\t'),
+                            Some('\\') => s.push('\\'),
+                            Some(&q) if q == quote => s.push(q),
+                            Some(&other) => {
+                                s.push('\\');
+                                s.push(other);
+                            }
+                            None => return Err(Error::parse("grel", "dangling escape")),
+                        }
+                        i += 2;
+                        continue;
+                    }
+                    if d == quote {
+                        closed = true;
+                        i += 1;
+                        break;
+                    }
+                    s.push(d);
+                    i += 1;
+                }
+                if !closed {
+                    return Err(Error::parse("grel", "unterminated string literal"));
+                }
+                tokens.push(Token::Str(s));
+            }
+            '.' => {
+                // Distinguish member access from a leading-dot float (.5).
+                if bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
+                    let start = i;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text: String = bytes[start..i].iter().collect();
+                    let n: f64 = text
+                        .parse()
+                        .map_err(|_| Error::parse("grel", format!("bad number '{text}'")))?;
+                    tokens.push(Token::Number(n));
+                } else {
+                    tokens.push(Token::Dot);
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < bytes.len() && bytes[i] == '.' && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == 'e' || bytes[i] == 'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == '+' || bytes[j] == '-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let n: f64 = text
+                    .parse()
+                    .map_err(|_| Error::parse("grel", format!("bad number '{text}'")))?;
+                tokens.push(Token::Number(n));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let word: String = bytes[start..i].iter().collect();
+                match word.as_str() {
+                    "and" => tokens.push(Token::And),
+                    "or" => tokens.push(Token::Or),
+                    "not" => tokens.push(Token::Not),
+                    _ => tokens.push(Token::Ident(word)),
+                }
+            }
+            other => {
+                return Err(Error::parse("grel", format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lex_method_chain() {
+        let t = lex("value.trim().toLowercase()").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("value".into()),
+                Token::Dot,
+                Token::Ident("trim".into()),
+                Token::LParen,
+                Token::RParen,
+                Token::Dot,
+                Token::Ident("toLowercase".into()),
+                Token::LParen,
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_strings_with_escapes() {
+        let t = lex(r#"replace(value, 'a\'b', "c\"d")"#).unwrap();
+        assert!(matches!(&t[4], Token::Str(s) if s == "a'b"));
+        assert!(matches!(&t[6], Token::Str(s) if s == "c\"d"));
+    }
+
+    #[test]
+    fn lex_numbers() {
+        let t = lex("1 2.5 .5 1e3 2E-2").unwrap();
+        let nums: Vec<f64> = t
+            .iter()
+            .map(|t| match t {
+                Token::Number(n) => *n,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(nums, vec![1.0, 2.5, 0.5, 1000.0, 0.02]);
+    }
+
+    #[test]
+    fn lex_operators() {
+        let t = lex("a == b != c <= d >= e && f || !g").unwrap();
+        assert!(t.contains(&Token::Eq));
+        assert!(t.contains(&Token::Ne));
+        assert!(t.contains(&Token::Le));
+        assert!(t.contains(&Token::Ge));
+        assert!(t.contains(&Token::And));
+        assert!(t.contains(&Token::Or));
+        assert!(t.contains(&Token::Not));
+    }
+
+    #[test]
+    fn lex_word_operators() {
+        let t = lex("a and b or not c").unwrap();
+        assert_eq!(t.iter().filter(|x| **x == Token::And).count(), 1);
+        assert_eq!(t.iter().filter(|x| **x == Token::Or).count(), 1);
+        assert_eq!(t.iter().filter(|x| **x == Token::Not).count(), 1);
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(lex("a = b").is_err());
+        assert!(lex("a & b").is_err());
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("a # b").is_err());
+    }
+
+    #[test]
+    fn lex_empty() {
+        assert!(lex("").unwrap().is_empty());
+        assert!(lex("   ").unwrap().is_empty());
+    }
+}

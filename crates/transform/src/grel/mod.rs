@@ -1,0 +1,12 @@
+//! GREL — the Google Refine Expression Language subset used by exported
+//! transformation rules.
+
+mod ast;
+mod eval;
+mod lexer;
+mod parser;
+
+pub use ast::{BinaryOp, Expr, UnaryOp};
+pub use eval::{eval, fingerprint_key, truthy, EvalContext};
+pub use lexer::{lex, Token};
+pub use parser::parse;

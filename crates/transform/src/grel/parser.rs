@@ -1,0 +1,353 @@
+//! Recursive-descent parser for the GREL subset.
+//!
+//! Grammar (precedence climbing, loosest first):
+//!
+//! ```text
+//! expr     := or
+//! or       := and   ("||" and)*
+//! and      := cmp   ("&&" cmp)*
+//! cmp      := add   (("=="|"!="|"<"|"<="|">"|">=") add)?
+//! add      := mul   (("+"|"-") mul)*
+//! mul      := unary (("*"|"/"|"%") unary)*
+//! unary    := ("!"|"-")* postfix
+//! postfix  := primary ( "." ident "(" args ")" | "." ident | "[" expr ("," expr)? "]" )*
+//! primary  := literal | ident | ident "(" args ")" | "(" expr ")"
+//! ```
+
+use super::ast::{BinaryOp, Expr, UnaryOp};
+use super::lexer::{lex, Token};
+use metamess_core::error::{Error, Result};
+
+/// Parses a GREL source string into an expression tree.
+pub fn parse(src: &str) -> Result<Expr> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.parse_or()?;
+    if p.pos != p.tokens.len() {
+        return Err(Error::parse("grel", format!("trailing tokens after expression in '{src}'")));
+    }
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<()> {
+        match self.bump() {
+            Some(ref got) if got == t => Ok(()),
+            Some(got) => Err(Error::parse("grel", format!("expected {t:?}, found {got:?}"))),
+            None => Err(Error::parse("grel", format!("expected {t:?}, found end of input"))),
+        }
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_and()?;
+        while self.eat(&Token::Or) {
+            let rhs = self.parse_and()?;
+            lhs = Expr::Binary { op: BinaryOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_cmp()?;
+        while self.eat(&Token::And) {
+            let rhs = self.parse_cmp()?;
+            lhs = Expr::Binary { op: BinaryOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr> {
+        let lhs = self.parse_add()?;
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(BinaryOp::Eq),
+            Some(Token::Ne) => Some(BinaryOp::Ne),
+            Some(Token::Lt) => Some(BinaryOp::Lt),
+            Some(Token::Le) => Some(BinaryOp::Le),
+            Some(Token::Gt) => Some(BinaryOp::Gt),
+            Some(Token::Ge) => Some(BinaryOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let rhs = self.parse_add()?;
+            return Ok(Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) });
+        }
+        Ok(lhs)
+    }
+
+    fn parse_add(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_mul()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinaryOp::Add,
+                Some(Token::Minus) => BinaryOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_mul()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_mul(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinaryOp::Mul,
+                Some(Token::Slash) => BinaryOp::Div,
+                Some(Token::Percent) => BinaryOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_unary()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if self.eat(&Token::Not) {
+            let e = self.parse_unary()?;
+            return Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(e) });
+        }
+        if self.eat(&Token::Minus) {
+            let e = self.parse_unary()?;
+            return Ok(Expr::Unary { op: UnaryOp::Neg, expr: Box::new(e) });
+        }
+        self.parse_postfix()
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr> {
+        let mut e = self.parse_primary()?;
+        loop {
+            if self.eat(&Token::Dot) {
+                let name = match self.bump() {
+                    Some(Token::Ident(n)) => n,
+                    other => {
+                        return Err(Error::parse(
+                            "grel",
+                            format!("expected member name after '.', found {other:?}"),
+                        ))
+                    }
+                };
+                if self.eat(&Token::LParen) {
+                    let args = self.parse_args()?;
+                    e = Expr::Method { recv: Box::new(e), name, args };
+                } else {
+                    // `cells.foo` member access; only meaningful on `cells`.
+                    match e {
+                        Expr::Var(ref v) if v == "cells" => e = Expr::Cell(name),
+                        _ => {
+                            return Err(Error::parse(
+                                "grel",
+                                format!("member access '.{name}' without call is only valid on 'cells'"),
+                            ))
+                        }
+                    }
+                }
+            } else if self.eat(&Token::LBracket) {
+                let start = self.parse_or()?;
+                // `cells["col"]` sugar
+                if let (Expr::Var(v), Expr::Str(col), Some(&Token::RBracket)) =
+                    (&e, &start, self.peek())
+                {
+                    if v == "cells" {
+                        self.pos += 1;
+                        e = Expr::Cell(col.clone());
+                        continue;
+                    }
+                }
+                let end = if self.eat(&Token::Comma) {
+                    Some(Box::new(self.parse_or()?))
+                } else {
+                    None
+                };
+                self.expect(&Token::RBracket)?;
+                e = Expr::Index { recv: Box::new(e), start: Box::new(start), end };
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn parse_args(&mut self) -> Result<Vec<Expr>> {
+        let mut args = Vec::new();
+        if self.eat(&Token::RParen) {
+            return Ok(args);
+        }
+        loop {
+            args.push(self.parse_or()?);
+            if self.eat(&Token::Comma) {
+                continue;
+            }
+            self.expect(&Token::RParen)?;
+            break;
+        }
+        Ok(args)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.bump() {
+            Some(Token::Number(n)) => Ok(Expr::Number(n)),
+            Some(Token::Str(s)) => Ok(Expr::Str(s)),
+            Some(Token::Ident(name)) => match name.as_str() {
+                "true" => Ok(Expr::Bool(true)),
+                "false" => Ok(Expr::Bool(false)),
+                "null" => Ok(Expr::Null),
+                _ => {
+                    if self.eat(&Token::LParen) {
+                        let args = self.parse_args()?;
+                        Ok(Expr::Call { name, args })
+                    } else {
+                        Ok(Expr::Var(name))
+                    }
+                }
+            },
+            Some(Token::LParen) => {
+                let e = self.parse_or()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            other => Err(Error::parse("grel", format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_value() {
+        assert_eq!(parse("value").unwrap(), Expr::Var("value".into()));
+    }
+
+    #[test]
+    fn parse_method_chain() {
+        let e = parse("value.trim().toLowercase()").unwrap();
+        match e {
+            Expr::Method { recv, name, args } => {
+                assert_eq!(name, "toLowercase");
+                assert!(args.is_empty());
+                assert!(matches!(*recv, Expr::Method { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_function_with_args() {
+        let e = parse("replace(value, '_', ' ')").unwrap();
+        match e {
+            Expr::Call { name, args } => {
+                assert_eq!(name, "replace");
+                assert_eq!(args.len(), 3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_precedence() {
+        // 1 + 2 * 3 parses as 1 + (2 * 3)
+        let e = parse("1 + 2 * 3").unwrap();
+        match e {
+            Expr::Binary { op: BinaryOp::Add, rhs, .. } => {
+                assert!(matches!(*rhs, Expr::Binary { op: BinaryOp::Mul, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_logical_precedence() {
+        // a || b && c parses as a || (b && c)
+        let e = parse("a || b && c").unwrap();
+        match e {
+            Expr::Binary { op: BinaryOp::Or, rhs, .. } => {
+                assert!(matches!(*rhs, Expr::Binary { op: BinaryOp::And, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_cells_access() {
+        assert_eq!(parse("cells['site']").unwrap(), Expr::Cell("site".into()));
+        assert_eq!(parse("cells.site").unwrap(), Expr::Cell("site".into()));
+    }
+
+    #[test]
+    fn parse_slice() {
+        let e = parse("value[0, 3]").unwrap();
+        match e {
+            Expr::Index { end, .. } => assert!(end.is_some()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_unary() {
+        let e = parse("!isBlank(value)").unwrap();
+        assert!(matches!(e, Expr::Unary { op: UnaryOp::Not, .. }));
+        let e = parse("-3 + 4").unwrap();
+        assert!(matches!(e, Expr::Binary { op: BinaryOp::Add, .. }));
+    }
+
+    #[test]
+    fn parse_literals() {
+        assert_eq!(parse("true").unwrap(), Expr::Bool(true));
+        assert_eq!(parse("null").unwrap(), Expr::Null);
+        assert_eq!(parse("'abc'").unwrap(), Expr::Str("abc".into()));
+    }
+
+    #[test]
+    fn parse_nested_parens() {
+        let e = parse("(1 + 2) * 3").unwrap();
+        assert!(matches!(e, Expr::Binary { op: BinaryOp::Mul, .. }));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("").is_err());
+        assert!(parse("value value").is_err());
+        assert!(parse("f(").is_err());
+        assert!(parse("(1 + 2").is_err());
+        assert!(parse("1.foo").is_err()); // member access on non-cells
+        assert!(parse("value.").is_err());
+    }
+
+    #[test]
+    fn parse_comparison() {
+        let e = parse("length(value) > 3 && value != 'x'").unwrap();
+        assert!(matches!(e, Expr::Binary { op: BinaryOp::And, .. }));
+    }
+}

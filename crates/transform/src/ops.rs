@@ -1,0 +1,360 @@
+//! Google Refine operation JSON.
+//!
+//! The poster's round-trip — *export JSON rules from Refine, run rules
+//! against metadata* — requires reading and writing the operation-history
+//! format Refine produces. The subset implemented here covers the operations
+//! metadata wrangling uses: `core/mass-edit` (the poster's example),
+//! `core/text-transform`, `core/column-rename`, and `core/column-removal`.
+//! Unknown operations are preserved as [`Operation::Unknown`] so a rule file
+//! survives a round-trip even when it contains ops we do not execute.
+
+use metamess_core::error::{Error, Result};
+use serde::{Deserialize, Serialize};
+use serde_json::Value as Json;
+
+/// A facet constraint in an operation's engine config. Only `list` facets
+/// with explicit selections are executed; anything else is preserved inert.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Facet {
+    /// Facet type, e.g. `"list"`.
+    #[serde(rename = "type", default = "default_facet_type")]
+    pub facet_type: String,
+    /// Column the facet filters on.
+    #[serde(rename = "columnName", default)]
+    pub column_name: String,
+    /// Facet expression; only `"value"` is executable.
+    #[serde(default = "default_expression")]
+    pub expression: String,
+    /// Selected values (rows must match one of them).
+    #[serde(default)]
+    pub selection: Vec<FacetChoice>,
+    /// Unmodelled fields, preserved for round-tripping.
+    #[serde(flatten)]
+    pub extra: serde_json::Map<String, Json>,
+}
+
+fn default_facet_type() -> String {
+    "list".to_string()
+}
+fn default_expression() -> String {
+    "value".to_string()
+}
+
+/// One selected choice in a list facet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FacetChoice {
+    /// The selected value wrapper (Refine nests it as `v: {v: ..., l: ...}`).
+    pub v: FacetChoiceValue,
+}
+
+/// The nested `v`/`l` pair of a facet choice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FacetChoiceValue {
+    /// The raw value.
+    pub v: Json,
+    /// Display label.
+    #[serde(default)]
+    pub l: String,
+}
+
+/// Engine configuration: facets plus row/record mode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct EngineConfig {
+    /// Active facets.
+    #[serde(default)]
+    pub facets: Vec<Facet>,
+    /// `"row-based"` or `"record-based"`.
+    #[serde(default = "default_mode")]
+    pub mode: String,
+}
+
+fn default_mode() -> String {
+    "row-based".to_string()
+}
+
+/// One edit group inside a `core/mass-edit` operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MassEdit {
+    /// Match blank cells.
+    #[serde(default, rename = "fromBlank")]
+    pub from_blank: bool,
+    /// Match error cells (we have no error cells; kept for fidelity).
+    #[serde(default, rename = "fromError")]
+    pub from_error: bool,
+    /// Cell values to match.
+    #[serde(default)]
+    pub from: Vec<String>,
+    /// Replacement value.
+    pub to: String,
+}
+
+/// A Refine operation, tagged by its `op` field.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "op")]
+pub enum Operation {
+    /// `core/mass-edit` — the poster's example operation: replace listed
+    /// cell values in a column with a canonical value.
+    #[serde(rename = "core/mass-edit")]
+    MassEdit {
+        /// Human-readable description (Refine writes one; we do too).
+        #[serde(default)]
+        description: String,
+        /// Facet/engine scoping.
+        #[serde(rename = "engineConfig", default)]
+        engine_config: EngineConfig,
+        /// Column to edit.
+        #[serde(rename = "columnName")]
+        column_name: String,
+        /// Key expression; only `"value"` is executable.
+        #[serde(default = "default_expression")]
+        expression: String,
+        /// Edit groups.
+        edits: Vec<MassEdit>,
+    },
+    /// `core/text-transform` — apply a GREL expression to every cell of a
+    /// column.
+    #[serde(rename = "core/text-transform")]
+    TextTransform {
+        /// Human-readable description.
+        #[serde(default)]
+        description: String,
+        /// Facet/engine scoping.
+        #[serde(rename = "engineConfig", default)]
+        engine_config: EngineConfig,
+        /// Column to transform.
+        #[serde(rename = "columnName")]
+        column_name: String,
+        /// GREL expression (may carry Refine's `grel:` prefix).
+        expression: String,
+        /// `"keep-original"` | `"set-to-blank"` | `"store-error"`.
+        #[serde(rename = "onError", default = "default_on_error")]
+        on_error: String,
+        /// Repeat the transform until a fixpoint (bounded).
+        #[serde(default)]
+        repeat: bool,
+        /// Max repetitions when `repeat`.
+        #[serde(rename = "repeatCount", default = "default_repeat_count")]
+        repeat_count: u32,
+    },
+    /// `core/column-rename`.
+    #[serde(rename = "core/column-rename")]
+    ColumnRename {
+        /// Human-readable description.
+        #[serde(default)]
+        description: String,
+        /// Column to rename.
+        #[serde(rename = "oldColumnName")]
+        old_column_name: String,
+        /// New name.
+        #[serde(rename = "newColumnName")]
+        new_column_name: String,
+    },
+    /// `core/column-removal`.
+    #[serde(rename = "core/column-removal")]
+    ColumnRemoval {
+        /// Human-readable description.
+        #[serde(default)]
+        description: String,
+        /// Column to remove.
+        #[serde(rename = "columnName")]
+        column_name: String,
+    },
+    /// Any operation we do not model; preserved verbatim.
+    #[serde(untagged)]
+    Unknown(Json),
+}
+
+fn default_on_error() -> String {
+    "keep-original".to_string()
+}
+fn default_repeat_count() -> u32 {
+    10
+}
+
+impl Operation {
+    /// Builds a `core/mass-edit` that translates each of `from` to `to` in
+    /// `column` — the rule shape transformation discovery emits.
+    pub fn mass_edit(column: &str, from: Vec<String>, to: &str) -> Operation {
+        Operation::MassEdit {
+            description: format!("Mass edit cells in column {column}"),
+            engine_config: EngineConfig::default(),
+            column_name: column.to_string(),
+            expression: "value".to_string(),
+            edits: vec![MassEdit { from_blank: false, from_error: false, from, to: to.to_string() }],
+        }
+    }
+
+    /// Builds a `core/text-transform`.
+    pub fn text_transform(column: &str, expression: &str) -> Operation {
+        Operation::TextTransform {
+            description: format!("Text transform on cells in column {column}"),
+            engine_config: EngineConfig::default(),
+            column_name: column.to_string(),
+            expression: expression.to_string(),
+            on_error: default_on_error(),
+            repeat: false,
+            repeat_count: default_repeat_count(),
+        }
+    }
+
+    /// The operation's human-readable description, when it has one.
+    pub fn description(&self) -> Option<&str> {
+        match self {
+            Operation::MassEdit { description, .. }
+            | Operation::TextTransform { description, .. }
+            | Operation::ColumnRename { description, .. }
+            | Operation::ColumnRemoval { description, .. } => Some(description),
+            Operation::Unknown(_) => None,
+        }
+    }
+
+    /// True when the engine can execute this operation.
+    pub fn is_executable(&self) -> bool {
+        !matches!(self, Operation::Unknown(_))
+    }
+}
+
+/// Parses a Refine operation-history export: a JSON array of operations.
+///
+/// ```
+/// use metamess_transform::{parse_operations, Operation};
+///
+/// let ops = parse_operations(
+///     r#"[{ "op": "core/mass-edit", "columnName": "field", "expression": "value",
+///           "edits": [{ "from": ["ATastn"], "to": "sea surface temperature" }] }]"#,
+/// )
+/// .unwrap();
+/// assert!(matches!(ops[0], Operation::MassEdit { .. }));
+/// ```
+pub fn parse_operations(json: &str) -> Result<Vec<Operation>> {
+    serde_json::from_str(json).map_err(|e| Error::parse("refine operations", e.to_string()))
+}
+
+/// Serializes operations back to Refine's JSON array form (pretty-printed).
+pub fn operations_to_json(ops: &[Operation]) -> String {
+    serde_json::to_string_pretty(ops).expect("operations serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The poster's verbatim figure, lightly completed into a valid array.
+    const POSTER_JSON: &str = r#"[
+      { "op": "core/mass-edit",
+        "description": "Mass edit cells in column field",
+        "engineConfig": { "facets": [], "mode": "row-based" },
+        "columnName": "field",
+        "expression": "value",
+        "edits": [ {
+            "fromBlank": false,
+            "fromError": false,
+            "from": [ "ATastn" ],
+            "to": "sea surface temperature" } ] }
+    ]"#;
+
+    #[test]
+    fn parse_poster_figure() {
+        let ops = parse_operations(POSTER_JSON).unwrap();
+        assert_eq!(ops.len(), 1);
+        match &ops[0] {
+            Operation::MassEdit { column_name, edits, expression, .. } => {
+                assert_eq!(column_name, "field");
+                assert_eq!(expression, "value");
+                assert_eq!(edits[0].from, vec!["ATastn".to_string()]);
+                assert_eq!(edits[0].to, "sea surface temperature");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_ops() {
+        let ops = parse_operations(POSTER_JSON).unwrap();
+        let json = operations_to_json(&ops);
+        let back = parse_operations(&json).unwrap();
+        assert_eq!(back, ops);
+    }
+
+    #[test]
+    fn unknown_op_preserved() {
+        let json = r#"[ {"op": "core/recon", "columnName": "x", "service": "wikidata"} ]"#;
+        let ops = parse_operations(json).unwrap();
+        assert!(matches!(ops[0], Operation::Unknown(_)));
+        assert!(!ops[0].is_executable());
+        let back = parse_operations(&operations_to_json(&ops)).unwrap();
+        assert_eq!(back, ops);
+    }
+
+    #[test]
+    fn builders() {
+        let m = Operation::mass_edit("field", vec!["airtemp".into()], "air_temperature");
+        assert!(m.is_executable());
+        assert!(m.description().unwrap().contains("field"));
+        let t = Operation::text_transform("field", "value.trim()");
+        match t {
+            Operation::TextTransform { on_error, repeat_count, .. } => {
+                assert_eq!(on_error, "keep-original");
+                assert_eq!(repeat_count, 10);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_text_transform_with_defaults() {
+        let json = r#"[ {"op": "core/text-transform", "columnName": "field",
+                         "expression": "value.trim()"} ]"#;
+        let ops = parse_operations(json).unwrap();
+        match &ops[0] {
+            Operation::TextTransform { on_error, repeat, .. } => {
+                assert_eq!(on_error, "keep-original");
+                assert!(!repeat);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rename_and_removal() {
+        let json = r#"[
+          {"op": "core/column-rename", "oldColumnName": "fld", "newColumnName": "field"},
+          {"op": "core/column-removal", "columnName": "junk"}
+        ]"#;
+        let ops = parse_operations(json).unwrap();
+        assert!(matches!(ops[0], Operation::ColumnRename { .. }));
+        assert!(matches!(ops[1], Operation::ColumnRemoval { .. }));
+    }
+
+    #[test]
+    fn facet_selection_parses() {
+        let json = r#"[
+          { "op": "core/mass-edit",
+            "engineConfig": { "facets": [
+              { "type": "list", "columnName": "source", "expression": "value",
+                "selection": [ {"v": {"v": "saturn01", "l": "saturn01"}} ],
+                "invert": false } ],
+              "mode": "row-based" },
+            "columnName": "field", "expression": "value",
+            "edits": [ {"from": ["x"], "to": "y"} ] }
+        ]"#;
+        let ops = parse_operations(json).unwrap();
+        match &ops[0] {
+            Operation::MassEdit { engine_config, .. } => {
+                assert_eq!(engine_config.facets.len(), 1);
+                let f = &engine_config.facets[0];
+                assert_eq!(f.column_name, "source");
+                assert_eq!(f.selection[0].v.v, serde_json::json!("saturn01"));
+                // Unmodelled "invert" field preserved in extra.
+                assert!(f.extra.contains_key("invert"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_json_is_parse_error() {
+        assert!(parse_operations("{not json").is_err());
+        assert!(parse_operations(r#"{"op": "core/mass-edit"}"#).is_err()); // not an array
+    }
+}

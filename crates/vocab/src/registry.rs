@@ -1,0 +1,378 @@
+//! The variable registry: curation decisions for the messier taxonomy rows.
+//!
+//! Covers three categories from the poster's table that a plain synonym
+//! table cannot express:
+//!
+//! * **Excessive variables** — QA/bookkeeping columns are *marked* and
+//!   excluded from search but shown in detailed views.
+//! * **Ambiguous usages** — `temp` might mean temporary or temperature; the
+//!   system identifies and exposes these and lets the curator clarify, hide,
+//!   or leave them.
+//! * **Source-context naming variations** — `temperature` means
+//!   `air_temperature` at a met station and `water_temperature` on a CTD;
+//!   context rules resolve the bare name per source context.
+
+use metamess_core::text::normalize_term;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A pattern that marks QA / bookkeeping variables.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QaPattern {
+    /// Name starts with the prefix (case-insensitive), e.g. `qa_`.
+    Prefix(String),
+    /// Name ends with the suffix (case-insensitive), e.g. `_flag`.
+    Suffix(String),
+    /// Name equals the literal (case-insensitive), e.g. `qa_level`.
+    Exact(String),
+    /// Name contains the substring (case-insensitive).
+    Contains(String),
+}
+
+impl QaPattern {
+    /// True when `name` matches this pattern.
+    pub fn matches(&self, name: &str) -> bool {
+        let n = normalize_term(name);
+        match self {
+            QaPattern::Prefix(p) => n.starts_with(&normalize_term(p)),
+            QaPattern::Suffix(s) => n.ends_with(&normalize_term(s)),
+            QaPattern::Exact(e) => n == normalize_term(e),
+            QaPattern::Contains(c) => n.contains(&normalize_term(c)),
+        }
+    }
+}
+
+/// The curator's decision for one ambiguous name (poster: "clarify where
+/// possible / hide variable / leave as is").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AmbiguityDecision {
+    /// Not yet decided: expose the variable to the curator.
+    Undecided,
+    /// Clarified to a canonical term, possibly conditioned on source context
+    /// (`context → canonical`; the empty-string key is the default).
+    Clarified(BTreeMap<String, String>),
+    /// Hide the variable entirely.
+    Hide,
+    /// Leave the harvested name as is (it stays searchable verbatim).
+    LeaveAsIs,
+}
+
+/// One ambiguous-name entry: the candidates it might mean, plus the decision.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AmbiguousEntry {
+    /// The ambiguous harvested name, e.g. `temp`.
+    pub name: String,
+    /// Candidate canonical meanings, e.g. `water_temperature`, `temporary`.
+    pub candidates: Vec<String>,
+    /// Current decision.
+    pub decision: AmbiguityDecision,
+}
+
+/// A context rule: in source context `context`, harvested name `name`
+/// means canonical `canonical`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContextRule {
+    /// Source context key, e.g. `met_station`, `ctd`, `glider`.
+    pub context: String,
+    /// Harvested (bare) variable name this rule applies to.
+    pub name: String,
+    /// Canonical term in that context.
+    pub canonical: String,
+}
+
+/// Registry of QA patterns, ambiguous names, and context rules.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct VariableRegistry {
+    qa_patterns: Vec<QaPattern>,
+    ambiguous: BTreeMap<String, AmbiguousEntry>,
+    context_rules: Vec<ContextRule>,
+}
+
+/// Outcome of consulting the registry for one harvested name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryVerdict {
+    /// No registry opinion; fall through to the synonym table.
+    Unknown,
+    /// QA variable: mark, exclude from search.
+    Qa,
+    /// Ambiguous and undecided: expose to the curator.
+    AmbiguousUndecided {
+        /// Candidate meanings for the curator to choose among.
+        candidates: Vec<String>,
+    },
+    /// Resolved to a canonical term (context rule or clarified ambiguity).
+    Canonical(String),
+    /// Curator chose to hide this variable.
+    Hidden,
+    /// Curator chose to leave the harvested name as is.
+    LeaveAsIs,
+}
+
+impl VariableRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> VariableRegistry {
+        VariableRegistry::default()
+    }
+
+    /// Registry pre-loaded with the observatory's QA conventions.
+    pub fn builtin() -> VariableRegistry {
+        let mut r = VariableRegistry::new();
+        r.add_qa_pattern(QaPattern::Prefix("qa_".into()));
+        r.add_qa_pattern(QaPattern::Prefix("qc_".into()));
+        r.add_qa_pattern(QaPattern::Suffix("_flag".into()));
+        r.add_qa_pattern(QaPattern::Suffix("_qc".into()));
+        r.add_qa_pattern(QaPattern::Suffix("_qa".into()));
+        r.add_qa_pattern(QaPattern::Exact("qa_level".into()));
+        r.add_qa_pattern(QaPattern::Exact("quality".into()));
+        r.add_qa_pattern(QaPattern::Exact("checksum".into()));
+        r.add_qa_pattern(QaPattern::Exact("battery_voltage".into()));
+        r.add_qa_pattern(QaPattern::Exact("instrument_status".into()));
+        r
+    }
+
+    /// Adds a QA pattern.
+    pub fn add_qa_pattern(&mut self, p: QaPattern) {
+        if !self.qa_patterns.contains(&p) {
+            self.qa_patterns.push(p);
+        }
+    }
+
+    /// True when `name` matches any QA pattern.
+    pub fn is_qa(&self, name: &str) -> bool {
+        self.qa_patterns.iter().any(|p| p.matches(name))
+    }
+
+    /// Registers (or refreshes) an ambiguous name with candidate meanings.
+    /// An existing decision is preserved; candidates are merged.
+    pub fn note_ambiguous(&mut self, name: &str, candidates: &[&str]) {
+        let key = normalize_term(name);
+        let e = self.ambiguous.entry(key).or_insert_with(|| AmbiguousEntry {
+            name: name.to_string(),
+            candidates: Vec::new(),
+            decision: AmbiguityDecision::Undecided,
+        });
+        for c in candidates {
+            if !e.candidates.iter().any(|x| metamess_core::text::term_eq(x, c)) {
+                e.candidates.push((*c).to_string());
+            }
+        }
+    }
+
+    /// Records the curator's decision for an ambiguous name.
+    pub fn decide_ambiguous(&mut self, name: &str, decision: AmbiguityDecision) {
+        let key = normalize_term(name);
+        let e = self.ambiguous.entry(key).or_insert_with(|| AmbiguousEntry {
+            name: name.to_string(),
+            candidates: Vec::new(),
+            decision: AmbiguityDecision::Undecided,
+        });
+        e.decision = decision;
+    }
+
+    /// All ambiguous entries, sorted by name.
+    pub fn ambiguous_entries(&self) -> impl Iterator<Item = &AmbiguousEntry> {
+        self.ambiguous.values()
+    }
+
+    /// Ambiguous entries still awaiting a decision.
+    pub fn undecided(&self) -> impl Iterator<Item = &AmbiguousEntry> {
+        self.ambiguous.values().filter(|e| e.decision == AmbiguityDecision::Undecided)
+    }
+
+    /// Adds a context rule.
+    pub fn add_context_rule(
+        &mut self,
+        context: impl Into<String>,
+        name: impl Into<String>,
+        canonical: impl Into<String>,
+    ) {
+        let rule = ContextRule {
+            context: context.into(),
+            name: name.into(),
+            canonical: canonical.into(),
+        };
+        if !self.context_rules.contains(&rule) {
+            self.context_rules.push(rule);
+        }
+    }
+
+    /// All context rules.
+    pub fn context_rules(&self) -> &[ContextRule] {
+        &self.context_rules
+    }
+
+    /// Consults the registry for `name` harvested in `context` (when known).
+    ///
+    /// Precedence: QA marking → context rule → ambiguity decision → unknown.
+    /// QA wins because a `temp_flag` column is bookkeeping regardless of what
+    /// `temp` means; context rules win over ambiguity because they are the
+    /// curator's *more specific* clarification.
+    pub fn verdict(&self, name: &str, context: Option<&str>) -> RegistryVerdict {
+        if self.is_qa(name) {
+            return RegistryVerdict::Qa;
+        }
+        if let Some(ctx) = context {
+            for r in &self.context_rules {
+                if metamess_core::text::term_eq(&r.context, ctx)
+                    && metamess_core::text::term_eq(&r.name, name)
+                {
+                    return RegistryVerdict::Canonical(r.canonical.clone());
+                }
+            }
+        }
+        if let Some(e) = self.ambiguous.get(&normalize_term(name)) {
+            return match &e.decision {
+                AmbiguityDecision::Undecided => RegistryVerdict::AmbiguousUndecided {
+                    candidates: e.candidates.clone(),
+                },
+                AmbiguityDecision::Clarified(map) => {
+                    let ctx_key = context.map(normalize_term).unwrap_or_default();
+                    if let Some(c) = map.get(&ctx_key).or_else(|| map.get("")) {
+                        RegistryVerdict::Canonical(c.clone())
+                    } else {
+                        RegistryVerdict::AmbiguousUndecided { candidates: e.candidates.clone() }
+                    }
+                }
+                AmbiguityDecision::Hide => RegistryVerdict::Hidden,
+                AmbiguityDecision::LeaveAsIs => RegistryVerdict::LeaveAsIs,
+            };
+        }
+        RegistryVerdict::Unknown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qa_patterns_match() {
+        let r = VariableRegistry::builtin();
+        for name in ["qa_level", "QA_TEMP", "temp_flag", "salinity_qc", "quality", "qc_notes"] {
+            assert!(r.is_qa(name), "{name}");
+        }
+        for name in ["temperature", "flagstaff_height", "aqua_depth"] {
+            assert!(!r.is_qa(name), "{name}");
+        }
+    }
+
+    #[test]
+    fn verdict_qa_wins() {
+        let mut r = VariableRegistry::builtin();
+        r.note_ambiguous("qa_level", &["quality_assurance_level"]);
+        assert_eq!(r.verdict("qa_level", None), RegistryVerdict::Qa);
+    }
+
+    #[test]
+    fn ambiguous_lifecycle() {
+        let mut r = VariableRegistry::new();
+        r.note_ambiguous("temp", &["water_temperature", "temporary"]);
+        assert_eq!(r.undecided().count(), 1);
+        match r.verdict("temp", None) {
+            RegistryVerdict::AmbiguousUndecided { candidates } => {
+                assert_eq!(candidates.len(), 2)
+            }
+            v => panic!("unexpected verdict {v:?}"),
+        }
+        // Curator clarifies with a context-conditional mapping.
+        let mut map = BTreeMap::new();
+        map.insert("ctd".to_string(), "water_temperature".to_string());
+        map.insert("".to_string(), "water_temperature".to_string());
+        r.decide_ambiguous("temp", AmbiguityDecision::Clarified(map));
+        assert_eq!(
+            r.verdict("temp", Some("ctd")),
+            RegistryVerdict::Canonical("water_temperature".into())
+        );
+        assert_eq!(
+            r.verdict("temp", None),
+            RegistryVerdict::Canonical("water_temperature".into())
+        );
+        assert_eq!(r.undecided().count(), 0);
+    }
+
+    #[test]
+    fn ambiguous_hide_and_leave() {
+        let mut r = VariableRegistry::new();
+        r.note_ambiguous("misc", &[]);
+        r.decide_ambiguous("misc", AmbiguityDecision::Hide);
+        assert_eq!(r.verdict("misc", None), RegistryVerdict::Hidden);
+        r.decide_ambiguous("misc", AmbiguityDecision::LeaveAsIs);
+        assert_eq!(r.verdict("misc", None), RegistryVerdict::LeaveAsIs);
+    }
+
+    #[test]
+    fn candidates_merge_without_duplicates() {
+        let mut r = VariableRegistry::new();
+        r.note_ambiguous("temp", &["water_temperature"]);
+        r.note_ambiguous("TEMP", &["Water_Temperature", "temporary"]);
+        let e = r.ambiguous_entries().next().unwrap();
+        assert_eq!(e.candidates.len(), 2);
+    }
+
+    #[test]
+    fn context_rules_resolve_bare_names() {
+        let mut r = VariableRegistry::new();
+        r.add_context_rule("met_station", "temperature", "air_temperature");
+        r.add_context_rule("ctd", "temperature", "water_temperature");
+        assert_eq!(
+            r.verdict("temperature", Some("met_station")),
+            RegistryVerdict::Canonical("air_temperature".into())
+        );
+        assert_eq!(
+            r.verdict("Temperature", Some("CTD")),
+            RegistryVerdict::Canonical("water_temperature".into())
+        );
+        assert_eq!(r.verdict("temperature", Some("glider")), RegistryVerdict::Unknown);
+        assert_eq!(r.verdict("temperature", None), RegistryVerdict::Unknown);
+    }
+
+    #[test]
+    fn context_rule_beats_ambiguity() {
+        let mut r = VariableRegistry::new();
+        r.note_ambiguous("temperature", &["air_temperature", "water_temperature"]);
+        r.add_context_rule("ctd", "temperature", "water_temperature");
+        assert_eq!(
+            r.verdict("temperature", Some("ctd")),
+            RegistryVerdict::Canonical("water_temperature".into())
+        );
+        assert!(matches!(
+            r.verdict("temperature", None),
+            RegistryVerdict::AmbiguousUndecided { .. }
+        ));
+    }
+
+    #[test]
+    fn clarified_without_matching_context_stays_exposed() {
+        let mut r = VariableRegistry::new();
+        r.note_ambiguous("temp", &["a", "b"]);
+        let mut map = BTreeMap::new();
+        map.insert("ctd".to_string(), "water_temperature".to_string());
+        r.decide_ambiguous("temp", AmbiguityDecision::Clarified(map));
+        // No default ("") mapping: unknown contexts remain exposed.
+        assert!(matches!(
+            r.verdict("temp", Some("met")),
+            RegistryVerdict::AmbiguousUndecided { .. }
+        ));
+    }
+
+    #[test]
+    fn rules_deduplicate() {
+        let mut r = VariableRegistry::new();
+        r.add_context_rule("a", "x", "y");
+        r.add_context_rule("a", "x", "y");
+        assert_eq!(r.context_rules().len(), 1);
+        r.add_qa_pattern(QaPattern::Prefix("qa_".into()));
+        r.add_qa_pattern(QaPattern::Prefix("qa_".into()));
+        assert!(r.is_qa("qa_x"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut r = VariableRegistry::builtin();
+        r.note_ambiguous("temp", &["water_temperature", "temporary"]);
+        r.add_context_rule("ctd", "temperature", "water_temperature");
+        let json = serde_json::to_string(&r).unwrap();
+        let back: VariableRegistry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

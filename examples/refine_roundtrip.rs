@@ -1,0 +1,81 @@
+//! The Google Refine round trip from the poster's figure: discover variant
+//! clusters, export them as Refine `core/mass-edit` JSON, re-import the
+//! JSON, and run the rules against metadata.
+//!
+//! ```text
+//! cargo run --example refine_roundtrip
+//! ```
+
+use metamess::core::Record;
+use metamess::discover::{
+    clusters_to_rules, key_collision_clusters, knn_clusters, KeyMethod, KnnConfig, ValueCount,
+};
+use metamess::transform::{apply_operations, operations_to_json, parse_operations};
+
+fn main() {
+    // Harvested variable-name facet, with occurrence counts — including the
+    // poster's own example value `ATastn`.
+    let values = vec![
+        ValueCount::new("sea surface temperature", 120),
+        ValueCount::new("ATastn", 7),
+        ValueCount::new("air_temperature", 80),
+        ValueCount::new("air_temperatrue", 2),
+        ValueCount::new("airTemp", 5),
+        ValueCount::new("salinity", 90),
+        ValueCount::new("salinty", 3),
+        ValueCount::new("Salinity", 6),
+        ValueCount::new("wind speed", 40),
+        ValueCount::new("Wind_Speed", 11),
+    ];
+
+    // Discover transformations with both cluster families.
+    let mut clusters = key_collision_clusters(&values, KeyMethod::IdentifierFingerprint);
+    clusters.extend(key_collision_clusters(&values, KeyMethod::Metaphone));
+    clusters.extend(knn_clusters(&values, &KnnConfig::default()));
+    println!("discovered {} clusters:", clusters.len());
+    for c in &clusters {
+        let members: Vec<&str> = c.members.iter().map(|m| m.value.as_str()).collect();
+        println!(
+            "  [{}] {:?} -> '{}' (cohesion {:.2})",
+            c.method,
+            members,
+            c.canonical(),
+            c.cohesion
+        );
+    }
+
+    // The poster's figure: the ATastn rule, hand-picked in Refine. Here we
+    // add it as a curated mass-edit alongside the discovered ones.
+    let mut proposals = clusters_to_rules(&clusters, "field");
+    proposals.dedup_by(|a, b| a.to == b.to && a.from == b.from);
+    let mut ops: Vec<_> = proposals.iter().map(|p| p.operation.clone()).collect();
+    ops.push(metamess::transform::Operation::mass_edit(
+        "field",
+        vec!["ATastn".into()],
+        "sea surface temperature",
+    ));
+
+    // Export JSON rules (what Refine writes)…
+    let json = operations_to_json(&ops);
+    println!("\nexported Refine operation JSON:\n{json}\n");
+
+    // …and run rules against metadata (what the pipeline does).
+    let reimported = parse_operations(&json).expect("round-trips");
+    assert_eq!(reimported, ops);
+    let mut table: Vec<Record> = values
+        .iter()
+        .map(|v| {
+            let mut r = Record::new();
+            r.set("field", v.value.clone());
+            r
+        })
+        .collect();
+    let report = apply_operations(&mut table, &reimported).expect("rules apply");
+    println!("applied {} ops, {} cells changed:", report.ops.len(), report.total_changed());
+    for (before, after) in values.iter().zip(table.iter()) {
+        let now = after.get("field").unwrap().render();
+        if now != before.value.as_str() {
+            println!("  {:<22} -> {}", before.value, now);
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! `metamess` — command-line interface to the metadata-wrangling system.
+//!
+//! ```text
+//! metamess generate <dir> [--seed N] [--months N] [--stations N]
+//! metamess wrangle  <dir> [--store <store-dir>] [--expert]
+//! metamess search   <store-dir> <query...>
+//! metamess summary  <store-dir> <dataset-path>
+//! metamess validate <dir>
+//! ```
+//!
+//! `wrangle` runs the full curation loop over an archive directory and
+//! persists the published catalog (snapshot + WAL) plus the vocabulary into
+//! the store directory; `search` and `summary` work from that store.
+
+use metamess::core::{DurableCatalog, StoreOptions};
+use metamess::pipeline::Severity;
+use metamess::prelude::*;
+use metamess::search::{render_results, render_summary};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("wrangle") => cmd_wrangle(&args[1..]),
+        Some("search") => cmd_search(&args[1..]),
+        Some("summary") => cmd_summary(&args[1..]),
+        Some("browse") => cmd_browse(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+metamess — taming the metadata mess
+
+usage:
+  metamess generate <dir> [--seed N] [--months N] [--stations N]
+      write a synthetic observatory archive (plus ground_truth.json)
+  metamess wrangle <dir> [--store <store-dir>] [--expert]
+      run the wrangling pipeline + curation loop over an archive directory;
+      persist the published catalog and vocabulary into the store directory
+      (default: <dir>/.metamess); --expert adds the hand-curated synonym set
+  metamess search <store-dir> <query...>
+      ranked search, e.g.:
+      metamess search ./arc/.metamess near 45.5,-124.4 within 50km with salinity
+  metamess summary <store-dir> <dataset-path>
+      render the dataset summary page for a catalog entry
+  metamess browse <store-dir>
+      hierarchical drill-down menus with dataset counts per concept
+  metamess validate <dir>
+      run the pipeline's validation stage and print findings";
+
+fn parse_flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|ix| args.get(ix + 1).cloned())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), metamess::core::Error> {
+    let dir = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| metamess::core::Error::invalid("generate needs a target directory"))?;
+    let mut spec = ArchiveSpec::default();
+    if let Some(seed) = parse_flag(args, "--seed") {
+        spec.seed = seed.parse().map_err(|_| metamess::core::Error::invalid("bad --seed"))?;
+    }
+    if let Some(m) = parse_flag(args, "--months") {
+        spec.months = m.parse().map_err(|_| metamess::core::Error::invalid("bad --months"))?;
+    }
+    if let Some(s) = parse_flag(args, "--stations") {
+        spec.stations =
+            s.parse().map_err(|_| metamess::core::Error::invalid("bad --stations"))?;
+    }
+    let archive = metamess::archive::generate(&spec);
+    archive.write_to(dir)?;
+    println!(
+        "wrote {} files ({} datasets, {} malformed) to {dir}",
+        archive.files.len(),
+        archive.truth.datasets.len(),
+        archive.truth.malformed.len()
+    );
+    Ok(())
+}
+
+fn store_paths(store_dir: &Path) -> (PathBuf, PathBuf) {
+    (store_dir.join("catalog"), store_dir.join("vocabulary.json"))
+}
+
+fn cmd_wrangle(args: &[String]) -> Result<(), metamess::core::Error> {
+    let dir = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| metamess::core::Error::invalid("wrangle needs an archive directory"))?;
+    let store_dir = parse_flag(args, "--store")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| Path::new(dir).join(".metamess"));
+    let expert = args.iter().any(|a| a == "--expert");
+
+    let mut ctx = PipelineContext::new(
+        ArchiveInput::Dir(PathBuf::from(dir)),
+        Vocabulary::observatory_default(),
+    );
+    // keep the store out of the scan
+    ctx.harvest.scan.exclude.push(".metamess".into());
+    let mut pipeline = Pipeline::standard();
+    let mut policy = CuratorPolicy::default();
+    if expert {
+        policy.manual_synonyms = expert_synonyms();
+    }
+    let curator = CurationLoop::new(policy);
+    let (history, last) = curator.run_to_fixpoint(&mut pipeline, &mut ctx)?;
+    print!("{}", last.render());
+    for s in &history {
+        println!(
+            "iteration {}: accepted {}, clarified {}, unresolved {}, resolved {:.1}%",
+            s.iteration,
+            s.accepted,
+            s.clarified,
+            s.unresolved_after,
+            100.0 * s.resolution_after
+        );
+    }
+
+    let (catalog_dir, vocab_path) = store_paths(&store_dir);
+    let mut store = DurableCatalog::open(&catalog_dir, StoreOptions::default())?;
+    store.replace_with(&ctx.catalogs.published)?;
+    store.checkpoint()?;
+    ctx.vocab.save(&vocab_path)?;
+    println!(
+        "published {} datasets to {} (vocabulary v{})",
+        ctx.catalogs.published.len(),
+        store_dir.display(),
+        ctx.vocab.version
+    );
+    Ok(())
+}
+
+fn expert_synonyms() -> Vec<(String, String)> {
+    [
+        "air_temperature", "water_temperature", "sea_surface_temperature", "salinity",
+        "specific_conductivity", "dissolved_oxygen", "turbidity", "chlorophyll_fluorescence",
+        "wind_speed", "wind_direction", "air_pressure", "relative_humidity", "precipitation",
+        "solar_radiation", "depth", "nitrate", "phosphate", "ph",
+    ]
+    .iter()
+    .flat_map(|c| {
+        metamess::archive::adhoc_synonyms(c).iter().map(move |v| (c.to_string(), v.to_string()))
+    })
+    .collect()
+}
+
+fn open_engine(store_dir: &Path) -> Result<SearchEngine, metamess::core::Error> {
+    let (catalog_dir, vocab_path) = store_paths(store_dir);
+    let store = DurableCatalog::open(&catalog_dir, StoreOptions::default())?;
+    let vocab = if vocab_path.exists() {
+        Vocabulary::load(&vocab_path)?
+    } else {
+        Vocabulary::observatory_default()
+    };
+    Ok(SearchEngine::build(store.catalog(), vocab))
+}
+
+fn cmd_search(args: &[String]) -> Result<(), metamess::core::Error> {
+    let store_dir = args
+        .first()
+        .ok_or_else(|| metamess::core::Error::invalid("search needs a store directory"))?;
+    let query_text = args[1..].join(" ");
+    if query_text.trim().is_empty() {
+        return Err(metamess::core::Error::invalid("search needs a query"));
+    }
+    let engine = open_engine(Path::new(store_dir))?;
+    let query = Query::parse(&query_text)?;
+    let hits = engine.search(&query);
+    print!("{}", render_results(&hits));
+    Ok(())
+}
+
+fn cmd_summary(args: &[String]) -> Result<(), metamess::core::Error> {
+    let store_dir = args
+        .first()
+        .ok_or_else(|| metamess::core::Error::invalid("summary needs a store directory"))?;
+    let path = args
+        .get(1)
+        .ok_or_else(|| metamess::core::Error::invalid("summary needs a dataset path"))?;
+    let engine = open_engine(Path::new(store_dir))?;
+    let id = metamess::core::DatasetId::from_path(path);
+    let d = engine
+        .dataset(id)
+        .ok_or_else(|| metamess::core::Error::not_found("dataset", path.clone()))?;
+    print!("{}", render_summary(d));
+    Ok(())
+}
+
+fn cmd_browse(args: &[String]) -> Result<(), metamess::core::Error> {
+    let store_dir = args
+        .first()
+        .ok_or_else(|| metamess::core::Error::invalid("browse needs a store directory"))?;
+    let (catalog_dir, vocab_path) = store_paths(Path::new(store_dir));
+    let store = DurableCatalog::open(&catalog_dir, StoreOptions::default())?;
+    let vocab = if vocab_path.exists() {
+        Vocabulary::load(&vocab_path)?
+    } else {
+        Vocabulary::observatory_default()
+    };
+    for tree in metamess::search::browse_all(store.catalog(), &vocab) {
+        print!("{}", tree.render());
+        println!();
+    }
+    Ok(())
+}
+
+fn cmd_validate(args: &[String]) -> Result<(), metamess::core::Error> {
+    let dir = args
+        .first()
+        .ok_or_else(|| metamess::core::Error::invalid("validate needs an archive directory"))?;
+    let mut ctx = PipelineContext::new(
+        ArchiveInput::Dir(PathBuf::from(dir)),
+        Vocabulary::observatory_default(),
+    );
+    ctx.harvest.scan.exclude.push(".metamess".into());
+    Pipeline::standard().run(&mut ctx)?;
+    if ctx.findings.is_empty() {
+        println!("no findings");
+        return Ok(());
+    }
+    for f in &ctx.findings {
+        let sev = match f.severity {
+            Severity::Error => "ERROR",
+            Severity::Warning => "warn ",
+        };
+        println!("[{sev}] {}: {}", f.rule, f.message);
+    }
+    let errors = ctx.findings.iter().filter(|f| f.severity == Severity::Error).count();
+    println!("{} findings ({} errors)", ctx.findings.len(), errors);
+    Ok(())
+}

@@ -1,0 +1,104 @@
+//! End-to-end CLI test: generate → wrangle → search → summary → validate.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_metamess")
+}
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(bin()).args(args).output().expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+    )
+}
+
+fn workdir() -> PathBuf {
+    let d = std::env::temp_dir().join(format!("metamess-cli-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn full_cli_workflow() {
+    let dir = workdir();
+    let dir_s = dir.to_str().unwrap();
+
+    // generate
+    let (ok, stdout, stderr) = run(&["generate", dir_s, "--months", "3", "--stations", "2"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("wrote"), "{stdout}");
+    assert!(dir.join("ground_truth.json").exists());
+
+    // wrangle
+    let (ok, stdout, stderr) = run(&["wrangle", dir_s, "--expert"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("published"), "{stdout}");
+    let store = dir.join(".metamess");
+    assert!(store.join("catalog").join("snapshot.bin").exists());
+    assert!(store.join("vocabulary.json").exists());
+
+    // search
+    let store_s = store.to_str().unwrap();
+    let (ok, stdout, stderr) =
+        run(&["search", store_s, "with", "salinity", "limit", "3"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("1. ["), "{stdout}");
+
+    // summary of a known dataset
+    let (ok, stdout, stderr) =
+        run(&["summary", store_s, "stations/saturn01/2010/01.csv"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("variables:"), "{stdout}");
+    assert!(stdout.contains("saturn01"), "{stdout}");
+
+    // browse: hierarchical menus with counts
+    let (ok, stdout, stderr) = run(&["browse", store_s]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("[observatory]"), "{stdout}");
+    assert!(stdout.contains('('), "{stdout}");
+
+    // validate (wrangled archive: warnings possible, no errors)
+    let (ok, stdout, stderr) = run(&["validate", dir_s]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("findings") || stdout.contains("no findings"), "{stdout}");
+    assert!(stdout.contains("(0 errors)") || stdout.contains("no findings"), "{stdout}");
+}
+
+#[test]
+fn cli_errors_are_clean() {
+    // no args → usage on stderr, exit code 2
+    let out = Command::new(bin()).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    // unknown store dir → an empty store is created on open; search simply
+    // returns no results
+    let empty_store = std::env::temp_dir().join(format!(
+        "metamess-cli-empty-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&empty_store);
+    let (ok, stdout, stderr) =
+        run(&["search", empty_store.to_str().unwrap(), "with", "salinity"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("no results"), "{stdout}");
+
+    // bad query → clean error
+    let dir = workdir();
+    let dir_s = dir.to_str().unwrap();
+    run(&["generate", dir_s, "--months", "1", "--stations", "1"]);
+    run(&["wrangle", dir_s]);
+    let store = dir.join(".metamess");
+    let (ok, _, stderr) = run(&["search", store.to_str().unwrap(), "frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("error"), "{stderr}");
+
+    // missing dataset in summary → clean error
+    let (ok, _, stderr) = run(&["summary", store.to_str().unwrap(), "nope.csv"]);
+    assert!(!ok);
+    assert!(stderr.contains("not found"), "{stderr}");
+}
