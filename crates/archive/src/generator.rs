@@ -36,8 +36,7 @@ impl GeneratedArchive {
         for (rel, content) in &self.files {
             let path = dir.join(rel);
             if let Some(parent) = path.parent() {
-                std::fs::create_dir_all(parent)
-                    .io_ctx(format!("create {}", parent.display()))?;
+                std::fs::create_dir_all(parent).io_ctx(format!("create {}", parent.display()))?;
             }
             std::fs::write(&path, content).io_ctx(format!("write {}", path.display()))?;
         }
@@ -63,41 +62,113 @@ struct VarProfile {
 }
 
 const WATER_VARS: &[VarProfile] = &[
-    VarProfile { canonical: "water_temperature", unit: "degC", base: 11.0, seasonal: 5.0, noise: 0.6 },
+    VarProfile {
+        canonical: "water_temperature",
+        unit: "degC",
+        base: 11.0,
+        seasonal: 5.0,
+        noise: 0.6,
+    },
     VarProfile { canonical: "salinity", unit: "PSU", base: 18.0, seasonal: 8.0, noise: 2.0 },
-    VarProfile { canonical: "specific_conductivity", unit: "mS/cm", base: 28.0, seasonal: 10.0, noise: 2.5 },
-    VarProfile { canonical: "dissolved_oxygen", unit: "mg/L", base: 8.5, seasonal: 1.5, noise: 0.5 },
+    VarProfile {
+        canonical: "specific_conductivity",
+        unit: "mS/cm",
+        base: 28.0,
+        seasonal: 10.0,
+        noise: 2.5,
+    },
+    VarProfile {
+        canonical: "dissolved_oxygen",
+        unit: "mg/L",
+        base: 8.5,
+        seasonal: 1.5,
+        noise: 0.5,
+    },
     VarProfile { canonical: "turbidity", unit: "NTU", base: 12.0, seasonal: 6.0, noise: 3.0 },
-    VarProfile { canonical: "chlorophyll_fluorescence", unit: "ug/L", base: 6.0, seasonal: 4.0, noise: 1.5 },
+    VarProfile {
+        canonical: "chlorophyll_fluorescence",
+        unit: "ug/L",
+        base: 6.0,
+        seasonal: 4.0,
+        noise: 1.5,
+    },
     VarProfile { canonical: "fluores375", unit: "ug/L", base: 2.5, seasonal: 1.0, noise: 0.5 },
     VarProfile { canonical: "fluores400", unit: "ug/L", base: 3.1, seasonal: 1.2, noise: 0.5 },
     VarProfile { canonical: "ph", unit: "pH", base: 7.8, seasonal: 0.3, noise: 0.1 },
 ];
 
 const MET_VARS: &[VarProfile] = &[
-    VarProfile { canonical: "air_temperature", unit: "degC", base: 11.0, seasonal: 9.0, noise: 1.5 },
+    VarProfile {
+        canonical: "air_temperature",
+        unit: "degC",
+        base: 11.0,
+        seasonal: 9.0,
+        noise: 1.5,
+    },
     VarProfile { canonical: "wind_speed", unit: "m/s", base: 5.0, seasonal: 2.0, noise: 2.0 },
-    VarProfile { canonical: "wind_direction", unit: "deg", base: 200.0, seasonal: 60.0, noise: 40.0 },
+    VarProfile {
+        canonical: "wind_direction",
+        unit: "deg",
+        base: 200.0,
+        seasonal: 60.0,
+        noise: 40.0,
+    },
     VarProfile { canonical: "air_pressure", unit: "mbar", base: 1015.0, seasonal: 6.0, noise: 4.0 },
-    VarProfile { canonical: "relative_humidity", unit: "%", base: 78.0, seasonal: 10.0, noise: 6.0 },
+    VarProfile {
+        canonical: "relative_humidity",
+        unit: "%",
+        base: 78.0,
+        seasonal: 10.0,
+        noise: 6.0,
+    },
     VarProfile { canonical: "precipitation", unit: "mm", base: 2.0, seasonal: 2.0, noise: 1.5 },
-    VarProfile { canonical: "solar_radiation", unit: "W/m2", base: 180.0, seasonal: 120.0, noise: 50.0 },
+    VarProfile {
+        canonical: "solar_radiation",
+        unit: "W/m2",
+        base: 180.0,
+        seasonal: 120.0,
+        noise: 50.0,
+    },
 ];
 
 const CAST_VARS: &[VarProfile] = &[
     VarProfile { canonical: "depth", unit: "m", base: 8.0, seasonal: 0.0, noise: 5.0 },
-    VarProfile { canonical: "water_temperature", unit: "degC", base: 11.0, seasonal: 5.0, noise: 0.8 },
+    VarProfile {
+        canonical: "water_temperature",
+        unit: "degC",
+        base: 11.0,
+        seasonal: 5.0,
+        noise: 0.8,
+    },
     VarProfile { canonical: "salinity", unit: "PSU", base: 20.0, seasonal: 8.0, noise: 3.0 },
-    VarProfile { canonical: "dissolved_oxygen", unit: "mg/L", base: 8.0, seasonal: 1.5, noise: 0.7 },
+    VarProfile {
+        canonical: "dissolved_oxygen",
+        unit: "mg/L",
+        base: 8.0,
+        seasonal: 1.5,
+        noise: 0.7,
+    },
     VarProfile { canonical: "nitrate", unit: "uM", base: 14.0, seasonal: 6.0, noise: 3.0 },
     VarProfile { canonical: "phosphate", unit: "uM", base: 1.4, seasonal: 0.5, noise: 0.3 },
 ];
 
 const GLIDER_VARS: &[VarProfile] = &[
     VarProfile { canonical: "depth", unit: "m", base: 15.0, seasonal: 0.0, noise: 10.0 },
-    VarProfile { canonical: "water_temperature", unit: "degC", base: 10.5, seasonal: 4.0, noise: 0.7 },
+    VarProfile {
+        canonical: "water_temperature",
+        unit: "degC",
+        base: 10.5,
+        seasonal: 4.0,
+        noise: 0.7,
+    },
     VarProfile { canonical: "salinity", unit: "PSU", base: 28.0, seasonal: 4.0, noise: 2.0 },
-    VarProfile { canonical: "dissolved_oxygen", unit: "mg/L", base: 8.2, seasonal: 1.0, noise: 0.5 },
+    VarProfile {
+        canonical: "dissolved_oxygen",
+        unit: "mg/L",
+        base: 8.2,
+        seasonal: 1.0,
+        noise: 0.5,
+    },
 ];
 
 /// Station definitions: Columbia River estuary / NE Pacific sites.
@@ -120,7 +191,8 @@ const SECONDS_PER_YEAR: f64 = 365.25 * 86_400.0;
 fn seasonal_value(p: &VarProfile, t: Timestamp, rng: &mut StdRng) -> f64 {
     let phase = 2.0 * std::f64::consts::PI * (t.0 as f64) / SECONDS_PER_YEAR;
     // peak in mid-summer (phase shift ~ half a year from January)
-    let v = p.base + p.seasonal * (phase - std::f64::consts::FRAC_PI_2).sin()
+    let v = p.base
+        + p.seasonal * (phase - std::f64::consts::FRAC_PI_2).sin()
         + p.noise * (rng.random::<f64>() * 2.0 - 1.0);
     (v * 1000.0).round() / 1000.0
 }
@@ -286,12 +358,8 @@ fn build_file(
         parsed.rows.push(rec);
         t = t.plus_seconds(step_secs);
     }
-    let end = parsed
-        .rows
-        .last()
-        .and_then(|r| r.get("time"))
-        .and_then(|v| v.as_time())
-        .unwrap_or(start);
+    let end =
+        parsed.rows.last().and_then(|r| r.get("time")).and_then(|v| v.as_time()).unwrap_or(start);
 
     let truth = TrueDataset {
         path: path.to_string(),
@@ -347,8 +415,10 @@ pub fn generate(spec: &ArchiveSpec) -> GeneratedArchive {
             let month0 = (m % 12) as u32 + 1;
             let year = 2010 + (m / 12) as i64;
             let start = Timestamp::from_ymd(year, month0, 1).expect("valid month start");
-            let path = format!("stations/{name}/{year}/{month0:02}.{}",
-                if (si + m) % 3 == 2 { "cdl" } else { "csv" });
+            let path = format!(
+                "stations/{name}/{year}/{month0:02}.{}",
+                if (si + m) % 3 == 2 { "cdl" } else { "csv" }
+            );
             let mut rng = StdRng::seed_from_u64(spec.seed ^ fnv1a(path.as_bytes()));
             let (mut parsed, t) = build_file(
                 &path,
@@ -376,9 +446,7 @@ pub fn generate(spec: &ArchiveSpec) -> GeneratedArchive {
                     .find(|v| v.canonical == "air_temperature")
                     .map(|v| v.harvested.clone());
                 if let Some(col_name) = fahrenheit_col {
-                    if let Some(col) =
-                        parsed.columns.iter_mut().find(|c| c.name == col_name)
-                    {
+                    if let Some(col) = parsed.columns.iter_mut().find(|c| c.name == col_name) {
                         col.unit = Some("degF".into());
                     }
                     for row in &mut parsed.rows {
@@ -390,10 +458,7 @@ pub fn generate(spec: &ArchiveSpec) -> GeneratedArchive {
                 }
             }
             let content = if path.ends_with(".cdl") {
-                parsed.metadata.insert(
-                    "dataset_name".into(),
-                    format!("{name}_{year}{month0:02}"),
-                );
+                parsed.metadata.insert("dataset_name".into(), format!("{name}_{year}{month0:02}"));
                 parsed.format = FormatKind::Cdl;
                 write_cdl(&parsed)
             } else {
@@ -479,8 +544,10 @@ pub fn generate(spec: &ArchiveSpec) -> GeneratedArchive {
     // --- malformed files (failure injection) ---
     if spec.include_malformed {
         let malformed = vec![
-            ("malformed/truncated.csv".to_string(),
-             "# station: ghost\ntime,temp\n\"2010-01-01,5.0\n".to_string()),
+            (
+                "malformed/truncated.csv".to_string(),
+                "# station: ghost\ntime,temp\n\"2010-01-01,5.0\n".to_string(),
+            ),
             ("malformed/junk.bin".to_string(), "\u{0}\u{1}\u{2}not a data file".to_string()),
             ("malformed/empty.csv".to_string(), String::new()),
         ];
@@ -529,8 +596,7 @@ mod tests {
         let a = generate(&ArchiveSpec::tiny());
         for t in &a.truth.datasets {
             let content = &a.files.iter().find(|(p, _)| p == &t.path).unwrap().1;
-            let parsed =
-                metamess_formats::sniff_and_parse(Path::new(&t.path), content).unwrap();
+            let parsed = metamess_formats::sniff_and_parse(Path::new(&t.path), content).unwrap();
             assert!(!parsed.rows.is_empty(), "{}", t.path);
             // every truth variable appears as a column
             for v in &t.variables {
@@ -591,13 +657,8 @@ mod tests {
     #[test]
     fn qa_columns_marked_in_truth() {
         let a = generate(&ArchiveSpec::default());
-        let qa: Vec<&TrueVariable> = a
-            .truth
-            .datasets
-            .iter()
-            .flat_map(|d| d.variables.iter())
-            .filter(|v| v.qa)
-            .collect();
+        let qa: Vec<&TrueVariable> =
+            a.truth.datasets.iter().flat_map(|d| d.variables.iter()).filter(|v| v.qa).collect();
         assert!(!qa.is_empty());
         for v in qa {
             assert_eq!(v.category, MessCategory::Excessive);
@@ -615,10 +676,8 @@ mod tests {
         );
         let all = a.truth.relevant(None, None, None).count();
         let spatial = a.truth.relevant(Some(&region), None, None).count();
-        let with_var = a
-            .truth
-            .relevant(Some(&region), Some(&window), Some("water_temperature"))
-            .count();
+        let with_var =
+            a.truth.relevant(Some(&region), Some(&window), Some("water_temperature")).count();
         assert!(all >= spatial && spatial >= with_var);
         assert!(with_var > 0);
     }

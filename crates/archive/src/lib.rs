@@ -13,8 +13,7 @@ mod spec;
 
 pub use generator::{generate, GeneratedArchive};
 pub use mess::{
-    abbreviate, adhoc_synonyms, ambiguous_form, case_variant, flag_column, misspell,
-    MessCategory,
+    abbreviate, adhoc_synonyms, ambiguous_form, case_variant, flag_column, misspell, MessCategory,
     MessIntensity, QA_COLUMNS,
 };
 pub use spec::{ArchiveSpec, GroundTruth, TrueDataset, TrueVariable};

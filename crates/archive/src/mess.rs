@@ -196,8 +196,7 @@ pub fn abbreviate(canonical: &str) -> String {
 }
 
 /// QA / bookkeeping column names the Excessive category sprinkles in.
-pub const QA_COLUMNS: &[&str] =
-    &["qa_level", "battery_voltage", "instrument_status", "checksum"];
+pub const QA_COLUMNS: &[&str] = &["qa_level", "battery_voltage", "instrument_status", "checksum"];
 
 /// Per-variable QA flag column name (`temp_flag` style).
 pub fn flag_column(var_name: &str) -> String {
@@ -279,10 +278,7 @@ mod tests {
         let vocab = metamess_vocab_check();
         for canon in ["water_temperature", "salinity", "dissolved_oxygen"] {
             for syn in adhoc_synonyms(canon) {
-                assert!(
-                    !vocab.contains(&syn.to_string()),
-                    "{syn} leaked into curated vocabulary"
-                );
+                assert!(!vocab.contains(&syn.to_string()), "{syn} leaked into curated vocabulary");
             }
         }
     }
@@ -292,11 +288,28 @@ mod tests {
     /// would silently measure nothing.
     fn metamess_vocab_check() -> Vec<String> {
         // keep in sync with Vocabulary::observatory_default's alternates
-        ["atemp", "t_air", "wtemp", "t_water", "sst", "sal", "spcond", "conductivity", "do",
-         "oxygen", "do_sat", "chl_fluor", "fluorescence", "turb", "wspd", "wdir", "baro"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect()
+        [
+            "atemp",
+            "t_air",
+            "wtemp",
+            "t_water",
+            "sst",
+            "sal",
+            "spcond",
+            "conductivity",
+            "do",
+            "oxygen",
+            "do_sat",
+            "chl_fluor",
+            "fluorescence",
+            "turb",
+            "wspd",
+            "wdir",
+            "baro",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
     }
 
     #[test]

@@ -3,18 +3,28 @@
 //! blocking ablation).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use metamess_discover::{
-    key_collision_clusters, knn_clusters, KeyMethod, KnnConfig, ValueCount,
-};
+use metamess_discover::{key_collision_clusters, knn_clusters, KeyMethod, KnnConfig, ValueCount};
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 use std::hint::black_box;
 
 /// Synthesizes a vocabulary of `n` distinct values with injected variants.
 fn value_pool(n: usize) -> Vec<ValueCount> {
     let stems = [
-        "air_temperature", "water_temperature", "salinity", "dissolved_oxygen", "turbidity",
-        "wind_speed", "wind_direction", "air_pressure", "nitrate", "phosphate", "chlorophyll",
-        "precipitation", "solar_radiation", "relative_humidity", "conductivity",
+        "air_temperature",
+        "water_temperature",
+        "salinity",
+        "dissolved_oxygen",
+        "turbidity",
+        "wind_speed",
+        "wind_direction",
+        "air_pressure",
+        "nitrate",
+        "phosphate",
+        "chlorophyll",
+        "precipitation",
+        "solar_radiation",
+        "relative_humidity",
+        "conductivity",
     ];
     let mut rng = StdRng::seed_from_u64(7);
     let mut out = Vec::with_capacity(n);
@@ -42,11 +52,9 @@ fn bench_key_collision(c: &mut Criterion) {
             KeyMethod::NgramFingerprint { n: 2 },
             KeyMethod::Metaphone,
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(method.name(), n),
-                &pool,
-                |b, pool| b.iter(|| black_box(key_collision_clusters(black_box(pool), method))),
-            );
+            group.bench_with_input(BenchmarkId::new(method.name(), n), &pool, |b, pool| {
+                b.iter(|| black_box(key_collision_clusters(black_box(pool), method)))
+            });
         }
     }
     group.finish();

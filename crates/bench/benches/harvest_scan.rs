@@ -9,7 +9,12 @@ use metamess_harvest::{harvest, observatory_rules, HarvestConfig, MemorySource, 
 use std::hint::black_box;
 
 fn config() -> HarvestConfig {
-    HarvestConfig { scan: ScanConfig::default(), naming: observatory_rules(), pipeline_run: 1, parallelism: 1 }
+    HarvestConfig {
+        scan: ScanConfig::default(),
+        naming: observatory_rules(),
+        pipeline_run: 1,
+        parallelism: 1,
+    }
 }
 
 fn bench_harvest(c: &mut Criterion) {
@@ -33,6 +38,9 @@ fn bench_harvest(c: &mut Criterion) {
     }
     c.bench_function("harvest/incremental-unchanged", |b| {
         b.iter(|| black_box(harvest(black_box(&source), &config(), Some(&prev)).unwrap()))
+    });
+    c.bench_function("harvest/incremental-unchanged-4-workers", |b| {
+        b.iter(|| black_box(harvest(black_box(&source), &parallel, Some(&prev)).unwrap()))
     });
 }
 

@@ -3,11 +3,11 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use metamess_archive::{generate, ArchiveSpec};
-use metamess_pipeline::{
-    ArchiveInput, DiscoverTransformations, PerformKnownTransformations, Pipeline,
-    PipelineContext, ScanArchive,
-};
 use metamess_pipeline::Component;
+use metamess_pipeline::{
+    ArchiveInput, DiscoverTransformations, PerformKnownTransformations, Pipeline, PipelineContext,
+    ScanArchive,
+};
 use metamess_vocab::Vocabulary;
 use std::hint::black_box;
 

@@ -1,5 +1,10 @@
 //! Criterion bench: ranked-search latency vs catalog size, indexed vs
-//! linear scan (supports E3's latency series and the R-tree ablation).
+//! linear scan (supports E3's latency series and the R-tree ablation),
+//! plus the parallel-scoring and result-cache variants.
+//!
+//! The `*-indexed` / `*-linear` series call `search_uncached` so they keep
+//! measuring the scoring path itself; `cached-*` vs `cold-*` isolates the
+//! generation-stamped result cache.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use metamess_archive::ArchiveSpec;
@@ -26,16 +31,38 @@ fn bench_search(c: &mut Criterion) {
 
         engine.use_indexes = true;
         group.bench_with_input(BenchmarkId::new("selective-indexed", n), &n, |b, _| {
-            b.iter(|| black_box(engine.search(black_box(&selective))))
+            b.iter(|| black_box(engine.search_uncached(black_box(&selective))))
         });
         group.bench_with_input(BenchmarkId::new("broad-indexed", n), &n, |b, _| {
-            b.iter(|| black_box(engine.search(black_box(&broad))))
+            b.iter(|| black_box(engine.search_uncached(black_box(&broad))))
         });
         engine.use_indexes = false;
         group.bench_with_input(BenchmarkId::new("selective-linear", n), &n, |b, _| {
-            b.iter(|| black_box(engine.search(black_box(&selective))))
+            b.iter(|| black_box(engine.search_uncached(black_box(&selective))))
         });
         group.bench_with_input(BenchmarkId::new("broad-linear", n), &n, |b, _| {
+            b.iter(|| black_box(engine.search_uncached(black_box(&broad))))
+        });
+
+        // Parallel scoring on the full-scan (ablation) configuration: the
+        // acceptance surface for the bounded top-k + worker-pool path.
+        for workers in [2usize, 4] {
+            engine.workers = workers;
+            group.bench_with_input(
+                BenchmarkId::new(format!("broad-linear-{workers}-workers"), n),
+                &n,
+                |b, _| b.iter(|| black_box(engine.search_uncached(black_box(&broad)))),
+            );
+        }
+        engine.workers = 1;
+
+        // Result cache: cold rescoring vs repeated-query hits against an
+        // unchanged catalog generation.
+        group.bench_with_input(BenchmarkId::new("broad-cold", n), &n, |b, _| {
+            b.iter(|| black_box(engine.search_uncached(black_box(&broad))))
+        });
+        let _ = engine.search(&broad); // warm the cache once
+        group.bench_with_input(BenchmarkId::new("broad-cached", n), &n, |b, _| {
             b.iter(|| black_box(engine.search(black_box(&broad))))
         });
     }
@@ -47,10 +74,7 @@ fn bench_index_build(c: &mut Criterion) {
     let (ctx, _) = wrangle_archive(&spec);
     c.bench_function("search/index-build-257", |b| {
         b.iter(|| {
-            black_box(SearchEngine::build(
-                black_box(&ctx.catalogs.published),
-                ctx.vocab.clone(),
-            ))
+            black_box(SearchEngine::build(black_box(&ctx.catalogs.published), ctx.vocab.clone()))
         })
     });
 }

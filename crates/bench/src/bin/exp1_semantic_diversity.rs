@@ -73,15 +73,11 @@ fn main() {
         println!("{:<42}   e.g. {}", "", example(cat));
     }
 
-    let total_injected: usize =
-        scores.values().map(|s| s.injected).sum::<usize>();
+    let total_injected: usize = scores.values().map(|s| s.injected).sum::<usize>();
     let total_correct: usize = scores.values().map(|s| s.correct).sum::<usize>();
     println!(
         "\noverall: {total_correct}/{total_injected} variable occurrences handled correctly ({})",
         pct(total_correct as f64 / total_injected.max(1) as f64)
     );
-    println!(
-        "final catalog resolution: {}",
-        pct(ctx.catalogs.published.resolution_fraction())
-    );
+    println!("final catalog resolution: {}", pct(ctx.catalogs.published.resolution_fraction()));
 }

@@ -11,7 +11,7 @@
 //! ```
 
 use metamess_archive::ArchiveSpec;
-use metamess_bench::wrangle_archive;
+use metamess_bench::{engine_from_ctx, wrangle_archive};
 use metamess_search::{render_results, Query, SearchEngine};
 use std::time::Instant;
 
@@ -31,8 +31,7 @@ fn main() {
     // Latency vs catalog size, indexed vs linear scan. A *selective* query
     // (tight radius, one month, cruise-only variable) is where candidate
     // pruning pays; broad queries degenerate to a full scan by design.
-    const SELECTIVE: &str =
-        "near 46.1,-123.9 within 10km during 2010-02 with nitrate limit 5";
+    const SELECTIVE: &str = "near 46.1,-123.9 within 10km during 2010-02 with nitrate limit 5";
     println!("\nsearch latency vs catalog size (selective query, mean of 200 runs):");
     println!(
         "{:>9} {:>10} {:>14} {:>14} {:>9}",
@@ -47,7 +46,7 @@ fn main() {
             let runs = 200;
             let t = Instant::now();
             for _ in 0..runs {
-                std::hint::black_box(engine.search(std::hint::black_box(&q)));
+                std::hint::black_box(engine.search_uncached(std::hint::black_box(&q)));
             }
             t.elapsed() / runs
         };
@@ -65,6 +64,59 @@ fn main() {
         );
     }
 
+    // Parallel scoring on the full-scan configuration: worker-pool scaling
+    // over the largest catalog of the series (results are bit-identical to
+    // sequential; only latency changes).
+    println!("\nparallel scoring, full scan (poster query, mean of 200 runs):");
+    let spec = ArchiveSpec { months: 96, stations: 10, ..ArchiveSpec::default() };
+    let (mut ctx_par, _) = wrangle_archive(&spec);
+    let q = Query::parse(POSTER_QUERY).unwrap();
+    let time_it = |engine: &SearchEngine| {
+        let runs = 200;
+        let t = Instant::now();
+        for _ in 0..runs {
+            std::hint::black_box(engine.search_uncached(std::hint::black_box(&q)));
+        }
+        t.elapsed() / runs
+    };
+    let mut sequential_latency = None;
+    for workers in [1usize, 2, 4, 8] {
+        ctx_par.search_parallelism = workers;
+        let mut engine = engine_from_ctx(&ctx_par);
+        engine.use_indexes = false;
+        let latency = time_it(&engine);
+        let base = *sequential_latency.get_or_insert(latency);
+        println!(
+            "  {workers} worker(s): {:>10.2?}  ({:.2}x vs sequential)",
+            latency,
+            base.as_secs_f64() / latency.as_secs_f64()
+        );
+    }
+
+    // Result cache: repeated queries against an unchanged published catalog
+    // are served without rescoring.
+    println!("\nresult cache (poster query, mean of 200 runs):");
+    let engine = engine_from_ctx(&ctx_par);
+    let runs = 200u32;
+    let t = Instant::now();
+    for _ in 0..runs {
+        std::hint::black_box(engine.search_uncached(std::hint::black_box(&q)));
+    }
+    let cold = t.elapsed() / runs;
+    let t = Instant::now();
+    for _ in 0..runs {
+        std::hint::black_box(engine.search(std::hint::black_box(&q)));
+    }
+    let cached = t.elapsed() / runs;
+    let stats = engine.cache_stats();
+    println!("  cold:   {cold:>10.2?}");
+    println!(
+        "  cached: {cached:>10.2?}  ({:.0}x; {} hits / {} misses)",
+        cold.as_secs_f64() / cached.as_secs_f64(),
+        stats.hits,
+        stats.misses
+    );
+
     // Ablation: synonym expansion on/off for a synonym-heavy query.
     println!("\nablation: vocabulary expansion (query 'with wtemp' — a curated alternate):");
     let (ctx, truth) = wrangle_archive(&ArchiveSpec::default());
@@ -76,10 +128,8 @@ fn main() {
     let q = Query::parse("with wtemp limit 10").unwrap();
     let with_vocab = engine.search(&q);
     let without = engine_bare.search(&q);
-    let relevant: Vec<&str> = truth
-        .relevant(None, None, Some("water_temperature"))
-        .map(|d| d.path.as_str())
-        .collect();
+    let relevant: Vec<&str> =
+        truth.relevant(None, None, Some("water_temperature")).map(|d| d.path.as_str()).collect();
     let hit_rate = |hits: &[metamess_search::SearchHit]| {
         hits.iter()
             .take(10)

@@ -15,9 +15,7 @@
 
 use metamess_archive::{generate, ArchiveSpec};
 use metamess_bench::{domain_knowledge, pct};
-use metamess_pipeline::{
-    ArchiveInput, CurationLoop, CuratorPolicy, Pipeline, PipelineContext,
-};
+use metamess_pipeline::{ArchiveInput, CurationLoop, CuratorPolicy, Pipeline, PipelineContext};
 use metamess_vocab::Vocabulary;
 use std::time::Instant;
 
@@ -52,7 +50,12 @@ fn main() {
     println!("\nmess remaining per curation iteration:");
     println!("{:>6} {:>12} {:>12}", "iter", "unresolved", "mess left");
     for s in &history {
-        println!("{:>6} {:>12} {:>12}", s.iteration, s.unresolved_after, pct(1.0 - s.resolution_after));
+        println!(
+            "{:>6} {:>12} {:>12}",
+            s.iteration,
+            s.unresolved_after,
+            pct(1.0 - s.resolution_after)
+        );
     }
     let full_resolution = history.last().unwrap().resolution_after;
     println!(
@@ -68,10 +71,8 @@ fn main() {
     let _ = std::fs::remove_dir_all(&dir);
     let archive = generate(&spec);
     archive.write_to(&dir).expect("write archive");
-    let mut ctx = PipelineContext::new(
-        ArchiveInput::Dir(dir.clone()),
-        Vocabulary::observatory_default(),
-    );
+    let mut ctx =
+        PipelineContext::new(ArchiveInput::Dir(dir.clone()), Vocabulary::observatory_default());
     let mut pipeline = Pipeline::standard();
     let t0 = Instant::now();
     let r1 = pipeline.run(&mut ctx).expect("first run");

@@ -12,9 +12,7 @@
 
 use metamess_archive::{generate, ArchiveSpec};
 use metamess_bench::{domain_knowledge, pct};
-use metamess_pipeline::{
-    ArchiveInput, CurationLoop, CuratorPolicy, Pipeline, PipelineContext,
-};
+use metamess_pipeline::{ArchiveInput, CurationLoop, CuratorPolicy, Pipeline, PipelineContext};
 use metamess_vocab::Vocabulary;
 
 fn run_profile(name: &str, policy: CuratorPolicy, spec: &ArchiveSpec) {

@@ -145,8 +145,7 @@ pub fn precision_at_k(ranked: &[&str], relevant: &[&str], k: usize) -> f64 {
         return 0.0;
     }
     let k = k.min(ranked.len()).max(1);
-    ranked[..k.min(ranked.len())].iter().filter(|p| relevant.contains(*p)).count() as f64
-        / k as f64
+    ranked[..k.min(ranked.len())].iter().filter(|p| relevant.contains(*p)).count() as f64 / k as f64
 }
 
 /// Reciprocal rank of the first relevant result (0 when none).
@@ -171,8 +170,7 @@ pub fn ndcg_at_k(ranked: &[&str], relevant: &[&str], k: usize) -> f64 {
         .filter(|(_, p)| relevant.contains(*p))
         .map(|(ix, _)| 1.0 / ((ix + 2) as f64).log2())
         .sum();
-    let ideal: f64 =
-        (0..relevant.len().min(k)).map(|ix| 1.0 / ((ix + 2) as f64).log2()).sum();
+    let ideal: f64 = (0..relevant.len().min(k)).map(|ix| 1.0 / ((ix + 2) as f64).log2()).sum();
     dcg / ideal
 }
 
@@ -181,10 +179,25 @@ pub fn ndcg_at_k(ranked: &[&str], relevant: &[&str], k: usize) -> f64 {
 /// table the poster says "often exists").
 pub fn domain_knowledge() -> Vec<(String, String)> {
     [
-        "air_temperature", "water_temperature", "sea_surface_temperature", "salinity",
-        "specific_conductivity", "dissolved_oxygen", "turbidity", "chlorophyll_fluorescence",
-        "wind_speed", "wind_direction", "air_pressure", "relative_humidity", "precipitation",
-        "solar_radiation", "depth", "nitrate", "phosphate", "ph", "water_pressure",
+        "air_temperature",
+        "water_temperature",
+        "sea_surface_temperature",
+        "salinity",
+        "specific_conductivity",
+        "dissolved_oxygen",
+        "turbidity",
+        "chlorophyll_fluorescence",
+        "wind_speed",
+        "wind_direction",
+        "air_pressure",
+        "relative_humidity",
+        "precipitation",
+        "solar_radiation",
+        "depth",
+        "nitrate",
+        "phosphate",
+        "ph",
+        "water_pressure",
         "photosynthetically_active_radiation",
     ]
     .iter()
@@ -206,6 +219,16 @@ pub fn wrangle_archive(spec: &ArchiveSpec) -> (PipelineContext, GroundTruth) {
     let curator = CurationLoop::new(policy);
     curator.run_to_fixpoint(&mut pipeline, &mut ctx).expect("curation converges");
     (ctx, truth)
+}
+
+/// Builds a search engine over the context's published catalog, honoring
+/// the context's `search_parallelism` knob (the read-path sibling of
+/// `harvest.parallelism`).
+pub fn engine_from_ctx(ctx: &PipelineContext) -> metamess_search::SearchEngine {
+    let mut engine =
+        metamess_search::SearchEngine::build(&ctx.catalogs.published, ctx.vocab.clone());
+    engine.workers = ctx.search_parallelism;
+    engine
 }
 
 /// Formats a float as a percentage with one decimal.
@@ -248,11 +271,7 @@ mod tests {
         let scores = score_against_truth(&ctx.catalogs.published, &truth);
         for (cat, s) in &scores {
             assert!(s.injected > 0, "{cat:?} never injected");
-            assert!(
-                s.recall() > 0.6,
-                "category {cat:?} recall {} too low: {s:?}",
-                s.recall()
-            );
+            assert!(s.recall() > 0.6, "category {cat:?} recall {} too low: {s:?}", s.recall());
             assert!(s.precision() > 0.8, "category {cat:?} precision too low: {s:?}");
         }
         // clean names must essentially never be broken

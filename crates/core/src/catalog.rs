@@ -213,6 +213,16 @@ impl CatalogPair {
         self.publish_count += 1;
         delta
     }
+
+    /// Generation stamp of the published snapshot. Monotone across
+    /// publishes that changed anything (the working side's mutation counter
+    /// carries over on publish), and *stable* across no-op republishes — so
+    /// consumers holding results derived from the published catalog (e.g.
+    /// the search result cache) stay valid exactly as long as the published
+    /// content is unchanged.
+    pub fn published_generation(&self) -> u64 {
+        self.published.generation()
+    }
 }
 
 #[cfg(test)]
@@ -347,6 +357,23 @@ mod tests {
         let delta2 = pair.publish();
         assert!(delta2.is_empty());
         assert_eq!(pair.publish_count, 2);
+    }
+
+    #[test]
+    fn published_generation_tracks_content_changes() {
+        let mut pair = CatalogPair::new();
+        assert_eq!(pair.published_generation(), 0);
+        pair.working.put(ds("a.csv", &["t"]));
+        pair.publish();
+        let g1 = pair.published_generation();
+        assert!(g1 > 0);
+        // republishing unchanged content keeps the stamp stable
+        pair.publish();
+        assert_eq!(pair.published_generation(), g1);
+        // any working-side mutation moves the stamp on the next publish
+        pair.working.put(ds("b.csv", &[]));
+        pair.publish();
+        assert!(pair.published_generation() > g1);
     }
 
     #[test]

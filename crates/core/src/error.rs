@@ -184,8 +184,7 @@ mod tests {
 
     #[test]
     fn io_ctx_helper() {
-        let r: std::result::Result<(), std::io::Error> =
-            Err(std::io::Error::other("boom"));
+        let r: std::result::Result<(), std::io::Error> = Err(std::io::Error::other("boom"));
         let e = r.io_ctx("write snapshot").unwrap_err();
         assert!(matches!(e, Error::Io { .. }));
     }

@@ -97,14 +97,7 @@ impl DurableCatalog {
             catalog.apply(m);
         }
         let wal = Wal::open(&wal_path, options.sync_on_append)?;
-        Ok(DurableCatalog {
-            dir,
-            catalog,
-            wal,
-            options,
-            recovery,
-            appends_since_checkpoint: 0,
-        })
+        Ok(DurableCatalog { dir, catalog, wal, options, recovery, appends_since_checkpoint: 0 })
     }
 
     /// The recovery report from `open`.

@@ -73,10 +73,7 @@ impl Wal {
             .create(true)
             .open(&path)
             .io_ctx(format!("open wal {}", path.display()))?;
-        let len = file
-            .metadata()
-            .io_ctx(format!("stat wal {}", path.display()))?
-            .len();
+        let len = file.metadata().io_ctx(format!("stat wal {}", path.display()))?.len();
         if len == 0 {
             file.write_all(MAGIC).io_ctx("write wal magic")?;
             file.sync_all().io_ctx("sync wal magic")?;

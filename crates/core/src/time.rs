@@ -228,7 +228,11 @@ impl TimeInterval {
     pub fn overlap_secs(&self, other: &TimeInterval) -> u64 {
         let lo = self.start.max(other.start);
         let hi = self.end.min(other.end);
-        if lo <= hi { hi.abs_diff(lo) } else { 0 }
+        if lo <= hi {
+            hi.abs_diff(lo)
+        } else {
+            0
+        }
     }
 
     /// Gap in seconds between disjoint intervals; 0 when they overlap.
@@ -244,10 +248,7 @@ impl TimeInterval {
 
     /// Smallest interval containing both.
     pub fn union(&self, other: &TimeInterval) -> TimeInterval {
-        TimeInterval {
-            start: self.start.min(other.start),
-            end: self.end.max(other.end),
-        }
+        TimeInterval { start: self.start.min(other.start), end: self.end.max(other.end) }
     }
 
     /// Extends the interval to cover `t`.

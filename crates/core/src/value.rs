@@ -147,7 +147,11 @@ impl From<i64> for Value {
 }
 impl From<f64> for Value {
     fn from(f: f64) -> Self {
-        if f.is_finite() { Value::Float(f) } else { Value::Null }
+        if f.is_finite() {
+            Value::Float(f)
+        } else {
+            Value::Null
+        }
     }
 }
 impl From<&str> for Value {
@@ -195,10 +199,7 @@ impl Record {
     /// Creates a record from parallel column/value lists.
     ///
     /// Returns an error if the lengths differ or a column name repeats.
-    pub fn from_pairs(
-        columns: Vec<String>,
-        values: Vec<Value>,
-    ) -> crate::error::Result<Self> {
+    pub fn from_pairs(columns: Vec<String>, values: Vec<Value>) -> crate::error::Result<Self> {
         if columns.len() != values.len() {
             return Err(crate::error::Error::invalid(format!(
                 "record has {} columns but {} values",
@@ -208,9 +209,7 @@ impl Record {
         }
         for (i, c) in columns.iter().enumerate() {
             if columns[..i].iter().any(|p| p == c) {
-                return Err(crate::error::Error::invalid(format!(
-                    "duplicate column name '{c}'"
-                )));
+                return Err(crate::error::Error::invalid(format!("duplicate column name '{c}'")));
             }
         }
         Ok(Record { columns, values })
@@ -377,10 +376,8 @@ mod tests {
     #[test]
     fn record_from_pairs_validates() {
         assert!(Record::from_pairs(vec!["a".into()], vec![]).is_err());
-        assert!(
-            Record::from_pairs(vec!["a".into(), "a".into()], vec![Value::Null, Value::Null])
-                .is_err()
-        );
+        assert!(Record::from_pairs(vec!["a".into(), "a".into()], vec![Value::Null, Value::Null])
+            .is_err());
         let r =
             Record::from_pairs(vec!["a".into(), "b".into()], vec![Value::Int(1), Value::Int(2)])
                 .unwrap();

@@ -192,10 +192,9 @@ fn wal_replay_equals_memory_after_random_workload() {
                     "d{}.csv",
                     state % 50
                 ))),
-                _ => Mutation::SetProperty {
-                    key: format!("k{}", state % 5),
-                    value: format!("v{i}"),
-                },
+                _ => {
+                    Mutation::SetProperty { key: format!("k{}", state % 5), value: format!("v{i}") }
+                }
             };
             wal.append(&m).unwrap();
             mem.apply(&m);

@@ -149,11 +149,7 @@ pub struct KnnConfig {
 
 impl Default for KnnConfig {
     fn default() -> Self {
-        KnnConfig {
-            radius: 2,
-            blocking: Some(KeyMethod::NgramFingerprint { n: 1 }),
-            min_length: 4,
-        }
+        KnnConfig { radius: 2, blocking: Some(KeyMethod::NgramFingerprint { n: 1 }), min_length: 4 }
     }
 }
 
@@ -220,7 +216,8 @@ pub fn knn_clusters(values: &[ValueCount], config: &KnnConfig) -> Vec<Cluster> {
         let mut members: Vec<ValueCount> = group.iter().map(|&ix| items[ix].clone()).collect();
         sort_members(&mut members);
         // Cohesion from link distances: 1 - mean(d)/radius, clamped.
-        let ds: Vec<usize> = group.iter().flat_map(|&ix| link_distances[ix].iter().copied()).collect();
+        let ds: Vec<usize> =
+            group.iter().flat_map(|&ix| link_distances[ix].iter().copied()).collect();
         let cohesion = if ds.is_empty() {
             0.0
         } else {
@@ -244,12 +241,7 @@ mod tests {
 
     #[test]
     fn key_collision_basic() {
-        let values = vc(&[
-            ("air_temp", 10),
-            ("airTemp", 3),
-            ("AIR TEMP", 1),
-            ("salinity", 20),
-        ]);
+        let values = vc(&[("air_temp", 10), ("airTemp", 3), ("AIR TEMP", 1), ("salinity", 20)]);
         let clusters = key_collision_clusters(&values, KeyMethod::IdentifierFingerprint);
         assert_eq!(clusters.len(), 1);
         let c = &clusters[0];
@@ -342,7 +334,8 @@ mod tests {
     #[test]
     fn knn_transitive_chains_merge() {
         let values = vc(&[("aaaa", 1), ("aaab", 1), ("aabb", 1)]);
-        let clusters = knn_clusters(&values, &KnnConfig { radius: 1, blocking: None, min_length: 4 });
+        let clusters =
+            knn_clusters(&values, &KnnConfig { radius: 1, blocking: None, min_length: 4 });
         // aaaa-aaab at 1, aaab-aabb at 1 → one cluster of three
         assert_eq!(clusters.len(), 1);
         assert_eq!(clusters[0].members.len(), 3);
@@ -351,7 +344,8 @@ mod tests {
     #[test]
     fn knn_identical_values_do_not_self_cluster() {
         let values = vc(&[("same", 2), ("same", 3)]);
-        let clusters = knn_clusters(&values, &KnnConfig { radius: 2, blocking: None, min_length: 4 });
+        let clusters =
+            knn_clusters(&values, &KnnConfig { radius: 2, blocking: None, min_length: 4 });
         assert!(clusters.is_empty());
     }
 

@@ -70,8 +70,7 @@ pub fn ngram_fingerprint(value: &str, n: usize) -> String {
     if chars.len() < n {
         return cleaned;
     }
-    let mut grams: Vec<String> =
-        chars.windows(n).map(|w| w.iter().collect::<String>()).collect();
+    let mut grams: Vec<String> = chars.windows(n).map(|w| w.iter().collect::<String>()).collect();
     grams.sort_unstable();
     grams.dedup();
     grams.concat()
@@ -82,13 +81,7 @@ pub fn ngram_fingerprint(value: &str, n: usize) -> String {
 fn phonetic_fingerprint(value: &str, coder: fn(&str) -> String) -> String {
     let mut toks: Vec<String> = split_identifier(value)
         .iter()
-        .map(|t| {
-            if t.chars().all(|c| c.is_ascii_digit()) {
-                t.clone()
-            } else {
-                coder(t)
-            }
-        })
+        .map(|t| if t.chars().all(|c| c.is_ascii_digit()) { t.clone() } else { coder(t) })
         .filter(|t| !t.is_empty())
         .collect();
     toks.sort_unstable();

@@ -8,11 +8,8 @@
 /// American Soundex code of a word: one letter + three digits.
 /// Non-alphabetic input yields an empty string.
 pub fn soundex(word: &str) -> String {
-    let letters: Vec<char> = word
-        .chars()
-        .filter(|c| c.is_ascii_alphabetic())
-        .map(|c| c.to_ascii_uppercase())
-        .collect();
+    let letters: Vec<char> =
+        word.chars().filter(|c| c.is_ascii_alphabetic()).map(|c| c.to_ascii_uppercase()).collect();
     let Some(&first) = letters.first() else {
         return String::new();
     };
@@ -58,11 +55,8 @@ pub fn soundex(word: &str) -> String {
 /// (PH→F, SH/CH→X, TH→0, CK→K, GH→silent-ish), map C→K/S by context,
 /// collapse doubled letters.
 pub fn metaphone_lite(word: &str) -> String {
-    let w: Vec<char> = word
-        .chars()
-        .filter(|c| c.is_ascii_alphabetic())
-        .map(|c| c.to_ascii_uppercase())
-        .collect();
+    let w: Vec<char> =
+        word.chars().filter(|c| c.is_ascii_alphabetic()).map(|c| c.to_ascii_uppercase()).collect();
     if w.is_empty() {
         return String::new();
     }

@@ -78,8 +78,8 @@ mod tests {
     use super::*;
     use crate::cluster::{key_collision_clusters, ValueCount};
     use crate::keys::KeyMethod;
-    use metamess_transform::{apply_operations, operations_to_json, parse_operations};
     use metamess_core::value::Record;
+    use metamess_transform::{apply_operations, operations_to_json, parse_operations};
 
     fn clusters() -> Vec<Cluster> {
         let values = vec![

@@ -115,9 +115,14 @@ pub fn parse_cdl(text: &str) -> Result<ParsedFile> {
                     if var.is_empty() {
                         out.metadata.insert(attr, rhs);
                     } else {
-                        let col = out.columns.iter_mut().find(|c| c.name == var).ok_or_else(
-                            || Error::parse_at("cdl", format!("attribute for undeclared variable '{var}'"), ln),
-                        )?;
+                        let col =
+                            out.columns.iter_mut().find(|c| c.name == var).ok_or_else(|| {
+                                Error::parse_at(
+                                    "cdl",
+                                    format!("attribute for undeclared variable '{var}'"),
+                                    ln,
+                                )
+                            })?;
                         match attr.as_str() {
                             "units" => col.unit = Some(rhs),
                             "long_name" => col.description = Some(rhs),
@@ -133,10 +138,18 @@ pub fn parse_cdl(text: &str) -> Result<ParsedFile> {
                     let rest: String = parts.collect::<Vec<_>>().join(" ");
                     let name = rest.split('(').next().unwrap_or("").trim();
                     if name.is_empty() {
-                        return Err(Error::parse_at("cdl", "variable declaration without name", ln));
+                        return Err(Error::parse_at(
+                            "cdl",
+                            "variable declaration without name",
+                            ln,
+                        ));
                     }
                     if out.columns.iter().any(|c| c.name == name) {
-                        return Err(Error::parse_at("cdl", format!("duplicate variable '{name}'"), ln));
+                        return Err(Error::parse_at(
+                            "cdl",
+                            format!("duplicate variable '{name}'"),
+                            ln,
+                        ));
                     }
                     out.columns.push(ColumnDef::new(name));
                 }
@@ -316,7 +329,7 @@ data:
         assert!(parse_cdl("").is_err());
         assert!(parse_cdl("not a cdl file").is_err());
         assert!(parse_cdl("netcdf {\n}").is_err()); // missing name
-        // attribute for undeclared variable
+                                                    // attribute for undeclared variable
         let bad = "netcdf x {\nvariables:\n    ghost:units = \"m\" ;\n}";
         assert!(parse_cdl(bad).is_err());
         // data for undeclared variable
@@ -332,7 +345,8 @@ data:
 
     #[test]
     fn global_attr_without_quotes() {
-        let t = "netcdf x {\nvariables:\n    double a(t) ;\n    :depth_m = 12.5 ;\ndata:\n a = 1 ;\n}";
+        let t =
+            "netcdf x {\nvariables:\n    double a(t) ;\n    :depth_m = 12.5 ;\ndata:\n a = 1 ;\n}";
         let p = parse_cdl(t).unwrap();
         assert_eq!(p.meta_f64("depth_m"), Some(12.5));
     }

@@ -226,7 +226,7 @@ mod tests {
         assert!(parse_obslog("*HEADER\nBADLINE\n*END\n").is_err());
         assert!(parse_obslog("*HEADER\n*NOCOLON\n*END\n").is_err());
         assert!(parse_obslog("*HEADER\n*FIELDS: a a\n*END\n").is_err()); // dup
-        // wrong field count in data
+                                                                         // wrong field count in data
         assert!(parse_obslog("*HEADER\n*FIELDS: a b\n*END\n1\n").is_err());
     }
 

@@ -55,10 +55,7 @@ pub fn parse_as(format: FormatKind, text: &str) -> Result<ParsedFile> {
 /// Sniffs and parses in one step.
 pub fn sniff_and_parse(path: &Path, text: &str) -> Result<ParsedFile> {
     let format = sniff(path, text).ok_or_else(|| {
-        Error::parse(
-            format!("file {}", path.display()),
-            "unrecognized format (not csv/cdl/obslog)",
-        )
+        Error::parse(format!("file {}", path.display()), "unrecognized format (not csv/cdl/obslog)")
     })?;
     parse_as(format, text)
 }

@@ -19,9 +19,7 @@ fn arb_value() -> impl Strategy<Value = Value> {
         "[a-zA-Z][a-zA-Z0-9_]{0,10}"
             // sentinels like "na"/"NaN"/"true" sniff into other types and
             // cannot round-trip as text — that is by design, skip them
-            .prop_filter("sniffs as non-text", |s| {
-                matches!(Value::sniff(s), Value::Text(_))
-            })
+            .prop_filter("sniffs as non-text", |s| { matches!(Value::sniff(s), Value::Text(_)) })
             .prop_map(Value::Text),
     ]
 }

@@ -43,10 +43,7 @@ pub fn extract_feature(
         .or_else(|| facts.source.clone());
 
     // Context: platform metadata wins over the naming rule's default.
-    let context = parsed
-        .meta("platform")
-        .map(str::to_string)
-        .or_else(|| facts.context.clone());
+    let context = parsed.meta("platform").map(str::to_string).or_else(|| facts.context.clone());
 
     // External metadata: everything the file header declared.
     for (k, v) in &parsed.metadata {
@@ -81,8 +78,10 @@ pub fn extract_feature(
     let lon_ix = parsed.columns.iter().position(|c| is_one_of(&c.name, LON_COLUMNS));
     if let (Some(lat_ix), Some(lon_ix)) = (lat_ix, lon_ix) {
         for row in &parsed.rows {
-            let lat = parsed.columns.get(lat_ix).and_then(|c| row.get(&c.name)).and_then(Value::as_f64);
-            let lon = parsed.columns.get(lon_ix).and_then(|c| row.get(&c.name)).and_then(Value::as_f64);
+            let lat =
+                parsed.columns.get(lat_ix).and_then(|c| row.get(&c.name)).and_then(Value::as_f64);
+            let lon =
+                parsed.columns.get(lon_ix).and_then(|c| row.get(&c.name)).and_then(Value::as_f64);
             if let (Some(lat), Some(lon)) = (lat, lon) {
                 if let Ok(p) = GeoPoint::new(lat, lon) {
                     match bbox {

@@ -82,10 +82,7 @@ impl ArchiveSource for DirSource<'_> {
         let p = self.root.join(rel_path);
         let bytes = std::fs::read(&p).io_ctx(format!("read {}", p.display()))?;
         String::from_utf8(bytes).map_err(|_| {
-            metamess_core::error::Error::parse(
-                format!("file {rel_path}"),
-                "not valid utf-8 text",
-            )
+            metamess_core::error::Error::parse(format!("file {rel_path}"), "not valid utf-8 text")
         })
     }
 }
@@ -134,10 +131,7 @@ fn process_entry(
     let content = match source.read(&entry.rel_path) {
         Ok(c) => c,
         Err(e) => {
-            return FileOutcome::Error(HarvestError {
-                rel_path: entry.rel_path.clone(),
-                error: e,
-            })
+            return FileOutcome::Error(HarvestError { rel_path: entry.rel_path.clone(), error: e })
         }
     };
     match sniff_and_parse(Path::new(&entry.rel_path), &content) {
@@ -211,7 +205,12 @@ mod tests {
     use metamess_archive::{generate, ArchiveSpec};
 
     fn config() -> HarvestConfig {
-        HarvestConfig { scan: ScanConfig::default(), naming: observatory_rules(), pipeline_run: 1, parallelism: 1 }
+        HarvestConfig {
+            scan: ScanConfig::default(),
+            naming: observatory_rules(),
+            pipeline_run: 1,
+            parallelism: 1,
+        }
     }
 
     #[test]
@@ -249,12 +248,7 @@ mod tests {
                 if ["time", "lat", "lon"].contains(&tv.harvested.as_str()) {
                     continue; // coordinates fold into bbox/interval
                 }
-                assert!(
-                    f.variable(&tv.harvested).is_some(),
-                    "{} missing {}",
-                    t.path,
-                    tv.harvested
-                );
+                assert!(f.variable(&tv.harvested).is_some(), "{} missing {}", t.path, tv.harvested);
             }
         }
     }
@@ -285,7 +279,10 @@ mod tests {
             catalog.put(f.clone());
         }
         // modify one station file
-        let ix = files.iter().position(|(p, _)| p.ends_with(".csv") && p.starts_with("stations")).unwrap();
+        let ix = files
+            .iter()
+            .position(|(p, _)| p.ends_with(".csv") && p.starts_with("stations"))
+            .unwrap();
         files[ix].1.push('\n');
         files[ix].1 = files[ix].1.replace("10.", "11.");
         let changed_path = files[ix].0.clone();

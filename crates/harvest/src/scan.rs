@@ -49,10 +49,12 @@ impl ScanConfig {
         if self.exclude.iter().any(|e| rel.contains(e.as_str())) {
             return false;
         }
-        if !self.roots.is_empty() && !self.roots.iter().any(|r| {
-            let r = r.trim_end_matches('/');
-            rel == r || rel.starts_with(&format!("{r}/"))
-        }) {
+        if !self.roots.is_empty()
+            && !self.roots.iter().any(|r| {
+                let r = r.trim_end_matches('/');
+                rel == r || rel.starts_with(&format!("{r}/"))
+            })
+        {
             return false;
         }
         if !self.extensions.is_empty() {
@@ -97,8 +99,7 @@ pub fn scan_directory(archive_dir: &Path, config: &ScanConfig) -> Result<Vec<Fil
             if !config.accepts(&rel) {
                 continue;
             }
-            let bytes =
-                std::fs::read(&path).io_ctx(format!("read file {}", path.display()))?;
+            let bytes = std::fs::read(&path).io_ctx(format!("read file {}", path.display()))?;
             out.push(FileEntry {
                 rel_path: rel,
                 len: bytes.len() as u64,

@@ -69,6 +69,11 @@ pub struct PipelineContext {
     pub expected_datasets: Vec<String>,
     /// Monotonic pipeline-run counter.
     pub run_id: u64,
+    /// Worker threads for search-engine scoring over the published catalog
+    /// (the read-path sibling of `harvest.parallelism`); 0 or 1 =
+    /// single-threaded. Results are identical regardless of the setting, so
+    /// callers can raise this freely.
+    pub search_parallelism: usize,
 }
 
 impl PipelineContext {
@@ -94,6 +99,7 @@ impl PipelineContext {
             discovered_provenance: BTreeMap::new(),
             expected_datasets: Vec::new(),
             run_id: 0,
+            search_parallelism: 1,
         }
     }
 

@@ -108,10 +108,8 @@ impl CurationLoop {
                 }
                 if ctx.vocab.synonyms.add_alternate(&canonical, variant.clone()).is_ok() {
                     usable = true;
-                    ctx.discovered_provenance.insert(
-                        metamess_core::text::normalize_term(variant),
-                        p.method.clone(),
-                    );
+                    ctx.discovered_provenance
+                        .insert(metamess_core::text::normalize_term(variant), p.method.clone());
                 }
             }
             if usable {
@@ -143,11 +141,10 @@ impl CurationLoop {
                 .iter()
                 .any(|c| self.policy.ambiguity_contexts.values().any(|v| v == c));
             if applicable {
-                ctx.vocab
-                    .registry
-                    .decide_ambiguous(&name, AmbiguityDecision::Clarified(
-                        self.policy.ambiguity_contexts.clone(),
-                    ));
+                ctx.vocab.registry.decide_ambiguous(
+                    &name,
+                    AmbiguityDecision::Clarified(self.policy.ambiguity_contexts.clone()),
+                );
                 n += 1;
             }
         }
@@ -253,8 +250,7 @@ impl CurationLoop {
                 && ctx.vocab.synonyms.add_alternate(canonical, variant.clone()).is_ok();
             // a manual entry also settles any ambiguity exposure on the name:
             // the curator just told us what it means
-            let was_ambiguous =
-                ctx.vocab.registry.ambiguous_entries().any(|e| e.name == *variant);
+            let was_ambiguous = ctx.vocab.registry.ambiguous_entries().any(|e| e.name == *variant);
             if was_ambiguous {
                 let mut map = BTreeMap::new();
                 map.insert(String::new(), canonical.clone());
@@ -335,10 +331,7 @@ mod tests {
 
     fn ctx(spec: &ArchiveSpec) -> PipelineContext {
         let archive = generate(spec);
-        PipelineContext::new(
-            ArchiveInput::Memory(archive.files),
-            Vocabulary::observatory_default(),
-        )
+        PipelineContext::new(ArchiveInput::Memory(archive.files), Vocabulary::observatory_default())
     }
 
     #[test]
@@ -399,11 +392,26 @@ mod tests {
     /// techs use, as `(canonical, variant)` pairs.
     fn domain_knowledge() -> Vec<(String, String)> {
         let canons = [
-            "air_temperature", "water_temperature", "sea_surface_temperature", "salinity",
-            "specific_conductivity", "dissolved_oxygen", "turbidity",
-            "chlorophyll_fluorescence", "wind_speed", "wind_direction", "air_pressure",
-            "relative_humidity", "precipitation", "solar_radiation", "depth", "nitrate",
-            "phosphate", "ph", "water_pressure", "photosynthetically_active_radiation",
+            "air_temperature",
+            "water_temperature",
+            "sea_surface_temperature",
+            "salinity",
+            "specific_conductivity",
+            "dissolved_oxygen",
+            "turbidity",
+            "chlorophyll_fluorescence",
+            "wind_speed",
+            "wind_direction",
+            "air_pressure",
+            "relative_humidity",
+            "precipitation",
+            "solar_radiation",
+            "depth",
+            "nitrate",
+            "phosphate",
+            "ph",
+            "water_pressure",
+            "photosynthetically_active_radiation",
         ];
         let mut out = Vec::new();
         for c in canons {

@@ -125,10 +125,7 @@ mod tests {
 
     fn ctx() -> PipelineContext {
         let archive = generate(&ArchiveSpec::tiny());
-        PipelineContext::new(
-            ArchiveInput::Memory(archive.files),
-            Vocabulary::observatory_default(),
-        )
+        PipelineContext::new(ArchiveInput::Memory(archive.files), Vocabulary::observatory_default())
     }
 
     #[test]
@@ -159,12 +156,8 @@ mod tests {
         let mut std_pipe = Pipeline::standard();
         let _first = std_pipe.run(&mut c2).unwrap();
         // accept high-confidence proposals whose pick is canonical, rerun
-        c2.accepted = c2
-            .proposals
-            .iter()
-            .filter(|p| c2.vocab.synonyms.contains(&p.to))
-            .cloned()
-            .collect();
+        c2.accepted =
+            c2.proposals.iter().filter(|p| c2.vocab.synonyms.contains(&p.to)).cloned().collect();
         let r2 = std_pipe.run(&mut c2).unwrap();
         let known = r1.stages.last().unwrap().resolution_after;
         let with_discovery = r2.stages.last().unwrap().resolution_after;
@@ -201,14 +194,9 @@ mod tests {
     #[test]
     fn custom_composition() {
         use crate::stages::{PerformKnownTransformations, ScanArchive};
-        let mut p = Pipeline::new(vec![
-            Box::new(ScanArchive),
-            Box::new(PerformKnownTransformations),
-        ]);
-        assert_eq!(
-            p.component_names(),
-            vec!["scan-archive", "perform-known-transformations"]
-        );
+        let mut p =
+            Pipeline::new(vec![Box::new(ScanArchive), Box::new(PerformKnownTransformations)]);
+        assert_eq!(p.component_names(), vec!["scan-archive", "perform-known-transformations"]);
         let mut c = ctx();
         let r = p.run(&mut c).unwrap();
         assert_eq!(r.stages.len(), 2);

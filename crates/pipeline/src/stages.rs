@@ -35,9 +35,7 @@ impl Component for ScanArchive {
             ArchiveInput::Memory(files) => {
                 harvest(&MemorySource { files }, &ctx.harvest, Some(previous))?
             }
-            ArchiveInput::Dir(root) => {
-                harvest(&DirSource { root }, &ctx.harvest, Some(previous))?
-            }
+            ArchiveInput::Dir(root) => harvest(&DirSource { root }, &ctx.harvest, Some(previous))?,
         };
         report.processed = hr.scanned as u64;
         report.changed = hr.features.len() as u64;
@@ -138,13 +136,10 @@ impl Component for PerformKnownTransformations {
                     VariableResolution::Translated(c) => {
                         // entries that reached the table through discovery
                         // keep their discovery provenance
-                        let how = match ctx
-                            .discovered_provenance
-                            .get(&normalize_term(&v.name))
-                        {
-                            Some(method) => NameResolution::DiscoveredTranslation {
-                                method: method.clone(),
-                            },
+                        let how = match ctx.discovered_provenance.get(&normalize_term(&v.name)) {
+                            Some(method) => {
+                                NameResolution::DiscoveredTranslation { method: method.clone() }
+                            }
                             None => NameResolution::KnownTranslation,
                         };
                         v.resolve(c, how);
@@ -227,10 +222,7 @@ impl Component for NormalizeUnits {
                     let (a, b) = vocab.units.affine_to(&raw_unit, target)?;
                     v.summary.affine_transform(a, b);
                     report.changed += 1;
-                    report.note(format!(
-                        "{}/{}: {} -> {}",
-                        d.path, v.name, def.name, target
-                    ));
+                    report.note(format!("{}/{}: {} -> {}", d.path, v.name, def.name, target));
                 }
                 v.canonical_unit = Some(target.to_string());
                 v.unit_normalized = true;
@@ -472,12 +464,15 @@ impl Component for Publish {
     fn run(&mut self, ctx: &mut PipelineContext) -> Result<StageReport> {
         let mut report = StageReport::new(self.name());
         if self.strict {
-            let errors: Vec<String> =
-                ctx.validation_errors().map(|f| f.message.clone()).collect();
+            let errors: Vec<String> = ctx.validation_errors().map(|f| f.message.clone()).collect();
             if !errors.is_empty() {
                 return Err(metamess_core::error::Error::validation(
                     "publish",
-                    format!("{} validation errors block publish: {}", errors.len(), errors.join("; ")),
+                    format!(
+                        "{} validation errors block publish: {}",
+                        errors.len(),
+                        errors.join("; ")
+                    ),
                 ));
             }
         }
@@ -498,10 +493,7 @@ mod tests {
 
     fn ctx() -> PipelineContext {
         let archive = generate(&ArchiveSpec::tiny());
-        PipelineContext::new(
-            ArchiveInput::Memory(archive.files),
-            Vocabulary::observatory_default(),
-        )
+        PipelineContext::new(ArchiveInput::Memory(archive.files), Vocabulary::observatory_default())
     }
 
     #[test]
@@ -650,12 +642,8 @@ mod tests {
         c.external.insert("saturn01".to_string(), kv);
         let r = AddExternalMetadata.run(&mut c).unwrap();
         assert!(r.changed > 0);
-        let d = c
-            .catalogs
-            .working
-            .iter()
-            .find(|d| d.source.as_deref() == Some("saturn01"))
-            .unwrap();
+        let d =
+            c.catalogs.working.iter().find(|d| d.source.as_deref() == Some("saturn01")).unwrap();
         assert_eq!(
             d.external.get("principal_investigator").map(String::as_str),
             Some("V. M. Megler")
@@ -690,12 +678,8 @@ mod tests {
         DiscoverTransformations::default().run(&mut c).unwrap();
         let before = c.catalogs.working.resolution_fraction();
         // accept everything whose pick is canonical in the vocabulary
-        c.accepted = c
-            .proposals
-            .iter()
-            .filter(|p| c.vocab.synonyms.contains(&p.to))
-            .cloned()
-            .collect();
+        c.accepted =
+            c.proposals.iter().filter(|p| c.vocab.synonyms.contains(&p.to)).cloned().collect();
         assert!(!c.accepted.is_empty());
         let r = PerformDiscoveredTransformations.run(&mut c).unwrap();
         assert!(r.changed > 0);

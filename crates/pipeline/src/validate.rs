@@ -31,14 +31,12 @@ impl Validator for FileTypeUniformity {
         let mut by_dir: BTreeMap<&str, BTreeMap<&str, usize>> = BTreeMap::new();
         for d in ctx.catalogs.working.iter() {
             let dir = d.path.rsplit_once('/').map(|(dir, _)| dir).unwrap_or("");
-            *by_dir.entry(dir).or_default().entry(d.provenance.format.as_str()).or_insert(0) +=
-                1;
+            *by_dir.entry(dir).or_default().entry(d.provenance.format.as_str()).or_insert(0) += 1;
         }
         let mut out = Vec::new();
         for (dir, formats) in by_dir {
             if formats.len() > 1 {
-                let detail: Vec<String> =
-                    formats.iter().map(|(f, n)| format!("{n} {f}")).collect();
+                let detail: Vec<String> = formats.iter().map(|(f, n)| format!("{n} {f}")).collect();
                 out.push(ValidationFinding {
                     rule: self.rule().into(),
                     severity: Severity::Warning,
@@ -231,10 +229,7 @@ mod tests {
         let mut c = scanned_ctx();
         // saturn02's files alternate csv/cdl in the tiny archive
         let findings = FileTypeUniformity.check(&c);
-        assert!(
-            findings.iter().any(|f| f.message.contains("mixes formats")),
-            "{findings:?}"
-        );
+        assert!(findings.iter().any(|f| f.message.contains("mixes formats")), "{findings:?}");
         // make all of one dir a single format: no finding for clean dirs
         let clean_dirs: Vec<String> = findings.iter().filter_map(|f| f.path.clone()).collect();
         assert!(!clean_dirs.is_empty());

@@ -14,21 +14,23 @@ fn arb_spec() -> impl Strategy<Value = ArchiveSpec> {
         1usize..4,
         (0.0f64..0.4, 0.0f64..0.4, 0.0f64..0.3, 0.0f64..1.0, 0.0f64..0.4),
     )
-        .prop_map(|(seed, stations, cruises, months, (mis, syn, abbr, exc, amb))| ArchiveSpec {
-            seed,
-            stations,
-            cruises,
-            glider_missions: 1,
-            months,
-            rows_per_file: 8,
-            mess: MessIntensity {
-                misspelling: mis,
-                synonym: syn,
-                abbreviation: abbr,
-                excessive: exc,
-                ambiguous: amb,
-            },
-            include_malformed: true,
+        .prop_map(|(seed, stations, cruises, months, (mis, syn, abbr, exc, amb))| {
+            ArchiveSpec {
+                seed,
+                stations,
+                cruises,
+                glider_missions: 1,
+                months,
+                rows_per_file: 8,
+                mess: MessIntensity {
+                    misspelling: mis,
+                    synonym: syn,
+                    abbreviation: abbr,
+                    excessive: exc,
+                    ambiguous: amb,
+                },
+                include_malformed: true,
+            }
         })
 }
 

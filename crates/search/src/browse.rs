@@ -52,10 +52,7 @@ impl BrowseTree {
     /// Finds a node by concept name (case-insensitive), depth first.
     pub fn node(&self, name: &str) -> Option<&BrowseNode> {
         let key = normalize_term(name);
-        self.roots
-            .iter()
-            .flat_map(|r| r.iter())
-            .find(|n| normalize_term(&n.name) == key)
+        self.roots.iter().flat_map(|r| r.iter()).find(|n| normalize_term(&n.name) == key)
     }
 
     /// Renders the drill-down outline: `concept (direct/cumulative)`.
@@ -120,11 +117,7 @@ pub fn browse_taxonomy(catalog: &Catalog, vocab: &Vocabulary, taxonomy: &Taxonom
         )
     }
 
-    let roots = taxonomy
-        .root_nodes()
-        .iter()
-        .map(|r| build(r, &direct).0)
-        .collect();
+    let roots = taxonomy.root_nodes().iter().map(|r| build(r, &direct).0).collect();
     BrowseTree { taxonomy: taxonomy.name.clone(), roots }
 }
 

@@ -7,11 +7,31 @@
 //! back to scoring the whole catalog when the candidate set is too small to
 //! fill `limit` confidently — and `use_indexes = false` forces the full
 //! scan, which the benchmarks use as the ablation baseline.
+//!
+//! # Concurrency and determinism
+//!
+//! Scoring is pure, so candidates can be scored on `workers` scoped threads
+//! (crossbeam), each keeping a bounded [`TopK`](crate::TopK) of the best
+//! `limit` hits, merged at the end. The rank order `(score desc, path asc)`
+//! is a strict total order (paths are unique per catalog), so the merged
+//! result is **bit-identical** to the sequential path for any worker count.
+//!
+//! # Result caching
+//!
+//! Repeated queries against an unchanged catalog are served from a
+//! generation-stamped LRU [`ResultCache`]: entries carry the catalog
+//! generation captured at [`SearchEngine::build`] time, so an engine built
+//! over a republished (changed) catalog never returns stale hits even when
+//! the cache is shared across rebuilds. Use [`SearchEngine::search_uncached`]
+//! to bypass the cache (the benches do, for cold-path measurements).
 
+use crate::cache::{CacheStats, ResultCache, DEFAULT_CACHE_CAPACITY};
 use crate::interval::IntervalIndex;
+use crate::plan::QueryPlan;
 use crate::query::{Query, SpatialTerm};
 use crate::rtree::RTree;
 use crate::score::{score_dataset_prepared, PreparedTerm, ScoreBreakdown};
+use crate::topk::TopK;
 use metamess_core::catalog::Catalog;
 use metamess_core::feature::DatasetFeature;
 use metamess_core::geo::GeoBBox;
@@ -19,7 +39,8 @@ use metamess_core::id::DatasetId;
 use metamess_core::text::normalize_term;
 use metamess_core::time::TimeInterval;
 use metamess_vocab::Vocabulary;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// One ranked search result.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,9 +64,17 @@ pub struct SearchEngine {
     rtree: RTree,
     intervals: IntervalIndex,
     terms: BTreeMap<String, Vec<usize>>,
+    /// `DatasetId → datasets index`, for O(1) hit-to-feature lookup.
+    by_id: HashMap<DatasetId, usize>,
+    /// Catalog generation captured at build time; stamps cache entries.
+    generation: u64,
+    cache: Arc<ResultCache>,
     /// Use the indexes for candidate generation (true) or score every
     /// dataset (false) — the ablation switch.
     pub use_indexes: bool,
+    /// Worker threads for candidate scoring; 0 or 1 = single-threaded.
+    /// Results are identical regardless of worker count.
+    pub workers: usize,
 }
 
 impl SearchEngine {
@@ -55,7 +84,9 @@ impl SearchEngine {
         let mut spatial_entries = Vec::new();
         let mut time_entries = Vec::new();
         let mut terms: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut by_id: HashMap<DatasetId, usize> = HashMap::with_capacity(datasets.len());
         for (ix, d) in datasets.iter().enumerate() {
+            by_id.insert(d.id, ix);
             if let Some(b) = &d.bbox {
                 spatial_entries.push((*b, ix));
             }
@@ -63,17 +94,12 @@ impl SearchEngine {
                 time_entries.push((*t, ix));
             }
             for v in d.searchable_variables() {
-                let mut keys: BTreeSet<String> = BTreeSet::new();
+                // index under the canonical concept and every hierarchy
+                // ancestor (shared helper with query planning), plus the
+                // raw and search spellings
+                let mut keys: BTreeSet<String> = vocab.canonical_keys(v.search_name());
                 keys.insert(normalize_term(&v.name));
                 keys.insert(normalize_term(v.search_name()));
-                if let Some((canon, _)) = vocab.synonyms.resolve(v.search_name()) {
-                    keys.insert(normalize_term(canon));
-                    // index under every hierarchy ancestor so a query for a
-                    // broader concept reaches the leaf variables
-                    for anc in vocab.hierarchy_of(canon) {
-                        keys.insert(normalize_term(&anc));
-                    }
-                }
                 for k in keys {
                     let posting = terms.entry(k).or_default();
                     if posting.last() != Some(&ix) {
@@ -87,9 +113,21 @@ impl SearchEngine {
             rtree: RTree::build(spatial_entries),
             intervals: IntervalIndex::build(time_entries),
             terms,
+            by_id,
+            generation: catalog.generation(),
+            cache: Arc::new(ResultCache::new(DEFAULT_CACHE_CAPACITY)),
             datasets,
             use_indexes: true,
+            workers: 1,
         }
+    }
+
+    /// Replaces the result cache with a shared one, so the cache (and its
+    /// generation-stamped entries) can outlive engine rebuilds across
+    /// publishes.
+    pub fn with_shared_cache(mut self, cache: Arc<ResultCache>) -> SearchEngine {
+        self.cache = cache;
+        self
     }
 
     /// Number of indexed datasets.
@@ -107,12 +145,35 @@ impl SearchEngine {
         &self.vocab
     }
 
-    /// The dataset behind a hit (for summary rendering).
-    pub fn dataset(&self, id: DatasetId) -> Option<&DatasetFeature> {
-        self.datasets.iter().find(|d| d.id == id)
+    /// The catalog generation this engine (and its cache entries) was built
+    /// against.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
-    fn candidates(&self, query: &Query) -> BTreeSet<usize> {
+    /// The result cache (shared handle).
+    pub fn cache(&self) -> &Arc<ResultCache> {
+        &self.cache
+    }
+
+    /// Cumulative cache hit/miss counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The dataset behind a hit (for summary rendering). O(1).
+    pub fn dataset(&self, id: DatasetId) -> Option<&DatasetFeature> {
+        self.by_id.get(&id).map(|&ix| &self.datasets[ix])
+    }
+
+    /// Prepares a reusable [`QueryPlan`] for a query (vocabulary expansion,
+    /// hierarchy walks and normalization happen once here, not per
+    /// candidate).
+    pub fn plan(&self, query: &Query) -> QueryPlan {
+        QueryPlan::prepare(query, &self.vocab)
+    }
+
+    fn candidates(&self, query: &Query, plan: &QueryPlan) -> BTreeSet<usize> {
         let mut out = BTreeSet::new();
         let generous = (query.limit * 5).max(50);
         if let Some(spatial) = &query.spatial {
@@ -143,26 +204,13 @@ impl SearchEngine {
         }
         if let Some(window) = &query.time {
             let pad = (window.duration_secs() as i64).max(86_400);
-            let expanded = TimeInterval::new(
-                window.start.plus_seconds(-pad),
-                window.end.plus_seconds(pad),
-            );
+            let expanded =
+                TimeInterval::new(window.start.plus_seconds(-pad), window.end.plus_seconds(pad));
             out.extend(self.intervals.overlapping(&expanded));
         }
-        for term in &query.variables {
-            let mut keys: BTreeSet<String> = BTreeSet::new();
-            for e in self.vocab.expand_term(&term.name) {
-                keys.insert(normalize_term(&e));
-            }
-            keys.insert(normalize_term(&term.name));
-            // broaden through ancestors so sibling-level matches surface
-            if let Some((canon, _)) = self.vocab.synonyms.resolve(&term.name) {
-                for anc in self.vocab.hierarchy_of(canon) {
-                    keys.insert(normalize_term(&anc));
-                }
-            }
+        for keys in &plan.term_keys {
             for k in keys {
-                if let Some(postings) = self.terms.get(&k) {
+                if let Some(postings) = self.terms.get(k) {
                     out.extend(postings.iter().copied());
                 }
             }
@@ -170,13 +218,53 @@ impl SearchEngine {
         out
     }
 
+    fn score_hit(&self, query: &Query, prepared: &[PreparedTerm], ix: usize) -> SearchHit {
+        let d = &self.datasets[ix];
+        let breakdown = score_dataset_prepared(query, prepared, d, &self.vocab);
+        SearchHit {
+            id: d.id,
+            path: d.path.clone(),
+            title: d.title.clone(),
+            score: breakdown.total,
+            breakdown,
+        }
+    }
+
+    /// Canonical cache key: the serialized query plus every engine toggle
+    /// that can change the result set (`workers` cannot, so it is not part
+    /// of the key).
+    fn cache_key(&self, query: &Query) -> String {
+        format!("{}|{}", self.use_indexes, serde_json::to_string(query).expect("query serializes"))
+    }
+
     /// Runs a ranked search, returning at most `query.limit` hits, best
-    /// first (ties broken by path for determinism).
+    /// first (ties broken by path for determinism). Served from the result
+    /// cache when this exact query was answered before against the same
+    /// catalog generation.
     pub fn search(&self, query: &Query) -> Vec<SearchHit> {
+        let key = self.cache_key(query);
+        if let Some(hits) = self.cache.get(&key, self.generation) {
+            return hits;
+        }
+        let hits = self.search_uncached(query);
+        self.cache.put(key, self.generation, hits.clone());
+        hits
+    }
+
+    /// Runs a ranked search without consulting or filling the result cache
+    /// (cold path; used by benches and the cache property tests).
+    pub fn search_uncached(&self, query: &Query) -> Vec<SearchHit> {
+        let plan = self.plan(query);
+        self.search_with_plan(query, &plan)
+    }
+
+    /// Runs a ranked search with a pre-built plan (reusable across repeated
+    /// executions of the same query shape).
+    pub fn search_with_plan(&self, query: &Query, plan: &QueryPlan) -> Vec<SearchHit> {
         let candidate_ixs: Vec<usize> = if !self.use_indexes || query.is_empty() {
             (0..self.datasets.len()).collect()
         } else {
-            let c = self.candidates(query);
+            let c = self.candidates(query, plan);
             // Similarity ranking: when the candidate pool cannot comfortably
             // fill the requested k, score everything instead.
             if c.len() < query.limit * 3 {
@@ -185,30 +273,52 @@ impl SearchEngine {
                 c.into_iter().collect()
             }
         };
-        let prepared: Vec<PreparedTerm> =
-            query.variables.iter().map(|t| PreparedTerm::prepare(t, &self.vocab)).collect();
-        let mut hits: Vec<SearchHit> = candidate_ixs
-            .into_iter()
-            .map(|ix| {
-                let d = &self.datasets[ix];
-                let breakdown = score_dataset_prepared(query, &prepared, d, &self.vocab);
-                SearchHit {
-                    id: d.id,
-                    path: d.path.clone(),
-                    title: d.title.clone(),
-                    score: breakdown.total,
-                    breakdown,
-                }
-            })
-            .collect();
-        hits.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.path.cmp(&b.path))
-        });
-        hits.truncate(query.limit);
-        hits
+        let workers = self.workers.max(1).min(candidate_ixs.len().max(1));
+        if workers > 1 {
+            self.score_parallel(query, plan, &candidate_ixs, workers)
+        } else {
+            let mut topk = TopK::new(query.limit);
+            for ix in candidate_ixs {
+                topk.push(self.score_hit(query, &plan.prepared, ix));
+            }
+            topk.into_sorted()
+        }
+    }
+
+    /// Scores candidates on `workers` scoped threads, each with its own
+    /// bounded top-k, merged deterministically: the rank order is a strict
+    /// total order, so the merge selects exactly the hits the sequential
+    /// path would.
+    fn score_parallel(
+        &self,
+        query: &Query,
+        plan: &QueryPlan,
+        candidate_ixs: &[usize],
+        workers: usize,
+    ) -> Vec<SearchHit> {
+        let chunk = candidate_ixs.len().div_ceil(workers);
+        let prepared = &plan.prepared;
+        let pools: Vec<TopK> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = candidate_ixs
+                .chunks(chunk)
+                .map(|ixs| {
+                    scope.spawn(move |_| {
+                        let mut local = TopK::new(query.limit);
+                        for &ix in ixs {
+                            local.push(self.score_hit(query, prepared, ix));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("search worker never panics")).collect()
+        })
+        .expect("search workers never panic");
+        let mut merged = TopK::new(query.limit);
+        for p in pools {
+            merged.merge(p);
+        }
+        merged.into_sorted()
     }
 }
 
@@ -245,7 +355,7 @@ mod tests {
         d
     }
 
-    fn engine() -> SearchEngine {
+    fn catalog() -> Catalog {
         let mut c = Catalog::new();
         // coastal station with cool temperatures in summer
         c.put(make_dataset(
@@ -279,7 +389,11 @@ mod tests {
             6,
             &[("airtmp", "air_temperature", 10.0, 22.0)],
         ));
-        SearchEngine::build(&c, Vocabulary::observatory_default())
+        c
+    }
+
+    fn engine() -> SearchEngine {
+        SearchEngine::build(&catalog(), Vocabulary::observatory_default())
     }
 
     #[test]
@@ -316,6 +430,62 @@ mod tests {
         for (a, b) in indexed.iter().zip(linear.iter()) {
             assert!((a.score - b.score).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn parallel_workers_match_sequential() {
+        let mut e = engine();
+        e.use_indexes = false; // full scan exercises every dataset
+        let q = Query::parse("near 45.5,-124.4 with water_temperature limit 3").unwrap();
+        let sequential = e.search_uncached(&q);
+        for workers in [2usize, 4, 8] {
+            e.workers = workers;
+            assert_eq!(e.search_uncached(&q), sequential, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn repeated_query_served_from_cache() {
+        let e = engine();
+        let q = Query::parse("with salinity limit 3").unwrap();
+        let first = e.search(&q);
+        assert_eq!(e.cache_stats().misses, 1);
+        let second = e.search(&q);
+        assert_eq!(first, second);
+        assert_eq!(e.cache_stats().hits, 1);
+        // the cached list equals a fresh rescore
+        assert_eq!(e.search_uncached(&q), second);
+    }
+
+    #[test]
+    fn cache_distinguishes_ablation_switch() {
+        let mut e = engine();
+        let q = Query::parse("with salinity limit 3").unwrap();
+        let _ = e.search(&q);
+        e.use_indexes = false;
+        let _ = e.search(&q);
+        // both runs missed: the ablation switch is part of the cache key
+        assert_eq!(e.cache_stats().misses, 2);
+        assert_eq!(e.cache_stats().hits, 0);
+    }
+
+    #[test]
+    fn shared_cache_invalidated_by_generation() {
+        let shared = Arc::new(ResultCache::new(16));
+        let vocab = Vocabulary::observatory_default();
+        let mut c = catalog();
+        let e1 = SearchEngine::build(&c, vocab.clone()).with_shared_cache(shared.clone());
+        let q = Query::parse("with salinity limit 3").unwrap();
+        let before = e1.search(&q);
+        assert_eq!(shared.stats().misses, 1);
+
+        // catalog changes → new generation → the shared entry must not hit
+        c.put(make_dataset("new_site.csv", 45.9, -124.0, 6, &[("sal", "salinity", 30.0, 34.0)]));
+        let e2 = SearchEngine::build(&c, vocab).with_shared_cache(shared.clone());
+        assert_ne!(e1.generation(), e2.generation());
+        let after = e2.search(&q);
+        assert_eq!(shared.stats().misses, 2, "stale generation must rescore");
+        assert_ne!(before, after, "new dataset should change salinity results");
     }
 
     #[test]
@@ -370,5 +540,6 @@ mod tests {
         let hits = e.search(&q);
         let d = e.dataset(hits[0].id).unwrap();
         assert_eq!(d.path, hits[0].path);
+        assert!(e.dataset(DatasetId::from_path("no/such/file.csv")).is_none());
     }
 }

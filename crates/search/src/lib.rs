@@ -5,18 +5,40 @@
 //! location/time/variables with vocabulary expansion, a static R-tree and
 //! interval index for candidate generation, and the text renderings of the
 //! poster's search-interface and dataset-summary figures.
+//!
+//! ## Concurrency, top-k, and caching
+//!
+//! The read path is built to be parallel and allocation-lean:
+//!
+//! * [`QueryPlan`] precomputes vocabulary expansion, hierarchy walks and
+//!   term normalization once per query (shared between candidate generation
+//!   and scoring via `Vocabulary::expand_keys` / `canonical_keys`).
+//! * Candidates are scored into a bounded [`TopK`] heap — O(n log k)
+//!   instead of sorting every scored hit — optionally across
+//!   `SearchEngine::workers` crossbeam scoped threads. The rank order
+//!   `(score desc, path asc)` is a strict total order, so parallel results
+//!   are **bit-identical** to sequential ones for any worker count.
+//! * A generation-stamped LRU [`ResultCache`] serves repeated queries
+//!   against an unchanged published catalog without rescoring; entries are
+//!   invalidated simply by the catalog generation moving on publish, and
+//!   hit/miss counters are exposed for the benches.
 
 mod browse;
+mod cache;
 mod engine;
 mod interval;
+mod plan;
 mod query;
 mod rtree;
 mod score;
 mod summary;
+mod topk;
 
 pub use browse::{browse_all, browse_taxonomy, BrowseNode, BrowseTree};
+pub use cache::{CacheStats, ResultCache, DEFAULT_CACHE_CAPACITY};
 pub use engine::{SearchEngine, SearchHit};
 pub use interval::IntervalIndex;
+pub use plan::QueryPlan;
 pub use query::{Query, SpatialTerm, VariableTerm, Weights};
 pub use rtree::RTree;
 pub use score::{
@@ -24,3 +46,4 @@ pub use score::{
     variable_term_score, PreparedTerm, ScoreBreakdown,
 };
 pub use summary::{render_results, render_summary};
+pub use topk::TopK;

@@ -93,8 +93,10 @@ impl Query {
 
     /// Builder: spatial point + radius.
     pub fn near(mut self, lat: f64, lon: f64, radius_km: f64) -> Result<Query> {
-        self.spatial =
-            Some(SpatialTerm::Near { point: GeoPoint::new(lat, lon)?, radius_km: radius_km.max(0.1) });
+        self.spatial = Some(SpatialTerm::Near {
+            point: GeoPoint::new(lat, lon)?,
+            radius_km: radius_km.max(0.1),
+        });
         Ok(self)
     }
 
@@ -146,9 +148,8 @@ impl Query {
                 "near" => {
                     i += 1;
                     let coords = take(&tokens, &mut i, "lat,lon")?;
-                    let (lat, lon) = coords
-                        .split_once(',')
-                        .ok_or_else(|| err("'near' needs lat,lon"))?;
+                    let (lat, lon) =
+                        coords.split_once(',').ok_or_else(|| err("'near' needs lat,lon"))?;
                     let lat: f64 = lat.trim().parse().map_err(|_| err("bad latitude"))?;
                     let lon: f64 = lon.trim().parse().map_err(|_| err("bad longitude"))?;
                     let mut radius = 25.0;
@@ -241,10 +242,7 @@ fn parse_during(spec: &str) -> Result<(Timestamp, Timestamp)> {
     match parts.as_slice() {
         [y] => {
             let y: i64 = y.parse().map_err(|_| bad())?;
-            Ok((
-                Timestamp::from_ymd(y, 1, 1)?,
-                Timestamp::from_ymd(y + 1, 1, 1)?.plus_seconds(-1),
-            ))
+            Ok((Timestamp::from_ymd(y, 1, 1)?, Timestamp::from_ymd(y + 1, 1, 1)?.plus_seconds(-1)))
         }
         [y, m] => {
             let y: i64 = y.parse().map_err(|_| bad())?;

@@ -55,11 +55,7 @@ impl RTree {
             entries.into_iter().map(|(bbox, payload)| Item { bbox, payload }).collect();
         // STR: sort by center lon, slice, sort each slice by center lat.
         items.sort_by(|a, b| {
-            a.bbox
-                .center()
-                .lon
-                .partial_cmp(&b.bbox.center().lon)
-                .unwrap_or(Ordering::Equal)
+            a.bbox.center().lon.partial_cmp(&b.bbox.center().lon).unwrap_or(Ordering::Equal)
         });
         let leaf_count = items.len().div_ceil(NODE_CAPACITY);
         let slice_count = (leaf_count as f64).sqrt().ceil() as usize;
@@ -67,11 +63,7 @@ impl RTree {
         let mut leaves: Vec<Node> = Vec::with_capacity(leaf_count);
         for slice in items.chunks_mut(slice_size.max(1)) {
             slice.sort_by(|a, b| {
-                a.bbox
-                    .center()
-                    .lat
-                    .partial_cmp(&b.bbox.center().lat)
-                    .unwrap_or(Ordering::Equal)
+                a.bbox.center().lat.partial_cmp(&b.bbox.center().lat).unwrap_or(Ordering::Equal)
             });
             for group in slice.chunks(NODE_CAPACITY) {
                 let bbox = union_all(group.iter().map(|i| i.bbox));

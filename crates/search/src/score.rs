@@ -93,8 +93,7 @@ impl PreparedTerm {
     pub fn prepare(term: &VariableTerm, vocab: &Vocabulary) -> PreparedTerm {
         use metamess_core::text::normalize_term;
         let name_norm = normalize_term(&term.name);
-        let canon_norm =
-            vocab.synonyms.resolve(&term.name).map(|(c, _)| normalize_term(c));
+        let canon_norm = vocab.synonyms.resolve(&term.name).map(|(c, _)| normalize_term(c));
         let expanded: std::collections::HashSet<String> =
             vocab.expand_term(&term.name).iter().map(|e| normalize_term(e)).collect();
 
@@ -254,7 +253,11 @@ pub fn score_dataset_prepared(
 }
 
 /// Scores one dataset against a query; returns the full breakdown.
-pub fn score_dataset(query: &Query, dataset: &DatasetFeature, vocab: &Vocabulary) -> ScoreBreakdown {
+pub fn score_dataset(
+    query: &Query,
+    dataset: &DatasetFeature,
+    vocab: &Vocabulary,
+) -> ScoreBreakdown {
     let prepared: Vec<PreparedTerm> =
         query.variables.iter().map(|t| PreparedTerm::prepare(t, vocab)).collect();
     score_dataset_prepared(query, &prepared, dataset, vocab)
@@ -291,21 +294,15 @@ mod tests {
     #[test]
     fn spatial_inside_is_one_outside_decays() {
         let d = dataset();
-        let near = SpatialTerm::Near {
-            point: GeoPoint::new(46.0, -124.0).unwrap(),
-            radius_km: 25.0,
-        };
+        let near =
+            SpatialTerm::Near { point: GeoPoint::new(46.0, -124.0).unwrap(), radius_km: 25.0 };
         assert_eq!(spatial_score(&near, &d), 1.0);
-        let farish = SpatialTerm::Near {
-            point: GeoPoint::new(45.5, -124.4).unwrap(),
-            radius_km: 25.0,
-        };
+        let farish =
+            SpatialTerm::Near { point: GeoPoint::new(45.5, -124.4).unwrap(), radius_km: 25.0 };
         let s = spatial_score(&farish, &d);
         assert!(s > 0.0 && s < 1.0, "{s}");
-        let very_far = SpatialTerm::Near {
-            point: GeoPoint::new(10.0, 10.0).unwrap(),
-            radius_km: 25.0,
-        };
+        let very_far =
+            SpatialTerm::Near { point: GeoPoint::new(10.0, 10.0).unwrap(), radius_km: 25.0 };
         assert!(spatial_score(&very_far, &d) < 1e-6);
     }
 
@@ -383,8 +380,11 @@ mod tests {
         let d = dataset();
         let v = vocab();
         // canonical name matches the resolved variable
-        let (m, s) =
-            variable_term_score(&VariableTerm { name: "water_temperature".into(), range: None }, &d, &v);
+        let (m, s) = variable_term_score(
+            &VariableTerm { name: "water_temperature".into(), range: None },
+            &d,
+            &v,
+        );
         assert_eq!(m.as_deref(), Some("wtemp"));
         assert_eq!(s, 1.0);
         // query via a curated alternate resolves to the same canonical

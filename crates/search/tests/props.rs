@@ -9,14 +9,8 @@ use metamess_search::{Query, SearchEngine};
 use metamess_vocab::Vocabulary;
 use proptest::prelude::*;
 
-const VAR_POOL: &[&str] = &[
-    "water_temperature",
-    "salinity",
-    "dissolved_oxygen",
-    "turbidity",
-    "nitrate",
-    "wind_speed",
-];
+const VAR_POOL: &[&str] =
+    &["water_temperature", "salinity", "dissolved_oxygen", "turbidity", "nitrate", "wind_speed"];
 
 fn arb_dataset(ix: usize) -> impl Strategy<Value = DatasetFeature> {
     (
@@ -118,6 +112,37 @@ proptest! {
                 prop_assert!((0.0..=1.0).contains(&s), "{s}");
             }
         }
+    }
+
+    #[test]
+    fn parallel_search_matches_sequential(
+        catalog in arb_catalog(),
+        query in arb_query(),
+        full_scan in proptest::bool::ANY,
+    ) {
+        let mut engine = SearchEngine::build(&catalog, Vocabulary::observatory_default());
+        engine.use_indexes = !full_scan;
+        let sequential = engine.search_uncached(&query);
+        for workers in [2usize, 4, 8] {
+            engine.workers = workers;
+            let parallel = engine.search_uncached(&query);
+            // identical ids, order, and bit-identical scores
+            prop_assert_eq!(&parallel, &sequential, "workers={}", workers);
+        }
+    }
+
+    #[test]
+    fn cached_result_equals_fresh_rescore(catalog in arb_catalog(), query in arb_query()) {
+        let engine = SearchEngine::build(&catalog, Vocabulary::observatory_default());
+        let first = engine.search(&query); // miss: fills the cache
+        let cached = engine.search(&query); // hit: served from the cache
+        let stats = engine.cache_stats();
+        prop_assert_eq!(stats.misses, 1);
+        prop_assert!(stats.hits >= 1);
+        prop_assert_eq!(&cached, &first);
+        // a cache hit must equal a fresh rescore, bit for bit
+        let fresh = engine.search_uncached(&query);
+        prop_assert_eq!(&cached, &fresh);
     }
 
     #[test]

@@ -80,11 +80,7 @@ fn facets_match(config: &EngineConfig, record: &Record) -> bool {
 }
 
 /// Applies one operation to the table; returns its stats.
-pub fn apply_operation(
-    records: &mut [Record],
-    op: &Operation,
-    index: usize,
-) -> Result<OpStats> {
+pub fn apply_operation(records: &mut [Record], op: &Operation, index: usize) -> Result<OpStats> {
     let mut stats = OpStats {
         index,
         description: op.description().unwrap_or("<unknown>").to_string(),
@@ -108,15 +104,13 @@ pub fn apply_operation(
                 // Compute the match key (usually the raw value).
                 let key = match &key_expr {
                     None => cell.clone(),
-                    Some(e) => {
-                        match eval(e, &EvalContext { value: &cell, record: Some(rec) }) {
-                            Ok(v) => v,
-                            Err(_) => {
-                                stats.errors += 1;
-                                continue;
-                            }
+                    Some(e) => match eval(e, &EvalContext { value: &cell, record: Some(rec) }) {
+                        Ok(v) => v,
+                        Err(_) => {
+                            stats.errors += 1;
+                            continue;
                         }
-                    }
+                    },
                 };
                 let key_s = key.render().into_owned();
                 for edit in edits {

@@ -78,9 +78,9 @@ pub fn eval(expr: &Expr, ctx: &EvalContext<'_>) -> Result<Value> {
             match op {
                 UnaryOp::Not => Ok(Value::Bool(!truthy(&v))),
                 UnaryOp::Neg => {
-                    let n = v
-                        .as_f64()
-                        .ok_or_else(|| Error::invalid(format!("cannot negate {}", v.type_name())))?;
+                    let n = v.as_f64().ok_or_else(|| {
+                        Error::invalid(format!("cannot negate {}", v.type_name()))
+                    })?;
                     Ok(num(-n))
                 }
             }
@@ -250,9 +250,9 @@ fn value_eq(l: &Value, r: &Value) -> bool {
 
 fn compare(l: &Value, r: &Value) -> Result<std::cmp::Ordering> {
     match (l.as_f64(), r.as_f64()) {
-        (Some(a), Some(b)) => a
-            .partial_cmp(&b)
-            .ok_or_else(|| Error::invalid("incomparable numbers (NaN)")),
+        (Some(a), Some(b)) => {
+            a.partial_cmp(&b).ok_or_else(|| Error::invalid("incomparable numbers (NaN)"))
+        }
         _ => Ok(as_str(l).cmp(&as_str(r))),
     }
 }
@@ -261,10 +261,8 @@ fn compare(l: &Value, r: &Value) -> Result<std::cmp::Ordering> {
 /// split on whitespace, sort and deduplicate tokens, rejoin.
 pub fn fingerprint_key(s: &str) -> String {
     let lowered = s.trim().to_lowercase();
-    let cleaned: String = lowered
-        .chars()
-        .map(|c| if c.is_alphanumeric() { c } else { ' ' })
-        .collect();
+    let cleaned: String =
+        lowered.chars().map(|c| if c.is_alphanumeric() { c } else { ' ' }).collect();
     let mut tokens: Vec<&str> = cleaned.split_whitespace().collect();
     tokens.sort_unstable();
     tokens.dedup();
@@ -391,7 +389,9 @@ fn call(name: &str, args: &[Value]) -> Result<Value> {
                     .parse::<f64>()
                     .map(num)
                     .map_err(|_| Error::invalid(format!("toNumber: '{s}' is not numeric"))),
-                other => Err(Error::invalid(format!("toNumber: cannot convert {}", other.type_name()))),
+                other => {
+                    Err(Error::invalid(format!("toNumber: cannot convert {}", other.type_name())))
+                }
             }
         }
         "toString" => {
@@ -476,7 +476,10 @@ mod tests {
 
     #[test]
     fn trim_lower_chain() {
-        assert_eq!(run("value.trim().toLowercase()", text("  Air_Temp ")).unwrap(), text("air_temp"));
+        assert_eq!(
+            run("value.trim().toLowercase()", text("  Air_Temp ")).unwrap(),
+            text("air_temp")
+        );
     }
 
     #[test]
@@ -588,10 +591,7 @@ mod tests {
             text("sea surface temperature")
         );
         // token sort + dedup
-        assert_eq!(
-            run("value.fingerprint()", text("temp air temp")).unwrap(),
-            text("air temp")
-        );
+        assert_eq!(run("value.fingerprint()", text("temp air temp")).unwrap(), text("air temp"));
     }
 
     #[test]

@@ -218,7 +218,9 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
                     i += 1;
                 }
-                if i < bytes.len() && bytes[i] == '.' && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+                if i < bytes.len()
+                    && bytes[i] == '.'
+                    && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())
                 {
                     i += 1;
                     while i < bytes.len() && bytes[i].is_ascii_digit() {

@@ -167,7 +167,9 @@ impl Parser {
                         _ => {
                             return Err(Error::parse(
                                 "grel",
-                                format!("member access '.{name}' without call is only valid on 'cells'"),
+                                format!(
+                                    "member access '.{name}' without call is only valid on 'cells'"
+                                ),
                             ))
                         }
                     }
@@ -184,11 +186,8 @@ impl Parser {
                         continue;
                     }
                 }
-                let end = if self.eat(&Token::Comma) {
-                    Some(Box::new(self.parse_or()?))
-                } else {
-                    None
-                };
+                let end =
+                    if self.eat(&Token::Comma) { Some(Box::new(self.parse_or()?)) } else { None };
                 self.expect(&Token::RBracket)?;
                 e = Expr::Index { recv: Box::new(e), start: Box::new(start), end };
             } else {

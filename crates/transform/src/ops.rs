@@ -180,7 +180,12 @@ impl Operation {
             engine_config: EngineConfig::default(),
             column_name: column.to_string(),
             expression: "value".to_string(),
-            edits: vec![MassEdit { from_blank: false, from_error: false, from, to: to.to_string() }],
+            edits: vec![MassEdit {
+                from_blank: false,
+                from_error: false,
+                from,
+                to: to.to_string(),
+            }],
         }
     }
 

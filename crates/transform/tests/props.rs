@@ -2,9 +2,7 @@
 
 use metamess_core::value::{Record, Value};
 use metamess_transform::grel::{eval, lex, parse, EvalContext};
-use metamess_transform::{
-    apply_operations, operations_to_json, parse_operations, Operation,
-};
+use metamess_transform::{apply_operations, operations_to_json, parse_operations, Operation};
 use proptest::prelude::*;
 
 proptest! {

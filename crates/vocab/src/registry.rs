@@ -186,11 +186,8 @@ impl VariableRegistry {
         name: impl Into<String>,
         canonical: impl Into<String>,
     ) {
-        let rule = ContextRule {
-            context: context.into(),
-            name: name.into(),
-            canonical: canonical.into(),
-        };
+        let rule =
+            ContextRule { context: context.into(), name: name.into(), canonical: canonical.into() };
         if !self.context_rules.contains(&rule) {
             self.context_rules.push(rule);
         }
@@ -222,9 +219,9 @@ impl VariableRegistry {
         }
         if let Some(e) = self.ambiguous.get(&normalize_term(name)) {
             return match &e.decision {
-                AmbiguityDecision::Undecided => RegistryVerdict::AmbiguousUndecided {
-                    candidates: e.candidates.clone(),
-                },
+                AmbiguityDecision::Undecided => {
+                    RegistryVerdict::AmbiguousUndecided { candidates: e.candidates.clone() }
+                }
                 AmbiguityDecision::Clarified(map) => {
                     let ctx_key = context.map(normalize_term).unwrap_or_default();
                     if let Some(c) = map.get(&ctx_key).or_else(|| map.get("")) {
@@ -283,10 +280,7 @@ mod tests {
             r.verdict("temp", Some("ctd")),
             RegistryVerdict::Canonical("water_temperature".into())
         );
-        assert_eq!(
-            r.verdict("temp", None),
-            RegistryVerdict::Canonical("water_temperature".into())
-        );
+        assert_eq!(r.verdict("temp", None), RegistryVerdict::Canonical("water_temperature".into()));
         assert_eq!(r.undecided().count(), 0);
     }
 

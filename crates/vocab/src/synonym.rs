@@ -341,8 +341,10 @@ mod tests {
         let mut back = SynonymTable::parse_text(&text).unwrap();
         back.reindex();
         assert_eq!(back.len(), t.len());
-        assert_eq!(back.resolve("airtemp").map(|(p, _)| p.to_string()),
-                   Some("air_temperature".to_string()));
+        assert_eq!(
+            back.resolve("airtemp").map(|(p, _)| p.to_string()),
+            Some("air_temperature".to_string())
+        );
     }
 
     #[test]

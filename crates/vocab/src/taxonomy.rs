@@ -69,7 +69,11 @@ impl Taxonomy {
     /// Finds the path from a root to the (first) node named `name`,
     /// root first. Case-insensitive.
     pub fn path_of(&self, name: &str) -> Option<Vec<String>> {
-        fn walk(nodes: &[TaxonomyNode], key: &str, prefix: &mut Vec<String>) -> Option<Vec<String>> {
+        fn walk(
+            nodes: &[TaxonomyNode],
+            key: &str,
+            prefix: &mut Vec<String>,
+        ) -> Option<Vec<String>> {
             for n in nodes {
                 prefix.push(n.name.clone());
                 if normalize_term(&n.name) == key {

@@ -112,7 +112,14 @@ impl UnitRegistry {
             0.0,
             &["m/s", "m s-1", "ms-1", "mps"],
         );
-        r.define("knots", "kn", Dimension::Speed, Some(0.514444), 0.0, &["kn", "kt", "kts", "knot"]);
+        r.define(
+            "knots",
+            "kn",
+            Dimension::Speed,
+            Some(0.514444),
+            0.0,
+            &["kn", "kt", "kts", "knot"],
+        );
         r.define(
             "centimeters_per_second",
             "cm/s",
@@ -122,9 +129,23 @@ impl UnitRegistry {
             &["cm/s", "cm s-1"],
         );
         // Angle: base degree.
-        r.define("degree", "°", Dimension::Angle, Some(1.0), 0.0, &["deg", "degrees", "degT", "deg true"]);
+        r.define(
+            "degree",
+            "°",
+            Dimension::Angle,
+            Some(1.0),
+            0.0,
+            &["deg", "degrees", "degT", "deg true"],
+        );
         // Salinity: base PSU.
-        r.define("psu", "PSU", Dimension::Salinity, Some(1.0), 0.0, &["PSU", "psu", "practical salinity units", "ppt"]);
+        r.define(
+            "psu",
+            "PSU",
+            Dimension::Salinity,
+            Some(1.0),
+            0.0,
+            &["PSU", "psu", "practical salinity units", "ppt"],
+        );
         // Conductivity: base S/m.
         r.define(
             "siemens_per_meter",
@@ -168,12 +189,26 @@ impl UnitRegistry {
             &["uM", "µM", "umol/L", "mmol/m^3", "mmol m-3"],
         );
         // Fraction: base fraction (0..1).
-        r.define("percent", "%", Dimension::Fraction, Some(0.01), 0.0, &["%", "pct", "percent saturation", "% sat"]);
+        r.define(
+            "percent",
+            "%",
+            Dimension::Fraction,
+            Some(0.01),
+            0.0,
+            &["%", "pct", "percent saturation", "% sat"],
+        );
         r.define("fraction", "1", Dimension::Fraction, Some(1.0), 0.0, &["1", "frac"]);
         // Turbidity.
         r.define("ntu", "NTU", Dimension::Turbidity, Some(1.0), 0.0, &["NTU", "ntu"]);
         // pH.
-        r.define("ph_units", "pH", Dimension::Acidity, Some(1.0), 0.0, &["pH", "ph units", "pH units"]);
+        r.define(
+            "ph_units",
+            "pH",
+            Dimension::Acidity,
+            Some(1.0),
+            0.0,
+            &["pH", "ph units", "pH units"],
+        );
         // Irradiance.
         r.define(
             "watts_per_square_meter",

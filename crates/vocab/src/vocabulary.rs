@@ -228,6 +228,42 @@ impl Vocabulary {
         out
     }
 
+    /// Normalized index keys for the canonical concept behind `term`: the
+    /// canonical spelling plus every hierarchy ancestor, as
+    /// [`normalize_term`](metamess_core::text::normalize_term) keys. Empty
+    /// when the synonym table does not know the term.
+    ///
+    /// This is the one expansion helper shared by search-index construction
+    /// and query planning, so both sides agree on the key space: a dataset
+    /// variable is indexed under these keys, and a query term probes them.
+    pub fn canonical_keys(&self, term: &str) -> std::collections::BTreeSet<String> {
+        use metamess_core::text::normalize_term;
+        let mut out = std::collections::BTreeSet::new();
+        if let Some((canon, _)) = self.synonyms.resolve(term) {
+            out.insert(normalize_term(canon));
+            // every hierarchy ancestor, so a query for a broader concept
+            // reaches the leaf variables (and vice versa)
+            for anc in self.hierarchy_of(canon) {
+                out.insert(normalize_term(&anc));
+            }
+        }
+        out
+    }
+
+    /// Full normalized probe-key set for a *query* term: the term itself,
+    /// everything [`expand_term`](Vocabulary::expand_term) reaches
+    /// (canonical + alternates + taxonomy descendants), plus
+    /// [`canonical_keys`](Vocabulary::canonical_keys) (canonical + ancestors).
+    pub fn expand_keys(&self, term: &str) -> std::collections::BTreeSet<String> {
+        use metamess_core::text::normalize_term;
+        let mut keys = self.canonical_keys(term);
+        keys.insert(normalize_term(term));
+        for e in self.expand_term(term) {
+            keys.insert(normalize_term(&e));
+        }
+        keys
+    }
+
     /// Bumps the version (one curator improvement cycle).
     pub fn bump_version(&mut self) {
         self.version += 1;
@@ -355,6 +391,35 @@ mod tests {
     }
 
     #[test]
+    fn canonical_keys_cover_canon_and_ancestors() {
+        let v = Vocabulary::observatory_default();
+        // alternate resolves; keys include the canonical term and every
+        // taxonomy ancestor
+        let keys = v.canonical_keys("wtemp");
+        assert!(keys.contains("water_temperature"), "{keys:?}");
+        assert!(keys.contains("temperature"), "{keys:?}");
+        assert!(keys.contains("physical"), "{keys:?}");
+        // unknown terms expand to nothing
+        assert!(v.canonical_keys("zorp").is_empty());
+    }
+
+    #[test]
+    fn expand_keys_superset_of_expand_term_and_self() {
+        use metamess_core::text::normalize_term;
+        let v = Vocabulary::observatory_default();
+        let keys = v.expand_keys("fluorescence");
+        assert!(keys.contains(&normalize_term("fluorescence")));
+        for e in v.expand_term("fluorescence") {
+            assert!(keys.contains(&normalize_term(&e)), "{e}");
+        }
+        for k in v.canonical_keys("fluorescence") {
+            assert!(keys.contains(&k), "{k}");
+        }
+        // unknown terms still probe under their own spelling
+        assert_eq!(v.expand_keys("mystery").len(), 1);
+    }
+
+    #[test]
     fn expand_unknown_term_is_itself() {
         let v = Vocabulary::observatory_default();
         assert_eq!(v.expand_term("mystery"), vec!["mystery".to_string()]);
@@ -387,14 +452,9 @@ mod tests {
 
     #[test]
     fn taxonomy_from_paths_builder() {
-        let t = taxonomy_from_paths(
-            "x",
-            &[
-                vec!["a".into(), "b".into()],
-                vec!["a".into(), "c".into()],
-            ],
-        )
-        .unwrap();
+        let t =
+            taxonomy_from_paths("x", &[vec!["a".into(), "b".into()], vec!["a".into(), "c".into()]])
+                .unwrap();
         assert_eq!(t.children_of("a"), vec!["b".to_string(), "c".into()]);
     }
 }

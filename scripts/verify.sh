@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: build, test, lint, format.
+#
+# Usage: scripts/verify.sh
+# Run from anywhere; it cd's to the repository root.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "verify: OK"

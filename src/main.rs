@@ -79,8 +79,7 @@ fn cmd_generate(args: &[String]) -> Result<(), metamess::core::Error> {
         spec.months = m.parse().map_err(|_| metamess::core::Error::invalid("bad --months"))?;
     }
     if let Some(s) = parse_flag(args, "--stations") {
-        spec.stations =
-            s.parse().map_err(|_| metamess::core::Error::invalid("bad --stations"))?;
+        spec.stations = s.parse().map_err(|_| metamess::core::Error::invalid("bad --stations"))?;
     }
     let archive = metamess::archive::generate(&spec);
     archive.write_to(dir)?;
@@ -148,10 +147,24 @@ fn cmd_wrangle(args: &[String]) -> Result<(), metamess::core::Error> {
 
 fn expert_synonyms() -> Vec<(String, String)> {
     [
-        "air_temperature", "water_temperature", "sea_surface_temperature", "salinity",
-        "specific_conductivity", "dissolved_oxygen", "turbidity", "chlorophyll_fluorescence",
-        "wind_speed", "wind_direction", "air_pressure", "relative_humidity", "precipitation",
-        "solar_radiation", "depth", "nitrate", "phosphate", "ph",
+        "air_temperature",
+        "water_temperature",
+        "sea_surface_temperature",
+        "salinity",
+        "specific_conductivity",
+        "dissolved_oxygen",
+        "turbidity",
+        "chlorophyll_fluorescence",
+        "wind_speed",
+        "wind_direction",
+        "air_pressure",
+        "relative_humidity",
+        "precipitation",
+        "solar_radiation",
+        "depth",
+        "nitrate",
+        "phosphate",
+        "ph",
     ]
     .iter()
     .flat_map(|c| {
