@@ -15,7 +15,9 @@
 
 use metamess_archive::{generate, ArchiveSpec};
 use metamess_bench::{domain_knowledge, pct};
-use metamess_pipeline::{ArchiveInput, CurationLoop, CuratorPolicy, Pipeline, PipelineContext};
+use metamess_pipeline::{
+    ArchiveInput, CurationLoop, CuratorPolicy, Pipeline, PipelineContext, RunReport,
+};
 use metamess_vocab::Vocabulary;
 use std::time::Instant;
 
@@ -103,5 +105,36 @@ fn main() {
         "  one-file change:  {:>10.2?}  ({} files parsed)",
         incr,
         r3.stage("scan-archive").unwrap().changed
+    );
+
+    // Stage-level incrementality: the engine skips stages whose declared
+    // inputs are unchanged, so the no-change rerun executes nothing and the
+    // one-file edit re-runs only the dirty suffix.
+    fn cell(r: &RunReport, name: &str) -> String {
+        match r.stage(name) {
+            Some(s) if s.is_skipped() => "skip".to_string(),
+            Some(s) => s.micros.to_string(),
+            None => "?".to_string(),
+        }
+    }
+    println!("\nper-stage cold vs incremental (micros; 'skip' = inputs unchanged):");
+    println!("  {:<34} {:>10} {:>12} {:>12}", "stage", "cold", "no-change", "one-file");
+    for s in &r1.stages {
+        println!(
+            "  {:<34} {:>10} {:>12} {:>12}",
+            s.component,
+            cell(&r1, &s.component),
+            cell(&r2, &s.component),
+            cell(&r3, &s.component)
+        );
+    }
+    println!(
+        "  stages executed: cold {}/{}, no-change rerun {}/{}, one-file edit {}/{}",
+        r1.executed_count(),
+        r1.stages.len(),
+        r2.executed_count(),
+        r2.stages.len(),
+        r3.executed_count(),
+        r3.stages.len()
     );
 }

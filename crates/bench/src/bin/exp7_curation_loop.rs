@@ -26,19 +26,27 @@ fn run_profile(name: &str, policy: CuratorPolicy, spec: &ArchiveSpec) {
     let (history, _) = curator.run_to_fixpoint(&mut pipeline, &mut ctx).expect("converges");
     println!("curator profile: {name}");
     println!(
-        "  {:>5} {:>9} {:>9} {:>10} {:>11} {:>10} {:>9}",
-        "iter", "reviewed", "accepted", "clarified", "unresolved", "mess left", "warnings"
+        "  {:>5} {:>9} {:>9} {:>10} {:>11} {:>10} {:>9} {:>8}",
+        "iter",
+        "reviewed",
+        "accepted",
+        "clarified",
+        "unresolved",
+        "mess left",
+        "warnings",
+        "skipped"
     );
     for s in &history {
         println!(
-            "  {:>5} {:>9} {:>9} {:>10} {:>11} {:>10} {:>9}",
+            "  {:>5} {:>9} {:>9} {:>10} {:>11} {:>10} {:>9} {:>8}",
             s.iteration,
             s.reviewed,
             s.accepted,
             s.clarified,
             s.unresolved_after,
             pct(1.0 - s.resolution_after),
-            s.warnings
+            s.warnings,
+            s.stages_skipped
         );
     }
     println!(

@@ -164,6 +164,17 @@ impl Catalog {
         resolved as f64 / total as f64
     }
 
+    /// Stable 64-bit fingerprint of the catalog *content* (entries and
+    /// properties). The generation counter is deliberately excluded: it
+    /// advances on every mutable access, so including it would make two
+    /// content-identical catalogs fingerprint differently and defeat the
+    /// pipeline engine's skip-unchanged-stage logic.
+    pub fn content_fingerprint(&self) -> u64 {
+        let bytes = serde_json::to_vec(&(&self.entries, &self.properties))
+            .expect("catalog entries/properties are JSON-encodable");
+        crate::id::fnv1a(&bytes)
+    }
+
     /// Differences between this catalog and `other`, as the mutations that
     /// would turn `self` into `other`. Used by publish and by rerun reports.
     pub fn diff(&self, other: &Catalog) -> Vec<Mutation> {
@@ -207,9 +218,16 @@ impl CatalogPair {
 
     /// Publishes the working catalog: the published side becomes a snapshot
     /// of the working side. Returns the mutations that changed.
+    ///
+    /// A no-op publish (empty delta) leaves the published snapshot — and
+    /// therefore [`CatalogPair::published_generation`] — untouched, so
+    /// consumers keyed on the published generation (the search result
+    /// cache) survive re-wrangles that change nothing.
     pub fn publish(&mut self) -> Vec<Mutation> {
         let delta = self.published.diff(&self.working);
-        self.published = self.working.clone();
+        if !delta.is_empty() {
+            self.published = self.working.clone();
+        }
         self.publish_count += 1;
         delta
     }
@@ -343,6 +361,39 @@ mod tests {
         let delta = a.diff(&b);
         assert_eq!(delta.len(), 1);
         assert!(matches!(&delta[0], Mutation::Put(f) if f.record_count == 10));
+    }
+
+    #[test]
+    fn content_fingerprint_ignores_generation() {
+        let mut a = Catalog::new();
+        a.put(ds("a.csv", &["t"]));
+        let mut b = a.clone();
+        // bump b's generation without changing content
+        let _ = b.iter_mut();
+        assert!(b.generation() > a.generation());
+        assert_eq!(a.content_fingerprint(), b.content_fingerprint());
+        // content changes move the fingerprint
+        b.put(ds("b.csv", &[]));
+        assert_ne!(a.content_fingerprint(), b.content_fingerprint());
+        let fp = b.content_fingerprint();
+        b.set_property("k", "v");
+        assert_ne!(fp, b.content_fingerprint());
+    }
+
+    #[test]
+    fn noop_publish_keeps_published_snapshot() {
+        let mut pair = CatalogPair::new();
+        pair.working.put(ds("a.csv", &["t"]));
+        pair.publish();
+        let fp = pair.published.content_fingerprint();
+        let gen = pair.published_generation();
+        // generation-only churn on the working side: publish is a no-op
+        let _ = pair.working.iter_mut();
+        let delta = pair.publish();
+        assert!(delta.is_empty());
+        assert_eq!(pair.published.content_fingerprint(), fp);
+        assert_eq!(pair.published_generation(), gen);
+        assert_eq!(pair.publish_count, 2);
     }
 
     #[test]

@@ -26,6 +26,6 @@ pub use feature::{DatasetFeature, NameResolution, Provenance, VariableFeature, V
 pub use geo::{GeoBBox, GeoPoint};
 pub use id::{DatasetId, VariableId};
 pub use stats::{ColumnSummary, NumericSummary};
-pub use store::{DurableCatalog, RecoveryMode, StoreOptions};
+pub use store::{DurableCatalog, RecoveryMode, RunLedger, StageRecord, StoreOptions};
 pub use time::{TimeInterval, Timestamp};
 pub use value::{Record, Value};

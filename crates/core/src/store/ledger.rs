@@ -1,0 +1,196 @@
+//! The durable run ledger: what the incremental pipeline engine remembers
+//! between runs — and between *processes*.
+//!
+//! For every stage of the last pipeline run the ledger records the digest
+//! of the stage's declared inputs, the digest of its declared outputs, and
+//! how long it took. A fresh process that loads the ledger (next to the
+//! catalog snapshot) resumes incrementality: stages whose input digest
+//! still matches are skipped without re-executing anything.
+//!
+//! Layout mirrors the catalog snapshot: `MMLEDG01` magic, u32 payload
+//! length, u32 CRC-32, JSON payload, written to a temporary file and
+//! atomically renamed into place.
+
+use super::crc::crc32;
+use crate::error::{Error, IoContext, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"MMLEDG01";
+
+/// What the ledger remembers about one stage of the last run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageRecord {
+    /// Digest of the stage's declared read slots when it last ran.
+    pub input_digest: u64,
+    /// Digest of the stage's declared write slots after it last ran.
+    pub output_digest: u64,
+    /// Wall-clock duration of the last execution, in microseconds.
+    pub micros: u64,
+}
+
+/// Per-stage records of the most recent pipeline run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunLedger {
+    /// Identifier of the run that last updated the ledger.
+    pub run_id: u64,
+    /// Stage name → record.
+    pub stages: BTreeMap<String, StageRecord>,
+}
+
+impl RunLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> RunLedger {
+        RunLedger::default()
+    }
+
+    /// The record of a stage, when one exists.
+    pub fn get(&self, stage: &str) -> Option<&StageRecord> {
+        self.stages.get(stage)
+    }
+
+    /// Inserts or replaces a stage record.
+    pub fn record(&mut self, stage: &str, rec: StageRecord) {
+        self.stages.insert(stage.to_string(), rec);
+    }
+
+    /// Number of recorded stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True when no stage has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Forgets everything (forces the next run to execute every stage).
+    pub fn clear(&mut self) {
+        self.run_id = 0;
+        self.stages.clear();
+    }
+}
+
+/// Writes `ledger` at `path`, atomically.
+pub fn write_ledger(path: impl AsRef<Path>, ledger: &RunLedger) -> Result<()> {
+    let path = path.as_ref();
+    let payload = serde_json::to_vec(ledger)
+        .map_err(|e| Error::invalid(format!("unencodable ledger: {e}")))?;
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)
+            .io_ctx(format!("create ledger tmp {}", tmp.display()))?;
+        f.write_all(MAGIC).io_ctx("write ledger magic")?;
+        f.write_all(&(payload.len() as u32).to_le_bytes()).io_ctx("write ledger len")?;
+        f.write_all(&crc32(&payload).to_le_bytes()).io_ctx("write ledger crc")?;
+        f.write_all(&payload).io_ctx("write ledger payload")?;
+        f.sync_all().io_ctx("sync ledger tmp")?;
+    }
+    fs::rename(&tmp, path).io_ctx(format!("rename ledger into {}", path.display()))?;
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Reads a ledger. Returns `Ok(None)` when the file does not exist,
+/// `Err(Corrupt)` when it exists but fails verification.
+pub fn read_ledger(path: impl AsRef<Path>) -> Result<Option<RunLedger>> {
+    let path = path.as_ref();
+    let mut f = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(Error::io(format!("open ledger {}", path.display()), e)),
+    };
+    let mut bytes = Vec::new();
+    f.read_to_end(&mut bytes).io_ctx("read ledger")?;
+    if bytes.len() < 16 || &bytes[..8] != MAGIC {
+        return Err(Error::corrupt(format!("ledger {}: bad magic/header", path.display())));
+    }
+    let len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    if bytes.len() != 16 + len {
+        return Err(Error::corrupt(format!(
+            "ledger {}: expected {} payload bytes, file has {}",
+            path.display(),
+            len,
+            bytes.len() - 16
+        )));
+    }
+    let payload = &bytes[16..];
+    if crc32(payload) != crc {
+        return Err(Error::corrupt(format!("ledger {}: crc mismatch", path.display())));
+    }
+    let ledger: RunLedger = serde_json::from_slice(payload)
+        .map_err(|e| Error::corrupt(format!("ledger {}: undecodable: {e}", path.display())))?;
+    Ok(Some(ledger))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("metamess-ledg-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn sample() -> RunLedger {
+        let mut l = RunLedger::new();
+        l.run_id = 3;
+        l.record("scan-archive", StageRecord { input_digest: 1, output_digest: 2, micros: 40 });
+        l.record("publish", StageRecord { input_digest: 9, output_digest: 9, micros: 7 });
+        l
+    }
+
+    #[test]
+    fn round_trip() {
+        let dir = tmpdir("rt");
+        let p = dir.join("ledger.bin");
+        let l = sample();
+        write_ledger(&p, &l).unwrap();
+        assert_eq!(read_ledger(&p).unwrap().unwrap(), l);
+    }
+
+    #[test]
+    fn missing_is_none() {
+        let dir = tmpdir("miss");
+        assert!(read_ledger(dir.join("none.bin")).unwrap().is_none());
+    }
+
+    #[test]
+    fn corrupt_payload_detected() {
+        let dir = tmpdir("corrupt");
+        let p = dir.join("ledger.bin");
+        write_ledger(&p, &sample()).unwrap();
+        let mut bytes = fs::read(&p).unwrap();
+        let ix = bytes.len() - 2;
+        bytes[ix] ^= 0x04;
+        fs::write(&p, &bytes).unwrap();
+        assert!(read_ledger(&p).unwrap_err().is_corrupt());
+    }
+
+    #[test]
+    fn record_replaces_and_clear_forgets() {
+        let mut l = sample();
+        assert_eq!(l.len(), 2);
+        l.record("publish", StageRecord { input_digest: 1, output_digest: 1, micros: 1 });
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.get("publish").unwrap().input_digest, 1);
+        l.clear();
+        assert!(l.is_empty());
+        assert_eq!(l.run_id, 0);
+    }
+}

@@ -2,10 +2,12 @@
 
 pub mod crc;
 mod durable;
+mod ledger;
 mod snapshot;
 mod wal;
 
 pub use crc::{crc32, Crc32};
 pub use durable::{DurableCatalog, RecoveryReport, StoreOptions};
+pub use ledger::{read_ledger, write_ledger, RunLedger, StageRecord};
 pub use snapshot::{read_snapshot, write_snapshot};
 pub use wal::{RecoveryMode, ReplaySummary, Wal};

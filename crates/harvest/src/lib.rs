@@ -10,11 +10,11 @@
 mod extract;
 mod harvester;
 mod naming;
-mod scan;
+pub mod scan;
 
 pub use extract::extract_feature;
 pub use harvester::{
     harvest, ArchiveSource, DirSource, HarvestConfig, HarvestError, HarvestReport, MemorySource,
 };
 pub use naming::{infer_path_facts, observatory_rules, NamingRule, PathFacts};
-pub use scan::{scan_directory, scan_memory, FileEntry, ScanConfig};
+pub use scan::{archive_fingerprint, scan_directory, scan_memory, FileEntry, ScanConfig};

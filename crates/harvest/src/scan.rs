@@ -126,6 +126,25 @@ pub fn scan_memory(files: &[(String, String)], config: &ScanConfig) -> Vec<FileE
     out
 }
 
+/// Stable 64-bit fingerprint of an entire scanned archive, from the
+/// per-file `(path, len, content-hash)` triples. Entry order does not
+/// matter (entries are sorted by path first), so memory and directory
+/// scans of the same content fingerprint identically. Used by the pipeline
+/// engine as the scan stage's input digest: an unchanged fingerprint means
+/// no file was added, removed or modified since the last run.
+pub fn archive_fingerprint(entries: &[FileEntry]) -> u64 {
+    let mut sorted: Vec<&FileEntry> = entries.iter().collect();
+    sorted.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    let mut buf = Vec::with_capacity(sorted.len() * 32);
+    for e in sorted {
+        buf.extend_from_slice(e.rel_path.as_bytes());
+        buf.push(0);
+        buf.extend_from_slice(&e.len.to_le_bytes());
+        buf.extend_from_slice(&e.fingerprint.to_le_bytes());
+    }
+    fnv1a(&buf)
+}
+
 fn rel_path(base: &Path, full: &Path) -> String {
     full.strip_prefix(base)
         .unwrap_or(full)
@@ -176,6 +195,30 @@ mod tests {
         assert_eq!(entries[0].rel_path, "a.csv");
         assert_ne!(entries[0].fingerprint, entries[1].fingerprint);
         assert_eq!(entries[1].len, 8);
+    }
+
+    #[test]
+    fn archive_fingerprint_tracks_content_not_order() {
+        let files = vec![
+            ("b.csv".to_string(), "x,y\n1,2\n".to_string()),
+            ("a.csv".to_string(), "x,y\n3,4\n".to_string()),
+        ];
+        let entries = scan_memory(&files, &ScanConfig::default());
+        let fp = archive_fingerprint(&entries);
+        // order-insensitive
+        let mut reversed = entries.clone();
+        reversed.reverse();
+        assert_eq!(archive_fingerprint(&reversed), fp);
+        // one-byte edit moves it
+        let edited = vec![
+            ("b.csv".to_string(), "x,y\n1,2\n".to_string()),
+            ("a.csv".to_string(), "x,y\n3,5\n".to_string()),
+        ];
+        assert_ne!(archive_fingerprint(&scan_memory(&edited, &ScanConfig::default())), fp);
+        // removal moves it
+        assert_ne!(archive_fingerprint(&entries[..1]), fp);
+        // empty archive has a stable fingerprint
+        assert_eq!(archive_fingerprint(&[]), archive_fingerprint(&[]));
     }
 
     #[test]

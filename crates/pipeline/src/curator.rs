@@ -71,6 +71,11 @@ pub struct CurationStep {
     pub resolution_after: f64,
     /// Validation warnings outstanding.
     pub warnings: usize,
+    /// Stages the incremental engine skipped in this iteration's run
+    /// (inputs unchanged — e.g. the archive rescan once nothing on disk
+    /// moved).
+    #[serde(default)]
+    pub stages_skipped: usize,
 }
 
 /// The iterated run/improve/rerun loop.
@@ -311,6 +316,7 @@ impl CurationLoop {
                 unresolved_after,
                 resolution_after: ctx.catalogs.working.resolution_fraction(),
                 warnings: ctx.findings.len(),
+                stages_skipped: last_report.skipped_count(),
             });
             let progressed = accepted + clarified + abbreviations + manual > 0
                 || unresolved_after < before_unresolved;
@@ -450,6 +456,28 @@ mod tests {
         }
         assert!(astn_exposed > 0, "collided abbreviations should be exposed");
         assert!(other <= 3, "too many non-abbreviation leftovers: {other}");
+    }
+
+    #[test]
+    fn fixpoint_iterations_skip_clean_stages() {
+        let mut c = ctx(&ArchiveSpec::default());
+        let mut p = Pipeline::standard();
+        let curator = CurationLoop::new(CuratorPolicy::default());
+        let (history, last) = curator.run_to_fixpoint(&mut p, &mut c).unwrap();
+        assert!(!history.is_empty());
+        // The archive never changes inside the loop, so every iteration's
+        // rerun skips at least the scan stage instead of re-walking and
+        // re-parsing the whole archive (the old behaviour re-ran the full
+        // chain every iteration).
+        for step in &history {
+            assert!(step.stages_skipped >= 1, "iteration skipped nothing: {history:?}");
+        }
+        assert!(last.stage("scan-archive").unwrap().is_skipped());
+        // the final, unproductive iteration finds almost every stage clean
+        assert!(
+            history.last().unwrap().stages_skipped >= 7,
+            "final iteration should be near-total skip: {history:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,488 @@
+//! The incremental pipeline engine: fingerprint-based skip-unchanged-stage
+//! execution over the declared dataflow.
+//!
+//! # Model
+//!
+//! Every [`Slot`] of the [`PipelineContext`] gets a stable 64-bit **content
+//! fingerprint**: catalogs hash their entries and properties (generation
+//! counters excluded), the archive slot hashes the per-file
+//! `(path, len, content-hash)` triples plus the scan/naming configuration
+//! (via [`metamess_harvest::scan::archive_fingerprint`]), and every other
+//! slot hashes its canonical JSON serialization. All of these are
+//! deterministic: the underlying collections are ordered (`BTreeMap`s,
+//! sorted scans), so equal content always yields an equal fingerprint.
+//!
+//! Before running a stage the engine combines the fingerprints of the
+//! stage's declared read slots into an **input digest**. If the digest
+//! matches what the [`RunLedger`] recorded for that stage, the stage is
+//! skipped and reported as [`StageStatus::Skipped`]; otherwise it runs
+//! against a [`CtxView`] scoped to its declaration, its written slots are
+//! re-fingerprinted, and the ledger is updated. Dirtiness cascades
+//! automatically: a stage that actually changes a written slot moves that
+//! slot's fingerprint, which changes the input digest of every downstream
+//! reader — and a stage that rewrites a slot with identical content does
+//! *not* (early cutoff).
+//!
+//! # End-of-run digest projection
+//!
+//! Read-write slots (the working catalog, the vocabulary) evolve *during*
+//! a run, so a stage's as-seen input digest would never match on the next
+//! run even when nothing external changed. After a successful chain run
+//! the engine therefore re-records, for each stage that executed, the
+//! input digest computed against the **final** slot state. This is sound
+//! because every stage is idempotent on its own output — re-running any
+//! stage on end-of-run state is a no-op (the seed's idempotence tests
+//! assert exactly this) — and it is what makes an unchanged re-run skip
+//! every stage immediately. Stages that were skipped keep their previous
+//! ledger entries, and a run that fails mid-chain performs no projection,
+//! so stale digests only ever cause a redundant (idempotent) re-run, never
+//! a wrongly skipped one.
+//!
+//! # Durability
+//!
+//! [`save_state`]/[`load_state`] persist the ledger (via the CRC-framed
+//! [`metamess_core::store`] ledger format) together with the catalogs,
+//! vocabulary and curation side-state, next to the catalog snapshot — so a
+//! fresh process resumes incrementality instead of re-running the world.
+//!
+//! # Caveats
+//!
+//! * Stage names must be unique within a pipeline: the ledger is keyed by
+//!   name. Composing the same component twice makes the second occurrence
+//!   share (and clobber) the first one's record.
+//! * Fingerprinting the archive slot re-scans the archive (cheap relative
+//!   to parsing; for directory archives it is the same walk the harvester
+//!   would do). A run where the scan stage executes therefore walks the
+//!   archive twice; a run where it skips walks it once — strictly better
+//!   than the pre-engine behavior on the hot (unchanged) path.
+
+use crate::component::{Component, Slot, StageReport};
+use crate::context::{ArchiveInput, CtxView, PipelineContext, ValidationFinding};
+use crate::pipeline::RunReport;
+use metamess_core::error::{Error, IoContext, Result};
+use metamess_core::id::fnv1a;
+use metamess_core::store::{read_ledger, read_snapshot, write_ledger, write_snapshot, StageRecord};
+use metamess_discover::RuleProposal;
+use metamess_harvest::scan::{archive_fingerprint, scan_directory, scan_memory};
+use metamess_vocab::Vocabulary;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::time::Instant;
+
+/// Bumped when the digest scheme changes, so persisted ledgers from an
+/// older scheme never cause a wrong skip — every digest mismatches and the
+/// chain re-runs once.
+const ENGINE_VERSION: u8 = 1;
+
+/// Fingerprints any serializable slot content via its canonical JSON form.
+fn json_fp<T: Serialize>(value: &T) -> Result<u64> {
+    let bytes = serde_json::to_vec(value)
+        .map_err(|e| Error::invalid(format!("unencodable slot content: {e}")))?;
+    Ok(fnv1a(&bytes))
+}
+
+/// Computes one slot's content fingerprint from the live context.
+fn slot_fingerprint(slot: Slot, ctx: &PipelineContext) -> Result<u64> {
+    Ok(match slot {
+        Slot::Archive => {
+            let entries = match &ctx.archive {
+                ArchiveInput::Memory(files) => scan_memory(files, &ctx.harvest.scan),
+                ArchiveInput::Dir(root) => scan_directory(root, &ctx.harvest.scan)?,
+            };
+            // the configuration is part of the input: widening the scan or
+            // changing naming conventions must dirty the scan stage
+            // (pipeline_run and parallelism deliberately excluded — they
+            // never change what a scan produces, only provenance stamps)
+            let config = json_fp(&(&ctx.harvest.scan, &ctx.harvest.naming))?;
+            let mut buf = [0u8; 16];
+            buf[..8].copy_from_slice(&archive_fingerprint(&entries).to_le_bytes());
+            buf[8..].copy_from_slice(&config.to_le_bytes());
+            fnv1a(&buf)
+        }
+        Slot::Working => ctx.catalogs.working.content_fingerprint(),
+        Slot::Published => ctx.catalogs.published.content_fingerprint(),
+        Slot::Vocab => json_fp(&ctx.vocab)?,
+        Slot::External => json_fp(&ctx.external)?,
+        Slot::Proposals => json_fp(&ctx.proposals)?,
+        Slot::Accepted => json_fp(&ctx.accepted)?,
+        Slot::Findings => json_fp(&ctx.findings)?,
+        Slot::Provenance => json_fp(&ctx.discovered_provenance)?,
+        Slot::Expected => json_fp(&ctx.expected_datasets)?,
+    })
+}
+
+/// Per-run memo of slot fingerprints, invalidated as stages write slots.
+#[derive(Default)]
+struct SlotFps {
+    cached: BTreeMap<Slot, u64>,
+}
+
+impl SlotFps {
+    fn get(&mut self, slot: Slot, ctx: &PipelineContext) -> Result<u64> {
+        if let Some(fp) = self.cached.get(&slot) {
+            return Ok(*fp);
+        }
+        let fp = slot_fingerprint(slot, ctx)?;
+        self.cached.insert(slot, fp);
+        Ok(fp)
+    }
+
+    fn invalidate(&mut self, slot: Slot) {
+        self.cached.remove(&slot);
+    }
+}
+
+/// Combines a stage's slot fingerprints into a digest.
+fn digest(name: &str, slots: &[Slot], fps: &mut SlotFps, ctx: &PipelineContext) -> Result<u64> {
+    let mut buf = Vec::with_capacity(name.len() + 2 + slots.len() * 9);
+    buf.push(ENGINE_VERSION);
+    buf.extend_from_slice(name.as_bytes());
+    buf.push(0);
+    for s in slots {
+        buf.push(*s as u8);
+        buf.extend_from_slice(&fps.get(*s, ctx)?.to_le_bytes());
+    }
+    Ok(fnv1a(&buf))
+}
+
+/// Runs a component chain incrementally: skips stages whose input digest
+/// matches the context ledger's record, executes the rest through scoped
+/// views, and updates the ledger. Called by [`crate::Pipeline::run`].
+pub(crate) fn run_chain(
+    components: &mut [Box<dyn Component>],
+    ctx: &mut PipelineContext,
+) -> Result<RunReport> {
+    ctx.run_id += 1;
+    ctx.harvest.pipeline_run = ctx.run_id;
+    let mut fps = SlotFps::default();
+    let mut report = RunReport { run_id: ctx.run_id, stages: Vec::new() };
+    let mut executed: Vec<usize> = Vec::new();
+    for (ix, c) in components.iter_mut().enumerate() {
+        let name = c.name();
+        let reads = c.reads();
+        let writes = c.writes();
+        let input = digest(name, reads, &mut fps, ctx)?;
+        if ctx.ledger.get(name).map(|r| r.input_digest) == Some(input) {
+            let mut sr = StageReport::skipped(name, "inputs unchanged since last run");
+            sr.resolution_after = ctx.catalogs.working.resolution_fraction();
+            report.stages.push(sr);
+            continue;
+        }
+        let started = Instant::now();
+        let mut sr = {
+            let mut view = CtxView::scoped(ctx, name, reads, writes);
+            c.run(&mut view)?
+        };
+        sr.micros = started.elapsed().as_micros() as u64;
+        for w in writes {
+            fps.invalidate(*w);
+        }
+        let output = digest(name, writes, &mut fps, ctx)?;
+        ctx.ledger.record(
+            name,
+            StageRecord { input_digest: input, output_digest: output, micros: sr.micros },
+        );
+        executed.push(ix);
+        report.stages.push(sr);
+    }
+    // End-of-run projection (see module docs): stages that ran get their
+    // input digest re-recorded against the final slot state, so an
+    // unchanged re-run skips them immediately. Skipped stages keep their
+    // previous entries.
+    for ix in executed {
+        let name = components[ix].name();
+        let input = digest(name, components[ix].reads(), &mut fps, ctx)?;
+        if let Some(rec) = ctx.ledger.stages.get_mut(name) {
+            rec.input_digest = input;
+        }
+    }
+    ctx.ledger.run_id = ctx.run_id;
+    Ok(report)
+}
+
+const WORKING_FILE: &str = "working.bin";
+const PUBLISHED_FILE: &str = "published.bin";
+const LEDGER_FILE: &str = "ledger.bin";
+const VOCAB_FILE: &str = "vocabulary.json";
+const SIDECAR_FILE: &str = "curation.json";
+
+/// The context state that is neither a catalog nor the vocabulary,
+/// serialized as one JSON sidecar.
+#[derive(Serialize, Deserialize)]
+struct Sidecar {
+    run_id: u64,
+    publish_count: u64,
+    external: BTreeMap<String, BTreeMap<String, String>>,
+    proposals: Vec<RuleProposal>,
+    accepted: Vec<RuleProposal>,
+    findings: Vec<ValidationFinding>,
+    discovered_provenance: BTreeMap<String, String>,
+    expected_datasets: Vec<String>,
+}
+
+/// Persists the pipeline state (catalogs, vocabulary, run ledger, curation
+/// side-state) into `dir`, creating it if needed. A context restored with
+/// [`load_state`] resumes incrementality: an unchanged archive re-run in a
+/// fresh process skips every stage.
+pub fn save_state(ctx: &PipelineContext, dir: impl AsRef<Path>) -> Result<()> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir).io_ctx(format!("create state dir {}", dir.display()))?;
+    write_snapshot(dir.join(WORKING_FILE), &ctx.catalogs.working)?;
+    write_snapshot(dir.join(PUBLISHED_FILE), &ctx.catalogs.published)?;
+    ctx.vocab.save(dir.join(VOCAB_FILE))?;
+    let sidecar = Sidecar {
+        run_id: ctx.run_id,
+        publish_count: ctx.catalogs.publish_count,
+        external: ctx.external.clone(),
+        proposals: ctx.proposals.clone(),
+        accepted: ctx.accepted.clone(),
+        findings: ctx.findings.clone(),
+        discovered_provenance: ctx.discovered_provenance.clone(),
+        expected_datasets: ctx.expected_datasets.clone(),
+    };
+    let payload = serde_json::to_vec_pretty(&sidecar)
+        .map_err(|e| Error::invalid(format!("unencodable curation state: {e}")))?;
+    let tmp = dir.join("curation.tmp");
+    std::fs::write(&tmp, &payload).io_ctx(format!("write {}", tmp.display()))?;
+    std::fs::rename(&tmp, dir.join(SIDECAR_FILE)).io_ctx("rename curation state")?;
+    // the ledger goes last: load_state keys off it, so earlier pieces are
+    // guaranteed present whenever the ledger is
+    write_ledger(dir.join(LEDGER_FILE), &ctx.ledger)?;
+    Ok(())
+}
+
+/// Restores state saved by [`save_state`] into `ctx`. Returns `false`
+/// (leaving `ctx` untouched) when `dir` holds no complete state; errors on
+/// corrupt state. The archive input and configuration are *not* restored —
+/// they describe where to wrangle, not what was wrangled — so callers keep
+/// whatever they constructed the context with.
+pub fn load_state(ctx: &mut PipelineContext, dir: impl AsRef<Path>) -> Result<bool> {
+    let dir = dir.as_ref();
+    let Some(ledger) = read_ledger(dir.join(LEDGER_FILE))? else {
+        return Ok(false);
+    };
+    let (Some(working), Some(published)) =
+        (read_snapshot(dir.join(WORKING_FILE))?, read_snapshot(dir.join(PUBLISHED_FILE))?)
+    else {
+        return Ok(false);
+    };
+    let vocab_path = dir.join(VOCAB_FILE);
+    let sidecar_path = dir.join(SIDECAR_FILE);
+    if !vocab_path.exists() || !sidecar_path.exists() {
+        return Ok(false);
+    }
+    let vocab = Vocabulary::load(&vocab_path)?;
+    let bytes = std::fs::read(&sidecar_path).io_ctx(format!("read {}", sidecar_path.display()))?;
+    let sidecar: Sidecar = serde_json::from_slice(&bytes)
+        .map_err(|e| Error::corrupt(format!("curation state undecodable: {e}")))?;
+    ctx.catalogs.working = working;
+    ctx.catalogs.published = published;
+    ctx.catalogs.publish_count = sidecar.publish_count;
+    ctx.vocab = vocab;
+    ctx.external = sidecar.external;
+    ctx.proposals = sidecar.proposals;
+    ctx.accepted = sidecar.accepted;
+    ctx.findings = sidecar.findings;
+    ctx.discovered_provenance = sidecar.discovered_provenance;
+    ctx.expected_datasets = sidecar.expected_datasets;
+    ctx.run_id = sidecar.run_id;
+    ctx.ledger = ledger;
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Pipeline;
+    use crate::stages::{PerformKnownTransformations, ScanArchive};
+    use crate::validate::Validate;
+    use crate::Publish;
+    use metamess_archive::{generate, ArchiveSpec};
+
+    fn ctx() -> PipelineContext {
+        let archive = generate(&ArchiveSpec::tiny());
+        PipelineContext::new(ArchiveInput::Memory(archive.files), Vocabulary::observatory_default())
+    }
+
+    #[test]
+    fn digests_are_stable_and_name_scoped() {
+        let c = ctx();
+        let mut fps1 = SlotFps::default();
+        let mut fps2 = SlotFps::default();
+        let slots = [Slot::Working, Slot::Vocab];
+        let a = digest("stage-a", &slots, &mut fps1, &c).unwrap();
+        let b = digest("stage-a", &slots, &mut fps2, &c).unwrap();
+        assert_eq!(a, b, "same state must digest identically across memos");
+        let other = digest("stage-b", &slots, &mut fps1, &c).unwrap();
+        assert_ne!(a, other, "digests are scoped by stage name");
+        let fewer = digest("stage-a", &slots[..1], &mut fps1, &c).unwrap();
+        assert_ne!(a, fewer, "digests depend on the slot set");
+    }
+
+    #[test]
+    fn unchanged_rerun_skips_every_stage() {
+        let mut c = ctx();
+        let mut p = Pipeline::standard();
+        let r1 = p.run(&mut c).unwrap();
+        assert_eq!(r1.skipped_count(), 0);
+        let published_fp = c.catalogs.published.content_fingerprint();
+        let generation = c.catalogs.published_generation();
+        let r2 = p.run(&mut c).unwrap();
+        assert_eq!(r2.executed_count(), 0, "{}", r2.render());
+        assert_eq!(r2.skipped_count(), 9);
+        for s in &r2.stages {
+            assert!(s.is_skipped(), "{} should be skipped", s.component);
+        }
+        assert_eq!(c.catalogs.published.content_fingerprint(), published_fp);
+        assert_eq!(c.catalogs.published_generation(), generation);
+        assert_eq!(r2.run_id, 2);
+    }
+
+    #[test]
+    fn archive_edit_dirties_the_scan() {
+        let archive = generate(&ArchiveSpec::tiny());
+        let mut files = archive.files;
+        let mut c = PipelineContext::new(
+            ArchiveInput::Memory(files.clone()),
+            Vocabulary::observatory_default(),
+        );
+        let mut p = Pipeline::standard();
+        p.run(&mut c).unwrap();
+        // modify one harvested file's values
+        let ix = files
+            .iter()
+            .position(|(p, _)| c.catalogs.working.get_by_path(p).is_some())
+            .expect("a harvested file");
+        files[ix].1 = files[ix].1.replace("10.", "11.");
+        c.archive = ArchiveInput::Memory(files);
+        let r = p.run(&mut c).unwrap();
+        let scan = r.stage("scan-archive").unwrap();
+        assert!(!scan.is_skipped());
+        // per-file incrementality inside the stage: only the edited file
+        // was re-parsed
+        assert_eq!(scan.changed, 1, "{:?}", scan.notes);
+    }
+
+    #[test]
+    fn expected_change_reruns_only_validate() {
+        let mut c = ctx();
+        let mut p = Pipeline::standard();
+        p.run(&mut c).unwrap();
+        // expect a dataset that exists: validate must re-run, but its
+        // findings are unchanged, so publish early-cuts-off and skips
+        let existing = c.catalogs.working.iter().next().unwrap().path.clone();
+        c.expected_datasets.push(existing);
+        let r = p.run(&mut c).unwrap();
+        let executed: Vec<&str> =
+            r.stages.iter().filter(|s| !s.is_skipped()).map(|s| s.component.as_str()).collect();
+        assert_eq!(executed, vec!["validate"], "{}", r.render());
+    }
+
+    #[test]
+    fn vocab_improvement_dirties_dependents_but_not_scan() {
+        let mut c = ctx();
+        let mut p = Pipeline::standard();
+        p.run(&mut c).unwrap();
+        c.vocab.bump_version();
+        let r = p.run(&mut c).unwrap();
+        assert!(r.stage("scan-archive").unwrap().is_skipped(), "{}", r.render());
+        assert!(!r.stage("perform-known-transformations").unwrap().is_skipped());
+    }
+
+    #[test]
+    fn failed_run_recovers_without_wrong_skips() {
+        let mut p = Pipeline::new(vec![
+            Box::new(ScanArchive),
+            Box::new(Validate::default()),
+            Box::new(Publish { strict: true }),
+        ]);
+        let mut c = ctx();
+        c.expected_datasets.push("missing/ghost.csv".into());
+        let err = p.run(&mut c).unwrap_err();
+        assert!(err.to_string().contains("block publish"), "{err}");
+        assert!(c.catalogs.published.is_empty());
+        // fix the expectation and re-run: the completed scan skips, the
+        // dirty validate/publish suffix runs, and publish goes through
+        c.expected_datasets.clear();
+        let r = p.run(&mut c).unwrap();
+        assert!(r.stage("scan-archive").unwrap().is_skipped());
+        assert!(!r.stage("validate").unwrap().is_skipped());
+        assert!(!r.stage("publish").unwrap().is_skipped());
+        assert!(!c.catalogs.published.is_empty());
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_incrementality() {
+        let dir =
+            std::env::temp_dir().join(format!("metamess-engine-state-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let archive = generate(&ArchiveSpec::tiny());
+        let mut c = PipelineContext::new(
+            ArchiveInput::Memory(archive.files.clone()),
+            Vocabulary::observatory_default(),
+        );
+        let mut p = Pipeline::standard();
+        p.run(&mut c).unwrap();
+        save_state(&c, &dir).unwrap();
+
+        // a fresh process: new context over the same archive
+        let mut c2 = PipelineContext::new(
+            ArchiveInput::Memory(archive.files),
+            Vocabulary::observatory_default(),
+        );
+        assert!(load_state(&mut c2, &dir).unwrap());
+        assert_eq!(c2.run_id, c.run_id);
+        assert_eq!(
+            c2.catalogs.working.content_fingerprint(),
+            c.catalogs.working.content_fingerprint()
+        );
+        assert_eq!(c2.catalogs.publish_count, c.catalogs.publish_count);
+        let r = Pipeline::standard().run(&mut c2).unwrap();
+        assert_eq!(r.executed_count(), 0, "restored state must skip everything: {}", r.render());
+
+        // loading from an empty dir is a clean miss
+        let empty =
+            std::env::temp_dir().join(format!("metamess-engine-empty-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&empty);
+        std::fs::create_dir_all(&empty).unwrap();
+        let mut c3 = ctx();
+        assert!(!load_state(&mut c3, &empty).unwrap());
+        assert_eq!(c3.run_id, 0);
+    }
+
+    struct Misdeclared;
+
+    impl Component for Misdeclared {
+        fn name(&self) -> &'static str {
+            "misdeclared"
+        }
+        fn reads(&self) -> &'static [Slot] {
+            &[Slot::Working]
+        }
+        fn writes(&self) -> &'static [Slot] {
+            &[Slot::Working]
+        }
+        fn run(&mut self, view: &mut CtxView<'_>) -> Result<StageReport> {
+            let _ = view.vocab(); // not declared: must trip the debug assert
+            Ok(StageReport::new(self.name()))
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "undeclared read")]
+    fn misdeclared_access_panics_in_debug() {
+        let mut c = ctx();
+        let _ = Misdeclared.run_standalone(&mut c);
+    }
+
+    #[test]
+    fn declared_superset_access_is_allowed() {
+        // reading a slot you declared as a write (read-modify-write) is fine
+        let mut c = ctx();
+        let r = PerformKnownTransformations.run_standalone(&mut c).unwrap();
+        assert_eq!(r.component, "perform-known-transformations");
+    }
+}

@@ -8,18 +8,25 @@
 //! left" after every stage, and a scripted curator implementing the
 //! poster's four curatorial activities as an iterated run/improve/rerun
 //! loop.
+//!
+//! Components declare the context [`Slot`]s they read and write, and the
+//! engine-backed runner uses content fingerprints over those
+//! declarations to skip stages whose inputs are unchanged since the last
+//! run — including across processes, via [`save_state`]/[`load_state`].
 
 mod component;
 mod context;
 mod curator;
+mod engine;
 #[allow(clippy::module_inception)]
 mod pipeline;
 mod stages;
 mod validate;
 
-pub use component::{Component, StageReport};
-pub use context::{ArchiveInput, PipelineContext, Severity, ValidationFinding};
+pub use component::{Component, Slot, StageReport, StageStatus};
+pub use context::{ArchiveInput, CtxView, PipelineContext, Severity, ValidationFinding};
 pub use curator::{CurationLoop, CurationStep, CuratorPolicy};
+pub use engine::{load_state, save_state};
 pub use pipeline::{Pipeline, RunReport};
 pub use stages::{
     detect_ambiguity, AddExternalMetadata, DiscoverTransformations, DiscoveryConfig,

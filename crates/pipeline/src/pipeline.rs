@@ -1,9 +1,10 @@
 //! The pipeline runner: composes components into the metadata processing
-//! chain and runs (and re-runs) it, recording the shrinking "mess that's
-//! left" after every stage.
+//! chain and runs (and re-runs) it through the incremental engine,
+//! recording the shrinking "mess that's left" after every stage.
 
-use crate::component::{Component, StageReport};
+use crate::component::{Component, Slot, StageReport, StageStatus};
 use crate::context::PipelineContext;
+use crate::engine;
 use crate::stages::{
     AddExternalMetadata, DiscoverTransformations, GenerateHierarchies, NormalizeUnits,
     PerformDiscoveredTransformations, PerformKnownTransformations, Publish, ScanArchive,
@@ -17,7 +18,7 @@ use serde::{Deserialize, Serialize};
 pub struct RunReport {
     /// Run identifier.
     pub run_id: u64,
-    /// Per-stage reports, in execution order.
+    /// Per-stage reports, in execution order (skipped stages included).
     pub stages: Vec<StageReport>,
 }
 
@@ -33,26 +34,51 @@ impl RunReport {
         self.stages.iter().find(|s| s.component == name)
     }
 
-    /// Renders a compact text table of the run.
+    /// Number of stages that actually executed.
+    pub fn executed_count(&self) -> usize {
+        self.stages.iter().filter(|s| !s.is_skipped()).count()
+    }
+
+    /// Number of stages the engine skipped.
+    pub fn skipped_count(&self) -> usize {
+        self.stages.iter().filter(|s| s.is_skipped()).count()
+    }
+
+    /// Renders a compact text table of the run. The stage column is sized
+    /// to the longest component name, so long names never break alignment.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
+        let name_w =
+            self.stages.iter().map(|s| s.component.len()).max().unwrap_or(0).max("stage".len());
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "run #{:<3} {:<36} {:>9} {:>9} {:>7} {:>10}",
-            self.run_id, "stage", "processed", "changed", "errors", "resolved"
+            "run #{:<3} {:<name_w$} {:>8} {:>9} {:>9} {:>7} {:>10} {:>9}",
+            self.run_id, "stage", "status", "processed", "changed", "errors", "resolved", "micros"
         );
         for s in &self.stages {
+            let status = match &s.status {
+                StageStatus::Ran => "ran",
+                StageStatus::Skipped { .. } => "skipped",
+            };
             let _ = writeln!(
                 out,
-                "         {:<36} {:>9} {:>9} {:>7} {:>9.1}%",
+                "         {:<name_w$} {:>8} {:>9} {:>9} {:>7} {:>9.1}% {:>9}",
                 s.component,
+                status,
                 s.processed,
                 s.changed,
                 s.errors.len(),
-                100.0 * s.resolution_after
+                100.0 * s.resolution_after,
+                s.micros
             );
         }
+        let _ = writeln!(
+            out,
+            "         {} stage(s) ran, {} skipped (inputs unchanged)",
+            self.executed_count(),
+            self.skipped_count()
+        );
         out
     }
 }
@@ -104,15 +130,17 @@ impl Pipeline {
         self.components.iter().map(|c| c.name()).collect()
     }
 
-    /// Runs every component once, in order. Stops at the first hard error.
+    /// Each component's declared dataflow: `(name, reads, writes)`.
+    pub fn declarations(&self) -> Vec<(&'static str, &'static [Slot], &'static [Slot])> {
+        self.components.iter().map(|c| (c.name(), c.reads(), c.writes())).collect()
+    }
+
+    /// Runs the chain through the incremental engine: stages whose declared
+    /// inputs are unchanged since the context's last run are skipped (and
+    /// reported as such); the rest execute in order. Stops at the first
+    /// hard error.
     pub fn run(&mut self, ctx: &mut PipelineContext) -> Result<RunReport> {
-        ctx.run_id += 1;
-        let mut report = RunReport { run_id: ctx.run_id, stages: Vec::new() };
-        for c in &mut self.components {
-            let stage = c.run(ctx)?;
-            report.stages.push(stage);
-        }
-        Ok(report)
+        engine::run_chain(&mut self.components, ctx)
     }
 }
 
@@ -134,6 +162,7 @@ mod tests {
         let report = Pipeline::standard().run(&mut c).unwrap();
         assert_eq!(report.run_id, 1);
         assert_eq!(report.stages.len(), 9);
+        assert_eq!(report.executed_count(), 9); // first run skips nothing
         assert!(!c.catalogs.published.is_empty());
         // resolution is monotone across resolution-affecting stages
         let traj = report.resolution_trajectory();
@@ -189,6 +218,56 @@ mod tests {
         assert!(text.contains("scan-archive"));
         assert!(text.contains("publish"));
         assert!(text.contains('%'));
+        assert!(text.contains("status"));
+        assert!(text.contains("9 stage(s) ran, 0 skipped"));
+    }
+
+    #[test]
+    fn render_width_adapts_to_long_stage_names() {
+        let long = "a-stage-name-considerably-longer-than-thirty-six-characters";
+        assert!(long.len() > 36);
+        let report = RunReport {
+            run_id: 7,
+            stages: vec![
+                StageReport::new("short"),
+                StageReport::new(long),
+                StageReport::skipped("skippy", "inputs unchanged"),
+            ],
+        };
+        let text = report.render();
+        let lines: Vec<&str> = text.lines().collect();
+        // header + one line per stage + summary
+        assert_eq!(lines.len(), 5);
+        // header and stage rows align: identical lengths, columns at the
+        // same offsets even with a >36-char stage name
+        assert_eq!(lines[0].len(), lines[1].len());
+        assert_eq!(lines[1].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert!(lines[0].contains(" stage "));
+        assert!(lines[2].contains(long));
+        assert!(lines[3].contains("skipped"));
+        assert!(lines[4].contains("2 stage(s) ran, 1 skipped"));
+    }
+
+    #[test]
+    fn every_stage_declares_nonempty_dataflow() {
+        for pipeline in [Pipeline::standard(), Pipeline::known_only()] {
+            let decls = pipeline.declarations();
+            assert!(!decls.is_empty());
+            let mut seen = std::collections::BTreeSet::new();
+            for (name, reads, writes) in decls {
+                assert!(!reads.is_empty(), "stage '{name}' declares no reads");
+                assert!(!writes.is_empty(), "stage '{name}' declares no writes");
+                assert!(seen.insert(name), "duplicate stage name '{name}'");
+                // declarations are duplicate-free
+                for (ix, s) in reads.iter().enumerate() {
+                    assert!(!reads[ix + 1..].contains(s), "'{name}' repeats read {s:?}");
+                }
+                for (ix, s) in writes.iter().enumerate() {
+                    assert!(!writes[ix + 1..].contains(s), "'{name}' repeats write {s:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -2,23 +2,31 @@
 //! scan archive → perform known transformations → add external metadata →
 //! discover transformations → perform discovered transformations →
 //! generate hierarchies → (validate) → publish.
+//!
+//! Every component declares the context slots it reads and writes (see
+//! [`Slot`]) and runs against a [`CtxView`] scoped to that declaration; the
+//! incremental engine uses the declarations to skip stages whose inputs are
+//! unchanged.
 
-use crate::component::{Component, StageReport};
-use crate::context::{ArchiveInput, PipelineContext};
+use crate::component::{Component, Slot, StageReport};
+use crate::context::{ArchiveInput, CtxView, Severity};
+use metamess_core::catalog::Catalog;
 use metamess_core::error::Result;
 use metamess_core::feature::NameResolution;
 use metamess_core::text::{normalize_term, split_identifier};
 use metamess_core::value::Record;
+use metamess_core::DatasetId;
 use metamess_discover::{
     clusters_to_rules, key_collision_clusters, knn_clusters, KeyMethod, KnnConfig, ValueCount,
 };
 use metamess_harvest::{harvest, DirSource, MemorySource};
 use metamess_transform::apply_operations;
 use metamess_vocab::VariableResolution;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Stage 1: scan the archive into the working catalog (incremental on
-/// rerun — unchanged files keep their features).
+/// rerun — unchanged files keep their features, files gone from the archive
+/// are pruned).
 #[derive(Debug, Default)]
 pub struct ScanArchive;
 
@@ -27,15 +35,27 @@ impl Component for ScanArchive {
         "scan-archive"
     }
 
-    fn run(&mut self, ctx: &mut PipelineContext) -> Result<StageReport> {
+    fn reads(&self) -> &'static [Slot] {
+        // the working catalog is only consulted as a reuse cache: the
+        // stage's output depends solely on archive content + configuration
+        &[Slot::Archive]
+    }
+
+    fn writes(&self) -> &'static [Slot] {
+        &[Slot::Working]
+    }
+
+    fn run(&mut self, view: &mut CtxView<'_>) -> Result<StageReport> {
         let mut report = StageReport::new(self.name());
-        ctx.harvest.pipeline_run = ctx.run_id;
-        let previous = &ctx.catalogs.working;
-        let hr = match &ctx.archive {
-            ArchiveInput::Memory(files) => {
-                harvest(&MemorySource { files }, &ctx.harvest, Some(previous))?
+        let hr = {
+            let config = view.harvest_config();
+            let previous = view.working();
+            match view.archive() {
+                ArchiveInput::Memory(files) => {
+                    harvest(&MemorySource { files }, config, Some(previous))?
+                }
+                ArchiveInput::Dir(root) => harvest(&DirSource { root }, config, Some(previous))?,
             }
-            ArchiveInput::Dir(root) => harvest(&DirSource { root }, &ctx.harvest, Some(previous))?,
         };
         report.processed = hr.scanned as u64;
         report.changed = hr.features.len() as u64;
@@ -49,11 +69,24 @@ impl Component for ScanArchive {
             report.errors.push(format!("{}: {}", e.rel_path, e.error));
         }
         // Replace working entries for scanned files; keep previously
-        // harvested, unchanged ones (they are in `reused`).
-        for f in hr.features {
-            ctx.catalogs.working.put(f);
+        // harvested, unchanged ones (they are in `reused`); drop entries for
+        // files the scan no longer produced (removed, excluded by config, or
+        // no longer parseable) so working mirrors the archive exactly.
+        let keep: BTreeSet<DatasetId> =
+            hr.features.iter().chain(hr.reused.iter()).map(|f| f.id).collect();
+        let working = view.working_mut();
+        let stale: Vec<DatasetId> =
+            working.iter().map(|d| d.id).filter(|id| !keep.contains(id)).collect();
+        for id in &stale {
+            working.delete(*id);
         }
-        report.resolution_after = ctx.catalogs.working.resolution_fraction();
+        if !stale.is_empty() {
+            report.note(format!("{} removed (no longer in archive)", stale.len()));
+        }
+        for f in hr.features {
+            working.put(f);
+        }
+        report.resolution_after = working.resolution_fraction();
         Ok(report)
     }
 }
@@ -91,17 +124,27 @@ impl Component for PerformKnownTransformations {
         "perform-known-transformations"
     }
 
-    fn run(&mut self, ctx: &mut PipelineContext) -> Result<StageReport> {
+    fn reads(&self) -> &'static [Slot] {
+        &[Slot::Working, Slot::Vocab, Slot::Provenance]
+    }
+
+    fn writes(&self) -> &'static [Slot] {
+        // the vocabulary is written too: newly detected ambiguous names are
+        // noted in its registry so verdicts are consistent across datasets
+        &[Slot::Working, Slot::Vocab]
+    }
+
+    fn run(&mut self, view: &mut CtxView<'_>) -> Result<StageReport> {
         let mut report = StageReport::new(self.name());
         // First pass: note newly detected ambiguous names in the registry so
         // verdicts are consistent across datasets.
         let mut to_note: Vec<(String, Vec<String>)> = Vec::new();
-        for d in ctx.catalogs.working.iter() {
+        for d in view.working().iter() {
             for v in &d.variables {
                 if v.resolution.is_resolved() || v.flags.qa || v.flags.hidden {
                     continue;
                 }
-                let candidates = detect_ambiguity(&v.name, &ctx.vocab);
+                let candidates = detect_ambiguity(&v.name, view.vocab());
                 if !candidates.is_empty() {
                     to_note.push((v.name.clone(), candidates));
                 }
@@ -109,11 +152,11 @@ impl Component for PerformKnownTransformations {
         }
         for (name, candidates) in to_note {
             let refs: Vec<&str> = candidates.iter().map(String::as_str).collect();
-            ctx.vocab.registry.note_ambiguous(&name, &refs);
+            view.vocab_mut().registry.note_ambiguous(&name, &refs);
         }
 
-        let vocab = &ctx.vocab;
-        for d in ctx.catalogs.working.iter_mut() {
+        let (working, vocab, provenance) = view.working_mut_vocab_provenance();
+        for d in working.iter_mut() {
             let context = d.external.get("context").cloned();
             for v in &mut d.variables {
                 report.processed += 1;
@@ -136,7 +179,7 @@ impl Component for PerformKnownTransformations {
                     VariableResolution::Translated(c) => {
                         // entries that reached the table through discovery
                         // keep their discovery provenance
-                        let how = match ctx.discovered_provenance.get(&normalize_term(&v.name)) {
+                        let how = match provenance.get(&normalize_term(&v.name)) {
                             Some(method) => {
                                 NameResolution::DiscoveredTranslation { method: method.clone() }
                             }
@@ -174,9 +217,9 @@ impl Component for PerformKnownTransformations {
         }
         report.note(format!(
             "{} ambiguous names awaiting curator",
-            ctx.vocab.registry.undecided().count()
+            vocab.registry.undecided().count()
         ));
-        report.resolution_after = ctx.catalogs.working.resolution_fraction();
+        report.resolution_after = working.resolution_fraction();
         Ok(report)
     }
 }
@@ -196,10 +239,18 @@ impl Component for NormalizeUnits {
         "normalize-units"
     }
 
-    fn run(&mut self, ctx: &mut PipelineContext) -> Result<StageReport> {
+    fn reads(&self) -> &'static [Slot] {
+        &[Slot::Working, Slot::Vocab]
+    }
+
+    fn writes(&self) -> &'static [Slot] {
+        &[Slot::Working]
+    }
+
+    fn run(&mut self, view: &mut CtxView<'_>) -> Result<StageReport> {
         let mut report = StageReport::new(self.name());
-        let vocab = &ctx.vocab;
-        for d in ctx.catalogs.working.iter_mut() {
+        let (working, vocab) = view.working_mut_and_vocab();
+        for d in working.iter_mut() {
             for v in &mut d.variables {
                 if v.unit_normalized {
                     continue;
@@ -228,7 +279,7 @@ impl Component for NormalizeUnits {
                 v.unit_normalized = true;
             }
         }
-        report.resolution_after = ctx.catalogs.working.resolution_fraction();
+        report.resolution_after = working.resolution_fraction();
         Ok(report)
     }
 }
@@ -243,10 +294,18 @@ impl Component for AddExternalMetadata {
         "add-external-metadata"
     }
 
-    fn run(&mut self, ctx: &mut PipelineContext) -> Result<StageReport> {
+    fn reads(&self) -> &'static [Slot] {
+        &[Slot::Working, Slot::External]
+    }
+
+    fn writes(&self) -> &'static [Slot] {
+        &[Slot::Working]
+    }
+
+    fn run(&mut self, view: &mut CtxView<'_>) -> Result<StageReport> {
         let mut report = StageReport::new(self.name());
-        let external = &ctx.external;
-        for d in ctx.catalogs.working.iter_mut() {
+        let (working, external) = view.working_mut_and_external();
+        for d in working.iter_mut() {
             report.processed += 1;
             let Some(source) = &d.source else { continue };
             let Some(kv) = external.get(source) else { continue };
@@ -261,7 +320,7 @@ impl Component for AddExternalMetadata {
                 report.changed += 1;
             }
         }
-        report.resolution_after = ctx.catalogs.working.resolution_fraction();
+        report.resolution_after = working.resolution_fraction();
         Ok(report)
     }
 }
@@ -300,9 +359,9 @@ pub struct DiscoverTransformations {
 impl DiscoverTransformations {
     /// Builds the value pool: unresolved harvested names with counts, plus
     /// resolved canonical names as high-count anchors.
-    fn value_pool(ctx: &PipelineContext) -> Vec<ValueCount> {
+    fn value_pool(working: &Catalog) -> Vec<ValueCount> {
         let mut counts: BTreeMap<String, u64> = BTreeMap::new();
-        for d in ctx.catalogs.working.iter() {
+        for d in working.iter() {
             for v in &d.variables {
                 if v.flags.qa || v.flags.hidden || v.flags.ambiguous {
                     continue;
@@ -322,9 +381,17 @@ impl Component for DiscoverTransformations {
         "discover-transformations"
     }
 
-    fn run(&mut self, ctx: &mut PipelineContext) -> Result<StageReport> {
+    fn reads(&self) -> &'static [Slot] {
+        &[Slot::Working, Slot::Vocab]
+    }
+
+    fn writes(&self) -> &'static [Slot] {
+        &[Slot::Proposals]
+    }
+
+    fn run(&mut self, view: &mut CtxView<'_>) -> Result<StageReport> {
         let mut report = StageReport::new(self.name());
-        let pool = Self::value_pool(ctx);
+        let pool = Self::value_pool(view.working());
         report.processed = pool.len() as u64;
 
         let mut clusters = Vec::new();
@@ -337,16 +404,17 @@ impl Component for DiscoverTransformations {
         let mut proposals = clusters_to_rules(&clusters, "field");
         // Drop proposals whose variants are all already known to the
         // vocabulary, and dedupe by (to, from) signature.
-        let mut seen: std::collections::BTreeSet<String> = Default::default();
+        let vocab = view.vocab();
+        let mut seen: BTreeSet<String> = Default::default();
         proposals.retain(|p| {
-            let any_new = p.from.iter().any(|f| !ctx.vocab.synonyms.contains(f));
+            let any_new = p.from.iter().any(|f| !vocab.synonyms.contains(f));
             let sig = format!("{}→{}", p.from.join(","), p.to);
             any_new && seen.insert(sig)
         });
         report.changed = proposals.len() as u64;
         report.note(format!("{} clusters, {} proposals", clusters.len(), proposals.len()));
-        ctx.proposals = proposals;
-        report.resolution_after = ctx.catalogs.working.resolution_fraction();
+        *view.proposals_mut() = proposals;
+        report.resolution_after = view.working().resolution_fraction();
         Ok(report)
     }
 }
@@ -363,17 +431,25 @@ impl Component for PerformDiscoveredTransformations {
         "perform-discovered-transformations"
     }
 
-    fn run(&mut self, ctx: &mut PipelineContext) -> Result<StageReport> {
+    fn reads(&self) -> &'static [Slot] {
+        &[Slot::Working, Slot::Vocab, Slot::Accepted]
+    }
+
+    fn writes(&self) -> &'static [Slot] {
+        &[Slot::Working]
+    }
+
+    fn run(&mut self, view: &mut CtxView<'_>) -> Result<StageReport> {
         let mut report = StageReport::new(self.name());
-        if ctx.accepted.is_empty() {
+        if view.accepted().is_empty() {
             report.note("no accepted proposals");
-            report.resolution_after = ctx.catalogs.working.resolution_fraction();
+            report.resolution_after = view.working().resolution_fraction();
             return Ok(report);
         }
         // Export: one record per unresolved variable.
         let mut rows: Vec<Record> = Vec::new();
-        let mut keys: Vec<(metamess_core::DatasetId, String)> = Vec::new();
-        for d in ctx.catalogs.working.iter() {
+        let mut keys: Vec<(DatasetId, String)> = Vec::new();
+        for d in view.working().iter() {
             for v in &d.variables {
                 if v.resolution.is_resolved() || v.flags.qa || v.flags.hidden {
                     continue;
@@ -387,14 +463,14 @@ impl Component for PerformDiscoveredTransformations {
         }
         report.processed = rows.len() as u64;
         let ops: Vec<metamess_transform::Operation> =
-            ctx.accepted.iter().map(|p| p.operation.clone()).collect();
+            view.accepted().iter().map(|p| p.operation.clone()).collect();
         let method_of: BTreeMap<String, String> =
-            ctx.accepted.iter().map(|p| (p.to.clone(), p.method.clone())).collect();
+            view.accepted().iter().map(|p| (p.to.clone(), p.method.clone())).collect();
         let apply = apply_operations(&mut rows, &ops)?;
         report.note(format!("{} cells rewritten by {} rules", apply.total_changed(), ops.len()));
 
         // Fold back: a changed `field` is a discovered translation.
-        let vocab = &ctx.vocab;
+        let (working, vocab) = view.working_mut_and_vocab();
         for ((id, original_name), row) in keys.into_iter().zip(rows.iter()) {
             let new_name = row.get("field").and_then(|v| v.as_text()).unwrap_or_default();
             if new_name.is_empty() || new_name == original_name {
@@ -408,14 +484,14 @@ impl Component for PerformDiscoveredTransformations {
                 .map(|(c, _)| c.to_string())
                 .unwrap_or_else(|| new_name.to_string());
             let method = method_of.get(new_name).cloned().unwrap_or_else(|| "unknown".into());
-            if let Some(d) = ctx.catalogs.working.get_mut(id) {
+            if let Some(d) = working.get_mut(id) {
                 if let Some(v) = d.variable_mut(&original_name) {
                     v.resolve(canonical, NameResolution::DiscoveredTranslation { method });
                     report.changed += 1;
                 }
             }
         }
-        report.resolution_after = ctx.catalogs.working.resolution_fraction();
+        report.resolution_after = working.resolution_fraction();
         Ok(report)
     }
 }
@@ -430,10 +506,18 @@ impl Component for GenerateHierarchies {
         "generate-hierarchies"
     }
 
-    fn run(&mut self, ctx: &mut PipelineContext) -> Result<StageReport> {
+    fn reads(&self) -> &'static [Slot] {
+        &[Slot::Working, Slot::Vocab]
+    }
+
+    fn writes(&self) -> &'static [Slot] {
+        &[Slot::Working]
+    }
+
+    fn run(&mut self, view: &mut CtxView<'_>) -> Result<StageReport> {
         let mut report = StageReport::new(self.name());
-        let vocab = &ctx.vocab;
-        for d in ctx.catalogs.working.iter_mut() {
+        let (working, vocab) = view.working_mut_and_vocab();
+        for d in working.iter_mut() {
             for v in &mut d.variables {
                 report.processed += 1;
                 let Some(canonical) = &v.canonical_name else { continue };
@@ -444,7 +528,7 @@ impl Component for GenerateHierarchies {
                 }
             }
         }
-        report.resolution_after = ctx.catalogs.working.resolution_fraction();
+        report.resolution_after = working.resolution_fraction();
         Ok(report)
     }
 }
@@ -461,10 +545,23 @@ impl Component for Publish {
         "publish"
     }
 
-    fn run(&mut self, ctx: &mut PipelineContext) -> Result<StageReport> {
+    fn reads(&self) -> &'static [Slot] {
+        &[Slot::Working, Slot::Findings]
+    }
+
+    fn writes(&self) -> &'static [Slot] {
+        &[Slot::Published]
+    }
+
+    fn run(&mut self, view: &mut CtxView<'_>) -> Result<StageReport> {
         let mut report = StageReport::new(self.name());
         if self.strict {
-            let errors: Vec<String> = ctx.validation_errors().map(|f| f.message.clone()).collect();
+            let errors: Vec<String> = view
+                .findings()
+                .iter()
+                .filter(|f| f.severity == Severity::Error)
+                .map(|f| f.message.clone())
+                .collect();
             if !errors.is_empty() {
                 return Err(metamess_core::error::Error::validation(
                     "publish",
@@ -476,11 +573,12 @@ impl Component for Publish {
                 ));
             }
         }
-        let delta = ctx.catalogs.publish();
-        report.processed = ctx.catalogs.published.len() as u64;
+        let pair = view.publish_pair();
+        let delta = pair.publish();
+        report.processed = pair.published.len() as u64;
         report.changed = delta.len() as u64;
-        report.note(format!("publish #{}", ctx.catalogs.publish_count));
-        report.resolution_after = ctx.catalogs.published.resolution_fraction();
+        report.note(format!("publish #{}", pair.publish_count));
+        report.resolution_after = pair.published.resolution_fraction();
         Ok(report)
     }
 }
@@ -488,6 +586,7 @@ impl Component for Publish {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::context::PipelineContext;
     use metamess_archive::{generate, ArchiveSpec};
     use metamess_vocab::Vocabulary;
 
@@ -499,7 +598,7 @@ mod tests {
     #[test]
     fn scan_fills_working_catalog() {
         let mut c = ctx();
-        let r = ScanArchive.run(&mut c).unwrap();
+        let r = ScanArchive.run_standalone(&mut c).unwrap();
         assert!(!c.catalogs.working.is_empty());
         assert_eq!(r.changed as usize, c.catalogs.working.len());
         assert_eq!(r.errors.len(), 3); // the malformed files
@@ -507,11 +606,34 @@ mod tests {
     }
 
     #[test]
+    fn rescan_prunes_removed_files() {
+        let archive = generate(&ArchiveSpec::tiny());
+        let mut files = archive.files;
+        let mut c = PipelineContext::new(
+            ArchiveInput::Memory(files.clone()),
+            Vocabulary::observatory_default(),
+        );
+        ScanArchive.run_standalone(&mut c).unwrap();
+        let before = c.catalogs.working.len();
+        // remove one harvested file from the archive
+        let ix = files
+            .iter()
+            .position(|(p, _)| c.catalogs.working.get_by_path(p).is_some())
+            .expect("some file harvested");
+        let removed = files.remove(ix).0;
+        c.archive = ArchiveInput::Memory(files);
+        let r = ScanArchive.run_standalone(&mut c).unwrap();
+        assert_eq!(c.catalogs.working.len(), before - 1);
+        assert!(c.catalogs.working.get_by_path(&removed).is_none());
+        assert!(r.notes.iter().any(|n| n.contains("removed")), "{:?}", r.notes);
+    }
+
+    #[test]
     fn known_transformations_resolve_most_names() {
         let mut c = ctx();
-        ScanArchive.run(&mut c).unwrap();
+        ScanArchive.run_standalone(&mut c).unwrap();
         let before = c.catalogs.working.resolution_fraction();
-        let r = PerformKnownTransformations.run(&mut c).unwrap();
+        let r = PerformKnownTransformations.run_standalone(&mut c).unwrap();
         assert!(r.resolution_after > before);
         assert!(r.resolution_after > 0.5, "{}", r.resolution_after);
         // QA columns got flagged
@@ -542,8 +664,8 @@ mod tests {
     #[test]
     fn context_rule_beats_ambiguity_for_bare_temperature() {
         let mut c = ctx();
-        ScanArchive.run(&mut c).unwrap();
-        PerformKnownTransformations.run(&mut c).unwrap();
+        ScanArchive.run_standalone(&mut c).unwrap();
+        PerformKnownTransformations.run_standalone(&mut c).unwrap();
         // every bare `temperature` column resolved via its platform context
         for d in c.catalogs.working.iter() {
             if let Some(v) = d.variable("temperature") {
@@ -580,8 +702,8 @@ mod tests {
             ArchiveInput::Memory(archive.files),
             Vocabulary::observatory_default(),
         );
-        ScanArchive.run(&mut c).unwrap();
-        PerformKnownTransformations.run(&mut c).unwrap();
+        ScanArchive.run_standalone(&mut c).unwrap();
+        PerformKnownTransformations.run_standalone(&mut c).unwrap();
         // before normalization: range is in Fahrenheit (wintry PNW air ≈
         // 30–60 °F, far above plausible °C)
         let d = c.catalogs.working.get_by_path("stations/saturn02/2010/04.csv").unwrap();
@@ -590,7 +712,7 @@ mod tests {
         let (_, hi_f) = v.value_range().unwrap();
         assert!(hi_f > 35.0, "F range expected, got max {hi_f}");
 
-        let report = NormalizeUnits.run(&mut c).unwrap();
+        let report = NormalizeUnits.run_standalone(&mut c).unwrap();
         assert!(report.changed >= 1, "{report:?}");
         let d = c.catalogs.working.get_by_path("stations/saturn02/2010/04.csv").unwrap();
         let v = d.variable(&harvested).unwrap();
@@ -602,7 +724,7 @@ mod tests {
         assert_eq!(v.unit.as_deref(), Some("degF"));
 
         // idempotent on rerun
-        let report2 = NormalizeUnits.run(&mut c).unwrap();
+        let report2 = NormalizeUnits.run_standalone(&mut c).unwrap();
         assert_eq!(report2.changed, 0);
         let d2 = c.catalogs.working.get_by_path("stations/saturn02/2010/04.csv").unwrap();
         assert_eq!(d2.variable(&harvested).unwrap().value_range(), Some((lo_c, hi_c)));
@@ -611,8 +733,8 @@ mod tests {
     #[test]
     fn celsius_variables_untouched_by_normalization() {
         let mut c = ctx();
-        ScanArchive.run(&mut c).unwrap();
-        PerformKnownTransformations.run(&mut c).unwrap();
+        ScanArchive.run_standalone(&mut c).unwrap();
+        PerformKnownTransformations.run_standalone(&mut c).unwrap();
         let before: Vec<Option<(f64, f64)>> = c
             .catalogs
             .working
@@ -621,7 +743,7 @@ mod tests {
             .filter(|v| v.unit.as_deref() == Some("degC"))
             .map(|v| v.value_range())
             .collect();
-        NormalizeUnits.run(&mut c).unwrap();
+        NormalizeUnits.run_standalone(&mut c).unwrap();
         let after: Vec<Option<(f64, f64)>> = c
             .catalogs
             .working
@@ -636,11 +758,11 @@ mod tests {
     #[test]
     fn external_metadata_merged() {
         let mut c = ctx();
-        ScanArchive.run(&mut c).unwrap();
+        ScanArchive.run_standalone(&mut c).unwrap();
         let mut kv = BTreeMap::new();
         kv.insert("principal_investigator".to_string(), "V. M. Megler".to_string());
         c.external.insert("saturn01".to_string(), kv);
-        let r = AddExternalMetadata.run(&mut c).unwrap();
+        let r = AddExternalMetadata.run_standalone(&mut c).unwrap();
         assert!(r.changed > 0);
         let d =
             c.catalogs.working.iter().find(|d| d.source.as_deref() == Some("saturn01")).unwrap();
@@ -649,16 +771,16 @@ mod tests {
             Some("V. M. Megler")
         );
         // idempotent
-        let r2 = AddExternalMetadata.run(&mut c).unwrap();
+        let r2 = AddExternalMetadata.run_standalone(&mut c).unwrap();
         assert_eq!(r2.changed, 0);
     }
 
     #[test]
     fn discovery_proposes_rules_for_the_mess() {
         let mut c = ctx();
-        ScanArchive.run(&mut c).unwrap();
-        PerformKnownTransformations.run(&mut c).unwrap();
-        let r = DiscoverTransformations::default().run(&mut c).unwrap();
+        ScanArchive.run_standalone(&mut c).unwrap();
+        PerformKnownTransformations.run_standalone(&mut c).unwrap();
+        let r = DiscoverTransformations::default().run_standalone(&mut c).unwrap();
         assert!(!c.proposals.is_empty(), "{:?}", r);
         // proposals are confidence-sorted and well-formed
         for w in c.proposals.windows(2) {
@@ -673,15 +795,15 @@ mod tests {
     #[test]
     fn discovered_transformations_apply_and_resolve() {
         let mut c = ctx();
-        ScanArchive.run(&mut c).unwrap();
-        PerformKnownTransformations.run(&mut c).unwrap();
-        DiscoverTransformations::default().run(&mut c).unwrap();
+        ScanArchive.run_standalone(&mut c).unwrap();
+        PerformKnownTransformations.run_standalone(&mut c).unwrap();
+        DiscoverTransformations::default().run_standalone(&mut c).unwrap();
         let before = c.catalogs.working.resolution_fraction();
         // accept everything whose pick is canonical in the vocabulary
         c.accepted =
             c.proposals.iter().filter(|p| c.vocab.synonyms.contains(&p.to)).cloned().collect();
         assert!(!c.accepted.is_empty());
-        let r = PerformDiscoveredTransformations.run(&mut c).unwrap();
+        let r = PerformDiscoveredTransformations.run_standalone(&mut c).unwrap();
         assert!(r.changed > 0);
         assert!(r.resolution_after > before);
         // discovered variables carry method provenance
@@ -697,17 +819,17 @@ mod tests {
     #[test]
     fn empty_accept_set_is_a_noop() {
         let mut c = ctx();
-        ScanArchive.run(&mut c).unwrap();
-        let r = PerformDiscoveredTransformations.run(&mut c).unwrap();
+        ScanArchive.run_standalone(&mut c).unwrap();
+        let r = PerformDiscoveredTransformations.run_standalone(&mut c).unwrap();
         assert_eq!(r.changed, 0);
     }
 
     #[test]
     fn hierarchies_assigned_to_resolved_variables() {
         let mut c = ctx();
-        ScanArchive.run(&mut c).unwrap();
-        PerformKnownTransformations.run(&mut c).unwrap();
-        let r = GenerateHierarchies.run(&mut c).unwrap();
+        ScanArchive.run_standalone(&mut c).unwrap();
+        PerformKnownTransformations.run_standalone(&mut c).unwrap();
+        let r = GenerateHierarchies.run_standalone(&mut c).unwrap();
         assert!(r.changed > 0);
         let with_h = c
             .catalogs
@@ -718,33 +840,33 @@ mod tests {
             .count();
         assert!(with_h > 0);
         // idempotent
-        let r2 = GenerateHierarchies.run(&mut c).unwrap();
+        let r2 = GenerateHierarchies.run_standalone(&mut c).unwrap();
         assert_eq!(r2.changed, 0);
     }
 
     #[test]
     fn publish_promotes_and_strict_blocks_on_errors() {
         let mut c = ctx();
-        ScanArchive.run(&mut c).unwrap();
-        let r = Publish::default().run(&mut c).unwrap();
+        ScanArchive.run_standalone(&mut c).unwrap();
+        let r = Publish::default().run_standalone(&mut c).unwrap();
         assert_eq!(r.processed as usize, c.catalogs.published.len());
         assert_eq!(c.catalogs.publish_count, 1);
 
         c.findings.push(crate::context::ValidationFinding {
             rule: "x".into(),
-            severity: crate::context::Severity::Error,
+            severity: Severity::Error,
             path: None,
             message: "boom".into(),
         });
-        let e = Publish { strict: true }.run(&mut c).unwrap_err();
+        let e = Publish { strict: true }.run_standalone(&mut c).unwrap_err();
         assert!(e.to_string().contains("block publish"));
     }
 
     #[test]
     fn rescan_is_incremental() {
         let mut c = ctx();
-        ScanArchive.run(&mut c).unwrap();
-        let r2 = ScanArchive.run(&mut c).unwrap();
+        ScanArchive.run_standalone(&mut c).unwrap();
+        let r2 = ScanArchive.run_standalone(&mut c).unwrap();
         assert_eq!(r2.changed, 0); // everything reused
     }
 }

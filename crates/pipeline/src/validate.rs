@@ -6,8 +6,8 @@
 //! terms; determining that expected datasets show up" — plus sanity checks
 //! on the features themselves.
 
-use crate::component::{Component, StageReport};
-use crate::context::{PipelineContext, Severity, ValidationFinding};
+use crate::component::{Component, Slot, StageReport};
+use crate::context::{CtxView, Severity, ValidationFinding};
 use metamess_core::error::Result;
 use std::collections::BTreeMap;
 
@@ -15,8 +15,9 @@ use std::collections::BTreeMap;
 pub trait Validator {
     /// Rule name, shown in findings.
     fn rule(&self) -> &'static str;
-    /// Checks the context, emitting findings.
-    fn check(&self, ctx: &PipelineContext) -> Vec<ValidationFinding>;
+    /// Checks the context (through the validate stage's scoped view),
+    /// emitting findings.
+    fn check(&self, view: &CtxView<'_>) -> Vec<ValidationFinding>;
 }
 
 /// "Verifying that all files in a directory are of the same type."
@@ -27,9 +28,9 @@ impl Validator for FileTypeUniformity {
         "file-type-uniformity"
     }
 
-    fn check(&self, ctx: &PipelineContext) -> Vec<ValidationFinding> {
+    fn check(&self, view: &CtxView<'_>) -> Vec<ValidationFinding> {
         let mut by_dir: BTreeMap<&str, BTreeMap<&str, usize>> = BTreeMap::new();
-        for d in ctx.catalogs.working.iter() {
+        for d in view.working().iter() {
             let dir = d.path.rsplit_once('/').map(|(dir, _)| dir).unwrap_or("");
             *by_dir.entry(dir).or_default().entry(d.provenance.format.as_str()).or_insert(0) += 1;
         }
@@ -58,15 +59,15 @@ impl Validator for NamesInVocabulary {
         "names-in-vocabulary"
     }
 
-    fn check(&self, ctx: &PipelineContext) -> Vec<ValidationFinding> {
+    fn check(&self, view: &CtxView<'_>) -> Vec<ValidationFinding> {
         let mut out = Vec::new();
-        for d in ctx.catalogs.working.iter() {
+        for d in view.working().iter() {
             for v in &d.variables {
                 let handled = v.resolution.is_resolved()
                     || v.flags.qa
                     || v.flags.hidden
                     || v.flags.ambiguous
-                    || ctx.vocab.synonyms.contains(&v.name);
+                    || view.vocab().synonyms.contains(&v.name);
                 if !handled {
                     out.push(ValidationFinding {
                         rule: self.rule().into(),
@@ -92,10 +93,10 @@ impl Validator for ExpectedDatasets {
         "expected-datasets"
     }
 
-    fn check(&self, ctx: &PipelineContext) -> Vec<ValidationFinding> {
-        ctx.expected_datasets
+    fn check(&self, view: &CtxView<'_>) -> Vec<ValidationFinding> {
+        view.expected()
             .iter()
-            .filter(|p| ctx.catalogs.working.get_by_path(p).is_none())
+            .filter(|p| view.working().get_by_path(p).is_none())
             .map(|p| ValidationFinding {
                 rule: self.rule().into(),
                 severity: Severity::Error,
@@ -115,9 +116,9 @@ impl Validator for FeatureSanity {
         "feature-sanity"
     }
 
-    fn check(&self, ctx: &PipelineContext) -> Vec<ValidationFinding> {
+    fn check(&self, view: &CtxView<'_>) -> Vec<ValidationFinding> {
         let mut out = Vec::new();
-        for d in ctx.catalogs.working.iter() {
+        for d in view.working().iter() {
             if d.record_count == 0 {
                 out.push(ValidationFinding {
                     rule: self.rule().into(),
@@ -128,7 +129,7 @@ impl Validator for FeatureSanity {
             }
             for v in &d.variables {
                 if let Some(u) = &v.unit {
-                    if v.canonical_unit.is_none() && !ctx.vocab.units.contains(u) {
+                    if v.canonical_unit.is_none() && !view.vocab().units.contains(u) {
                         out.push(ValidationFinding {
                             rule: self.rule().into(),
                             severity: Severity::Warning,
@@ -170,17 +171,25 @@ impl Component for Validate {
         "validate"
     }
 
-    fn run(&mut self, ctx: &mut PipelineContext) -> Result<StageReport> {
+    fn reads(&self) -> &'static [Slot] {
+        &[Slot::Working, Slot::Vocab, Slot::Expected]
+    }
+
+    fn writes(&self) -> &'static [Slot] {
+        &[Slot::Findings]
+    }
+
+    fn run(&mut self, view: &mut CtxView<'_>) -> Result<StageReport> {
         let mut report = StageReport::new(self.name());
-        ctx.findings.clear();
+        view.findings_mut().clear();
         for v in &self.validators {
-            let findings = v.check(ctx);
+            let findings = v.check(view);
             report.note(format!("{}: {} findings", v.rule(), findings.len()));
-            ctx.findings.extend(findings);
+            view.findings_mut().extend(findings);
         }
         report.processed = self.validators.len() as u64;
-        report.changed = ctx.findings.len() as u64;
-        report.resolution_after = ctx.catalogs.working.resolution_fraction();
+        report.changed = view.findings().len() as u64;
+        report.resolution_after = view.working().resolution_fraction();
         Ok(report)
     }
 }
@@ -188,7 +197,7 @@ impl Component for Validate {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::context::ArchiveInput;
+    use crate::context::{ArchiveInput, PipelineContext};
     use crate::stages::{PerformKnownTransformations, ScanArchive};
     use metamess_archive::{generate, ArchiveSpec};
     use metamess_vocab::Vocabulary;
@@ -199,17 +208,17 @@ mod tests {
             ArchiveInput::Memory(archive.files),
             Vocabulary::observatory_default(),
         );
-        ScanArchive.run(&mut c).unwrap();
+        ScanArchive.run_standalone(&mut c).unwrap();
         c
     }
 
     #[test]
     fn names_in_vocabulary_flags_unresolved() {
         let mut c = scanned_ctx();
-        let before = NamesInVocabulary.check(&c).len();
+        let before = NamesInVocabulary.check(&CtxView::full(&mut c)).len();
         assert!(before > 0);
-        PerformKnownTransformations.run(&mut c).unwrap();
-        let after = NamesInVocabulary.check(&c).len();
+        PerformKnownTransformations.run_standalone(&mut c).unwrap();
+        let after = NamesInVocabulary.check(&CtxView::full(&mut c)).len();
         assert!(after < before, "{after} !< {before}");
     }
 
@@ -218,7 +227,7 @@ mod tests {
         let mut c = scanned_ctx();
         c.expected_datasets.push("stations/saturn01/2010/01.csv".into());
         c.expected_datasets.push("stations/ghost/2099/01.csv".into());
-        let findings = ExpectedDatasets.check(&c);
+        let findings = ExpectedDatasets.check(&CtxView::full(&mut c));
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].severity, Severity::Error);
         assert!(findings[0].message.contains("ghost"));
@@ -228,7 +237,7 @@ mod tests {
     fn file_type_uniformity_detects_mixed_dirs() {
         let mut c = scanned_ctx();
         // saturn02's files alternate csv/cdl in the tiny archive
-        let findings = FileTypeUniformity.check(&c);
+        let findings = FileTypeUniformity.check(&CtxView::full(&mut c));
         assert!(findings.iter().any(|f| f.message.contains("mixes formats")), "{findings:?}");
         // make all of one dir a single format: no finding for clean dirs
         let clean_dirs: Vec<String> = findings.iter().filter_map(|f| f.path.clone()).collect();
@@ -243,7 +252,7 @@ mod tests {
         let id = c.catalogs.working.iter().next().unwrap().id;
         c.catalogs.working.get_mut(id).unwrap().variables[0].unit = Some("furlongs".into());
         c.catalogs.working.get_mut(id).unwrap().variables[0].canonical_unit = None;
-        let findings = FeatureSanity.check(&c);
+        let findings = FeatureSanity.check(&CtxView::full(&mut c));
         assert!(findings.iter().any(|f| f.message.contains("furlongs")));
     }
 
@@ -251,13 +260,13 @@ mod tests {
     fn validate_stage_aggregates() {
         let mut c = scanned_ctx();
         c.expected_datasets.push("nope.csv".into());
-        let r = Validate::default().run(&mut c).unwrap();
+        let r = Validate::default().run_standalone(&mut c).unwrap();
         assert_eq!(r.processed, 4);
         assert!(c.findings.len() as u64 == r.changed);
         assert!(c.validation_errors().count() >= 1);
         // re-running replaces, not accumulates
         let before = c.findings.len();
-        Validate::default().run(&mut c).unwrap();
+        Validate::default().run_standalone(&mut c).unwrap();
         assert_eq!(c.findings.len(), before);
     }
 }

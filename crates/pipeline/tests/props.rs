@@ -6,6 +6,63 @@ use metamess_pipeline::{ArchiveInput, Pipeline, PipelineContext};
 use metamess_vocab::Vocabulary;
 use proptest::prelude::*;
 
+/// One random archive edit between incremental pipeline runs.
+#[derive(Debug, Clone)]
+enum Edit {
+    /// Append junk to the file at (index % len) — may also make it
+    /// unparseable, which must drop it from the catalog on both paths.
+    Modify(usize),
+    /// Remove the file at (index % len), keeping at least one file.
+    Remove(usize),
+    /// Add a fresh small CSV under `extra/`.
+    Add(u32),
+}
+
+fn arb_edits() -> impl Strategy<Value = Vec<Edit>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0usize..64).prop_map(Edit::Modify),
+            (0usize..64).prop_map(Edit::Remove),
+            (0u32..1000).prop_map(Edit::Add),
+        ],
+        1..5,
+    )
+}
+
+fn apply_edit(files: &mut Vec<(String, String)>, edit: &Edit) {
+    match edit {
+        Edit::Modify(ix) => {
+            let ix = ix % files.len();
+            files[ix].1.push_str("\njunk-appended-line");
+        }
+        Edit::Remove(ix) => {
+            if files.len() > 1 {
+                let ix = ix % files.len();
+                files.remove(ix);
+            }
+        }
+        Edit::Add(n) => files.push((
+            format!("extra/added_{n}.csv"),
+            "time,temp,sal\n2010-01-01T00:00:00Z,9.5,28.1\n2010-01-01T01:00:00Z,9.7,28.3\n"
+                .to_string(),
+        )),
+    }
+}
+
+/// Published entries with the run-dependent provenance stamp normalized
+/// away (`pipeline_run` is the only wall-clock-like field; content
+/// fingerprints, lengths and formats must match exactly).
+fn normalized_entries(
+    c: &metamess_core::catalog::Catalog,
+) -> Vec<metamess_core::feature::DatasetFeature> {
+    let mut out: Vec<_> = c.iter().cloned().collect();
+    for f in &mut out {
+        f.provenance.pipeline_run = 0;
+    }
+    out.sort_by(|a, b| a.path.cmp(&b.path));
+    out
+}
+
 fn arb_spec() -> impl Strategy<Value = ArchiveSpec> {
     (
         0u64..10_000,
@@ -97,6 +154,35 @@ proptest! {
             let d2 = ctx.catalogs.published.get(d.id).unwrap();
             prop_assert_eq!(d, d2);
         }
+    }
+
+    #[test]
+    fn incremental_run_matches_scratch_run(spec in arb_spec(), edits in arb_edits()) {
+        let archive = generate(&spec);
+        let mut files = archive.files;
+        let mut inc = PipelineContext::new(
+            ArchiveInput::Memory(files.clone()),
+            Vocabulary::observatory_default(),
+        );
+        let mut pipeline = Pipeline::standard();
+        pipeline.run(&mut inc).unwrap();
+        // evolve the archive one edit at a time, re-running incrementally
+        for e in &edits {
+            apply_edit(&mut files, e);
+            inc.archive = ArchiveInput::Memory(files.clone());
+            pipeline.run(&mut inc).unwrap();
+        }
+        // a from-scratch run over the final archive must publish the same
+        // catalog (modulo the pipeline_run provenance stamp)
+        let mut scratch = PipelineContext::new(
+            ArchiveInput::Memory(files),
+            Vocabulary::observatory_default(),
+        );
+        Pipeline::standard().run(&mut scratch).unwrap();
+        prop_assert_eq!(
+            normalized_entries(&inc.catalogs.published),
+            normalized_entries(&scratch.catalogs.published)
+        );
     }
 
     #[test]

@@ -26,16 +26,26 @@ fn main() {
     // Activity 3's domain knowledge: the hand-entered synonym table rows a
     // curator accumulates (simulated from the archive's ad-hoc spellings).
     let manual: Vec<(String, String)> = [
-        "air_temperature", "water_temperature", "salinity", "specific_conductivity",
-        "dissolved_oxygen", "turbidity", "chlorophyll_fluorescence", "wind_speed",
-        "wind_direction", "air_pressure", "relative_humidity", "precipitation",
-        "solar_radiation", "depth", "nitrate", "phosphate",
+        "air_temperature",
+        "water_temperature",
+        "salinity",
+        "specific_conductivity",
+        "dissolved_oxygen",
+        "turbidity",
+        "chlorophyll_fluorescence",
+        "wind_speed",
+        "wind_direction",
+        "air_pressure",
+        "relative_humidity",
+        "precipitation",
+        "solar_radiation",
+        "depth",
+        "nitrate",
+        "phosphate",
     ]
     .iter()
     .flat_map(|c| {
-        metamess::archive::adhoc_synonyms(c)
-            .iter()
-            .map(move |v| (c.to_string(), v.to_string()))
+        metamess::archive::adhoc_synonyms(c).iter().map(move |v| (c.to_string(), v.to_string()))
     })
     .collect();
 
@@ -97,8 +107,8 @@ fn main() {
             let ok = if tv.qa {
                 v.flags.qa
             } else {
-                v.canonical_name.as_deref() == Some(tv.canonical.as_str())
-                    || v.flags.ambiguous // exposed to the curator counts as handled
+                v.canonical_name.as_deref() == Some(tv.canonical.as_str()) || v.flags.ambiguous
+                // exposed to the curator counts as handled
             };
             if ok {
                 correct += 1;

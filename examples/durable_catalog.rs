@@ -25,8 +25,7 @@ fn main() {
 
     // Persist the published catalog durably.
     {
-        let mut store =
-            DurableCatalog::open(&dir, StoreOptions::default()).expect("store opens");
+        let mut store = DurableCatalog::open(&dir, StoreOptions::default()).expect("store opens");
         for f in ctx.catalogs.published.iter() {
             store.put(f.clone()).expect("put");
         }

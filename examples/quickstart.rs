@@ -28,9 +28,8 @@ fn main() {
     );
     let mut pipeline = Pipeline::standard();
     let curator = CurationLoop::new(CuratorPolicy::default());
-    let (history, last_run) = curator
-        .run_to_fixpoint(&mut pipeline, &mut ctx)
-        .expect("wrangling succeeds");
+    let (history, last_run) =
+        curator.run_to_fixpoint(&mut pipeline, &mut ctx).expect("wrangling succeeds");
 
     println!("\nfinal pipeline run:");
     print!("{}", last_run.render());

@@ -112,6 +112,17 @@ fn cmd_wrangle(args: &[String]) -> Result<(), metamess::core::Error> {
     );
     // keep the store out of the scan
     ctx.harvest.scan.exclude.push(".metamess".into());
+    // resume incrementality: restore catalogs, vocabulary and the run
+    // ledger from the previous wrangle so unchanged stages are skipped
+    let state_dir = store_dir.join("state");
+    if metamess::pipeline::load_state(&mut ctx, &state_dir)? {
+        println!(
+            "resuming from {} (run #{}, {} datasets published)",
+            state_dir.display(),
+            ctx.run_id,
+            ctx.catalogs.published.len()
+        );
+    }
     let mut pipeline = Pipeline::standard();
     let mut policy = CuratorPolicy::default();
     if expert {
@@ -136,6 +147,7 @@ fn cmd_wrangle(args: &[String]) -> Result<(), metamess::core::Error> {
     store.replace_with(&ctx.catalogs.published)?;
     store.checkpoint()?;
     ctx.vocab.save(&vocab_path)?;
+    metamess::pipeline::save_state(&ctx, &state_dir)?;
     println!(
         "published {} datasets to {} (vocabulary v{})",
         ctx.catalogs.published.len(),

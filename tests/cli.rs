@@ -43,14 +43,12 @@ fn full_cli_workflow() {
 
     // search
     let store_s = store.to_str().unwrap();
-    let (ok, stdout, stderr) =
-        run(&["search", store_s, "with", "salinity", "limit", "3"]);
+    let (ok, stdout, stderr) = run(&["search", store_s, "with", "salinity", "limit", "3"]);
     assert!(ok, "{stderr}");
     assert!(stdout.contains("1. ["), "{stdout}");
 
     // summary of a known dataset
-    let (ok, stdout, stderr) =
-        run(&["summary", store_s, "stations/saturn01/2010/01.csv"]);
+    let (ok, stdout, stderr) = run(&["summary", store_s, "stations/saturn01/2010/01.csv"]);
     assert!(ok, "{stderr}");
     assert!(stdout.contains("variables:"), "{stdout}");
     assert!(stdout.contains("saturn01"), "{stdout}");
@@ -77,13 +75,10 @@ fn cli_errors_are_clean() {
 
     // unknown store dir → an empty store is created on open; search simply
     // returns no results
-    let empty_store = std::env::temp_dir().join(format!(
-        "metamess-cli-empty-{}",
-        std::process::id()
-    ));
+    let empty_store =
+        std::env::temp_dir().join(format!("metamess-cli-empty-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&empty_store);
-    let (ok, stdout, stderr) =
-        run(&["search", empty_store.to_str().unwrap(), "with", "salinity"]);
+    let (ok, stdout, stderr) = run(&["search", empty_store.to_str().unwrap(), "with", "salinity"]);
     assert!(ok, "{stderr}");
     assert!(stdout.contains("no results"), "{stdout}");
 

@@ -9,10 +9,24 @@ use metamess::search::render_summary;
 /// curator would enter into the synonym table by hand.
 fn domain_knowledge() -> Vec<(String, String)> {
     [
-        "air_temperature", "water_temperature", "sea_surface_temperature", "salinity",
-        "specific_conductivity", "dissolved_oxygen", "turbidity", "chlorophyll_fluorescence",
-        "wind_speed", "wind_direction", "air_pressure", "relative_humidity", "precipitation",
-        "solar_radiation", "depth", "nitrate", "phosphate", "ph",
+        "air_temperature",
+        "water_temperature",
+        "sea_surface_temperature",
+        "salinity",
+        "specific_conductivity",
+        "dissolved_oxygen",
+        "turbidity",
+        "chlorophyll_fluorescence",
+        "wind_speed",
+        "wind_direction",
+        "air_pressure",
+        "relative_humidity",
+        "precipitation",
+        "solar_radiation",
+        "depth",
+        "nitrate",
+        "phosphate",
+        "ph",
     ]
     .iter()
     .flat_map(|c| {
@@ -66,13 +80,12 @@ fn search_finds_ground_truth_relevant_datasets() {
         .collect();
     assert!(!relevant.is_empty(), "oracle found no relevant datasets");
 
-    let q = Query::parse("in 45.9,-124.3..46.5,-123.0 during 2010-06 with salinity limit 10")
-        .unwrap();
+    let q =
+        Query::parse("in 45.9,-124.3..46.5,-123.0 during 2010-06 with salinity limit 10").unwrap();
     let hits = engine.search(&q);
     let k = relevant.len().min(5);
     let top: Vec<&str> = hits.iter().take(k).map(|h| h.path.as_str()).collect();
-    let precision =
-        top.iter().filter(|p| relevant.contains(p)).count() as f64 / k as f64;
+    let precision = top.iter().filter(|p| relevant.contains(p)).count() as f64 / k as f64;
     assert!(precision >= 0.8, "precision@{k} = {precision}; top = {top:?}");
 }
 
@@ -115,8 +128,7 @@ fn qa_variables_stay_out_of_search_but_in_summaries() {
         .iter()
         .find(|d| d.variables.iter().any(|v| v.qa))
         .expect("archive has QA columns");
-    let qa_name =
-        &qa_dataset.variables.iter().find(|v| v.qa).unwrap().harvested;
+    let qa_name = &qa_dataset.variables.iter().find(|v| v.qa).unwrap().harvested;
 
     // Search for the QA column name finds nothing variable-wise…
     let q = Query::new().with_variable(qa_name.clone(), None).limit(5);

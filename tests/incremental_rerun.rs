@@ -15,10 +15,8 @@ fn disk_archive(name: &str) -> (PathBuf, GroundTruth) {
 #[test]
 fn rerun_after_file_edit_updates_only_that_dataset() {
     let (dir, truth) = disk_archive("edit");
-    let mut ctx = PipelineContext::new(
-        ArchiveInput::Dir(dir.clone()),
-        Vocabulary::observatory_default(),
-    );
+    let mut ctx =
+        PipelineContext::new(ArchiveInput::Dir(dir.clone()), Vocabulary::observatory_default());
     let mut pipeline = Pipeline::standard();
     let r1 = pipeline.run(&mut ctx).unwrap();
     assert_eq!(r1.stage("scan-archive").unwrap().changed as usize, truth.datasets.len());
@@ -36,22 +34,18 @@ fn rerun_after_file_edit_updates_only_that_dataset() {
     content.push('\n');
     std::fs::write(&full, content).unwrap();
 
-    let before_records =
-        ctx.catalogs.working.get_by_path(&target.path).unwrap().record_count;
+    let before_records = ctx.catalogs.working.get_by_path(&target.path).unwrap().record_count;
     let r2 = pipeline.run(&mut ctx).unwrap();
     assert_eq!(r2.stage("scan-archive").unwrap().changed, 1, "only the edited file rescans");
-    let after_records =
-        ctx.catalogs.working.get_by_path(&target.path).unwrap().record_count;
+    let after_records = ctx.catalogs.working.get_by_path(&target.path).unwrap().record_count;
     assert_eq!(after_records, before_records + 1);
 }
 
 #[test]
 fn new_directory_appears_after_scan_config_improvement() {
     let (dir, _) = disk_archive("newdir");
-    let mut ctx = PipelineContext::new(
-        ArchiveInput::Dir(dir.clone()),
-        Vocabulary::observatory_default(),
-    );
+    let mut ctx =
+        PipelineContext::new(ArchiveInput::Dir(dir.clone()), Vocabulary::observatory_default());
     // Process initially scoped to stations only.
     ctx.harvest.scan.roots = vec!["stations".into()];
     let mut pipeline = Pipeline::standard();
@@ -69,10 +63,8 @@ fn new_directory_appears_after_scan_config_improvement() {
 #[test]
 fn deleted_file_reported_by_expected_datasets_validator() {
     let (dir, truth) = disk_archive("delete");
-    let mut ctx = PipelineContext::new(
-        ArchiveInput::Dir(dir.clone()),
-        Vocabulary::observatory_default(),
-    );
+    let mut ctx =
+        PipelineContext::new(ArchiveInput::Dir(dir.clone()), Vocabulary::observatory_default());
     ctx.expected_datasets = truth.datasets.iter().map(|d| d.path.clone()).collect();
     let mut pipeline = Pipeline::standard();
     pipeline.run(&mut ctx).unwrap();
@@ -94,8 +86,7 @@ fn deleted_file_reported_by_expected_datasets_validator() {
 #[test]
 fn malformed_files_reported_every_run_but_never_fatal() {
     let (dir, truth) = disk_archive("malformed");
-    let mut ctx =
-        PipelineContext::new(ArchiveInput::Dir(dir), Vocabulary::observatory_default());
+    let mut ctx = PipelineContext::new(ArchiveInput::Dir(dir), Vocabulary::observatory_default());
     let mut pipeline = Pipeline::standard();
     let r1 = pipeline.run(&mut ctx).unwrap();
     let scan = r1.stage("scan-archive").unwrap();
