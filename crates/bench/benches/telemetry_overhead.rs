@@ -1,0 +1,64 @@
+//! Criterion bench: the cost of telemetry on the search hot path, and of
+//! the registry primitives themselves.
+//!
+//! The acceptance surface for the single-branch disabled path: with the
+//! global registry disabled, an instrumented search must cost the same as
+//! it did before instrumentation (each site pays one relaxed atomic load
+//! and skips its `Instant::now` calls).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use metamess_archive::ArchiveSpec;
+use metamess_bench::wrangle_archive;
+use metamess_search::{Query, SearchEngine};
+use metamess_telemetry::{Counter, Histogram, Stopwatch};
+use std::hint::black_box;
+
+fn bench_search_overhead(c: &mut Criterion) {
+    let spec = ArchiveSpec { months: 24, stations: 10, ..ArchiveSpec::default() };
+    let (ctx, _) = wrangle_archive(&spec);
+    let engine = SearchEngine::build(&ctx.catalogs.published, ctx.vocab.clone());
+    let q = Query::parse(
+        "near 45.5,-124.4 within 50km from 2010-04-01 to 2010-09-30 \
+         with temperature between 5 and 10 limit 5",
+    )
+    .unwrap();
+
+    let mut group = c.benchmark_group("telemetry");
+    metamess_telemetry::global().set_enabled(false);
+    group.bench_function("search-disabled", |b| {
+        b.iter(|| black_box(engine.search_uncached(black_box(&q))))
+    });
+    metamess_telemetry::global().set_enabled(true);
+    group.bench_function("search-enabled", |b| {
+        b.iter(|| black_box(engine.search_uncached(black_box(&q))))
+    });
+    metamess_telemetry::global().set_enabled(true);
+    group.finish();
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry-primitives");
+    let counter = Counter::new();
+    group.bench_function("counter-inc", |b| b.iter(|| counter.inc()));
+    let hist = Histogram::new();
+    group.bench_function("histogram-record", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(997);
+            hist.record(black_box(v & 0xf_ffff));
+        })
+    });
+    group.bench_function("stopwatch-armed", |b| {
+        b.iter(|| black_box(Stopwatch::start_if(true).micros()))
+    });
+    group.bench_function("stopwatch-disarmed", |b| {
+        b.iter(|| black_box(Stopwatch::start_if(false).micros()))
+    });
+    group.bench_function("registry-lookup", |b| {
+        b.iter(|| black_box(metamess_telemetry::global().counter("metamess_bench_lookup_total")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_search_overhead, bench_primitives);
+criterion_main!(benches);

@@ -7,18 +7,55 @@
 //! the DESIGN calls out).
 //!
 //! ```text
-//! cargo run --release -p metamess-bench --bin exp3_data_near_here
+//! cargo run --release -p metamess-bench --bin exp3_data_near_here [-- --json [path]]
 //! ```
+//!
+//! `--json` additionally writes a schema-stable `BENCH_search.json` with
+//! per-configuration latency percentiles (p50/p95/p99), cache hit rates,
+//! and the telemetry per-phase breakdown.
 
 use metamess_archive::ArchiveSpec;
-use metamess_bench::{engine_from_ctx, wrangle_archive};
+use metamess_bench::{engine_from_ctx, json_flag, wrangle_archive, BenchReport};
 use metamess_search::{render_results, Query, SearchEngine};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const POSTER_QUERY: &str = "near 45.5,-124.4 within 50km from 2010-04-01 to 2010-09-30 \
                             with temperature between 5 and 10 limit 5";
 
+/// Times `runs` uncached searches individually, returning per-run µs.
+fn sample_uncached(engine: &SearchEngine, q: &Query, runs: usize) -> Vec<u64> {
+    (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(engine.search_uncached(std::hint::black_box(q)));
+            t.elapsed().as_micros() as u64
+        })
+        .collect()
+}
+
+/// Times `runs` cache-eligible searches individually, returning per-run µs.
+fn sample_cached(engine: &SearchEngine, q: &Query, runs: usize) -> Vec<u64> {
+    (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(engine.search(std::hint::black_box(q)));
+            t.elapsed().as_micros() as u64
+        })
+        .collect()
+}
+
+fn mean(samples: &[u64]) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    Duration::from_nanos(1000 * samples.iter().sum::<u64>() / samples.len() as u64)
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = json_flag(&args, "BENCH_search.json");
+    let mut report = BenchReport::new("search");
+
     println!("E3: \"Data Near Here\" ranked search\n");
 
     // The poster's query over the standard archive.
@@ -26,7 +63,10 @@ fn main() {
     let engine = SearchEngine::build(&ctx.catalogs.published, ctx.vocab.clone());
     let q = Query::parse(POSTER_QUERY).unwrap();
     println!("query> {POSTER_QUERY}\n");
-    print!("{}", render_results(&engine.search(&q)));
+    let poster_hits = engine.search(&q);
+    print!("{}", render_results(&poster_hits));
+    report.set("poster.hits", poster_hits.len() as u64);
+    report.set_f64("poster.top_score", poster_hits.first().map(|h| h.score).unwrap_or(0.0));
 
     // Latency vs catalog size, indexed vs linear scan. A *selective* query
     // (tight radius, one month, cruise-only variable) is where candidate
@@ -42,26 +82,25 @@ fn main() {
         let (ctx, _) = wrangle_archive(&spec);
         let mut engine = SearchEngine::build(&ctx.catalogs.published, ctx.vocab.clone());
         let q = Query::parse(SELECTIVE).unwrap();
-        let time_it = |engine: &SearchEngine| {
-            let runs = 200;
-            let t = Instant::now();
-            for _ in 0..runs {
-                std::hint::black_box(engine.search_uncached(std::hint::black_box(&q)));
-            }
-            t.elapsed() / runs
-        };
         engine.use_indexes = true;
-        let indexed = time_it(&engine);
+        let indexed = sample_uncached(&engine, &q, 200);
         engine.use_indexes = false;
-        let linear = time_it(&engine);
+        let linear = sample_uncached(&engine, &q, 200);
+        let speedup = mean(&linear).as_secs_f64() / mean(&indexed).as_secs_f64();
         println!(
             "{:>9} {:>10} {:>14.2?} {:>14.2?} {:>8.2}x",
             ctx.catalogs.published.len(),
             ctx.catalogs.published.variable_count(),
-            indexed,
-            linear,
-            linear.as_secs_f64() / indexed.as_secs_f64()
+            mean(&indexed),
+            mean(&linear),
+            speedup
         );
+        let prefix = format!("latency.m{months:03}");
+        report.set(&format!("{prefix}.datasets"), ctx.catalogs.published.len() as u64);
+        report.set(&format!("{prefix}.variables"), ctx.catalogs.published.variable_count() as u64);
+        report.record_samples(&format!("{prefix}.indexed"), &indexed);
+        report.record_samples(&format!("{prefix}.linear"), &linear);
+        report.set_f64(&format!("{prefix}.speedup"), speedup);
     }
 
     // Parallel scoring on the full-scan configuration: worker-pool scaling
@@ -71,51 +110,45 @@ fn main() {
     let spec = ArchiveSpec { months: 96, stations: 10, ..ArchiveSpec::default() };
     let (mut ctx_par, _) = wrangle_archive(&spec);
     let q = Query::parse(POSTER_QUERY).unwrap();
-    let time_it = |engine: &SearchEngine| {
-        let runs = 200;
-        let t = Instant::now();
-        for _ in 0..runs {
-            std::hint::black_box(engine.search_uncached(std::hint::black_box(&q)));
-        }
-        t.elapsed() / runs
-    };
-    let mut sequential_latency = None;
+    let mut sequential_mean = None;
     for workers in [1usize, 2, 4, 8] {
         ctx_par.search_parallelism = workers;
         let mut engine = engine_from_ctx(&ctx_par);
         engine.use_indexes = false;
-        let latency = time_it(&engine);
-        let base = *sequential_latency.get_or_insert(latency);
+        let samples = sample_uncached(&engine, &q, 200);
+        let latency = mean(&samples);
+        let base = *sequential_mean.get_or_insert(latency);
         println!(
             "  {workers} worker(s): {:>10.2?}  ({:.2}x vs sequential)",
             latency,
             base.as_secs_f64() / latency.as_secs_f64()
         );
+        let prefix = format!("scaling.workers{workers}");
+        report.record_samples(&prefix, &samples);
+        report.set_f64(&format!("{prefix}.speedup"), base.as_secs_f64() / latency.as_secs_f64());
     }
 
     // Result cache: repeated queries against an unchanged published catalog
     // are served without rescoring.
     println!("\nresult cache (poster query, mean of 200 runs):");
     let engine = engine_from_ctx(&ctx_par);
-    let runs = 200u32;
-    let t = Instant::now();
-    for _ in 0..runs {
-        std::hint::black_box(engine.search_uncached(std::hint::black_box(&q)));
-    }
-    let cold = t.elapsed() / runs;
-    let t = Instant::now();
-    for _ in 0..runs {
-        std::hint::black_box(engine.search(std::hint::black_box(&q)));
-    }
-    let cached = t.elapsed() / runs;
+    let cold = sample_uncached(&engine, &q, 200);
+    let cached = sample_cached(&engine, &q, 200);
     let stats = engine.cache_stats();
-    println!("  cold:   {cold:>10.2?}");
+    println!("  cold:   {:>10.2?}", mean(&cold));
     println!(
-        "  cached: {cached:>10.2?}  ({:.0}x; {} hits / {} misses)",
-        cold.as_secs_f64() / cached.as_secs_f64(),
+        "  cached: {:>10.2?}  ({:.0}x; {} hits / {} misses)",
+        mean(&cached),
+        mean(&cold).as_secs_f64() / mean(&cached).as_secs_f64(),
         stats.hits,
         stats.misses
     );
+    report.record_samples("cache.cold", &cold);
+    report.record_samples("cache.cached", &cached);
+    report.set("cache.hits", stats.hits);
+    report.set("cache.misses", stats.misses);
+    report.set_f64("cache.hit_rate", stats.hit_rate());
+    report.set_f64("cache.speedup", mean(&cold).as_secs_f64() / mean(&cached).as_secs_f64());
 
     // Ablation: synonym expansion on/off for a synonym-heavy query.
     println!("\nablation: vocabulary expansion (query 'with wtemp' — a curated alternate):");
@@ -146,4 +179,26 @@ fn main() {
         hit_rate(&without),
         without.first().map(|h| h.score).unwrap_or(0.0)
     );
+    report.set("ablation.with_vocab.strong_hits", hit_rate(&with_vocab) as u64);
+    report.set("ablation.no_vocab.strong_hits", hit_rate(&without) as u64);
+
+    // Per-phase breakdown from the telemetry histograms accumulated over
+    // every search above (log-bucketed, ≤12.5% relative error).
+    let snap = metamess_telemetry::global().snapshot();
+    for (key, metric) in [
+        ("phase.plan", "metamess_search_plan_micros"),
+        ("phase.probe", "metamess_search_probe_micros"),
+        ("phase.score", "metamess_search_score_micros"),
+        ("phase.merge", "metamess_search_merge_micros"),
+        ("query", "metamess_search_query_micros"),
+    ] {
+        if let Some(h) = snap.histograms.get(metric) {
+            report.record_histogram(key, h);
+        }
+    }
+
+    if let Some(path) = json_path {
+        report.write(&path).expect("write bench report");
+        println!("\nwrote {} metrics to {}", report.len(), path.display());
+    }
 }

@@ -5,6 +5,10 @@
 //! ground-truth scoring of wrangling quality, standard IR metrics, and the
 //! scripted curator's domain knowledge.
 
+pub mod report;
+
+pub use report::{json_flag, BenchReport};
+
 use metamess_archive::{adhoc_synonyms, ArchiveSpec, GroundTruth, MessCategory};
 use metamess_core::catalog::Catalog;
 use metamess_core::feature::NameResolution;

@@ -5,12 +5,14 @@
 //! memory; `checkpoint` folds the WAL into a fresh snapshot and resets the
 //! log. Opening replays snapshot-then-WAL, optionally truncating a torn tail.
 
+use super::metrics::store_metrics;
 use super::snapshot::{read_snapshot, write_snapshot};
 use super::wal::{RecoveryMode, Wal};
 use crate::catalog::{Catalog, Mutation};
 use crate::error::{IoContext, Result};
 use crate::feature::DatasetFeature;
 use crate::id::DatasetId;
+use metamess_telemetry::{event, Level, Stopwatch};
 use std::path::{Path, PathBuf};
 
 /// Tuning and durability options for a [`DurableCatalog`].
@@ -96,6 +98,28 @@ impl DurableCatalog {
         for m in &replay.mutations {
             catalog.apply(m);
         }
+        if metamess_telemetry::enabled() {
+            let m = store_metrics();
+            m.recovery_replayed.add(recovery.wal_mutations as u64);
+            m.recovery_truncated_bytes.add(recovery.truncated_bytes);
+        }
+        if recovery.truncated_bytes > 0 {
+            event!(
+                Level::Warn,
+                "store",
+                "recovered {} truncating {} damaged tail bytes",
+                dir.display(),
+                recovery.truncated_bytes
+            );
+        } else if recovery.wal_mutations > 0 {
+            event!(
+                Level::Info,
+                "store",
+                "recovered {} replaying {} wal mutations",
+                dir.display(),
+                recovery.wal_mutations
+            );
+        }
         let wal = Wal::open(&wal_path, options.sync_on_append)?;
         Ok(DurableCatalog { dir, catalog, wal, options, recovery, appends_since_checkpoint: 0 })
     }
@@ -164,10 +188,17 @@ impl DurableCatalog {
 
     /// Writes a snapshot of the current catalog and resets the WAL.
     pub fn checkpoint(&mut self) -> Result<()> {
+        let on = metamess_telemetry::enabled();
+        let timer = Stopwatch::start_if(on);
         self.wal.flush_and_sync()?;
         write_snapshot(self.dir.join("snapshot.bin"), &self.catalog)?;
         self.wal.reset()?;
         self.appends_since_checkpoint = 0;
+        if on {
+            let m = store_metrics();
+            m.snapshot_writes.inc();
+            m.checkpoint_micros.record(timer.micros());
+        }
         Ok(())
     }
 

@@ -30,6 +30,10 @@ pub struct StageRecord {
     pub output_digest: u64,
     /// Wall-clock duration of the last execution, in microseconds.
     pub micros: u64,
+    /// `run_id` of the run that last *executed* this stage (as opposed to
+    /// skipping it). Zero in ledgers written before this field existed.
+    #[serde(default)]
+    pub last_run: u64,
 }
 
 /// Per-stage records of the most recent pipeline run.
@@ -150,8 +154,14 @@ mod tests {
     fn sample() -> RunLedger {
         let mut l = RunLedger::new();
         l.run_id = 3;
-        l.record("scan-archive", StageRecord { input_digest: 1, output_digest: 2, micros: 40 });
-        l.record("publish", StageRecord { input_digest: 9, output_digest: 9, micros: 7 });
+        l.record(
+            "scan-archive",
+            StageRecord { input_digest: 1, output_digest: 2, micros: 40, last_run: 3 },
+        );
+        l.record(
+            "publish",
+            StageRecord { input_digest: 9, output_digest: 9, micros: 7, last_run: 3 },
+        );
         l
     }
 
@@ -183,10 +193,24 @@ mod tests {
     }
 
     #[test]
+    fn pre_last_run_payload_decodes_with_zero() {
+        // JSON written before StageRecord grew `last_run`
+        let old = r#"{"run_id":2,"stages":{"publish":
+            {"input_digest":5,"output_digest":6,"micros":11}}}"#;
+        let l: RunLedger = serde_json::from_str(old).unwrap();
+        let rec = l.get("publish").unwrap();
+        assert_eq!(rec.micros, 11);
+        assert_eq!(rec.last_run, 0);
+    }
+
+    #[test]
     fn record_replaces_and_clear_forgets() {
         let mut l = sample();
         assert_eq!(l.len(), 2);
-        l.record("publish", StageRecord { input_digest: 1, output_digest: 1, micros: 1 });
+        l.record(
+            "publish",
+            StageRecord { input_digest: 1, output_digest: 1, micros: 1, last_run: 4 },
+        );
         assert_eq!(l.len(), 2);
         assert_eq!(l.get("publish").unwrap().input_digest, 1);
         l.clear();

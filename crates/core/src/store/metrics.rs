@@ -1,0 +1,44 @@
+//! Telemetry handles for the durable store.
+//!
+//! Handles are resolved once per process and cached in a `OnceLock` so the
+//! WAL append path pays one enabled-flag branch plus relaxed atomic adds —
+//! never a registry lookup.
+
+use metamess_telemetry::{Counter, Histogram};
+use std::sync::{Arc, OnceLock};
+
+pub(crate) struct StoreMetrics {
+    /// `metamess_core_wal_appends_total` — records appended to any WAL.
+    pub wal_appends: Arc<Counter>,
+    /// `metamess_core_wal_bytes_total` — payload + header bytes written.
+    pub wal_bytes: Arc<Counter>,
+    /// `metamess_core_wal_fsyncs_total` — flush_and_sync calls (covers
+    /// sync-on-append, checkpoints, and explicit flushes).
+    pub wal_fsyncs: Arc<Counter>,
+    /// `metamess_core_snapshot_writes_total` — checkpoint snapshots written.
+    pub snapshot_writes: Arc<Counter>,
+    /// `metamess_core_recovery_replayed_total` — WAL mutations replayed
+    /// while opening stores.
+    pub recovery_replayed: Arc<Counter>,
+    /// `metamess_core_recovery_truncated_bytes_total` — damaged tail bytes
+    /// discarded during recovery.
+    pub recovery_truncated_bytes: Arc<Counter>,
+    /// `metamess_core_checkpoint_micros` — full checkpoint latency.
+    pub checkpoint_micros: Arc<Histogram>,
+}
+
+pub(crate) fn store_metrics() -> &'static StoreMetrics {
+    static METRICS: OnceLock<StoreMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = metamess_telemetry::global();
+        StoreMetrics {
+            wal_appends: r.counter("metamess_core_wal_appends_total"),
+            wal_bytes: r.counter("metamess_core_wal_bytes_total"),
+            wal_fsyncs: r.counter("metamess_core_wal_fsyncs_total"),
+            snapshot_writes: r.counter("metamess_core_snapshot_writes_total"),
+            recovery_replayed: r.counter("metamess_core_recovery_replayed_total"),
+            recovery_truncated_bytes: r.counter("metamess_core_recovery_truncated_bytes_total"),
+            checkpoint_micros: r.histogram("metamess_core_checkpoint_micros"),
+        }
+    })
+}

@@ -3,6 +3,7 @@
 pub mod crc;
 mod durable;
 mod ledger;
+mod metrics;
 mod snapshot;
 mod wal;
 

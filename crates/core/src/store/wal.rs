@@ -14,6 +14,7 @@
 //! tail is reported as [`Error::Corrupt`].
 
 use super::crc::crc32;
+use super::metrics::store_metrics;
 use crate::catalog::Mutation;
 use crate::error::{Error, IoContext, Result};
 use std::fs::{File, OpenOptions};
@@ -172,6 +173,11 @@ impl Wal {
         self.writer.write_all(&crc).io_ctx("append wal crc")?;
         self.writer.write_all(&payload).io_ctx("append wal payload")?;
         self.appended += 1;
+        if metamess_telemetry::enabled() {
+            let m = store_metrics();
+            m.wal_appends.inc();
+            m.wal_bytes.add(8 + payload.len() as u64);
+        }
         if self.sync_on_append {
             self.flush_and_sync()?;
         }
@@ -182,6 +188,9 @@ impl Wal {
     pub fn flush_and_sync(&mut self) -> Result<()> {
         self.writer.flush().io_ctx("flush wal")?;
         self.writer.get_ref().sync_all().io_ctx("sync wal")?;
+        if metamess_telemetry::enabled() {
+            store_metrics().wal_fsyncs.inc();
+        }
         Ok(())
     }
 

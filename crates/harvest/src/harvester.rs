@@ -11,7 +11,40 @@ use metamess_core::catalog::Catalog;
 use metamess_core::error::{IoContext, Result};
 use metamess_core::feature::DatasetFeature;
 use metamess_formats::sniff_and_parse;
+use metamess_telemetry::{event, Counter, Histogram, Level, Stopwatch};
 use std::path::Path;
+use std::sync::{Arc, OnceLock};
+
+struct HarvestMetrics {
+    /// `metamess_harvest_files_scanned_total` — files the scan listed.
+    files_scanned: Arc<Counter>,
+    /// `metamess_harvest_files_parsed_total` — files sniffed, parsed and
+    /// feature-extracted (cache misses).
+    files_parsed: Arc<Counter>,
+    /// `metamess_harvest_files_reused_total` — unchanged files whose stored
+    /// feature was reused.
+    files_reused: Arc<Counter>,
+    /// `metamess_harvest_parse_errors_total` — unreadable or unparseable
+    /// files (reported, never fatal).
+    parse_errors: Arc<Counter>,
+    /// `metamess_harvest_extract_micros` — read + sniff + parse + extract
+    /// latency per processed file.
+    extract_micros: Arc<Histogram>,
+}
+
+fn harvest_metrics() -> &'static HarvestMetrics {
+    static METRICS: OnceLock<HarvestMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = metamess_telemetry::global();
+        HarvestMetrics {
+            files_scanned: r.counter("metamess_harvest_files_scanned_total"),
+            files_parsed: r.counter("metamess_harvest_files_parsed_total"),
+            files_reused: r.counter("metamess_harvest_files_reused_total"),
+            parse_errors: r.counter("metamess_harvest_parse_errors_total"),
+            extract_micros: r.histogram("metamess_harvest_extract_micros"),
+        }
+    })
+}
 
 /// Harvest configuration.
 #[derive(Debug, Clone, Default)]
@@ -119,34 +152,54 @@ fn process_entry(
     previous: Option<&Catalog>,
     entry: &FileEntry,
 ) -> FileOutcome {
+    let on = metamess_telemetry::enabled();
     if let Some(prev) = previous {
         if let Some(existing) = prev.get_by_path(&entry.rel_path) {
             if existing.provenance.content_fingerprint == entry.fingerprint
                 && existing.provenance.file_len == entry.len
             {
+                if on {
+                    harvest_metrics().files_reused.inc();
+                }
                 return FileOutcome::Reused(Box::new(existing.clone()));
             }
         }
     }
+    let timer = Stopwatch::start_if(on);
     let content = match source.read(&entry.rel_path) {
         Ok(c) => c,
         Err(e) => {
-            return FileOutcome::Error(HarvestError { rel_path: entry.rel_path.clone(), error: e })
+            if on {
+                harvest_metrics().parse_errors.inc();
+            }
+            return FileOutcome::Error(HarvestError { rel_path: entry.rel_path.clone(), error: e });
         }
     };
     match sniff_and_parse(Path::new(&entry.rel_path), &content) {
         Ok(parsed) => {
             let facts = infer_path_facts(&config.naming, &entry.rel_path);
-            FileOutcome::Feature(Box::new(extract_feature(
+            let feature = extract_feature(
                 &entry.rel_path,
                 &parsed,
                 &facts,
                 entry.fingerprint,
                 entry.len,
                 config.pipeline_run,
-            )))
+            );
+            if on {
+                let m = harvest_metrics();
+                m.files_parsed.inc();
+                m.extract_micros.record(timer.micros());
+            }
+            FileOutcome::Feature(Box::new(feature))
         }
-        Err(e) => FileOutcome::Error(HarvestError { rel_path: entry.rel_path.clone(), error: e }),
+        Err(e) => {
+            if on {
+                harvest_metrics().parse_errors.inc();
+            }
+            event!(Level::Debug, "harvest", "unparseable {}: {e}", entry.rel_path);
+            FileOutcome::Error(HarvestError { rel_path: entry.rel_path.clone(), error: e })
+        }
     }
 }
 
@@ -162,6 +215,9 @@ pub fn harvest(
     previous: Option<&Catalog>,
 ) -> Result<HarvestReport> {
     let entries = source.list(&config.scan)?;
+    if metamess_telemetry::enabled() {
+        harvest_metrics().files_scanned.add(entries.len() as u64);
+    }
     let mut report = HarvestReport { scanned: entries.len(), ..HarvestReport::default() };
 
     let outcomes: Vec<FileOutcome> = if config.parallelism > 1 && entries.len() > 1 {
@@ -195,6 +251,15 @@ pub fn harvest(
             FileOutcome::Error(e) => report.errors.push(e),
         }
     }
+    event!(
+        Level::Info,
+        "harvest",
+        "scanned {}: {} parsed, {} reused, {} errors",
+        report.scanned,
+        report.features.len(),
+        report.reused.len(),
+        report.errors.len()
+    );
     Ok(report)
 }
 

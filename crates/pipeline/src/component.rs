@@ -94,9 +94,15 @@ pub struct StageReport {
     /// Catalog-wide resolution fraction *after* this stage — the shrinking
     /// "mess that's left".
     pub resolution_after: f64,
-    /// Wall-clock execution time in microseconds (0 when skipped).
+    /// Wall-clock execution time in microseconds (explicitly 0 when
+    /// skipped — the skip itself costs only a digest check).
     #[serde(default)]
     pub micros: u64,
+    /// For skipped stages: how long the stage took the last time it
+    /// actually executed (from the run ledger). `None` for stages that ran
+    /// this time or were never recorded.
+    #[serde(default)]
+    pub last_micros: Option<u64>,
 }
 
 impl StageReport {

@@ -64,6 +64,7 @@ use metamess_core::id::fnv1a;
 use metamess_core::store::{read_ledger, read_snapshot, write_ledger, write_snapshot, StageRecord};
 use metamess_discover::RuleProposal;
 use metamess_harvest::scan::{archive_fingerprint, scan_directory, scan_memory};
+use metamess_telemetry::{event, labeled, Level, Stopwatch};
 use metamess_vocab::Vocabulary;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -155,6 +156,8 @@ pub(crate) fn run_chain(
 ) -> Result<RunReport> {
     ctx.run_id += 1;
     ctx.harvest.pipeline_run = ctx.run_id;
+    let on = metamess_telemetry::enabled();
+    let mut fingerprint_micros = 0u64;
     let mut fps = SlotFps::default();
     let mut report = RunReport { run_id: ctx.run_id, stages: Vec::new() };
     let mut executed: Vec<usize> = Vec::new();
@@ -162,10 +165,18 @@ pub(crate) fn run_chain(
         let name = c.name();
         let reads = c.reads();
         let writes = c.writes();
+        let fp_timer = Stopwatch::start_if(on);
         let input = digest(name, reads, &mut fps, ctx)?;
+        fingerprint_micros += fp_timer.micros();
         if ctx.ledger.get(name).map(|r| r.input_digest) == Some(input) {
             let mut sr = StageReport::skipped(name, "inputs unchanged since last run");
+            // micros stays an explicit 0 — the skip cost only the digest
+            // check above; what the stage cost when it last executed rides
+            // along from the ledger.
+            sr.micros = 0;
+            sr.last_micros = ctx.ledger.get(name).map(|r| r.micros);
             sr.resolution_after = ctx.catalogs.working.resolution_fraction();
+            event!(Level::Debug, "pipeline", "{name}: skipped (inputs unchanged)");
             report.stages.push(sr);
             continue;
         }
@@ -178,11 +189,24 @@ pub(crate) fn run_chain(
         for w in writes {
             fps.invalidate(*w);
         }
+        let fp_timer = Stopwatch::start_if(on);
         let output = digest(name, writes, &mut fps, ctx)?;
+        fingerprint_micros += fp_timer.micros();
         ctx.ledger.record(
             name,
-            StageRecord { input_digest: input, output_digest: output, micros: sr.micros },
+            StageRecord {
+                input_digest: input,
+                output_digest: output,
+                micros: sr.micros,
+                last_run: ctx.run_id,
+            },
         );
+        if on {
+            metamess_telemetry::global()
+                .histogram(&labeled("metamess_pipeline_stage_micros", "stage", name))
+                .record(sr.micros);
+        }
+        event!(Level::Info, "pipeline", "{name}: ran in {}µs", sr.micros);
         executed.push(ix);
         report.stages.push(sr);
     }
@@ -190,14 +214,24 @@ pub(crate) fn run_chain(
     // input digest re-recorded against the final slot state, so an
     // unchanged re-run skips them immediately. Skipped stages keep their
     // previous entries.
-    for ix in executed {
-        let name = components[ix].name();
-        let input = digest(name, components[ix].reads(), &mut fps, ctx)?;
+    for ix in &executed {
+        let name = components[*ix].name();
+        let fp_timer = Stopwatch::start_if(on);
+        let input = digest(name, components[*ix].reads(), &mut fps, ctx)?;
+        fingerprint_micros += fp_timer.micros();
         if let Some(rec) = ctx.ledger.stages.get_mut(name) {
             rec.input_digest = input;
         }
     }
     ctx.ledger.run_id = ctx.run_id;
+    if on {
+        let r = metamess_telemetry::global();
+        r.counter("metamess_pipeline_stages_ran_total").add(executed.len() as u64);
+        r.counter("metamess_pipeline_stages_skipped_total")
+            .add((report.stages.len() - executed.len()) as u64);
+        r.histogram("metamess_pipeline_fingerprint_micros").record(fingerprint_micros);
+        r.gauge("metamess_pipeline_last_run_id").set(ctx.run_id as i64);
+    }
     Ok(report)
 }
 
@@ -337,6 +371,23 @@ mod tests {
         assert_eq!(c.catalogs.published.content_fingerprint(), published_fp);
         assert_eq!(c.catalogs.published_generation(), generation);
         assert_eq!(r2.run_id, 2);
+    }
+
+    #[test]
+    fn skipped_stage_carries_last_execution_timing() {
+        let mut c = ctx();
+        let mut p = Pipeline::standard();
+        let r1 = p.run(&mut c).unwrap();
+        let scan1 = r1.stage("scan-archive").unwrap();
+        assert!(scan1.last_micros.is_none(), "a stage that ran reports its own micros");
+        let r2 = p.run(&mut c).unwrap();
+        let scan2 = r2.stage("scan-archive").unwrap();
+        assert!(scan2.is_skipped());
+        assert_eq!(scan2.micros, 0, "a skip costs only the digest check");
+        assert_eq!(scan2.last_micros, Some(scan1.micros), "ledger timing rides along");
+        // the ledger remembers which run last *executed* each stage
+        assert_eq!(c.ledger.get("scan-archive").unwrap().last_run, 1);
+        assert_eq!(c.ledger.run_id, 2);
     }
 
     #[test]

@@ -46,6 +46,9 @@ impl RunReport {
 
     /// Renders a compact text table of the run. The stage column is sized
     /// to the longest component name, so long names never break alignment.
+    /// Skipped stages show 0 micros (the skip costs only a digest check)
+    /// and carry the duration of their last actual execution in the `last`
+    /// column.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let name_w =
@@ -53,24 +56,34 @@ impl RunReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "run #{:<3} {:<name_w$} {:>8} {:>9} {:>9} {:>7} {:>10} {:>9}",
-            self.run_id, "stage", "status", "processed", "changed", "errors", "resolved", "micros"
+            "run #{:<3} {:<name_w$} {:>8} {:>9} {:>9} {:>7} {:>10} {:>9} {:>9}",
+            self.run_id,
+            "stage",
+            "status",
+            "processed",
+            "changed",
+            "errors",
+            "resolved",
+            "micros",
+            "last"
         );
         for s in &self.stages {
             let status = match &s.status {
                 StageStatus::Ran => "ran",
                 StageStatus::Skipped { .. } => "skipped",
             };
+            let last = s.last_micros.map(|m| m.to_string()).unwrap_or_else(|| "-".to_string());
             let _ = writeln!(
                 out,
-                "         {:<name_w$} {:>8} {:>9} {:>9} {:>7} {:>9.1}% {:>9}",
+                "         {:<name_w$} {:>8} {:>9} {:>9} {:>7} {:>9.1}% {:>9} {:>9}",
                 s.component,
                 status,
                 s.processed,
                 s.changed,
                 s.errors.len(),
                 100.0 * s.resolution_after,
-                s.micros
+                s.micros,
+                last
             );
         }
         let _ = writeln!(
@@ -219,6 +232,7 @@ mod tests {
         assert!(text.contains("publish"));
         assert!(text.contains('%'));
         assert!(text.contains("status"));
+        assert!(text.contains("last"));
         assert!(text.contains("9 stage(s) ran, 0 skipped"));
     }
 

@@ -26,6 +26,7 @@
 //! to bypass the cache (the benches do, for cold-path measurements).
 
 use crate::cache::{CacheStats, ResultCache, DEFAULT_CACHE_CAPACITY};
+use crate::explain::{search_metrics, SearchExplain};
 use crate::interval::IntervalIndex;
 use crate::plan::QueryPlan;
 use crate::query::{Query, SpatialTerm};
@@ -38,6 +39,7 @@ use metamess_core::geo::GeoBBox;
 use metamess_core::id::DatasetId;
 use metamess_core::text::normalize_term;
 use metamess_core::time::TimeInterval;
+use metamess_telemetry::{event, Level, Stopwatch};
 use metamess_vocab::Vocabulary;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
@@ -242,60 +244,169 @@ impl SearchEngine {
     /// cache when this exact query was answered before against the same
     /// catalog generation.
     pub fn search(&self, query: &Query) -> Vec<SearchHit> {
+        self.search_explained(query, None)
+    }
+
+    /// Like [`SearchEngine::search`], additionally reporting where the time
+    /// went phase by phase. Phase timing is armed even when telemetry is
+    /// globally disabled — the caller asked for it explicitly.
+    pub fn search_explain(&self, query: &Query) -> (Vec<SearchHit>, SearchExplain) {
+        let mut explain = SearchExplain::default();
+        let hits = self.search_explained(query, Some(&mut explain));
+        (hits, explain)
+    }
+
+    fn search_explained(
+        &self,
+        query: &Query,
+        mut explain: Option<&mut SearchExplain>,
+    ) -> Vec<SearchHit> {
+        let on = metamess_telemetry::enabled();
+        let total = Stopwatch::start_if(on || explain.is_some());
         let key = self.cache_key(query);
         if let Some(hits) = self.cache.get(&key, self.generation) {
+            let total_micros = total.micros();
+            if on {
+                let m = search_metrics();
+                m.queries.inc();
+                m.cache_hits.inc();
+                m.query_micros.record(total_micros);
+            }
+            event!(Level::Debug, "search", "cache hit: {} hits in {total_micros}µs", hits.len());
+            if let Some(ex) = explain {
+                ex.cache_hit = true;
+                ex.results = hits.len();
+                ex.total_micros = total_micros;
+            }
             return hits;
         }
-        let hits = self.search_uncached(query);
+        let hits = self.search_uncached_explained(query, explain.as_deref_mut());
         self.cache.put(key, self.generation, hits.clone());
+        let total_micros = total.micros();
+        if on {
+            let m = search_metrics();
+            m.queries.inc();
+            m.cache_misses.inc();
+            m.query_micros.record(total_micros);
+        }
+        event!(Level::Debug, "search", "cache miss: {} hits in {total_micros}µs", hits.len());
+        if let Some(ex) = explain {
+            ex.total_micros = total_micros;
+        }
         hits
     }
 
     /// Runs a ranked search without consulting or filling the result cache
     /// (cold path; used by benches and the cache property tests).
     pub fn search_uncached(&self, query: &Query) -> Vec<SearchHit> {
+        self.search_uncached_explained(query, None)
+    }
+
+    fn search_uncached_explained(
+        &self,
+        query: &Query,
+        mut explain: Option<&mut SearchExplain>,
+    ) -> Vec<SearchHit> {
+        let on = metamess_telemetry::enabled();
+        let timer = Stopwatch::start_if(on || explain.is_some());
         let plan = self.plan(query);
-        self.search_with_plan(query, &plan)
+        let plan_micros = timer.micros();
+        if on {
+            search_metrics().plan_micros.record(plan_micros);
+        }
+        if let Some(ex) = explain.as_deref_mut() {
+            ex.plan_micros = plan_micros;
+            ex.expanded_keys = plan.term_keys.iter().map(|keys| keys.len()).sum();
+        }
+        self.execute_plan(query, &plan, explain)
     }
 
     /// Runs a ranked search with a pre-built plan (reusable across repeated
     /// executions of the same query shape).
     pub fn search_with_plan(&self, query: &Query, plan: &QueryPlan) -> Vec<SearchHit> {
-        let candidate_ixs: Vec<usize> = if !self.use_indexes || query.is_empty() {
-            (0..self.datasets.len()).collect()
+        self.execute_plan(query, plan, None)
+    }
+
+    /// Probe: selects the candidate set, falling back to the whole catalog
+    /// when the indexes cannot comfortably fill `limit`. Returns the
+    /// indices and whether the full-scan fallback fired.
+    fn select_candidates(&self, query: &Query, plan: &QueryPlan) -> (Vec<usize>, bool) {
+        if !self.use_indexes || query.is_empty() {
+            return ((0..self.datasets.len()).collect(), true);
+        }
+        let c = self.candidates(query, plan);
+        // Similarity ranking: when the candidate pool cannot comfortably
+        // fill the requested k, score everything instead.
+        if c.len() < query.limit * 3 {
+            ((0..self.datasets.len()).collect(), true)
         } else {
-            let c = self.candidates(query, plan);
-            // Similarity ranking: when the candidate pool cannot comfortably
-            // fill the requested k, score everything instead.
-            if c.len() < query.limit * 3 {
-                (0..self.datasets.len()).collect()
-            } else {
-                c.into_iter().collect()
-            }
-        };
-        let workers = self.workers.max(1).min(candidate_ixs.len().max(1));
-        if workers > 1 {
-            self.score_parallel(query, plan, &candidate_ixs, workers)
+            (c.into_iter().collect(), false)
+        }
+    }
+
+    /// Probe + score + merge, recording per-phase timings into the registry
+    /// (and into `explain` when requested).
+    fn execute_plan(
+        &self,
+        query: &Query,
+        plan: &QueryPlan,
+        explain: Option<&mut SearchExplain>,
+    ) -> Vec<SearchHit> {
+        let on = metamess_telemetry::enabled();
+        let timed = on || explain.is_some();
+
+        let probe = Stopwatch::start_if(timed);
+        let (candidate_ixs, full_scan) = self.select_candidates(query, plan);
+        let probe_micros = probe.micros();
+
+        let candidates = candidate_ixs.len();
+        let workers = self.workers.max(1).min(candidates.max(1));
+        let scoring = Stopwatch::start_if(timed);
+        let (hits, merge_micros) = if workers > 1 {
+            self.score_parallel(query, plan, &candidate_ixs, workers, timed)
         } else {
             let mut topk = TopK::new(query.limit);
             for ix in candidate_ixs {
                 topk.push(self.score_hit(query, &plan.prepared, ix));
             }
-            topk.into_sorted()
+            let merge = Stopwatch::start_if(timed);
+            (topk.into_sorted(), merge.micros())
+        };
+        let score_micros = scoring.micros().saturating_sub(merge_micros);
+
+        if on {
+            let m = search_metrics();
+            if full_scan {
+                m.full_scans.inc();
+            }
+            m.probe_micros.record(probe_micros);
+            m.score_micros.record(score_micros);
+            m.merge_micros.record(merge_micros);
         }
+        if let Some(ex) = explain {
+            ex.probe_micros = probe_micros;
+            ex.score_micros = score_micros;
+            ex.merge_micros = merge_micros;
+            ex.candidates = candidates;
+            ex.full_scan = full_scan;
+            ex.workers = workers;
+            ex.results = hits.len();
+        }
+        hits
     }
 
     /// Scores candidates on `workers` scoped threads, each with its own
     /// bounded top-k, merged deterministically: the rank order is a strict
     /// total order, so the merge selects exactly the hits the sequential
-    /// path would.
+    /// path would. Also returns the merge-phase duration (0 when untimed).
     fn score_parallel(
         &self,
         query: &Query,
         plan: &QueryPlan,
         candidate_ixs: &[usize],
         workers: usize,
-    ) -> Vec<SearchHit> {
+        timed: bool,
+    ) -> (Vec<SearchHit>, u64) {
         let chunk = candidate_ixs.len().div_ceil(workers);
         let prepared = &plan.prepared;
         let pools: Vec<TopK> = crossbeam::thread::scope(|scope| {
@@ -314,11 +425,12 @@ impl SearchEngine {
             handles.into_iter().map(|h| h.join().expect("search worker never panics")).collect()
         })
         .expect("search workers never panic");
+        let merge = Stopwatch::start_if(timed);
         let mut merged = TopK::new(query.limit);
         for p in pools {
             merged.merge(p);
         }
-        merged.into_sorted()
+        (merged.into_sorted(), merge.micros())
     }
 }
 
@@ -531,6 +643,26 @@ mod tests {
         assert!(b.variables.is_some());
         assert_eq!(b.variable_matches.len(), 1);
         assert!(b.variable_matches[0].1.is_some());
+    }
+
+    #[test]
+    fn explain_reports_phases_and_cache_outcome() {
+        let e = engine();
+        let q = Query::parse("with salinity limit 3").unwrap();
+        let (hits, ex) = e.search_explain(&q);
+        assert!(!ex.cache_hit);
+        assert_eq!(ex.results, hits.len());
+        assert!(ex.full_scan, "tiny catalog cannot fill limit*3 from indexes");
+        assert_eq!(ex.candidates, e.len());
+        assert_eq!(ex.workers, 1);
+        // same query again: served from cache, no phases
+        let (again, ex2) = e.search_explain(&q);
+        assert!(ex2.cache_hit);
+        assert_eq!(again, hits);
+        assert_eq!(ex2.results, hits.len());
+        assert_eq!((ex2.candidates, ex2.probe_micros), (0, 0));
+        // explained and plain searches agree
+        assert_eq!(e.search(&q), hits);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 mod browse;
 mod cache;
 mod engine;
+mod explain;
 mod interval;
 mod plan;
 mod query;
@@ -37,6 +38,7 @@ mod topk;
 pub use browse::{browse_all, browse_taxonomy, BrowseNode, BrowseTree};
 pub use cache::{CacheStats, ResultCache, DEFAULT_CACHE_CAPACITY};
 pub use engine::{SearchEngine, SearchHit};
+pub use explain::SearchExplain;
 pub use interval::IntervalIndex;
 pub use plan::QueryPlan;
 pub use query::{Query, SpatialTerm, VariableTerm, Weights};

@@ -1,0 +1,108 @@
+//! Leveled stderr event mirroring, controlled by the `METAMESS_LOG`
+//! environment variable.
+//!
+//! Levels, most to least severe: `error`, `warn`, `info`, `debug`,
+//! `trace`. `METAMESS_LOG=info` mirrors everything at info and above;
+//! unset (or `off`/`0`) mirrors nothing. The variable is read once, on
+//! first use. Events go to stderr so they never contaminate rendered
+//! results on stdout.
+
+use std::io::Write as _;
+use std::sync::OnceLock;
+
+/// Event severity, in decreasing order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or data-loss-adjacent problems.
+    Error = 1,
+    /// Suspicious but non-fatal conditions.
+    Warn = 2,
+    /// High-level progress (stage ran, store recovered).
+    Info = 3,
+    /// Per-operation detail (span durations).
+    Debug = 4,
+    /// Everything, including span entry.
+    Trace = 5,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+/// Parses a `METAMESS_LOG` value into a numeric threshold (0 = off).
+pub(crate) fn parse_level(s: &str) -> u8 {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "error" => 1,
+        "warn" | "warning" => 2,
+        "info" => 3,
+        "debug" => 4,
+        "trace" => 5,
+        _ => 0,
+    }
+}
+
+fn threshold() -> u8 {
+    static THRESHOLD: OnceLock<u8> = OnceLock::new();
+    *THRESHOLD.get_or_init(|| std::env::var("METAMESS_LOG").map(|v| parse_level(&v)).unwrap_or(0))
+}
+
+/// True when events at `level` should be mirrored to stderr.
+pub fn log_enabled(level: Level) -> bool {
+    level as u8 <= threshold()
+}
+
+/// Writes one event line to stderr. Callers should gate on
+/// [`log_enabled`] (the [`crate::event!`] macro does) so message
+/// formatting is skipped when mirroring is off.
+pub fn log_write(level: Level, target: &str, message: &str) {
+    let mut err = std::io::stderr().lock();
+    let _ = writeln!(err, "[metamess {} {target}] {message}", level.as_str());
+}
+
+/// Mirrors a formatted event to stderr when `METAMESS_LOG` admits its
+/// level. The format arguments are only evaluated when the event is
+/// actually emitted.
+///
+/// ```
+/// use metamess_telemetry::{event, Level};
+/// event!(Level::Info, "search", "served {} hits", 3);
+/// ```
+#[macro_export]
+macro_rules! event {
+    ($level:expr, $target:expr, $($arg:tt)*) => {
+        if $crate::log_enabled($level) {
+            $crate::log_write($level, $target, &format!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parsing() {
+        assert_eq!(parse_level("error"), 1);
+        assert_eq!(parse_level("WARN"), 2);
+        assert_eq!(parse_level(" info "), 3);
+        assert_eq!(parse_level("debug"), 4);
+        assert_eq!(parse_level("trace"), 5);
+        assert_eq!(parse_level("off"), 0);
+        assert_eq!(parse_level(""), 0);
+        assert_eq!(parse_level("nonsense"), 0);
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Debug < Level::Trace);
+    }
+}

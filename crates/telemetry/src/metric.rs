@@ -1,0 +1,372 @@
+//! The metric primitives: lock-free counters, gauges, and log-bucketed
+//! histograms.
+//!
+//! All three types are updated with single relaxed atomic operations — no
+//! locks, no allocation — so they are safe to hammer from the search
+//! worker pool and the harvest threads. Reading is snapshot-based: a
+//! [`HistogramSnapshot`] is a consistent-enough copy of the bucket array
+//! (individual bucket loads are atomic; the histogram as a whole is only
+//! read for reporting, where a ±1-update skew is irrelevant).
+//!
+//! # Bucket scheme
+//!
+//! Histograms record unsigned values (by convention microseconds) into
+//! logarithmic buckets with 8 sub-buckets per octave — an HDR-style layout
+//! with a worst-case relative error of 12.5%. Values `0..=7` are exact;
+//! larger values land in the bucket whose inclusive upper bound is
+//! [`bucket_bound`] of their index. Bounds are strictly monotone, stable
+//! across processes (they are pure functions of the index), and cover
+//! `0..=2^40-1` (about 12 days in microseconds); larger values clamp into
+//! the last bucket.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Sub-bucket bits per octave (8 sub-buckets → ≤12.5% relative error).
+const SUB_BITS: u32 = 3;
+const SUB: u64 = 1 << SUB_BITS;
+/// Highest represented octave: bound(last) = 2^40 − 1 µs ≈ 12.7 days.
+const MAX_OCTAVE: usize = 37;
+/// Total bucket count.
+pub const BUCKETS: usize = (MAX_OCTAVE + 1) * SUB as usize;
+
+/// The bucket a value lands in. Total over `0..=u64::MAX` (overflow clamps
+/// into the last bucket).
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let octave = (msb - SUB_BITS + 1) as usize;
+    let sub = ((v >> (msb - SUB_BITS)) & (SUB - 1)) as usize;
+    ((octave << SUB_BITS) + sub).min(BUCKETS - 1)
+}
+
+/// Inclusive upper bound of a bucket. Strictly increasing in `ix`.
+pub fn bucket_bound(ix: usize) -> u64 {
+    if ix < SUB as usize {
+        return ix as u64;
+    }
+    let octave = ix >> SUB_BITS;
+    let sub = (ix as u64) & (SUB - 1);
+    ((SUB + sub + 1) << (octave - 1)) - 1
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A settable signed gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A log-bucketed histogram of unsigned values (by convention µs).
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: Vec<AtomicU64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .field("sum", &self.sum.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        let mut buckets = Vec::with_capacity(BUCKETS);
+        buckets.resize_with(BUCKETS, AtomicU64::default);
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets,
+        }
+    }
+
+    /// Records one observation. Lock-free: five relaxed atomic ops.
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copies the current state for reporting.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let mut buckets = Vec::new();
+        for (ix, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets.push((bucket_bound(ix), n));
+            }
+        }
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { self.min.load(Ordering::Relaxed) },
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    /// Resets every bucket and the summary stats to the empty state.
+    pub fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`], with quantile estimation.
+///
+/// `buckets` holds `(inclusive upper bound, count)` pairs for the
+/// *non-empty* buckets, in increasing bound order. Because bounds are pure
+/// functions of the bucket index, snapshots from different processes merge
+/// losslessly bucket-by-bucket.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// `(inclusive upper bound, count)` per non-empty bucket, bound-sorted.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// The `q`-quantile (`q` in `[0, 1]`): the upper bound of the first
+    /// bucket at which the cumulative count reaches `ceil(q · count)`.
+    /// Worst-case relative error is the bucket width (≤12.5%). Returns 0
+    /// for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for &(bound, n) in &self.buckets {
+            cumulative += n;
+            if cumulative >= target {
+                // never report beyond the actually observed range
+                return bound.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Arithmetic mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Adds `other`'s observations into `self` (bucket-wise; bounds are
+    /// canonical, so merging snapshots from different processes is exact).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        let mut merged: std::collections::BTreeMap<u64, u64> =
+            self.buckets.iter().copied().collect();
+        for &(bound, n) in &other.buckets {
+            *merged.entry(bound).or_insert(0) += n;
+        }
+        self.buckets = merged.into_iter().collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..16u64 {
+            let ix = bucket_index(v);
+            assert_eq!(bucket_bound(ix), v, "value {v} should be exact");
+        }
+    }
+
+    #[test]
+    fn value_le_its_bucket_bound() {
+        for v in [0u64, 1, 7, 8, 100, 1_000, 65_535, 1 << 30, u64::MAX] {
+            let ix = bucket_index(v);
+            if ix < BUCKETS - 1 {
+                assert!(v <= bucket_bound(ix), "v={v} ix={ix} bound={}", bucket_bound(ix));
+            }
+            if ix > 0 {
+                assert!(v > bucket_bound(ix - 1), "v={v} below previous bound");
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_strictly_increase() {
+        for ix in 1..BUCKETS {
+            assert!(bucket_bound(ix) > bucket_bound(ix - 1), "ix={ix}");
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_observations() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1000);
+        let p50 = s.quantile(0.50);
+        let p99 = s.quantile(0.99);
+        // ≤12.5% bucket error on a uniform 1..=1000 distribution
+        assert!((440..=570).contains(&p50), "p50={p50}");
+        assert!((950..=1000).contains(&p99), "p99={p99}");
+        assert!(p50 <= p99);
+        assert!((s.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!((s.min, s.max), (0, 0));
+        assert!(s.buckets.is_empty());
+    }
+
+    #[test]
+    fn merge_is_exact_bucketwise() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for v in 0..500u64 {
+            a.record(v * 3);
+            all.record(v * 3);
+        }
+        for v in 0..300u64 {
+            b.record(v * 7 + 1);
+            all.record(v * 7 + 1);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m, all.snapshot());
+        // merging into empty copies, merging empty is a no-op
+        let mut empty = HistogramSnapshot::default();
+        empty.merge(&m);
+        assert_eq!(empty, m);
+        m.merge(&HistogramSnapshot::default());
+        assert_eq!(empty, m);
+    }
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        c.reset();
+        assert_eq!(c.get(), 0);
+        let g = Gauge::new();
+        g.set(7);
+        g.add(-10);
+        assert_eq!(g.get(), -3);
+        g.reset();
+        assert_eq!(g.get(), 0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Registry correctness: concurrent updates sum exactly, histogram bucket
+//! boundaries are monotone and stable, and the Prometheus/JSON renders
+//! round-trip a snapshot.
+
+use metamess_telemetry::{
+    bucket_bound, bucket_index, labeled, Histogram, HistogramSnapshot, MetricsRegistry,
+    MetricsSnapshot,
+};
+use proptest::prelude::*;
+
+#[test]
+fn concurrent_counter_updates_sum_exactly() {
+    let r = MetricsRegistry::new(true);
+    let threads = 8usize;
+    let per_thread = 10_000u64;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let c = r.counter("metamess_test_concurrent_total");
+            scope.spawn(move || {
+                for _ in 0..per_thread {
+                    c.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(r.counter("metamess_test_concurrent_total").get(), threads as u64 * per_thread);
+}
+
+#[test]
+fn concurrent_histogram_updates_sum_exactly() {
+    let r = MetricsRegistry::new(true);
+    let threads = 8u64;
+    let per_thread = 5_000u64;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let h = r.histogram("metamess_test_concurrent_micros");
+            scope.spawn(move || {
+                for i in 0..per_thread {
+                    h.record(t * per_thread + i);
+                }
+            });
+        }
+    });
+    let s = r.histogram("metamess_test_concurrent_micros").snapshot();
+    assert_eq!(s.count, threads * per_thread);
+    let n = threads * per_thread;
+    assert_eq!(s.sum, n * (n - 1) / 2, "every observation accounted for");
+    assert_eq!(s.buckets.iter().map(|&(_, c)| c).sum::<u64>(), n);
+    assert_eq!((s.min, s.max), (0, n - 1));
+}
+
+#[test]
+fn concurrent_registration_yields_one_metric() {
+    let r = MetricsRegistry::new(true);
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let r = &r;
+            scope.spawn(move || {
+                for i in 0..100 {
+                    r.counter(&format!("metamess_reg_race_{i}_total")).inc();
+                }
+            });
+        }
+    });
+    let s = r.snapshot();
+    assert_eq!(s.counters.len(), 100);
+    for (name, v) in &s.counters {
+        assert_eq!(*v, 8, "{name}: every thread's increment must land on one counter");
+    }
+}
+
+proptest! {
+    /// Bucket boundaries are strictly monotone and stable: the bound of a
+    /// value's bucket is ≥ the value, the previous bucket's bound is < it,
+    /// and re-deriving the index from the bound is the identity.
+    #[test]
+    fn bucket_scheme_is_monotone_and_stable(v in 0u64..(1u64 << 40)) {
+        let ix = bucket_index(v);
+        prop_assert!(v <= bucket_bound(ix));
+        if ix > 0 {
+            prop_assert!(v > bucket_bound(ix - 1));
+            prop_assert!(bucket_bound(ix) > bucket_bound(ix - 1));
+        }
+        prop_assert_eq!(bucket_index(bucket_bound(ix)), ix);
+    }
+
+    /// A recorded value is visible in exactly the snapshot bucket whose
+    /// bound brackets it, and quantiles stay within the observed range.
+    #[test]
+    fn snapshot_brackets_observations(values in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.count, values.len() as u64);
+        prop_assert_eq!(s.sum, values.iter().sum::<u64>());
+        let lo = *values.iter().min().unwrap();
+        let hi = *values.iter().max().unwrap();
+        prop_assert_eq!((s.min, s.max), (lo, hi));
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            let est = s.quantile(q);
+            prop_assert!(est <= hi, "quantile {q} = {est} beyond max {hi}");
+        }
+        prop_assert!(s.quantile(1.0) >= hi, "p100 must reach the max");
+    }
+
+    /// merge() is equivalent to recording both value sets into one
+    /// histogram.
+    #[test]
+    fn merge_matches_combined_recording(
+        a in prop::collection::vec(0u64..1_000_000, 0..100),
+        b in prop::collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        let ha = Histogram::new();
+        let hb = Histogram::new();
+        let hall = Histogram::new();
+        for &v in &a { ha.record(v); hall.record(v); }
+        for &v in &b { hb.record(v); hall.record(v); }
+        let mut m = ha.snapshot();
+        m.merge(&hb.snapshot());
+        prop_assert_eq!(m, hall.snapshot());
+    }
+}
+
+fn sample_snapshot() -> MetricsSnapshot {
+    let r = MetricsRegistry::new(true);
+    r.counter("metamess_a_total").add(7);
+    r.counter(&labeled("metamess_b_total", "kind", "x")).add(3);
+    r.gauge("metamess_g").set(-11);
+    let h = r.histogram(&labeled("metamess_h_micros", "span", "s.t"));
+    for v in [0u64, 1, 9, 200, 4096, 123_456] {
+        h.record(v);
+    }
+    r.snapshot()
+}
+
+/// Rebuilds a `MetricsSnapshot` from its own JSON render.
+fn snapshot_from_json(text: &str) -> MetricsSnapshot {
+    let v: serde_json::Value = serde_json::from_str(text).expect("render_json emits valid JSON");
+    let mut out = MetricsSnapshot::default();
+    for (k, n) in v["counters"].as_object().unwrap() {
+        out.counters.insert(k.clone(), n.as_u64().unwrap());
+    }
+    for (k, n) in v["gauges"].as_object().unwrap() {
+        out.gauges.insert(k.clone(), n.as_i64().unwrap());
+    }
+    for (k, h) in v["histograms"].as_object().unwrap() {
+        out.histograms.insert(
+            k.clone(),
+            HistogramSnapshot {
+                count: h["count"].as_u64().unwrap(),
+                sum: h["sum"].as_u64().unwrap(),
+                min: h["min"].as_u64().unwrap(),
+                max: h["max"].as_u64().unwrap(),
+                buckets: h["buckets"]
+                    .as_array()
+                    .unwrap()
+                    .iter()
+                    .map(|b| (b[0].as_u64().unwrap(), b[1].as_u64().unwrap()))
+                    .collect(),
+            },
+        );
+    }
+    out
+}
+
+#[test]
+fn json_render_round_trips() {
+    let snap = sample_snapshot();
+    let rebuilt = snapshot_from_json(&snap.render_json());
+    assert_eq!(rebuilt, snap);
+    // a second render of the rebuilt snapshot is byte-identical
+    assert_eq!(rebuilt.render_json(), snap.render_json());
+}
+
+#[test]
+fn prometheus_render_round_trips_scalars() {
+    let snap = sample_snapshot();
+    let text = snap.render_prometheus();
+    // every counter and gauge line parses back to its exact value
+    for (name, v) in &snap.counters {
+        let line = text.lines().find(|l| l.starts_with(name.as_str())).expect("counter rendered");
+        let parsed: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert_eq!(parsed, *v, "{name}");
+    }
+    for (name, v) in &snap.gauges {
+        let line = text.lines().find(|l| l.starts_with(name.as_str())).expect("gauge rendered");
+        let parsed: i64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert_eq!(parsed, *v, "{name}");
+    }
+    // histogram sum/count series carry the snapshot totals, and the +Inf
+    // bucket equals the count
+    for (name, h) in &snap.histograms {
+        let (base, labels) = name.split_once('{').expect("sample histogram is labeled");
+        let labels = labels.strip_suffix('}').unwrap();
+        let find = |suffix: &str, extra: &str| -> u64 {
+            let needle = if extra.is_empty() {
+                format!("{base}_{suffix}{{{labels}}} ")
+            } else {
+                format!("{base}_{suffix}{{{labels},{extra}}} ")
+            };
+            let line = text.lines().find(|l| l.starts_with(&needle)).expect("series rendered");
+            line.rsplit(' ').next().unwrap().parse().unwrap()
+        };
+        assert_eq!(find("sum", ""), h.sum);
+        assert_eq!(find("count", ""), h.count);
+        assert_eq!(find("bucket", "le=\"+Inf\""), h.count);
+    }
+}

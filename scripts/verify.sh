@@ -7,11 +7,27 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> no stray println!/eprintln! in library crates"
+# Library crates report through the telemetry registry (and its event!
+# macro), never by printing. CLI binaries, the exp*/bench harnesses and
+# tests are exempt. Comment lines (incl. doc examples) are ignored.
+if grep -rnE '(println|eprintln)!' crates/*/src --include='*.rs' \
+    | grep -v '^crates/bench/src/' \
+    | grep -vE ':[0-9]+: *//' \
+    | grep -vE ':[0-9]+: *#\[' \
+    | grep -v 'tests/'; then
+  echo "verify: FAIL — library crates must use metamess-telemetry, not print" >&2
+  exit 1
+fi
+
 echo "==> cargo build --release"
 cargo build --release
 
 echo "==> cargo test -q"
 cargo test -q
+
+echo "==> cargo test -q -p metamess-telemetry"
+cargo test -q -p metamess-telemetry
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings

@@ -16,6 +16,7 @@
 //! * [`harvest`] — scanning, naming conventions, feature extraction
 //! * [`search`] — "Data Near Here" ranked search + summary pages
 //! * [`pipeline`] — the composable wrangling process and curation loop
+//! * [`telemetry`] — metrics registry, spans, and exposition formats
 //!
 //! ## Quickstart
 //!
@@ -48,8 +49,11 @@ pub use metamess_formats as formats;
 pub use metamess_harvest as harvest;
 pub use metamess_pipeline as pipeline;
 pub use metamess_search as search;
+pub use metamess_telemetry as telemetry;
 pub use metamess_transform as transform;
 pub use metamess_vocab as vocab;
+
+pub mod telemetry_io;
 
 /// The names most programs need, in one import.
 pub mod prelude {

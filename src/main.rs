@@ -2,15 +2,19 @@
 //!
 //! ```text
 //! metamess generate <dir> [--seed N] [--months N] [--stations N]
-//! metamess wrangle  <dir> [--store <store-dir>] [--expert]
-//! metamess search   <store-dir> <query...>
+//! metamess wrangle  <dir> [--store <store-dir>] [--expert] [--explain]
+//! metamess search   <store-dir> <query...> [--explain]
 //! metamess summary  <store-dir> <dataset-path>
+//! metamess stats    <store-dir> [--prometheus|--json] [--reset]
 //! metamess validate <dir>
 //! ```
 //!
 //! `wrangle` runs the full curation loop over an archive directory and
 //! persists the published catalog (snapshot + WAL) plus the vocabulary into
-//! the store directory; `search` and `summary` work from that store.
+//! the store directory; `search` and `summary` work from that store. Both
+//! wrangle and search fold their telemetry into
+//! `<store>/state/telemetry.json`, which `stats` renders as a table,
+//! Prometheus text, or JSON.
 
 use metamess::core::{DurableCatalog, StoreOptions};
 use metamess::pipeline::Severity;
@@ -26,6 +30,7 @@ fn main() -> ExitCode {
         Some("wrangle") => cmd_wrangle(&args[1..]),
         Some("search") => cmd_search(&args[1..]),
         Some("summary") => cmd_summary(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
         Some("browse") => cmd_browse(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         _ => {
@@ -48,15 +53,21 @@ metamess — taming the metadata mess
 usage:
   metamess generate <dir> [--seed N] [--months N] [--stations N]
       write a synthetic observatory archive (plus ground_truth.json)
-  metamess wrangle <dir> [--store <store-dir>] [--expert]
+  metamess wrangle <dir> [--store <store-dir>] [--expert] [--explain]
       run the wrangling pipeline + curation loop over an archive directory;
       persist the published catalog and vocabulary into the store directory
-      (default: <dir>/.metamess); --expert adds the hand-curated synonym set
-  metamess search <store-dir> <query...>
+      (default: <dir>/.metamess); --expert adds the hand-curated synonym set;
+      --explain prints the telemetry recorded during the run
+  metamess search <store-dir> <query...> [--explain]
       ranked search, e.g.:
       metamess search ./arc/.metamess near 45.5,-124.4 within 50km with salinity
+      --explain appends a per-phase breakdown (plan/probe/score/merge)
   metamess summary <store-dir> <dataset-path>
       render the dataset summary page for a catalog entry
+  metamess stats <store-dir> [--prometheus|--json] [--reset]
+      render telemetry accumulated across wrangle/search runs (default:
+      text table; --prometheus and --json switch the exposition format;
+      --reset clears the persisted snapshot)
   metamess browse <store-dir>
       hierarchical drill-down menus with dataset counts per concept
   metamess validate <dir>
@@ -105,6 +116,7 @@ fn cmd_wrangle(args: &[String]) -> Result<(), metamess::core::Error> {
         .map(PathBuf::from)
         .unwrap_or_else(|| Path::new(dir).join(".metamess"));
     let expert = args.iter().any(|a| a == "--expert");
+    let explain = args.iter().any(|a| a == "--explain");
 
     let mut ctx = PipelineContext::new(
         ArchiveInput::Dir(PathBuf::from(dir)),
@@ -154,6 +166,19 @@ fn cmd_wrangle(args: &[String]) -> Result<(), metamess::core::Error> {
         store_dir.display(),
         ctx.vocab.version
     );
+    if explain {
+        print!("{}", metamess::telemetry::global().snapshot().render_table());
+    }
+    persist_telemetry(&store_dir)?;
+    Ok(())
+}
+
+/// Folds this process's telemetry into `<store>/state/telemetry.json`.
+/// Best-effort: a no-op when telemetry is disabled or nothing was recorded.
+fn persist_telemetry(store_dir: &Path) -> Result<(), metamess::core::Error> {
+    let path = metamess::telemetry_io::telemetry_path(store_dir);
+    metamess::telemetry_io::persist_merged(&path)
+        .map_err(|e| metamess::core::Error::io(format!("persist {}", path.display()), e))?;
     Ok(())
 }
 
@@ -200,14 +225,69 @@ fn cmd_search(args: &[String]) -> Result<(), metamess::core::Error> {
     let store_dir = args
         .first()
         .ok_or_else(|| metamess::core::Error::invalid("search needs a store directory"))?;
-    let query_text = args[1..].join(" ");
+    let explain = args.iter().any(|a| a == "--explain");
+    let query_text =
+        args[1..].iter().filter(|a| *a != "--explain").cloned().collect::<Vec<_>>().join(" ");
     if query_text.trim().is_empty() {
         return Err(metamess::core::Error::invalid("search needs a query"));
     }
     let engine = open_engine(Path::new(store_dir))?;
     let query = Query::parse(&query_text)?;
-    let hits = engine.search(&query);
-    print!("{}", render_results(&hits));
+    if explain {
+        let (hits, breakdown) = engine.search_explain(&query);
+        print!("{}", render_results(&hits));
+        print!("{}", breakdown.render());
+    } else {
+        let hits = engine.search(&query);
+        print!("{}", render_results(&hits));
+    }
+    persist_telemetry(Path::new(store_dir))?;
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), metamess::core::Error> {
+    let store_dir = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .map(Path::new)
+        .ok_or_else(|| metamess::core::Error::invalid("stats needs a store directory"))?;
+    let path = metamess::telemetry_io::telemetry_path(store_dir);
+    if args.iter().any(|a| a == "--reset") {
+        metamess::telemetry_io::reset(&path)
+            .map_err(|e| metamess::core::Error::io(format!("reset {}", path.display()), e))?;
+        println!("telemetry reset ({} removed)", path.display());
+        return Ok(());
+    }
+    let mut snap = metamess::telemetry_io::load_snapshot(&path).unwrap_or_default();
+    // fold in live metrics (normally empty for a bare `stats` invocation,
+    // but library callers may have recorded some in-process)
+    snap.merge(&metamess::telemetry::global().snapshot());
+    // the run ledger carries per-stage timings across processes even when
+    // telemetry was disabled during the wrangle — surface it as gauges
+    if let Ok(Some(ledger)) =
+        metamess::core::store::read_ledger(store_dir.join("state").join("ledger.bin"))
+    {
+        snap.gauges.insert("metamess_pipeline_last_run_id".to_string(), ledger.run_id as i64);
+        for (stage, rec) in &ledger.stages {
+            let name =
+                metamess::telemetry::labeled("metamess_pipeline_stage_last_micros", "stage", stage);
+            snap.gauges.insert(name, rec.micros as i64);
+        }
+    }
+    if snap.is_empty() {
+        println!(
+            "no telemetry recorded for {} yet (run wrangle or search first)",
+            store_dir.display()
+        );
+        return Ok(());
+    }
+    if args.iter().any(|a| a == "--prometheus") {
+        print!("{}", snap.render_prometheus());
+    } else if args.iter().any(|a| a == "--json") {
+        println!("{}", snap.render_json());
+    } else {
+        print!("{}", snap.render_table());
+    }
     Ok(())
 }
 

@@ -64,6 +64,80 @@ fn full_cli_workflow() {
     assert!(ok, "{stderr}");
     assert!(stdout.contains("findings") || stdout.contains("no findings"), "{stdout}");
     assert!(stdout.contains("(0 errors)") || stdout.contains("no findings"), "{stdout}");
+
+    // search --explain: results plus the per-phase breakdown
+    let (ok, stdout, stderr) =
+        run(&["search", store_s, "with", "salinity", "limit", "3", "--explain"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("1. ["), "{stdout}");
+    assert!(stdout.contains("phase breakdown"), "{stdout}");
+    for phase in ["plan", "probe", "score", "merge", "total"] {
+        assert!(stdout.contains(phase), "missing {phase} in: {stdout}");
+    }
+
+    // the wrangle and searches above persisted telemetry into the store
+    assert!(store.join("state").join("telemetry.json").exists());
+
+    // stats: human table with accumulated counters + ledger-derived gauges
+    let (ok, stdout, stderr) = run(&["stats", store_s]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("counters"), "{stdout}");
+    assert!(stdout.contains("metamess_search_queries_total"), "{stdout}");
+    assert!(stdout.contains("metamess_pipeline_last_run_id"), "{stdout}");
+    assert!(stdout.contains("metamess_pipeline_stage_last_micros"), "{stdout}");
+
+    // stats --prometheus: exposition format with TYPE lines and buckets
+    let (ok, stdout, stderr) = run(&["stats", store_s, "--prometheus"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("# TYPE metamess_search_queries_total counter"), "{stdout}");
+    assert!(stdout.contains("le=\"+Inf\""), "{stdout}");
+
+    // stats --json: machine-readable, with the expected sections
+    let (ok, stdout, stderr) = run(&["stats", store_s, "--json"]);
+    assert!(ok, "{stderr}");
+    for section in ["\"counters\"", "\"gauges\"", "\"histograms\""] {
+        assert!(stdout.contains(section), "missing {section} in: {stdout}");
+    }
+
+    // stats --reset: snapshot gone; a fresh stats call falls back to the
+    // ledger-derived gauges only
+    let (ok, stdout, stderr) = run(&["stats", store_s, "--reset"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("reset"), "{stdout}");
+    assert!(!store.join("state").join("telemetry.json").exists());
+    let (ok, stdout, _) = run(&["stats", store_s]);
+    assert!(ok);
+    assert!(!stdout.contains("metamess_search_queries_total"), "{stdout}");
+
+    // wrangle --explain on an unchanged archive prints the live registry
+    let (ok, stdout, stderr) = run(&["wrangle", dir_s, "--expert", "--explain"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("counters"), "{stdout}");
+    assert!(stdout.contains("metamess_pipeline_stages_skipped_total"), "{stdout}");
+}
+
+#[test]
+fn telemetry_can_be_disabled() {
+    let dir = std::env::temp_dir().join(format!("metamess-cli-notelem-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_str().unwrap();
+    let run_env = |args: &[&str]| {
+        let out = Command::new(bin())
+            .args(args)
+            .env("METAMESS_TELEMETRY", "0")
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    run_env(&["generate", dir_s, "--months", "1", "--stations", "1"]);
+    run_env(&["wrangle", dir_s]);
+    let store = dir.join(".metamess");
+    // disabled runs record nothing, so no telemetry file is written
+    assert!(!store.join("state").join("telemetry.json").exists());
+    // --explain still works: phase timings are measured independently
+    let stdout = run_env(&["search", store.to_str().unwrap(), "with", "salinity", "--explain"]);
+    assert!(stdout.contains("phase breakdown"), "{stdout}");
 }
 
 #[test]
