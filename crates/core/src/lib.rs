@@ -9,6 +9,8 @@
 //! Everything downstream — harvesting, transformation, discovery, ranked
 //! search, the wrangling pipeline — builds on these types.
 
+#![warn(missing_docs)]
+
 pub mod catalog;
 pub mod error;
 pub mod feature;
@@ -26,6 +28,9 @@ pub use feature::{DatasetFeature, NameResolution, Provenance, VariableFeature, V
 pub use geo::{GeoBBox, GeoPoint};
 pub use id::{DatasetId, VariableId};
 pub use stats::{ColumnSummary, NumericSummary};
-pub use store::{DurableCatalog, RecoveryMode, RunLedger, StageRecord, StoreOptions};
+pub use store::{
+    DurableCatalog, FaultKind, FaultPlan, FaultVfs, RecoveryMode, RecoveryReport, RunLedger,
+    StageRecord, StdVfs, StoreOptions, Vfs,
+};
 pub use time::{TimeInterval, Timestamp};
 pub use value::{Record, Value};

@@ -3,20 +3,31 @@
 //! A [`DurableCatalog`] owns a directory containing `snapshot.bin` and
 //! `wal.log`. Every mutation is appended to the WAL before being applied in
 //! memory; `checkpoint` folds the WAL into a fresh snapshot and resets the
-//! log. Opening replays snapshot-then-WAL, optionally truncating a torn tail.
+//! log. Opening replays snapshot-then-WAL, optionally truncating a torn
+//! tail.
+//!
+//! Recovery degrades gracefully rather than erroring: in
+//! [`RecoveryMode::TruncateTail`] a corrupt snapshot is quarantined and the
+//! store falls back to WAL-only replay, and an unreadable WAL (bad magic)
+//! is quarantined so the store can still open from the snapshot. Every
+//! quarantined anomaly is recorded in the [`RecoveryReport`] and the
+//! `metamess_core_recovery_quarantined_total` counter.
 
 use super::metrics::store_metrics;
-use super::snapshot::{read_snapshot, write_snapshot};
-use super::wal::{RecoveryMode, Wal};
+use super::quarantine::{quarantine_file, QuarantineReason, Quarantined};
+use super::snapshot::{read_snapshot_with, write_snapshot_with};
+use super::vfs::{std_vfs, Vfs};
+use super::wal::{RecoveryMode, ReplaySummary, Wal};
 use crate::catalog::{Catalog, Mutation};
 use crate::error::{IoContext, Result};
 use crate::feature::DatasetFeature;
 use crate::id::DatasetId;
 use metamess_telemetry::{event, Level, Stopwatch};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Tuning and durability options for a [`DurableCatalog`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct StoreOptions {
     /// fsync the WAL on every append (safest, slowest). When false, records
     /// are buffered and synced at checkpoints and on `flush`.
@@ -25,16 +36,10 @@ pub struct StoreOptions {
     pub auto_checkpoint_every: u64,
     /// Recovery behaviour for a damaged WAL tail.
     pub recovery: RecoveryMode,
-}
-
-impl Default for StoreOptions {
-    fn default() -> Self {
-        StoreOptions {
-            sync_on_append: false,
-            auto_checkpoint_every: 0,
-            recovery: RecoveryMode::TruncateTail,
-        }
-    }
+    /// Where corrupt files are moved during recovery. Defaults to
+    /// `<store-dir>/quarantine` when unset; the CLI points it at
+    /// `<store>/state/quarantine` so all anomalies live in one place.
+    pub quarantine_dir: Option<PathBuf>,
 }
 
 /// What recovery found when opening a store.
@@ -46,6 +51,8 @@ pub struct RecoveryReport {
     pub wal_mutations: usize,
     /// Bytes of damaged WAL tail truncated during recovery.
     pub truncated_bytes: u64,
+    /// Corrupt files moved into quarantine (empty on a clean open).
+    pub quarantined: Vec<Quarantined>,
 }
 
 /// A catalog with snapshot+WAL durability.
@@ -71,28 +78,71 @@ pub struct DurableCatalog {
     dir: PathBuf,
     catalog: Catalog,
     wal: Wal,
+    vfs: Arc<dyn Vfs>,
     options: StoreOptions,
     recovery: RecoveryReport,
     appends_since_checkpoint: u64,
 }
 
 impl DurableCatalog {
-    /// Opens (creating if needed) a durable catalog in `dir`.
+    /// Opens (creating if needed) a durable catalog in `dir` on the
+    /// standard file system.
     pub fn open(dir: impl AsRef<Path>, options: StoreOptions) -> Result<DurableCatalog> {
+        DurableCatalog::open_with(std_vfs(), dir, options)
+    }
+
+    /// Opens (creating if needed) a durable catalog in `dir`, with all file
+    /// I/O routed through `vfs`.
+    pub fn open_with(
+        vfs: Arc<dyn Vfs>,
+        dir: impl AsRef<Path>,
+        options: StoreOptions,
+    ) -> Result<DurableCatalog> {
         let dir = dir.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir).io_ctx(format!("create store dir {}", dir.display()))?;
+        vfs.create_dir_all(&dir).io_ctx(format!("create store dir {}", dir.display()))?;
         let snap_path = dir.join("snapshot.bin");
         let wal_path = dir.join("wal.log");
+        let quarantine_dir =
+            options.quarantine_dir.clone().unwrap_or_else(|| dir.join("quarantine"));
+        let lenient = options.recovery == RecoveryMode::TruncateTail;
 
         let mut recovery = RecoveryReport::default();
-        let mut catalog = match read_snapshot(&snap_path)? {
-            Some(c) => {
+        let mut catalog = match read_snapshot_with(vfs.as_ref(), &snap_path) {
+            Ok(Some(c)) => {
                 recovery.snapshot_loaded = true;
                 c
             }
-            None => Catalog::new(),
+            Ok(None) => Catalog::new(),
+            Err(e) if e.is_corrupt() && lenient => {
+                // Corrupt snapshot: quarantine it and fall back to
+                // WAL-only replay rather than refusing to open.
+                Self::quarantine(
+                    vfs.as_ref(),
+                    &snap_path,
+                    &quarantine_dir,
+                    &e.to_string(),
+                    &mut recovery,
+                )?;
+                Catalog::new()
+            }
+            Err(e) => return Err(e),
         };
-        let replay = Wal::replay(&wal_path, options.recovery)?;
+        let replay = match Wal::replay_with(vfs.as_ref(), &wal_path, options.recovery) {
+            Ok(r) => r,
+            Err(e) if e.is_corrupt() && lenient => {
+                // Unreadable WAL (bad magic): quarantine the whole log and
+                // open from whatever the snapshot gave us.
+                Self::quarantine(
+                    vfs.as_ref(),
+                    &wal_path,
+                    &quarantine_dir,
+                    &e.to_string(),
+                    &mut recovery,
+                )?;
+                ReplaySummary::default()
+            }
+            Err(e) => return Err(e),
+        };
         recovery.wal_mutations = replay.mutations.len();
         recovery.truncated_bytes = replay.truncated_bytes;
         for m in &replay.mutations {
@@ -103,7 +153,15 @@ impl DurableCatalog {
             m.recovery_replayed.add(recovery.wal_mutations as u64);
             m.recovery_truncated_bytes.add(recovery.truncated_bytes);
         }
-        if recovery.truncated_bytes > 0 {
+        if !recovery.quarantined.is_empty() {
+            event!(
+                Level::Warn,
+                "store",
+                "recovered {} quarantining {} corrupt file(s)",
+                dir.display(),
+                recovery.quarantined.len()
+            );
+        } else if recovery.truncated_bytes > 0 {
             event!(
                 Level::Warn,
                 "store",
@@ -120,8 +178,33 @@ impl DurableCatalog {
                 recovery.wal_mutations
             );
         }
-        let wal = Wal::open(&wal_path, options.sync_on_append)?;
-        Ok(DurableCatalog { dir, catalog, wal, options, recovery, appends_since_checkpoint: 0 })
+        let wal = Wal::open_with(vfs.clone(), &wal_path, options.sync_on_append)?;
+        Ok(DurableCatalog {
+            dir,
+            catalog,
+            wal,
+            vfs,
+            options,
+            recovery,
+            appends_since_checkpoint: 0,
+        })
+    }
+
+    fn quarantine(
+        vfs: &dyn Vfs,
+        path: &Path,
+        quarantine_dir: &Path,
+        detail: &str,
+        recovery: &mut RecoveryReport,
+    ) -> Result<()> {
+        let reason = QuarantineReason {
+            source: path.display().to_string(),
+            detail: detail.to_string(),
+            quarantined_by: "recovery".to_string(),
+        };
+        let dest = quarantine_file(vfs, path, quarantine_dir, &reason)?;
+        recovery.quarantined.push(Quarantined { quarantined_to: dest, reason });
+        Ok(())
     }
 
     /// The recovery report from `open`.
@@ -191,7 +274,7 @@ impl DurableCatalog {
         let on = metamess_telemetry::enabled();
         let timer = Stopwatch::start_if(on);
         self.wal.flush_and_sync()?;
-        write_snapshot(self.dir.join("snapshot.bin"), &self.catalog)?;
+        write_snapshot_with(self.vfs.as_ref(), self.dir.join("snapshot.bin"), &self.catalog)?;
         self.wal.reset()?;
         self.appends_since_checkpoint = 0;
         if on {
@@ -301,6 +384,103 @@ mod tests {
         )
         .unwrap_err();
         assert!(e.is_corrupt());
+    }
+
+    #[test]
+    fn corrupt_snapshot_falls_back_to_wal_only_replay() {
+        let dir = tmpdir("badsnap");
+        {
+            let mut s = DurableCatalog::open(&dir, opts_sync()).unwrap();
+            s.put(DatasetFeature::new("a.csv")).unwrap();
+            s.checkpoint().unwrap();
+            s.put(DatasetFeature::new("b.csv")).unwrap();
+        }
+        // Flip a payload byte in the snapshot: its CRC no longer verifies.
+        let snap = dir.join("snapshot.bin");
+        let mut bytes = fs::read(&snap).unwrap();
+        let ix = bytes.len() - 2;
+        bytes[ix] ^= 0x20;
+        fs::write(&snap, &bytes).unwrap();
+
+        let s = DurableCatalog::open(&dir, opts_sync()).unwrap();
+        // The snapshot is gone (quarantined); only the post-checkpoint WAL
+        // record survives — degraded but deterministic.
+        assert!(!s.recovery_report().snapshot_loaded);
+        assert_eq!(s.recovery_report().quarantined.len(), 1);
+        assert_eq!(s.catalog().len(), 1);
+        assert!(s.catalog().get_by_path("b.csv").is_some());
+        // The damaged file is preserved for forensics, with its reason.
+        let q = &s.recovery_report().quarantined[0];
+        assert!(q.quarantined_to.exists());
+        assert!(q.reason.detail.contains("crc"), "{}", q.reason.detail);
+        assert!(!snap.exists());
+        // Strict mode still refuses instead of quarantining.
+        drop(s);
+    }
+
+    #[test]
+    fn corrupt_snapshot_in_strict_mode_errors() {
+        let dir = tmpdir("badsnap-strict");
+        {
+            let mut s = DurableCatalog::open(&dir, opts_sync()).unwrap();
+            s.put(DatasetFeature::new("a.csv")).unwrap();
+            s.checkpoint().unwrap();
+        }
+        let snap = dir.join("snapshot.bin");
+        let mut bytes = fs::read(&snap).unwrap();
+        let ix = bytes.len() - 2;
+        bytes[ix] ^= 0x20;
+        fs::write(&snap, &bytes).unwrap();
+        let e = DurableCatalog::open(
+            &dir,
+            StoreOptions { recovery: RecoveryMode::Strict, ..StoreOptions::default() },
+        )
+        .unwrap_err();
+        assert!(e.is_corrupt());
+    }
+
+    #[test]
+    fn wal_with_bad_magic_is_quarantined_snapshot_survives() {
+        let dir = tmpdir("badwal");
+        {
+            let mut s = DurableCatalog::open(&dir, opts_sync()).unwrap();
+            s.put(DatasetFeature::new("a.csv")).unwrap();
+            s.checkpoint().unwrap();
+        }
+        fs::write(dir.join("wal.log"), b"XXXXXXXXgarbage").unwrap();
+        let s = DurableCatalog::open(&dir, opts_sync()).unwrap();
+        assert!(s.recovery_report().snapshot_loaded);
+        assert_eq!(s.recovery_report().quarantined.len(), 1);
+        assert_eq!(s.catalog().len(), 1, "snapshot contents survive");
+        // The store is writable again: the quarantined WAL was replaced by
+        // a fresh one.
+        drop(s);
+        let mut s = DurableCatalog::open(&dir, opts_sync()).unwrap();
+        s.put(DatasetFeature::new("c.csv")).unwrap();
+        assert_eq!(s.catalog().len(), 2);
+    }
+
+    #[test]
+    fn quarantine_dir_option_is_honored() {
+        let dir = tmpdir("qdir");
+        let qdir = tmpdir("qdir-target");
+        {
+            let mut s = DurableCatalog::open(&dir, opts_sync()).unwrap();
+            s.put(DatasetFeature::new("a.csv")).unwrap();
+            s.checkpoint().unwrap();
+        }
+        let snap = dir.join("snapshot.bin");
+        let mut bytes = fs::read(&snap).unwrap();
+        let ix = bytes.len() - 2;
+        bytes[ix] ^= 0x20;
+        fs::write(&snap, &bytes).unwrap();
+        let s = DurableCatalog::open(
+            &dir,
+            StoreOptions { quarantine_dir: Some(qdir.clone()), ..opts_sync() },
+        )
+        .unwrap();
+        assert_eq!(s.recovery_report().quarantined.len(), 1);
+        assert!(s.recovery_report().quarantined[0].quarantined_to.starts_with(&qdir));
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! The shared single-record file framing used by snapshots and ledgers.
+//!
+//! ```text
+//! file := magic:[u8; 8] len:u32 crc:u32 payload:[u8; len]
+//! ```
+//!
+//! `crc` is the CRC-32 of the payload. Writers stage the frame in a
+//! `<path>.tmp` sibling, fsync it, atomically rename it into place, and
+//! best-effort fsync the parent directory so the rename itself is durable.
+
+use super::crc::crc32;
+use super::vfs::Vfs;
+use crate::error::{Error, IoContext, Result};
+use std::io::Write;
+use std::path::Path;
+
+/// Writes `payload` framed under `magic` at `path`, atomically
+/// (tmp file → fsync → rename → directory fsync).
+pub(crate) fn write_framed(
+    vfs: &dyn Vfs,
+    path: &Path,
+    magic: &[u8; 8],
+    payload: &[u8],
+    kind: &str,
+) -> Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f =
+            vfs.open_truncate(&tmp).io_ctx(format!("create {kind} tmp {}", tmp.display()))?;
+        f.write_all(magic).io_ctx(format!("write {kind} magic"))?;
+        f.write_all(&(payload.len() as u32).to_le_bytes()).io_ctx(format!("write {kind} len"))?;
+        f.write_all(&crc32(payload).to_le_bytes()).io_ctx(format!("write {kind} crc"))?;
+        f.write_all(payload).io_ctx(format!("write {kind} payload"))?;
+        f.sync_all().io_ctx(format!("sync {kind} tmp"))?;
+    }
+    vfs.rename(&tmp, path).io_ctx(format!("rename {kind} into {}", path.display()))?;
+    // Best-effort directory sync so the rename itself is durable.
+    if let Some(dir) = path.parent() {
+        let _ = vfs.sync_dir(dir);
+    }
+    Ok(())
+}
+
+/// Reads and verifies a framed file. Returns `Ok(None)` when the file does
+/// not exist, `Err(Corrupt)` when it exists but fails verification
+/// (bad magic, wrong length, CRC mismatch).
+pub(crate) fn read_framed(
+    vfs: &dyn Vfs,
+    path: &Path,
+    magic: &[u8; 8],
+    kind: &str,
+) -> Result<Option<Vec<u8>>> {
+    let bytes = match vfs.read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(Error::io(format!("open {kind} {}", path.display()), e)),
+    };
+    verify_frame(&bytes, magic, kind, path).map(Some)
+}
+
+/// Verifies the framing of `bytes` (magic, declared length, CRC) and
+/// returns the payload.
+pub(crate) fn verify_frame(
+    bytes: &[u8],
+    magic: &[u8; 8],
+    kind: &str,
+    path: &Path,
+) -> Result<Vec<u8>> {
+    if bytes.len() < 16 || &bytes[..8] != magic {
+        return Err(Error::corrupt(format!("{kind} {}: bad magic/header", path.display())));
+    }
+    let len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    if bytes.len() != 16 + len {
+        return Err(Error::corrupt(format!(
+            "{kind} {}: expected {} payload bytes, file has {}",
+            path.display(),
+            len,
+            bytes.len() - 16
+        )));
+    }
+    let payload = &bytes[16..];
+    if crc32(payload) != crc {
+        return Err(Error::corrupt(format!("{kind} {}: crc mismatch", path.display())));
+    }
+    Ok(payload.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::vfs::std_vfs;
+    use std::path::PathBuf;
+
+    const MAGIC: &[u8; 8] = b"MMTEST01";
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("metamess-frame-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn round_trip_and_no_tmp_left_behind() {
+        let dir = tmpdir("rt");
+        let p = dir.join("x.bin");
+        let vfs = std_vfs();
+        write_framed(vfs.as_ref(), &p, MAGIC, b"payload", "test").unwrap();
+        assert_eq!(read_framed(vfs.as_ref(), &p, MAGIC, "test").unwrap().unwrap(), b"payload");
+        assert!(!dir.join("x.tmp").exists());
+    }
+
+    #[test]
+    fn missing_is_none_and_damage_is_corrupt() {
+        let dir = tmpdir("bad");
+        let vfs = std_vfs();
+        assert!(read_framed(vfs.as_ref(), &dir.join("none"), MAGIC, "test").unwrap().is_none());
+        let p = dir.join("x.bin");
+        write_framed(vfs.as_ref(), &p, MAGIC, b"payload", "test").unwrap();
+        let mut bytes = std::fs::read(&p).unwrap();
+        let ix = bytes.len() - 1;
+        bytes[ix] ^= 0x01;
+        std::fs::write(&p, &bytes).unwrap();
+        assert!(read_framed(vfs.as_ref(), &p, MAGIC, "test").unwrap_err().is_corrupt());
+        std::fs::write(&p, b"short").unwrap();
+        assert!(read_framed(vfs.as_ref(), &p, MAGIC, "test").unwrap_err().is_corrupt());
+    }
+}

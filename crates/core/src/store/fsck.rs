@@ -1,0 +1,506 @@
+//! Offline consistency checking ("fsck") primitives for store files.
+//!
+//! These are the layout-agnostic building blocks behind the `metamess fsck`
+//! CLI subcommand: each function verifies one kind of on-disk artifact
+//! (catalog snapshot, run ledger, WAL) and appends structured
+//! [`FsckFinding`]s to a report. Damage is never destroyed — findings carry
+//! a [`RepairAction`] proposal, and [`apply_repairs`] either truncates a
+//! damaged WAL tail (keeping the valid prefix) or moves the file into
+//! quarantine with a reason sidecar.
+
+use super::ledger::{read_ledger_with, RunLedger};
+use super::quarantine::{quarantine_file, QuarantineReason};
+use super::snapshot::read_snapshot_with;
+use super::vfs::Vfs;
+use super::wal::{RecoveryMode, ReplaySummary, Wal};
+use crate::catalog::Catalog;
+use crate::error::Result;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum FsckSeverity {
+    /// Informational: the artifact is present and healthy (or legitimately
+    /// absent).
+    Info,
+    /// Suspicious but not fatal: the store opens, but something is off.
+    Warn,
+    /// Verification failed: the artifact is damaged.
+    Error,
+}
+
+/// What `--repair` would do (or did) about a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case", tag = "action")]
+pub enum RepairAction {
+    /// Truncate the file to `len` bytes, keeping the valid prefix.
+    TruncateTo {
+        /// Length of the valid prefix, in bytes.
+        len: u64,
+    },
+    /// Move the whole file into quarantine with a reason sidecar.
+    Quarantine,
+}
+
+/// One verified fact about one file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FsckFinding {
+    /// Which artifact this concerns (`"catalog/snapshot"`, `"state/wal"`…).
+    pub component: String,
+    /// The file that was checked.
+    pub path: PathBuf,
+    /// Severity of the finding.
+    pub severity: FsckSeverity,
+    /// Human-readable description of what was found.
+    pub detail: String,
+    /// Proposed repair, present only on repairable `Error` findings.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub proposed: Option<RepairAction>,
+    /// What [`apply_repairs`] actually did (e.g. the quarantine path);
+    /// `None` until a repair ran.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub repaired: Option<String>,
+}
+
+/// Aggregated outcome of an fsck run, serializable as `--json` output.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FsckReport {
+    /// Everything fsck noticed, in check order.
+    pub findings: Vec<FsckFinding>,
+    /// Number of files examined (present or legitimately absent).
+    pub files_checked: usize,
+    /// Number of repairs [`apply_repairs`] performed.
+    pub repairs_applied: usize,
+}
+
+impl FsckReport {
+    /// Appends a finding.
+    pub fn push(
+        &mut self,
+        component: &str,
+        path: &Path,
+        severity: FsckSeverity,
+        detail: impl Into<String>,
+        proposed: Option<RepairAction>,
+    ) {
+        self.findings.push(FsckFinding {
+            component: component.to_string(),
+            path: path.to_path_buf(),
+            severity,
+            detail: detail.into(),
+            proposed,
+            repaired: None,
+        });
+    }
+
+    /// Number of `Error`-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.severity == FsckSeverity::Error).count()
+    }
+
+    /// Number of `Warn`-severity findings.
+    pub fn warn_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.severity == FsckSeverity::Warn).count()
+    }
+
+    /// True when nothing worse than `Info` was found.
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0 && self.warn_count() == 0
+    }
+
+    /// True when every `Error` finding was repaired.
+    pub fn fully_repaired(&self) -> bool {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == FsckSeverity::Error)
+            .all(|f| f.repaired.is_some())
+    }
+}
+
+/// Checks a catalog snapshot file. Returns the decoded catalog when the
+/// file is present and healthy.
+pub fn check_snapshot(
+    vfs: &dyn Vfs,
+    path: &Path,
+    component: &str,
+    report: &mut FsckReport,
+) -> Option<Catalog> {
+    report.files_checked += 1;
+    match read_snapshot_with(vfs, path) {
+        Ok(Some(c)) => {
+            report.push(
+                component,
+                path,
+                FsckSeverity::Info,
+                format!("ok: {} entries, generation {}", c.len(), c.generation()),
+                None,
+            );
+            Some(c)
+        }
+        Ok(None) => {
+            report.push(component, path, FsckSeverity::Info, "absent", None);
+            None
+        }
+        Err(e) if e.is_corrupt() => {
+            report.push(
+                component,
+                path,
+                FsckSeverity::Error,
+                e.to_string(),
+                Some(RepairAction::Quarantine),
+            );
+            None
+        }
+        Err(e) => {
+            report.push(component, path, FsckSeverity::Error, e.to_string(), None);
+            None
+        }
+    }
+}
+
+/// Checks a run-ledger file. Returns the decoded ledger when the file is
+/// present and healthy.
+pub fn check_ledger(
+    vfs: &dyn Vfs,
+    path: &Path,
+    component: &str,
+    report: &mut FsckReport,
+) -> Option<RunLedger> {
+    report.files_checked += 1;
+    match read_ledger_with(vfs, path) {
+        Ok(Some(l)) => {
+            report.push(
+                component,
+                path,
+                FsckSeverity::Info,
+                format!("ok: run #{}, {} stages", l.run_id, l.len()),
+                None,
+            );
+            Some(l)
+        }
+        Ok(None) => {
+            report.push(component, path, FsckSeverity::Info, "absent", None);
+            None
+        }
+        Err(e) if e.is_corrupt() => {
+            report.push(
+                component,
+                path,
+                FsckSeverity::Error,
+                e.to_string(),
+                Some(RepairAction::Quarantine),
+            );
+            None
+        }
+        Err(e) => {
+            report.push(component, path, FsckSeverity::Error, e.to_string(), None);
+            None
+        }
+    }
+}
+
+/// Checks a WAL file record by record. A damaged *tail* yields an `Error`
+/// finding proposing truncation to the valid prefix (the salvageable
+/// records are still returned); unreadable framing (bad magic, damage
+/// mid-file) proposes quarantine. Returns the decoded record summary when
+/// anything was salvageable.
+pub fn check_wal(
+    vfs: &dyn Vfs,
+    path: &Path,
+    component: &str,
+    report: &mut FsckReport,
+) -> Option<ReplaySummary> {
+    report.files_checked += 1;
+    if !vfs.exists(path) {
+        report.push(component, path, FsckSeverity::Info, "absent", None);
+        return None;
+    }
+    match Wal::replay_with(vfs, path, RecoveryMode::Strict) {
+        Ok(s) => {
+            report.push(
+                component,
+                path,
+                FsckSeverity::Info,
+                format!("ok: {} records", s.mutations.len()),
+                None,
+            );
+            Some(s)
+        }
+        Err(strict_err) if strict_err.is_corrupt() => {
+            // Distinguish a salvageable damaged tail from unreadable framing.
+            match Wal::replay_with(vfs, path, RecoveryMode::TruncateTail) {
+                Ok(s) if s.truncated_bytes > 0 => {
+                    let total = vfs.file_len(path).unwrap_or(0);
+                    let valid = total.saturating_sub(s.truncated_bytes);
+                    report.push(
+                        component,
+                        path,
+                        FsckSeverity::Error,
+                        format!(
+                            "damaged tail: {} of {} bytes invalid after {} good records",
+                            s.truncated_bytes,
+                            total,
+                            s.mutations.len()
+                        ),
+                        Some(RepairAction::TruncateTo { len: valid }),
+                    );
+                    Some(s)
+                }
+                Ok(s) => {
+                    // Strict failed but lenient found nothing to truncate —
+                    // treat conservatively as damage requiring quarantine.
+                    report.push(
+                        component,
+                        path,
+                        FsckSeverity::Error,
+                        strict_err.to_string(),
+                        Some(RepairAction::Quarantine),
+                    );
+                    Some(s)
+                }
+                Err(e) => {
+                    report.push(
+                        component,
+                        path,
+                        FsckSeverity::Error,
+                        e.to_string(),
+                        Some(RepairAction::Quarantine),
+                    );
+                    None
+                }
+            }
+        }
+        Err(e) => {
+            report.push(component, path, FsckSeverity::Error, e.to_string(), None);
+            None
+        }
+    }
+}
+
+/// Checks one durable-catalog directory (`snapshot.bin` + `wal.log`):
+/// individual file integrity plus snapshot/WAL agreement — the recovered
+/// catalog must reconstruct, and its generation must equal the snapshot
+/// generation advanced by every replayed WAL record. Returns the recovered
+/// catalog when reconstruction succeeded.
+pub fn check_catalog_dir(vfs: &dyn Vfs, dir: &Path, report: &mut FsckReport) -> Option<Catalog> {
+    let snap = check_snapshot(vfs, &dir.join("snapshot.bin"), "catalog/snapshot", report);
+    let wal = check_wal(vfs, &dir.join("wal.log"), "catalog/wal", report);
+    let (snap_gen, mut recovered) = match snap {
+        Some(c) => (c.generation(), c),
+        None => (0, Catalog::new()),
+    };
+    let replay = wal?;
+    for m in &replay.mutations {
+        recovered.apply(m);
+    }
+    let expected = snap_gen + replay.mutations.len() as u64;
+    if recovered.generation() != expected {
+        report.push(
+            "catalog",
+            dir,
+            FsckSeverity::Warn,
+            format!(
+                "generation disagreement: snapshot at {} + {} wal records should recover to \
+                 {}, got {}",
+                snap_gen,
+                replay.mutations.len(),
+                expected,
+                recovered.generation()
+            ),
+            None,
+        );
+    } else {
+        report.push(
+            "catalog",
+            dir,
+            FsckSeverity::Info,
+            format!(
+                "recovered: {} entries at generation {} ({} wal records past the snapshot)",
+                recovered.len(),
+                recovered.generation(),
+                replay.mutations.len()
+            ),
+            None,
+        );
+    }
+    Some(recovered)
+}
+
+/// Applies the proposed repair of every unrepaired `Error` finding:
+/// truncations keep the valid prefix in place, quarantines move the file
+/// into `quarantine_dir` with a `"fsck"` reason sidecar. Updates each
+/// finding's `repaired` field and the report's `repairs_applied` count.
+pub fn apply_repairs(vfs: &dyn Vfs, report: &mut FsckReport, quarantine_dir: &Path) -> Result<()> {
+    for ix in 0..report.findings.len() {
+        let (path, proposed, detail) = {
+            let f = &report.findings[ix];
+            if f.repaired.is_some() {
+                continue;
+            }
+            match f.proposed {
+                Some(p) => (f.path.clone(), p, f.detail.clone()),
+                None => continue,
+            }
+        };
+        let done = match proposed {
+            RepairAction::TruncateTo { len } => {
+                vfs.truncate(&path, len).map_err(|e| {
+                    crate::error::Error::io(format!("truncate {}", path.display()), e)
+                })?;
+                format!("truncated to {len} bytes")
+            }
+            RepairAction::Quarantine => {
+                let reason = QuarantineReason {
+                    source: path.display().to_string(),
+                    detail,
+                    quarantined_by: "fsck".to_string(),
+                };
+                let dest = quarantine_file(vfs, &path, quarantine_dir, &reason)?;
+                format!("quarantined to {}", dest.display())
+            }
+        };
+        report.findings[ix].repaired = Some(done);
+        report.repairs_applied += 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::DatasetFeature;
+    use crate::store::durable::{DurableCatalog, StoreOptions};
+    use crate::store::vfs::std_vfs;
+    use std::fs::{self, OpenOptions};
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("metamess-fsck-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn populated_store(dir: &Path) {
+        let mut s = DurableCatalog::open(
+            dir,
+            StoreOptions { sync_on_append: true, ..StoreOptions::default() },
+        )
+        .unwrap();
+        s.put(DatasetFeature::new("a.csv")).unwrap();
+        s.checkpoint().unwrap();
+        s.put(DatasetFeature::new("b.csv")).unwrap();
+    }
+
+    #[test]
+    fn clean_store_reports_only_info() {
+        let dir = tmpdir("clean");
+        populated_store(&dir);
+        let mut report = FsckReport::default();
+        let recovered = check_catalog_dir(std_vfs().as_ref(), &dir, &mut report).unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(recovered.len(), 2);
+        assert_eq!(report.files_checked, 2);
+    }
+
+    #[test]
+    fn damaged_wal_tail_is_truncate_repairable() {
+        let dir = tmpdir("tail");
+        populated_store(&dir);
+        let wal = dir.join("wal.log");
+        let len = fs::metadata(&wal).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&wal).unwrap();
+        f.set_len(len - 5).unwrap();
+        drop(f);
+
+        let vfs = std_vfs();
+        let mut report = FsckReport::default();
+        check_catalog_dir(vfs.as_ref(), &dir, &mut report);
+        assert_eq!(report.error_count(), 1);
+        let finding = report.findings.iter().find(|f| f.proposed.is_some()).unwrap();
+        assert!(matches!(finding.proposed, Some(RepairAction::TruncateTo { .. })));
+
+        apply_repairs(vfs.as_ref(), &mut report, &dir.join("quarantine")).unwrap();
+        assert_eq!(report.repairs_applied, 1);
+        assert!(report.fully_repaired());
+        // After repair the store is strict-clean again.
+        let mut after = FsckReport::default();
+        check_catalog_dir(vfs.as_ref(), &dir, &mut after);
+        assert!(after.is_clean(), "{after:?}");
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_quarantine_repairable() {
+        let dir = tmpdir("snap");
+        populated_store(&dir);
+        let snap = dir.join("snapshot.bin");
+        let mut bytes = fs::read(&snap).unwrap();
+        let ix = bytes.len() - 4;
+        bytes[ix] ^= 0x40;
+        fs::write(&snap, &bytes).unwrap();
+
+        let vfs = std_vfs();
+        let mut report = FsckReport::default();
+        check_catalog_dir(vfs.as_ref(), &dir, &mut report);
+        assert_eq!(report.error_count(), 1);
+        let qdir = dir.join("quarantine");
+        apply_repairs(vfs.as_ref(), &mut report, &qdir).unwrap();
+        assert!(!snap.exists());
+        assert!(qdir.join("snapshot.bin.0").exists());
+        assert!(qdir.join("snapshot.bin.0.reason.json").exists());
+    }
+
+    #[test]
+    fn bad_wal_magic_is_quarantine_repairable() {
+        let dir = tmpdir("magic");
+        populated_store(&dir);
+        fs::write(dir.join("wal.log"), b"NOTMAGICxxxx").unwrap();
+        let vfs = std_vfs();
+        let mut report = FsckReport::default();
+        check_catalog_dir(vfs.as_ref(), &dir, &mut report);
+        let finding = report.findings.iter().find(|f| f.component == "catalog/wal").unwrap();
+        assert_eq!(finding.severity, FsckSeverity::Error);
+        assert_eq!(finding.proposed, Some(RepairAction::Quarantine));
+        apply_repairs(vfs.as_ref(), &mut report, &dir.join("quarantine")).unwrap();
+        assert!(!dir.join("wal.log").exists());
+    }
+
+    #[test]
+    fn ledger_check_round_trips_and_detects_corruption() {
+        use crate::store::ledger::{write_ledger, RunLedger};
+        let dir = tmpdir("ledger");
+        let p = dir.join("ledger.bin");
+        let mut l = RunLedger::new();
+        l.run_id = 7;
+        write_ledger(&p, &l).unwrap();
+        let vfs = std_vfs();
+        let mut report = FsckReport::default();
+        assert_eq!(check_ledger(vfs.as_ref(), &p, "state/ledger", &mut report).unwrap().run_id, 7);
+        assert!(report.is_clean());
+
+        let mut bytes = fs::read(&p).unwrap();
+        bytes[9] ^= 0xff; // length field
+        fs::write(&p, &bytes).unwrap();
+        let mut report = FsckReport::default();
+        assert!(check_ledger(vfs.as_ref(), &p, "state/ledger", &mut report).is_none());
+        assert_eq!(report.error_count(), 1);
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let mut report = FsckReport::default();
+        report.push(
+            "catalog/wal",
+            Path::new("/tmp/wal.log"),
+            FsckSeverity::Error,
+            "damaged tail",
+            Some(RepairAction::TruncateTo { len: 42 }),
+        );
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"severity\":\"error\""), "{json}");
+        assert!(json.contains("\"truncate_to\""), "{json}");
+        let back: FsckReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

@@ -9,17 +9,17 @@
 //!
 //! Layout mirrors the catalog snapshot: `MMLEDG01` magic, u32 payload
 //! length, u32 CRC-32, JSON payload, written to a temporary file and
-//! atomically renamed into place.
+//! atomically renamed into place (the shared framing in `frame.rs`).
 
-use super::crc::crc32;
-use crate::error::{Error, IoContext, Result};
+use super::frame::{read_framed, write_framed};
+use super::vfs::{std_vfs, Vfs};
+use crate::error::{Error, Result};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::fs::{self, File, OpenOptions};
-use std::io::{Read, Write};
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"MMLEDG01";
+/// The eight magic bytes opening every run-ledger file.
+pub const LEDGER_MAGIC: &[u8; 8] = b"MMLEDG01";
 
 /// What the ledger remembers about one stage of the last run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -78,63 +78,34 @@ impl RunLedger {
     }
 }
 
-/// Writes `ledger` at `path`, atomically.
+/// Writes `ledger` at `path`, atomically, via the standard file system.
 pub fn write_ledger(path: impl AsRef<Path>, ledger: &RunLedger) -> Result<()> {
-    let path = path.as_ref();
-    let payload = serde_json::to_vec(ledger)
-        .map_err(|e| Error::invalid(format!("unencodable ledger: {e}")))?;
-    let tmp = path.with_extension("tmp");
-    {
-        let mut f = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(&tmp)
-            .io_ctx(format!("create ledger tmp {}", tmp.display()))?;
-        f.write_all(MAGIC).io_ctx("write ledger magic")?;
-        f.write_all(&(payload.len() as u32).to_le_bytes()).io_ctx("write ledger len")?;
-        f.write_all(&crc32(&payload).to_le_bytes()).io_ctx("write ledger crc")?;
-        f.write_all(&payload).io_ctx("write ledger payload")?;
-        f.sync_all().io_ctx("sync ledger tmp")?;
-    }
-    fs::rename(&tmp, path).io_ctx(format!("rename ledger into {}", path.display()))?;
-    if let Some(dir) = path.parent() {
-        if let Ok(d) = File::open(dir) {
-            let _ = d.sync_all();
-        }
-    }
-    Ok(())
+    write_ledger_with(std_vfs().as_ref(), path, ledger)
 }
 
-/// Reads a ledger. Returns `Ok(None)` when the file does not exist,
-/// `Err(Corrupt)` when it exists but fails verification.
+/// Writes `ledger` at `path`, atomically, through an explicit [`Vfs`].
+pub fn write_ledger_with(vfs: &dyn Vfs, path: impl AsRef<Path>, ledger: &RunLedger) -> Result<()> {
+    let payload = serde_json::to_vec(ledger)
+        .map_err(|e| Error::invalid(format!("unencodable ledger: {e}")))?;
+    write_framed(vfs, path.as_ref(), LEDGER_MAGIC, &payload, "ledger")
+}
+
+/// Reads a ledger via the standard file system. Returns `Ok(None)` when the
+/// file does not exist, `Err(Corrupt)` when it exists but fails
+/// verification.
 pub fn read_ledger(path: impl AsRef<Path>) -> Result<Option<RunLedger>> {
+    read_ledger_with(std_vfs().as_ref(), path)
+}
+
+/// Reads a ledger through an explicit [`Vfs`]. Returns `Ok(None)` when the
+/// file does not exist, `Err(Corrupt)` when it exists but fails
+/// verification.
+pub fn read_ledger_with(vfs: &dyn Vfs, path: impl AsRef<Path>) -> Result<Option<RunLedger>> {
     let path = path.as_ref();
-    let mut f = match File::open(path) {
-        Ok(f) => f,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
-        Err(e) => return Err(Error::io(format!("open ledger {}", path.display()), e)),
+    let Some(payload) = read_framed(vfs, path, LEDGER_MAGIC, "ledger")? else {
+        return Ok(None);
     };
-    let mut bytes = Vec::new();
-    f.read_to_end(&mut bytes).io_ctx("read ledger")?;
-    if bytes.len() < 16 || &bytes[..8] != MAGIC {
-        return Err(Error::corrupt(format!("ledger {}: bad magic/header", path.display())));
-    }
-    let len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
-    let crc = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
-    if bytes.len() != 16 + len {
-        return Err(Error::corrupt(format!(
-            "ledger {}: expected {} payload bytes, file has {}",
-            path.display(),
-            len,
-            bytes.len() - 16
-        )));
-    }
-    let payload = &bytes[16..];
-    if crc32(payload) != crc {
-        return Err(Error::corrupt(format!("ledger {}: crc mismatch", path.display())));
-    }
-    let ledger: RunLedger = serde_json::from_slice(payload)
+    let ledger: RunLedger = serde_json::from_slice(&payload)
         .map_err(|e| Error::corrupt(format!("ledger {}: undecodable: {e}", path.display())))?;
     Ok(Some(ledger))
 }
@@ -142,6 +113,7 @@ pub fn read_ledger(path: impl AsRef<Path>) -> Result<Option<RunLedger>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
     use std::path::PathBuf;
 
     fn tmpdir(name: &str) -> PathBuf {

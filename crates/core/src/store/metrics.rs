@@ -12,9 +12,13 @@ pub(crate) struct StoreMetrics {
     pub wal_appends: Arc<Counter>,
     /// `metamess_core_wal_bytes_total` — payload + header bytes written.
     pub wal_bytes: Arc<Counter>,
-    /// `metamess_core_wal_fsyncs_total` — flush_and_sync calls (covers
-    /// sync-on-append, checkpoints, and explicit flushes).
+    /// `metamess_core_wal_fsyncs_total` — *successful* flush_and_sync calls
+    /// (covers sync-on-append, checkpoints, and explicit flushes). Failed
+    /// syncs are counted in `wal_fsync_failures`, never here.
     pub wal_fsyncs: Arc<Counter>,
+    /// `metamess_core_wal_fsync_failures_total` — flush_and_sync calls that
+    /// returned an error (the record may not be durable).
+    pub wal_fsync_failures: Arc<Counter>,
     /// `metamess_core_snapshot_writes_total` — checkpoint snapshots written.
     pub snapshot_writes: Arc<Counter>,
     /// `metamess_core_recovery_replayed_total` — WAL mutations replayed
@@ -23,6 +27,12 @@ pub(crate) struct StoreMetrics {
     /// `metamess_core_recovery_truncated_bytes_total` — damaged tail bytes
     /// discarded during recovery.
     pub recovery_truncated_bytes: Arc<Counter>,
+    /// `metamess_core_recovery_quarantined_total` — corrupt files moved
+    /// into quarantine by recovery or `fsck --repair`.
+    pub recovery_quarantined: Arc<Counter>,
+    /// `metamess_core_vfs_faults_injected_total` — faults injected by a
+    /// [`FaultVfs`](super::FaultVfs) (non-zero only under torture testing).
+    pub vfs_faults_injected: Arc<Counter>,
     /// `metamess_core_checkpoint_micros` — full checkpoint latency.
     pub checkpoint_micros: Arc<Histogram>,
 }
@@ -35,9 +45,12 @@ pub(crate) fn store_metrics() -> &'static StoreMetrics {
             wal_appends: r.counter("metamess_core_wal_appends_total"),
             wal_bytes: r.counter("metamess_core_wal_bytes_total"),
             wal_fsyncs: r.counter("metamess_core_wal_fsyncs_total"),
+            wal_fsync_failures: r.counter("metamess_core_wal_fsync_failures_total"),
             snapshot_writes: r.counter("metamess_core_snapshot_writes_total"),
             recovery_replayed: r.counter("metamess_core_recovery_replayed_total"),
             recovery_truncated_bytes: r.counter("metamess_core_recovery_truncated_bytes_total"),
+            recovery_quarantined: r.counter("metamess_core_recovery_quarantined_total"),
+            vfs_faults_injected: r.counter("metamess_core_vfs_faults_injected_total"),
             checkpoint_micros: r.histogram("metamess_core_checkpoint_micros"),
         }
     })

@@ -1,14 +1,33 @@
 //! Durable storage for the metadata catalog: CRC-checked WAL + snapshots.
+//!
+//! All file I/O goes through the [`Vfs`] trait so that crash-consistency
+//! can be torture-tested with a deterministic fault-injecting
+//! implementation ([`FaultVfs`]) while production uses the zero-cost
+//! [`StdVfs`] passthrough. On-disk formats are specified in
+//! `DESIGN.md § Durability`; [`fsck`] verifies them offline.
 
+/// CRC-32 (ISO-HDLC) used by every on-disk frame.
 pub mod crc;
 mod durable;
+mod frame;
+pub mod fsck;
 mod ledger;
 mod metrics;
+mod quarantine;
 mod snapshot;
+mod vfs;
 mod wal;
 
 pub use crc::{crc32, Crc32};
 pub use durable::{DurableCatalog, RecoveryReport, StoreOptions};
-pub use ledger::{read_ledger, write_ledger, RunLedger, StageRecord};
-pub use snapshot::{read_snapshot, write_snapshot};
-pub use wal::{RecoveryMode, ReplaySummary, Wal};
+pub use fsck::{FsckFinding, FsckReport, FsckSeverity};
+pub use ledger::{
+    read_ledger, read_ledger_with, write_ledger, write_ledger_with, RunLedger, StageRecord,
+    LEDGER_MAGIC,
+};
+pub use quarantine::{quarantine_file, QuarantineReason, Quarantined};
+pub use snapshot::{
+    read_snapshot, read_snapshot_with, write_snapshot, write_snapshot_with, SNAPSHOT_MAGIC,
+};
+pub use vfs::{std_vfs, FaultKind, FaultPlan, FaultVfs, StdVfs, Vfs, VfsFile};
+pub use wal::{RecoveryMode, ReplaySummary, Wal, WAL_MAGIC};

@@ -1,0 +1,144 @@
+//! Quarantine for corrupt store files.
+//!
+//! Recovery and `fsck` never delete damaged data: a file that fails
+//! verification is *moved* into a quarantine directory alongside a
+//! structured `*.reason.json` sidecar describing what was wrong, so an
+//! operator (or a later forensic pass) can inspect it. Quarantined names
+//! are suffixed with a monotonically chosen integer so repeated
+//! quarantines of the same file never collide.
+
+use super::metrics::store_metrics;
+use super::vfs::Vfs;
+use crate::error::{Error, IoContext, Result};
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Structured description of why a file was quarantined, persisted as the
+/// `*.reason.json` sidecar next to the quarantined file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantineReason {
+    /// Original path of the quarantined file.
+    pub source: String,
+    /// What failed verification (e.g. `"crc mismatch"`).
+    pub detail: String,
+    /// Which component quarantined it (`"recovery"` or `"fsck"`).
+    pub quarantined_by: String,
+}
+
+/// Record of one quarantined file, as reported by recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quarantined {
+    /// Where the damaged file now lives.
+    pub quarantined_to: PathBuf,
+    /// Why it was quarantined.
+    pub reason: QuarantineReason,
+}
+
+/// Moves `path` into `quarantine_dir` (creating it if needed), writes the
+/// structured reason sidecar, and bumps the
+/// `metamess_core_recovery_quarantined_total` counter. Returns the new
+/// location of the damaged file.
+pub fn quarantine_file(
+    vfs: &dyn Vfs,
+    path: &Path,
+    quarantine_dir: &Path,
+    reason: &QuarantineReason,
+) -> Result<PathBuf> {
+    vfs.create_dir_all(quarantine_dir)
+        .io_ctx(format!("create quarantine dir {}", quarantine_dir.display()))?;
+    let base = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "unnamed".to_string());
+    // First free numeric suffix: snapshot.bin.0, snapshot.bin.1, ...
+    let mut n = 0u32;
+    let dest = loop {
+        let candidate = quarantine_dir.join(format!("{base}.{n}"));
+        if !vfs.exists(&candidate) {
+            break candidate;
+        }
+        n += 1;
+        if n > 10_000 {
+            return Err(Error::invalid(format!(
+                "quarantine dir {} overflows 10k entries for {base}",
+                quarantine_dir.display()
+            )));
+        }
+    };
+    vfs.rename(path, &dest).io_ctx(format!(
+        "quarantine {} into {}",
+        path.display(),
+        dest.display()
+    ))?;
+    let sidecar = dest.with_file_name(format!(
+        "{}.reason.json",
+        dest.file_name().unwrap_or_default().to_string_lossy()
+    ));
+    let payload = serde_json::to_vec_pretty(reason)
+        .map_err(|e| Error::invalid(format!("unencodable quarantine reason: {e}")))?;
+    {
+        let mut f = vfs
+            .open_truncate(&sidecar)
+            .io_ctx(format!("create quarantine reason {}", sidecar.display()))?;
+        f.write_all(&payload).io_ctx("write quarantine reason")?;
+        f.sync_all().io_ctx("sync quarantine reason")?;
+    }
+    let _ = vfs.sync_dir(quarantine_dir);
+    if metamess_telemetry::enabled() {
+        store_metrics().recovery_quarantined.inc();
+    }
+    Ok(dest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::vfs::std_vfs;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("metamess-quar-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn reason(src: &Path) -> QuarantineReason {
+        QuarantineReason {
+            source: src.display().to_string(),
+            detail: "crc mismatch".into(),
+            quarantined_by: "recovery".into(),
+        }
+    }
+
+    #[test]
+    fn moves_file_and_writes_reason_sidecar() {
+        let dir = tmpdir("move");
+        let bad = dir.join("snapshot.bin");
+        std::fs::write(&bad, b"garbage").unwrap();
+        let qdir = dir.join("quarantine");
+        let vfs = std_vfs();
+        let dest = quarantine_file(vfs.as_ref(), &bad, &qdir, &reason(&bad)).unwrap();
+        assert!(!bad.exists(), "original moved away");
+        assert_eq!(dest, qdir.join("snapshot.bin.0"));
+        assert_eq!(std::fs::read(&dest).unwrap(), b"garbage");
+        let sidecar = qdir.join("snapshot.bin.0.reason.json");
+        let got: QuarantineReason =
+            serde_json::from_slice(&std::fs::read(&sidecar).unwrap()).unwrap();
+        assert_eq!(got.detail, "crc mismatch");
+        assert_eq!(got.quarantined_by, "recovery");
+    }
+
+    #[test]
+    fn repeated_quarantines_pick_fresh_suffixes() {
+        let dir = tmpdir("suffix");
+        let qdir = dir.join("quarantine");
+        let vfs = std_vfs();
+        for n in 0..3 {
+            let bad = dir.join("wal.log");
+            std::fs::write(&bad, format!("bad-{n}")).unwrap();
+            let dest = quarantine_file(vfs.as_ref(), &bad, &qdir, &reason(&bad)).unwrap();
+            assert_eq!(dest, qdir.join(format!("wal.log.{n}")));
+        }
+    }
+}

@@ -1,77 +1,49 @@
 //! Point-in-time catalog snapshots.
 //!
-//! Layout: `MMSNAP01` magic, u32 payload length, u32 CRC-32, JSON payload.
-//! Snapshots are written to a temporary file, fsynced, then atomically
-//! renamed into place so an interrupted checkpoint never damages the
-//! previous snapshot.
+//! Layout: `MMSNAP01` magic, u32 payload length, u32 CRC-32, JSON payload
+//! (the framing shared with the run ledger — see `frame.rs`). Snapshots are
+//! written to a temporary file, fsynced, then atomically renamed into place
+//! so an interrupted checkpoint never damages the previous snapshot.
 
-use super::crc::crc32;
+use super::frame::{read_framed, write_framed};
+use super::vfs::{std_vfs, Vfs};
 use crate::catalog::Catalog;
-use crate::error::{Error, IoContext, Result};
-use std::fs::{self, File, OpenOptions};
-use std::io::{Read, Write};
+use crate::error::{Error, Result};
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"MMSNAP01";
+/// The eight magic bytes opening every snapshot file.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"MMSNAP01";
 
-/// Writes `catalog` as a snapshot at `path`, atomically.
+/// Writes `catalog` as a snapshot at `path`, atomically, via the standard
+/// file system.
 pub fn write_snapshot(path: impl AsRef<Path>, catalog: &Catalog) -> Result<()> {
-    let path = path.as_ref();
-    let payload = serde_json::to_vec(catalog)
-        .map_err(|e| Error::invalid(format!("unencodable catalog: {e}")))?;
-    let tmp = path.with_extension("tmp");
-    {
-        let mut f = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(&tmp)
-            .io_ctx(format!("create snapshot tmp {}", tmp.display()))?;
-        f.write_all(MAGIC).io_ctx("write snapshot magic")?;
-        f.write_all(&(payload.len() as u32).to_le_bytes()).io_ctx("write snapshot len")?;
-        f.write_all(&crc32(&payload).to_le_bytes()).io_ctx("write snapshot crc")?;
-        f.write_all(&payload).io_ctx("write snapshot payload")?;
-        f.sync_all().io_ctx("sync snapshot tmp")?;
-    }
-    fs::rename(&tmp, path).io_ctx(format!("rename snapshot into {}", path.display()))?;
-    // Best-effort directory sync so the rename itself is durable.
-    if let Some(dir) = path.parent() {
-        if let Ok(d) = File::open(dir) {
-            let _ = d.sync_all();
-        }
-    }
-    Ok(())
+    write_snapshot_with(std_vfs().as_ref(), path, catalog)
 }
 
-/// Reads a snapshot. Returns `Ok(None)` when the file does not exist,
-/// `Err(Corrupt)` when it exists but fails verification.
+/// Writes `catalog` as a snapshot at `path`, atomically, through an
+/// explicit [`Vfs`].
+pub fn write_snapshot_with(vfs: &dyn Vfs, path: impl AsRef<Path>, catalog: &Catalog) -> Result<()> {
+    let payload = serde_json::to_vec(catalog)
+        .map_err(|e| Error::invalid(format!("unencodable catalog: {e}")))?;
+    write_framed(vfs, path.as_ref(), SNAPSHOT_MAGIC, &payload, "snapshot")
+}
+
+/// Reads a snapshot via the standard file system. Returns `Ok(None)` when
+/// the file does not exist, `Err(Corrupt)` when it exists but fails
+/// verification.
 pub fn read_snapshot(path: impl AsRef<Path>) -> Result<Option<Catalog>> {
+    read_snapshot_with(std_vfs().as_ref(), path)
+}
+
+/// Reads a snapshot through an explicit [`Vfs`]. Returns `Ok(None)` when
+/// the file does not exist, `Err(Corrupt)` when it exists but fails
+/// verification.
+pub fn read_snapshot_with(vfs: &dyn Vfs, path: impl AsRef<Path>) -> Result<Option<Catalog>> {
     let path = path.as_ref();
-    let mut f = match File::open(path) {
-        Ok(f) => f,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
-        Err(e) => return Err(Error::io(format!("open snapshot {}", path.display()), e)),
+    let Some(payload) = read_framed(vfs, path, SNAPSHOT_MAGIC, "snapshot")? else {
+        return Ok(None);
     };
-    let mut bytes = Vec::new();
-    f.read_to_end(&mut bytes).io_ctx("read snapshot")?;
-    if bytes.len() < 16 || &bytes[..8] != MAGIC {
-        return Err(Error::corrupt(format!("snapshot {}: bad magic/header", path.display())));
-    }
-    let len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
-    let crc = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
-    if bytes.len() != 16 + len {
-        return Err(Error::corrupt(format!(
-            "snapshot {}: expected {} payload bytes, file has {}",
-            path.display(),
-            len,
-            bytes.len() - 16
-        )));
-    }
-    let payload = &bytes[16..];
-    if crc32(payload) != crc {
-        return Err(Error::corrupt(format!("snapshot {}: crc mismatch", path.display())));
-    }
-    let catalog: Catalog = serde_json::from_slice(payload)
+    let catalog: Catalog = serde_json::from_slice(&payload)
         .map_err(|e| Error::corrupt(format!("snapshot {}: undecodable: {e}", path.display())))?;
     Ok(Some(catalog))
 }
@@ -80,6 +52,7 @@ pub fn read_snapshot(path: impl AsRef<Path>) -> Result<Option<Catalog>> {
 mod tests {
     use super::*;
     use crate::feature::DatasetFeature;
+    use std::fs;
     use std::path::PathBuf;
 
     fn tmpdir(name: &str) -> PathBuf {
@@ -147,5 +120,20 @@ mod tests {
         let back = read_snapshot(&p).unwrap().unwrap();
         assert_eq!(back.len(), 3);
         assert!(!dir.join("snapshot.tmp").exists());
+    }
+
+    #[test]
+    fn failed_rename_preserves_previous_snapshot() {
+        use crate::store::vfs::{FaultKind, FaultPlan, FaultVfs};
+        let dir = tmpdir("renamefault");
+        let p = dir.join("snapshot.bin");
+        write_snapshot(&p, &sample_catalog()).unwrap();
+        let vfs = FaultVfs::new(FaultPlan { crash_at: 1, kind: FaultKind::RenameFail, seed: 2 });
+        let mut c2 = sample_catalog();
+        c2.put(DatasetFeature::new("c.obslog"));
+        assert!(write_snapshot_with(&vfs, &p, &c2).is_err());
+        // The previous snapshot is intact; only the tmp file was touched.
+        let back = read_snapshot(&p).unwrap().unwrap();
+        assert_eq!(back.len(), 2);
     }
 }

@@ -12,16 +12,22 @@
 //! [`Mutation`](crate::catalog::Mutation). Torn final records (a crash during
 //! append) are detected and may be truncated away; corruption *before* the
 //! tail is reported as [`Error::Corrupt`].
+//!
+//! All file I/O flows through a [`Vfs`], so the same code path can run
+//! against the real file system or the fault-injecting
+//! [`FaultVfs`](super::FaultVfs) used by the crash-torture suite.
 
 use super::crc::crc32;
 use super::metrics::store_metrics;
+use super::vfs::{std_vfs, Vfs, VfsFile};
 use crate::catalog::Mutation;
 use crate::error::{Error, IoContext, Result};
-use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
-const MAGIC: &[u8; 8] = b"MMWAL001";
+/// The eight magic bytes opening every WAL file.
+pub const WAL_MAGIC: &[u8; 8] = b"MMWAL001";
 /// Refuse to read a single record larger than this (corruption guard).
 const MAX_RECORD_LEN: u32 = 64 * 1024 * 1024;
 
@@ -36,7 +42,7 @@ pub enum RecoveryMode {
 }
 
 /// Outcome of a WAL replay.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ReplaySummary {
     /// Mutations successfully decoded, in append order.
     pub mutations: Vec<Mutation>,
@@ -47,7 +53,7 @@ pub struct ReplaySummary {
 /// An open write-ahead log.
 pub struct Wal {
     path: PathBuf,
-    writer: BufWriter<File>,
+    writer: BufWriter<Box<dyn VfsFile>>,
     /// Records appended since open/replay (for telemetry and checkpoints).
     appended: u64,
     /// Synchronous durability: fsync after every append.
@@ -65,45 +71,59 @@ impl std::fmt::Debug for Wal {
 }
 
 impl Wal {
-    /// Opens (creating if needed) the log at `path` for appending.
+    /// Opens (creating if needed) the log at `path` for appending, using the
+    /// standard file system.
     pub fn open(path: impl AsRef<Path>, sync_on_append: bool) -> Result<Wal> {
+        Wal::open_with(std_vfs(), path, sync_on_append)
+    }
+
+    /// Opens (creating if needed) the log at `path` for appending through
+    /// an explicit [`Vfs`].
+    pub fn open_with(
+        vfs: Arc<dyn Vfs>,
+        path: impl AsRef<Path>,
+        sync_on_append: bool,
+    ) -> Result<Wal> {
         let path = path.as_ref().to_path_buf();
-        let mut file = OpenOptions::new()
-            .read(true)
-            .append(true)
-            .create(true)
-            .open(&path)
-            .io_ctx(format!("open wal {}", path.display()))?;
-        let len = file.metadata().io_ctx(format!("stat wal {}", path.display()))?.len();
+        let mut file = vfs.open_append(&path).io_ctx(format!("open wal {}", path.display()))?;
+        let len = file.len().io_ctx(format!("stat wal {}", path.display()))?;
         if len == 0 {
-            file.write_all(MAGIC).io_ctx("write wal magic")?;
+            file.write_all(WAL_MAGIC).io_ctx("write wal magic")?;
             file.sync_all().io_ctx("sync wal magic")?;
         }
         Ok(Wal { path, writer: BufWriter::new(file), appended: 0, sync_on_append })
     }
 
     /// Replays every valid record from the log at `path` without opening it
-    /// for writing. Returns the decoded mutations.
+    /// for writing, using the standard file system.
     pub fn replay(path: impl AsRef<Path>, mode: RecoveryMode) -> Result<ReplaySummary> {
+        Wal::replay_with(std_vfs().as_ref(), path, mode)
+    }
+
+    /// Replays every valid record from the log at `path` through an
+    /// explicit [`Vfs`]. Returns the decoded mutations.
+    pub fn replay_with(
+        vfs: &dyn Vfs,
+        path: impl AsRef<Path>,
+        mode: RecoveryMode,
+    ) -> Result<ReplaySummary> {
         let path = path.as_ref();
-        let mut file = match File::open(path) {
-            Ok(f) => f,
+        let bytes = match vfs.read(path) {
+            Ok(b) => b,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                return Ok(ReplaySummary { mutations: Vec::new(), truncated_bytes: 0 })
+                return Ok(ReplaySummary::default())
             }
             Err(e) => return Err(Error::io(format!("open wal {}", path.display()), e)),
         };
-        let mut bytes = Vec::new();
-        file.read_to_end(&mut bytes).io_ctx("read wal")?;
         if bytes.is_empty() {
-            return Ok(ReplaySummary { mutations: Vec::new(), truncated_bytes: 0 });
+            return Ok(ReplaySummary::default());
         }
-        if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
             return Err(Error::corrupt(format!("wal {}: bad magic", path.display())));
         }
 
         let mut mutations = Vec::new();
-        let mut pos = MAGIC.len();
+        let mut pos = WAL_MAGIC.len();
         let mut valid_end = pos;
         let mut damage: Option<String> = None;
         while pos < bytes.len() {
@@ -128,9 +148,16 @@ impl Wal {
                 damage = Some("crc mismatch".into());
                 break;
             }
-            let m: Mutation = serde_json::from_slice(payload).map_err(|e| {
-                Error::corrupt(format!("wal {}: undecodable mutation: {e}", path.display()))
-            })?;
+            // A record whose CRC verifies but whose payload no longer
+            // decodes is damage too: in TruncateTail mode the store
+            // degrades gracefully by salvaging the prefix.
+            let m: Mutation = match serde_json::from_slice(payload) {
+                Ok(m) => m,
+                Err(e) => {
+                    damage = Some(format!("undecodable mutation: {e}"));
+                    break;
+                }
+            };
             mutations.push(m);
             pos = end;
             valid_end = end;
@@ -146,12 +173,7 @@ impl Wal {
                 }
                 RecoveryMode::TruncateTail => {
                     let truncated = (bytes.len() - valid_end) as u64;
-                    let f = OpenOptions::new()
-                        .write(true)
-                        .open(path)
-                        .io_ctx("open wal for truncate")?;
-                    f.set_len(valid_end as u64).io_ctx("truncate wal tail")?;
-                    f.sync_all().io_ctx("sync truncated wal")?;
+                    vfs.truncate(path, valid_end as u64).io_ctx("truncate wal tail")?;
                     return Ok(ReplaySummary { mutations, truncated_bytes: truncated });
                 }
             }
@@ -185,21 +207,33 @@ impl Wal {
     }
 
     /// Flushes buffered records and fsyncs the file.
+    ///
+    /// Successful and failed fsyncs are counted separately
+    /// (`metamess_core_wal_fsyncs_total` vs
+    /// `metamess_core_wal_fsync_failures_total`), and only after the result
+    /// is known — a failed fsync is never reported as a durable one.
     pub fn flush_and_sync(&mut self) -> Result<()> {
-        self.writer.flush().io_ctx("flush wal")?;
-        self.writer.get_ref().sync_all().io_ctx("sync wal")?;
+        let res = self
+            .writer
+            .flush()
+            .io_ctx("flush wal")
+            .and_then(|()| self.writer.get_mut().sync_all().io_ctx("sync wal"));
         if metamess_telemetry::enabled() {
-            store_metrics().wal_fsyncs.inc();
+            let m = store_metrics();
+            match &res {
+                Ok(()) => m.wal_fsyncs.inc(),
+                Err(_) => m.wal_fsync_failures.inc(),
+            }
         }
-        Ok(())
+        res
     }
 
     /// Truncates the log back to just the magic header (after a checkpoint).
     pub fn reset(&mut self) -> Result<()> {
         self.writer.flush().io_ctx("flush wal before reset")?;
         let file = self.writer.get_mut();
-        file.set_len(MAGIC.len() as u64).io_ctx("truncate wal")?;
-        file.seek(SeekFrom::End(0)).io_ctx("seek wal end")?;
+        file.set_len(WAL_MAGIC.len() as u64).io_ctx("truncate wal")?;
+        file.seek_to_end().io_ctx("seek wal end")?;
         file.sync_all().io_ctx("sync wal after reset")?;
         self.appended = 0;
         Ok(())
@@ -220,7 +254,7 @@ impl Wal {
 mod tests {
     use super::*;
     use crate::feature::DatasetFeature;
-    use std::fs;
+    use std::fs::{self, OpenOptions};
 
     fn tmpdir(name: &str) -> PathBuf {
         let d = std::env::temp_dir().join(format!("metamess-wal-{name}-{}", std::process::id()));
@@ -321,6 +355,28 @@ mod tests {
     }
 
     #[test]
+    fn undecodable_record_with_valid_crc_is_truncatable_damage() {
+        let dir = tmpdir("undecodable");
+        let wal = dir.join("wal.log");
+        {
+            let mut w = Wal::open(&wal, true).unwrap();
+            w.append(&put("a.csv")).unwrap();
+        }
+        // Append a record whose CRC verifies but whose payload is not a
+        // Mutation: framing is intact, decoding fails.
+        let mut bytes = fs::read(&wal).unwrap();
+        let junk = br#"{"not":"a mutation"}"#;
+        bytes.extend_from_slice(&(junk.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(junk).to_le_bytes());
+        bytes.extend_from_slice(junk);
+        fs::write(&wal, &bytes).unwrap();
+        assert!(Wal::replay(&wal, RecoveryMode::Strict).unwrap_err().is_corrupt());
+        let r = Wal::replay(&wal, RecoveryMode::TruncateTail).unwrap();
+        assert_eq!(r.mutations.len(), 1, "the valid prefix survives");
+        assert!(r.truncated_bytes > 0);
+    }
+
+    #[test]
     fn bad_magic_rejected_even_in_truncate_mode() {
         let dir = tmpdir("magic");
         let wal = dir.join("wal.log");
@@ -347,7 +403,7 @@ mod tests {
     fn absurd_length_field_is_damage_not_allocation() {
         let dir = tmpdir("hugelen");
         let wal = dir.join("wal.log");
-        let mut bytes = MAGIC.to_vec();
+        let mut bytes = WAL_MAGIC.to_vec();
         bytes.extend_from_slice(&u32::MAX.to_le_bytes());
         bytes.extend_from_slice(&0u32.to_le_bytes());
         bytes.extend_from_slice(b"junk");
@@ -355,5 +411,26 @@ mod tests {
         assert!(Wal::replay(&wal, RecoveryMode::Strict).unwrap_err().is_corrupt());
         let r = Wal::replay(&wal, RecoveryMode::TruncateTail).unwrap();
         assert!(r.mutations.is_empty());
+    }
+
+    #[test]
+    fn append_through_fault_vfs_torn_write_is_salvaged_on_replay() {
+        use crate::store::vfs::{FaultKind, FaultPlan, FaultVfs};
+        let dir = tmpdir("fault");
+        let wal = dir.join("wal.log");
+        // Site 1 is the magic header; site 2 the first record; tear the 3rd
+        // write (the second record).
+        let vfs =
+            Arc::new(FaultVfs::new(FaultPlan { crash_at: 3, kind: FaultKind::TornWrite, seed: 9 }));
+        {
+            let mut w = Wal::open_with(vfs.clone(), &wal, true).unwrap();
+            w.append(&put("a.csv")).unwrap();
+            assert!(w.append(&put("b.csv")).is_err(), "torn write surfaces");
+            assert!(vfs.crashed());
+        }
+        // Recovery through the real fs salvages the acknowledged record.
+        let r = Wal::replay(&wal, RecoveryMode::TruncateTail).unwrap();
+        assert_eq!(r.mutations.len(), 1);
+        assert!(matches!(&r.mutations[0], Mutation::Put(f) if f.path == "a.csv"));
     }
 }

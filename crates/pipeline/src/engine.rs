@@ -61,7 +61,10 @@ use crate::context::{ArchiveInput, CtxView, PipelineContext, ValidationFinding};
 use crate::pipeline::RunReport;
 use metamess_core::error::{Error, IoContext, Result};
 use metamess_core::id::fnv1a;
-use metamess_core::store::{read_ledger, read_snapshot, write_ledger, write_snapshot, StageRecord};
+use metamess_core::store::{
+    quarantine_file, read_ledger, read_snapshot, std_vfs, write_ledger, write_snapshot,
+    QuarantineReason, StageRecord,
+};
 use metamess_discover::RuleProposal;
 use metamess_harvest::scan::{archive_fingerprint, scan_directory, scan_memory};
 use metamess_telemetry::{event, labeled, Level, Stopwatch};
@@ -286,30 +289,87 @@ pub fn save_state(ctx: &PipelineContext, dir: impl AsRef<Path>) -> Result<()> {
     Ok(())
 }
 
+/// Moves a corrupt state file into `<dir>/quarantine` with a structured
+/// reason sidecar (best-effort) and reports "no resumable state". A damaged
+/// resume cache costs one full re-run — never a crash or a wrong resume.
+fn quarantine_state_file(dir: &Path, path: &Path, detail: String) -> Result<bool> {
+    let reason = QuarantineReason {
+        source: path.display().to_string(),
+        detail,
+        quarantined_by: "load_state".to_string(),
+    };
+    match quarantine_file(std_vfs().as_ref(), path, &dir.join("quarantine"), &reason) {
+        Ok(dest) => event!(
+            Level::Warn,
+            "pipeline",
+            "quarantined corrupt state file {} to {} ({})",
+            path.display(),
+            dest.display(),
+            reason.detail
+        ),
+        Err(e) => event!(
+            Level::Warn,
+            "pipeline",
+            "corrupt state file {} could not be quarantined: {e}",
+            path.display()
+        ),
+    }
+    Ok(false)
+}
+
 /// Restores state saved by [`save_state`] into `ctx`. Returns `false`
-/// (leaving `ctx` untouched) when `dir` holds no complete state; errors on
-/// corrupt state. The archive input and configuration are *not* restored —
-/// they describe where to wrangle, not what was wrangled — so callers keep
-/// whatever they constructed the context with.
+/// (leaving `ctx` untouched) when `dir` holds no complete state. A state
+/// file that fails verification is quarantined into `<dir>/quarantine`
+/// (with a `*.reason.json` sidecar) and the function returns `false`, so
+/// the next run starts fresh instead of erroring. The archive input and
+/// configuration are *not* restored — they describe where to wrangle, not
+/// what was wrangled — so callers keep whatever they constructed the
+/// context with.
 pub fn load_state(ctx: &mut PipelineContext, dir: impl AsRef<Path>) -> Result<bool> {
     let dir = dir.as_ref();
-    let Some(ledger) = read_ledger(dir.join(LEDGER_FILE))? else {
-        return Ok(false);
+    let ledger_path = dir.join(LEDGER_FILE);
+    let ledger = match read_ledger(&ledger_path) {
+        Ok(Some(l)) => l,
+        Ok(None) => return Ok(false),
+        Err(e) if e.is_corrupt() => return quarantine_state_file(dir, &ledger_path, e.to_string()),
+        Err(e) => return Err(e),
     };
-    let (Some(working), Some(published)) =
-        (read_snapshot(dir.join(WORKING_FILE))?, read_snapshot(dir.join(PUBLISHED_FILE))?)
-    else {
-        return Ok(false);
-    };
+    let mut snapshots = Vec::new();
+    for file in [WORKING_FILE, PUBLISHED_FILE] {
+        let path = dir.join(file);
+        match read_snapshot(&path) {
+            Ok(Some(c)) => snapshots.push(c),
+            Ok(None) => return Ok(false),
+            Err(e) if e.is_corrupt() => {
+                return quarantine_state_file(dir, &path, e.to_string());
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let published = snapshots.pop().expect("two snapshots read");
+    let working = snapshots.pop().expect("two snapshots read");
     let vocab_path = dir.join(VOCAB_FILE);
     let sidecar_path = dir.join(SIDECAR_FILE);
     if !vocab_path.exists() || !sidecar_path.exists() {
         return Ok(false);
     }
-    let vocab = Vocabulary::load(&vocab_path)?;
+    let vocab = match Vocabulary::load(&vocab_path) {
+        Ok(v) => v,
+        // The vocabulary is plain JSON (no CRC frame), so any decode
+        // failure on an existing file is corruption.
+        Err(e) => return quarantine_state_file(dir, &vocab_path, e.to_string()),
+    };
     let bytes = std::fs::read(&sidecar_path).io_ctx(format!("read {}", sidecar_path.display()))?;
-    let sidecar: Sidecar = serde_json::from_slice(&bytes)
-        .map_err(|e| Error::corrupt(format!("curation state undecodable: {e}")))?;
+    let sidecar: Sidecar = match serde_json::from_slice::<Sidecar>(&bytes) {
+        Ok(s) => s,
+        Err(e) => {
+            return quarantine_state_file(
+                dir,
+                &sidecar_path,
+                format!("curation state undecodable: {e}"),
+            );
+        }
+    };
     ctx.catalogs.working = working;
     ctx.catalogs.published = published;
     ctx.catalogs.publish_count = sidecar.publish_count;
@@ -501,6 +561,110 @@ mod tests {
         let mut c3 = ctx();
         assert!(!load_state(&mut c3, &empty).unwrap());
         assert_eq!(c3.run_id, 0);
+    }
+
+    #[test]
+    fn saved_state_is_byte_identical_across_two_reopen_cycles() {
+        let base =
+            std::env::temp_dir().join(format!("metamess-engine-bytes-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let dirs = [base.join("save0"), base.join("save1"), base.join("save2")];
+
+        let archive = generate(&ArchiveSpec::tiny());
+        let mut c = PipelineContext::new(
+            ArchiveInput::Memory(archive.files.clone()),
+            Vocabulary::observatory_default(),
+        );
+        Pipeline::standard().run(&mut c).unwrap();
+        save_state(&c, &dirs[0]).unwrap();
+
+        // Two load→save cycles in "fresh processes": persisting restored
+        // state must reproduce every artifact bit for bit — any drift here
+        // would defeat fingerprint-based skipping and make resume lossy.
+        for cycle in 1..3 {
+            let mut fresh = PipelineContext::new(
+                ArchiveInput::Memory(archive.files.clone()),
+                Vocabulary::observatory_default(),
+            );
+            assert!(load_state(&mut fresh, &dirs[cycle - 1]).unwrap());
+            save_state(&fresh, &dirs[cycle]).unwrap();
+            for file in [WORKING_FILE, PUBLISHED_FILE, LEDGER_FILE, VOCAB_FILE, SIDECAR_FILE] {
+                let before = std::fs::read(dirs[cycle - 1].join(file)).unwrap();
+                let after = std::fs::read(dirs[cycle].join(file)).unwrap();
+                assert_eq!(before, after, "cycle {cycle}: {file} drifted across save/load/save");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_delta_publish_survives_reopen() {
+        let dir =
+            std::env::temp_dir().join(format!("metamess-engine-emptydelta-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let archive = generate(&ArchiveSpec::tiny());
+        let fresh_ctx = || {
+            PipelineContext::new(
+                ArchiveInput::Memory(archive.files.clone()),
+                Vocabulary::observatory_default(),
+            )
+        };
+
+        let mut c = fresh_ctx();
+        Pipeline::standard().run(&mut c).unwrap();
+        let published_fp = c.catalogs.published.content_fingerprint();
+        save_state(&c, &dir).unwrap();
+
+        // Second process: nothing changed, so publish has an empty delta
+        // (it is skipped). Saving that state and reopening a third time
+        // must preserve the published catalog exactly.
+        let mut c2 = fresh_ctx();
+        assert!(load_state(&mut c2, &dir).unwrap());
+        let r = Pipeline::standard().run(&mut c2).unwrap();
+        assert!(r.stage("publish").unwrap().is_skipped(), "{}", r.render());
+        save_state(&c2, &dir).unwrap();
+
+        let mut c3 = fresh_ctx();
+        assert!(load_state(&mut c3, &dir).unwrap());
+        assert_eq!(c3.catalogs.published.content_fingerprint(), published_fp);
+        assert_eq!(c3.catalogs.publish_count, c.catalogs.publish_count);
+        let r = Pipeline::standard().run(&mut c3).unwrap();
+        assert_eq!(r.executed_count(), 0, "{}", r.render());
+    }
+
+    #[test]
+    fn corrupt_state_is_quarantined_and_load_reports_no_state() {
+        let dir =
+            std::env::temp_dir().join(format!("metamess-engine-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut c = ctx();
+        Pipeline::standard().run(&mut c).unwrap();
+        save_state(&c, &dir).unwrap();
+
+        // flip a payload byte inside the CRC-framed ledger
+        let ledger = dir.join(LEDGER_FILE);
+        let mut bytes = std::fs::read(&ledger).unwrap();
+        let ix = bytes.len() - 2;
+        bytes[ix] ^= 0x01;
+        std::fs::write(&ledger, &bytes).unwrap();
+
+        let mut c2 = ctx();
+        assert!(!load_state(&mut c2, &dir).unwrap(), "corrupt ledger must not resume");
+        assert_eq!(c2.run_id, 0, "context untouched");
+        assert!(!ledger.exists(), "corrupt ledger moved away");
+        let qdir = dir.join("quarantine");
+        assert!(qdir.join("ledger.bin.0").exists());
+        assert!(qdir.join("ledger.bin.0.reason.json").exists());
+
+        // with the damage quarantined, a re-run + save works again
+        save_state(&c, &dir).unwrap();
+        let mut c3 = ctx();
+        assert!(load_state(&mut c3, &dir).unwrap());
+
+        // an undecodable curation sidecar is quarantined the same way
+        std::fs::write(dir.join(SIDECAR_FILE), b"]{ not json").unwrap();
+        let mut c4 = ctx();
+        assert!(!load_state(&mut c4, &dir).unwrap());
+        assert!(qdir.join("curation.json.0").exists());
     }
 
     struct Misdeclared;

@@ -34,6 +34,8 @@
 //! * `METAMESS_TELEMETRY` — `0`/`off`/`false` starts the global registry
 //!   disabled (default: enabled).
 
+#![warn(missing_docs)]
+
 mod log;
 mod metric;
 mod registry;

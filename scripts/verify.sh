@@ -7,6 +7,24 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# How many crash-consistency torture cases to run (fixed deterministic
+# seeds 0..N in crates/core/tests/torture.rs). CI should raise this.
+METAMESS_TORTURE_CASES="${METAMESS_TORTURE_CASES:-1000}"
+export METAMESS_TORTURE_CASES
+
+echo "==> crate registry preflight"
+# Every later step needs the workspace's external deps (serde, proptest…).
+# When the registry is unreachable this would otherwise die mid-build with
+# a confusing resolver error — fail loudly and early instead.
+if ! cargo metadata --format-version 1 >/dev/null 2>&1; then
+  echo "verify: FAIL — cargo cannot resolve workspace dependencies." >&2
+  echo "  The crate registry appears unreachable from this environment and" >&2
+  echo "  no populated cargo cache/vendor dir exists. Restore network access" >&2
+  echo "  to the registry (or vendor the dependencies) and re-run." >&2
+  echo "  Per-file fallback checks: see .claude/skills/verify/SKILL.md" >&2
+  exit 1
+fi
+
 echo "==> no stray println!/eprintln! in library crates"
 # Library crates report through the telemetry registry (and its event!
 # macro), never by printing. CLI binaries, the exp*/bench harnesses and
@@ -28,6 +46,9 @@ cargo test -q
 
 echo "==> cargo test -q -p metamess-telemetry"
 cargo test -q -p metamess-telemetry
+
+echo "==> crash-consistency torture suite (${METAMESS_TORTURE_CASES} seeded cases)"
+cargo test -q -p metamess-core --test torture --release
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings

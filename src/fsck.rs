@@ -1,0 +1,199 @@
+//! Store-layout-aware consistency checking behind `metamess fsck`.
+//!
+//! The layout-agnostic primitives (frame/CRC/WAL verification, repair
+//! application) live in `metamess_core::store::fsck`; this module knows how
+//! a `metamess` store directory is laid out:
+//!
+//! ```text
+//! <store>/catalog/snapshot.bin      catalog snapshot (MMSNAP01)
+//! <store>/catalog/wal.log           catalog WAL (MMWAL001)
+//! <store>/vocabulary.json           published vocabulary (JSON)
+//! <store>/state/working.bin         pipeline working catalog (MMSNAP01)
+//! <store>/state/published.bin       pipeline published catalog (MMSNAP01)
+//! <store>/state/ledger.bin          run ledger (MMLEDG01)
+//! <store>/state/vocabulary.json     pipeline vocabulary (JSON)
+//! <store>/state/curation.json       curation side-state (JSON)
+//! <store>/state/quarantine/         damaged files + reason sidecars
+//! ```
+//!
+//! Beyond per-file integrity it cross-checks that the durable catalog and
+//! the pipeline's `published.bin` agree on content, and that snapshot + WAL
+//! recover to a consistent generation.
+
+use metamess_core::store::fsck::{
+    apply_repairs, check_catalog_dir, check_ledger, check_snapshot, FsckReport, FsckSeverity,
+    RepairAction,
+};
+use metamess_core::store::{std_vfs, Vfs};
+use metamess_core::{Error, Result};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Where fsck (and recovery) put damaged files, relative to the store root.
+pub fn quarantine_dir(store_dir: &Path) -> std::path::PathBuf {
+    store_dir.join("state").join("quarantine")
+}
+
+/// Verifies a JSON artifact: present files must parse. Damage proposes
+/// quarantine (JSON files carry no CRC, so parse failure is the signal).
+fn check_json(vfs: &dyn Vfs, path: &Path, component: &str, report: &mut FsckReport) {
+    report.files_checked += 1;
+    if !vfs.exists(path) {
+        report.push(component, path, FsckSeverity::Info, "absent", None);
+        return;
+    }
+    match vfs.read(path) {
+        Ok(bytes) => match serde_json::from_slice::<serde_json::Value>(&bytes) {
+            Ok(_) => report.push(
+                component,
+                path,
+                FsckSeverity::Info,
+                format!("ok: {} bytes of valid json", bytes.len()),
+                None,
+            ),
+            Err(e) => report.push(
+                component,
+                path,
+                FsckSeverity::Error,
+                format!("invalid json: {e}"),
+                Some(RepairAction::Quarantine),
+            ),
+        },
+        Err(e) => {
+            report.push(component, path, FsckSeverity::Error, format!("unreadable: {e}"), None)
+        }
+    }
+}
+
+/// Runs every check over `store_dir`. With `repair`, damaged WAL tails are
+/// truncated to their valid prefix and otherwise-damaged files are moved
+/// into `<store>/state/quarantine` with reason sidecars.
+pub fn run_fsck(store_dir: &Path, repair: bool) -> Result<FsckReport> {
+    if !store_dir.exists() {
+        return Err(Error::not_found("store directory", store_dir.display().to_string()));
+    }
+    let vfs = std_vfs();
+    let vfs = vfs.as_ref();
+    let state = store_dir.join("state");
+    let mut report = FsckReport::default();
+
+    let recovered = check_catalog_dir(vfs, &store_dir.join("catalog"), &mut report);
+    let published =
+        check_snapshot(vfs, &state.join("published.bin"), "state/published", &mut report);
+    check_snapshot(vfs, &state.join("working.bin"), "state/working", &mut report);
+    check_ledger(vfs, &state.join("ledger.bin"), "state/ledger", &mut report);
+    check_json(vfs, &store_dir.join("vocabulary.json"), "vocabulary", &mut report);
+    check_json(vfs, &state.join("vocabulary.json"), "state/vocabulary", &mut report);
+    check_json(vfs, &state.join("curation.json"), "state/curation", &mut report);
+
+    // Cross-check: the durable catalog is published state; the pipeline's
+    // published.bin snapshot should describe the same datasets.
+    if let (Some(catalog), Some(published)) = (recovered, published) {
+        if catalog.content_fingerprint() != published.content_fingerprint() {
+            report.push(
+                "store",
+                store_dir,
+                FsckSeverity::Warn,
+                format!(
+                    "catalog ({} entries) and state/published.bin ({} entries) disagree on \
+                     content — an interrupted wrangle may have published partially",
+                    catalog.len(),
+                    published.len()
+                ),
+                None,
+            );
+        }
+    }
+
+    if repair {
+        apply_repairs(vfs, &mut report, &quarantine_dir(store_dir))?;
+    }
+    Ok(report)
+}
+
+/// Renders a report as the human-readable `fsck` output.
+pub fn render_report(report: &FsckReport) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        let tag = match f.severity {
+            FsckSeverity::Info => "ok   ",
+            FsckSeverity::Warn => "WARN ",
+            FsckSeverity::Error => "ERROR",
+        };
+        let _ = write!(out, "[{tag}] {:<18} {}: {}", f.component, f.path.display(), f.detail);
+        if let Some(done) = &f.repaired {
+            let _ = write!(out, " — repaired: {done}");
+        } else if f.proposed.is_some() {
+            let _ = write!(out, " — repairable with --repair");
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(
+        out,
+        "{} files checked: {} error(s), {} warning(s), {} repair(s) applied",
+        report.files_checked,
+        report.error_count(),
+        report.warn_count(),
+        report.repairs_applied
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metamess_core::feature::DatasetFeature;
+    use metamess_core::{DurableCatalog, StoreOptions};
+
+    fn store(name: &str) -> std::path::PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("metamess-fsckfac-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        let mut s = DurableCatalog::open(d.join("catalog"), StoreOptions::default()).unwrap();
+        s.put(DatasetFeature::new("a.csv")).unwrap();
+        s.checkpoint().unwrap();
+        d
+    }
+
+    #[test]
+    fn clean_store_is_clean() {
+        let dir = store("clean");
+        let report = run_fsck(&dir, false).unwrap();
+        assert!(report.is_clean(), "{}", render_report(&report));
+    }
+
+    #[test]
+    fn missing_store_errors() {
+        assert!(run_fsck(Path::new("/nonexistent/metamess-store"), false).is_err());
+    }
+
+    #[test]
+    fn invalid_vocab_json_is_flagged_and_quarantined() {
+        let dir = store("vocab");
+        std::fs::write(dir.join("vocabulary.json"), b"{not json").unwrap();
+        let report = run_fsck(&dir, false).unwrap();
+        assert_eq!(report.error_count(), 1);
+        assert_eq!(report.repairs_applied, 0);
+
+        let report = run_fsck(&dir, true).unwrap();
+        assert_eq!(report.repairs_applied, 1);
+        assert!(!dir.join("vocabulary.json").exists());
+        assert!(quarantine_dir(&dir).join("vocabulary.json.0.reason.json").exists());
+    }
+
+    #[test]
+    fn catalog_published_disagreement_warns() {
+        use metamess_core::store::write_snapshot;
+        use metamess_core::Catalog;
+        let dir = store("disagree");
+        let state = dir.join("state");
+        std::fs::create_dir_all(&state).unwrap();
+        let mut other = Catalog::new();
+        other.put(DatasetFeature::new("different.csv"));
+        write_snapshot(state.join("published.bin"), &other).unwrap();
+        let report = run_fsck(&dir, false).unwrap();
+        assert_eq!(report.warn_count(), 1, "{}", render_report(&report));
+        assert_eq!(report.error_count(), 0);
+    }
+}

@@ -7,6 +7,7 @@
 //! metamess summary  <store-dir> <dataset-path>
 //! metamess stats    <store-dir> [--prometheus|--json] [--reset]
 //! metamess validate <dir>
+//! metamess fsck     <store-dir> [--json] [--repair]
 //! ```
 //!
 //! `wrangle` runs the full curation loop over an archive directory and
@@ -33,6 +34,7 @@ fn main() -> ExitCode {
         Some("stats") => cmd_stats(&args[1..]),
         Some("browse") => cmd_browse(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
+        Some("fsck") => cmd_fsck(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
             return ExitCode::from(2);
@@ -71,7 +73,12 @@ usage:
   metamess browse <store-dir>
       hierarchical drill-down menus with dataset counts per concept
   metamess validate <dir>
-      run the pipeline's validation stage and print findings";
+      run the pipeline's validation stage and print findings
+  metamess fsck <store-dir> [--json] [--repair]
+      verify store integrity (CRCs, magic headers, snapshot/WAL agreement);
+      --repair truncates damaged WAL tails and quarantines corrupt files
+      into <store>/state/quarantine; --json emits the machine-readable
+      report; exits nonzero when damage was found and not repaired";
 
 fn parse_flag(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|ix| args.get(ix + 1).cloned())
@@ -321,6 +328,34 @@ fn cmd_browse(args: &[String]) -> Result<(), metamess::core::Error> {
     for tree in metamess::search::browse_all(store.catalog(), &vocab) {
         print!("{}", tree.render());
         println!();
+    }
+    Ok(())
+}
+
+fn cmd_fsck(args: &[String]) -> Result<(), metamess::core::Error> {
+    let store_dir = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .map(Path::new)
+        .ok_or_else(|| metamess::core::Error::invalid("fsck needs a store directory"))?;
+    let repair = args.iter().any(|a| a == "--repair");
+    let json = args.iter().any(|a| a == "--json");
+    let report = metamess::fsck::run_fsck(store_dir, repair)?;
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report)
+                .map_err(|e| metamess::core::Error::invalid(format!("unencodable report: {e}")))?
+        );
+    } else {
+        print!("{}", metamess::fsck::render_report(&report));
+    }
+    if report.error_count() > 0 && !report.fully_repaired() {
+        return Err(metamess::core::Error::corrupt(format!(
+            "fsck found {} unrepaired error(s) in {}",
+            report.error_count(),
+            store_dir.display()
+        )));
     }
     Ok(())
 }

@@ -116,6 +116,76 @@ fn full_cli_workflow() {
     assert!(stdout.contains("metamess_pipeline_stages_skipped_total"), "{stdout}");
 }
 
+/// fsck on a real wrangled store: clean pass, then three hand-corrupted
+/// artifacts (WAL record, snapshot header, ledger CRC) detected, reported
+/// as JSON, and quarantined/truncated by --repair.
+#[test]
+fn fsck_detects_and_repairs_corruption() {
+    let dir = std::env::temp_dir().join(format!("metamess-cli-fsck-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_str().unwrap();
+    run(&["generate", dir_s, "--months", "1", "--stations", "1"]);
+    let (ok, _, stderr) = run(&["wrangle", dir_s]);
+    assert!(ok, "{stderr}");
+    let store = dir.join(".metamess");
+    let store_s = store.to_str().unwrap();
+
+    // a freshly wrangled store is clean
+    let (ok, stdout, stderr) = run(&["fsck", store_s]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("0 error(s)"), "{stdout}");
+
+    // corrupt a WAL record: append garbage that can never frame-decode
+    let wal = store.join("catalog").join("wal.log");
+    let mut bytes = std::fs::read(&wal).unwrap();
+    bytes.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef, 0x01]);
+    std::fs::write(&wal, &bytes).unwrap();
+    // corrupt the snapshot header: break the magic
+    let snap = store.join("catalog").join("snapshot.bin");
+    let mut bytes = std::fs::read(&snap).unwrap();
+    bytes[0] ^= 0xff;
+    std::fs::write(&snap, &bytes).unwrap();
+    // corrupt the ledger: flip a payload byte so its CRC mismatches
+    let ledger = store.join("state").join("ledger.bin");
+    let mut bytes = std::fs::read(&ledger).unwrap();
+    let ix = bytes.len() - 2;
+    bytes[ix] ^= 0x08;
+    std::fs::write(&ledger, &bytes).unwrap();
+
+    // unrepaired damage → nonzero exit, findings on stdout
+    let (ok, stdout, stderr) = run(&["fsck", store_s]);
+    assert!(!ok);
+    assert!(stderr.contains("unrepaired"), "{stderr}");
+    assert!(stdout.contains("ERROR"), "{stdout}");
+    assert!(stdout.contains("crc mismatch"), "{stdout}");
+    assert!(stdout.contains("bad magic"), "{stdout}");
+
+    // --json is machine-readable and still exits nonzero
+    let (ok, stdout, _) = run(&["fsck", store_s, "--json"]);
+    assert!(!ok);
+    let report: serde_json::Value = serde_json::from_str(&stdout).expect("valid json");
+    assert!(report["findings"].as_array().unwrap().len() >= 3, "{stdout}");
+
+    // --repair: damaged tail truncated, corrupt files quarantined
+    let (ok, stdout, stderr) = run(&["fsck", store_s, "--repair"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("repaired"), "{stdout}");
+    let quarantine = store.join("state").join("quarantine");
+    assert!(quarantine.exists());
+    assert!(quarantine.join("snapshot.bin.0").exists());
+    assert!(quarantine.join("snapshot.bin.0.reason.json").exists());
+    assert!(quarantine.join("ledger.bin.0").exists());
+    // the WAL survived: its damaged tail was truncated in place
+    assert!(wal.exists());
+
+    // after repair the store is clean again and still searchable
+    let (ok, stdout, stderr) = run(&["fsck", store_s]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("0 error(s)"), "{stdout}");
+    let (ok, _, stderr) = run(&["search", store_s, "with", "water_temperature"]);
+    assert!(ok, "{stderr}");
+}
+
 #[test]
 fn telemetry_can_be_disabled() {
     let dir = std::env::temp_dir().join(format!("metamess-cli-notelem-{}", std::process::id()));
