@@ -1,0 +1,277 @@
+//! **E8 — serving under load: throughput, tail latency, shedding, drain.**
+//!
+//! Runs the embedded HTTP search service (`metamess serve`) in-process
+//! over a wrangled store and measures the serving properties it promises:
+//! closed-loop throughput with latency percentiles, a hot reload under
+//! load with zero failed requests, a graceful drain with **zero dropped
+//! in-flight requests**, and deterministic shedding (an immediate `503
+//! Retry-After`, never a hang) when the accept queue is full.
+//!
+//! ```text
+//! cargo run --release -p metamess-bench --bin exp8_serve [-- --quick] [--json [path]]
+//! ```
+//!
+//! `--json` additionally writes a schema-stable `BENCH_serve.json` with
+//! throughput, p50/p95/p99 latency, shed rate, and the drain outcome.
+
+use metamess_archive::ArchiveSpec;
+use metamess_bench::{json_flag, wrangle_archive, BenchReport};
+use metamess_core::{DatasetFeature, DurableCatalog, StoreOptions};
+use metamess_server::{ServeState, ServeSummary, Server, ServerConfig, ShutdownHandle};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+struct Running {
+    addr: SocketAddr,
+    shutdown: ShutdownHandle,
+    thread: JoinHandle<metamess_core::Result<ServeSummary>>,
+}
+
+fn start(store: &Path, workers: usize, queue_depth: usize) -> Running {
+    let config =
+        ServerConfig { workers, queue_depth, poll_interval: None, ..ServerConfig::default() };
+    let state = Arc::new(ServeState::open(store).expect("open store"));
+    let server = Server::bind(state, config).expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let shutdown = server.shutdown_handle();
+    let thread = std::thread::spawn(move || server.run());
+    Running { addr, shutdown, thread }
+}
+
+impl Running {
+    fn stop(self) -> ServeSummary {
+        self.shutdown.trigger();
+        self.thread.join().expect("server thread").expect("serve summary")
+    }
+}
+
+/// One closed-loop exchange (`connection: close`): status, body, and the
+/// full connect-to-EOF round trip in µs. `None` means the transport failed
+/// mid-exchange — the experiment treats that as a dropped request.
+fn exchange(addr: SocketAddr, request: &[u8]) -> Option<(u16, String, u64)> {
+    let start = Instant::now();
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream.set_read_timeout(Some(Duration::from_secs(30))).ok()?;
+    stream.write_all(request).ok()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).ok()?;
+    let text = String::from_utf8_lossy(&raw).to_string();
+    let status: u16 = text.split(' ').nth(1)?.parse().ok()?;
+    let body = text.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    Some((status, body, start.elapsed().as_micros() as u64))
+}
+
+fn get_bytes(path: &str) -> Vec<u8> {
+    format!("GET {path} HTTP/1.1\r\nhost: bench\r\nconnection: close\r\n\r\n").into_bytes()
+}
+
+fn post_bytes(path: &str, body: &str) -> Vec<u8> {
+    format!(
+        "POST {path} HTTP/1.1\r\nhost: bench\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let ix = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[ix - 1]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = json_flag(&args, "BENCH_serve.json");
+    let mut report = BenchReport::new("serve");
+
+    println!(
+        "E8: embedded HTTP search service under load{}\n",
+        if quick { " (--quick)" } else { "" }
+    );
+
+    // A wrangled store on disk, exactly as `metamess wrangle` leaves it.
+    let store = std::env::temp_dir().join(format!("metamess-exp8-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+    std::fs::create_dir_all(&store).unwrap();
+    let spec = if quick { ArchiveSpec::tiny() } else { ArchiveSpec::default() };
+    let (ctx, _) = wrangle_archive(&spec);
+    {
+        let mut s = DurableCatalog::open(store.join("catalog"), StoreOptions::default()).unwrap();
+        s.replace_with(&ctx.catalogs.published).unwrap();
+        s.checkpoint().unwrap();
+    }
+    ctx.vocab.save(store.join("vocabulary.json")).unwrap();
+    println!("store: {} datasets published", ctx.catalogs.published.len());
+
+    // --- Closed-loop load: C clients, one connection per request. -------
+    let clients = if quick { 4usize } else { 8 };
+    let per_client = if quick { 25usize } else { 150 };
+    let server = start(&store, 4, 64);
+    let addr = server.addr;
+    let mix: Arc<Vec<Vec<u8>>> = Arc::new(vec![
+        post_bytes("/search", r#"{"q":"with salinity limit 5"}"#),
+        post_bytes("/search", r#"{"q":"with water_temperature limit 5"}"#),
+        get_bytes("/browse"),
+        get_bytes("/healthz"),
+    ]);
+    let t0 = Instant::now();
+    let load: Vec<JoinHandle<(Vec<u64>, u64, u64, u64)>> = (0..clients)
+        .map(|c| {
+            let mix = mix.clone();
+            std::thread::spawn(move || {
+                let (mut samples, mut ok, mut shed, mut failed) = (Vec::new(), 0u64, 0u64, 0u64);
+                for i in 0..per_client {
+                    match exchange(addr, &mix[(c + i) % mix.len()]) {
+                        Some((200, _, us)) => {
+                            ok += 1;
+                            samples.push(us);
+                        }
+                        Some((503, _, _)) => shed += 1,
+                        Some((status, body, _)) => panic!("unexpected {status}: {body}"),
+                        None => failed += 1,
+                    }
+                }
+                (samples, ok, shed, failed)
+            })
+        })
+        .collect();
+    let mut samples = Vec::new();
+    let (mut ok, mut shed, mut failed) = (0u64, 0u64, 0u64);
+    for h in load {
+        let (s, o, sh, f) = h.join().expect("client thread");
+        samples.extend(s);
+        ok += o;
+        shed += sh;
+        failed += f;
+    }
+    let elapsed = t0.elapsed();
+    assert_eq!(failed, 0, "transport failures under plain load");
+    let throughput = (ok + shed) as f64 / elapsed.as_secs_f64();
+    let mut sorted = samples.clone();
+    sorted.sort_unstable();
+    println!(
+        "\nclosed-loop load: {clients} clients x {per_client} requests -> {throughput:.0} req/s \
+         ({ok} ok, {shed} shed)"
+    );
+    println!(
+        "  latency p50 {}µs  p95 {}µs  p99 {}µs  max {}µs",
+        percentile(&sorted, 0.50),
+        percentile(&sorted, 0.95),
+        percentile(&sorted, 0.99),
+        sorted.last().copied().unwrap_or(0)
+    );
+    report.set("load.clients", clients as u64);
+    report.set("load.requests", (clients * per_client) as u64);
+    report.set("load.ok", ok);
+    report.set("load.shed", shed);
+    report.set_f64("load.throughput_rps", throughput);
+    report.record_samples("load.latency", &samples);
+
+    // --- Hot reload under load: a republish swaps the epoch with zero ---
+    // failed requests.
+    let stop_flag = Arc::new(AtomicBool::new(false));
+    let background = {
+        let stop = stop_flag.clone();
+        let probe = get_bytes("/healthz");
+        std::thread::spawn(move || {
+            let (mut done, mut failed) = (0u64, 0u64);
+            while !stop.load(Ordering::Relaxed) {
+                match exchange(addr, &probe) {
+                    Some((200, _, _)) | Some((503, _, _)) => done += 1,
+                    _ => failed += 1,
+                }
+            }
+            (done, failed)
+        })
+    };
+    {
+        let mut s = DurableCatalog::open(store.join("catalog"), StoreOptions::default()).unwrap();
+        s.put(DatasetFeature::new("2015/01/reload_probe.csv")).unwrap();
+        s.checkpoint().unwrap();
+    }
+    let (status, body, _) = exchange(addr, &post_bytes("/admin/reload", "")).expect("reload");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"outcome\":\"reloaded\""), "{body}");
+    std::thread::sleep(Duration::from_millis(100));
+    stop_flag.store(true, Ordering::Relaxed);
+    let (during, reload_failed) = background.join().expect("background client");
+    assert_eq!(reload_failed, 0, "requests failed during the hot reload");
+    println!("hot reload under load: epoch swapped, {during} requests during, 0 failed");
+    report.set("reload.requests_during", during);
+    report.set("reload.failed", reload_failed);
+
+    // --- Graceful drain: shutdown lands while a wave is in flight; every
+    // accepted request must still be answered.
+    let wave_size = 8usize;
+    let mut wave: Vec<TcpStream> = (0..wave_size)
+        .map(|_| {
+            let mut s = TcpStream::connect(addr).expect("connect wave");
+            s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+            s.write_all(&post_bytes("/search", r#"{"q":"with salinity limit 5"}"#)).unwrap();
+            s
+        })
+        .collect();
+    // Let the accept loop take all of them into the queue, then pull the
+    // plug with their responses still pending.
+    std::thread::sleep(Duration::from_millis(300));
+    let summary = server.stop();
+    let mut answered = 0u64;
+    for s in &mut wave {
+        let mut raw = Vec::new();
+        s.read_to_end(&mut raw).expect("read response across shutdown");
+        let text = String::from_utf8_lossy(&raw);
+        assert!(text.starts_with("HTTP/1.1 200"), "in-flight request unanswered: {text:?}");
+        answered += 1;
+    }
+    assert_eq!(summary.dropped, 0, "graceful drain dropped queued work");
+    assert_eq!(summary.reloads, 1);
+    println!(
+        "graceful drain: {answered}/{wave_size} in-flight answered, dropped={}, lifetime \
+         served={}",
+        summary.dropped, summary.served
+    );
+    report.set("drain.in_flight", wave_size as u64);
+    report.set("drain.answered", answered);
+    report.set("drain.dropped", summary.dropped);
+    report.set("summary.served", summary.served);
+    report.set("summary.shed", summary.shed);
+    report.set("summary.reloads", summary.reloads);
+
+    // --- Deterministic shedding: a zero-depth queue refuses everything ---
+    // with a bounded-latency 503, never a hang.
+    let shed_server = start(&store, 1, 0);
+    let offered = 20u64;
+    let mut refusal_latency = Vec::new();
+    for _ in 0..offered {
+        let (status, _, us) =
+            exchange(shed_server.addr, &get_bytes("/healthz")).expect("shed response");
+        assert_eq!(status, 503);
+        refusal_latency.push(us);
+    }
+    let shed_summary = shed_server.stop();
+    assert_eq!(shed_summary.shed, offered);
+    assert_eq!(shed_summary.served, 0);
+    println!(
+        "shedding: {}/{} refused with 503 Retry-After, max refusal latency {:?}",
+        shed_summary.shed,
+        offered,
+        Duration::from_micros(refusal_latency.iter().copied().max().unwrap_or(0))
+    );
+    report.set("shed.offered", offered);
+    report.set("shed.refused", shed_summary.shed);
+    report.set_f64("shed.rate", shed_summary.shed as f64 / offered as f64);
+    report.record_samples("shed.refusal_latency", &refusal_latency);
+
+    if let Some(path) = json_path {
+        report.write(&path).expect("write bench report");
+        println!("\nwrote {} metrics to {}", report.len(), path.display());
+    }
+}

@@ -13,6 +13,7 @@
 //! quarantined anomaly is recorded in the [`RecoveryReport`] and the
 //! `metamess_core_recovery_quarantined_total` counter.
 
+use super::lock::{lock_path, StoreLock};
 use super::metrics::store_metrics;
 use super::quarantine::{quarantine_file, QuarantineReason, Quarantined};
 use super::snapshot::{read_snapshot_with, write_snapshot_with};
@@ -82,6 +83,9 @@ pub struct DurableCatalog {
     options: StoreOptions,
     recovery: RecoveryReport,
     appends_since_checkpoint: u64,
+    /// Shared advisory lock held for the store's lifetime so that
+    /// `fsck --repair` (exclusive) cannot interleave with a live user.
+    _lock: StoreLock,
 }
 
 impl DurableCatalog {
@@ -100,6 +104,12 @@ impl DurableCatalog {
     ) -> Result<DurableCatalog> {
         let dir = dir.as_ref().to_path_buf();
         vfs.create_dir_all(&dir).io_ctx(format!("create store dir {}", dir.display()))?;
+        // Shared advisory lock: concurrent users coexist; an exclusive
+        // holder (fsck --repair) turns this into a clear error instead of
+        // an undefined interleaving. Taken on the real filesystem even
+        // under a fault-injecting VFS — the lock is process coordination,
+        // not crash state.
+        let lock = StoreLock::shared(lock_path(&dir))?;
         let snap_path = dir.join("snapshot.bin");
         let wal_path = dir.join("wal.log");
         let quarantine_dir =
@@ -187,6 +197,7 @@ impl DurableCatalog {
             options,
             recovery,
             appends_since_checkpoint: 0,
+            _lock: lock,
         })
     }
 
@@ -526,6 +537,23 @@ mod tests {
         }
         let s = DurableCatalog::open(&dir, opts_sync()).unwrap();
         assert!(s.catalog().get(id).is_none());
+    }
+
+    #[test]
+    fn open_store_holds_shared_lock() {
+        use crate::store::lock::{lock_path, StoreLock};
+        let dir = tmpdir("lock");
+        let a = DurableCatalog::open(&dir, StoreOptions::default()).unwrap();
+        // Another user coexists (shared + shared)…
+        let b = DurableCatalog::open(&dir, StoreOptions::default()).unwrap();
+        drop(b);
+        // …but a repairer (exclusive) is refused while the store is open.
+        if cfg!(unix) {
+            let e = StoreLock::exclusive(lock_path(&dir)).unwrap_err();
+            assert!(e.to_string().contains("locked"), "{e}");
+        }
+        drop(a);
+        let _repair = StoreLock::exclusive(lock_path(&dir)).unwrap();
     }
 
     #[test]

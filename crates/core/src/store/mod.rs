@@ -12,6 +12,7 @@ mod durable;
 mod frame;
 pub mod fsck;
 mod ledger;
+mod lock;
 mod metrics;
 mod quarantine;
 mod snapshot;
@@ -25,6 +26,7 @@ pub use ledger::{
     read_ledger, read_ledger_with, write_ledger, write_ledger_with, RunLedger, StageRecord,
     LEDGER_MAGIC,
 };
+pub use lock::{lock_path, LockMode, StoreLock};
 pub use quarantine::{quarantine_file, QuarantineReason, Quarantined};
 pub use snapshot::{
     read_snapshot, read_snapshot_with, write_snapshot, write_snapshot_with, SNAPSHOT_MAGIC,

@@ -14,7 +14,7 @@ use metamess_vocab::{Taxonomy, TaxonomyNode, Vocabulary};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// One node of the browse menu.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
 pub struct BrowseNode {
     /// Concept name (canonical term or grouping label).
     pub name: String,
@@ -35,7 +35,7 @@ impl BrowseNode {
 }
 
 /// A taxonomy annotated with dataset counts.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
 pub struct BrowseTree {
     /// Taxonomy name.
     pub taxonomy: String,

@@ -12,7 +12,7 @@ use metamess_telemetry::{Counter, Histogram};
 use std::sync::{Arc, OnceLock};
 
 /// Where one query's time went, phase by phase.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize)]
 pub struct SearchExplain {
     /// Served straight from the result cache (no phases ran).
     pub cache_hit: bool,

@@ -49,3 +49,17 @@ pub use score::{
 };
 pub use summary::{render_results, render_summary};
 pub use topk::TopK;
+
+// Compile-time thread-safety contract: the HTTP server shares one
+// `SearchEngine` (and its `ResultCache`) across worker threads behind an
+// `Arc`. If a refactor ever introduces a non-`Send`/`Sync` field (an `Rc`,
+// a `RefCell`, a raw pointer), this fails to build here — in the crate that
+// owns the type — rather than as a confusing trait-bound error in the
+// server, or worse, at runtime.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SearchEngine>();
+    assert_send_sync::<ResultCache>();
+    assert_send_sync::<SearchHit>();
+    assert_send_sync::<SearchExplain>();
+};

@@ -1,0 +1,497 @@
+//! Minimal HTTP/1.1 reading and writing over `std::net::TcpStream`.
+//!
+//! Only what the service needs, implemented defensively: bounded head and
+//! body sizes (oversized input is answered with `413`, never buffered
+//! unboundedly), per-request read deadlines (a stalled client gets `408`
+//! and a closed connection, never a stuck worker), and keep-alive with a
+//! separate idle timeout between requests. Unsupported constructs
+//! (`Transfer-Encoding: chunked`) are rejected rather than misparsed.
+
+use std::collections::BTreeMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// How often a worker waiting for a request wakes up to check shutdown.
+const SHUTDOWN_POLL: Duration = Duration::from_millis(100);
+
+/// Read-side bounds for one request.
+#[derive(Debug, Clone)]
+pub struct Limits {
+    /// Maximum bytes of request line + headers (413 beyond this).
+    pub max_header_bytes: usize,
+    /// Maximum bytes of body (413 beyond this).
+    pub max_body_bytes: usize,
+    /// Deadline for reading one full request once its first byte arrived
+    /// (408 beyond this).
+    pub read_timeout: Duration,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_header_bytes: 8 * 1024,
+            max_body_bytes: 1024 * 1024,
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug, Clone, Default)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, …).
+    pub method: String,
+    /// Percent-decoded path, query string removed.
+    pub path: String,
+    /// Decoded query parameters.
+    pub query: BTreeMap<String, String>,
+    /// Headers with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+    /// `true` for `HTTP/1.0` (keep-alive must be asked for explicitly).
+    pub http10: bool,
+}
+
+impl Request {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client wants the connection kept open after the
+    /// response (HTTP/1.1 defaults to yes, 1.0 to no).
+    pub fn wants_keep_alive(&self) -> bool {
+        match self.header("connection").map(str::to_ascii_lowercase) {
+            Some(v) if v.contains("close") => false,
+            Some(v) if v.contains("keep-alive") => true,
+            _ => !self.http10,
+        }
+    }
+
+    /// Whether a query flag like `?explain=1` is set truthy.
+    pub fn query_flag(&self, name: &str) -> bool {
+        matches!(self.query.get(name).map(String::as_str), Some("1") | Some("true") | Some(""))
+    }
+}
+
+/// What came out of waiting for a request on a connection.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete, well-formed request.
+    Request(Request),
+    /// Peer closed (or shutdown arrived) before a request started — close
+    /// silently.
+    Closed,
+    /// No request arrived within the idle window — close silently.
+    IdleTimeout,
+    /// Protocol-level problem; answer with this status and close.
+    Error {
+        /// HTTP status to answer with (400, 408, 413, 501).
+        status: u16,
+        /// Human-readable reason for the error body.
+        message: String,
+    },
+    /// Transport failed mid-read; just close.
+    Io(std::io::Error),
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+fn proto_err(status: u16, message: impl Into<String>) -> ReadOutcome {
+    ReadOutcome::Error { status, message: message.into() }
+}
+
+/// Reads one request. First waits up to `idle_timeout` for the first byte
+/// (polling `shutdown` so a draining server closes idle keep-alive
+/// connections promptly); once a request has started it must complete
+/// within `limits.read_timeout`.
+pub fn read_request(
+    stream: &mut TcpStream,
+    limits: &Limits,
+    idle_timeout: Duration,
+    shutdown: &dyn Fn() -> bool,
+) -> ReadOutcome {
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+
+    // Phase 1: wait for the request to start. A queued connection whose
+    // bytes already sit in the socket buffer passes straight through even
+    // during shutdown — that is the "drain in-flight work" guarantee; only
+    // connections with nothing to say are closed.
+    let idle_start = Instant::now();
+    let mut first = [0u8; 1];
+    loop {
+        let _ = stream.set_read_timeout(Some(SHUTDOWN_POLL));
+        match stream.read(&mut first) {
+            Ok(0) => return ReadOutcome::Closed,
+            Ok(_) => {
+                buf.push(first[0]);
+                break;
+            }
+            Err(e) if is_timeout(&e) => {
+                if shutdown() {
+                    return ReadOutcome::Closed;
+                }
+                if idle_start.elapsed() >= idle_timeout {
+                    return ReadOutcome::IdleTimeout;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return ReadOutcome::Io(e),
+        }
+    }
+
+    // Phase 2: the request is in flight; everything below runs against one
+    // absolute deadline.
+    let deadline = Instant::now() + limits.read_timeout;
+
+    // Head: accumulate until the blank line, bounded.
+    let head_end = loop {
+        if let Some(end) = find_head_end(&buf) {
+            break end;
+        }
+        if buf.len() > limits.max_header_bytes {
+            return proto_err(
+                413,
+                format!("request head exceeds {} bytes", limits.max_header_bytes),
+            );
+        }
+        match read_chunk(stream, &mut buf, deadline) {
+            ChunkOutcome::Data => {}
+            ChunkOutcome::Eof => return proto_err(400, "connection closed mid-request"),
+            ChunkOutcome::Timeout => return proto_err(408, "timed out reading request head"),
+            ChunkOutcome::Io(e) => return ReadOutcome::Io(e),
+        }
+    };
+
+    let mut req = match parse_head(&buf[..head_end]) {
+        Ok(r) => r,
+        Err(out) => return out,
+    };
+
+    // Body: exactly Content-Length bytes, bounded.
+    let content_length = match req.header("content-length") {
+        None => 0usize,
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return proto_err(400, format!("unparseable content-length: {v:?}")),
+        },
+    };
+    if req.header("transfer-encoding").is_some() {
+        return proto_err(501, "transfer-encoding is not supported");
+    }
+    if content_length > limits.max_body_bytes {
+        return proto_err(
+            413,
+            format!("body of {content_length} bytes exceeds {} bytes", limits.max_body_bytes),
+        );
+    }
+    let mut body = buf.split_off(head_end);
+    while body.len() < content_length {
+        match read_chunk(stream, &mut body, deadline) {
+            ChunkOutcome::Data => {}
+            ChunkOutcome::Eof => return proto_err(400, "connection closed mid-body"),
+            ChunkOutcome::Timeout => return proto_err(408, "timed out reading request body"),
+            ChunkOutcome::Io(e) => return ReadOutcome::Io(e),
+        }
+    }
+    body.truncate(content_length);
+    req.body = body;
+    ReadOutcome::Request(req)
+}
+
+enum ChunkOutcome {
+    Data,
+    Eof,
+    Timeout,
+    Io(std::io::Error),
+}
+
+/// Reads some bytes into `buf`, bounded by the absolute `deadline`.
+fn read_chunk(stream: &mut TcpStream, buf: &mut Vec<u8>, deadline: Instant) -> ChunkOutcome {
+    let mut chunk = [0u8; 1024];
+    loop {
+        let left = match deadline.checked_duration_since(Instant::now()) {
+            Some(d) if !d.is_zero() => d,
+            _ => return ChunkOutcome::Timeout,
+        };
+        let _ = stream.set_read_timeout(Some(left.min(SHUTDOWN_POLL)));
+        match stream.read(&mut chunk) {
+            Ok(0) => return ChunkOutcome::Eof,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                return ChunkOutcome::Data;
+            }
+            Err(e) if is_timeout(&e) => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return ChunkOutcome::Io(e),
+        }
+    }
+}
+
+/// Index just past the `\r\n\r\n` terminating the head, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+fn parse_head(head: &[u8]) -> Result<Request, ReadOutcome> {
+    let text =
+        std::str::from_utf8(head).map_err(|_| proto_err(400, "request head is not valid utf-8"))?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(proto_err(400, format!("malformed request line: {request_line:?}"))),
+    };
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(proto_err(400, format!("malformed method: {method:?}")));
+    }
+    if !target.starts_with('/') {
+        return Err(proto_err(400, format!("request target must be absolute: {target:?}")));
+    }
+    let http10 = match version {
+        "HTTP/1.1" => false,
+        "HTTP/1.0" => true,
+        other => return Err(proto_err(400, format!("unsupported protocol: {other:?}"))),
+    };
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue; // the terminating blank line
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| proto_err(400, format!("malformed header line: {line:?}")))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(proto_err(400, format!("malformed header name: {name:?}")));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let mut query = BTreeMap::new();
+    for pair in raw_query.unwrap_or_default().split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        query.insert(percent_decode(k, true), percent_decode(v, true));
+    }
+
+    Ok(Request {
+        method: method.to_string(),
+        path: percent_decode(raw_path, false),
+        query,
+        headers,
+        body: Vec::new(),
+        http10,
+    })
+}
+
+/// Decodes `%XX` escapes (and `+` as space inside query strings). Invalid
+/// escapes pass through literally — a lookup for a weird path should 404,
+/// not 500.
+pub fn percent_decode(s: &str, plus_as_space: bool) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => match (hex(bytes.get(i + 1)), hex(bytes.get(i + 2))) {
+                (Some(h), Some(l)) => {
+                    out.push(h * 16 + l);
+                    i += 3;
+                }
+                _ => {
+                    out.push(b'%');
+                    i += 1;
+                }
+            },
+            b'+' if plus_as_space => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn hex(b: Option<&u8>) -> Option<u8> {
+    (*b? as char).to_digit(16).map(|d| d as u8)
+}
+
+/// One response, written with `Content-Length` and an explicit
+/// `Connection` header.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Additional headers (e.g. `Retry-After`, `Allow`).
+    pub extra_headers: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response from an already-rendered document.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response (newline-terminated).
+    pub fn text(status: u16, message: impl AsRef<str>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            extra_headers: Vec::new(),
+            body: format!("{}\n", message.as_ref()).into_bytes(),
+        }
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Response {
+        self.extra_headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Serializes the response. `keep_alive` decides the `Connection`
+    /// header; the caller closes the stream when it is `false`.
+    pub fn write_to(&self, w: &mut dyn Write, keep_alive: bool) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
+            self.status,
+            status_text(self.status),
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        for (name, value) in &self.extra_headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// Reason phrase for the status codes this server emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_end_is_found() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(18));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n"), None);
+    }
+
+    #[test]
+    fn parse_head_accepts_a_full_request() {
+        let req = parse_head(
+            b"POST /search?explain=1&x=a+b HTTP/1.1\r\nHost: x\r\nContent-Length: 2\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/search");
+        assert_eq!(req.query["explain"], "1");
+        assert_eq!(req.query["x"], "a b");
+        assert_eq!(req.header("content-length"), Some("2"));
+        assert!(req.wants_keep_alive());
+        assert!(req.query_flag("explain"));
+    }
+
+    #[test]
+    fn parse_head_rejects_garbage() {
+        for bad in [
+            &b"not a request\r\n\r\n"[..],
+            b"GET\r\n\r\n",
+            b"GET /x HTTP/2\r\n\r\n",
+            b"get /x HTTP/1.1\r\n\r\n",
+            b"GET x HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nbroken header\r\n\r\n",
+        ] {
+            match parse_head(bad) {
+                Err(ReadOutcome::Error { status: 400, .. }) => {}
+                other => {
+                    panic!("expected 400 for {:?}, got {other:?}", String::from_utf8_lossy(bad))
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn http10_defaults_to_close() {
+        let req = parse_head(b"GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!req.wants_keep_alive());
+        let req = parse_head(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(req.wants_keep_alive());
+        let req = parse_head(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!req.wants_keep_alive());
+    }
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(
+            percent_decode("/datasets/2014%2F07%2Fsaturn.csv", false),
+            "/datasets/2014/07/saturn.csv"
+        );
+        assert_eq!(percent_decode("a+b%20c", true), "a b c");
+        assert_eq!(percent_decode("broken%zz", false), "broken%zz");
+        assert_eq!(percent_decode("trailing%2", false), "trailing%2");
+    }
+
+    #[test]
+    fn response_writes_content_length_and_connection() {
+        let mut out = Vec::new();
+        Response::json(200, "{}".into()).write_to(&mut out, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("content-length: 2\r\n"), "{text}");
+        assert!(text.contains("connection: keep-alive\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"), "{text}");
+
+        let mut out = Vec::new();
+        Response::text(503, "busy")
+            .with_header("Retry-After", "1")
+            .write_to(&mut out, false)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("connection: close\r\n"), "{text}");
+        assert!(text.contains("Retry-After: 1\r\n"), "{text}");
+    }
+}

@@ -1,0 +1,72 @@
+//! # metamess-server
+//!
+//! An embedded HTTP/1.1 JSON service over `std::net::TcpListener` that
+//! turns the in-process "Data Near Here"
+//! [`SearchEngine`](metamess_search::SearchEngine) into the network
+//! service the paper describes — dependency-light (no async runtime; std +
+//! `parking_lot` + serde), but with real robustness properties:
+//!
+//! * **Bounded concurrency.** A fixed worker pool serves connections
+//!   handed over through a bounded queue ([`BoundedQueue`]); memory and
+//!   thread use are constant under any offered load.
+//! * **Load shedding.** When the queue is full, new connections are
+//!   answered `503 Retry-After: 1` immediately — backpressure is explicit
+//!   and bounded, never an unbounded buffer or a hang.
+//! * **Deadlines everywhere.** Idle keep-alive timeout, per-request read
+//!   deadline (408), bounded head/body sizes (413), write timeouts.
+//! * **Hot reload.** The catalog sits behind an epoch pointer
+//!   ([`ServeState`]); a filesystem poll or `POST /admin/reload` swaps in
+//!   a freshly built [`EngineEpoch`] when the published generation
+//!   advances, without dropping in-flight requests. The generation-stamped
+//!   result cache carries over (stale entries die by stamp mismatch).
+//! * **Graceful shutdown.** SIGTERM / ctrl-c / [`ShutdownHandle::trigger`]
+//!   stop the accept loop, drain queued connections, and report a
+//!   [`ServeSummary`] with a `dropped` count (zero in a healthy drain).
+//!
+//! Endpoints: `POST /search` (`?explain=1` adds the per-phase breakdown),
+//! `GET /datasets/<path>`, `GET /browse`, `GET /healthz`, `GET /metrics`
+//! (Prometheus, byte-identical to `metamess stats --prometheus` for the
+//! same snapshot — see [`store_snapshot`]), `POST /admin/reload`.
+//!
+//! ```no_run
+//! use metamess_server::{ServeState, Server, ServerConfig};
+//! use std::sync::Arc;
+//!
+//! let state = Arc::new(ServeState::open("archive/.metamess")?);
+//! let server = Server::bind(state, ServerConfig::default())?;
+//! println!("listening on {}", server.local_addr()?);
+//! let summary = server.run()?; // blocks until shutdown
+//! println!("served {} requests", summary.served);
+//! # Ok::<(), metamess_core::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod expose;
+mod handlers;
+mod http;
+mod metrics;
+mod pool;
+mod router;
+mod server;
+mod shutdown;
+mod state;
+
+pub use expose::store_snapshot;
+pub use handlers::handle;
+pub use http::{percent_decode, status_text, Limits, ReadOutcome, Request, Response};
+pub use pool::BoundedQueue;
+pub use router::{route, Route};
+pub use server::{ServeSummary, Server, ServerConfig};
+pub use shutdown::ShutdownHandle;
+pub use state::{EngineEpoch, ReloadOutcome, ServeState};
+
+// The server hands one `Arc<ServeState>` to every worker thread; assert
+// the whole state graph stays thread-safe at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ServeState>();
+    assert_send_sync::<EngineEpoch>();
+    assert_send_sync::<ShutdownHandle>();
+    assert_send_sync::<BoundedQueue<std::net::TcpStream>>();
+};

@@ -1,0 +1,78 @@
+//! The server's own metric families, recorded into the global
+//! `metamess-telemetry` registry so `/metrics` and `metamess stats` see
+//! them alongside search/store/pipeline series.
+//!
+//! Families:
+//!
+//! * `metamess_server_requests_total{route=…,status=…}` — one counter per
+//!   (route, status) pair, including protocol errors under
+//!   `route="invalid"`.
+//! * `metamess_server_request_micros` — handler latency histogram.
+//! * `metamess_server_connections_total` / `metamess_server_shed_total` —
+//!   accepted vs shed connections.
+//! * `metamess_server_queue_depth` — connections waiting right now.
+//! * `metamess_server_reloads_total` — hot catalog reloads that swapped an
+//!   epoch.
+
+use metamess_telemetry::global;
+
+/// Records one served request: route/status counter + latency histogram.
+pub(crate) fn record_request(route: &str, status: u16, micros: u64) {
+    if !metamess_telemetry::enabled() {
+        return;
+    }
+    // Two labels, hand-assembled in registry key syntax (the Prometheus
+    // renderer splits at the first `{`).
+    let name = format!("metamess_server_requests_total{{route=\"{route}\",status=\"{status}\"}}");
+    global().counter(&name).add(1);
+    global().histogram("metamess_server_request_micros").record(micros);
+}
+
+/// Records one accepted connection.
+pub(crate) fn record_connection() {
+    if metamess_telemetry::enabled() {
+        global().counter("metamess_server_connections_total").add(1);
+    }
+}
+
+/// Records one shed (503) connection.
+pub(crate) fn record_shed() {
+    if metamess_telemetry::enabled() {
+        global().counter("metamess_server_shed_total").add(1);
+    }
+}
+
+/// Publishes the current accept-queue depth.
+pub(crate) fn set_queue_depth(depth: usize) {
+    if metamess_telemetry::enabled() {
+        global().gauge("metamess_server_queue_depth").set(depth as i64);
+    }
+}
+
+/// Records one epoch-swapping hot reload.
+pub(crate) fn record_reload() {
+    if metamess_telemetry::enabled() {
+        global().counter("metamess_server_reloads_total").add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_metric_renders_with_both_labels() {
+        record_request("search", 200, 1234);
+        let snap = global().snapshot();
+        if !metamess_telemetry::enabled() {
+            return; // nothing recorded under METAMESS_TELEMETRY=0
+        }
+        let key = "metamess_server_requests_total{route=\"search\",status=\"200\"}";
+        assert!(snap.counters.contains_key(key), "missing {key}");
+        let text = snap.render_prometheus();
+        assert!(
+            text.contains("metamess_server_requests_total{route=\"search\",status=\"200\"}"),
+            "{text}"
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! A bounded MPMC queue of accepted connections.
+//!
+//! This is the server's **only** buffer between accept and service, and it
+//! is capped: when `capacity` connections are already waiting, `try_push`
+//! hands the connection back so the accept loop can shed it with
+//! `503 Retry-After` instead of buffering without bound. Backpressure is
+//! therefore visible to clients immediately, and memory use is bounded by
+//! `workers + capacity` connections no matter the offered load.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Bounded FIFO handoff between the accept loop and the worker pool.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    items: Mutex<VecDeque<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` waiting items (0 = hand-off
+    /// only succeeds when a worker is already draining).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            items: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues unless full; a full queue returns the item to the caller
+    /// (to be shed), never blocks, never buffers past `capacity`.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut items = self.items.lock();
+        if items.len() >= self.capacity {
+            return Err(item);
+        }
+        items.push_back(item);
+        drop(items);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues, waiting up to `timeout` for an item.
+    pub fn pop(&self, timeout: Duration) -> Option<T> {
+        let mut items = self.items.lock();
+        if let Some(item) = items.pop_front() {
+            return Some(item);
+        }
+        self.available.wait_for(&mut items, timeout);
+        items.pop_front()
+    }
+
+    /// Items currently waiting.
+    pub fn len(&self) -> usize {
+        self.items.lock().len()
+    }
+
+    /// Whether nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.items.lock().is_empty()
+    }
+
+    /// Removes and returns everything still queued (shutdown accounting).
+    pub fn drain(&self) -> Vec<T> {
+        self.items.lock().drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(3), "third item is shed");
+        assert_eq!(q.pop(Duration::from_millis(1)), Some(1));
+        assert_eq!(q.pop(Duration::from_millis(1)), Some(2));
+        assert_eq!(q.pop(Duration::from_millis(1)), None);
+    }
+
+    #[test]
+    fn zero_capacity_sheds_everything() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.try_push(7), Err(7));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_wakes_on_push() {
+        use std::sync::Arc;
+        let q = Arc::new(BoundedQueue::new(4));
+        let q2 = q.clone();
+        let t = std::thread::spawn(move || q2.pop(Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.try_push(42usize).unwrap();
+        assert_eq!(t.join().unwrap(), Some(42));
+    }
+
+    #[test]
+    fn drain_empties() {
+        let q = BoundedQueue::new(8);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        assert_eq!(q.drain(), vec!["a", "b"]);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,96 @@
+//! Method + path → endpoint, with proper `404` / `405` distinctions.
+
+/// Where a request is routed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Route {
+    /// `POST /search` — ranked query.
+    Search,
+    /// `GET /datasets/<path>` — one dataset's catalog entry (the captured
+    /// string is the percent-decoded archive-relative path).
+    Dataset(String),
+    /// `GET /browse` — per-taxonomy drill-down counts.
+    Browse,
+    /// `GET /healthz` — liveness + store generation.
+    Healthz,
+    /// `GET /metrics` — Prometheus exposition.
+    Metrics,
+    /// `POST /admin/reload` — force a hot reload check.
+    Reload,
+    /// Known path, wrong method; answer `405` with this `Allow` value.
+    MethodNotAllowed(&'static str),
+    /// Unknown path; answer `404`.
+    NotFound,
+}
+
+impl Route {
+    /// Stable label for the `route` metric dimension.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Route::Search => "search",
+            Route::Dataset(_) => "dataset",
+            Route::Browse => "browse",
+            Route::Healthz => "healthz",
+            Route::Metrics => "metrics",
+            Route::Reload => "reload",
+            Route::MethodNotAllowed(_) => "method_not_allowed",
+            Route::NotFound => "not_found",
+        }
+    }
+}
+
+/// Routes a (method, decoded-path) pair.
+pub fn route(method: &str, path: &str) -> Route {
+    if let Some(rest) = path.strip_prefix("/datasets/") {
+        return if method == "GET" {
+            Route::Dataset(rest.to_string())
+        } else {
+            Route::MethodNotAllowed("GET")
+        };
+    }
+    match (method, path) {
+        ("POST", "/search") => Route::Search,
+        (_, "/search") => Route::MethodNotAllowed("POST"),
+        ("GET", "/browse") => Route::Browse,
+        (_, "/browse") => Route::MethodNotAllowed("GET"),
+        ("GET", "/healthz") => Route::Healthz,
+        (_, "/healthz") => Route::MethodNotAllowed("GET"),
+        ("GET", "/metrics") => Route::Metrics,
+        (_, "/metrics") => Route::MethodNotAllowed("GET"),
+        ("POST", "/admin/reload") => Route::Reload,
+        (_, "/admin/reload") => Route::MethodNotAllowed("POST"),
+        _ => Route::NotFound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_routes() {
+        assert_eq!(route("POST", "/search"), Route::Search);
+        assert_eq!(route("GET", "/browse"), Route::Browse);
+        assert_eq!(route("GET", "/healthz"), Route::Healthz);
+        assert_eq!(route("GET", "/metrics"), Route::Metrics);
+        assert_eq!(route("POST", "/admin/reload"), Route::Reload);
+        assert_eq!(
+            route("GET", "/datasets/2014/07/saturn01_ctd.csv"),
+            Route::Dataset("2014/07/saturn01_ctd.csv".into())
+        );
+    }
+
+    #[test]
+    fn wrong_method_is_405_with_allow() {
+        assert_eq!(route("GET", "/search"), Route::MethodNotAllowed("POST"));
+        assert_eq!(route("POST", "/healthz"), Route::MethodNotAllowed("GET"));
+        assert_eq!(route("DELETE", "/datasets/x.csv"), Route::MethodNotAllowed("GET"));
+        assert_eq!(route("GET", "/admin/reload"), Route::MethodNotAllowed("POST"));
+    }
+
+    #[test]
+    fn unknown_path_is_404() {
+        assert_eq!(route("GET", "/"), Route::NotFound);
+        assert_eq!(route("GET", "/datasets"), Route::NotFound);
+        assert_eq!(route("GET", "/nope"), Route::NotFound);
+    }
+}

@@ -1,0 +1,306 @@
+//! The serving loop: bounded accept queue, worker pool, graceful drain.
+//!
+//! Threading model — one accept thread (the caller of [`Server::run`]),
+//! `workers` service threads, and an optional reload-poll thread:
+//!
+//! * The accept thread never blocks on a client: it accepts, then either
+//!   enqueues the connection or — when the bounded queue is full — sheds
+//!   it inline with `503 Retry-After: 1` and closes. Offered load beyond
+//!   `workers + queue_depth` is therefore answered immediately, never
+//!   buffered.
+//! * Workers pull connections and own them until close: keep-alive loops
+//!   run entirely inside one worker, so request handling needs no
+//!   cross-thread synchronization beyond the epoch `Arc` clone.
+//! * Shutdown (signal or [`crate::ShutdownHandle::trigger`]) stops the
+//!   accept loop, then workers finish their in-flight request, **drain
+//!   everything already queued**, and exit. Only connections still queued
+//!   when `drain_timeout` expires are counted dropped (and answered 503).
+
+use crate::http::{self, Limits, ReadOutcome, Response};
+use crate::pool::BoundedQueue;
+use crate::shutdown::ShutdownHandle;
+use crate::state::ServeState;
+use crate::{handlers, metrics};
+use metamess_core::{Error, Result};
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tunables for one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`host:port`; port 0 picks a free port).
+    pub addr: String,
+    /// Service threads.
+    pub workers: usize,
+    /// Connections allowed to wait beyond the workers; the shed threshold.
+    pub queue_depth: usize,
+    /// How long a keep-alive connection may sit idle between requests.
+    pub idle_timeout: Duration,
+    /// Deadline for reading one request and writing its response.
+    pub request_timeout: Duration,
+    /// How long shutdown waits for queued work to drain.
+    pub drain_timeout: Duration,
+    /// Interval for the store-change poll (`None` disables polling;
+    /// `POST /admin/reload` still works).
+    pub poll_interval: Option<Duration>,
+    /// Read-side request bounds.
+    pub limits: Limits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            idle_timeout: Duration::from_secs(30),
+            request_timeout: Duration::from_secs(10),
+            drain_timeout: Duration::from_secs(5),
+            poll_interval: Some(Duration::from_secs(2)),
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// What one server lifetime did.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize)]
+pub struct ServeSummary {
+    /// Requests answered (including 4xx).
+    pub served: u64,
+    /// Connections shed with 503 at the accept queue.
+    pub shed: u64,
+    /// Connections still queued when the drain deadline expired.
+    pub dropped: u64,
+    /// Hot reloads that swapped an epoch.
+    pub reloads: u64,
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServeState>,
+    config: ServerConfig,
+    shutdown: ShutdownHandle,
+}
+
+impl Server {
+    /// Binds the listener (so callers can learn the port before serving).
+    pub fn bind(state: Arc<ServeState>, config: ServerConfig) -> Result<Server> {
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| Error::io(format!("bind {}", config.addr), e))?;
+        Ok(Server { listener, state, config, shutdown: ShutdownHandle::new() })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> Result<SocketAddr> {
+        self.listener.local_addr().map_err(|e| Error::io("local_addr", e))
+    }
+
+    /// A handle that triggers graceful shutdown from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        self.shutdown.clone()
+    }
+
+    /// Serves until shutdown, then drains and reports. Blocks the calling
+    /// thread (it becomes the accept loop).
+    pub fn run(self) -> Result<ServeSummary> {
+        let Server { listener, state, config, shutdown } = self;
+        let queue = Arc::new(BoundedQueue::<TcpStream>::new(config.queue_depth));
+        let served = Arc::new(AtomicU64::new(0));
+        let active = Arc::new(AtomicUsize::new(0));
+
+        let mut threads = Vec::new();
+        for i in 0..config.workers.max(1) {
+            let queue = queue.clone();
+            let state = state.clone();
+            let shutdown = shutdown.clone();
+            let served = served.clone();
+            let active = active.clone();
+            let limits = config.limits.clone();
+            let idle = config.idle_timeout;
+            let request_timeout = config.request_timeout;
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("metamess-worker-{i}"))
+                    .spawn(move || {
+                        worker_loop(
+                            &queue,
+                            &state,
+                            &shutdown,
+                            &limits,
+                            idle,
+                            request_timeout,
+                            &served,
+                            &active,
+                        )
+                    })
+                    .map_err(|e| Error::io("spawn worker", e))?,
+            );
+        }
+        if let Some(interval) = config.poll_interval {
+            let state = state.clone();
+            let shutdown = shutdown.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("metamess-reload-poll".to_string())
+                    .spawn(move || poll_loop(&state, &shutdown, interval))
+                    .map_err(|e| Error::io("spawn reload poll", e))?,
+            );
+        }
+
+        listener.set_nonblocking(true).map_err(|e| Error::io("set_nonblocking", e))?;
+        let mut shed = 0u64;
+        while !shutdown.is_shutdown() {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    metrics::record_connection();
+                    match queue.try_push(stream) {
+                        Ok(()) => metrics::set_queue_depth(queue.len()),
+                        Err(stream) => {
+                            shed += 1;
+                            metrics::record_shed();
+                            shed_connection(stream);
+                        }
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(Error::io("accept", e)),
+            }
+        }
+        drop(listener); // stop accepting before draining
+
+        // Drain: workers keep consuming the queue; wait for it to empty
+        // and for in-flight connections to finish, bounded by the drain
+        // deadline.
+        let deadline = Instant::now() + config.drain_timeout;
+        while Instant::now() < deadline {
+            if queue.is_empty() && active.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let leftovers = queue.drain();
+        let dropped = leftovers.len() as u64;
+        for stream in leftovers {
+            shed_connection(stream); // better a clean 503 than a reset
+        }
+        metrics::set_queue_depth(0);
+        // Workers see shutdown + empty queue and exit; a worker pinned by
+        // a stalled client is abandoned (its socket timeouts bound it).
+        for t in threads {
+            if Instant::now() < deadline + Duration::from_millis(500) {
+                let _ = t.join();
+            }
+        }
+
+        Ok(ServeSummary {
+            served: served.load(Ordering::SeqCst),
+            shed,
+            dropped,
+            reloads: state.reloads(),
+        })
+    }
+}
+
+/// Answers a connection we will not serve with `503 Retry-After: 1`.
+fn shed_connection(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let response =
+        Response::text(503, "server at capacity, retry shortly").with_header("retry-after", "1");
+    let _ = response.write_to(&mut stream, false);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    queue: &BoundedQueue<TcpStream>,
+    state: &ServeState,
+    shutdown: &ShutdownHandle,
+    limits: &Limits,
+    idle_timeout: Duration,
+    request_timeout: Duration,
+    served: &AtomicU64,
+    active: &AtomicUsize,
+) {
+    loop {
+        match queue.pop(Duration::from_millis(50)) {
+            Some(stream) => {
+                metrics::set_queue_depth(queue.len());
+                active.fetch_add(1, Ordering::SeqCst);
+                serve_connection(
+                    stream,
+                    state,
+                    shutdown,
+                    limits,
+                    idle_timeout,
+                    request_timeout,
+                    served,
+                );
+                active.fetch_sub(1, Ordering::SeqCst);
+            }
+            // Exit only once shutdown is requested AND the queue is fully
+            // drained — queued work is never abandoned by a live worker.
+            None => {
+                if shutdown.is_shutdown() && queue.is_empty() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Owns one connection: keep-alive request loop with idle timeout and
+/// per-request deadlines.
+fn serve_connection(
+    mut stream: TcpStream,
+    state: &ServeState,
+    shutdown: &ShutdownHandle,
+    limits: &Limits,
+    idle_timeout: Duration,
+    request_timeout: Duration,
+    served: &AtomicU64,
+) {
+    let _ = stream.set_write_timeout(Some(request_timeout));
+    let is_shutdown = || shutdown.is_shutdown();
+    loop {
+        match http::read_request(&mut stream, limits, idle_timeout, &is_shutdown) {
+            ReadOutcome::Request(req) => {
+                let start = Instant::now();
+                // During drain, answer but close: no new keep-alive cycles.
+                let keep_alive = req.wants_keep_alive() && !shutdown.is_shutdown();
+                let (route, response) = handlers::handle(state, &req);
+                metrics::record_request(route, response.status, start.elapsed().as_micros() as u64);
+                served.fetch_add(1, Ordering::SeqCst);
+                if response.write_to(&mut stream, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            ReadOutcome::Closed | ReadOutcome::IdleTimeout => return,
+            ReadOutcome::Error { status, message } => {
+                metrics::record_request("invalid", status, 0);
+                let _ = Response::text(status, message).write_to(&mut stream, false);
+                return;
+            }
+            ReadOutcome::Io(_) => return,
+        }
+    }
+}
+
+/// Polls the store signature, hot-reloading when a publish lands. Errors
+/// are swallowed: the fault model says a failed reopen keeps the previous
+/// epoch serving.
+fn poll_loop(state: &ServeState, shutdown: &ShutdownHandle, interval: Duration) {
+    let mut last = Instant::now();
+    while !shutdown.is_shutdown() {
+        std::thread::sleep(Duration::from_millis(50).min(interval));
+        if last.elapsed() >= interval {
+            let _ = state.poll_reload();
+            last = Instant::now();
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Shared serving state: the store, an epoch-swapped engine, hot reload.
+//!
+//! The catalog is served through an [`EngineEpoch`] held behind an
+//! `RwLock<Arc<…>>`: every request clones the `Arc` once (a read lock held
+//! for nanoseconds) and then runs entirely against that immutable epoch. A
+//! hot reload builds the next epoch **off to the side** and swaps the
+//! pointer — in-flight requests keep the epoch they started with, so a
+//! reload never invalidates a request mid-execution.
+//!
+//! The [`ResultCache`] is shared *across* epochs: entries are stamped with
+//! the catalog generation (PR 1), so a reload that advances the generation
+//! invalidates stale entries by construction, while a reload that finds
+//! the same generation keeps the warm cache.
+//!
+//! Fault model under reload: if reopening the store fails (mid-publish
+//! state, or `fsck --repair` holding the exclusive store lock), the error
+//! is reported to the caller and the server **keeps serving the previous
+//! epoch** — a bad reload never takes the service down.
+
+use crate::metrics;
+use metamess_core::store::{lock_path, StoreLock};
+use metamess_core::{DurableCatalog, Result, StoreOptions};
+use metamess_search::{browse_all, BrowseTree, ResultCache, SearchEngine, DEFAULT_CACHE_CAPACITY};
+use metamess_vocab::Vocabulary;
+use parking_lot::{Mutex, RwLock};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::SystemTime;
+
+/// One immutable generation of serving state.
+pub struct EngineEpoch {
+    /// The search engine built over the store's published catalog.
+    pub engine: SearchEngine,
+    /// Browse trees precomputed at load (the engine does not retain the
+    /// catalog, so drill-down counts are materialized per epoch).
+    pub browse: Vec<BrowseTree>,
+    /// Catalog generation this epoch serves.
+    pub generation: u64,
+    /// Monotonic epoch number (0 on first open, +1 per swap).
+    pub epoch: u64,
+    /// Datasets in the catalog.
+    pub datasets: usize,
+}
+
+/// What a reload attempt concluded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReloadOutcome {
+    /// Store generation unchanged; previous epoch kept (cache stays warm).
+    Unchanged {
+        /// The generation still being served.
+        generation: u64,
+    },
+    /// A new epoch was swapped in.
+    Reloaded {
+        /// Generation served before the swap.
+        from: u64,
+        /// Generation served after the swap.
+        to: u64,
+        /// The new epoch number.
+        epoch: u64,
+    },
+}
+
+/// Length + mtime of the files whose change implies a republish; lets the
+/// poll loop skip rebuilding the engine when nothing moved on disk.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct StoreSignature(Vec<(PathBuf, Option<(u64, Option<SystemTime>)>)>);
+
+impl StoreSignature {
+    fn capture(store_dir: &Path) -> StoreSignature {
+        let files = [
+            store_dir.join("catalog").join("snapshot.bin"),
+            store_dir.join("catalog").join("wal.log"),
+            store_dir.join("vocabulary.json"),
+        ];
+        StoreSignature(
+            files
+                .into_iter()
+                .map(|p| {
+                    let sig = std::fs::metadata(&p).ok().map(|m| (m.len(), m.modified().ok()));
+                    (p, sig)
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Everything the worker pool shares: store handle, current epoch, cache.
+pub struct ServeState {
+    store_dir: PathBuf,
+    /// Generation-stamped result cache, shared across epochs.
+    cache: Arc<ResultCache>,
+    current: RwLock<Arc<EngineEpoch>>,
+    /// Serializes reloads (poll thread vs `/admin/reload`) and remembers
+    /// the last on-disk signature for cheap change detection.
+    reload_state: Mutex<StoreSignature>,
+    reloads: AtomicU64,
+    /// Held for the server's lifetime: lets other readers and wranglers
+    /// coexist, but makes `fsck --repair` fail fast instead of truncating
+    /// files out from under live requests.
+    _lock: StoreLock,
+}
+
+impl ServeState {
+    /// Opens the store and builds the first epoch.
+    pub fn open(store_dir: impl Into<PathBuf>) -> Result<ServeState> {
+        let store_dir = store_dir.into();
+        let lock = StoreLock::shared(lock_path(&store_dir.join("catalog")))?;
+        let cache = Arc::new(ResultCache::new(DEFAULT_CACHE_CAPACITY));
+        let epoch = load_epoch(&store_dir, &cache, 0)?;
+        let signature = StoreSignature::capture(&store_dir);
+        Ok(ServeState {
+            store_dir,
+            cache,
+            current: RwLock::new(Arc::new(epoch)),
+            reload_state: Mutex::new(signature),
+            reloads: AtomicU64::new(0),
+            _lock: lock,
+        })
+    }
+
+    /// The store being served.
+    pub fn store_dir(&self) -> &Path {
+        &self.store_dir
+    }
+
+    /// The current epoch; requests clone the `Arc` once and keep it for
+    /// their whole execution.
+    pub fn epoch(&self) -> Arc<EngineEpoch> {
+        self.current.read().clone()
+    }
+
+    /// Epoch swaps performed so far.
+    pub fn reloads(&self) -> u64 {
+        self.reloads.load(Ordering::Relaxed)
+    }
+
+    /// Reopens the store and swaps in a new epoch if the generation
+    /// advanced. On error the previous epoch keeps serving.
+    pub fn reload(&self) -> Result<ReloadOutcome> {
+        let mut sig = self.reload_state.lock();
+        let previous = self.epoch();
+        let next = load_epoch(&self.store_dir, &self.cache, previous.epoch + 1)?;
+        *sig = StoreSignature::capture(&self.store_dir);
+        if next.generation == previous.generation {
+            return Ok(ReloadOutcome::Unchanged { generation: previous.generation });
+        }
+        let outcome = ReloadOutcome::Reloaded {
+            from: previous.generation,
+            to: next.generation,
+            epoch: next.epoch,
+        };
+        *self.current.write() = Arc::new(next);
+        self.reloads.fetch_add(1, Ordering::Relaxed);
+        metrics::record_reload();
+        Ok(outcome)
+    }
+
+    /// Cheap poll-path reload: only reopens the store when the on-disk
+    /// signature (sizes + mtimes) moved since the last look.
+    pub fn poll_reload(&self) -> Result<ReloadOutcome> {
+        {
+            let sig = self.reload_state.lock();
+            if *sig == StoreSignature::capture(&self.store_dir) {
+                return Ok(ReloadOutcome::Unchanged { generation: self.epoch().generation });
+            }
+        }
+        self.reload()
+    }
+}
+
+/// Opens the durable store and builds one serving epoch from it. The store
+/// handle is dropped after the build — the `ServeState` lifetime lock is
+/// what keeps repairers out.
+fn load_epoch(store_dir: &Path, cache: &Arc<ResultCache>, epoch: u64) -> Result<EngineEpoch> {
+    let store = DurableCatalog::open(store_dir.join("catalog"), StoreOptions::default())?;
+    let vocab_path = store_dir.join("vocabulary.json");
+    let vocab = if vocab_path.exists() {
+        Vocabulary::load(&vocab_path)?
+    } else {
+        Vocabulary::observatory_default()
+    };
+    let browse = browse_all(store.catalog(), &vocab);
+    let generation = store.catalog().generation();
+    let datasets = store.catalog().len();
+    let engine = SearchEngine::build(store.catalog(), vocab).with_shared_cache(cache.clone());
+    Ok(EngineEpoch { engine, browse, generation, epoch, datasets })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metamess_core::DatasetFeature;
+
+    fn fixture_store(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("metamess-state-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        let mut s = DurableCatalog::open(d.join("catalog"), StoreOptions::default()).unwrap();
+        s.put(DatasetFeature::new("2014/07/a.csv")).unwrap();
+        s.put(DatasetFeature::new("2014/07/b.csv")).unwrap();
+        s.checkpoint().unwrap();
+        d
+    }
+
+    fn publish_one_more(dir: &Path, path: &str) {
+        let mut s = DurableCatalog::open(dir.join("catalog"), StoreOptions::default()).unwrap();
+        s.put(DatasetFeature::new(path)).unwrap();
+        s.checkpoint().unwrap();
+    }
+
+    #[test]
+    fn open_builds_first_epoch() {
+        let dir = fixture_store("open");
+        let state = ServeState::open(&dir).unwrap();
+        let epoch = state.epoch();
+        assert_eq!(epoch.datasets, 2);
+        assert_eq!(epoch.epoch, 0);
+        assert!(epoch.generation > 0);
+    }
+
+    #[test]
+    fn reload_is_unchanged_without_a_publish() {
+        let dir = fixture_store("same");
+        let state = ServeState::open(&dir).unwrap();
+        let generation = state.epoch().generation;
+        assert_eq!(state.reload().unwrap(), ReloadOutcome::Unchanged { generation });
+        assert_eq!(state.poll_reload().unwrap(), ReloadOutcome::Unchanged { generation });
+        assert_eq!(state.reloads(), 0);
+    }
+
+    #[test]
+    fn reload_swaps_epoch_after_a_publish() {
+        let dir = fixture_store("swap");
+        let state = ServeState::open(&dir).unwrap();
+        let before = state.epoch();
+        publish_one_more(&dir, "2014/08/c.csv");
+        match state.reload().unwrap() {
+            ReloadOutcome::Reloaded { from, to, epoch } => {
+                assert_eq!(from, before.generation);
+                assert!(to > from);
+                assert_eq!(epoch, before.epoch + 1);
+            }
+            other => panic!("expected a swap, got {other:?}"),
+        }
+        let after = state.epoch();
+        assert_eq!(after.datasets, 3);
+        assert_eq!(state.reloads(), 1);
+        // The old epoch is still usable by requests that hold it.
+        assert_eq!(before.datasets, 2);
+    }
+
+    #[test]
+    fn poll_reload_detects_disk_change() {
+        let dir = fixture_store("poll");
+        let state = ServeState::open(&dir).unwrap();
+        publish_one_more(&dir, "2014/09/d.csv");
+        match state.poll_reload().unwrap() {
+            ReloadOutcome::Reloaded { .. } => {}
+            other => panic!("expected a swap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_reload_keeps_previous_epoch() {
+        let dir = fixture_store("failrel");
+        Vocabulary::observatory_default().save(dir.join("vocabulary.json")).unwrap();
+        let state = ServeState::open(&dir).unwrap();
+        let before = state.epoch();
+        publish_one_more(&dir, "2014/08/c.csv");
+        std::fs::write(dir.join("vocabulary.json"), b"{broken").unwrap();
+        assert!(state.reload().is_err(), "corrupt vocabulary must fail the reload");
+        let after = state.epoch();
+        assert_eq!(after.epoch, before.epoch, "failed reload must not swap the epoch");
+        assert_eq!(after.datasets, before.datasets);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn serve_excludes_repairers_while_open() {
+        let dir = fixture_store("lock");
+        let state = ServeState::open(&dir).unwrap();
+        assert!(StoreLock::exclusive(lock_path(&dir.join("catalog"))).is_err());
+        drop(state);
+        assert!(StoreLock::exclusive(lock_path(&dir.join("catalog"))).is_ok());
+    }
+}

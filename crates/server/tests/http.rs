@@ -1,0 +1,350 @@
+//! Socket-level integration tests: real `TcpStream` clients driving a
+//! running server thread through the robustness properties the crate
+//! promises — protocol errors, size bounds, keep-alive reuse, concurrent
+//! correctness, deterministic shedding, graceful drain, and hot reload.
+
+use metamess_core::{DatasetFeature, DurableCatalog, StoreOptions, VariableFeature};
+use metamess_server::{Limits, ServeState, ServeSummary, Server, ServerConfig, ShutdownHandle};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+fn fixture_store(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("metamess-http-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut store = DurableCatalog::open(dir.join("catalog"), StoreOptions::default()).unwrap();
+    let mut ctd = DatasetFeature::new("2014/07/saturn01_ctd.csv");
+    ctd.variables.push(VariableFeature::new("water_temperature"));
+    store.put(ctd).unwrap();
+    store.put(DatasetFeature::new("2014/07/jetty_met.csv")).unwrap();
+    store.checkpoint().unwrap();
+    drop(store);
+    dir
+}
+
+struct TestServer {
+    addr: SocketAddr,
+    dir: PathBuf,
+    shutdown: ShutdownHandle,
+    thread: JoinHandle<metamess_core::Result<ServeSummary>>,
+}
+
+impl TestServer {
+    fn stop(self) -> ServeSummary {
+        self.shutdown.trigger();
+        self.thread.join().expect("server thread").expect("serve summary")
+    }
+}
+
+/// Binds a server on a free port over the given store and runs it on a
+/// background thread. Tests tweak the config through the closure.
+fn serve(dir: PathBuf, tweak: impl FnOnce(&mut ServerConfig)) -> TestServer {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_depth: 16,
+        idle_timeout: Duration::from_secs(5),
+        request_timeout: Duration::from_secs(5),
+        drain_timeout: Duration::from_secs(5),
+        poll_interval: None,
+        limits: Limits::default(),
+    };
+    tweak(&mut config);
+    let state = Arc::new(ServeState::open(&dir).expect("open store"));
+    let server = Server::bind(state, config).expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let shutdown = server.shutdown_handle();
+    let thread = std::thread::spawn(move || server.run());
+    TestServer { addr, dir, shutdown, thread }
+}
+
+fn connect(addr: SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream
+}
+
+/// Reads exactly one response off the stream: status, lowercased headers,
+/// and a `Content-Length`-delimited body.
+fn read_response(stream: &mut TcpStream) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        let n = stream.read(&mut chunk).expect("read response head");
+        assert!(n > 0, "connection closed before a full head: {:?}", String::from_utf8_lossy(&buf));
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8(buf[..head_end].to_vec()).expect("utf-8 head");
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let status: u16 =
+        status_line.split(' ').nth(1).expect("status code").parse().expect("numeric status");
+    let headers: Vec<(String, String)> = lines
+        .filter(|l| !l.is_empty())
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    let content_length: usize = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| v.parse().expect("numeric content-length"))
+        .unwrap_or(0);
+    let mut body = buf.split_off(head_end);
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).expect("read response body");
+        assert!(n > 0, "connection closed mid-body");
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    (status, headers, body)
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+}
+
+/// One-shot exchange: connect, write the raw request bytes, read one
+/// response.
+fn raw(addr: SocketAddr, bytes: &[u8]) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    let mut stream = connect(addr);
+    stream.write_all(bytes).expect("write request");
+    read_response(&mut stream)
+}
+
+fn get_bytes(path: &str) -> Vec<u8> {
+    format!("GET {path} HTTP/1.1\r\nhost: test\r\nconnection: close\r\n\r\n").into_bytes()
+}
+
+fn post_bytes(path: &str, body: &str) -> Vec<u8> {
+    format!(
+        "POST {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    raw(addr, &get_bytes(path))
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    raw(addr, &post_bytes(path, body))
+}
+
+#[test]
+fn malformed_request_line_is_400() {
+    let server = serve(fixture_store("malformed"), |_| {});
+    let (status, _, body) = raw(server.addr, b"this is not http\r\n\r\n");
+    assert_eq!(status, 400, "{:?}", String::from_utf8_lossy(&body));
+    server.stop();
+}
+
+#[test]
+fn oversized_head_is_413() {
+    let server = serve(fixture_store("bighead"), |c| c.limits.max_header_bytes = 256);
+    let mut request = b"GET /healthz HTTP/1.1\r\nx-pad: ".to_vec();
+    request.extend(std::iter::repeat(b'a').take(1024));
+    // No terminating blank line: the head keeps growing past the cap.
+    let (status, _, _) = raw(server.addr, &request);
+    assert_eq!(status, 413);
+    server.stop();
+}
+
+#[test]
+fn oversized_body_is_413_without_reading_it() {
+    let server = serve(fixture_store("bigbody"), |_| {});
+    // Default cap is 1 MiB; announce more and send nothing — the 413 must
+    // arrive from the Content-Length header alone.
+    let (status, _, _) =
+        raw(server.addr, b"POST /search HTTP/1.1\r\nhost: t\r\ncontent-length: 9999999\r\n\r\n");
+    assert_eq!(status, 413);
+    server.stop();
+}
+
+#[test]
+fn unknown_route_is_404_and_wrong_method_is_405_with_allow() {
+    let server = serve(fixture_store("routes"), |_| {});
+    let (status, _, _) = get(server.addr, "/nope");
+    assert_eq!(status, 404);
+    let (status, headers, _) = get(server.addr, "/search");
+    assert_eq!(status, 405);
+    assert_eq!(header(&headers, "allow"), Some("POST"));
+    server.stop();
+}
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    let server = serve(fixture_store("keepalive"), |_| {});
+    let mut stream = connect(server.addr);
+    for i in 0..3 {
+        stream.write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n").unwrap();
+        let (status, headers, body) = read_response(&mut stream);
+        assert_eq!(status, 200, "request {i}");
+        assert_eq!(header(&headers, "connection"), Some("keep-alive"), "request {i}");
+        let v: serde_json::Value = serde_json::from_slice(&body).unwrap();
+        assert_eq!(v["status"], "ok");
+    }
+    // An explicit close is honored: response says close, then EOF.
+    stream.write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n").unwrap();
+    let (status, headers, _) = read_response(&mut stream);
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "connection"), Some("close"));
+    let mut extra = [0u8; 1];
+    assert_eq!(stream.read(&mut extra).expect("read after close"), 0, "expected EOF");
+    let summary = server.stop();
+    assert_eq!(summary.served, 4);
+}
+
+#[test]
+fn concurrent_responses_match_single_threaded_bit_for_bit() {
+    let server = serve(fixture_store("concurrent"), |c| c.workers = 4);
+    let requests: Vec<Vec<u8>> = vec![
+        post_bytes("/search", r#"{"q":"with water_temperature"}"#),
+        get_bytes("/datasets/2014/07/jetty_met.csv"),
+        get_bytes("/browse"),
+    ];
+    let baseline: Vec<(u16, Vec<u8>)> = requests
+        .iter()
+        .map(|r| {
+            let (status, _, body) = raw(server.addr, r);
+            (status, body)
+        })
+        .collect();
+    let addr = server.addr;
+    let clients: Vec<_> = (0..4)
+        .map(|t| {
+            let requests = requests.clone();
+            let baseline = baseline.clone();
+            std::thread::spawn(move || {
+                for i in 0..6 {
+                    let which = (t + i) % requests.len();
+                    let (status, _, body) = raw(addr, &requests[which]);
+                    assert_eq!(status, baseline[which].0, "thread {t} request {i}");
+                    assert_eq!(body, baseline[which].1, "thread {t} request {i} body diverged");
+                }
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().expect("client thread");
+    }
+    let summary = server.stop();
+    assert_eq!(summary.served as usize, 3 + 4 * 6);
+    assert_eq!(summary.dropped, 0);
+}
+
+#[test]
+fn full_queue_sheds_with_503_and_retry_after() {
+    let server = serve(fixture_store("shed"), |c| {
+        c.workers = 1;
+        c.queue_depth = 1;
+    });
+    // A pins the single worker with a started-but-incomplete request.
+    let mut a = connect(server.addr);
+    a.write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\n").unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    // B fills the one queue slot; its bytes are fully sent so it can be
+    // served as soon as the worker frees up.
+    let mut b = connect(server.addr);
+    b.write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n").unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+    // C finds the queue full: an immediate 503, never a hang.
+    let (status, headers, _) = raw(server.addr, b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n");
+    assert_eq!(status, 503);
+    assert_eq!(header(&headers, "retry-after"), Some("1"));
+    // Completing A frees the worker; both A and B are answered.
+    a.write_all(b"connection: close\r\n\r\n").unwrap();
+    let (status, _, _) = read_response(&mut a);
+    assert_eq!(status, 200);
+    let (status, _, _) = read_response(&mut b);
+    assert_eq!(status, 200);
+    let summary = server.stop();
+    assert_eq!(summary.shed, 1);
+    assert_eq!(summary.dropped, 0);
+    assert_eq!(summary.served, 2);
+}
+
+#[test]
+fn graceful_shutdown_drains_queued_requests() {
+    let server = serve(fixture_store("drain"), |c| c.workers = 1);
+    // A occupies the worker mid-request.
+    let mut a = connect(server.addr);
+    a.write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\n").unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    // B is queued with its request bytes already in the socket buffer.
+    let mut b = connect(server.addr);
+    b.write_all(b"GET /browse HTTP/1.1\r\nhost: t\r\n\r\n").unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+    server.shutdown.trigger();
+    a.write_all(b"\r\n").unwrap();
+    // Both in-flight requests are answered, but keep-alive is refused
+    // during the drain.
+    let (status, headers, _) = read_response(&mut a);
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "connection"), Some("close"), "no keep-alive during drain");
+    let (status, headers, _) = read_response(&mut b);
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "connection"), Some("close"));
+    let summary = server.thread.join().expect("server thread").expect("serve summary");
+    assert_eq!(summary.served, 2);
+    assert_eq!(summary.dropped, 0, "a graceful drain never drops queued work");
+}
+
+#[test]
+fn hot_reload_swaps_generation_without_dropping_service() {
+    let server = serve(fixture_store("reload"), |_| {});
+    let (status, _, body) = get(server.addr, "/healthz");
+    assert_eq!(status, 200);
+    let before: serde_json::Value = serde_json::from_slice(&body).unwrap();
+    assert_eq!(before["datasets"], 2);
+
+    // Publish while serving: the shared store lock admits wranglers.
+    let mut store =
+        DurableCatalog::open(server.dir.join("catalog"), StoreOptions::default()).unwrap();
+    store.put(DatasetFeature::new("2015/01/new_adcp.csv")).unwrap();
+    store.checkpoint().unwrap();
+    drop(store);
+
+    let (status, _, body) = post(server.addr, "/admin/reload", "");
+    assert_eq!(status, 200);
+    let reload: serde_json::Value = serde_json::from_slice(&body).unwrap();
+    assert_eq!(reload["outcome"], "reloaded", "{reload}");
+
+    let (_, _, body) = get(server.addr, "/healthz");
+    let after: serde_json::Value = serde_json::from_slice(&body).unwrap();
+    assert_eq!(after["datasets"], 3);
+    assert_eq!(after["reloads"], 1);
+    assert!(after["generation"].as_u64().unwrap() > before["generation"].as_u64().unwrap());
+
+    let summary = server.stop();
+    assert_eq!(summary.reloads, 1);
+    assert_eq!(summary.dropped, 0);
+}
+
+#[test]
+fn stalled_request_gets_408() {
+    let server =
+        serve(fixture_store("stall"), |c| c.limits.read_timeout = Duration::from_millis(300));
+    let mut stream = connect(server.addr);
+    // Start a request and never finish it.
+    stream.write_all(b"GET /healthz HTTP/1.1\r\n").unwrap();
+    let (status, _, _) = read_response(&mut stream);
+    assert_eq!(status, 408);
+    server.stop();
+}
+
+#[test]
+fn metrics_endpoint_serves_prometheus_text() {
+    let server = serve(fixture_store("prom"), |_| {});
+    let (status, headers, _) = get(server.addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(header(&headers, "content-type").unwrap().starts_with("text/plain"));
+    server.stop();
+}

@@ -1,0 +1,162 @@
+//! Cross-process snapshot persistence.
+//!
+//! Wrangle and search runs are short-lived processes, so their registries
+//! vanish on exit. To make `metamess stats` (and a later `metamess serve`'s
+//! `/metrics`) agree on history, processes persist a merged
+//! [`MetricsSnapshot`] as `<store>/state/telemetry.json` using the
+//! snapshot's own JSON exposition format: counters and histograms
+//! accumulate across runs, gauges keep the latest value. Histogram bucket
+//! bounds are pure functions of the bucket index, so merging across
+//! processes is lossless.
+//!
+//! [`parse_json`] is the exact inverse of
+//! [`MetricsSnapshot::render_json`]; keeping both halves in this crate is
+//! what guarantees every consumer (CLI `stats`, the HTTP `/metrics`
+//! endpoint, benches) reads and emits identical expositions for the same
+//! snapshot.
+//!
+//! Persistence is best-effort: a missing or undecodable file reads as
+//! empty, and stats never block wrangling or search.
+
+use crate::metric::HistogramSnapshot;
+use crate::registry::MetricsSnapshot;
+use std::path::{Path, PathBuf};
+
+/// Where a store keeps its persisted telemetry snapshot.
+pub fn telemetry_path(store_dir: &Path) -> PathBuf {
+    store_dir.join("state").join("telemetry.json")
+}
+
+/// Reads a snapshot previously written with
+/// [`MetricsSnapshot::render_json`]. Missing or undecodable content reads
+/// as `None`.
+pub fn load_snapshot(path: &Path) -> Option<MetricsSnapshot> {
+    let text = std::fs::read_to_string(path).ok()?;
+    parse_json(&text)
+}
+
+/// Parses the JSON exposition produced by
+/// [`MetricsSnapshot::render_json`]. Returns `None` on any structural
+/// mismatch — a truncated or foreign document must not be mistaken for an
+/// empty snapshot.
+pub fn parse_json(text: &str) -> Option<MetricsSnapshot> {
+    let v: serde_json::Value = serde_json::from_str(text).ok()?;
+    let mut out = MetricsSnapshot::default();
+    for (k, n) in v.get("counters")?.as_object()? {
+        out.counters.insert(k.clone(), n.as_u64()?);
+    }
+    for (k, n) in v.get("gauges")?.as_object()? {
+        out.gauges.insert(k.clone(), n.as_i64()?);
+    }
+    for (k, h) in v.get("histograms")?.as_object()? {
+        let mut snap = HistogramSnapshot {
+            count: h.get("count")?.as_u64()?,
+            sum: h.get("sum")?.as_u64()?,
+            min: h.get("min")?.as_u64()?,
+            max: h.get("max")?.as_u64()?,
+            buckets: Vec::new(),
+        };
+        for b in h.get("buckets")?.as_array()? {
+            snap.buckets.push((b.get(0)?.as_u64()?, b.get(1)?.as_u64()?));
+        }
+        out.histograms.insert(k.clone(), snap);
+    }
+    Some(out)
+}
+
+/// Folds the live global registry into the snapshot persisted at `path`
+/// and writes the merge back. Returns the merged snapshot. A no-op when
+/// nothing was recorded (so disabled-telemetry runs leave no file behind).
+pub fn persist_merged(path: &Path) -> std::io::Result<MetricsSnapshot> {
+    let mut snap = load_snapshot(path).unwrap_or_default();
+    let live = crate::global().snapshot();
+    snap.merge(&live);
+    if live.is_empty() || snap.is_empty() {
+        return Ok(snap);
+    }
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, snap.render_json())?;
+    Ok(snap)
+}
+
+/// Deletes the persisted snapshot and zeroes the live registry.
+pub fn reset(path: &Path) -> std::io::Result<()> {
+    match std::fs::remove_file(path) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+    crate::global().reset();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    fn tmp(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("metamess-tio-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d.join("state").join("telemetry.json")
+    }
+
+    fn sample() -> MetricsSnapshot {
+        let r = MetricsRegistry::new(true);
+        r.counter("metamess_tio_total").add(4);
+        r.gauge("metamess_tio_gauge").set(-3);
+        let h = r.histogram("metamess_tio_micros");
+        h.record(7);
+        h.record(9000);
+        r.snapshot()
+    }
+
+    #[test]
+    fn json_round_trips_in_memory() {
+        let snap = sample();
+        assert_eq!(parse_json(&snap.render_json()).unwrap(), snap);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_file() {
+        let snap = sample();
+        let path = tmp("rt");
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, snap.render_json()).unwrap();
+        assert_eq!(load_snapshot(&path).unwrap(), snap);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_identical_across_a_round_trip() {
+        // The contract behind `stats --prometheus` vs `/metrics`: a
+        // snapshot persisted to disk and read back must render the same
+        // exposition byte-for-byte.
+        let snap = sample();
+        let reread = parse_json(&snap.render_json()).unwrap();
+        assert_eq!(reread.render_prometheus(), snap.render_prometheus());
+    }
+
+    #[test]
+    fn missing_or_garbage_reads_as_none() {
+        let path = tmp("miss");
+        assert!(load_snapshot(&path).is_none());
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, b"not json").unwrap();
+        assert!(load_snapshot(&path).is_none());
+        std::fs::write(&path, b"{\"counters\":{}}").unwrap();
+        assert!(load_snapshot(&path).is_none(), "truncated schema is rejected");
+    }
+
+    #[test]
+    fn reset_removes_file() {
+        let path = tmp("reset");
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, b"{}").unwrap();
+        reset(&path).unwrap();
+        assert!(!path.exists());
+        reset(&path).unwrap(); // idempotent
+    }
+}

@@ -1,9 +1,10 @@
 //! # metamess-telemetry
 //!
-//! Zero-external-dependency observability for the metamess workspace
-//! (std + `parking_lot` only): a global [`MetricsRegistry`] of named
-//! counters, gauges and log-bucketed histograms, lightweight duration
-//! [`Span`]s, and leveled stderr event mirroring via `METAMESS_LOG`.
+//! Dependency-light observability for the metamess workspace
+//! (std + `parking_lot`, plus `serde_json` for snapshot persistence): a
+//! global [`MetricsRegistry`] of named counters, gauges and log-bucketed
+//! histograms, lightweight duration [`Span`]s, and leveled stderr event
+//! mirroring via `METAMESS_LOG`.
 //!
 //! ## Design
 //!
@@ -36,12 +37,14 @@
 
 #![warn(missing_docs)]
 
+pub mod io;
 mod log;
 mod metric;
 mod registry;
 mod span;
 
 pub use crate::log::{log_enabled, log_write, Level};
+pub use io::{load_snapshot, parse_json, persist_merged, telemetry_path};
 pub use metric::{bucket_bound, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{labeled, MetricsRegistry, MetricsSnapshot};
 pub use span::{Span, Stopwatch};

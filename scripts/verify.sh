@@ -47,6 +47,14 @@ cargo test -q
 echo "==> cargo test -q -p metamess-telemetry"
 cargo test -q -p metamess-telemetry
 
+echo "==> cargo test -q -p metamess-server (HTTP layer + socket integration)"
+cargo test -q -p metamess-server
+
+echo "==> serve smoke: exp8 --quick (load, shed, hot reload, graceful drain)"
+# The experiment asserts zero dropped in-flight requests across shutdown
+# and reload; timeout guards against a hung accept loop ever blocking CI.
+timeout 300 cargo run --release -q -p metamess-bench --bin exp8_serve -- --quick
+
 echo "==> crash-consistency torture suite (${METAMESS_TORTURE_CASES} seeded cases)"
 cargo test -q -p metamess-core --test torture --release
 

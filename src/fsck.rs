@@ -24,7 +24,7 @@ use metamess_core::store::fsck::{
     apply_repairs, check_catalog_dir, check_ledger, check_snapshot, FsckReport, FsckSeverity,
     RepairAction,
 };
-use metamess_core::store::{std_vfs, Vfs};
+use metamess_core::store::{lock_path, std_vfs, StoreLock, Vfs};
 use metamess_core::{Error, Result};
 use std::fmt::Write as _;
 use std::path::Path;
@@ -68,10 +68,17 @@ fn check_json(vfs: &dyn Vfs, path: &Path, component: &str, report: &mut FsckRepo
 /// Runs every check over `store_dir`. With `repair`, damaged WAL tails are
 /// truncated to their valid prefix and otherwise-damaged files are moved
 /// into `<store>/state/quarantine` with reason sidecars.
+///
+/// Checks take a shared advisory lock (they only read, so they coexist with
+/// a live `metamess serve`); `--repair` truncates and quarantines files out
+/// from under other processes, so it demands the exclusive lock and fails
+/// with a clear conflict while the store has any user.
 pub fn run_fsck(store_dir: &Path, repair: bool) -> Result<FsckReport> {
     if !store_dir.exists() {
         return Err(Error::not_found("store directory", store_dir.display().to_string()));
     }
+    let lock = lock_path(&store_dir.join("catalog"));
+    let _lock = if repair { StoreLock::exclusive(&lock)? } else { StoreLock::shared(&lock)? };
     let vfs = std_vfs();
     let vfs = vfs.as_ref();
     let state = store_dir.join("state");
@@ -180,6 +187,20 @@ mod tests {
         assert_eq!(report.repairs_applied, 1);
         assert!(!dir.join("vocabulary.json").exists());
         assert!(quarantine_dir(&dir).join("vocabulary.json.0.reason.json").exists());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn repair_refused_while_store_is_open() {
+        let dir = store("locked");
+        let live = DurableCatalog::open(dir.join("catalog"), StoreOptions::default()).unwrap();
+        // Read-only checks coexist with the live user…
+        run_fsck(&dir, false).unwrap();
+        // …but --repair demands exclusivity.
+        let e = run_fsck(&dir, true).unwrap_err();
+        assert!(e.to_string().contains("locked"), "{e}");
+        drop(live);
+        run_fsck(&dir, true).unwrap();
     }
 
     #[test]

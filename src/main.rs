@@ -8,6 +8,7 @@
 //! metamess stats    <store-dir> [--prometheus|--json] [--reset]
 //! metamess validate <dir>
 //! metamess fsck     <store-dir> [--json] [--repair]
+//! metamess serve    <store-dir> [--addr H:P] [--workers N] [--queue-depth N]
 //! ```
 //!
 //! `wrangle` runs the full curation loop over an archive directory and
@@ -35,6 +36,7 @@ fn main() -> ExitCode {
         Some("browse") => cmd_browse(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("fsck") => cmd_fsck(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
             return ExitCode::from(2);
@@ -78,7 +80,13 @@ usage:
       verify store integrity (CRCs, magic headers, snapshot/WAL agreement);
       --repair truncates damaged WAL tails and quarantines corrupt files
       into <store>/state/quarantine; --json emits the machine-readable
-      report; exits nonzero when damage was found and not repaired";
+      report; exits nonzero when damage was found and not repaired
+  metamess serve <store-dir> [--addr H:P] [--workers N] [--queue-depth N]
+      serve the store over HTTP (POST /search, GET /datasets/<path>,
+      GET /browse, GET /healthz, GET /metrics, POST /admin/reload) with a
+      bounded worker pool; excess load is shed with 503 Retry-After, and
+      republished stores are hot-reloaded without dropping requests;
+      SIGTERM / ctrl-c drain in-flight work before exiting";
 
 fn parse_flag(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|ix| args.get(ix + 1).cloned())
@@ -265,22 +273,10 @@ fn cmd_stats(args: &[String]) -> Result<(), metamess::core::Error> {
         println!("telemetry reset ({} removed)", path.display());
         return Ok(());
     }
-    let mut snap = metamess::telemetry_io::load_snapshot(&path).unwrap_or_default();
-    // fold in live metrics (normally empty for a bare `stats` invocation,
-    // but library callers may have recorded some in-process)
-    snap.merge(&metamess::telemetry::global().snapshot());
-    // the run ledger carries per-stage timings across processes even when
-    // telemetry was disabled during the wrangle — surface it as gauges
-    if let Ok(Some(ledger)) =
-        metamess::core::store::read_ledger(store_dir.join("state").join("ledger.bin"))
-    {
-        snap.gauges.insert("metamess_pipeline_last_run_id".to_string(), ledger.run_id as i64);
-        for (stage, rec) in &ledger.stages {
-            let name =
-                metamess::telemetry::labeled("metamess_pipeline_stage_last_micros", "stage", stage);
-            snap.gauges.insert(name, rec.micros as i64);
-        }
-    }
+    // Persisted history + live registry + ledger-derived gauges, assembled
+    // by the same code path `metamess serve` uses for `GET /metrics` — the
+    // two expositions are identical by construction.
+    let snap = metamess::server::store_snapshot(store_dir);
     if snap.is_empty() {
         println!(
             "no telemetry recorded for {} yet (run wrangle or search first)",
@@ -357,6 +353,52 @@ fn cmd_fsck(args: &[String]) -> Result<(), metamess::core::Error> {
             store_dir.display()
         )));
     }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), metamess::core::Error> {
+    let store_dir = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .map(PathBuf::from)
+        .ok_or_else(|| metamess::core::Error::invalid("serve needs a store directory"))?;
+    let mut config = metamess::server::ServerConfig::default();
+    if let Some(addr) = parse_flag(args, "--addr") {
+        config.addr = addr;
+    }
+    if let Some(w) = parse_flag(args, "--workers") {
+        config.workers = w
+            .parse::<usize>()
+            .ok()
+            .filter(|w| *w > 0)
+            .ok_or_else(|| metamess::core::Error::invalid("bad --workers"))?;
+    }
+    if let Some(q) = parse_flag(args, "--queue-depth") {
+        config.queue_depth =
+            q.parse().map_err(|_| metamess::core::Error::invalid("bad --queue-depth"))?;
+    }
+
+    let state = std::sync::Arc::new(metamess::server::ServeState::open(&store_dir)?);
+    let epoch = state.epoch();
+    let server = metamess::server::Server::bind(state, config)?;
+    server.shutdown_handle().install_signal_handlers();
+    // Flushed before blocking so wrappers (tests, scripts) can scrape the
+    // resolved port from the line.
+    println!(
+        "listening on http://{} ({} datasets, generation {})",
+        server.local_addr()?,
+        epoch.datasets,
+        epoch.generation
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let summary = server.run()?;
+    println!(
+        "served {} request(s), shed {}, dropped {}, hot-reloaded {} time(s)",
+        summary.served, summary.shed, summary.dropped, summary.reloads
+    );
+    persist_telemetry(&store_dir)?;
     Ok(())
 }
 

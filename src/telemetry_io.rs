@@ -1,129 +1,11 @@
-//! Cross-process telemetry persistence for the CLI.
+//! Cross-process telemetry persistence (re-exported).
 //!
-//! The wrangle and search commands are short-lived processes, so their
-//! registries vanish on exit. To make `metamess stats` useful they persist
-//! a merged [`MetricsSnapshot`] as `<store>/state/telemetry.json` (the
-//! snapshot's own JSON exposition format): counters and histograms
-//! accumulate across runs, gauges keep the latest value. Histogram bucket
-//! bounds are pure functions of the bucket index, so merging across
-//! processes is lossless.
-//!
-//! Persistence is best-effort: a missing or undecodable file reads as
-//! empty, and stats never block wrangling or search.
+//! The implementation lives in [`metamess_telemetry::io`] so that every
+//! consumer — the CLI's `stats`, the HTTP server's `/metrics`, benches —
+//! shares one snapshot reader/writer and emits identical expositions for
+//! the same snapshot. This module keeps the CLI's historical import path
+//! working.
 
-use crate::telemetry::{HistogramSnapshot, MetricsSnapshot};
-use std::path::{Path, PathBuf};
-
-/// Where a store keeps its persisted telemetry snapshot.
-pub fn telemetry_path(store_dir: &Path) -> PathBuf {
-    store_dir.join("state").join("telemetry.json")
-}
-
-/// Reads a snapshot previously written with
-/// [`MetricsSnapshot::render_json`]. Missing or undecodable content reads
-/// as `None`.
-pub fn load_snapshot(path: &Path) -> Option<MetricsSnapshot> {
-    let text = std::fs::read_to_string(path).ok()?;
-    parse_snapshot(&text)
-}
-
-fn parse_snapshot(text: &str) -> Option<MetricsSnapshot> {
-    let v: serde_json::Value = serde_json::from_str(text).ok()?;
-    let mut out = MetricsSnapshot::default();
-    for (k, n) in v.get("counters")?.as_object()? {
-        out.counters.insert(k.clone(), n.as_u64()?);
-    }
-    for (k, n) in v.get("gauges")?.as_object()? {
-        out.gauges.insert(k.clone(), n.as_i64()?);
-    }
-    for (k, h) in v.get("histograms")?.as_object()? {
-        let mut snap = HistogramSnapshot {
-            count: h.get("count")?.as_u64()?,
-            sum: h.get("sum")?.as_u64()?,
-            min: h.get("min")?.as_u64()?,
-            max: h.get("max")?.as_u64()?,
-            buckets: Vec::new(),
-        };
-        for b in h.get("buckets")?.as_array()? {
-            snap.buckets.push((b.get(0)?.as_u64()?, b.get(1)?.as_u64()?));
-        }
-        out.histograms.insert(k.clone(), snap);
-    }
-    Some(out)
-}
-
-/// Folds the live global registry into the snapshot persisted at `path`
-/// and writes the merge back. Returns the merged snapshot. A no-op when
-/// nothing was recorded (so disabled-telemetry runs leave no file behind).
-pub fn persist_merged(path: &Path) -> std::io::Result<MetricsSnapshot> {
-    let mut snap = load_snapshot(path).unwrap_or_default();
-    let live = crate::telemetry::global().snapshot();
-    snap.merge(&live);
-    if live.is_empty() || snap.is_empty() {
-        return Ok(snap);
-    }
-    if let Some(dir) = path.parent() {
-        std::fs::create_dir_all(dir)?;
-    }
-    std::fs::write(path, snap.render_json())?;
-    Ok(snap)
-}
-
-/// Deletes the persisted snapshot and zeroes the live registry.
-pub fn reset(path: &Path) -> std::io::Result<()> {
-    match std::fs::remove_file(path) {
-        Ok(()) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-        Err(e) => return Err(e),
-    }
-    crate::telemetry::global().reset();
-    Ok(())
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn tmp(name: &str) -> PathBuf {
-        let d = std::env::temp_dir().join(format!("metamess-tio-{name}-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&d);
-        std::fs::create_dir_all(&d).unwrap();
-        d.join("state").join("telemetry.json")
-    }
-
-    #[test]
-    fn snapshot_round_trips_through_file() {
-        let r = crate::telemetry::MetricsRegistry::new(true);
-        r.counter("metamess_tio_total").add(4);
-        r.gauge("metamess_tio_gauge").set(-3);
-        let h = r.histogram("metamess_tio_micros");
-        h.record(7);
-        h.record(9000);
-        let snap = r.snapshot();
-        let path = tmp("rt");
-        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
-        std::fs::write(&path, snap.render_json()).unwrap();
-        assert_eq!(load_snapshot(&path).unwrap(), snap);
-    }
-
-    #[test]
-    fn missing_or_garbage_reads_as_none() {
-        let path = tmp("miss");
-        assert!(load_snapshot(&path).is_none());
-        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
-        std::fs::write(&path, b"not json").unwrap();
-        assert!(load_snapshot(&path).is_none());
-        std::fs::write(&path, b"{\"counters\":{}}").unwrap();
-        assert!(load_snapshot(&path).is_none(), "truncated schema is rejected");
-    }
-
-    #[test]
-    fn reset_removes_file() {
-        let path = tmp("reset");
-        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
-        std::fs::write(&path, b"{}").unwrap();
-        reset(&path).unwrap();
-        assert!(!path.exists());
-        reset(&path).unwrap(); // idempotent
-    }
-}
+pub use metamess_telemetry::io::{
+    load_snapshot, parse_json, persist_merged, reset, telemetry_path,
+};

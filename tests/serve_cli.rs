@@ -1,0 +1,124 @@
+//! End-to-end test of `metamess serve`: spawns the real binary, scrapes
+//! the bound port from its startup line, exercises the endpoints over raw
+//! TCP, checks `/metrics` parity with `metamess stats --prometheus`, and
+//! verifies SIGTERM produces a graceful drain and a clean exit.
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_metamess")
+}
+
+fn run(args: &[&str]) -> String {
+    let out = Command::new(bin()).args(args).output().expect("binary runs");
+    assert!(out.status.success(), "{:?}: {}", args, String::from_utf8_lossy(&out.stderr));
+    String::from_utf8_lossy(&out.stdout).to_string()
+}
+
+/// One-shot HTTP exchange with `connection: close`; returns status + body.
+fn http(addr: &str, request: String) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to server");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream.write_all(request.as_bytes()).expect("write request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response to EOF");
+    let text = String::from_utf8_lossy(&raw).to_string();
+    let status: u16 = text.split(' ').nth(1).expect("status code").parse().expect("numeric");
+    let body = text.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+fn get(addr: &str, path: &str) -> (u16, String) {
+    http(addr, format!("GET {path} HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n"))
+}
+
+fn post(addr: &str, path: &str, body: &str) -> (u16, String) {
+    http(
+        addr,
+        format!(
+            "POST {path} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+extern "C" {
+    fn kill(pid: i32, sig: i32) -> i32;
+}
+const SIGTERM: i32 = 15;
+
+#[test]
+fn serve_cli_round_trip() {
+    let dir = std::env::temp_dir().join(format!("metamess-serve-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_str().unwrap();
+    run(&["generate", dir_s, "--months", "1", "--stations", "1"]);
+    run(&["wrangle", dir_s]);
+    let store = dir.join(".metamess");
+    let store_s = store.to_str().unwrap();
+
+    let mut child = Command::new(bin())
+        .args(["serve", store_s, "--addr", "127.0.0.1:0", "--workers", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let mut stdout = BufReader::new(child.stdout.take().expect("child stdout"));
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).expect("read startup line");
+    assert!(banner.contains("listening on http://"), "{banner}");
+    let addr = banner
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .expect("address in startup line")
+        .to_string();
+
+    // Liveness: the banner's catalog summary matches what healthz serves.
+    let (status, body) = get(&addr, "/healthz");
+    assert_eq!(status, 200, "{body}");
+    let health: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(health["status"], "ok");
+    assert!(health["datasets"].as_u64().unwrap() >= 1, "{body}");
+
+    // Ranked search over the wrangled store.
+    let (status, body) = post(&addr, "/search", r#"{"q":"with salinity","limit":3}"#);
+    assert_eq!(status, 200, "{body}");
+    let hits: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert!(hits["count"].as_u64().unwrap() >= 1, "{body}");
+
+    // `/metrics` and `stats --prometheus` assemble the same snapshot
+    // through the same renderer; every pipeline-level line the CLI emits
+    // must appear verbatim in the server's exposition. (Lines the live
+    // server itself bumps — server.* and search counters — legitimately
+    // run ahead of the persisted snapshot, so the parity check pins the
+    // metrics the server never touches.)
+    let (status, metrics_body) = get(&addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(
+        metrics_body.contains("metamess_server_requests_total{route=\"healthz\",status=\"200\"}"),
+        "{metrics_body}"
+    );
+    let stats = run(&["stats", store_s, "--prometheus"]);
+    for line in stats.lines().filter(|l| l.contains("metamess_pipeline_")) {
+        assert!(metrics_body.contains(line), "stats line missing from /metrics: {line}");
+    }
+
+    // SIGTERM: graceful drain, summary line, exit 0.
+    let rc = unsafe { kill(child.id() as i32, SIGTERM) };
+    assert_eq!(rc, 0, "kill(SIGTERM) failed");
+    let status = child.wait().expect("child exits");
+    assert!(status.success(), "serve exited nonzero: {status:?}");
+    let mut rest = String::new();
+    stdout.read_to_string(&mut rest).expect("read summary");
+    assert!(rest.contains("served"), "{rest}");
+
+    // On exit the server folded its telemetry into the store, so the
+    // shared exposition now carries the server-side counters too.
+    let stats = run(&["stats", store_s, "--prometheus"]);
+    assert!(stats.contains("metamess_server_requests_total"), "{stats}");
+}
