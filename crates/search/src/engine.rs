@@ -177,7 +177,7 @@ impl SearchEngine {
 
     fn candidates(&self, query: &Query, plan: &QueryPlan) -> BTreeSet<usize> {
         let mut out = BTreeSet::new();
-        let generous = (query.limit * 5).max(50);
+        let generous = query.limit.saturating_mul(5).max(50);
         if let Some(spatial) = &query.spatial {
             match spatial {
                 SpatialTerm::Near { point, radius_km } => {
@@ -337,7 +337,7 @@ impl SearchEngine {
         let c = self.candidates(query, plan);
         // Similarity ranking: when the candidate pool cannot comfortably
         // fill the requested k, score everything instead.
-        if c.len() < query.limit * 3 {
+        if c.len() < query.limit.saturating_mul(3) {
             ((0..self.datasets.len()).collect(), true)
         } else {
             (c.into_iter().collect(), false)

@@ -41,7 +41,7 @@ pub use engine::{SearchEngine, SearchHit};
 pub use explain::SearchExplain;
 pub use interval::IntervalIndex;
 pub use plan::QueryPlan;
-pub use query::{Query, SpatialTerm, VariableTerm, Weights};
+pub use query::{Query, SpatialTerm, VariableTerm, Weights, MAX_LIMIT};
 pub use rtree::RTree;
 pub use score::{
     prepared_term_score, score_dataset, score_dataset_prepared, spatial_score, temporal_score,

@@ -59,6 +59,22 @@ impl Default for Weights {
     }
 }
 
+/// Hard ceiling on [`Query::limit`]. Limits arrive from untrusted callers
+/// (the HTTP API deserializes structured queries straight into [`Query`]),
+/// and an unbounded `k` turns into an unbounded upfront allocation in the
+/// top-k selector — so every way a limit enters a query (builder, parser,
+/// deserialization) clamps to `1..=MAX_LIMIT`.
+pub const MAX_LIMIT: usize = 1000;
+
+fn default_limit() -> usize {
+    10
+}
+
+fn de_limit<'de, D: serde::Deserializer<'de>>(d: D) -> std::result::Result<usize, D::Error> {
+    let raw = u64::deserialize(d)?;
+    Ok(raw.clamp(1, MAX_LIMIT as u64) as usize)
+}
+
 /// A ranked-search query over location, time, and variables.
 ///
 /// ```
@@ -72,6 +88,7 @@ impl Default for Weights {
 /// assert!(q.spatial.is_some() && q.time.is_some());
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
 pub struct Query {
     /// Spatial constraint, when any.
     pub spatial: Option<SpatialTerm>,
@@ -81,7 +98,9 @@ pub struct Query {
     pub variables: Vec<VariableTerm>,
     /// Facet weights.
     pub weights: Weights,
-    /// Maximum results to return.
+    /// Maximum results to return (clamped to `1..=`[`MAX_LIMIT`] on every
+    /// entry path, including deserialization).
+    #[serde(default = "default_limit", deserialize_with = "de_limit")]
     pub limit: usize,
 }
 
@@ -119,9 +138,9 @@ impl Query {
         self
     }
 
-    /// Builder: result limit.
+    /// Builder: result limit, clamped to `1..=`[`MAX_LIMIT`].
     pub fn limit(mut self, k: usize) -> Query {
-        self.limit = k.max(1);
+        self.limit = k.clamp(1, MAX_LIMIT);
         self
     }
 
@@ -349,6 +368,22 @@ mod tests {
     fn builder_normalizes_range() {
         let q = Query::new().with_variable("t", Some((10.0, 5.0)));
         assert_eq!(q.variables[0].range, Some((5.0, 10.0)));
+    }
+
+    #[test]
+    fn limit_is_clamped_on_every_entry_path() {
+        // Builder and parser.
+        assert_eq!(Query::new().limit(0).limit, 1);
+        assert_eq!(Query::new().limit(usize::MAX).limit, MAX_LIMIT);
+        assert_eq!(Query::parse("limit 18446744073709551615").unwrap().limit, MAX_LIMIT);
+        // Deserialization (the HTTP API's structured-query path).
+        let q: Query = serde_json::from_str(r#"{"limit": 18446744073709551615}"#).unwrap();
+        assert_eq!(q.limit, MAX_LIMIT);
+        let q: Query = serde_json::from_str(r#"{"limit": 0}"#).unwrap();
+        assert_eq!(q.limit, 1);
+        // A structured query may omit the limit entirely.
+        let q: Query = serde_json::from_str("{}").unwrap();
+        assert_eq!(q.limit, 10);
     }
 
     #[test]

@@ -51,9 +51,12 @@ pub struct TopK {
 }
 
 impl TopK {
-    /// An empty accumulator holding at most `k` hits.
+    /// An empty accumulator holding at most `k` hits. Preallocation is
+    /// capped — a huge `k` (queries clamp theirs, but `TopK` is a public
+    /// building block) must not become a huge upfront allocation; the heap
+    /// grows on demand past the cap.
     pub fn new(k: usize) -> TopK {
-        TopK { k, heap: BinaryHeap::with_capacity(k.saturating_add(1)) }
+        TopK { k, heap: BinaryHeap::with_capacity(k.saturating_add(1).min(4096)) }
     }
 
     /// Offers one hit; kept only while it ranks among the best `k` seen.

@@ -56,7 +56,7 @@ fn search(state: &ServeState, req: &Request) -> Response {
         Some(text) => match Query::parse(text) {
             Ok(mut q) => {
                 if let Some(limit) = value.get("limit").and_then(serde_json::Value::as_u64) {
-                    q.limit = (limit as usize).max(1);
+                    q.limit = limit.clamp(1, metamess_search::MAX_LIMIT as u64) as usize;
                 }
                 q
             }
@@ -275,6 +275,23 @@ mod tests {
         let (_, resp) = handle(&state, &post("/search", &[], &serde_json::to_string(&q).unwrap()));
         assert_eq!(resp.status, 200, "{:?}", String::from_utf8_lossy(&resp.body));
         assert!(body_json(&resp)["count"].as_u64().unwrap() >= 1);
+    }
+
+    #[test]
+    fn search_survives_absurd_limits() {
+        // A hostile limit used to reach TopK::with_capacity unclamped and
+        // panic the worker; both the text-query and structured paths must
+        // clamp instead.
+        let state = fixture_state("hugelimit");
+        for body in [
+            r#"{"q":"with water_temperature","limit":18446744073709551615}"#,
+            r#"{"q":"with water_temperature","limit":0}"#,
+            r#"{"limit":18446744073709551615}"#,
+        ] {
+            let (_, resp) = handle(&state, &post("/search", &[], body));
+            assert_eq!(resp.status, 200, "body {body:?}");
+            assert!(body_json(&resp)["count"].as_u64().unwrap() <= 2);
+        }
     }
 
     #[test]

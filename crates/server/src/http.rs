@@ -109,38 +109,47 @@ fn proto_err(status: u16, message: impl Into<String>) -> ReadOutcome {
 /// (polling `shutdown` so a draining server closes idle keep-alive
 /// connections promptly); once a request has started it must complete
 /// within `limits.read_timeout`.
+///
+/// `carry` holds bytes read past the previous request's end on this
+/// connection (a pipelining client may send the next request in the same
+/// segment as the current body); they are consumed before the socket is
+/// read, and any over-read beyond this request's body is put back.
 pub fn read_request(
     stream: &mut TcpStream,
     limits: &Limits,
     idle_timeout: Duration,
     shutdown: &dyn Fn() -> bool,
+    carry: &mut Vec<u8>,
 ) -> ReadOutcome {
-    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut buf: Vec<u8> = std::mem::take(carry);
 
-    // Phase 1: wait for the request to start. A queued connection whose
-    // bytes already sit in the socket buffer passes straight through even
-    // during shutdown — that is the "drain in-flight work" guarantee; only
-    // connections with nothing to say are closed.
-    let idle_start = Instant::now();
-    let mut first = [0u8; 1];
-    loop {
-        let _ = stream.set_read_timeout(Some(SHUTDOWN_POLL));
-        match stream.read(&mut first) {
-            Ok(0) => return ReadOutcome::Closed,
-            Ok(_) => {
-                buf.push(first[0]);
-                break;
-            }
-            Err(e) if is_timeout(&e) => {
-                if shutdown() {
-                    return ReadOutcome::Closed;
+    // Phase 1: wait for the request to start (skipped when the previous
+    // read already carried its first bytes over). A queued connection
+    // whose bytes already sit in the socket buffer passes straight through
+    // even during shutdown — that is the "drain in-flight work" guarantee;
+    // only connections with nothing to say are closed.
+    if buf.is_empty() {
+        let idle_start = Instant::now();
+        let mut first = [0u8; 1];
+        loop {
+            let _ = stream.set_read_timeout(Some(SHUTDOWN_POLL));
+            match stream.read(&mut first) {
+                Ok(0) => return ReadOutcome::Closed,
+                Ok(_) => {
+                    buf.push(first[0]);
+                    break;
                 }
-                if idle_start.elapsed() >= idle_timeout {
-                    return ReadOutcome::IdleTimeout;
+                Err(e) if is_timeout(&e) => {
+                    if shutdown() {
+                        return ReadOutcome::Closed;
+                    }
+                    if idle_start.elapsed() >= idle_timeout {
+                        return ReadOutcome::IdleTimeout;
+                    }
                 }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return ReadOutcome::Io(e),
             }
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(e) => return ReadOutcome::Io(e),
         }
     }
 
@@ -198,7 +207,9 @@ pub fn read_request(
             ChunkOutcome::Io(e) => return ReadOutcome::Io(e),
         }
     }
-    body.truncate(content_length);
+    // Bytes past the body belong to the next pipelined request — hand them
+    // back to the caller instead of destroying them.
+    *carry = body.split_off(content_length);
     req.body = body;
     ReadOutcome::Request(req)
 }

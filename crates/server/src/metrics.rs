@@ -13,6 +13,8 @@
 //! * `metamess_server_queue_depth` — connections waiting right now.
 //! * `metamess_server_reloads_total` — hot catalog reloads that swapped an
 //!   epoch.
+//! * `metamess_server_panics_total` — panics caught by the worker pool
+//!   (the request gets a 500 or a dropped connection; the worker lives).
 
 use metamess_telemetry::global;
 
@@ -53,6 +55,14 @@ pub(crate) fn set_queue_depth(depth: usize) {
 pub(crate) fn record_reload() {
     if metamess_telemetry::enabled() {
         global().counter("metamess_server_reloads_total").add(1);
+    }
+}
+
+/// Records one caught panic (in a handler or a connection); the worker
+/// survives, but a nonzero series here means a bug worth chasing.
+pub(crate) fn record_panic() {
+    if metamess_telemetry::enabled() {
+        global().counter("metamess_server_panics_total").add(1);
     }
 }
 

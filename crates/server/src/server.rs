@@ -191,10 +191,16 @@ impl Server {
             shed_connection(stream); // better a clean 503 than a reset
         }
         metrics::set_queue_depth(0);
-        // Workers see shutdown + empty queue and exit; a worker pinned by
-        // a stalled client is abandoned (its socket timeouts bound it).
+        // Workers see shutdown + empty queue and exit; joins are bounded
+        // by a short grace so a worker pinned by a stalled client is
+        // abandoned (its socket timeouts bound it) rather than holding
+        // shutdown hostage.
+        let join_deadline = Instant::now() + Duration::from_millis(500);
         for t in threads {
-            if Instant::now() < deadline + Duration::from_millis(500) {
+            while !t.is_finished() && Instant::now() < join_deadline {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            if t.is_finished() {
                 let _ = t.join();
             }
         }
@@ -216,6 +222,23 @@ fn shed_connection(mut stream: TcpStream) {
     let _ = response.write_to(&mut stream, false);
 }
 
+/// Increments a counter for its lifetime; the decrement runs on drop, so
+/// it holds even when the guarded scope unwinds.
+struct ActiveGuard<'a>(&'a AtomicUsize);
+
+impl<'a> ActiveGuard<'a> {
+    fn new(counter: &'a AtomicUsize) -> ActiveGuard<'a> {
+        counter.fetch_add(1, Ordering::SeqCst);
+        ActiveGuard(counter)
+    }
+}
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn worker_loop(
     queue: &BoundedQueue<TcpStream>,
@@ -231,17 +254,24 @@ fn worker_loop(
         match queue.pop(Duration::from_millis(50)) {
             Some(stream) => {
                 metrics::set_queue_depth(queue.len());
-                active.fetch_add(1, Ordering::SeqCst);
-                serve_connection(
-                    stream,
-                    state,
-                    shutdown,
-                    limits,
-                    idle_timeout,
-                    request_timeout,
-                    served,
-                );
-                active.fetch_sub(1, Ordering::SeqCst);
+                // The guard keeps `active` balanced even across a panic,
+                // and catch_unwind keeps a panicking connection from
+                // killing the worker — the pool must survive any request.
+                let _active = ActiveGuard::new(active);
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    serve_connection(
+                        stream,
+                        state,
+                        shutdown,
+                        limits,
+                        idle_timeout,
+                        request_timeout,
+                        served,
+                    )
+                }));
+                if outcome.is_err() {
+                    metrics::record_panic();
+                }
             }
             // Exit only once shutdown is requested AND the queue is fully
             // drained — queued work is never abandoned by a live worker.
@@ -267,13 +297,24 @@ fn serve_connection(
 ) {
     let _ = stream.set_write_timeout(Some(request_timeout));
     let is_shutdown = || shutdown.is_shutdown();
+    // Bytes over-read past one request (a pipelining client) feed the next.
+    let mut carry = Vec::new();
     loop {
-        match http::read_request(&mut stream, limits, idle_timeout, &is_shutdown) {
+        match http::read_request(&mut stream, limits, idle_timeout, &is_shutdown, &mut carry) {
             ReadOutcome::Request(req) => {
                 let start = Instant::now();
                 // During drain, answer but close: no new keep-alive cycles.
                 let keep_alive = req.wants_keep_alive() && !shutdown.is_shutdown();
-                let (route, response) = handlers::handle(state, &req);
+                let (route, response) =
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        handlers::handle(state, &req)
+                    })) {
+                        Ok(answered) => answered,
+                        Err(_) => {
+                            metrics::record_panic();
+                            ("panic", Response::text(500, "internal error"))
+                        }
+                    };
                 metrics::record_request(route, response.status, start.elapsed().as_micros() as u64);
                 served.fetch_add(1, Ordering::SeqCst);
                 if response.write_to(&mut stream, keep_alive).is_err() || !keep_alive {

@@ -108,8 +108,11 @@ impl ServeState {
         let store_dir = store_dir.into();
         let lock = StoreLock::shared(lock_path(&store_dir.join("catalog")))?;
         let cache = Arc::new(ResultCache::new(DEFAULT_CACHE_CAPACITY));
-        let epoch = load_epoch(&store_dir, &cache, 0)?;
+        // Signature before open: a publish landing mid-load then shows up
+        // as a change on the first poll (one redundant reload) instead of
+        // being folded into the stored signature and never noticed.
         let signature = StoreSignature::capture(&store_dir);
+        let epoch = load_epoch(&store_dir, &cache, 0)?;
         Ok(ServeState {
             store_dir,
             cache,
@@ -141,8 +144,14 @@ impl ServeState {
     pub fn reload(&self) -> Result<ReloadOutcome> {
         let mut sig = self.reload_state.lock();
         let previous = self.epoch();
+        // Capture before reopening: a publish landing between the capture
+        // and the open makes the next poll see a signature change and
+        // reload redundantly — the safe direction. Capturing after would
+        // fold that publish into the stored signature and serve the stale
+        // epoch until yet another publish.
+        let observed = StoreSignature::capture(&self.store_dir);
         let next = load_epoch(&self.store_dir, &self.cache, previous.epoch + 1)?;
-        *sig = StoreSignature::capture(&self.store_dir);
+        *sig = observed;
         if next.generation == previous.generation {
             return Ok(ReloadOutcome::Unchanged { generation: previous.generation });
         }

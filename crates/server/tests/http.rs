@@ -203,6 +203,50 @@ fn keep_alive_serves_many_requests_on_one_connection() {
 }
 
 #[test]
+fn pipelined_requests_in_one_segment_are_both_served() {
+    let server = serve(fixture_store("pipeline"), |_| {});
+    let mut stream = connect(server.addr);
+    // Both requests in a single write: the second one's bytes arrive in
+    // the same read as the first one's body, and must be carried over to
+    // the next request instead of being truncated away.
+    let body = r#"{"q":"with water_temperature"}"#;
+    let mut bytes =
+        format!("POST /search HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{body}", body.len())
+            .into_bytes();
+    bytes.extend_from_slice(b"GET /healthz HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n");
+    stream.write_all(&bytes).unwrap();
+    let (status, _, body) = read_response(&mut stream);
+    assert_eq!(status, 200, "{:?}", String::from_utf8_lossy(&body));
+    let v: serde_json::Value = serde_json::from_slice(&body).unwrap();
+    assert!(v["count"].as_u64().unwrap() >= 1, "{v}");
+    let (status, _, body) = read_response(&mut stream);
+    assert_eq!(status, 200, "{:?}", String::from_utf8_lossy(&body));
+    let v: serde_json::Value = serde_json::from_slice(&body).unwrap();
+    assert_eq!(v["status"], "ok");
+    let summary = server.stop();
+    assert_eq!(summary.served, 2);
+}
+
+#[test]
+fn absurd_limit_is_clamped_not_fatal() {
+    let server = serve(fixture_store("hugelimit"), |_| {});
+    // Used to panic the worker thread (unclamped TopK preallocation); a
+    // few of these would permanently disable the whole pool.
+    for _ in 0..4 {
+        let (status, _, body) = post(
+            server.addr,
+            "/search",
+            r#"{"q":"with water_temperature","limit":18446744073709551615}"#,
+        );
+        assert_eq!(status, 200, "{:?}", String::from_utf8_lossy(&body));
+    }
+    // The pool is still alive and serving.
+    let (status, _, _) = get(server.addr, "/healthz");
+    assert_eq!(status, 200);
+    server.stop();
+}
+
+#[test]
 fn concurrent_responses_match_single_threaded_bit_for_bit() {
     let server = serve(fixture_store("concurrent"), |c| c.workers = 4);
     let requests: Vec<Vec<u8>> = vec![
