@@ -1,0 +1,175 @@
+//! **E9 — Sharded scatter-gather search: scaling and pruning.**
+//!
+//! Sweeps the sharded engine over shard counts and partitioners, hard-asserts
+//! that every configuration returns **bit-identical** results to the
+//! unsharded engine, and measures (a) scatter-gather latency per layout and
+//! (b) how many shards — and datasets — pruning-aware shard selection skips
+//! for selective queries under the spatial and temporal layouts.
+//!
+//! ```text
+//! cargo run --release -p metamess-bench --bin exp9_shard_scaling [-- --quick] [--json [path]]
+//! ```
+//!
+//! `--quick` shrinks the archive and the sweep for CI smoke runs. `--json`
+//! writes a schema-stable `BENCH_search.json` with `shards`, `shards_pruned`,
+//! `pruned_datasets`, and per-configuration latency percentiles
+//! (p50/p95/p99).
+
+use metamess_archive::ArchiveSpec;
+use metamess_bench::{
+    engine_from_ctx, json_flag, sharded_engine_from_ctx, wrangle_archive, BenchReport,
+};
+use metamess_search::{Partitioner, Query, SearchEngine, ShardSpec};
+use std::time::{Duration, Instant};
+
+/// The poster's information need: broad, every facet at once.
+const BROAD: &str = "near 45.5,-124.4 within 50km from 2010-04-01 to 2010-09-30 \
+                     with temperature between 5 and 10 limit 5";
+/// Spatially selective: one station's neighbourhood, no other facets —
+/// exactly what spatial shard bounds can exclude wholesale.
+const SPATIAL_SELECTIVE: &str = "near 45.5,-124.4 within 5km limit 3";
+/// Temporally selective: one month of a multi-year archive.
+const TEMPORAL_SELECTIVE: &str = "from 2010-02-01 to 2010-02-28 limit 3";
+/// Term-only: candidates in every shard, nothing prunable.
+const TERMS: &str = "with salinity limit 10";
+
+fn sample_uncached(engine: &SearchEngine, q: &Query, runs: usize) -> Vec<u64> {
+    (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(engine.search_uncached(std::hint::black_box(q)));
+            t.elapsed().as_micros() as u64
+        })
+        .collect()
+}
+
+fn mean(samples: &[u64]) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    Duration::from_nanos(1000 * samples.iter().sum::<u64>() / samples.len() as u64)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = json_flag(&args, "BENCH_search.json");
+    let mut report = BenchReport::new("search");
+
+    let months = if quick { 12 } else { 48 };
+    let runs = if quick { 30 } else { 150 };
+    let sweep: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+
+    println!("E9: sharded scatter-gather search{}\n", if quick { " (--quick)" } else { "" });
+
+    let spec = ArchiveSpec { months, stations: 10, ..ArchiveSpec::default() };
+    let (ctx, _) = wrangle_archive(&spec);
+    println!(
+        "catalog: {} datasets ({} variables), {} months of station data\n",
+        ctx.catalogs.published.len(),
+        ctx.catalogs.published.variable_count(),
+        months
+    );
+    report.set("shard.datasets", ctx.catalogs.published.len() as u64);
+    report.set("shards", *sweep.last().unwrap() as u64);
+
+    let queries: Vec<(&str, Query)> = [
+        ("broad", BROAD),
+        ("spatial", SPATIAL_SELECTIVE),
+        ("temporal", TEMPORAL_SELECTIVE),
+        ("terms", TERMS),
+    ]
+    .into_iter()
+    .map(|(k, t)| (k, Query::parse(t).unwrap()))
+    .collect();
+
+    // The correctness reference: the unsharded engine, same worker pool.
+    let reference = engine_from_ctx(&ctx);
+    let expected: Vec<_> = queries.iter().map(|(_, q)| reference.search_uncached(q)).collect();
+
+    for partitioner in [Partitioner::Hash, Partitioner::Spatial, Partitioner::Temporal] {
+        // Each partitioner is probed with the query shape its bounds can
+        // actually prune; hash shards have loose bounds, so the broad query
+        // documents the no-pruning baseline.
+        let (probe_name, probe) = match partitioner {
+            Partitioner::Hash => ("broad", Query::parse(BROAD).unwrap()),
+            Partitioner::Spatial => ("spatial", Query::parse(SPATIAL_SELECTIVE).unwrap()),
+            Partitioner::Temporal => ("temporal", Query::parse(TEMPORAL_SELECTIVE).unwrap()),
+        };
+        println!("partitioner {} (probe query: {probe_name}):", partitioner.as_str());
+        println!(
+            "{:>8} {:>12} {:>9} {:>9} {:>10}",
+            "shards", "latency", "visited", "pruned", "skipped-ds"
+        );
+        for &shards in sweep {
+            let engine = sharded_engine_from_ctx(&ctx, ShardSpec::new(shards, partitioner));
+
+            // Bit-identity first: every query, every layout, vs unsharded.
+            for ((name, q), want) in queries.iter().zip(&expected) {
+                let got = engine.search_uncached(q);
+                assert_eq!(
+                    &got,
+                    want,
+                    "sharded results diverge from unsharded: query={name} \
+                     partitioner={} shards={shards}",
+                    partitioner.as_str()
+                );
+            }
+
+            let (_, ex) = engine.search_explain(&probe);
+            let samples = sample_uncached(&engine, &probe, runs);
+            println!(
+                "{:>8} {:>12.2?} {:>9} {:>9} {:>10}",
+                shards,
+                mean(&samples),
+                ex.shards_visited,
+                ex.shards_pruned,
+                ex.pruned_datasets
+            );
+
+            // Pruning-aware selection must actually bite on the selective
+            // queries once the bounded layouts have >1 shard.
+            if shards > 1 && partitioner != Partitioner::Hash {
+                assert!(
+                    ex.shards_pruned > 0,
+                    "{} layout with {shards} shards pruned nothing for {probe_name:?}",
+                    partitioner.as_str()
+                );
+                assert!(
+                    ex.pruned_datasets > 0,
+                    "{} layout with {shards} shards skipped no datasets",
+                    partitioner.as_str()
+                );
+            }
+
+            let prefix = format!("shard.{}.s{shards}", partitioner.as_str());
+            report.record_samples(&prefix, &samples);
+            report.set(&format!("{prefix}.visited"), ex.shards_visited as u64);
+            report.set(&format!("{prefix}.pruned"), ex.shards_pruned as u64);
+            report.set(&format!("{prefix}.pruned_datasets"), ex.pruned_datasets as u64);
+            report.set(&format!("{prefix}.bound_skips"), ex.shard_bound_skips as u64);
+        }
+        println!();
+    }
+
+    // Headline pruning numbers: the spatial layout at the deepest sweep
+    // point (the configuration the DESIGN's pruning argument is about).
+    let deepest = *sweep.last().unwrap();
+    let engine = sharded_engine_from_ctx(&ctx, ShardSpec::new(deepest, Partitioner::Spatial));
+    let (_, ex) = engine.search_explain(&Query::parse(SPATIAL_SELECTIVE).unwrap());
+    println!(
+        "pruning headline: spatial x{deepest} on the selective query \
+         visits {}/{} shards, skipping {} datasets",
+        ex.shards_visited,
+        ex.shards_visited + ex.shards_pruned,
+        ex.pruned_datasets
+    );
+    report.set("shards_pruned", ex.shards_pruned as u64);
+    report.set("shards_visited", ex.shards_visited as u64);
+    report.set("pruned_datasets", ex.pruned_datasets as u64);
+
+    if let Some(path) = json_path {
+        report.write(&path).expect("write bench report");
+        println!("\nwrote {} metrics to {}", report.len(), path.display());
+    }
+}

@@ -235,6 +235,21 @@ pub fn engine_from_ctx(ctx: &PipelineContext) -> metamess_search::SearchEngine {
     engine
 }
 
+/// [`engine_from_ctx`] with an explicit shard layout — the scatter-gather
+/// configurations the shard-scaling experiment sweeps.
+pub fn sharded_engine_from_ctx(
+    ctx: &PipelineContext,
+    spec: metamess_search::ShardSpec,
+) -> metamess_search::SearchEngine {
+    let mut engine = metamess_search::SearchEngine::build_sharded(
+        &ctx.catalogs.published,
+        ctx.vocab.clone(),
+        spec,
+    );
+    engine.workers = ctx.search_parallelism;
+    engine
+}
+
 /// Formats a float as a percentage with one decimal.
 pub fn pct(x: f64) -> String {
     format!("{:.1}%", 100.0 * x)

@@ -9,6 +9,10 @@
 //! any explicit flush. The cache is safe to share across engine rebuilds
 //! (wrap it in an `Arc` and hand it to the next engine).
 //!
+//! Result lists are stored as `Arc<[SearchHit]>`: a hit bumps a reference
+//! count instead of cloning every `SearchHit` (each of which owns strings
+//! and a score breakdown), so the hot hit path allocates nothing.
+//!
 //! Guarded by a `parking_lot` mutex; hit/miss counters are exposed for the
 //! benches and experiment binaries.
 
@@ -16,6 +20,7 @@ use crate::engine::SearchHit;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Default number of cached result lists per engine.
 pub const DEFAULT_CACHE_CAPACITY: usize = 64;
@@ -23,7 +28,7 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 64;
 struct Entry {
     generation: u64,
     last_used: u64,
-    hits: Vec<SearchHit>,
+    hits: Arc<[SearchHit]>,
 }
 
 struct Inner {
@@ -77,8 +82,8 @@ impl ResultCache {
     }
 
     /// Looks up a result list; hits only when the entry's generation stamp
-    /// matches `generation`.
-    pub fn get(&self, key: &str, generation: u64) -> Option<Vec<SearchHit>> {
+    /// matches `generation`. A hit clones the `Arc`, never the hits.
+    pub fn get(&self, key: &str, generation: u64) -> Option<Arc<[SearchHit]>> {
         let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
@@ -100,7 +105,7 @@ impl ResultCache {
 
     /// Stores a result list under `key`, stamped with `generation`,
     /// evicting the least-recently-used entry when over capacity.
-    pub fn put(&self, key: String, generation: u64, hits: Vec<SearchHit>) {
+    pub fn put(&self, key: String, generation: u64, hits: Arc<[SearchHit]>) {
         let mut inner = self.inner.lock();
         if inner.capacity == 0 {
             return;
@@ -154,7 +159,7 @@ mod tests {
     use crate::score::ScoreBreakdown;
     use metamess_core::id::DatasetId;
 
-    fn hits(path: &str) -> Vec<SearchHit> {
+    fn hits(path: &str) -> Arc<[SearchHit]> {
         vec![SearchHit {
             id: DatasetId::from_path(path),
             path: path.to_string(),
@@ -162,6 +167,7 @@ mod tests {
             score: 1.0,
             breakdown: ScoreBreakdown::default(),
         }]
+        .into()
     }
 
     #[test]
@@ -175,6 +181,20 @@ mod tests {
         assert_eq!((s.hits, s.misses), (1, 1));
         assert!((s.hit_rate() - 0.5).abs() < 1e-12);
         assert_eq!(s.total(), 2);
+    }
+
+    #[test]
+    fn hits_are_allocation_free() {
+        // The regression this guards: `get` used to clone the whole
+        // `Vec<SearchHit>` per hit. Stored as `Arc<[SearchHit]>`, every
+        // hit must hand back the same allocation, only refcounted.
+        let c = ResultCache::new(4);
+        let stored = hits("a.csv");
+        c.put("q1".into(), 1, stored.clone());
+        let first = c.get("q1", 1).expect("hit");
+        let second = c.get("q1", 1).expect("hit");
+        assert!(Arc::ptr_eq(&stored, &first), "hit must be the stored allocation");
+        assert!(Arc::ptr_eq(&first, &second), "repeat hits share it too");
     }
 
     #[test]

@@ -1,47 +1,61 @@
-//! The search engine: index construction over the published catalog and
-//! ranked top-k retrieval.
+//! The search engine: a thin scatter-gather coordinator over catalog
+//! shards, plus the generation-stamped result cache.
 //!
-//! Candidate generation uses the spatial R-tree, the temporal interval
-//! index, and an inverted term index; candidates are then scored exactly.
-//! Because ranking is similarity (not boolean filtering), the engine falls
-//! back to scoring the whole catalog when the candidate set is too small to
-//! fill `limit` confidently — and `use_indexes = false` forces the full
-//! scan, which the benchmarks use as the ablation baseline.
+//! The catalog is partitioned into `1..=MAX_SHARDS` shards at build time
+//! (see [`ShardSpec`]); each [`ShardEngine`](crate::ShardEngine) owns its
+//! own R-tree, interval index, and term postings, together with pruning
+//! bounds (the union of member bboxes / time intervals). A query is probed
+//! against every shard, but a shard whose bound excludes the query window
+//! skips the index walk, and a shard left with no candidates is never
+//! scored at all — on spatially or temporally partitioned catalogs a
+//! selective query touches a fraction of the datasets.
 //!
-//! # Concurrency and determinism
+//! # Determinism
 //!
-//! Scoring is pure, so candidates can be scored on `workers` scoped threads
-//! (crossbeam), each keeping a bounded [`TopK`](crate::TopK) of the best
-//! `limit` hits, merged at the end. The rank order `(score desc, path asc)`
-//! is a strict total order (paths are unique per catalog), so the merged
-//! result is **bit-identical** to the sequential path for any worker count.
+//! Results are **bit-identical** across shard counts, partitioners, and
+//! worker counts:
+//!
+//! * every per-dataset index decision (window membership, term postings)
+//!   depends only on the dataset itself, so the union of per-shard
+//!   candidate sets equals the unsharded candidate set;
+//! * per-shard nearest-neighbour lists are merged under the global total
+//!   order `(distance, global index)` before admission — exactly the order
+//!   the unsharded R-tree emits (see `shard.rs`);
+//! * the full-scan fallback fires on the *cross-shard* candidate total,
+//!   the same number the unsharded probe would count;
+//! * scoring is pure and the rank order `(score desc, path asc)` is a
+//!   strict total order, so [`TopK`] selection and merge are independent
+//!   of how work units were scheduled across the crossbeam worker pool.
 //!
 //! # Result caching
 //!
 //! Repeated queries against an unchanged catalog are served from a
 //! generation-stamped LRU [`ResultCache`]: entries carry the catalog
-//! generation captured at [`SearchEngine::build`] time, so an engine built
-//! over a republished (changed) catalog never returns stale hits even when
-//! the cache is shared across rebuilds. Use [`SearchEngine::search_uncached`]
-//! to bypass the cache (the benches do, for cold-path measurements).
+//! generation captured at build time, so an engine built over a
+//! republished (changed) catalog never returns stale hits even when the
+//! cache is shared across rebuilds. Cache hits are allocation-free — the
+//! stored `Arc<[SearchHit]>` is cloned by reference count. Use
+//! [`ShardedEngine::search_uncached`] to bypass the cache (the benches do,
+//! for cold-path measurements). The shard layout is deliberately *not*
+//! part of the cache key: results are bit-identical across layouts, so a
+//! rebuild with a different `--shards` can reuse a warm shared cache.
 
 use crate::cache::{CacheStats, ResultCache, DEFAULT_CACHE_CAPACITY};
 use crate::explain::{search_metrics, SearchExplain};
-use crate::interval::IntervalIndex;
 use crate::plan::QueryPlan;
-use crate::query::{Query, SpatialTerm};
-use crate::rtree::RTree;
-use crate::score::{score_dataset_prepared, PreparedTerm, ScoreBreakdown};
+use crate::query::Query;
+use crate::score::ScoreBreakdown;
+use crate::shard::{ShardEngine, ShardProbe, ShardSpec};
 use crate::topk::TopK;
 use metamess_core::catalog::Catalog;
 use metamess_core::feature::DatasetFeature;
-use metamess_core::geo::GeoBBox;
 use metamess_core::id::DatasetId;
-use metamess_core::text::normalize_term;
-use metamess_core::time::TimeInterval;
 use metamess_telemetry::{event, Level, Stopwatch};
 use metamess_vocab::Vocabulary;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Arc;
 
 /// One ranked search result.
@@ -59,15 +73,20 @@ pub struct SearchHit {
     pub breakdown: ScoreBreakdown,
 }
 
-/// The "Data Near Here" search engine.
-pub struct SearchEngine {
+/// The historical name: a [`ShardedEngine`] with one shard behaves exactly
+/// like the original monolithic engine, so every existing call site keeps
+/// working through this alias.
+pub type SearchEngine = ShardedEngine;
+
+/// The "Data Near Here" search engine: shard coordinator + result cache.
+pub struct ShardedEngine {
     vocab: Vocabulary,
-    datasets: Vec<DatasetFeature>,
-    rtree: RTree,
-    intervals: IntervalIndex,
-    terms: BTreeMap<String, Vec<usize>>,
-    /// `DatasetId → datasets index`, for O(1) hit-to-feature lookup.
-    by_id: HashMap<DatasetId, usize>,
+    shards: Vec<ShardEngine>,
+    spec: ShardSpec,
+    /// `DatasetId → (shard, local index)`, for O(1) hit-to-feature lookup.
+    by_id: HashMap<DatasetId, (u32, u32)>,
+    /// Total datasets across shards.
+    total: usize,
     /// Catalog generation captured at build time; stamps cache entries.
     generation: u64,
     cache: Arc<ResultCache>,
@@ -79,46 +98,53 @@ pub struct SearchEngine {
     pub workers: usize,
 }
 
-impl SearchEngine {
-    /// Builds the engine over a catalog snapshot.
-    pub fn build(catalog: &Catalog, vocab: Vocabulary) -> SearchEngine {
+/// One unit of scoring work: a slice of one shard, either a dense local
+/// range (full scan) or an explicit candidate list (indexed probe).
+enum UnitWork {
+    All(Range<usize>),
+    List(Vec<usize>),
+}
+
+struct Unit {
+    shard: usize,
+    work: UnitWork,
+}
+
+impl ShardedEngine {
+    /// Builds an unsharded (single-shard) engine over a catalog snapshot.
+    pub fn build(catalog: &Catalog, vocab: Vocabulary) -> ShardedEngine {
+        ShardedEngine::build_sharded(catalog, vocab, ShardSpec::single())
+    }
+
+    /// Builds the engine over a catalog snapshot partitioned per `spec`.
+    /// The shard count is clamped to `1..=MAX_SHARDS` regardless of how
+    /// the spec was produced.
+    pub fn build_sharded(catalog: &Catalog, vocab: Vocabulary, spec: ShardSpec) -> ShardedEngine {
+        let spec = ShardSpec::new(spec.count(), spec.partitioner());
         let datasets: Vec<DatasetFeature> = catalog.iter().cloned().collect();
-        let mut spatial_entries = Vec::new();
-        let mut time_entries = Vec::new();
-        let mut terms: BTreeMap<String, Vec<usize>> = BTreeMap::new();
-        let mut by_id: HashMap<DatasetId, usize> = HashMap::with_capacity(datasets.len());
-        for (ix, d) in datasets.iter().enumerate() {
-            by_id.insert(d.id, ix);
-            if let Some(b) = &d.bbox {
-                spatial_entries.push((*b, ix));
-            }
-            if let Some(t) = &d.time {
-                time_entries.push((*t, ix));
-            }
-            for v in d.searchable_variables() {
-                // index under the canonical concept and every hierarchy
-                // ancestor (shared helper with query planning), plus the
-                // raw and search spellings
-                let mut keys: BTreeSet<String> = vocab.canonical_keys(v.search_name());
-                keys.insert(normalize_term(&v.name));
-                keys.insert(normalize_term(v.search_name()));
-                for k in keys {
-                    let posting = terms.entry(k).or_default();
-                    if posting.last() != Some(&ix) {
-                        posting.push(ix);
-                    }
-                }
+        let total = datasets.len();
+        let assignment = spec.partitioner().assign(&datasets, spec.count());
+        let mut members: Vec<Vec<(usize, DatasetFeature)>> =
+            (0..spec.count()).map(|_| Vec::new()).collect();
+        for (gix, (d, s)) in datasets.into_iter().zip(assignment).enumerate() {
+            members[s].push((gix, d));
+        }
+        let shards: Vec<ShardEngine> =
+            members.into_iter().map(|m| ShardEngine::build(m, &vocab)).collect();
+        let mut by_id: HashMap<DatasetId, (u32, u32)> = HashMap::with_capacity(total);
+        for (s, shard) in shards.iter().enumerate() {
+            for l in 0..shard.len() {
+                by_id.insert(shard.dataset(l).id, (s as u32, l as u32));
             }
         }
-        SearchEngine {
+        ShardedEngine {
             vocab,
-            rtree: RTree::build(spatial_entries),
-            intervals: IntervalIndex::build(time_entries),
-            terms,
+            shards,
+            spec,
             by_id,
+            total,
             generation: catalog.generation(),
             cache: Arc::new(ResultCache::new(DEFAULT_CACHE_CAPACITY)),
-            datasets,
             use_indexes: true,
             workers: 1,
         }
@@ -127,19 +153,19 @@ impl SearchEngine {
     /// Replaces the result cache with a shared one, so the cache (and its
     /// generation-stamped entries) can outlive engine rebuilds across
     /// publishes.
-    pub fn with_shared_cache(mut self, cache: Arc<ResultCache>) -> SearchEngine {
+    pub fn with_shared_cache(mut self, cache: Arc<ResultCache>) -> ShardedEngine {
         self.cache = cache;
         self
     }
 
     /// Number of indexed datasets.
     pub fn len(&self) -> usize {
-        self.datasets.len()
+        self.total
     }
 
     /// True when no datasets are indexed.
     pub fn is_empty(&self) -> bool {
-        self.datasets.is_empty()
+        self.total == 0
     }
 
     /// The vocabulary the engine expands terms with.
@@ -151,6 +177,21 @@ impl SearchEngine {
     /// against.
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// The shard layout the engine was built with.
+    pub fn shard_spec(&self) -> ShardSpec {
+        self.spec
+    }
+
+    /// Number of shards (always `1..=MAX_SHARDS`).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards themselves (read-only; for benches and diagnostics).
+    pub fn shards(&self) -> &[ShardEngine] {
+        &self.shards
     }
 
     /// The result cache (shared handle).
@@ -165,7 +206,7 @@ impl SearchEngine {
 
     /// The dataset behind a hit (for summary rendering). O(1).
     pub fn dataset(&self, id: DatasetId) -> Option<&DatasetFeature> {
-        self.by_id.get(&id).map(|&ix| &self.datasets[ix])
+        self.by_id.get(&id).map(|&(s, l)| self.shards[s as usize].dataset(l as usize))
     }
 
     /// Prepares a reusable [`QueryPlan`] for a query (vocabulary expansion,
@@ -175,66 +216,10 @@ impl SearchEngine {
         QueryPlan::prepare(query, &self.vocab)
     }
 
-    fn candidates(&self, query: &Query, plan: &QueryPlan) -> BTreeSet<usize> {
-        let mut out = BTreeSet::new();
-        let generous = query.limit.saturating_mul(5).max(50);
-        if let Some(spatial) = &query.spatial {
-            match spatial {
-                SpatialTerm::Near { point, radius_km } => {
-                    for (ix, _) in self.rtree.nearest(point, generous) {
-                        out.insert(ix);
-                    }
-                    // everything within 4 radii
-                    let dlat = 4.0 * radius_km / 111.0;
-                    let dlon = 4.0 * radius_km / (111.0 * point.lat.to_radians().cos().max(0.1));
-                    let window = GeoBBox {
-                        min_lat: (point.lat - dlat).max(-90.0),
-                        max_lat: (point.lat + dlat).min(90.0),
-                        min_lon: (point.lon - dlon).max(-180.0),
-                        max_lon: (point.lon + dlon).min(180.0),
-                    };
-                    out.extend(self.rtree.intersecting(&window));
-                }
-                SpatialTerm::Region(region) => {
-                    out.extend(self.rtree.intersecting(region));
-                    // plus the nearest boxes around its centre
-                    for (ix, _) in self.rtree.nearest(&region.center(), generous) {
-                        out.insert(ix);
-                    }
-                }
-            }
-        }
-        if let Some(window) = &query.time {
-            let pad = (window.duration_secs() as i64).max(86_400);
-            let expanded =
-                TimeInterval::new(window.start.plus_seconds(-pad), window.end.plus_seconds(pad));
-            out.extend(self.intervals.overlapping(&expanded));
-        }
-        for keys in &plan.term_keys {
-            for k in keys {
-                if let Some(postings) = self.terms.get(k) {
-                    out.extend(postings.iter().copied());
-                }
-            }
-        }
-        out
-    }
-
-    fn score_hit(&self, query: &Query, prepared: &[PreparedTerm], ix: usize) -> SearchHit {
-        let d = &self.datasets[ix];
-        let breakdown = score_dataset_prepared(query, prepared, d, &self.vocab);
-        SearchHit {
-            id: d.id,
-            path: d.path.clone(),
-            title: d.title.clone(),
-            score: breakdown.total,
-            breakdown,
-        }
-    }
-
     /// Canonical cache key: the serialized query plus every engine toggle
-    /// that can change the result set (`workers` cannot, so it is not part
-    /// of the key).
+    /// that can change the result set (`workers` and the shard layout
+    /// cannot — results are bit-identical across both — so they are not
+    /// part of the key).
     fn cache_key(&self, query: &Query) -> String {
         format!("{}|{}", self.use_indexes, serde_json::to_string(query).expect("query serializes"))
     }
@@ -242,15 +227,15 @@ impl SearchEngine {
     /// Runs a ranked search, returning at most `query.limit` hits, best
     /// first (ties broken by path for determinism). Served from the result
     /// cache when this exact query was answered before against the same
-    /// catalog generation.
-    pub fn search(&self, query: &Query) -> Vec<SearchHit> {
+    /// catalog generation; hits share the cached allocation.
+    pub fn search(&self, query: &Query) -> Arc<[SearchHit]> {
         self.search_explained(query, None)
     }
 
-    /// Like [`SearchEngine::search`], additionally reporting where the time
-    /// went phase by phase. Phase timing is armed even when telemetry is
-    /// globally disabled — the caller asked for it explicitly.
-    pub fn search_explain(&self, query: &Query) -> (Vec<SearchHit>, SearchExplain) {
+    /// Like [`ShardedEngine::search`], additionally reporting where the
+    /// time went phase by phase. Phase timing is armed even when telemetry
+    /// is globally disabled — the caller asked for it explicitly.
+    pub fn search_explain(&self, query: &Query) -> (Arc<[SearchHit]>, SearchExplain) {
         let mut explain = SearchExplain::default();
         let hits = self.search_explained(query, Some(&mut explain));
         (hits, explain)
@@ -260,7 +245,7 @@ impl SearchEngine {
         &self,
         query: &Query,
         mut explain: Option<&mut SearchExplain>,
-    ) -> Vec<SearchHit> {
+    ) -> Arc<[SearchHit]> {
         let on = metamess_telemetry::enabled();
         let total = Stopwatch::start_if(on || explain.is_some());
         let key = self.cache_key(query);
@@ -280,7 +265,8 @@ impl SearchEngine {
             }
             return hits;
         }
-        let hits = self.search_uncached_explained(query, explain.as_deref_mut());
+        let hits: Arc<[SearchHit]> =
+            self.search_uncached_explained(query, explain.as_deref_mut()).into();
         self.cache.put(key, self.generation, hits.clone());
         let total_micros = total.micros();
         if on {
@@ -327,25 +313,10 @@ impl SearchEngine {
         self.execute_plan(query, plan, None)
     }
 
-    /// Probe: selects the candidate set, falling back to the whole catalog
-    /// when the indexes cannot comfortably fill `limit`. Returns the
-    /// indices and whether the full-scan fallback fired.
-    fn select_candidates(&self, query: &Query, plan: &QueryPlan) -> (Vec<usize>, bool) {
-        if !self.use_indexes || query.is_empty() {
-            return ((0..self.datasets.len()).collect(), true);
-        }
-        let c = self.candidates(query, plan);
-        // Similarity ranking: when the candidate pool cannot comfortably
-        // fill the requested k, score everything instead.
-        if c.len() < query.limit.saturating_mul(3) {
-            ((0..self.datasets.len()).collect(), true)
-        } else {
-            (c.into_iter().collect(), false)
-        }
-    }
-
-    /// Probe + score + merge, recording per-phase timings into the registry
-    /// (and into `explain` when requested).
+    /// Scatter-gather: probe every shard, merge nearest lists globally,
+    /// decide the full-scan fallback on the cross-shard total, then score
+    /// the surviving shards' candidates across the worker pool and merge
+    /// the per-worker top-k pools deterministically.
     fn execute_plan(
         &self,
         query: &Query,
@@ -356,22 +327,40 @@ impl SearchEngine {
         let timed = on || explain.is_some();
 
         let probe = Stopwatch::start_if(timed);
-        let (candidate_ixs, full_scan) = self.select_candidates(query, plan);
+        let forced = !self.use_indexes || query.is_empty();
+        let mut probes: Vec<ShardProbe> = Vec::new();
+        let mut bound_skips = 0usize;
+        let mut candidates_total = 0usize;
+        if !forced {
+            let generous = query.limit.saturating_mul(5).max(50);
+            probes.reserve(self.shards.len());
+            for shard in &self.shards {
+                let sw = Stopwatch::start_if(on);
+                let p = shard.probe(query, plan, generous);
+                if on {
+                    search_metrics().shard_probe_micros.record(sw.micros());
+                }
+                probes.push(p);
+            }
+            if query.spatial.is_some() {
+                self.admit_nearest_globally(&mut probes, generous);
+            }
+            bound_skips = probes.iter().map(|p| p.bound_skips).sum();
+            candidates_total = probes.iter().map(|p| p.certain.len()).sum();
+        }
+        // Similarity ranking: when the candidate pool cannot comfortably
+        // fill the requested k, score everything instead. The decision is
+        // made on the cross-shard total — the same count the unsharded
+        // probe would see.
+        let full_scan = forced || candidates_total < query.limit.saturating_mul(3);
         let probe_micros = probe.micros();
 
-        let candidates = candidate_ixs.len();
-        let workers = self.workers.max(1).min(candidates.max(1));
+        let (units, visited, pruned, pruned_datasets) = self.plan_units(&probes, full_scan);
+        let candidates = if full_scan { self.total } else { candidates_total };
+        let workers = self.workers.max(1).min(units.len().max(1));
+
         let scoring = Stopwatch::start_if(timed);
-        let (hits, merge_micros) = if workers > 1 {
-            self.score_parallel(query, plan, &candidate_ixs, workers, timed)
-        } else {
-            let mut topk = TopK::new(query.limit);
-            for ix in candidate_ixs {
-                topk.push(self.score_hit(query, &plan.prepared, ix));
-            }
-            let merge = Stopwatch::start_if(timed);
-            (topk.into_sorted(), merge.micros())
-        };
+        let (hits, merge_micros) = self.score_units(query, plan, &units, workers, timed, on);
         let score_micros = scoring.micros().saturating_sub(merge_micros);
 
         if on {
@@ -382,6 +371,8 @@ impl SearchEngine {
             m.probe_micros.record(probe_micros);
             m.score_micros.record(score_micros);
             m.merge_micros.record(merge_micros);
+            m.shards_visited.add(visited as u64);
+            m.shards_pruned.add(pruned as u64);
         }
         if let Some(ex) = explain {
             ex.probe_micros = probe_micros;
@@ -391,40 +382,122 @@ impl SearchEngine {
             ex.full_scan = full_scan;
             ex.workers = workers;
             ex.results = hits.len();
+            ex.shards = self.shards.len();
+            ex.shards_visited = visited;
+            ex.shards_pruned = pruned;
+            ex.shard_bound_skips = bound_skips;
+            ex.pruned_datasets = pruned_datasets;
         }
         hits
     }
 
-    /// Scores candidates on `workers` scoped threads, each with its own
-    /// bounded top-k, merged deterministically: the rank order is a strict
-    /// total order, so the merge selects exactly the hits the sequential
-    /// path would. Also returns the merge-phase duration (0 when untimed).
-    fn score_parallel(
+    /// Admits nearest-neighbour candidates under the *global* total order
+    /// `(distance, global index)`, truncated to `generous` — the exact set
+    /// the unsharded R-tree's single `nearest` call selects (each shard's
+    /// list is its `generous`-smallest under the same order, and the
+    /// global smallest are always among the per-shard smallest).
+    fn admit_nearest_globally(&self, probes: &mut [ShardProbe], generous: usize) {
+        let mut near: Vec<(f64, usize, usize, usize)> = Vec::new();
+        for (s, p) in probes.iter().enumerate() {
+            near.extend(p.near.iter().map(|&(dist, gix, lix)| (dist, gix, s, lix)));
+        }
+        near.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal).then_with(|| a.1.cmp(&b.1))
+        });
+        for &(_, _, s, lix) in near.iter().take(generous) {
+            probes[s].certain.insert(lix);
+        }
+    }
+
+    /// Turns the probe outcome into scoring work units of roughly
+    /// `total_work / workers` candidates each, so the pool stays busy even
+    /// when candidates concentrate in one shard. Returns
+    /// `(units, shards visited, shards pruned, datasets in pruned shards)`.
+    fn plan_units(
+        &self,
+        probes: &[ShardProbe],
+        full_scan: bool,
+    ) -> (Vec<Unit>, usize, usize, usize) {
+        let total_work =
+            if full_scan { self.total } else { probes.iter().map(|p| p.certain.len()).sum() };
+        let unit_size = total_work.div_ceil(self.workers.max(1)).max(1);
+        let mut units = Vec::new();
+        let mut visited = 0usize;
+        let mut pruned = 0usize;
+        let mut pruned_datasets = 0usize;
+        if full_scan {
+            for (s, shard) in self.shards.iter().enumerate() {
+                if shard.is_empty() {
+                    continue;
+                }
+                visited += 1;
+                let mut start = 0;
+                while start < shard.len() {
+                    let end = (start + unit_size).min(shard.len());
+                    units.push(Unit { shard: s, work: UnitWork::All(start..end) });
+                    start = end;
+                }
+            }
+        } else {
+            for (s, p) in probes.iter().enumerate() {
+                if p.certain.is_empty() {
+                    if !self.shards[s].is_empty() {
+                        pruned += 1;
+                        pruned_datasets += self.shards[s].len();
+                    }
+                    continue;
+                }
+                visited += 1;
+                let list: Vec<usize> = p.certain.iter().copied().collect();
+                for chunk in list.chunks(unit_size) {
+                    units.push(Unit { shard: s, work: UnitWork::List(chunk.to_vec()) });
+                }
+            }
+        }
+        (units, visited, pruned, pruned_datasets)
+    }
+
+    /// Scores the work units on up to `workers` scoped threads pulling
+    /// from a shared cursor, each with its own bounded top-k, merged
+    /// deterministically: the rank order is a strict total order, so the
+    /// merge selects exactly the hits a sequential pass would. Also
+    /// returns the merge-phase duration (0 when untimed).
+    fn score_units(
         &self,
         query: &Query,
         plan: &QueryPlan,
-        candidate_ixs: &[usize],
+        units: &[Unit],
         workers: usize,
         timed: bool,
+        on: bool,
     ) -> (Vec<SearchHit>, u64) {
-        let chunk = candidate_ixs.len().div_ceil(workers);
-        let prepared = &plan.prepared;
-        let pools: Vec<TopK> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = candidate_ixs
-                .chunks(chunk)
-                .map(|ixs| {
-                    scope.spawn(move |_| {
-                        let mut local = TopK::new(query.limit);
-                        for &ix in ixs {
-                            local.push(self.score_hit(query, prepared, ix));
-                        }
-                        local
+        let pools: Vec<TopK> = if workers <= 1 {
+            let mut local = TopK::new(query.limit);
+            for unit in units {
+                self.score_unit(query, plan, unit, &mut local, on);
+            }
+            vec![local]
+        } else {
+            let cursor = AtomicUsize::new(0);
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let cursor = &cursor;
+                        scope.spawn(move |_| {
+                            let mut local = TopK::new(query.limit);
+                            loop {
+                                let u = cursor.fetch_add(1, AtomicOrdering::Relaxed);
+                                let Some(unit) = units.get(u) else { break };
+                                self.score_unit(query, plan, unit, &mut local, on);
+                            }
+                            local
+                        })
                     })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("search worker never panics")).collect()
-        })
-        .expect("search workers never panic");
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("search worker never panics")).collect()
+            })
+            .expect("search workers never panic")
+        };
         let merge = Stopwatch::start_if(timed);
         let mut merged = TopK::new(query.limit);
         for p in pools {
@@ -432,14 +505,35 @@ impl SearchEngine {
         }
         (merged.into_sorted(), merge.micros())
     }
+
+    fn score_unit(&self, query: &Query, plan: &QueryPlan, unit: &Unit, topk: &mut TopK, on: bool) {
+        let sw = Stopwatch::start_if(on);
+        let shard = &self.shards[unit.shard];
+        match &unit.work {
+            UnitWork::All(range) => {
+                for ix in range.clone() {
+                    topk.push(shard.score_hit(query, &plan.prepared, &self.vocab, ix));
+                }
+            }
+            UnitWork::List(ixs) => {
+                for &ix in ixs {
+                    topk.push(shard.score_hit(query, &plan.prepared, &self.vocab, ix));
+                }
+            }
+        }
+        if on {
+            search_metrics().shard_score_micros.record(sw.micros());
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::shard::Partitioner;
     use metamess_core::feature::{NameResolution, VariableFeature};
-    use metamess_core::geo::GeoPoint;
-    use metamess_core::time::Timestamp;
+    use metamess_core::geo::{GeoBBox, GeoPoint};
+    use metamess_core::time::{TimeInterval, Timestamp};
 
     fn make_dataset(
         path: &str,
@@ -508,6 +602,32 @@ mod tests {
         SearchEngine::build(&catalog(), Vocabulary::observatory_default())
     }
 
+    /// Two well-separated clusters, big enough that a selective region
+    /// query keeps indexed mode (candidates ≥ limit*3) and the `generous`
+    /// nearest floor (50) stays inside the matching cluster.
+    fn two_cluster_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        for i in 0..60 {
+            c.put(make_dataset(
+                &format!("north/{i:02}.csv"),
+                46.0 + (i % 10) as f64 * 0.01,
+                -124.0,
+                1 + (i % 6) as u32,
+                &[("temp", "water_temperature", 5.0, 10.0)],
+            ));
+        }
+        for i in 0..60 {
+            c.put(make_dataset(
+                &format!("south/{i:02}.csv"),
+                -44.0 - (i % 10) as f64 * 0.01,
+                150.0,
+                7 + (i % 6) as u32,
+                &[("sal", "salinity", 28.0, 33.0)],
+            ));
+        }
+        c
+    }
+
     #[test]
     fn poster_query_ranks_coastal_summer_first() {
         let e = engine();
@@ -557,6 +677,82 @@ mod tests {
     }
 
     #[test]
+    fn sharded_results_bit_identical_to_unsharded() {
+        let c = two_cluster_catalog();
+        let vocab = Vocabulary::observatory_default();
+        let reference = SearchEngine::build(&c, vocab.clone());
+        let queries = [
+            Query::parse("in 45.9,-124.1..46.2,-123.9 limit 5").unwrap(),
+            Query::parse("near 46.0,-124.0 within 10km with water_temperature limit 4").unwrap(),
+            Query::parse("from 2010-07-01 to 2010-09-30 with salinity limit 6").unwrap(),
+            Query::new(),
+        ];
+        for partitioner in [Partitioner::Hash, Partitioner::Spatial, Partitioner::Temporal] {
+            for shards in [1usize, 2, 4, 8] {
+                let mut e = SearchEngine::build_sharded(
+                    &c,
+                    vocab.clone(),
+                    ShardSpec::new(shards, partitioner),
+                );
+                e.workers = 3;
+                for q in &queries {
+                    assert_eq!(
+                        e.search_uncached(q),
+                        reference.search_uncached(q),
+                        "partitioner={partitioner:?} shards={shards}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spatial_partitioning_prunes_far_shards() {
+        let c = two_cluster_catalog();
+        let vocab = Vocabulary::observatory_default();
+        let e = SearchEngine::build_sharded(&c, vocab, ShardSpec::new(2, Partitioner::Spatial));
+        // selective region query over the north cluster only
+        let q = Query::parse("in 45.9,-124.1..46.2,-123.9 limit 5").unwrap();
+        let (hits, ex) = e.search_explain(&q);
+        assert!(!ex.full_scan, "north cluster must satisfy limit*3 from the indexes");
+        assert_eq!(ex.shards, 2);
+        assert_eq!(ex.shards_visited, 1);
+        assert_eq!(ex.shards_pruned, 1, "the southern shard must be pruned");
+        assert_eq!(ex.pruned_datasets, 60);
+        assert!(ex.shard_bound_skips >= 1);
+        assert!(hits.iter().all(|h| h.path.starts_with("north/")));
+    }
+
+    #[test]
+    fn temporal_partitioning_prunes_off_window_shards() {
+        let c = two_cluster_catalog();
+        let vocab = Vocabulary::observatory_default();
+        let e = SearchEngine::build_sharded(&c, vocab, ShardSpec::new(2, Partitioner::Temporal));
+        // the south cluster holds months 7..=12; a window over the start of
+        // the year (plus the 1-window pad) only reaches the north shard
+        let q = Query::parse("from 2010-01-01 to 2010-02-15 limit 5").unwrap();
+        let (_, ex) = e.search_explain(&q);
+        assert!(!ex.full_scan);
+        assert_eq!(ex.shards_visited, 1);
+        assert_eq!(ex.shards_pruned, 1);
+        assert_eq!(ex.pruned_datasets, 60);
+    }
+
+    #[test]
+    fn build_sharded_clamps_shard_count() {
+        let c = catalog();
+        let vocab = Vocabulary::observatory_default();
+        let e =
+            SearchEngine::build_sharded(&c, vocab.clone(), ShardSpec::new(0, Partitioner::Hash));
+        assert_eq!(e.shard_count(), 1);
+        let e = SearchEngine::build_sharded(&c, vocab, ShardSpec::new(100_000, Partitioner::Hash));
+        assert_eq!(e.shard_count(), crate::shard::MAX_SHARDS);
+        // more shards than datasets → most shards empty, still correct
+        assert_eq!(e.len(), 4);
+        assert!(!e.search(&Query::parse("with salinity").unwrap()).is_empty());
+    }
+
+    #[test]
     fn repeated_query_served_from_cache() {
         let e = engine();
         let q = Query::parse("with salinity limit 3").unwrap();
@@ -565,8 +761,10 @@ mod tests {
         let second = e.search(&q);
         assert_eq!(first, second);
         assert_eq!(e.cache_stats().hits, 1);
+        // cache hits share one allocation — no per-hit clone of the list
+        assert!(Arc::ptr_eq(&first, &second), "hit must reuse the cached allocation");
         // the cached list equals a fresh rescore
-        assert_eq!(e.search_uncached(&q), second);
+        assert_eq!(e.search_uncached(&q)[..], second[..]);
     }
 
     #[test]
@@ -601,6 +799,24 @@ mod tests {
     }
 
     #[test]
+    fn shared_cache_works_across_shard_layouts() {
+        // Results are bit-identical across layouts, so the layout is not
+        // part of the cache key: a rebuild with a different shard count
+        // reuses the warm cache.
+        let shared = Arc::new(ResultCache::new(16));
+        let vocab = Vocabulary::observatory_default();
+        let c = catalog();
+        let e1 = SearchEngine::build(&c, vocab.clone()).with_shared_cache(shared.clone());
+        let q = Query::parse("with salinity limit 3").unwrap();
+        let first = e1.search(&q);
+        let e2 = SearchEngine::build_sharded(&c, vocab, ShardSpec::new(4, Partitioner::Spatial))
+            .with_shared_cache(shared.clone());
+        let second = e2.search(&q);
+        assert_eq!(first, second);
+        assert_eq!(shared.stats().hits, 1, "same generation, same key → warm hit");
+    }
+
+    #[test]
     fn synonym_query_finds_resolved_variable() {
         let e = engine();
         // "wtemp" is a curated alternate of water_temperature
@@ -621,6 +837,13 @@ mod tests {
     fn empty_engine() {
         let e = SearchEngine::build(&Catalog::new(), Vocabulary::observatory_default());
         assert!(e.is_empty());
+        assert!(e.search(&Query::parse("with salinity").unwrap()).is_empty());
+        // sharded over nothing is equally fine
+        let e = SearchEngine::build_sharded(
+            &Catalog::new(),
+            Vocabulary::observatory_default(),
+            ShardSpec::new(8, Partitioner::Spatial),
+        );
         assert!(e.search(&Query::parse("with salinity").unwrap()).is_empty());
     }
 
@@ -655,6 +878,9 @@ mod tests {
         assert!(ex.full_scan, "tiny catalog cannot fill limit*3 from indexes");
         assert_eq!(ex.candidates, e.len());
         assert_eq!(ex.workers, 1);
+        assert_eq!(ex.shards, 1);
+        assert_eq!(ex.shards_visited, 1);
+        assert_eq!(ex.shards_pruned, 0);
         // same query again: served from cache, no phases
         let (again, ex2) = e.search_explain(&q);
         assert!(ex2.cache_hit);
@@ -667,7 +893,11 @@ mod tests {
 
     #[test]
     fn dataset_lookup_by_hit_id() {
-        let e = engine();
+        let e = SearchEngine::build_sharded(
+            &catalog(),
+            Vocabulary::observatory_default(),
+            ShardSpec::new(3, Partitioner::Hash),
+        );
         let q = Query::parse("with salinity").unwrap();
         let hits = e.search(&q);
         let d = e.dataset(hits[0].id).unwrap();

@@ -36,6 +36,16 @@ pub struct SearchExplain {
     pub workers: usize,
     /// Hits returned.
     pub results: usize,
+    /// Shards in the engine's layout.
+    pub shards: usize,
+    /// Shards that contributed candidates and were scored.
+    pub shards_visited: usize,
+    /// Non-empty shards skipped entirely (no candidates after the probe).
+    pub shards_pruned: usize,
+    /// Index walks skipped because a shard bound excluded the query window.
+    pub shard_bound_skips: usize,
+    /// Datasets living in pruned shards — the probe work pruning avoided.
+    pub pruned_datasets: usize,
 }
 
 impl SearchExplain {
@@ -60,6 +70,12 @@ impl SearchExplain {
             "  probe {:>8} µs  ({} candidates, {mode})\n",
             self.probe_micros, self.candidates
         ));
+        if self.shards > 1 {
+            out.push_str(&format!(
+                "  shards {:>7}    ({} visited, {} pruned, {} datasets skipped)\n",
+                self.shards, self.shards_visited, self.shards_pruned, self.pruned_datasets
+            ));
+        }
         out.push_str(&format!(
             "  score {:>8} µs  ({} worker{})\n",
             self.score_micros,
@@ -89,6 +105,14 @@ pub(crate) struct SearchMetrics {
     pub merge_micros: Arc<Histogram>,
     /// `metamess_search_query_micros` — end-to-end cached-path latency.
     pub query_micros: Arc<Histogram>,
+    /// `metamess_search_shard_probe_micros` — one sample per shard probed.
+    pub shard_probe_micros: Arc<Histogram>,
+    /// `metamess_search_shard_score_micros` — one sample per scoring unit.
+    pub shard_score_micros: Arc<Histogram>,
+    /// `metamess_search_shards_visited_total` / `_pruned_total` — shards
+    /// scored vs. skipped with zero candidates.
+    pub shards_visited: Arc<Counter>,
+    pub shards_pruned: Arc<Counter>,
 }
 
 pub(crate) fn search_metrics() -> &'static SearchMetrics {
@@ -105,6 +129,10 @@ pub(crate) fn search_metrics() -> &'static SearchMetrics {
             score_micros: r.histogram("metamess_search_score_micros"),
             merge_micros: r.histogram("metamess_search_merge_micros"),
             query_micros: r.histogram("metamess_search_query_micros"),
+            shard_probe_micros: r.histogram("metamess_search_shard_probe_micros"),
+            shard_score_micros: r.histogram("metamess_search_shard_score_micros"),
+            shards_visited: r.counter("metamess_search_shards_visited_total"),
+            shards_pruned: r.counter("metamess_search_shards_pruned_total"),
         }
     })
 }
@@ -146,6 +174,24 @@ mod tests {
         assert!(text.contains("cache hit"));
         assert!(text.contains("served from result cache"));
         assert!(!text.contains("probe"));
+    }
+
+    #[test]
+    fn render_shows_shard_line_only_when_sharded() {
+        let single = SearchExplain { shards: 1, workers: 1, ..SearchExplain::default() };
+        assert!(!single.render().contains("shards"), "single-shard output stays unchanged");
+        let sharded = SearchExplain {
+            shards: 4,
+            shards_visited: 1,
+            shards_pruned: 3,
+            pruned_datasets: 120,
+            workers: 1,
+            ..SearchExplain::default()
+        };
+        let text = sharded.render();
+        assert!(text.contains("1 visited"), "{text}");
+        assert!(text.contains("3 pruned"), "{text}");
+        assert!(text.contains("120 datasets skipped"), "{text}");
     }
 
     #[test]

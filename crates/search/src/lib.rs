@@ -6,10 +6,15 @@
 //! interval index for candidate generation, and the text renderings of the
 //! poster's search-interface and dataset-summary figures.
 //!
-//! ## Concurrency, top-k, and caching
+//! ## Sharding, concurrency, top-k, and caching
 //!
 //! The read path is built to be parallel and allocation-lean:
 //!
+//! * The catalog is partitioned into shards at build time ([`ShardSpec`]):
+//!   each [`ShardEngine`] has its own indexes plus pruning bounds, and the
+//!   [`ShardedEngine`] coordinator fans queries out, prunes shards whose
+//!   bounds exclude the query, and merges per-shard results — bit-identical
+//!   to the unsharded engine at any shard count.
 //! * [`QueryPlan`] precomputes vocabulary expansion, hierarchy walks and
 //!   term normalization once per query (shared between candidate generation
 //!   and scoring via `Vocabulary::expand_keys` / `canonical_keys`).
@@ -32,12 +37,13 @@ mod plan;
 mod query;
 mod rtree;
 mod score;
+mod shard;
 mod summary;
 mod topk;
 
 pub use browse::{browse_all, browse_taxonomy, BrowseNode, BrowseTree};
 pub use cache::{CacheStats, ResultCache, DEFAULT_CACHE_CAPACITY};
-pub use engine::{SearchEngine, SearchHit};
+pub use engine::{SearchEngine, SearchHit, ShardedEngine};
 pub use explain::SearchExplain;
 pub use interval::IntervalIndex;
 pub use plan::QueryPlan;
@@ -47,6 +53,7 @@ pub use score::{
     prepared_term_score, score_dataset, score_dataset_prepared, spatial_score, temporal_score,
     variable_term_score, PreparedTerm, ScoreBreakdown,
 };
+pub use shard::{clamp_shards, Partitioner, ShardEngine, ShardSpec, MAX_SHARDS};
 pub use summary::{render_results, render_summary};
 pub use topk::TopK;
 
@@ -59,6 +66,7 @@ pub use topk::TopK;
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<SearchEngine>();
+    assert_send_sync::<ShardEngine>();
     assert_send_sync::<ResultCache>();
     assert_send_sync::<SearchHit>();
     assert_send_sync::<SearchExplain>();

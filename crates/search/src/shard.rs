@@ -1,0 +1,507 @@
+//! Catalog shards: partitioning, per-shard indexes, and pruning bounds.
+//!
+//! A [`ShardEngine`] is one slice of the catalog with its own R-tree,
+//! interval index, and term postings, plus *pruning bounds* — the union of
+//! its members' bounding boxes and time intervals. The coordinator (see
+//! `engine.rs`) probes every shard, but a shard whose bound cannot
+//! intersect the query window skips its index walk entirely, and a shard
+//! that ends up with no candidates is never scored at all.
+//!
+//! # Partitioner contract
+//!
+//! A partitioner maps every dataset to exactly one shard, deterministically
+//! from the catalog snapshot (catalog iteration order is `DatasetId`
+//! order). The assignment only affects *where* a dataset lives, never
+//! *whether* it is considered: the coordinator unions per-shard candidate
+//! sets, so results are bit-identical for every partitioner and shard
+//! count. Spatial/temporal partitioners exist purely to make the pruning
+//! bounds tight — co-locating datasets that are close in space (or time)
+//! means selective queries rule out whole shards.
+//!
+//! # Determinism of the nearest-neighbour merge
+//!
+//! `RTree::nearest` emits items in `(distance, payload index)` order, and
+//! shard members keep ascending global-index order, so each shard's
+//! nearest list is its `generous`-smallest under the global total order
+//! `(distance, global index)`. Merging the per-shard lists under that same
+//! order and truncating therefore selects exactly the set the unsharded
+//! engine's single `nearest` call would.
+
+use crate::engine::SearchHit;
+use crate::interval::IntervalIndex;
+use crate::plan::QueryPlan;
+use crate::query::{Query, SpatialTerm};
+use crate::rtree::RTree;
+use crate::score::{score_dataset_prepared, PreparedTerm};
+use metamess_core::feature::DatasetFeature;
+use metamess_core::geo::GeoBBox;
+use metamess_core::text::normalize_term;
+use metamess_core::time::TimeInterval;
+use metamess_vocab::Vocabulary;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Hard ceiling on the shard count. Beyond a few hundred shards the
+/// per-shard fixed probe cost dominates any pruning win, and an absurd
+/// `--shards` must not allocate an absurd number of index structures.
+pub const MAX_SHARDS: usize = 256;
+
+/// Clamps a requested shard count into the supported `1..=MAX_SHARDS`
+/// range (0 means "unsharded", i.e. one shard).
+pub fn clamp_shards(requested: usize) -> usize {
+    requested.clamp(1, MAX_SHARDS)
+}
+
+/// How datasets are assigned to shards at build time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partitioner {
+    /// Mixed `DatasetId` modulo shard count: uniform load, loose bounds.
+    Hash,
+    /// Contiguous ranges of datasets ordered by bbox centre (datasets
+    /// without a bbox fill the trailing shards): tight spatial bounds.
+    Spatial,
+    /// Contiguous ranges ordered by interval start (timeless datasets
+    /// trail): tight temporal bounds.
+    Temporal,
+}
+
+impl Partitioner {
+    /// Parses the CLI spelling (`hash` | `spatial` | `temporal`).
+    pub fn parse(text: &str) -> Option<Partitioner> {
+        match text.trim().to_ascii_lowercase().as_str() {
+            "hash" => Some(Partitioner::Hash),
+            "spatial" => Some(Partitioner::Spatial),
+            "temporal" => Some(Partitioner::Temporal),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Partitioner::Hash => "hash",
+            Partitioner::Spatial => "spatial",
+            Partitioner::Temporal => "temporal",
+        }
+    }
+
+    /// Maps each dataset (in catalog order) to a shard in `0..count`.
+    pub(crate) fn assign(&self, datasets: &[DatasetFeature], count: usize) -> Vec<usize> {
+        match self {
+            Partitioner::Hash => {
+                datasets.iter().map(|d| (mix64(d.id.0) % count as u64) as usize).collect()
+            }
+            Partitioner::Spatial => contiguous_by_key(datasets.len(), count, |ix| {
+                datasets[ix].bbox.as_ref().map(|b| {
+                    let c = b.center();
+                    (c.lon, c.lat)
+                })
+            }),
+            Partitioner::Temporal => contiguous_by_key(datasets.len(), count, |ix| {
+                datasets[ix].time.as_ref().map(|t| (t.start.0 as f64, t.end.0 as f64))
+            }),
+        }
+    }
+}
+
+/// SplitMix64 finalizer: `DatasetId`s are FNV hashes of paths, whose low
+/// bits correlate; mixing keeps the modulo assignment uniform.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Sorts `0..n` by an optional key (`None` sorts last, ties broken by
+/// index for determinism) and cuts the order into `count` contiguous
+/// chunks.
+fn contiguous_by_key<K: PartialOrd>(
+    n: usize,
+    count: usize,
+    key: impl Fn(usize) -> Option<K>,
+) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| match (key(a), key(b)) {
+        (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(Ordering::Equal).then_with(|| a.cmp(&b)),
+        (Some(_), None) => Ordering::Less,
+        (None, Some(_)) => Ordering::Greater,
+        (None, None) => a.cmp(&b),
+    });
+    let chunk = n.div_ceil(count).max(1);
+    let mut out = vec![0usize; n];
+    for (pos, &ix) in order.iter().enumerate() {
+        out[ix] = (pos / chunk).min(count - 1);
+    }
+    out
+}
+
+/// How a sharded engine is laid out: shard count plus partitioner. The
+/// count is clamped to `1..=MAX_SHARDS` at construction, so a spec is
+/// always valid by the time it reaches a builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    count: usize,
+    partitioner: Partitioner,
+}
+
+impl ShardSpec {
+    /// A spec with a clamped shard count.
+    pub fn new(count: usize, partitioner: Partitioner) -> ShardSpec {
+        ShardSpec { count: clamp_shards(count), partitioner }
+    }
+
+    /// The unsharded layout: one hash shard.
+    pub fn single() -> ShardSpec {
+        ShardSpec::new(1, Partitioner::Hash)
+    }
+
+    /// Shards in the layout (always `1..=MAX_SHARDS`).
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The partitioner assigning datasets to shards.
+    pub fn partitioner(&self) -> Partitioner {
+        self.partitioner
+    }
+}
+
+impl Default for ShardSpec {
+    fn default() -> ShardSpec {
+        ShardSpec::single()
+    }
+}
+
+/// What one shard's probe produced.
+#[derive(Debug, Default)]
+pub(crate) struct ShardProbe {
+    /// Local indices selected by the window/term indexes.
+    pub certain: BTreeSet<usize>,
+    /// Nearest-neighbour candidates as `(distance, global ix, local ix)`,
+    /// merged globally by the coordinator before any is admitted.
+    pub near: Vec<(f64, usize, usize)>,
+    /// Index walks skipped because the shard bound excluded the query.
+    pub bound_skips: usize,
+}
+
+/// One slice of the catalog with its own indexes and pruning bounds.
+pub struct ShardEngine {
+    datasets: Vec<DatasetFeature>,
+    /// Local index → position in the full catalog order. Strictly
+    /// increasing (members are added in catalog order), which the
+    /// nearest-merge determinism argument relies on.
+    global_ix: Vec<usize>,
+    rtree: RTree,
+    intervals: IntervalIndex,
+    terms: BTreeMap<String, Vec<usize>>,
+    /// Union of member bboxes (None when no member has one).
+    bbox_bound: Option<GeoBBox>,
+    /// Union of member time intervals (None when no member has one).
+    time_bound: Option<TimeInterval>,
+}
+
+impl ShardEngine {
+    /// Builds one shard over `members` (`(global index, feature)` pairs in
+    /// ascending global order).
+    pub(crate) fn build(members: Vec<(usize, DatasetFeature)>, vocab: &Vocabulary) -> ShardEngine {
+        let mut datasets = Vec::with_capacity(members.len());
+        let mut global_ix = Vec::with_capacity(members.len());
+        let mut spatial_entries = Vec::new();
+        let mut time_entries = Vec::new();
+        let mut terms: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut bbox_bound: Option<GeoBBox> = None;
+        let mut time_bound: Option<TimeInterval> = None;
+        for (gix, d) in members {
+            let ix = datasets.len();
+            global_ix.push(gix);
+            if let Some(b) = &d.bbox {
+                spatial_entries.push((*b, ix));
+                bbox_bound = Some(match bbox_bound {
+                    Some(acc) => acc.union(b),
+                    None => *b,
+                });
+            }
+            if let Some(t) = &d.time {
+                time_entries.push((*t, ix));
+                time_bound = Some(match time_bound {
+                    Some(acc) => TimeInterval::new(acc.start.min(t.start), acc.end.max(t.end)),
+                    None => *t,
+                });
+            }
+            for v in d.searchable_variables() {
+                // index under the canonical concept and every hierarchy
+                // ancestor (shared helper with query planning), plus the
+                // raw and search spellings
+                let mut keys: BTreeSet<String> = vocab.canonical_keys(v.search_name());
+                keys.insert(normalize_term(&v.name));
+                keys.insert(normalize_term(v.search_name()));
+                for k in keys {
+                    let posting = terms.entry(k).or_default();
+                    if posting.last() != Some(&ix) {
+                        posting.push(ix);
+                    }
+                }
+            }
+            datasets.push(d);
+        }
+        ShardEngine {
+            rtree: RTree::build(spatial_entries),
+            intervals: IntervalIndex::build(time_entries),
+            terms,
+            bbox_bound,
+            time_bound,
+            datasets,
+            global_ix,
+        }
+    }
+
+    /// Datasets in this shard.
+    pub fn len(&self) -> usize {
+        self.datasets.len()
+    }
+
+    /// True when the shard holds no datasets.
+    pub fn is_empty(&self) -> bool {
+        self.datasets.is_empty()
+    }
+
+    /// The dataset at a local index.
+    pub fn dataset(&self, local_ix: usize) -> &DatasetFeature {
+        &self.datasets[local_ix]
+    }
+
+    /// Union of member bounding boxes (the spatial pruning bound).
+    pub fn bbox_bound(&self) -> Option<&GeoBBox> {
+        self.bbox_bound.as_ref()
+    }
+
+    /// Union of member time intervals (the temporal pruning bound).
+    pub fn time_bound(&self) -> Option<&TimeInterval> {
+        self.time_bound.as_ref()
+    }
+
+    /// Candidate generation against this shard's indexes. Window walks are
+    /// skipped (and counted) when the shard bound excludes the query;
+    /// nearest-neighbour lists are always collected — distance has no
+    /// bound — and merged globally by the coordinator.
+    pub(crate) fn probe(&self, query: &Query, plan: &QueryPlan, generous: usize) -> ShardProbe {
+        let mut p = ShardProbe::default();
+        if let Some(spatial) = &query.spatial {
+            match spatial {
+                SpatialTerm::Near { point, radius_km } => {
+                    self.collect_near(point, generous, &mut p);
+                    let window = near_window(point, *radius_km);
+                    if self.bound_admits_bbox(&window) {
+                        p.certain.extend(self.rtree.intersecting(&window));
+                    } else if !self.rtree.is_empty() {
+                        p.bound_skips += 1;
+                    }
+                }
+                SpatialTerm::Region(region) => {
+                    if self.bound_admits_bbox(region) {
+                        p.certain.extend(self.rtree.intersecting(region));
+                    } else if !self.rtree.is_empty() {
+                        p.bound_skips += 1;
+                    }
+                    self.collect_near(&region.center(), generous, &mut p);
+                }
+            }
+        }
+        if let Some(window) = &query.time {
+            let expanded = expanded_time(window);
+            if self.time_bound.as_ref().is_some_and(|b| b.overlaps(&expanded)) {
+                p.certain.extend(self.intervals.overlapping(&expanded));
+            } else if !self.intervals.is_empty() {
+                p.bound_skips += 1;
+            }
+        }
+        for keys in &plan.term_keys {
+            for k in keys {
+                if let Some(postings) = self.terms.get(k) {
+                    p.certain.extend(postings.iter().copied());
+                }
+            }
+        }
+        p
+    }
+
+    fn bound_admits_bbox(&self, window: &GeoBBox) -> bool {
+        self.bbox_bound.as_ref().is_some_and(|b| b.intersects(window))
+    }
+
+    fn collect_near(
+        &self,
+        point: &metamess_core::geo::GeoPoint,
+        generous: usize,
+        p: &mut ShardProbe,
+    ) {
+        for (ix, dist) in self.rtree.nearest(point, generous) {
+            p.near.push((dist, self.global_ix[ix], ix));
+        }
+    }
+
+    /// Scores one local candidate exactly.
+    pub(crate) fn score_hit(
+        &self,
+        query: &Query,
+        prepared: &[PreparedTerm],
+        vocab: &Vocabulary,
+        local_ix: usize,
+    ) -> SearchHit {
+        let d = &self.datasets[local_ix];
+        let breakdown = score_dataset_prepared(query, prepared, d, vocab);
+        SearchHit {
+            id: d.id,
+            path: d.path.clone(),
+            title: d.title.clone(),
+            score: breakdown.total,
+            breakdown,
+        }
+    }
+}
+
+/// The "everything within 4 radii" window a `near` clause probes — shared
+/// by every shard so the sharded and unsharded candidate sets agree by
+/// construction.
+pub(crate) fn near_window(point: &metamess_core::geo::GeoPoint, radius_km: f64) -> GeoBBox {
+    let dlat = 4.0 * radius_km / 111.0;
+    let dlon = 4.0 * radius_km / (111.0 * point.lat.to_radians().cos().max(0.1));
+    GeoBBox {
+        min_lat: (point.lat - dlat).max(-90.0),
+        max_lat: (point.lat + dlat).min(90.0),
+        min_lon: (point.lon - dlon).max(-180.0),
+        max_lon: (point.lon + dlon).min(180.0),
+    }
+}
+
+/// The padded window a time clause probes (similarity ranking wants
+/// near-misses as candidates too).
+pub(crate) fn expanded_time(window: &TimeInterval) -> TimeInterval {
+    let pad = (window.duration_secs() as i64).max(86_400);
+    TimeInterval::new(window.start.plus_seconds(-pad), window.end.plus_seconds(pad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metamess_core::geo::GeoPoint;
+    use metamess_core::time::Timestamp;
+
+    fn feature(path: &str, lat: f64, lon: f64, month: u32) -> DatasetFeature {
+        let mut d = DatasetFeature::new(path);
+        d.bbox = Some(GeoBBox::point(GeoPoint::new(lat, lon).unwrap()));
+        d.time = Some(TimeInterval::new(
+            Timestamp::from_ymd(2012, month, 1).unwrap(),
+            Timestamp::from_ymd(2012, month, 28).unwrap(),
+        ));
+        d
+    }
+
+    #[test]
+    fn clamp_shards_bounds_every_input() {
+        assert_eq!(clamp_shards(0), 1);
+        assert_eq!(clamp_shards(1), 1);
+        assert_eq!(clamp_shards(97), 97);
+        assert_eq!(clamp_shards(MAX_SHARDS), MAX_SHARDS);
+        assert_eq!(clamp_shards(MAX_SHARDS + 1), MAX_SHARDS);
+        assert_eq!(clamp_shards(usize::MAX), MAX_SHARDS);
+    }
+
+    #[test]
+    fn spec_clamps_on_construction() {
+        assert_eq!(ShardSpec::new(0, Partitioner::Hash).count(), 1);
+        assert_eq!(ShardSpec::new(4096, Partitioner::Spatial).count(), MAX_SHARDS);
+        assert_eq!(ShardSpec::default(), ShardSpec::single());
+        assert_eq!(ShardSpec::single().count(), 1);
+    }
+
+    #[test]
+    fn partitioner_parses_cli_spellings() {
+        assert_eq!(Partitioner::parse("hash"), Some(Partitioner::Hash));
+        assert_eq!(Partitioner::parse(" SPATIAL "), Some(Partitioner::Spatial));
+        assert_eq!(Partitioner::parse("temporal"), Some(Partitioner::Temporal));
+        assert_eq!(Partitioner::parse("geo"), None);
+        for p in [Partitioner::Hash, Partitioner::Spatial, Partitioner::Temporal] {
+            assert_eq!(Partitioner::parse(p.as_str()), Some(p));
+        }
+    }
+
+    #[test]
+    fn every_partitioner_assigns_every_dataset_exactly_once() {
+        let datasets: Vec<DatasetFeature> = (0..23)
+            .map(|i| feature(&format!("d{i}.csv"), 45.0 + i as f64 * 0.1, -124.0, 1 + i % 12))
+            .collect();
+        for p in [Partitioner::Hash, Partitioner::Spatial, Partitioner::Temporal] {
+            let assignment = p.assign(&datasets, 4);
+            assert_eq!(assignment.len(), datasets.len());
+            assert!(assignment.iter().all(|&s| s < 4), "{p:?}");
+            // deterministic
+            assert_eq!(assignment, p.assign(&datasets, 4));
+        }
+    }
+
+    #[test]
+    fn spatial_partitioner_places_unlocated_datasets_last() {
+        let mut datasets: Vec<DatasetFeature> =
+            (0..8).map(|i| feature(&format!("d{i}.csv"), 45.0 + i as f64, -124.0, 1)).collect();
+        let mut bare = DatasetFeature::new("bare.csv");
+        bare.time = None;
+        datasets.push(bare);
+        let assignment = Partitioner::Spatial.assign(&datasets, 3);
+        assert_eq!(assignment[8], 2, "dataset without bbox must land in the last shard");
+        let temporal = Partitioner::Temporal.assign(&datasets, 3);
+        assert_eq!(temporal[8], 2, "dataset without time must land in the last shard");
+    }
+
+    #[test]
+    fn shard_bounds_cover_all_members() {
+        let vocab = Vocabulary::observatory_default();
+        let members: Vec<(usize, DatasetFeature)> = (0..6)
+            .map(|i| {
+                (i, feature(&format!("d{i}.csv"), 44.0 + i as f64, -124.0 + i as f64, 1 + i as u32))
+            })
+            .collect();
+        let features: Vec<DatasetFeature> = members.iter().map(|(_, d)| d.clone()).collect();
+        let shard = ShardEngine::build(members, &vocab);
+        let bbox = shard.bbox_bound().expect("members have bboxes");
+        let time = shard.time_bound().expect("members have intervals");
+        for d in &features {
+            let b = d.bbox.as_ref().unwrap();
+            assert!(bbox.intersects(b));
+            assert!(time.overlaps(d.time.as_ref().unwrap()));
+            assert!(bbox.min_lat <= b.min_lat && bbox.max_lat >= b.max_lat);
+        }
+        assert_eq!(shard.len(), 6);
+    }
+
+    #[test]
+    fn empty_shard_probe_is_empty() {
+        let vocab = Vocabulary::observatory_default();
+        let shard = ShardEngine::build(Vec::new(), &vocab);
+        assert!(shard.is_empty());
+        let q =
+            Query::parse("near 45.0,-124.0 from 2012-01-01 to 2012-02-01 with salinity").unwrap();
+        let plan = QueryPlan::prepare(&q, &vocab);
+        let p = shard.probe(&q, &plan, 50);
+        assert!(p.certain.is_empty());
+        assert!(p.near.is_empty());
+        assert_eq!(p.bound_skips, 0, "an empty shard has nothing to prune");
+    }
+
+    #[test]
+    fn bound_excludes_far_query_window() {
+        let vocab = Vocabulary::observatory_default();
+        let members: Vec<(usize, DatasetFeature)> =
+            (0..4).map(|i| (i, feature(&format!("d{i}.csv"), 45.0, -124.0, 6))).collect();
+        let shard = ShardEngine::build(members, &vocab);
+        // Region query on the other side of the globe: the bound excludes
+        // it, so the intersect walk is skipped — but nearest still runs.
+        let q = Query::parse("in 50.0,-10.0..51.0,-9.0").unwrap();
+        let plan = QueryPlan::prepare(&q, &vocab);
+        let p = shard.probe(&q, &plan, 50);
+        assert_eq!(p.bound_skips, 1);
+        assert_eq!(p.near.len(), 4, "nearest candidates are distance-based, never pruned");
+    }
+}

@@ -103,7 +103,7 @@ proptest! {
         for w in hits.windows(2) {
             prop_assert!(w[0].score >= w[1].score);
         }
-        for h in &hits {
+        for h in hits.iter() {
             prop_assert!((0.0..=1.0).contains(&h.score), "{}", h.score);
             for s in [h.breakdown.space, h.breakdown.time, h.breakdown.variables]
                 .into_iter()
@@ -142,7 +142,7 @@ proptest! {
         prop_assert_eq!(&cached, &first);
         // a cache hit must equal a fresh rescore, bit for bit
         let fresh = engine.search_uncached(&query);
-        prop_assert_eq!(&cached, &fresh);
+        prop_assert_eq!(&cached[..], &fresh[..]);
     }
 
     #[test]

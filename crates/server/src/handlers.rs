@@ -85,7 +85,7 @@ fn search(state: &ServeState, req: &Request) -> Response {
             render(&SearchBody {
                 generation: epoch.generation,
                 count: hits.len(),
-                hits: &hits,
+                hits: &hits[..],
                 explain: Some(&explain),
             }),
         )
@@ -96,7 +96,7 @@ fn search(state: &ServeState, req: &Request) -> Response {
             render(&SearchBody {
                 generation: epoch.generation,
                 count: hits.len(),
-                hits: &hits,
+                hits: &hits[..],
                 explain: None,
             }),
         )
@@ -144,6 +144,7 @@ fn healthz(state: &ServeState) -> Response {
         generation: u64,
         epoch: u64,
         datasets: usize,
+        shards: usize,
         reloads: u64,
     }
     let epoch = state.epoch();
@@ -154,6 +155,7 @@ fn healthz(state: &ServeState) -> Response {
             generation: epoch.generation,
             epoch: epoch.epoch,
             datasets: epoch.datasets,
+            shards: epoch.engine.shard_count(),
             reloads: state.reloads(),
         }),
     )
@@ -323,6 +325,29 @@ mod tests {
         let v = body_json(&resp);
         assert_eq!(v["status"], "ok");
         assert_eq!(v["datasets"], 2);
+        assert_eq!(v["shards"], 1, "default layout is unsharded");
+    }
+
+    #[test]
+    fn sharded_state_serves_and_reports_shards() {
+        let d = std::env::temp_dir().join(format!("metamess-hand-sharded-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        let mut s = DurableCatalog::open(d.join("catalog"), StoreOptions::default()).unwrap();
+        for i in 0..6 {
+            let mut f = DatasetFeature::new(format!("2014/07/site{i}.csv"));
+            f.variables.push(metamess_core::VariableFeature::new("water_temperature"));
+            s.put(f).unwrap();
+        }
+        s.checkpoint().unwrap();
+        drop(s);
+        let spec = metamess_search::ShardSpec::new(4, metamess_search::Partitioner::Hash);
+        let state = ServeState::open_sharded(PathBuf::from(&d), spec).unwrap();
+        let (_, resp) = handle(&state, &get("/healthz"));
+        assert_eq!(body_json(&resp)["shards"], 4);
+        let (_, resp) = handle(&state, &post("/search", &[], r#"{"q":"with water_temperature"}"#));
+        assert_eq!(resp.status, 200);
+        assert_eq!(body_json(&resp)["count"].as_u64().unwrap(), 6);
     }
 
     #[test]

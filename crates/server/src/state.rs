@@ -20,7 +20,9 @@
 use crate::metrics;
 use metamess_core::store::{lock_path, StoreLock};
 use metamess_core::{DurableCatalog, Result, StoreOptions};
-use metamess_search::{browse_all, BrowseTree, ResultCache, SearchEngine, DEFAULT_CACHE_CAPACITY};
+use metamess_search::{
+    browse_all, BrowseTree, ResultCache, SearchEngine, ShardSpec, DEFAULT_CACHE_CAPACITY,
+};
 use metamess_vocab::Vocabulary;
 use parking_lot::{Mutex, RwLock};
 use std::path::{Path, PathBuf};
@@ -89,6 +91,10 @@ impl StoreSignature {
 /// Everything the worker pool shares: store handle, current epoch, cache.
 pub struct ServeState {
     store_dir: PathBuf,
+    /// Shard layout every epoch is built with: a hot reload rebuilds the
+    /// whole shard set off to the side and swaps it atomically inside the
+    /// epoch, so requests never observe a half-resharded catalog.
+    spec: ShardSpec,
     /// Generation-stamped result cache, shared across epochs.
     cache: Arc<ResultCache>,
     current: RwLock<Arc<EngineEpoch>>,
@@ -103,8 +109,15 @@ pub struct ServeState {
 }
 
 impl ServeState {
-    /// Opens the store and builds the first epoch.
+    /// Opens the store and builds the first (unsharded) epoch.
     pub fn open(store_dir: impl Into<PathBuf>) -> Result<ServeState> {
+        ServeState::open_sharded(store_dir, ShardSpec::default())
+    }
+
+    /// Opens the store and builds the first epoch partitioned per `spec`.
+    /// Every subsequent hot reload rebuilds the same layout (clamped to
+    /// the supported shard range by the spec itself).
+    pub fn open_sharded(store_dir: impl Into<PathBuf>, spec: ShardSpec) -> Result<ServeState> {
         let store_dir = store_dir.into();
         let lock = StoreLock::shared(lock_path(&store_dir.join("catalog")))?;
         let cache = Arc::new(ResultCache::new(DEFAULT_CACHE_CAPACITY));
@@ -112,15 +125,21 @@ impl ServeState {
         // as a change on the first poll (one redundant reload) instead of
         // being folded into the stored signature and never noticed.
         let signature = StoreSignature::capture(&store_dir);
-        let epoch = load_epoch(&store_dir, &cache, 0)?;
+        let epoch = load_epoch(&store_dir, &cache, 0, spec)?;
         Ok(ServeState {
             store_dir,
+            spec,
             cache,
             current: RwLock::new(Arc::new(epoch)),
             reload_state: Mutex::new(signature),
             reloads: AtomicU64::new(0),
             _lock: lock,
         })
+    }
+
+    /// The shard layout every epoch is built with.
+    pub fn shard_spec(&self) -> ShardSpec {
+        self.spec
     }
 
     /// The store being served.
@@ -150,7 +169,7 @@ impl ServeState {
         // fold that publish into the stored signature and serve the stale
         // epoch until yet another publish.
         let observed = StoreSignature::capture(&self.store_dir);
-        let next = load_epoch(&self.store_dir, &self.cache, previous.epoch + 1)?;
+        let next = load_epoch(&self.store_dir, &self.cache, previous.epoch + 1, self.spec)?;
         *sig = observed;
         if next.generation == previous.generation {
             return Ok(ReloadOutcome::Unchanged { generation: previous.generation });
@@ -182,7 +201,12 @@ impl ServeState {
 /// Opens the durable store and builds one serving epoch from it. The store
 /// handle is dropped after the build — the `ServeState` lifetime lock is
 /// what keeps repairers out.
-fn load_epoch(store_dir: &Path, cache: &Arc<ResultCache>, epoch: u64) -> Result<EngineEpoch> {
+fn load_epoch(
+    store_dir: &Path,
+    cache: &Arc<ResultCache>,
+    epoch: u64,
+    spec: ShardSpec,
+) -> Result<EngineEpoch> {
     let store = DurableCatalog::open(store_dir.join("catalog"), StoreOptions::default())?;
     let vocab_path = store_dir.join("vocabulary.json");
     let vocab = if vocab_path.exists() {
@@ -193,7 +217,8 @@ fn load_epoch(store_dir: &Path, cache: &Arc<ResultCache>, epoch: u64) -> Result<
     let browse = browse_all(store.catalog(), &vocab);
     let generation = store.catalog().generation();
     let datasets = store.catalog().len();
-    let engine = SearchEngine::build(store.catalog(), vocab).with_shared_cache(cache.clone());
+    let engine =
+        SearchEngine::build_sharded(store.catalog(), vocab, spec).with_shared_cache(cache.clone());
     Ok(EngineEpoch { engine, browse, generation, epoch, datasets })
 }
 
@@ -227,6 +252,28 @@ mod tests {
         assert_eq!(epoch.datasets, 2);
         assert_eq!(epoch.epoch, 0);
         assert!(epoch.generation > 0);
+    }
+
+    #[test]
+    fn open_sharded_clamps_and_keeps_layout_across_reloads() {
+        use metamess_search::Partitioner;
+        let dir = fixture_store("sharded");
+        let spec = ShardSpec::new(0, Partitioner::Spatial); // clamped to 1
+        let state = ServeState::open_sharded(&dir, spec).unwrap();
+        assert_eq!(state.shard_spec().count(), 1);
+        let dir = fixture_store("sharded4");
+        let state = ServeState::open_sharded(&dir, ShardSpec::new(4, Partitioner::Hash)).unwrap();
+        assert_eq!(state.epoch().engine.shard_count(), 4);
+        // a publish + reload swaps the whole shard set atomically inside
+        // the epoch — the new epoch has the same layout
+        publish_one_more(&dir, "2014/08/c.csv");
+        match state.reload().unwrap() {
+            ReloadOutcome::Reloaded { .. } => {}
+            other => panic!("expected a swap, got {other:?}"),
+        }
+        let epoch = state.epoch();
+        assert_eq!(epoch.engine.shard_count(), 4);
+        assert_eq!(epoch.datasets, 3);
     }
 
     #[test]

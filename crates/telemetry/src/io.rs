@@ -140,6 +140,28 @@ mod tests {
     }
 
     #[test]
+    fn shard_metrics_round_trip_identically() {
+        // `metamess stats` and the server's `/metrics` both render a
+        // persisted-and-merged snapshot; the shard scatter-gather metrics
+        // must survive that loop like every other family — same JSON, same
+        // Prometheus text.
+        let r = MetricsRegistry::new(true);
+        r.counter("metamess_search_shards_visited_total").add(6);
+        r.counter("metamess_search_shards_pruned_total").add(2);
+        let probe = r.histogram("metamess_search_shard_probe_micros");
+        probe.record(12);
+        probe.record(340);
+        r.histogram("metamess_search_shard_score_micros").record(77);
+        let snap = r.snapshot();
+        let reread = parse_json(&snap.render_json()).unwrap();
+        assert_eq!(reread, snap);
+        assert_eq!(reread.render_prometheus(), snap.render_prometheus());
+        assert_eq!(reread.counters["metamess_search_shards_visited_total"], 6);
+        assert_eq!(reread.counters["metamess_search_shards_pruned_total"], 2);
+        assert_eq!(reread.histograms["metamess_search_shard_probe_micros"].count, 2);
+    }
+
+    #[test]
     fn missing_or_garbage_reads_as_none() {
         let path = tmp("miss");
         assert!(load_snapshot(&path).is_none());

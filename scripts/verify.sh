@@ -55,6 +55,14 @@ echo "==> serve smoke: exp8 --quick (load, shed, hot reload, graceful drain)"
 # and reload; timeout guards against a hung accept loop ever blocking CI.
 timeout 300 cargo run --release -q -p metamess-bench --bin exp8_serve -- --quick
 
+echo "==> sharding: bit-identity property tests"
+cargo test -q -p metamess-search --test shard_props
+
+echo "==> shard smoke: exp9 --quick (scatter-gather identity + pruning)"
+# Hard-asserts sharded == unsharded for every layout and that the spatial/
+# temporal partitioners actually prune shards on selective queries.
+timeout 300 cargo run --release -q -p metamess-bench --bin exp9_shard_scaling -- --quick
+
 echo "==> crash-consistency torture suite (${METAMESS_TORTURE_CASES} seeded cases)"
 cargo test -q -p metamess-core --test torture --release
 

@@ -3,12 +3,13 @@
 //! ```text
 //! metamess generate <dir> [--seed N] [--months N] [--stations N]
 //! metamess wrangle  <dir> [--store <store-dir>] [--expert] [--explain]
-//! metamess search   <store-dir> <query...> [--explain]
+//! metamess search   <store-dir> <query...> [--explain] [--shards N] [--partition P]
 //! metamess summary  <store-dir> <dataset-path>
 //! metamess stats    <store-dir> [--prometheus|--json] [--reset]
 //! metamess validate <dir>
 //! metamess fsck     <store-dir> [--json] [--repair]
 //! metamess serve    <store-dir> [--addr H:P] [--workers N] [--queue-depth N]
+//!                   [--shards N] [--partition P]
 //! ```
 //!
 //! `wrangle` runs the full curation loop over an archive directory and
@@ -21,7 +22,7 @@
 use metamess::core::{DurableCatalog, StoreOptions};
 use metamess::pipeline::Severity;
 use metamess::prelude::*;
-use metamess::search::{render_results, render_summary};
+use metamess::search::{render_results, render_summary, Partitioner, ShardSpec, MAX_SHARDS};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -62,10 +63,14 @@ usage:
       persist the published catalog and vocabulary into the store directory
       (default: <dir>/.metamess); --expert adds the hand-curated synonym set;
       --explain prints the telemetry recorded during the run
-  metamess search <store-dir> <query...> [--explain]
+  metamess search <store-dir> <query...> [--explain] [--shards N] [--partition P]
       ranked search, e.g.:
       metamess search ./arc/.metamess near 45.5,-124.4 within 50km with salinity
-      --explain appends a per-phase breakdown (plan/probe/score/merge)
+      --explain appends a per-phase breakdown (plan/probe/score/merge);
+      --shards splits the catalog into N shards (clamped to 1..=256) searched
+      scatter-gather; --partition picks the layout (hash|spatial|temporal —
+      spatial/temporal give shards prunable bounds); results are identical
+      to unsharded at any shard count
   metamess summary <store-dir> <dataset-path>
       render the dataset summary page for a catalog entry
   metamess stats <store-dir> [--prometheus|--json] [--reset]
@@ -82,14 +87,38 @@ usage:
       into <store>/state/quarantine; --json emits the machine-readable
       report; exits nonzero when damage was found and not repaired
   metamess serve <store-dir> [--addr H:P] [--workers N] [--queue-depth N]
+                 [--shards N] [--partition P]
       serve the store over HTTP (POST /search, GET /datasets/<path>,
       GET /browse, GET /healthz, GET /metrics, POST /admin/reload) with a
       bounded worker pool; excess load is shed with 503 Retry-After, and
-      republished stores are hot-reloaded without dropping requests;
+      republished stores are hot-reloaded without dropping requests
+      (reloads rebuild the full shard set and swap it atomically);
       SIGTERM / ctrl-c drain in-flight work before exiting";
 
 fn parse_flag(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|ix| args.get(ix + 1).cloned())
+}
+
+/// Reads `--shards N` / `--partition hash|spatial|temporal` into a
+/// [`ShardSpec`]. The count is clamped to `1..=MAX_SHARDS` by the spec
+/// constructor (so `--shards 0` means "unsharded" and absurd counts are
+/// capped rather than rejected); an unknown partitioner name is an error.
+fn parse_shard_flags(args: &[String]) -> Result<ShardSpec, metamess::core::Error> {
+    let count = match parse_flag(args, "--shards") {
+        Some(n) => n.parse::<usize>().map_err(|_| {
+            metamess::core::Error::invalid(format!("bad --shards (expected 0..={MAX_SHARDS})"))
+        })?,
+        None => 1,
+    };
+    let partitioner = match parse_flag(args, "--partition") {
+        Some(p) => Partitioner::parse(&p).ok_or_else(|| {
+            metamess::core::Error::invalid(format!(
+                "bad --partition {p:?} (expected hash, spatial or temporal)"
+            ))
+        })?,
+        None => Partitioner::Hash,
+    };
+    Ok(ShardSpec::new(count, partitioner))
 }
 
 fn cmd_generate(args: &[String]) -> Result<(), metamess::core::Error> {
@@ -225,7 +254,7 @@ fn expert_synonyms() -> Vec<(String, String)> {
     .collect()
 }
 
-fn open_engine(store_dir: &Path) -> Result<SearchEngine, metamess::core::Error> {
+fn open_engine(store_dir: &Path, spec: ShardSpec) -> Result<SearchEngine, metamess::core::Error> {
     let (catalog_dir, vocab_path) = store_paths(store_dir);
     let store = DurableCatalog::open(&catalog_dir, StoreOptions::default())?;
     let vocab = if vocab_path.exists() {
@@ -233,7 +262,26 @@ fn open_engine(store_dir: &Path) -> Result<SearchEngine, metamess::core::Error> 
     } else {
         Vocabulary::observatory_default()
     };
-    Ok(SearchEngine::build(store.catalog(), vocab))
+    Ok(SearchEngine::build_sharded(store.catalog(), vocab, spec))
+}
+
+/// Strips `--explain` plus the value-taking shard flags out of the
+/// positional arguments, leaving only the query words.
+fn query_words(args: &[String]) -> Vec<String> {
+    let mut words = Vec::new();
+    let mut skip_value = false;
+    for a in args {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        match a.as_str() {
+            "--explain" => {}
+            "--shards" | "--partition" => skip_value = true,
+            _ => words.push(a.clone()),
+        }
+    }
+    words
 }
 
 fn cmd_search(args: &[String]) -> Result<(), metamess::core::Error> {
@@ -241,12 +289,12 @@ fn cmd_search(args: &[String]) -> Result<(), metamess::core::Error> {
         .first()
         .ok_or_else(|| metamess::core::Error::invalid("search needs a store directory"))?;
     let explain = args.iter().any(|a| a == "--explain");
-    let query_text =
-        args[1..].iter().filter(|a| *a != "--explain").cloned().collect::<Vec<_>>().join(" ");
+    let spec = parse_shard_flags(args)?;
+    let query_text = query_words(&args[1..]).join(" ");
     if query_text.trim().is_empty() {
         return Err(metamess::core::Error::invalid("search needs a query"));
     }
-    let engine = open_engine(Path::new(store_dir))?;
+    let engine = open_engine(Path::new(store_dir), spec)?;
     let query = Query::parse(&query_text)?;
     if explain {
         let (hits, breakdown) = engine.search_explain(&query);
@@ -301,7 +349,7 @@ fn cmd_summary(args: &[String]) -> Result<(), metamess::core::Error> {
     let path = args
         .get(1)
         .ok_or_else(|| metamess::core::Error::invalid("summary needs a dataset path"))?;
-    let engine = open_engine(Path::new(store_dir))?;
+    let engine = open_engine(Path::new(store_dir), ShardSpec::default())?;
     let id = metamess::core::DatasetId::from_path(path);
     let d = engine
         .dataset(id)
@@ -377,8 +425,9 @@ fn cmd_serve(args: &[String]) -> Result<(), metamess::core::Error> {
         config.queue_depth =
             q.parse().map_err(|_| metamess::core::Error::invalid("bad --queue-depth"))?;
     }
+    let spec = parse_shard_flags(args)?;
 
-    let state = std::sync::Arc::new(metamess::server::ServeState::open(&store_dir)?);
+    let state = std::sync::Arc::new(metamess::server::ServeState::open_sharded(&store_dir, spec)?);
     let epoch = state.epoch();
     let server = metamess::server::Server::bind(state, config)?;
     server.shutdown_handle().install_signal_handlers();

@@ -186,6 +186,60 @@ fn fsck_detects_and_repairs_corruption() {
     assert!(ok, "{stderr}");
 }
 
+/// Sharded search through the CLI: identical bytes to unsharded output,
+/// clamped shard counts, shard telemetry in `stats`, and a clean error for
+/// an unknown partitioner.
+#[test]
+fn sharded_search_cli() {
+    let dir = std::env::temp_dir().join(format!("metamess-cli-shard-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_str().unwrap();
+    run(&["generate", dir_s, "--months", "3", "--stations", "4"]);
+    let (ok, _, stderr) = run(&["wrangle", dir_s, "--expert"]);
+    assert!(ok, "{stderr}");
+    let store = dir.join(".metamess");
+    let store_s = store.to_str().unwrap();
+
+    // scatter-gather is invisible in the results: byte-identical stdout
+    let query = ["near", "46.2,-123.9", "within", "50km", "with", "salinity", "limit", "5"];
+    let mut unsharded = vec!["search", store_s];
+    unsharded.extend_from_slice(&query);
+    let (ok, baseline, stderr) = run(&unsharded);
+    assert!(ok, "{stderr}");
+    assert!(baseline.contains("1. ["), "{baseline}");
+    for partition in ["hash", "spatial", "temporal"] {
+        let mut sharded = vec!["search", store_s, "--shards", "4", "--partition", partition];
+        sharded.extend_from_slice(&query);
+        let (ok, stdout, stderr) = run(&sharded);
+        assert!(ok, "{stderr}");
+        assert_eq!(stdout, baseline, "--partition {partition} changed the results");
+    }
+
+    // --shards 0 means "unsharded" (clamped to 1), not an error
+    let mut clamped = vec!["search", store_s, "--shards", "0"];
+    clamped.extend_from_slice(&query);
+    let (ok, stdout, stderr) = run(&clamped);
+    assert!(ok, "{stderr}");
+    assert_eq!(stdout, baseline);
+
+    // --explain reports the shard fan-out when sharded
+    let mut explain = vec!["search", store_s, "--shards", "4", "--explain"];
+    explain.extend_from_slice(&query);
+    let (ok, stdout, stderr) = run(&explain);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("shards"), "{stdout}");
+
+    // the searches above recorded shard telemetry into the store
+    let (ok, stdout, stderr) = run(&["stats", store_s]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("metamess_search_shards_visited_total"), "{stdout}");
+
+    // an unknown partitioner is a clean error
+    let (ok, _, stderr) = run(&["search", store_s, "--shards", "2", "--partition", "zodiac", "x"]);
+    assert!(!ok);
+    assert!(stderr.contains("--partition"), "{stderr}");
+}
+
 #[test]
 fn telemetry_can_be_disabled() {
     let dir = std::env::temp_dir().join(format!("metamess-cli-notelem-{}", std::process::id()));
