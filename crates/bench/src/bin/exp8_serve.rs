@@ -8,11 +8,21 @@
 //! Retry-After`, never a hang) when the accept queue is full.
 //!
 //! ```text
-//! cargo run --release -p metamess-bench --bin exp8_serve [-- --quick] [--json [path]]
+//! cargo run --release -p metamess-bench --bin exp8_serve \
+//!     [-- --quick] [--json [path]] [--baseline <path>]
 //! ```
 //!
 //! `--json` additionally writes a schema-stable `BENCH_serve.json` with
 //! throughput, p50/p95/p99 latency, shed rate, and the drain outcome.
+//! The `event_loop.*` scenario stresses the readiness loop directly:
+//! closed-loop load at 10x the worker count while eight slow-loris
+//! connections trickle one byte per 100ms — under the old
+//! thread-per-connection design those eight alone would own every worker.
+//!
+//! `--baseline <path>` compares this run's `*.p99_micros` metrics against
+//! a committed report and exits nonzero on a >25% regression (small
+//! absolute values are ignored as scheduler noise); when the file does not
+//! exist yet it is bootstrapped from this run instead.
 
 use metamess_archive::ArchiveSpec;
 use metamess_bench::{json_flag, wrangle_archive, BenchReport};
@@ -86,10 +96,61 @@ fn percentile(sorted: &[u64], q: f64) -> u64 {
     sorted[ix - 1]
 }
 
+/// Fails the run (exit 1) when any `*.p99_micros` metric regressed more
+/// than 25% against the committed baseline report. Values at or below
+/// `NOISE_FLOOR_MICROS` are skipped: a 2ms p99 doubling to 4ms on a busy
+/// CI box is scheduler jitter, not a lost event loop.
+fn check_baseline(report: &BenchReport, path: &Path) {
+    const NOISE_FLOOR_MICROS: u64 = 2_000;
+    if !path.exists() {
+        report.write(path).expect("bootstrap baseline report");
+        println!("\nbaseline {} missing -- bootstrapped it from this run", path.display());
+        return;
+    }
+    let text = std::fs::read_to_string(path).expect("read baseline report");
+    let committed: serde_json::Value = serde_json::from_str(&text).expect("parse baseline report");
+    let metrics = committed["metrics"].as_object().expect("baseline metrics map");
+    let current: serde_json::Value =
+        serde_json::from_str(&report.render()).expect("current report renders valid json");
+    let mut regressions = Vec::new();
+    let mut compared = 0usize;
+    for (key, base) in metrics {
+        if !key.ends_with(".p99_micros") {
+            continue;
+        }
+        let (Some(base), Some(now)) = (base.as_u64(), current["metrics"][key].as_u64()) else {
+            continue;
+        };
+        compared += 1;
+        if now <= NOISE_FLOOR_MICROS || base == 0 {
+            continue;
+        }
+        if now as f64 > base as f64 * 1.25 {
+            let pct = (now as f64 / base as f64 - 1.0) * 100.0;
+            regressions.push(format!("{key}: {base}us -> {now}us (+{pct:.0}%)"));
+        }
+    }
+    if regressions.is_empty() {
+        println!("\nbaseline {}: {compared} p99 metric(s) within 25%", path.display());
+    } else {
+        eprintln!("\np99 regression vs baseline {}:", path.display());
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json_path = json_flag(&args, "BENCH_serve.json");
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|ix| args.get(ix + 1))
+        .filter(|p| !p.starts_with("--"))
+        .map(std::path::PathBuf::from);
     let mut report = BenchReport::new("serve");
 
     println!(
@@ -270,8 +331,106 @@ fn main() {
     report.set_f64("shed.rate", shed_summary.shed as f64 / offered as f64);
     report.record_samples("shed.refusal_latency", &refusal_latency);
 
+    // --- Event-loop scenario: closed-loop load at 10x the worker count ---
+    // while eight slow-loris connections trickle one byte per 100ms. The
+    // stalled sockets cost the readiness loop nothing until their bytes
+    // complete a request; under the old thread-per-connection design they
+    // alone would have pinned every worker and the healthy p99 would be
+    // the loris trickle time.
+    let el_workers = 4usize;
+    let el_server = start(&store, el_workers, 256);
+    let el_addr = el_server.addr;
+    let loris_count = 8usize;
+    let stop_loris = Arc::new(AtomicBool::new(false));
+    let loris: Vec<JoinHandle<()>> = (0..loris_count)
+        .map(|_| {
+            let stop = stop_loris.clone();
+            std::thread::spawn(move || {
+                let Ok(mut stream) = TcpStream::connect(el_addr) else { return };
+                for byte in b"POST /search HTTP/1.1\r\nhost: bench\r\n".chunks(1) {
+                    if stop.load(Ordering::Relaxed) || stream.write_all(byte).is_err() {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+                // Hold the half-request open until the scenario ends;
+                // dropping the stream then lets the server reap it.
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(200));
+    let el_clients = el_workers * 10;
+    let el_per_client = if quick { 10usize } else { 40 };
+    let t0 = Instant::now();
+    let el_load: Vec<JoinHandle<(Vec<u64>, u64, u64, u64)>> = (0..el_clients)
+        .map(|c| {
+            let mix = mix.clone();
+            std::thread::spawn(move || {
+                let (mut samples, mut ok, mut shed, mut failed) = (Vec::new(), 0u64, 0u64, 0u64);
+                for i in 0..el_per_client {
+                    match exchange(el_addr, &mix[(c + i) % mix.len()]) {
+                        Some((200, _, us)) => {
+                            ok += 1;
+                            samples.push(us);
+                        }
+                        Some((503, _, _)) => shed += 1,
+                        Some((status, body, _)) => panic!("unexpected {status}: {body}"),
+                        None => failed += 1,
+                    }
+                }
+                (samples, ok, shed, failed)
+            })
+        })
+        .collect();
+    let mut el_samples = Vec::new();
+    let (mut el_ok, mut el_shed, mut el_failed) = (0u64, 0u64, 0u64);
+    for h in el_load {
+        let (s, o, sh, f) = h.join().expect("event-loop client thread");
+        el_samples.extend(s);
+        el_ok += o;
+        el_shed += sh;
+        el_failed += f;
+    }
+    let el_elapsed = t0.elapsed();
+    assert_eq!(el_failed, 0, "transport failures under 10x load with stalled clients");
+    assert!(el_ok > 0, "no successful requests under 10x load");
+    stop_loris.store(true, Ordering::Relaxed);
+    for t in loris {
+        t.join().expect("loris thread");
+    }
+    std::thread::sleep(Duration::from_millis(150));
+    let el_summary = el_server.stop();
+    let el_throughput = (el_ok + el_shed) as f64 / el_elapsed.as_secs_f64();
+    let mut el_sorted = el_samples.clone();
+    el_sorted.sort_unstable();
+    println!(
+        "\nevent loop: {el_clients} clients (10x {el_workers} workers) + {loris_count} slow-loris \
+         -> {el_throughput:.0} req/s ({el_ok} ok, {el_shed} shed)"
+    );
+    println!(
+        "  latency p50 {}µs  p95 {}µs  p99 {}µs  max {}µs",
+        percentile(&el_sorted, 0.50),
+        percentile(&el_sorted, 0.95),
+        percentile(&el_sorted, 0.99),
+        el_sorted.last().copied().unwrap_or(0)
+    );
+    report.set("event_loop.clients", el_clients as u64);
+    report.set("event_loop.loris_connections", loris_count as u64);
+    report.set("event_loop.requests", (el_clients * el_per_client) as u64);
+    report.set("event_loop.ok", el_ok);
+    report.set("event_loop.shed", el_shed);
+    report.set("event_loop.dropped", el_summary.dropped);
+    report.set_f64("event_loop.throughput_rps", el_throughput);
+    report.record_samples("event_loop.latency", &el_samples);
+
     if let Some(path) = json_path {
         report.write(&path).expect("write bench report");
         println!("\nwrote {} metrics to {}", report.len(), path.display());
+    }
+    if let Some(path) = baseline_path {
+        check_baseline(&report, &path);
     }
 }

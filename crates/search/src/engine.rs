@@ -24,8 +24,19 @@
 //! * the full-scan fallback fires on the *cross-shard* candidate total,
 //!   the same number the unsharded probe would count;
 //! * scoring is pure and the rank order `(score desc, path asc)` is a
-//!   strict total order, so [`TopK`] selection and merge are independent
+//!   strict total order, so top-k selection and merge are independent
 //!   of how work units were scheduled across the crossbeam worker pool.
+//!
+//! # The allocation-free scoring pass
+//!
+//! Candidates are scored by the allocation-free fast scorer
+//! (`ShardEngine::score_fast`, reading build-time interned `VarKey`s)
+//! into light `(score, shard, local)` tuples held in a reusable
+//! per-thread buffer; only the final `≤ limit` survivors are materialized
+//! into full [`SearchHit`]s (strings + breakdown) by the exact scorer.
+//! The fast total is bit-identical to the exact total (debug-asserted at
+//! materialization), so ranking — and therefore the result list — is
+//! unchanged.
 //!
 //! # Result caching
 //!
@@ -46,17 +57,30 @@ use crate::plan::QueryPlan;
 use crate::query::Query;
 use crate::score::ScoreBreakdown;
 use crate::shard::{ShardEngine, ShardProbe, ShardSpec};
-use crate::topk::TopK;
+use crate::topk::{LightHit, LightTopK};
 use metamess_core::catalog::Catalog;
 use metamess_core::feature::DatasetFeature;
 use metamess_core::id::DatasetId;
 use metamess_telemetry::{event, Level, Stopwatch};
 use metamess_vocab::Vocabulary;
+use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Arc;
+
+/// Reusable per-thread scoring buffer. The light-candidate heap survives
+/// across searches on the same thread, so a steady-state request on a
+/// server worker allocates nothing on the scoring path.
+struct SearchScratch {
+    lights: Vec<LightHit>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<SearchScratch> =
+        RefCell::new(SearchScratch { lights: Vec::new() });
+}
 
 /// One ranked search result.
 #[derive(Debug, Clone, PartialEq, serde::Serialize)]
@@ -405,7 +429,11 @@ impl ShardedEngine {
             a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal).then_with(|| a.1.cmp(&b.1))
         });
         for &(_, _, s, lix) in near.iter().take(generous) {
-            probes[s].certain.insert(lix);
+            probes[s].certain.push(lix);
+        }
+        // restore sorted-unique order after the raw pushes
+        for p in probes.iter_mut() {
+            p.finish();
         }
     }
 
@@ -448,8 +476,7 @@ impl ShardedEngine {
                     continue;
                 }
                 visited += 1;
-                let list: Vec<usize> = p.certain.iter().copied().collect();
-                for chunk in list.chunks(unit_size) {
+                for chunk in p.certain.chunks(unit_size) {
                     units.push(Unit { shard: s, work: UnitWork::List(chunk.to_vec()) });
                 }
             }
@@ -457,11 +484,14 @@ impl ShardedEngine {
         (units, visited, pruned, pruned_datasets)
     }
 
-    /// Scores the work units on up to `workers` scoped threads pulling
-    /// from a shared cursor, each with its own bounded top-k, merged
-    /// deterministically: the rank order is a strict total order, so the
-    /// merge selects exactly the hits a sequential pass would. Also
-    /// returns the merge-phase duration (0 when untimed).
+    /// Scores the work units into light `(score, shard, local)` candidates
+    /// — sequentially through the reusable per-thread scratch buffer, or
+    /// on up to `workers` scoped threads pulling from a shared cursor,
+    /// each with its own bounded top-k, merged deterministically (the rank
+    /// order is a strict total order, so the merge selects exactly the
+    /// candidates a sequential pass would). Only the surviving `≤ limit`
+    /// are materialized into full hits. Also returns the merge-phase
+    /// duration (0 when untimed).
     fn score_units(
         &self,
         query: &Query,
@@ -471,59 +501,141 @@ impl ShardedEngine {
         timed: bool,
         on: bool,
     ) -> (Vec<SearchHit>, u64) {
-        let pools: Vec<TopK> = if workers <= 1 {
-            let mut local = TopK::new(query.limit);
-            for unit in units {
-                self.score_unit(query, plan, unit, &mut local, on);
-            }
-            vec![local]
-        } else {
-            let cursor = AtomicUsize::new(0);
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        let cursor = &cursor;
-                        scope.spawn(move |_| {
-                            let mut local = TopK::new(query.limit);
-                            loop {
-                                let u = cursor.fetch_add(1, AtomicOrdering::Relaxed);
-                                let Some(unit) = units.get(u) else { break };
-                                self.score_unit(query, plan, unit, &mut local, on);
-                            }
-                            local
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("search worker never panics")).collect()
-            })
-            .expect("search workers never panic")
-        };
-        let merge = Stopwatch::start_if(timed);
-        let mut merged = TopK::new(query.limit);
-        for p in pools {
-            merged.merge(p);
+        if workers <= 1 {
+            return SCRATCH.with(|cell| {
+                let scratch = &mut *cell.borrow_mut();
+                if on && scratch.lights.capacity() > 0 {
+                    metamess_telemetry::global()
+                        .counter("metamess_search_scratch_reuses_total")
+                        .add(1);
+                }
+                let mut lights = std::mem::take(&mut scratch.lights);
+                {
+                    let rank_lt = |a: &LightHit, b: &LightHit| self.light_rank_lt(a, b);
+                    let mut topk = LightTopK::new(query.limit, &mut lights);
+                    for unit in units {
+                        self.score_unit_light(query, plan, unit, &mut topk, &rank_lt, on);
+                    }
+                }
+                let out = self.finish_lights(query, plan, &mut lights, timed);
+                lights.clear();
+                scratch.lights = lights; // hand the capacity back for reuse
+                out
+            });
         }
-        (merged.into_sorted(), merge.micros())
+        let cursor = AtomicUsize::new(0);
+        let pools: Vec<Vec<LightHit>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let cursor = &cursor;
+                    scope.spawn(move |_| {
+                        let rank_lt = |a: &LightHit, b: &LightHit| self.light_rank_lt(a, b);
+                        let mut lights = Vec::new();
+                        let mut topk = LightTopK::new(query.limit, &mut lights);
+                        loop {
+                            let u = cursor.fetch_add(1, AtomicOrdering::Relaxed);
+                            let Some(unit) = units.get(u) else { break };
+                            self.score_unit_light(query, plan, unit, &mut topk, &rank_lt, on);
+                        }
+                        drop(topk);
+                        lights
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("search worker never panics")).collect()
+        })
+        .expect("search workers never panic");
+        let mut lights = Vec::new();
+        {
+            let rank_lt = |a: &LightHit, b: &LightHit| self.light_rank_lt(a, b);
+            let mut merged = LightTopK::new(query.limit, &mut lights);
+            for pool in pools {
+                for c in pool {
+                    merged.push(c, &rank_lt);
+                }
+            }
+        }
+        self.finish_lights(query, plan, &mut lights, timed)
     }
 
-    fn score_unit(&self, query: &Query, plan: &QueryPlan, unit: &Unit, topk: &mut TopK, on: bool) {
+    fn score_unit_light(
+        &self,
+        query: &Query,
+        plan: &QueryPlan,
+        unit: &Unit,
+        topk: &mut LightTopK<'_>,
+        rank_lt: &dyn Fn(&LightHit, &LightHit) -> bool,
+        on: bool,
+    ) {
         let sw = Stopwatch::start_if(on);
         let shard = &self.shards[unit.shard];
         match &unit.work {
             UnitWork::All(range) => {
                 for ix in range.clone() {
-                    topk.push(shard.score_hit(query, &plan.prepared, &self.vocab, ix));
+                    let s = shard.score_fast(query, &plan.prepared, ix);
+                    topk.push((s, unit.shard as u32, ix as u32), rank_lt);
                 }
             }
             UnitWork::List(ixs) => {
                 for &ix in ixs {
-                    topk.push(shard.score_hit(query, &plan.prepared, &self.vocab, ix));
+                    let s = shard.score_fast(query, &plan.prepared, ix);
+                    topk.push((s, unit.shard as u32, ix as u32), rank_lt);
                 }
             }
         }
         if on {
             search_metrics().shard_score_micros.record(sw.micros());
         }
+    }
+
+    /// Sorts the surviving light candidates into final rank order and
+    /// materializes full hits (strings + breakdown) for just those `≤ k`.
+    /// Returns the hits plus the merge/materialize duration.
+    fn finish_lights(
+        &self,
+        query: &Query,
+        plan: &QueryPlan,
+        lights: &mut [LightHit],
+        timed: bool,
+    ) -> (Vec<SearchHit>, u64) {
+        let merge = Stopwatch::start_if(timed);
+        lights.sort_by(|a, b| self.light_rank_cmp(a, b));
+        let hits: Vec<SearchHit> = lights
+            .iter()
+            .map(|&(score, s, l)| {
+                let hit = self.shards[s as usize].score_hit(
+                    query,
+                    &plan.prepared,
+                    &self.vocab,
+                    l as usize,
+                );
+                debug_assert_eq!(
+                    hit.score.to_bits(),
+                    score.to_bits(),
+                    "fast scorer diverged from the exact scorer on {}",
+                    hit.path
+                );
+                hit
+            })
+            .collect();
+        (hits, merge.micros())
+    }
+
+    /// "a ranks strictly before b" under the global hit order — the
+    /// light-candidate mirror of [`crate::topk::rank_cmp`].
+    fn light_rank_lt(&self, a: &LightHit, b: &LightHit) -> bool {
+        self.light_rank_cmp(a, b) == Ordering::Less
+    }
+
+    /// `(score desc, path asc)`, looking paths up lazily — ties on score
+    /// are rare, so most comparisons never touch a string.
+    fn light_rank_cmp(&self, a: &LightHit, b: &LightHit) -> Ordering {
+        b.0.partial_cmp(&a.0).unwrap_or(Ordering::Equal).then_with(|| {
+            self.shards[a.1 as usize]
+                .dataset(a.2 as usize)
+                .path
+                .cmp(&self.shards[b.1 as usize].dataset(b.2 as usize).path)
+        })
     }
 }
 

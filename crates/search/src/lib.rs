@@ -18,11 +18,15 @@
 //! * [`QueryPlan`] precomputes vocabulary expansion, hierarchy walks and
 //!   term normalization once per query (shared between candidate generation
 //!   and scoring via `Vocabulary::expand_keys` / `canonical_keys`).
-//! * Candidates are scored into a bounded [`TopK`] heap — O(n log k)
-//!   instead of sorting every scored hit — optionally across
-//!   `SearchEngine::workers` crossbeam scoped threads. The rank order
-//!   `(score desc, path asc)` is a strict total order, so parallel results
-//!   are **bit-identical** to sequential ones for any worker count.
+//! * Candidates are scored by an allocation-free fast scorer (build-time
+//!   interned per-variable name keys; no normalization or `String` per
+//!   candidate) into a bounded top-k heap of light `(score, shard, local)`
+//!   tuples — O(n log k) instead of sorting every scored hit — optionally
+//!   across `SearchEngine::workers` crossbeam scoped threads; only the
+//!   final `≤ limit` survivors are materialized into [`SearchHit`]s. The
+//!   rank order `(score desc, path asc)` is a strict total order, so
+//!   parallel results are **bit-identical** to sequential ones for any
+//!   worker count ([`TopK`] remains the general-purpose building block).
 //! * A generation-stamped LRU [`ResultCache`] serves repeated queries
 //!   against an unchanged published catalog without rescoring; entries are
 //!   invalidated simply by the catalog generation moving on publish, and

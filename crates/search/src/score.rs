@@ -7,6 +7,8 @@ use metamess_core::feature::{DatasetFeature, VariableFeature};
 use metamess_core::time::TimeInterval;
 use metamess_vocab::Vocabulary;
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet as StdHashSet;
+use std::sync::Arc;
 
 /// Per-facet score breakdown, shown in the result explanation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
@@ -168,8 +170,14 @@ fn name_similarity(pt: &PreparedTerm, var: &VariableFeature, vocab: &Vocabulary)
 /// range covers. No range in the query → 1; variable lacking numeric data
 /// scores a neutral 0.5.
 fn range_similarity(range: Option<(f64, f64)>, var: &VariableFeature) -> f64 {
+    range_similarity_values(range, var.value_range())
+}
+
+/// The value-level body of [`range_similarity`], shared with the
+/// allocation-free scorer so both paths run the identical arithmetic.
+fn range_similarity_values(range: Option<(f64, f64)>, vrange: Option<(f64, f64)>) -> f64 {
     let Some((qlo, qhi)) = range else { return 1.0 };
-    let Some((vlo, vhi)) = var.value_range() else { return 0.5 };
+    let Some((vlo, vhi)) = vrange else { return 0.5 };
     let lo = qlo.max(vlo);
     let hi = qhi.min(vhi);
     if hi < lo {
@@ -261,6 +269,131 @@ pub fn score_dataset(
     let prepared: Vec<PreparedTerm> =
         query.variables.iter().map(|t| PreparedTerm::prepare(t, vocab)).collect();
     score_dataset_prepared(query, &prepared, dataset, vocab)
+}
+
+/// Normalized name keys for one searchable variable, computed (and
+/// interned) once at shard build time. With these in hand, per-candidate
+/// scoring is pure hash lookups and float math — no `normalize_term`, no
+/// synonym resolution, no `String` per candidate.
+///
+/// Invariant: every field holds exactly the value the allocating path
+/// computes per candidate, so [`score_dataset_fast`] is bit-identical to
+/// [`score_dataset_prepared`]'s `total` (asserted in debug builds at
+/// materialization, and by the `fast_scorer_*` tests).
+#[derive(Debug, Clone)]
+pub(crate) struct VarKey {
+    /// `normalize_term(&var.name)`.
+    name_norm: Arc<str>,
+    /// `normalize_term(var.search_name())`.
+    search_norm: Arc<str>,
+    /// Normalized canonical of `var.search_name()` per the synonym table
+    /// (resolved against the **un**-normalized spelling, exactly like
+    /// [`name_similarity`] does at query time).
+    canon_norm: Option<Arc<str>>,
+    /// `var.value_range()`.
+    range: Option<(f64, f64)>,
+}
+
+/// Interns one normalized spelling: catalogs repeat the same handful of
+/// variable names across thousands of datasets, so shard build memory
+/// stays proportional to the vocabulary, not the catalog.
+pub(crate) fn intern(interner: &mut StdHashSet<Arc<str>>, s: String) -> Arc<str> {
+    if let Some(existing) = interner.get(s.as_str()) {
+        return existing.clone();
+    }
+    let arc: Arc<str> = s.into();
+    interner.insert(arc.clone());
+    arc
+}
+
+impl VarKey {
+    /// Precomputes the keys for one variable.
+    pub(crate) fn build(
+        var: &VariableFeature,
+        vocab: &Vocabulary,
+        interner: &mut StdHashSet<Arc<str>>,
+    ) -> VarKey {
+        use metamess_core::text::normalize_term;
+        VarKey {
+            name_norm: intern(interner, normalize_term(&var.name)),
+            search_norm: intern(interner, normalize_term(var.search_name())),
+            canon_norm: vocab
+                .synonyms
+                .resolve(var.search_name())
+                .map(|(c, _)| intern(interner, normalize_term(c))),
+            range: var.value_range(),
+        }
+    }
+}
+
+/// Allocation-free mirror of [`name_similarity`]: every comparison reads a
+/// precomputed key instead of re-normalizing the variable's spellings.
+fn name_similarity_key(pt: &PreparedTerm, key: &VarKey) -> f64 {
+    if pt.name_norm.as_str() == &*key.search_norm || pt.name_norm.as_str() == &*key.name_norm {
+        return 1.0;
+    }
+    let canon_var: &str = key.canon_norm.as_deref().unwrap_or(&key.search_norm);
+    if pt.canon_norm.as_deref() == Some(canon_var) {
+        return 0.9;
+    }
+    if pt.expanded.contains(&*key.search_norm) || pt.expanded.contains(canon_var) {
+        return 0.85;
+    }
+    if let Some(s) = pt.related.get(canon_var) {
+        return *s;
+    }
+    0.0
+}
+
+/// Allocation-free mirror of [`score_dataset_prepared`] computing only the
+/// combined `total` — the number top-k selection ranks by. `var_keys` must
+/// be the dataset's searchable variables in iteration order (the shard
+/// builds them that way). The arithmetic (operation order, accumulation,
+/// best-tracking) is kept line-for-line identical so the result is
+/// bit-identical to `breakdown.total`.
+pub(crate) fn score_dataset_fast(
+    query: &Query,
+    prepared: &[PreparedTerm],
+    dataset: &DatasetFeature,
+    var_keys: &[VarKey],
+) -> f64 {
+    let mut weighted = 0.0;
+    let mut total_weight = 0.0;
+    if let Some(spatial) = &query.spatial {
+        let s = spatial_score(spatial, dataset);
+        weighted += query.weights.space * s;
+        total_weight += query.weights.space;
+    }
+    if let Some(window) = &query.time {
+        let s = temporal_score(window, dataset);
+        weighted += query.weights.time * s;
+        total_weight += query.weights.time;
+    }
+    if !prepared.is_empty() {
+        let mut sum = 0.0;
+        for pt in prepared {
+            let mut best = 0.0;
+            for key in var_keys {
+                let name_s = name_similarity_key(pt, key);
+                if name_s <= 0.0 {
+                    continue;
+                }
+                let s = name_s * range_similarity_values(pt.term.range, key.range);
+                if s > best {
+                    best = s;
+                }
+            }
+            sum += best;
+        }
+        let s = sum / prepared.len() as f64;
+        weighted += query.weights.variables * s;
+        total_weight += query.weights.variables;
+    }
+    if total_weight > 0.0 {
+        weighted / total_weight
+    } else {
+        0.0
+    }
 }
 
 #[cfg(test)]
@@ -458,6 +591,48 @@ mod tests {
         let b = score_dataset(&Query::new(), &dataset(), &vocab());
         assert_eq!(b.total, 0.0);
         assert!(b.space.is_none());
+    }
+
+    #[test]
+    fn fast_scorer_matches_breakdown_total_bitwise() {
+        let v = vocab();
+        let mut d = dataset();
+        let mut fl = VariableFeature::new("fluores375");
+        fl.resolve("fluores375", metamess_core::feature::NameResolution::AlreadyCanonical);
+        d.variables.push(fl);
+        let mut interner = StdHashSet::new();
+        let keys: Vec<VarKey> =
+            d.searchable_variables().map(|var| VarKey::build(var, &v, &mut interner)).collect();
+        let queries = [
+            Query::new(),
+            Query::new().with_variable("water_temperature", None),
+            Query::new().with_variable("t_water", Some((5.0, 10.0))),
+            Query::new().with_variable("fluorescence", None).with_variable("salinity", None),
+            Query::new()
+                .near(45.8, -124.2, 25.0)
+                .unwrap()
+                .between(
+                    Timestamp::from_ymd(2010, 6, 10).unwrap(),
+                    Timestamp::from_ymd(2010, 7, 10).unwrap(),
+                )
+                .with_variable("water_temperature", Some((0.0, 8.0))),
+        ];
+        for q in &queries {
+            let prepared: Vec<PreparedTerm> =
+                q.variables.iter().map(|t| PreparedTerm::prepare(t, &v)).collect();
+            let slow = score_dataset_prepared(q, &prepared, &d, &v).total;
+            let fast = score_dataset_fast(q, &prepared, &d, &keys);
+            assert_eq!(fast.to_bits(), slow.to_bits(), "query {q:?}: fast {fast} vs slow {slow}");
+        }
+    }
+
+    #[test]
+    fn interner_dedupes_spellings() {
+        let mut i = StdHashSet::new();
+        let a = intern(&mut i, "water temperature".to_string());
+        let b = intern(&mut i, "water temperature".to_string());
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(i.len(), 1);
     }
 
     #[test]

@@ -32,14 +32,15 @@ use crate::interval::IntervalIndex;
 use crate::plan::QueryPlan;
 use crate::query::{Query, SpatialTerm};
 use crate::rtree::RTree;
-use crate::score::{score_dataset_prepared, PreparedTerm};
+use crate::score::{intern, score_dataset_fast, score_dataset_prepared, PreparedTerm, VarKey};
 use metamess_core::feature::DatasetFeature;
 use metamess_core::geo::GeoBBox;
 use metamess_core::text::normalize_term;
 use metamess_core::time::TimeInterval;
 use metamess_vocab::Vocabulary;
 use std::cmp::Ordering;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::sync::Arc;
 
 /// Hard ceiling on the shard count. Beyond a few hundred shards the
 /// per-shard fixed probe cost dominates any pruning win, and an absurd
@@ -177,8 +178,12 @@ impl Default for ShardSpec {
 /// What one shard's probe produced.
 #[derive(Debug, Default)]
 pub(crate) struct ShardProbe {
-    /// Local indices selected by the window/term indexes.
-    pub certain: BTreeSet<usize>,
+    /// Local indices selected by the window/term indexes. Kept as a flat
+    /// vector (one allocation, not a node per candidate); [`finish`]
+    /// restores the sorted-deduplicated set semantics.
+    ///
+    /// [`finish`]: ShardProbe::finish
+    pub certain: Vec<usize>,
     /// Nearest-neighbour candidates as `(distance, global ix, local ix)`,
     /// merged globally by the coordinator before any is admitted.
     pub near: Vec<(f64, usize, usize)>,
@@ -186,16 +191,30 @@ pub(crate) struct ShardProbe {
     pub bound_skips: usize,
 }
 
+impl ShardProbe {
+    /// Sorts and deduplicates the candidate list, restoring exactly the
+    /// ascending unique order the old `BTreeSet` representation kept.
+    /// Idempotent; called after every batch of insertions.
+    pub(crate) fn finish(&mut self) {
+        self.certain.sort_unstable();
+        self.certain.dedup();
+    }
+}
+
 /// One slice of the catalog with its own indexes and pruning bounds.
 pub struct ShardEngine {
     datasets: Vec<DatasetFeature>,
+    /// Precomputed normalized name keys per dataset (searchable variables
+    /// in iteration order), so candidate scoring never normalizes or
+    /// resolves a spelling. Interned: repeated names share one `Arc<str>`.
+    var_keys: Vec<Vec<VarKey>>,
     /// Local index → position in the full catalog order. Strictly
     /// increasing (members are added in catalog order), which the
     /// nearest-merge determinism argument relies on.
     global_ix: Vec<usize>,
     rtree: RTree,
     intervals: IntervalIndex,
-    terms: BTreeMap<String, Vec<usize>>,
+    terms: BTreeMap<Arc<str>, Vec<usize>>,
     /// Union of member bboxes (None when no member has one).
     bbox_bound: Option<GeoBBox>,
     /// Union of member time intervals (None when no member has one).
@@ -207,10 +226,12 @@ impl ShardEngine {
     /// ascending global order).
     pub(crate) fn build(members: Vec<(usize, DatasetFeature)>, vocab: &Vocabulary) -> ShardEngine {
         let mut datasets = Vec::with_capacity(members.len());
+        let mut var_keys = Vec::with_capacity(members.len());
         let mut global_ix = Vec::with_capacity(members.len());
         let mut spatial_entries = Vec::new();
         let mut time_entries = Vec::new();
-        let mut terms: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut terms: BTreeMap<Arc<str>, Vec<usize>> = BTreeMap::new();
+        let mut interner: HashSet<Arc<str>> = HashSet::new();
         let mut bbox_bound: Option<GeoBBox> = None;
         let mut time_bound: Option<TimeInterval> = None;
         for (gix, d) in members {
@@ -238,12 +259,15 @@ impl ShardEngine {
                 keys.insert(normalize_term(&v.name));
                 keys.insert(normalize_term(v.search_name()));
                 for k in keys {
-                    let posting = terms.entry(k).or_default();
+                    let posting = terms.entry(intern(&mut interner, k)).or_default();
                     if posting.last() != Some(&ix) {
                         posting.push(ix);
                     }
                 }
             }
+            var_keys.push(
+                d.searchable_variables().map(|v| VarKey::build(v, vocab, &mut interner)).collect(),
+            );
             datasets.push(d);
         }
         ShardEngine {
@@ -253,6 +277,7 @@ impl ShardEngine {
             bbox_bound,
             time_bound,
             datasets,
+            var_keys,
             global_ix,
         }
     }
@@ -319,11 +344,12 @@ impl ShardEngine {
         }
         for keys in &plan.term_keys {
             for k in keys {
-                if let Some(postings) = self.terms.get(k) {
+                if let Some(postings) = self.terms.get(k.as_str()) {
                     p.certain.extend(postings.iter().copied());
                 }
             }
         }
+        p.finish();
         p
     }
 
@@ -340,6 +366,18 @@ impl ShardEngine {
         for (ix, dist) in self.rtree.nearest(point, generous) {
             p.near.push((dist, self.global_ix[ix], ix));
         }
+    }
+
+    /// Scores one local candidate allocation-free, returning only the
+    /// combined total — bit-identical to `score_hit(...).score` (the
+    /// engine asserts so in debug builds when materializing the top k).
+    pub(crate) fn score_fast(
+        &self,
+        query: &Query,
+        prepared: &[PreparedTerm],
+        local_ix: usize,
+    ) -> f64 {
+        score_dataset_fast(query, prepared, &self.datasets[local_ix], &self.var_keys[local_ix])
     }
 
     /// Scores one local candidate exactly.

@@ -101,6 +101,83 @@ impl TopK {
     }
 }
 
+/// A candidate in the allocation-free scoring pass: `(total score, shard,
+/// local index)`. Twenty bytes of copyable data instead of a materialized
+/// [`SearchHit`] with its strings and breakdown — only the final `k`
+/// survivors are ever materialized.
+pub(crate) type LightHit = (f64, u32, u32);
+
+/// Bounded top-k over [`LightHit`]s with **caller-owned storage** (the
+/// engine threads a reusable per-thread buffer through, so a steady-state
+/// search allocates nothing here) and a **caller-supplied order** (ranking
+/// ties break on dataset path, which only the engine can look up).
+///
+/// `rank_lt(a, b)` must be a strict total order meaning "a ranks before
+/// b" — the same `(score desc, path asc)` order as [`rank_cmp`], so the
+/// kept set equals sort-then-truncate exactly, like [`TopK`]'s.
+///
+/// The buffer is maintained as a binary max-heap under "ranks later", so
+/// the root is always the current eviction candidate.
+pub(crate) struct LightTopK<'a> {
+    k: usize,
+    heap: &'a mut Vec<LightHit>,
+}
+
+impl<'a> LightTopK<'a> {
+    /// Wraps (and clears) a reusable buffer.
+    pub(crate) fn new(k: usize, heap: &'a mut Vec<LightHit>) -> LightTopK<'a> {
+        heap.clear();
+        LightTopK { k, heap }
+    }
+
+    /// Offers one candidate; kept only while it ranks among the best `k`.
+    pub(crate) fn push(&mut self, c: LightHit, rank_lt: &dyn Fn(&LightHit, &LightHit) -> bool) {
+        if self.k == 0 {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(c);
+            self.sift_up(self.heap.len() - 1, rank_lt);
+            return;
+        }
+        if rank_lt(&c, &self.heap[0]) {
+            self.heap[0] = c;
+            self.sift_down(0, rank_lt);
+        }
+    }
+
+    fn sift_up(&mut self, mut ix: usize, rank_lt: &dyn Fn(&LightHit, &LightHit) -> bool) {
+        while ix > 0 {
+            let parent = (ix - 1) / 2;
+            // heap property: parent ranks no earlier than child
+            if rank_lt(&self.heap[parent], &self.heap[ix]) {
+                self.heap.swap(parent, ix);
+                ix = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut ix: usize, rank_lt: &dyn Fn(&LightHit, &LightHit) -> bool) {
+        loop {
+            let (l, r) = (2 * ix + 1, 2 * ix + 2);
+            let mut worst = ix;
+            if l < self.heap.len() && rank_lt(&self.heap[worst], &self.heap[l]) {
+                worst = l;
+            }
+            if r < self.heap.len() && rank_lt(&self.heap[worst], &self.heap[r]) {
+                worst = r;
+            }
+            if worst == ix {
+                break;
+            }
+            self.heap.swap(ix, worst);
+            ix = worst;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,6 +259,51 @@ mod tests {
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].path, "a.csv");
         assert_eq!(out[1].path, "b.csv");
+    }
+
+    #[test]
+    fn light_topk_matches_sort_then_truncate() {
+        // order: score desc, ties by (shard, lix) asc — any strict total
+        // order exercises the heap the same way the engine's path order
+        // does.
+        let lt = |a: &LightHit, b: &LightHit| match b.0.partial_cmp(&a.0).unwrap() {
+            Ordering::Less => true,
+            Ordering::Greater => false,
+            Ordering::Equal => (a.1, a.2) < (b.1, b.2),
+        };
+        for (n, k, seed) in [(100usize, 5usize, 7u64), (37, 10, 99), (8, 8, 3), (5, 20, 1)] {
+            let cands: Vec<LightHit> = lcg_scores(n, seed)
+                .into_iter()
+                .enumerate()
+                .map(|(ix, s)| (s, (ix % 3) as u32, ix as u32))
+                .collect();
+            let mut buf = Vec::new();
+            let mut topk = LightTopK::new(k, &mut buf);
+            for &c in &cands {
+                topk.push(c, &lt);
+            }
+            let mut kept = buf.clone();
+            kept.sort_by(|a, b| if lt(a, b) { Ordering::Less } else { Ordering::Greater });
+            let mut reference = cands.clone();
+            reference.sort_by(|a, b| if lt(a, b) { Ordering::Less } else { Ordering::Greater });
+            reference.truncate(k);
+            assert_eq!(kept, reference, "n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn light_topk_zero_k_and_buffer_reuse() {
+        let lt = |a: &LightHit, b: &LightHit| a.0 > b.0;
+        let mut buf = vec![(0.9, 0, 0); 4]; // stale garbage from a prior query
+        let mut topk = LightTopK::new(0, &mut buf);
+        topk.push((1.0, 0, 1), &lt);
+        assert!(buf.is_empty(), "new() clears, k=0 keeps nothing");
+        let mut topk = LightTopK::new(2, &mut buf);
+        for s in [0.1, 0.5, 0.3, 0.9] {
+            topk.push((s, 0, (s * 10.0) as u32), &lt);
+        }
+        assert_eq!(buf.len(), 2);
+        assert!(buf.iter().all(|c| c.0 >= 0.5));
     }
 
     #[test]

@@ -1,0 +1,349 @@
+//! Per-connection state machine driven by the event loop.
+//!
+//! A connection is always in exactly one of three states:
+//!
+//! ```text
+//!             bytes arrive, request completes
+//!   Reading ────────────────────────────────────▶ Dispatched
+//!      ▲                                              │
+//!      │ keep-alive (carried pipelined bytes          │ worker finishes,
+//!      │ are parsed immediately)                      │ response queued
+//!      │                                              ▼
+//!      └───────────────────────────────────────── Writing ──▶ close
+//!                                                  (when `connection: close`,
+//!                                                   a protocol error, shed,
+//!                                                   or drain)
+//! ```
+//!
+//! * **Reading** — accumulating request bytes. An empty buffer means the
+//!   connection is idle between keep-alive requests (bounded by the idle
+//!   timeout); a non-empty buffer means a request is in flight (bounded
+//!   by the read deadline armed at its first byte → 408).
+//! * **Dispatched** — a complete request was handed to the worker pool.
+//!   Read interest is dropped (backpressure: a pipelining client's next
+//!   request stays in the kernel buffer) until the response is written.
+//! * **Writing** — the serialized response drains nonblockingly, bounded
+//!   by a write deadline.
+//!
+//! All methods are nonblocking; the event loop owns readiness and
+//! deadlines. No method ever touches another connection or a lock.
+
+use crate::http::{self, Limits, Parse, Request};
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// Which phase the connection is in (see the module diagram).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ConnState {
+    /// Accumulating request bytes (idle when the buffer is empty).
+    Reading,
+    /// A complete request is with the worker pool.
+    Dispatched,
+    /// Draining a serialized response to the socket.
+    Writing,
+}
+
+/// What pumping the read side produced.
+#[derive(Debug)]
+pub(crate) enum ReadEvent {
+    /// No complete request yet; wait for more bytes.
+    NeedMore,
+    /// A complete request was parsed; the connection is now `Dispatched`.
+    Request(Request),
+    /// Protocol error; answer with this status and close.
+    Bad {
+        /// HTTP status to answer with (400, 413, 501).
+        status: u16,
+        /// Reason line for the error body.
+        message: String,
+    },
+    /// Peer is gone (EOF or transport error); close silently.
+    Closed,
+}
+
+/// What pumping the write side produced.
+#[derive(Debug)]
+pub(crate) enum WriteEvent {
+    /// The kernel buffer filled; wait for writability.
+    NeedMore,
+    /// The whole response is out.
+    Done,
+    /// Peer is gone; close.
+    Closed,
+}
+
+/// One client connection owned by the event thread.
+pub(crate) struct Conn {
+    /// The nonblocking socket.
+    pub stream: TcpStream,
+    /// Current phase.
+    pub state: ConnState,
+    /// Interest currently registered with the poller (the event loop
+    /// syncs this against the state after every transition).
+    pub registered: crate::event_loop::Interest,
+    /// Deadline for completing the in-flight request read (408 past it).
+    pub read_deadline: Option<Instant>,
+    /// Deadline for draining the pending response (close past it).
+    pub write_deadline: Option<Instant>,
+    /// When the connection last went idle (empty buffer, no request).
+    pub idle_since: Instant,
+    /// Close instead of re-entering keep-alive once the response drains.
+    pub close_after_write: bool,
+    buf: Vec<u8>,
+    out: Vec<u8>,
+    out_pos: usize,
+}
+
+impl Conn {
+    /// Wraps a freshly accepted stream (switches it to nonblocking).
+    pub(crate) fn new(stream: TcpStream, now: Instant) -> std::io::Result<Conn> {
+        stream.set_nonblocking(true)?;
+        Ok(Conn {
+            stream,
+            state: ConnState::Reading,
+            registered: crate::event_loop::Interest::READ,
+            read_deadline: None,
+            write_deadline: None,
+            idle_since: now,
+            close_after_write: false,
+            buf: Vec::new(),
+            out: Vec::new(),
+            out_pos: 0,
+        })
+    }
+
+    /// Idle keep-alive connection with nothing in flight?
+    pub(crate) fn is_idle(&self) -> bool {
+        self.state == ConnState::Reading && self.buf.is_empty()
+    }
+
+    /// Has the in-flight request's head fully arrived? (Picks the 408
+    /// message: head vs body timeout.)
+    pub(crate) fn head_complete(&self) -> bool {
+        http::find_head_end(&self.buf).is_some()
+    }
+
+    /// Pumps readable bytes from the socket and tries to complete a
+    /// request. Only meaningful in `Reading`; other states ignore the
+    /// readiness (interest should be off anyway).
+    pub(crate) fn on_readable(&mut self, limits: &Limits, now: Instant) -> ReadEvent {
+        if self.state != ConnState::Reading {
+            return ReadEvent::NeedMore;
+        }
+        let mut chunk = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    // EOF: silent close when idle, 400 when mid-request —
+                    // exactly the blocking reader's behavior.
+                    return if self.buf.is_empty() {
+                        ReadEvent::Closed
+                    } else {
+                        ReadEvent::Bad {
+                            status: 400,
+                            message: "connection closed mid-request".to_string(),
+                        }
+                    };
+                }
+                Ok(n) => {
+                    if self.buf.is_empty() {
+                        self.read_deadline = Some(now + limits.read_timeout);
+                    }
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    // Parse after every chunk so head/body caps bound the
+                    // buffer even against a client streaming garbage.
+                    match self.try_complete(limits) {
+                        ReadEvent::NeedMore => continue,
+                        terminal => return terminal,
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return ReadEvent::NeedMore,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return ReadEvent::Closed,
+            }
+        }
+    }
+
+    /// Tries to parse a complete request out of the buffer.
+    fn try_complete(&mut self, limits: &Limits) -> ReadEvent {
+        match http::try_parse(&self.buf, limits) {
+            Parse::Incomplete => ReadEvent::NeedMore,
+            Parse::Complete { request, consumed } => {
+                // Whatever follows the body is the next pipelined request;
+                // it stays buffered (capacity retained) until the response
+                // for this one has been written.
+                self.buf.drain(..consumed);
+                self.read_deadline = None;
+                self.state = ConnState::Dispatched;
+                ReadEvent::Request(request)
+            }
+            Parse::Error { status, message } => ReadEvent::Bad { status, message },
+        }
+    }
+
+    /// Stages a serialized response and enters `Writing`.
+    pub(crate) fn begin_write(&mut self, bytes: Vec<u8>, close_after: bool, deadline: Instant) {
+        self.out = bytes;
+        self.out_pos = 0;
+        self.close_after_write = close_after;
+        self.state = ConnState::Writing;
+        self.write_deadline = Some(deadline);
+    }
+
+    /// Pumps the pending response into the socket.
+    pub(crate) fn on_writable(&mut self) -> WriteEvent {
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => return WriteEvent::Closed,
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return WriteEvent::NeedMore,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return WriteEvent::Closed,
+            }
+        }
+        let _ = self.stream.flush();
+        WriteEvent::Done
+    }
+
+    /// Re-enters `Reading` after a keep-alive response. Carried pipelined
+    /// bytes are parsed immediately; an empty buffer restarts the idle
+    /// clock instead.
+    pub(crate) fn advance_keep_alive(&mut self, limits: &Limits, now: Instant) -> ReadEvent {
+        self.state = ConnState::Reading;
+        self.out.clear();
+        self.out_pos = 0;
+        self.write_deadline = None;
+        if self.buf.is_empty() {
+            self.idle_since = now;
+            self.read_deadline = None;
+            ReadEvent::NeedMore
+        } else {
+            self.read_deadline = Some(now + limits.read_timeout);
+            self.try_complete(limits)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use std::time::{Duration, Instant};
+
+    fn pair() -> (TcpStream, Conn) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        (client, Conn::new(server_side, Instant::now()).unwrap())
+    }
+
+    fn settle(client: &TcpStream) {
+        // give the loopback a moment to deliver
+        let _ = client;
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    #[test]
+    fn request_fragmented_across_writes_completes_incrementally() {
+        let (mut client, mut conn) = pair();
+        let limits = Limits::default();
+        use std::io::Write as _;
+
+        client.write_all(b"GET /healthz HT").unwrap();
+        settle(&client);
+        match conn.on_readable(&limits, Instant::now()) {
+            ReadEvent::NeedMore => {}
+            other => panic!("partial head should be NeedMore, got {other:?}"),
+        }
+        assert!(conn.read_deadline.is_some(), "deadline armed at first byte");
+        assert!(!conn.is_idle());
+
+        client.write_all(b"TP/1.1\r\nhost: t\r\n\r\n").unwrap();
+        settle(&client);
+        match conn.on_readable(&limits, Instant::now()) {
+            ReadEvent::Request(req) => {
+                assert_eq!(req.method, "GET");
+                assert_eq!(req.path, "/healthz");
+            }
+            other => panic!("expected a request, got {other:?}"),
+        }
+        assert_eq!(conn.state, ConnState::Dispatched);
+        assert!(conn.read_deadline.is_none(), "deadline disarmed once parsed");
+    }
+
+    #[test]
+    fn pipelined_bytes_are_carried_until_the_response_is_written() {
+        let (mut client, mut conn) = pair();
+        let limits = Limits::default();
+        use std::io::{Read as _, Write as _};
+
+        client
+            .write_all(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\nconnection: close\r\n\r\n")
+            .unwrap();
+        settle(&client);
+        match conn.on_readable(&limits, Instant::now()) {
+            ReadEvent::Request(req) => assert_eq!(req.path, "/a"),
+            other => panic!("expected /a, got {other:?}"),
+        }
+
+        // respond, then the carried second request parses with no socket read
+        conn.begin_write(
+            b"HTTP/1.1 200 OK\r\ncontent-length: 0\r\n\r\n".to_vec(),
+            false,
+            Instant::now() + Duration::from_secs(1),
+        );
+        match conn.on_writable() {
+            WriteEvent::Done => {}
+            other => panic!("tiny response should drain at once, got {other:?}"),
+        }
+        match conn.advance_keep_alive(&limits, Instant::now()) {
+            ReadEvent::Request(req) => {
+                assert_eq!(req.path, "/b");
+                assert!(!req.wants_keep_alive());
+            }
+            other => panic!("expected carried /b, got {other:?}"),
+        }
+
+        client.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        let mut got = [0u8; 16];
+        client.read_exact(&mut got[..8]).unwrap();
+        assert_eq!(&got[..8], b"HTTP/1.1");
+    }
+
+    #[test]
+    fn oversized_head_is_rejected_while_reading() {
+        let (mut client, mut conn) = pair();
+        let limits = Limits { max_header_bytes: 64, ..Limits::default() };
+        use std::io::Write as _;
+
+        client.write_all(&vec![b'a'; 256]).unwrap();
+        settle(&client);
+        match conn.on_readable(&limits, Instant::now()) {
+            ReadEvent::Bad { status: 413, .. } => {}
+            other => panic!("expected 413, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn peer_eof_mid_request_is_a_400_and_idle_eof_is_silent() {
+        let (client, mut conn) = pair();
+        use std::io::Write as _;
+        let limits = Limits::default();
+        let mut c = client;
+        c.write_all(b"GET /x HT").unwrap();
+        settle(&c);
+        assert!(matches!(conn.on_readable(&limits, Instant::now()), ReadEvent::NeedMore));
+        drop(c);
+        settle(&conn.stream);
+        match conn.on_readable(&limits, Instant::now()) {
+            ReadEvent::Bad { status: 400, .. } => {}
+            other => panic!("expected 400 mid-request EOF, got {other:?}"),
+        }
+
+        let (client2, mut conn2) = pair();
+        drop(client2);
+        settle(&conn2.stream);
+        assert!(matches!(conn2.on_readable(&limits, Instant::now()), ReadEvent::Closed));
+    }
+}

@@ -138,27 +138,10 @@ fn browse(state: &ServeState) -> Response {
 
 /// `GET /healthz`: liveness plus which store state is being served.
 fn healthz(state: &ServeState) -> Response {
-    #[derive(Serialize)]
-    struct Health {
-        status: &'static str,
-        generation: u64,
-        epoch: u64,
-        datasets: usize,
-        shards: usize,
-        reloads: u64,
-    }
-    let epoch = state.epoch();
-    Response::json(
-        200,
-        render(&Health {
-            status: "ok",
-            generation: epoch.generation,
-            epoch: epoch.epoch,
-            datasets: epoch.datasets,
-            shards: epoch.engine.shard_count(),
-            reloads: state.reloads(),
-        }),
-    )
+    // The body is cached on the state keyed by (epoch, reloads) — see
+    // `ServeState::healthz_body` — so the hottest route skips
+    // serialization in the steady state.
+    Response::json(200, state.healthz_body().as_ref().to_string())
 }
 
 /// `GET /metrics`: Prometheus exposition of the store's persisted

@@ -1,19 +1,25 @@
-//! Minimal HTTP/1.1 reading and writing over `std::net::TcpStream`.
+//! Minimal HTTP/1.1 parsing and serialization, free of any I/O.
 //!
-//! Only what the service needs, implemented defensively: bounded head and
-//! body sizes (oversized input is answered with `413`, never buffered
-//! unboundedly), per-request read deadlines (a stalled client gets `408`
-//! and a closed connection, never a stuck worker), and keep-alive with a
-//! separate idle timeout between requests. Unsupported constructs
-//! (`Transfer-Encoding: chunked`) are rejected rather than misparsed.
+//! The event loop accumulates bytes per connection and calls [`try_parse`]
+//! after every chunk: a pure, incremental parser that either needs more
+//! bytes, yields a complete [`Request`] (reporting how many bytes it
+//! consumed, so pipelined followers survive), or rejects the prefix with a
+//! status to answer. All the defensive properties of the old blocking
+//! reader are kept — bounded head and body sizes (`413`), unsupported
+//! constructs (`Transfer-Encoding`) rejected with `501` rather than
+//! misparsed — while the deadlines (`408`, idle) moved to the event
+//! loop where they belong.
+//!
+//! On the write side, [`Response::serialize_into`] renders a response
+//! into a reusable byte buffer without `format!` (static header
+//! fragments + manual integer formatting), and the fixed responses the
+//! server sends on its hot shed/timeout paths are pre-serialized once
+//! into static blobs.
 
 use std::collections::BTreeMap;
-use std::io::{ErrorKind, Read, Write};
-use std::net::TcpStream;
-use std::time::{Duration, Instant};
-
-/// How often a worker waiting for a request wakes up to check shutdown.
-const SHUTDOWN_POLL: Duration = Duration::from_millis(100);
+use std::io::Write;
+use std::sync::OnceLock;
+use std::time::Duration;
 
 /// Read-side bounds for one request.
 #[derive(Debug, Clone)]
@@ -76,103 +82,50 @@ impl Request {
     }
 }
 
-/// What came out of waiting for a request on a connection.
+/// What [`try_parse`] made of the buffered bytes so far.
 #[derive(Debug)]
-pub enum ReadOutcome {
+pub enum Parse {
+    /// Not enough bytes for a complete request yet.
+    Incomplete,
     /// A complete, well-formed request.
-    Request(Request),
-    /// Peer closed (or shutdown arrived) before a request started — close
-    /// silently.
-    Closed,
-    /// No request arrived within the idle window — close silently.
-    IdleTimeout,
+    Complete {
+        /// The parsed request.
+        request: Request,
+        /// Bytes of the buffer it consumed (head + body); anything after
+        /// belongs to the next pipelined request.
+        consumed: usize,
+    },
     /// Protocol-level problem; answer with this status and close.
     Error {
-        /// HTTP status to answer with (400, 408, 413, 501).
+        /// HTTP status to answer with (400, 413, 501).
         status: u16,
         /// Human-readable reason for the error body.
         message: String,
     },
-    /// Transport failed mid-read; just close.
-    Io(std::io::Error),
 }
 
-fn is_timeout(e: &std::io::Error) -> bool {
-    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+fn proto_err(status: u16, message: impl Into<String>) -> Parse {
+    Parse::Error { status, message: message.into() }
 }
 
-fn proto_err(status: u16, message: impl Into<String>) -> ReadOutcome {
-    ReadOutcome::Error { status, message: message.into() }
-}
-
-/// Reads one request. First waits up to `idle_timeout` for the first byte
-/// (polling `shutdown` so a draining server closes idle keep-alive
-/// connections promptly); once a request has started it must complete
-/// within `limits.read_timeout`.
+/// Incremental request parser: pure function of the bytes buffered so far.
 ///
-/// `carry` holds bytes read past the previous request's end on this
-/// connection (a pipelining client may send the next request in the same
-/// segment as the current body); they are consumed before the socket is
-/// read, and any over-read beyond this request's body is put back.
-pub fn read_request(
-    stream: &mut TcpStream,
-    limits: &Limits,
-    idle_timeout: Duration,
-    shutdown: &dyn Fn() -> bool,
-    carry: &mut Vec<u8>,
-) -> ReadOutcome {
-    let mut buf: Vec<u8> = std::mem::take(carry);
-
-    // Phase 1: wait for the request to start (skipped when the previous
-    // read already carried its first bytes over). A queued connection
-    // whose bytes already sit in the socket buffer passes straight through
-    // even during shutdown — that is the "drain in-flight work" guarantee;
-    // only connections with nothing to say are closed.
-    if buf.is_empty() {
-        let idle_start = Instant::now();
-        let mut first = [0u8; 1];
-        loop {
-            let _ = stream.set_read_timeout(Some(SHUTDOWN_POLL));
-            match stream.read(&mut first) {
-                Ok(0) => return ReadOutcome::Closed,
-                Ok(_) => {
-                    buf.push(first[0]);
-                    break;
-                }
-                Err(e) if is_timeout(&e) => {
-                    if shutdown() {
-                        return ReadOutcome::Closed;
-                    }
-                    if idle_start.elapsed() >= idle_timeout {
-                        return ReadOutcome::IdleTimeout;
-                    }
-                }
-                Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(e) => return ReadOutcome::Io(e),
+/// Call it after every read; it never consumes anything itself (the caller
+/// drains `consumed` bytes on `Complete`). The head cap fires as soon as
+/// the buffer outgrows `max_header_bytes` without a blank line, and the
+/// body cap fires from the `Content-Length` header alone — an oversized
+/// body is rejected without ever being buffered.
+pub fn try_parse(buf: &[u8], limits: &Limits) -> Parse {
+    let head_end = match find_head_end(buf) {
+        Some(end) => end,
+        None => {
+            if buf.len() > limits.max_header_bytes {
+                return proto_err(
+                    413,
+                    format!("request head exceeds {} bytes", limits.max_header_bytes),
+                );
             }
-        }
-    }
-
-    // Phase 2: the request is in flight; everything below runs against one
-    // absolute deadline.
-    let deadline = Instant::now() + limits.read_timeout;
-
-    // Head: accumulate until the blank line, bounded.
-    let head_end = loop {
-        if let Some(end) = find_head_end(&buf) {
-            break end;
-        }
-        if buf.len() > limits.max_header_bytes {
-            return proto_err(
-                413,
-                format!("request head exceeds {} bytes", limits.max_header_bytes),
-            );
-        }
-        match read_chunk(stream, &mut buf, deadline) {
-            ChunkOutcome::Data => {}
-            ChunkOutcome::Eof => return proto_err(400, "connection closed mid-request"),
-            ChunkOutcome::Timeout => return proto_err(408, "timed out reading request head"),
-            ChunkOutcome::Io(e) => return ReadOutcome::Io(e),
+            return Parse::Incomplete;
         }
     };
 
@@ -181,7 +134,6 @@ pub fn read_request(
         Err(out) => return out,
     };
 
-    // Body: exactly Content-Length bytes, bounded.
     let content_length = match req.header("content-length") {
         None => 0usize,
         Some(v) => match v.trim().parse::<usize>() {
@@ -198,57 +150,20 @@ pub fn read_request(
             format!("body of {content_length} bytes exceeds {} bytes", limits.max_body_bytes),
         );
     }
-    let mut body = buf.split_off(head_end);
-    while body.len() < content_length {
-        match read_chunk(stream, &mut body, deadline) {
-            ChunkOutcome::Data => {}
-            ChunkOutcome::Eof => return proto_err(400, "connection closed mid-body"),
-            ChunkOutcome::Timeout => return proto_err(408, "timed out reading request body"),
-            ChunkOutcome::Io(e) => return ReadOutcome::Io(e),
-        }
+    let consumed = head_end + content_length;
+    if buf.len() < consumed {
+        return Parse::Incomplete;
     }
-    // Bytes past the body belong to the next pipelined request — hand them
-    // back to the caller instead of destroying them.
-    *carry = body.split_off(content_length);
-    req.body = body;
-    ReadOutcome::Request(req)
-}
-
-enum ChunkOutcome {
-    Data,
-    Eof,
-    Timeout,
-    Io(std::io::Error),
-}
-
-/// Reads some bytes into `buf`, bounded by the absolute `deadline`.
-fn read_chunk(stream: &mut TcpStream, buf: &mut Vec<u8>, deadline: Instant) -> ChunkOutcome {
-    let mut chunk = [0u8; 1024];
-    loop {
-        let left = match deadline.checked_duration_since(Instant::now()) {
-            Some(d) if !d.is_zero() => d,
-            _ => return ChunkOutcome::Timeout,
-        };
-        let _ = stream.set_read_timeout(Some(left.min(SHUTDOWN_POLL)));
-        match stream.read(&mut chunk) {
-            Ok(0) => return ChunkOutcome::Eof,
-            Ok(n) => {
-                buf.extend_from_slice(&chunk[..n]);
-                return ChunkOutcome::Data;
-            }
-            Err(e) if is_timeout(&e) => {}
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(e) => return ChunkOutcome::Io(e),
-        }
-    }
+    req.body = buf[head_end..consumed].to_vec();
+    Parse::Complete { request: req, consumed }
 }
 
 /// Index just past the `\r\n\r\n` terminating the head, if present.
-fn find_head_end(buf: &[u8]) -> Option<usize> {
+pub(crate) fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
 }
 
-fn parse_head(head: &[u8]) -> Result<Request, ReadOutcome> {
+fn parse_head(head: &[u8]) -> Result<Request, Parse> {
     let text =
         std::str::from_utf8(head).map_err(|_| proto_err(400, "request head is not valid utf-8"))?;
     let mut lines = text.split("\r\n");
@@ -381,28 +296,75 @@ impl Response {
         self
     }
 
-    /// Serializes the response. `keep_alive` decides the `Connection`
-    /// header; the caller closes the stream when it is `false`.
-    pub fn write_to(&self, w: &mut dyn Write, keep_alive: bool) -> std::io::Result<()> {
-        let mut head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
-            self.status,
-            status_text(self.status),
-            self.content_type,
-            self.body.len(),
-            if keep_alive { "keep-alive" } else { "close" },
-        );
+    /// Renders the response into `out` (appended). `keep_alive` decides
+    /// the `Connection` header; the caller closes the connection when it
+    /// is `false`.
+    ///
+    /// This is the hot serialization path: static byte fragments plus
+    /// manual decimal formatting, so a steady-state response costs no
+    /// `format!` machinery and — with a reused `out` — no allocation
+    /// beyond what the body itself needed.
+    pub fn serialize_into(&self, out: &mut Vec<u8>, keep_alive: bool) {
+        out.extend_from_slice(b"HTTP/1.1 ");
+        push_decimal(out, self.status as u64);
+        out.push(b' ');
+        out.extend_from_slice(status_text(self.status).as_bytes());
+        out.extend_from_slice(b"\r\ncontent-type: ");
+        out.extend_from_slice(self.content_type.as_bytes());
+        out.extend_from_slice(b"\r\ncontent-length: ");
+        push_decimal(out, self.body.len() as u64);
+        out.extend_from_slice(b"\r\nconnection: ");
+        out.extend_from_slice(if keep_alive { b"keep-alive".as_slice() } else { b"close" });
+        out.extend_from_slice(b"\r\n");
         for (name, value) in &self.extra_headers {
-            head.push_str(name);
-            head.push_str(": ");
-            head.push_str(value);
-            head.push_str("\r\n");
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(value.as_bytes());
+            out.extend_from_slice(b"\r\n");
         }
-        head.push_str("\r\n");
-        w.write_all(head.as_bytes())?;
-        w.write_all(&self.body)?;
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+    }
+
+    /// Serializes the response into `w`. Convenience for blocking callers
+    /// (tests, one-shot rejects); the server's event loop uses
+    /// [`Response::serialize_into`] and writes on readiness.
+    pub fn write_to(&self, w: &mut dyn Write, keep_alive: bool) -> std::io::Result<()> {
+        let mut bytes = Vec::with_capacity(self.body.len() + 128);
+        self.serialize_into(&mut bytes, keep_alive);
+        w.write_all(&bytes)?;
         w.flush()
     }
+}
+
+/// Appends `n` in decimal without going through `format!`.
+fn push_decimal(out: &mut Vec<u8>, mut n: u64) {
+    let mut tmp = [0u8; 20];
+    let mut i = tmp.len();
+    loop {
+        i -= 1;
+        tmp[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    out.extend_from_slice(&tmp[i..]);
+}
+
+/// The pre-serialized `503 Retry-After: 1` shed response (connection
+/// close). Written as-is on every shed path — over-capacity accepts,
+/// full job queue, drain-deadline leftovers — so shedding costs no
+/// per-connection serialization at all.
+pub(crate) fn shed_response_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let mut out = Vec::new();
+        Response::text(503, "server at capacity, retry shortly")
+            .with_header("retry-after", "1")
+            .serialize_into(&mut out, false);
+        out
+    })
 }
 
 /// Reason phrase for the status codes this server emits.
@@ -457,11 +419,61 @@ mod tests {
             b"GET /x HTTP/1.1\r\nbroken header\r\n\r\n",
         ] {
             match parse_head(bad) {
-                Err(ReadOutcome::Error { status: 400, .. }) => {}
+                Err(Parse::Error { status: 400, .. }) => {}
                 other => {
                     panic!("expected 400 for {:?}, got {other:?}", String::from_utf8_lossy(bad))
                 }
             }
+        }
+    }
+
+    #[test]
+    fn try_parse_is_incremental_and_reports_consumed() {
+        let limits = Limits::default();
+        let full =
+            b"POST /search HTTP/1.1\r\ncontent-length: 4\r\n\r\nbodyGET /next HTTP/1.1\r\n\r\n";
+        // every strict prefix up to the end of the body is Incomplete
+        let body_end = full.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4 + 4;
+        for cut in 0..body_end {
+            match try_parse(&full[..cut], &limits) {
+                Parse::Incomplete => {}
+                other => panic!("prefix of {cut} bytes should be Incomplete, got {other:?}"),
+            }
+        }
+        match try_parse(full, &limits) {
+            Parse::Complete { request, consumed } => {
+                assert_eq!(request.path, "/search");
+                assert_eq!(request.body, b"body");
+                assert_eq!(consumed, body_end, "pipelined follower is not consumed");
+                assert!(full[consumed..].starts_with(b"GET /next"));
+            }
+            other => panic!("expected Complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_parse_enforces_head_and_body_caps() {
+        let limits = Limits { max_header_bytes: 64, max_body_bytes: 16, ..Limits::default() };
+        match try_parse(&vec![b'a'; 65], &limits) {
+            Parse::Error { status: 413, message } => {
+                assert!(message.contains("head exceeds 64"), "{message}");
+            }
+            other => panic!("expected 413 head cap, got {other:?}"),
+        }
+        // body cap fires from the header alone — no body bytes present
+        match try_parse(b"POST /x HTTP/1.1\r\ncontent-length: 9999\r\n\r\n", &limits) {
+            Parse::Error { status: 413, message } => {
+                assert!(message.contains("9999"), "{message}");
+            }
+            other => panic!("expected 413 body cap, got {other:?}"),
+        }
+        match try_parse(b"POST /x HTTP/1.1\r\ncontent-length: nope\r\n\r\n", &limits) {
+            Parse::Error { status: 400, .. } => {}
+            other => panic!("expected 400 bad length, got {other:?}"),
+        }
+        match try_parse(b"POST /x HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n", &limits) {
+            Parse::Error { status: 501, .. } => {}
+            other => panic!("expected 501, got {other:?}"),
         }
     }
 
@@ -504,5 +516,18 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("connection: close\r\n"), "{text}");
         assert!(text.contains("Retry-After: 1\r\n"), "{text}");
+    }
+
+    #[test]
+    fn serialize_into_appends_and_shed_blob_is_well_formed() {
+        let mut out = b"prefix".to_vec();
+        Response::text(200, "ok").serialize_into(&mut out, true);
+        assert!(out.starts_with(b"prefix"), "serialize_into must append");
+
+        let shed = String::from_utf8(shed_response_bytes().to_vec()).unwrap();
+        assert!(shed.starts_with("HTTP/1.1 503 Service Unavailable\r\n"), "{shed}");
+        assert!(shed.contains("retry-after: 1\r\n"), "{shed}");
+        assert!(shed.contains("connection: close\r\n"), "{shed}");
+        assert!(shed.ends_with("server at capacity, retry shortly\n"), "{shed}");
     }
 }

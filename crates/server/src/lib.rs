@@ -6,14 +6,22 @@
 //! service the paper describes — dependency-light (no async runtime; std +
 //! `parking_lot` + serde), but with real robustness properties:
 //!
-//! * **Bounded concurrency.** A fixed worker pool serves connections
-//!   handed over through a bounded queue ([`BoundedQueue`]); memory and
-//!   thread use are constant under any offered load.
-//! * **Load shedding.** When the queue is full, new connections are
-//!   answered `503 Retry-After: 1` immediately — backpressure is explicit
-//!   and bounded, never an unbounded buffer or a hang.
+//! * **Event-driven I/O.** A single nonblocking readiness loop (epoll on
+//!   Linux, `poll(2)` elsewhere, via a tiny FFI shim — still no async
+//!   runtime) owns every socket and hands only *complete* requests to the
+//!   worker pool. A slow or stalled client costs one connection slot and a
+//!   few buffered bytes, never a worker thread.
+//! * **Bounded concurrency.** A fixed worker pool serves parsed requests
+//!   handed over through a bounded job queue ([`BoundedQueue`]); memory
+//!   and thread use are constant under any offered load. Admitted
+//!   connections are capped at `workers + queue_depth`.
+//! * **Load shedding.** Past the admission cap, or when the job queue is
+//!   full, clients are answered with a pre-serialized `503 Retry-After: 1`
+//!   immediately — backpressure is explicit and bounded, never an
+//!   unbounded buffer or a hang.
 //! * **Deadlines everywhere.** Idle keep-alive timeout, per-request read
-//!   deadline (408), bounded head/body sizes (413), write timeouts.
+//!   deadline (408), bounded head/body sizes (413), write deadlines —
+//!   all enforced by the event loop's sweep, no per-connection timers.
 //! * **Hot reload.** The catalog sits behind an epoch pointer
 //!   ([`ServeState`]); a filesystem poll or `POST /admin/reload` swaps in
 //!   a freshly built [`EngineEpoch`] when the published generation
@@ -42,6 +50,8 @@
 
 #![warn(missing_docs)]
 
+mod conn;
+mod event_loop;
 mod expose;
 mod handlers;
 mod http;
@@ -54,19 +64,22 @@ mod state;
 
 pub use expose::store_snapshot;
 pub use handlers::handle;
-pub use http::{percent_decode, status_text, Limits, ReadOutcome, Request, Response};
+pub use http::{percent_decode, status_text, Limits, Parse, Request, Response};
 pub use pool::BoundedQueue;
 pub use router::{route, Route};
-pub use server::{ServeSummary, Server, ServerConfig};
+pub use server::{
+    clamp_queue_depth, clamp_workers, ServeSummary, Server, ServerConfig, MAX_QUEUE_DEPTH,
+    MAX_WORKERS,
+};
 pub use shutdown::ShutdownHandle;
 pub use state::{EngineEpoch, ReloadOutcome, ServeState};
 
-// The server hands one `Arc<ServeState>` to every worker thread; assert
-// the whole state graph stays thread-safe at compile time.
+// Workers share the job queue and one `Arc<ServeState>`; assert the whole
+// state graph stays thread-safe at compile time.
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<ServeState>();
     assert_send_sync::<EngineEpoch>();
     assert_send_sync::<ShutdownHandle>();
-    assert_send_sync::<BoundedQueue<std::net::TcpStream>>();
+    assert_send_sync::<BoundedQueue<Request>>();
 };

@@ -15,6 +15,12 @@
 //!   epoch.
 //! * `metamess_server_panics_total` — panics caught by the worker pool
 //!   (the request gets a 500 or a dropped connection; the worker lives).
+//! * `metamess_server_conn_open` — connections currently owned by the
+//!   event loop (gauge; admission-capped at `workers + queue_depth`).
+//! * `metamess_server_conn_timeouts_total` — connections closed by a
+//!   deadline (idle, 408 read, or write stall).
+//! * `metamess_server_drained_dropped_total` — connections still
+//!   mid-request when the drain deadline expired (answered 503, closed).
 
 use metamess_telemetry::global;
 
@@ -66,6 +72,34 @@ pub(crate) fn record_panic() {
     }
 }
 
+/// A connection entered the event loop.
+pub(crate) fn conn_opened() {
+    if metamess_telemetry::enabled() {
+        global().gauge("metamess_server_conn_open").inc();
+    }
+}
+
+/// A connection left the event loop (any reason).
+pub(crate) fn conn_closed() {
+    if metamess_telemetry::enabled() {
+        global().gauge("metamess_server_conn_open").dec();
+    }
+}
+
+/// A connection was closed by a deadline (idle, 408 read, write stall).
+pub(crate) fn record_conn_timeout() {
+    if metamess_telemetry::enabled() {
+        global().counter("metamess_server_conn_timeouts_total").add(1);
+    }
+}
+
+/// A connection was dropped at the drain deadline (answered 503).
+pub(crate) fn record_drained_drop() {
+    if metamess_telemetry::enabled() {
+        global().counter("metamess_server_drained_dropped_total").add(1);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,5 +118,24 @@ mod tests {
             text.contains("metamess_server_requests_total{route=\"search\",status=\"200\"}"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn conn_gauge_balances_open_and_close() {
+        if !metamess_telemetry::enabled() {
+            return;
+        }
+        let before = global().gauge("metamess_server_conn_open").get();
+        conn_opened();
+        conn_opened();
+        conn_closed();
+        let after = global().gauge("metamess_server_conn_open").get();
+        assert_eq!(after - before, 1);
+        conn_closed();
+        record_drained_drop();
+        record_conn_timeout();
+        let snap = global().snapshot();
+        assert!(snap.counters.contains_key("metamess_server_drained_dropped_total"));
+        assert!(snap.counters.contains_key("metamess_server_conn_timeouts_total"));
     }
 }

@@ -1,11 +1,11 @@
-//! A bounded MPMC queue of accepted connections.
+//! A bounded MPMC job queue between the event loop and the worker pool.
 //!
-//! This is the server's **only** buffer between accept and service, and it
-//! is capped: when `capacity` connections are already waiting, `try_push`
-//! hands the connection back so the accept loop can shed it with
+//! This is the server's **only** buffer between parse and service, and it
+//! is capped: when `capacity` jobs are already waiting, `try_push` hands
+//! the job back so the event loop can shed the request with
 //! `503 Retry-After` instead of buffering without bound. Backpressure is
 //! therefore visible to clients immediately, and memory use is bounded by
-//! `workers + capacity` connections no matter the offered load.
+//! `workers + capacity` in-flight requests no matter the offered load.
 
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
@@ -20,8 +20,8 @@ pub struct BoundedQueue<T> {
 }
 
 impl<T> BoundedQueue<T> {
-    /// A queue admitting at most `capacity` waiting items (0 = hand-off
-    /// only succeeds when a worker is already draining).
+    /// A queue admitting at most `capacity` waiting items (0 = every push
+    /// fails, i.e. shed everything — a deliberate test/benchmark mode).
     pub fn new(capacity: usize) -> BoundedQueue<T> {
         BoundedQueue {
             items: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),

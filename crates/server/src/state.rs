@@ -102,6 +102,11 @@ pub struct ServeState {
     /// the last on-disk signature for cheap change detection.
     reload_state: Mutex<StoreSignature>,
     reloads: AtomicU64,
+    /// Cached `/healthz` JSON body keyed by `(epoch, reloads)`: the
+    /// liveness probe is the hottest route and its body only changes when
+    /// an epoch swap (or a no-op reload) lands, so the steady state skips
+    /// serialization entirely.
+    healthz_cache: Mutex<Option<(u64, u64, Arc<str>)>>,
     /// Held for the server's lifetime: lets other readers and wranglers
     /// coexist, but makes `fsck --repair` fail fast instead of truncating
     /// files out from under live requests.
@@ -133,6 +138,7 @@ impl ServeState {
             current: RwLock::new(Arc::new(epoch)),
             reload_state: Mutex::new(signature),
             reloads: AtomicU64::new(0),
+            healthz_cache: Mutex::new(None),
             _lock: lock,
         })
     }
@@ -156,6 +162,32 @@ impl ServeState {
     /// Epoch swaps performed so far.
     pub fn reloads(&self) -> u64 {
         self.reloads.load(Ordering::Relaxed)
+    }
+
+    /// The `/healthz` JSON body, cached until the epoch or the reload
+    /// counter moves. Field order matches the historical serde rendering
+    /// so clients see byte-identical bodies.
+    pub fn healthz_body(&self) -> Arc<str> {
+        let epoch = self.epoch();
+        let reloads = self.reloads();
+        let mut cache = self.healthz_cache.lock();
+        if let Some((e, r, body)) = cache.as_ref() {
+            if *e == epoch.epoch && *r == reloads {
+                return Arc::clone(body);
+            }
+        }
+        let body: Arc<str> = format!(
+            "{{\"status\":\"ok\",\"generation\":{},\"epoch\":{},\"datasets\":{},\
+             \"shards\":{},\"reloads\":{}}}",
+            epoch.generation,
+            epoch.epoch,
+            epoch.datasets,
+            epoch.engine.shard_count(),
+            reloads
+        )
+        .into();
+        *cache = Some((epoch.epoch, reloads, Arc::clone(&body)));
+        body
     }
 
     /// Reopens the store and swaps in a new epoch if the generation
@@ -274,6 +306,26 @@ mod tests {
         let epoch = state.epoch();
         assert_eq!(epoch.engine.shard_count(), 4);
         assert_eq!(epoch.datasets, 3);
+    }
+
+    #[test]
+    fn healthz_body_is_cached_until_a_swap() {
+        let dir = fixture_store("healthz");
+        let state = ServeState::open(&dir).unwrap();
+        let first = state.healthz_body();
+        let second = state.healthz_body();
+        assert!(Arc::ptr_eq(&first, &second), "steady state reuses the cached body");
+        let v: serde_json::Value = serde_json::from_str(&first).unwrap();
+        assert_eq!(v["status"], "ok");
+        assert_eq!(v["datasets"], 2);
+        assert_eq!(v["reloads"], 0);
+        publish_one_more(&dir, "2014/08/c.csv");
+        state.reload().unwrap();
+        let third = state.healthz_body();
+        assert!(!Arc::ptr_eq(&second, &third), "an epoch swap invalidates the cache");
+        let v: serde_json::Value = serde_json::from_str(&third).unwrap();
+        assert_eq!(v["datasets"], 3);
+        assert_eq!(v["reloads"], 1);
     }
 
     #[test]

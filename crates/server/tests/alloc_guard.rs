@@ -1,0 +1,163 @@
+//! Allocation budget for the request hot path (`alloc-guard` feature,
+//! on by default).
+//!
+//! The event-loop refactor's zero-allocation story — interned vocabulary
+//! keys, the light-candidate scoring pass with a reusable per-thread
+//! buffer, pre-serialized response fragments — is easy to regress one
+//! `format!` at a time. This test pins it down: a warm keep-alive
+//! `POST /search` must stay under a fixed small allocation budget, both
+//! on a result-cache hit and on a full cold scoring pass.
+//!
+//! The whole check lives in ONE test function: the counting allocator is
+//! process-global, so a second test running concurrently would bleed its
+//! allocations into the measured window.
+
+#![cfg(feature = "alloc-guard")]
+
+use metamess_core::{DatasetFeature, DurableCatalog, StoreOptions, VariableFeature};
+use metamess_server::{handle, Request, ServeState};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Counts heap allocations while `ARMED`; delegates everything to the
+/// system allocator. The flags are plain statics (not thread-locals): the
+/// measured work runs on this test's thread, and `GlobalAlloc` impls must
+/// not touch thread-local state during TLS teardown anyway.
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `f` with the allocation counter armed; returns its heap
+/// allocation count alongside the result.
+fn counting<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    ALLOCS.store(0, Ordering::Relaxed);
+    ARMED.store(true, Ordering::Relaxed);
+    let out = f();
+    ARMED.store(false, Ordering::Relaxed);
+    (out, ALLOCS.load(Ordering::Relaxed))
+}
+
+/// A store big enough that a cold scoring pass does real work: a few
+/// hundred datasets with ranged numeric variables.
+fn fixture_store() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("metamess-allocguard-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut store = DurableCatalog::open(dir.join("catalog"), StoreOptions::default()).unwrap();
+    for i in 0..240usize {
+        let mut d = DatasetFeature::new(format!("2014/{:02}/station{:03}_ctd.csv", i % 12 + 1, i));
+        let mut temp = VariableFeature::new("water_temperature");
+        temp.summary.observe(4.0 + (i % 20) as f64);
+        temp.summary.observe(9.0 + (i % 20) as f64);
+        d.variables.push(temp);
+        if i % 2 == 0 {
+            let mut sal = VariableFeature::new("salinity");
+            sal.summary.observe(28.0 + (i % 7) as f64 / 2.0);
+            sal.summary.observe(34.0);
+            d.variables.push(sal);
+        }
+        store.put(d).unwrap();
+    }
+    store.checkpoint().unwrap();
+    drop(store);
+    dir
+}
+
+fn search_request(body: &str) -> Request {
+    Request {
+        method: "POST".to_string(),
+        path: "/search".to_string(),
+        query: BTreeMap::new(),
+        headers: vec![("host".to_string(), "test".to_string())],
+        body: body.as_bytes().to_vec(),
+        http10: false,
+    }
+}
+
+/// Generous ceilings — the point is the order of magnitude. Before the
+/// zero-allocation pass, a 240-dataset scoring run materialized a
+/// `SearchHit` (id + path + title strings + breakdown) per candidate:
+/// thousands of allocations. These budgets only fit the refactored path
+/// (parse the JSON body, run the light scoring pass out of the warm
+/// per-thread scratch, materialize ≤ limit survivors, render one response).
+const CACHE_HIT_BUDGET: u64 = 200;
+const COLD_SCORING_BUDGET: u64 = 1000;
+
+#[test]
+fn warm_keep_alive_search_stays_within_allocation_budget() {
+    // Instrumentation is not part of the budget: benchmarks and latency-
+    // sensitive deployments run with telemetry off, and counter updates
+    // would otherwise dominate the measurement.
+    metamess_telemetry::global().set_enabled(false);
+
+    let dir = fixture_store();
+    let state = ServeState::open(&dir).expect("open store");
+
+    // Warm everything a keep-alive connection would have warmed: the
+    // per-thread scoring scratch (grown by real scoring passes — the
+    // distinct limits dodge the result cache) and one cached entry for
+    // the repeated query.
+    for limit in [7usize, 8, 9] {
+        let req = search_request(&format!(r#"{{"q":"with water_temperature","limit":{limit}}}"#));
+        let (_, resp) = handle(&state, &req);
+        assert_eq!(resp.status, 200);
+    }
+    let repeated = search_request(r#"{"q":"with water_temperature"}"#);
+    let (_, resp) = handle(&state, &repeated);
+    assert_eq!(resp.status, 200);
+
+    // Scenario 1: the steady state — a repeated query answered from the
+    // generation-stamped result cache.
+    let (resp, hit_allocs) = counting(|| handle(&state, &repeated).1);
+    assert_eq!(resp.status, 200);
+    assert!(
+        hit_allocs <= CACHE_HIT_BUDGET,
+        "cache-hit /search made {hit_allocs} heap allocations (budget {CACHE_HIT_BUDGET})"
+    );
+
+    // Scenario 2: a cache miss over the full catalog — the scoring pass
+    // itself must not allocate per candidate (only per-query setup and
+    // the ≤ limit materialized hits may).
+    let cold = search_request(r#"{"q":"with salinity"}"#);
+    let (resp, cold_allocs) = counting(|| handle(&state, &cold).1);
+    assert_eq!(resp.status, 200);
+    assert!(
+        cold_allocs <= COLD_SCORING_BUDGET,
+        "cold /search made {cold_allocs} heap allocations (budget {COLD_SCORING_BUDGET})"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -50,6 +50,7 @@ fn serve(dir: PathBuf, tweak: impl FnOnce(&mut ServerConfig)) -> TestServer {
         idle_timeout: Duration::from_secs(5),
         request_timeout: Duration::from_secs(5),
         drain_timeout: Duration::from_secs(5),
+        drain_grace: Duration::from_millis(500),
         poll_interval: None,
         limits: Limits::default(),
     };
@@ -290,24 +291,25 @@ fn full_queue_sheds_with_503_and_retry_after() {
         c.workers = 1;
         c.queue_depth = 1;
     });
-    // A pins the single worker with a started-but-incomplete request.
+    // The admission cap is workers + queue_depth = 2 connections. A holds
+    // one slot with a started-but-incomplete request...
     let mut a = connect(server.addr);
     a.write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\n").unwrap();
-    std::thread::sleep(Duration::from_millis(300));
-    // B fills the one queue slot; its bytes are fully sent so it can be
-    // served as soon as the worker frees up.
+    // ...and B holds the other as a served keep-alive connection. Reading
+    // B's response also proves A (accepted first) is registered by now.
     let mut b = connect(server.addr);
-    b.write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n").unwrap();
-    std::thread::sleep(Duration::from_millis(200));
-    // C finds the queue full: an immediate 503, never a hang.
+    b.write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n").unwrap();
+    let (status, headers, _) = read_response(&mut b);
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "connection"), Some("keep-alive"));
+    // C arrives over the cap: an immediate pre-serialized 503, never a
+    // hang — the event thread writes it at accept without queueing.
     let (status, headers, _) = raw(server.addr, b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n");
     assert_eq!(status, 503);
     assert_eq!(header(&headers, "retry-after"), Some("1"));
-    // Completing A frees the worker; both A and B are answered.
+    // A's slot was healthy all along: completing the request serves it.
     a.write_all(b"connection: close\r\n\r\n").unwrap();
     let (status, _, _) = read_response(&mut a);
-    assert_eq!(status, 200);
-    let (status, _, _) = read_response(&mut b);
     assert_eq!(status, 200);
     let summary = server.stop();
     assert_eq!(summary.shed, 1);
@@ -318,16 +320,18 @@ fn full_queue_sheds_with_503_and_retry_after() {
 #[test]
 fn graceful_shutdown_drains_queued_requests() {
     let server = serve(fixture_store("drain"), |c| c.workers = 1);
-    // A occupies the worker mid-request.
+    // A and B are both mid-request (heads started, not finished) when the
+    // shutdown lands: the drain must keep reading, parsing, and serving
+    // until every accepted connection has been answered.
     let mut a = connect(server.addr);
     a.write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\n").unwrap();
-    std::thread::sleep(Duration::from_millis(300));
-    // B is queued with its request bytes already in the socket buffer.
     let mut b = connect(server.addr);
-    b.write_all(b"GET /browse HTTP/1.1\r\nhost: t\r\n\r\n").unwrap();
+    b.write_all(b"GET /browse HTTP/1.1\r\nhost: t\r\n").unwrap();
     std::thread::sleep(Duration::from_millis(200));
     server.shutdown.trigger();
+    std::thread::sleep(Duration::from_millis(100));
     a.write_all(b"\r\n").unwrap();
+    b.write_all(b"\r\n").unwrap();
     // Both in-flight requests are answered, but keep-alive is refused
     // during the drain.
     let (status, headers, _) = read_response(&mut a);
@@ -390,5 +394,51 @@ fn metrics_endpoint_serves_prometheus_text() {
     let (status, headers, _) = get(server.addr, "/metrics");
     assert_eq!(status, 200);
     assert!(header(&headers, "content-type").unwrap().starts_with("text/plain"));
+    server.stop();
+}
+
+#[test]
+fn slow_loris_connections_do_not_starve_healthy_clients() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let server = serve(fixture_store("loris"), |_| {});
+    let addr = server.addr;
+    let stop = Arc::new(AtomicBool::new(false));
+    // Eight clients each trickle a request one byte per 100ms. Under the
+    // old thread-per-connection design these alone would have pinned every
+    // worker (the helper config has 2); under the event loop a stalled
+    // read costs nothing until its bytes complete a request.
+    let loris: Vec<JoinHandle<()>> = (0..8)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut stream = connect(addr);
+                for byte in b"GET /healthz HTTP/1.1\r\nhost: t\r\n".chunks(1) {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let _ = stream.write_all(byte);
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+                // Dropping the stream sends FIN so the server can reap the
+                // half-request promptly instead of waiting out a timeout.
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(300));
+    // Healthy clients keep getting served promptly the whole time.
+    let mut worst = Duration::ZERO;
+    for i in 0..10 {
+        let started = std::time::Instant::now();
+        let (status, _, _) = get(addr, "/healthz");
+        assert_eq!(status, 200, "healthy request {i} under slow-loris load");
+        worst = worst.max(started.elapsed());
+    }
+    assert!(worst < Duration::from_secs(2), "healthy request took {worst:?} under slow-loris load");
+    stop.store(true, Ordering::Relaxed);
+    for t in loris {
+        t.join().expect("loris thread");
+    }
+    // Give the event loop a beat to observe the FINs before draining.
+    std::thread::sleep(Duration::from_millis(150));
     server.stop();
 }

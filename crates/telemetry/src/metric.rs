@@ -102,6 +102,17 @@ impl Gauge {
         self.0.fetch_add(delta, Ordering::Relaxed);
     }
 
+    /// Adds one — for gauges tracking a live population (open
+    /// connections, in-flight requests).
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
     /// Current value.
     pub fn get(&self) -> i64 {
         self.0.load(Ordering::Relaxed)
@@ -366,6 +377,10 @@ mod tests {
         g.set(7);
         g.add(-10);
         assert_eq!(g.get(), -3);
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), -2);
         g.reset();
         assert_eq!(g.get(), 0);
     }

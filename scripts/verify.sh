@@ -50,10 +50,14 @@ cargo test -q -p metamess-telemetry
 echo "==> cargo test -q -p metamess-server (HTTP layer + socket integration)"
 cargo test -q -p metamess-server
 
-echo "==> serve smoke: exp8 --quick (load, shed, hot reload, graceful drain)"
+echo "==> serve smoke: exp8 --quick (load, shed, hot reload, drain, event loop)"
 # The experiment asserts zero dropped in-flight requests across shutdown
-# and reload; timeout guards against a hung accept loop ever blocking CI.
-timeout 300 cargo run --release -q -p metamess-bench --bin exp8_serve -- --quick
+# and reload, runs the 10x-load + slow-loris event-loop scenario, and
+# fails on a >25% p99 regression against the committed BENCH_serve.json
+# (bootstrapped from this very run when the file does not exist yet);
+# timeout guards against a hung event loop ever blocking CI.
+timeout 300 cargo run --release -q -p metamess-bench --bin exp8_serve -- --quick \
+  --baseline BENCH_serve.json
 
 echo "==> sharding: bit-identity property tests"
 cargo test -q -p metamess-search --test shard_props

@@ -9,7 +9,7 @@
 //! metamess validate <dir>
 //! metamess fsck     <store-dir> [--json] [--repair]
 //! metamess serve    <store-dir> [--addr H:P] [--workers N] [--queue-depth N]
-//!                   [--shards N] [--partition P]
+//!                   [--drain-grace-ms N] [--shards N] [--partition P]
 //! ```
 //!
 //! `wrangle` runs the full curation loop over an archive directory and
@@ -87,13 +87,16 @@ usage:
       into <store>/state/quarantine; --json emits the machine-readable
       report; exits nonzero when damage was found and not repaired
   metamess serve <store-dir> [--addr H:P] [--workers N] [--queue-depth N]
-                 [--shards N] [--partition P]
+                 [--drain-grace-ms N] [--shards N] [--partition P]
       serve the store over HTTP (POST /search, GET /datasets/<path>,
-      GET /browse, GET /healthz, GET /metrics, POST /admin/reload) with a
-      bounded worker pool; excess load is shed with 503 Retry-After, and
-      republished stores are hot-reloaded without dropping requests
-      (reloads rebuild the full shard set and swap it atomically);
-      SIGTERM / ctrl-c drain in-flight work before exiting";
+      GET /browse, GET /healthz, GET /metrics, POST /admin/reload): one
+      nonblocking event thread multiplexes every connection and hands
+      complete requests to a bounded worker pool (--workers is clamped to
+      1..=256, --queue-depth to 0..=4096); excess load is shed with 503
+      Retry-After, and republished stores are hot-reloaded without dropping
+      requests (reloads rebuild the full shard set and swap it atomically);
+      SIGTERM / ctrl-c drain in-flight work before exiting, waiting up to
+      --drain-grace-ms (default 500) for worker threads to finish";
 
 fn parse_flag(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|ix| args.get(ix + 1).cloned())
@@ -419,11 +422,20 @@ fn cmd_serve(args: &[String]) -> Result<(), metamess::core::Error> {
             .parse::<usize>()
             .ok()
             .filter(|w| *w > 0)
+            .map(metamess::server::clamp_workers)
             .ok_or_else(|| metamess::core::Error::invalid("bad --workers"))?;
     }
     if let Some(q) = parse_flag(args, "--queue-depth") {
-        config.queue_depth =
-            q.parse().map_err(|_| metamess::core::Error::invalid("bad --queue-depth"))?;
+        config.queue_depth = q
+            .parse()
+            .map(metamess::server::clamp_queue_depth)
+            .map_err(|_| metamess::core::Error::invalid("bad --queue-depth"))?;
+    }
+    if let Some(g) = parse_flag(args, "--drain-grace-ms") {
+        config.drain_grace = g
+            .parse::<u64>()
+            .map(std::time::Duration::from_millis)
+            .map_err(|_| metamess::core::Error::invalid("bad --drain-grace-ms"))?;
     }
     let spec = parse_shard_flags(args)?;
 
