@@ -13,7 +13,11 @@
 //! ```
 //!
 //! `--json` additionally writes a schema-stable `BENCH_serve.json` with
-//! throughput, p50/p95/p99 latency, shed rate, and the drain outcome.
+//! throughput, p50/p95/p99 latency, shed rate, the drain outcome, and the
+//! `trace_overhead.*` scenario: the same load served untraced
+//! (`--trace-sample-rate 0.0`) and fully head-sampled (rate 1.0), with a
+//! hard in-process gate that full sampling stays within 10% of the
+//! untraced p99 (+2ms noise floor).
 //! The `event_loop.*` scenario stresses the readiness loop directly:
 //! closed-loop load at 10x the worker count while eight slow-loris
 //! connections trickle one byte per 100ms — under the old
@@ -425,6 +429,78 @@ fn main() {
     report.set("event_loop.dropped", el_summary.dropped);
     report.set_f64("event_loop.throughput_rps", el_throughput);
     report.record_samples("event_loop.latency", &el_samples);
+
+    // --- Trace overhead: the same closed-loop load served untraced ------
+    // (sample rate 0.0) and fully head-sampled (rate 1.0). Request-scoped
+    // tracing is arena-backed and allocation-free on the happy path, so
+    // full sampling must stay within 10% of the untraced p99 (plus a 2ms
+    // noise floor for busy CI boxes) — the gate verify.sh enforces.
+    let to_clients = if quick { 4usize } else { 8 };
+    let to_per_client = if quick { 25usize } else { 100 };
+    let mut overhead_p99 = [0u64; 2];
+    for (ix, rate) in [0.0f64, 1.0].into_iter().enumerate() {
+        let config = ServerConfig {
+            workers: 4,
+            queue_depth: 64,
+            poll_interval: None,
+            trace_sample_rate: rate,
+            ..ServerConfig::default()
+        };
+        let state = Arc::new(ServeState::open(&store).expect("open store"));
+        let tr_server = Server::bind(state, config).expect("bind");
+        let tr_addr = tr_server.local_addr().expect("local addr");
+        let tr_shutdown = tr_server.shutdown_handle();
+        let tr_thread = std::thread::spawn(move || tr_server.run());
+        // Warm the result cache and scoring scratch so both runs measure
+        // the steady state.
+        for req in mix.iter() {
+            let (status, body, _) = exchange(tr_addr, req).expect("warmup");
+            assert_eq!(status, 200, "{body}");
+        }
+        let handles: Vec<JoinHandle<Vec<u64>>> = (0..to_clients)
+            .map(|c| {
+                let mix = mix.clone();
+                std::thread::spawn(move || {
+                    let mut samples = Vec::new();
+                    for i in 0..to_per_client {
+                        match exchange(tr_addr, &mix[(c + i) % mix.len()]) {
+                            Some((200, _, us)) => samples.push(us),
+                            Some((503, _, _)) => {}
+                            Some((status, body, _)) => panic!("unexpected {status}: {body}"),
+                            None => panic!("transport failure in trace-overhead run"),
+                        }
+                    }
+                    samples
+                })
+            })
+            .collect();
+        let mut tr_samples = Vec::new();
+        for h in handles {
+            tr_samples.extend(h.join().expect("trace-overhead client"));
+        }
+        tr_shutdown.trigger();
+        tr_thread.join().expect("server thread").expect("serve summary");
+        let mut tr_sorted = tr_samples.clone();
+        tr_sorted.sort_unstable();
+        overhead_p99[ix] = percentile(&tr_sorted, 0.99);
+        let label = if ix == 0 { "untraced" } else { "traced" };
+        report.record_samples(&format!("trace_overhead.{label}.latency"), &tr_samples);
+    }
+    let [untraced_p99, traced_p99] = overhead_p99;
+    let gate = (untraced_p99 as f64 * 1.10) as u64 + 2_000;
+    println!(
+        "\ntrace overhead: p99 untraced {untraced_p99}µs vs traced {traced_p99}µs \
+         (gate {gate}µs)"
+    );
+    assert!(
+        traced_p99 <= gate,
+        "full head-sampling costs more than 10% p99: {untraced_p99}µs -> {traced_p99}µs"
+    );
+    report.set("trace_overhead.gate_micros", gate);
+    report.set_f64(
+        "trace_overhead.p99_ratio",
+        if untraced_p99 == 0 { 1.0 } else { traced_p99 as f64 / untraced_p99 as f64 },
+    );
 
     if let Some(path) = json_path {
         report.write(&path).expect("write bench report");

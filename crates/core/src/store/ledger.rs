@@ -41,6 +41,13 @@ pub struct StageRecord {
 pub struct RunLedger {
     /// Identifier of the run that last updated the ledger.
     pub run_id: u64,
+    /// Hex trace id of the wrangle trace recorded for the run that last
+    /// updated the ledger (32 lowercase hex chars), or empty in ledgers
+    /// written before tracing existed / with telemetry disabled. Lets
+    /// `metamess trace` link a published catalog generation back to the
+    /// per-stage span tree that produced it.
+    #[serde(default, skip_serializing_if = "String::is_empty")]
+    pub trace_id: String,
     /// Stage name → record.
     pub stages: BTreeMap<String, StageRecord>,
 }
@@ -74,6 +81,7 @@ impl RunLedger {
     /// Forgets everything (forces the next run to execute every stage).
     pub fn clear(&mut self) {
         self.run_id = 0;
+        self.trace_id.clear();
         self.stages.clear();
     }
 }
@@ -173,6 +181,21 @@ mod tests {
         let rec = l.get("publish").unwrap();
         assert_eq!(rec.micros, 11);
         assert_eq!(rec.last_run, 0);
+        // …and before RunLedger grew `trace_id`.
+        assert_eq!(l.trace_id, "");
+    }
+
+    #[test]
+    fn empty_trace_id_is_not_serialized() {
+        let l = sample();
+        let json = serde_json::to_string(&l).unwrap();
+        assert!(!json.contains("trace_id"), "{json}");
+        let mut traced = l.clone();
+        traced.trace_id = "00000000000000000000000000000abc".to_string();
+        let json = serde_json::to_string(&traced).unwrap();
+        assert!(json.contains("\"trace_id\":\"00000000000000000000000000000abc\""), "{json}");
+        let back: RunLedger = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, traced);
     }
 
     #[test]

@@ -150,6 +150,19 @@ fn digest(name: &str, slots: &[Slot], fps: &mut SlotFps, ctx: &PipelineContext) 
     Ok(fnv1a(&buf))
 }
 
+/// Closes the wrangle trace if `run_chain` unwinds through a `?` — an
+/// abandoned trace would otherwise occupy the thread-local slot and make
+/// every later `trace::begin` on this thread refuse.
+struct TraceGuard(bool);
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        if self.0 {
+            let _ = metamess_telemetry::trace::end(u64::MAX);
+        }
+    }
+}
+
 /// Runs a component chain incrementally: skips stages whose input digest
 /// matches the context ledger's record, executes the rest through scoped
 /// views, and updates the ledger. Called by [`crate::Pipeline::run`].
@@ -160,6 +173,12 @@ pub(crate) fn run_chain(
     ctx.run_id += 1;
     ctx.harvest.pipeline_run = ctx.run_id;
     let on = metamess_telemetry::enabled();
+    // Every wrangle run gets its own trace (never head-sampled away: runs
+    // are rare and each one matters). Executed stages become child spans;
+    // the finished trace id is persisted in the ledger so `metamess trace`
+    // can show the span tree that produced a published generation.
+    let trace_ctx = metamess_telemetry::TraceContext::start(1.0);
+    let mut trace_guard = TraceGuard(metamess_telemetry::trace::begin(&trace_ctx, "wrangle"));
     let mut fingerprint_micros = 0u64;
     let mut fps = SlotFps::default();
     let mut report = RunReport { run_id: ctx.run_id, stages: Vec::new() };
@@ -208,6 +227,8 @@ pub(crate) fn run_chain(
             metamess_telemetry::global()
                 .histogram(&labeled("metamess_pipeline_stage_micros", "stage", name))
                 .record(sr.micros);
+            // a child span per executed stage under the wrangle root
+            metamess_telemetry::trace::record_span(name, sr.micros, None);
         }
         event!(Level::Info, "pipeline", "{name}: ran in {}µs", sr.micros);
         executed.push(ix);
@@ -234,6 +255,15 @@ pub(crate) fn run_chain(
             .add((report.stages.len() - executed.len()) as u64);
         r.histogram("metamess_pipeline_fingerprint_micros").record(fingerprint_micros);
         r.gauge("metamess_pipeline_last_run_id").set(ctx.run_id as i64);
+        metamess_telemetry::trace::record_span("fingerprint", fingerprint_micros, None);
+    }
+    if trace_guard.0 {
+        trace_guard.0 = false;
+        // never routed to the slow-query log: a wrangle run is expected to
+        // take as long as it takes
+        if let Some(fin) = metamess_telemetry::trace::end(u64::MAX) {
+            ctx.ledger.trace_id = fin.trace_id_hex();
+        }
     }
     Ok(report)
 }
@@ -448,6 +478,30 @@ mod tests {
         // the ledger remembers which run last *executed* each stage
         assert_eq!(c.ledger.get("scan-archive").unwrap().last_run, 1);
         assert_eq!(c.ledger.run_id, 2);
+    }
+
+    #[test]
+    fn wrangle_run_records_a_trace_id_in_the_ledger() {
+        let mut c = ctx();
+        let mut p = Pipeline::standard();
+        p.run(&mut c).unwrap();
+        if !metamess_telemetry::enabled() {
+            assert_eq!(c.ledger.trace_id, "", "no trace id under METAMESS_TELEMETRY=0");
+            return;
+        }
+        let tid = c.ledger.trace_id.clone();
+        assert_eq!(tid.len(), 32, "ledger carries the 128-bit hex trace id: {tid:?}");
+        // The wrangle trace sits in the flight recorder with one child
+        // span per executed stage.
+        let id = metamess_telemetry::trace::parse_trace_id(&tid).unwrap();
+        let rec = metamess_telemetry::trace::flight().find(id).expect("wrangle trace in the ring");
+        let names: Vec<&str> = rec.spans().iter().map(|s| s.name).collect();
+        assert_eq!(names[0], "wrangle");
+        assert!(names.contains(&"scan-archive"), "{names:?}");
+        assert!(names.contains(&"publish"), "{names:?}");
+        // Every run is its own trace, even an all-skipped one.
+        p.run(&mut c).unwrap();
+        assert_ne!(c.ledger.trace_id, tid);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! benches and experiment binaries.
 
 use crate::engine::SearchHit;
+use metamess_telemetry::{trace, Stopwatch};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -84,6 +85,7 @@ impl ResultCache {
     /// Looks up a result list; hits only when the entry's generation stamp
     /// matches `generation`. A hit clones the `Arc`, never the hits.
     pub fn get(&self, key: &str, generation: u64) -> Option<Arc<[SearchHit]>> {
+        let sw = Stopwatch::start_if(metamess_telemetry::enabled());
         let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
@@ -93,11 +95,13 @@ impl ResultCache {
                 let hits = e.hits.clone();
                 drop(inner);
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                trace::record_span("cache.lookup", sw.micros(), None);
                 Some(hits)
             }
             _ => {
                 drop(inner);
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                trace::record_span("cache.lookup", sw.micros(), None);
                 None
             }
         }

@@ -61,7 +61,7 @@ use crate::topk::{LightHit, LightTopK};
 use metamess_core::catalog::Catalog;
 use metamess_core::feature::DatasetFeature;
 use metamess_core::id::DatasetId;
-use metamess_telemetry::{event, Level, Stopwatch};
+use metamess_telemetry::{event, trace, Level, Stopwatch};
 use metamess_vocab::Vocabulary;
 use std::cell::RefCell;
 use std::cmp::Ordering;
@@ -279,7 +279,11 @@ impl ShardedEngine {
                 let m = search_metrics();
                 m.queries.inc();
                 m.cache_hits.inc();
-                m.query_micros.record(total_micros);
+                m.query_micros
+                    .record_with_exemplar(total_micros, trace::current_trace_id().unwrap_or(0));
+                // A cache hit is still a trace-worthy request: one span
+                // explains the (fast) answer.
+                trace::record_span("search.cache_hit", total_micros, None);
             }
             event!(Level::Debug, "search", "cache hit: {} hits in {total_micros}µs", hits.len());
             if let Some(ex) = explain {
@@ -297,7 +301,8 @@ impl ShardedEngine {
             let m = search_metrics();
             m.queries.inc();
             m.cache_misses.inc();
-            m.query_micros.record(total_micros);
+            m.query_micros
+                .record_with_exemplar(total_micros, trace::current_trace_id().unwrap_or(0));
         }
         event!(Level::Debug, "search", "cache miss: {} hits in {total_micros}µs", hits.len());
         if let Some(ex) = explain {
@@ -323,6 +328,7 @@ impl ShardedEngine {
         let plan_micros = timer.micros();
         if on {
             search_metrics().plan_micros.record(plan_micros);
+            trace::record_span("search.plan", plan_micros, None);
         }
         if let Some(ex) = explain.as_deref_mut() {
             ex.plan_micros = plan_micros;
@@ -351,6 +357,7 @@ impl ShardedEngine {
         let timed = on || explain.is_some();
 
         let probe = Stopwatch::start_if(timed);
+        let probe_span = trace::enter("search.probe");
         let forced = !self.use_indexes || query.is_empty();
         let mut probes: Vec<ShardProbe> = Vec::new();
         let mut bound_skips = 0usize;
@@ -358,11 +365,13 @@ impl ShardedEngine {
         if !forced {
             let generous = query.limit.saturating_mul(5).max(50);
             probes.reserve(self.shards.len());
-            for shard in &self.shards {
+            for (s, shard) in self.shards.iter().enumerate() {
                 let sw = Stopwatch::start_if(on);
                 let p = shard.probe(query, plan, generous);
                 if on {
-                    search_metrics().shard_probe_micros.record(sw.micros());
+                    let micros = sw.micros();
+                    search_metrics().shard_probe_micros.record(micros);
+                    trace::record_span("shard.probe", micros, Some(s as u32));
                 }
                 probes.push(p);
             }
@@ -377,6 +386,7 @@ impl ShardedEngine {
         // made on the cross-shard total — the same count the unsharded
         // probe would see.
         let full_scan = forced || candidates_total < query.limit.saturating_mul(3);
+        drop(probe_span);
         let probe_micros = probe.micros();
 
         let (units, visited, pruned, pruned_datasets) = self.plan_units(&probes, full_scan);
@@ -397,6 +407,9 @@ impl ShardedEngine {
             m.merge_micros.record(merge_micros);
             m.shards_visited.add(visited as u64);
             m.shards_pruned.add(pruned as u64);
+            trace::record_span("search.score", score_micros, None);
+            trace::record_span("search.merge", merge_micros, None);
+            trace::note_shards(visited as u32, pruned as u32);
         }
         if let Some(ex) = explain {
             ex.probe_micros = probe_micros;
@@ -584,7 +597,12 @@ impl ShardedEngine {
             }
         }
         if on {
-            search_metrics().shard_score_micros.record(sw.micros());
+            let micros = sw.micros();
+            search_metrics().shard_score_micros.record(micros);
+            // Attaches on the sequential scoring path; on the worker pool
+            // the trace builder lives on the coordinating thread, so this
+            // is inert there (the score phase span still covers the time).
+            trace::record_span("shard.score", micros, Some(unit.shard as u32));
         }
     }
 

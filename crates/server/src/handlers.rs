@@ -8,11 +8,24 @@ use crate::router::{route, Route};
 use crate::state::{ReloadOutcome, ServeState};
 use metamess_core::DatasetId;
 use metamess_search::{BrowseTree, Query, SearchExplain, SearchHit};
+use metamess_telemetry::trace::{self, TraceContext};
 use serde::Serialize;
 
 /// Dispatches one request; returns the route label (for metrics) and the
 /// response.
+///
+/// Every dispatch runs inside a request-scoped trace: a fresh
+/// [`TraceContext`] (head-sampled at the state's `--trace-sample-rate`)
+/// opens the root span, the layers underneath attach their children
+/// through the thread-local builder, and the finished trace lands in the
+/// flight recorder (sampled) and the slow-query log (root ≥ `--slow-ms`,
+/// sampling-exempt). The response carries the id back to the caller in
+/// `X-Metamess-Trace-Id` whenever tracing was live — with telemetry
+/// disabled the whole detour is one branch and no header is added, which
+/// keeps the zero-allocation budget intact.
 pub fn handle(state: &ServeState, req: &Request) -> (&'static str, Response) {
+    let ctx = TraceContext::start(state.trace_sample_rate());
+    let tracing = trace::begin(&ctx, "request");
     let matched = route(&req.method, &req.path);
     let label = matched.label();
     let response = match matched {
@@ -21,6 +34,7 @@ pub fn handle(state: &ServeState, req: &Request) -> (&'static str, Response) {
         Route::Browse => browse(state),
         Route::Healthz => healthz(state),
         Route::Metrics => metrics_exposition(state),
+        Route::DebugTraces => debug_traces(req),
         Route::Reload => reload(state),
         Route::MethodNotAllowed(allow) => {
             error_json(405, &format!("{} does not support {}", req.path, req.method))
@@ -28,6 +42,10 @@ pub fn handle(state: &ServeState, req: &Request) -> (&'static str, Response) {
         }
         Route::NotFound => error_json(404, &format!("no route for {}", req.path)),
     };
+    if tracing {
+        trace::end(state.trace_slow_micros());
+        return (label, response.with_header("x-metamess-trace-id", ctx.trace_id_hex()));
+    }
     (label, response)
 }
 
@@ -155,6 +173,31 @@ fn metrics_exposition(state: &ServeState) -> Response {
         extra_headers: Vec::new(),
         body: snap.render_prometheus().into_bytes(),
     }
+}
+
+/// `GET /debug/traces`: the flight recorder's recent traces, newest
+/// first. `?slow=1` reads the slow-query log instead; `?id=<32 hex>`
+/// looks one trace up in both rings (404 when evicted or never captured).
+fn debug_traces(req: &Request) -> Response {
+    let traces: Vec<metamess_telemetry::OwnedTrace> = if let Some(id) = req.query.get("id") {
+        let Some(tid) = trace::parse_trace_id(id) else {
+            return error_json(400, &format!("invalid trace id {id:?} (expected hex)"));
+        };
+        match trace::flight().find(tid).or_else(|| trace::slow_log().find(tid)) {
+            Some(rec) => vec![rec.to_owned_trace()],
+            None => {
+                return error_json(
+                    404,
+                    &format!("no trace {id} in the flight recorder or slow-query log"),
+                )
+            }
+        }
+    } else if req.query_flag("slow") {
+        trace::slow_log().snapshot().iter().map(|r| r.to_owned_trace()).collect()
+    } else {
+        trace::flight().snapshot().iter().map(|r| r.to_owned_trace()).collect()
+    };
+    Response::json(200, trace::render_traces_json(&traces))
 }
 
 /// `POST /admin/reload`: force a reload check now. A failed reopen keeps
@@ -353,6 +396,84 @@ mod tests {
         let (label, resp) = handle(&state, &get("/search"));
         assert_eq!((label, resp.status), ("method_not_allowed", 405));
         assert!(resp.extra_headers.iter().any(|(n, v)| n == "allow" && v == "POST"));
+    }
+
+    fn trace_id_header(resp: &Response) -> String {
+        resp.extra_headers
+            .iter()
+            .find(|(n, _)| n == "x-metamess-trace-id")
+            .map(|(_, v)| v.clone())
+            .expect("every response carries X-Metamess-Trace-Id")
+    }
+
+    #[test]
+    fn every_response_carries_a_trace_id_header() {
+        let state = fixture_state("traceheader");
+        let requests = [
+            get("/healthz"),
+            get("/browse"),
+            get("/nope"),
+            get("/debug/traces"),
+            post("/search", &[], r#"{"q":"with water_temperature"}"#),
+        ];
+        for req in requests {
+            let (_, resp) = handle(&state, &req);
+            let id = trace_id_header(&resp);
+            assert_eq!(id.len(), 32, "{} -> {id}", req.path);
+            assert!(id.chars().all(|c| c.is_ascii_hexdigit()), "{id}");
+        }
+    }
+
+    #[test]
+    fn debug_traces_finds_a_search_by_id() {
+        let state = fixture_state("tracedebug");
+        let (_, resp) = handle(&state, &post("/search", &[], r#"{"q":"with water_temperature"}"#));
+        let id = trace_id_header(&resp);
+        let mut req = get("/debug/traces");
+        req.query.insert("id".into(), id.clone());
+        let (label, resp) = handle(&state, &req);
+        assert_eq!((label, resp.status), ("debug_traces", 200));
+        let v = body_json(&resp);
+        let t = &v["traces"][0];
+        assert_eq!(t["trace_id"], id.as_str());
+        assert_eq!(t["spans"][0]["name"], "request", "root span is the request");
+        let names: Vec<&str> =
+            t["spans"].as_array().unwrap().iter().map(|s| s["name"].as_str().unwrap()).collect();
+        assert!(names.contains(&"search.plan"), "{names:?}");
+        assert!(names.contains(&"shard.probe"), "{names:?}");
+        assert!(t["shards_visited"].as_u64().unwrap() >= 1, "{t}");
+        // unknown and malformed ids are distinguished
+        let mut req = get("/debug/traces");
+        req.query.insert("id".into(), "0000000000000000000000000000dead".into());
+        let (_, resp) = handle(&state, &req);
+        assert_eq!(resp.status, 404);
+        let mut req = get("/debug/traces");
+        req.query.insert("id".into(), "not-hex".into());
+        let (_, resp) = handle(&state, &req);
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn slow_log_captures_unsampled_requests() {
+        let state = fixture_state("traceslow");
+        // Threshold 0 makes every request "slow"; rate 0.0 samples nothing
+        // — the slow log must still capture it (sampling-exempt).
+        state.set_trace_config(0, 0.0);
+        let (_, resp) = handle(&state, &post("/search", &[], r#"{"q":"with water_temperature"}"#));
+        let id = trace_id_header(&resp);
+        let mut req = get("/debug/traces");
+        req.query.insert("slow".into(), "1".into());
+        let (_, resp) = handle(&state, &req);
+        assert_eq!(resp.status, 200);
+        let v = body_json(&resp);
+        let captured = v["traces"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|t| t["trace_id"] == id.as_str())
+            .expect("slow log captured the unsampled request");
+        assert_eq!(captured["slow"], true);
+        assert_eq!(captured["sampled"], false);
     }
 
     #[test]

@@ -34,7 +34,14 @@
 //! Endpoints: `POST /search` (`?explain=1` adds the per-phase breakdown),
 //! `GET /datasets/<path>`, `GET /browse`, `GET /healthz`, `GET /metrics`
 //! (Prometheus, byte-identical to `metamess stats --prometheus` for the
-//! same snapshot — see [`store_snapshot`]), `POST /admin/reload`.
+//! same snapshot — see [`store_snapshot`]), `GET /debug/traces`
+//! (flight-recorder / slow-query-log JSON; `?slow=1`, `?id=<hex>`),
+//! `POST /admin/reload`.
+//!
+//! Every handled response carries an `X-Metamess-Trace-Id` header; the
+//! request's span tree is retrievable from `/debug/traces?id=` or
+//! `metamess trace` while it remains in the ring (see
+//! `metamess_telemetry::trace`).
 //!
 //! ```no_run
 //! use metamess_server::{ServeState, Server, ServerConfig};

@@ -25,6 +25,8 @@
 use metamess_telemetry::global;
 
 /// Records one served request: route/status counter + latency histogram.
+/// The histogram carries a trace-id exemplar for the worst request seen,
+/// so a bad p99 bucket in `/metrics` links straight to `/debug/traces?id=`.
 pub(crate) fn record_request(route: &str, status: u16, micros: u64) {
     if !metamess_telemetry::enabled() {
         return;
@@ -33,7 +35,11 @@ pub(crate) fn record_request(route: &str, status: u16, micros: u64) {
     // renderer splits at the first `{`).
     let name = format!("metamess_server_requests_total{{route=\"{route}\",status=\"{status}\"}}");
     global().counter(&name).add(1);
-    global().histogram("metamess_server_request_micros").record(micros);
+    // The handler's trace just ended on this worker thread, so its id is
+    // the thread's "last" id — the exemplar for this exact request.
+    global()
+        .histogram("metamess_server_request_micros")
+        .record_with_exemplar(micros, metamess_telemetry::trace::last_trace_id().unwrap_or(0));
 }
 
 /// Records one accepted connection.

@@ -14,6 +14,8 @@ pub enum Route {
     Healthz,
     /// `GET /metrics` — Prometheus exposition.
     Metrics,
+    /// `GET /debug/traces` — flight-recorder / slow-query-log JSON.
+    DebugTraces,
     /// `POST /admin/reload` — force a hot reload check.
     Reload,
     /// Known path, wrong method; answer `405` with this `Allow` value.
@@ -31,6 +33,7 @@ impl Route {
             Route::Browse => "browse",
             Route::Healthz => "healthz",
             Route::Metrics => "metrics",
+            Route::DebugTraces => "debug_traces",
             Route::Reload => "reload",
             Route::MethodNotAllowed(_) => "method_not_allowed",
             Route::NotFound => "not_found",
@@ -56,6 +59,8 @@ pub fn route(method: &str, path: &str) -> Route {
         (_, "/healthz") => Route::MethodNotAllowed("GET"),
         ("GET", "/metrics") => Route::Metrics,
         (_, "/metrics") => Route::MethodNotAllowed("GET"),
+        ("GET", "/debug/traces") => Route::DebugTraces,
+        (_, "/debug/traces") => Route::MethodNotAllowed("GET"),
         ("POST", "/admin/reload") => Route::Reload,
         (_, "/admin/reload") => Route::MethodNotAllowed("POST"),
         _ => Route::NotFound,
@@ -72,6 +77,7 @@ mod tests {
         assert_eq!(route("GET", "/browse"), Route::Browse);
         assert_eq!(route("GET", "/healthz"), Route::Healthz);
         assert_eq!(route("GET", "/metrics"), Route::Metrics);
+        assert_eq!(route("GET", "/debug/traces"), Route::DebugTraces);
         assert_eq!(route("POST", "/admin/reload"), Route::Reload);
         assert_eq!(
             route("GET", "/datasets/2014/07/saturn01_ctd.csv"),
@@ -85,6 +91,7 @@ mod tests {
         assert_eq!(route("POST", "/healthz"), Route::MethodNotAllowed("GET"));
         assert_eq!(route("DELETE", "/datasets/x.csv"), Route::MethodNotAllowed("GET"));
         assert_eq!(route("GET", "/admin/reload"), Route::MethodNotAllowed("POST"));
+        assert_eq!(route("POST", "/debug/traces"), Route::MethodNotAllowed("GET"));
     }
 
     #[test]

@@ -81,6 +81,12 @@ pub struct ServerConfig {
     pub poll_interval: Option<Duration>,
     /// Read-side request bounds.
     pub limits: Limits,
+    /// Slow-query threshold in ms (`--slow-ms`): traces whose root span
+    /// reaches it enter the slow-query log regardless of sampling.
+    pub slow_ms: u64,
+    /// Head-sampling rate for the flight recorder
+    /// (`--trace-sample-rate`; clamped into `0.0..=1.0` at bind).
+    pub trace_sample_rate: f64,
 }
 
 impl Default for ServerConfig {
@@ -95,6 +101,8 @@ impl Default for ServerConfig {
             drain_grace: Duration::from_millis(500),
             poll_interval: Some(Duration::from_secs(2)),
             limits: Limits::default(),
+            slow_ms: 100,
+            trace_sample_rate: 1.0,
         }
     }
 }
@@ -141,6 +149,9 @@ impl Server {
     pub fn bind(state: Arc<ServeState>, mut config: ServerConfig) -> Result<Server> {
         config.workers = clamp_workers(config.workers);
         config.queue_depth = clamp_queue_depth(config.queue_depth);
+        config.trace_sample_rate =
+            metamess_telemetry::trace::clamp_sample_rate(config.trace_sample_rate);
+        state.set_trace_config(config.slow_ms, config.trace_sample_rate);
         let listener = TcpListener::bind(&config.addr)
             .map_err(|e| Error::io(format!("bind {}", config.addr), e))?;
         Ok(Server { listener, state, config, shutdown: ShutdownHandle::new() })
@@ -442,7 +453,15 @@ mod imp {
             metrics::record_request("invalid", status, 0);
             let Some(conn) = self.conns.get_mut(&token) else { return };
             let mut bytes = Vec::with_capacity(160);
-            Response::text(status, message).serialize_into(&mut bytes, false);
+            let mut response = Response::text(status, message);
+            if metamess_telemetry::enabled() {
+                // Protocol errors never reach the handler's tracer; mint
+                // an id anyway so even a 400 is correlatable in logs. (The
+                // pre-serialized shed 503 is the documented exception.)
+                let ctx = metamess_telemetry::trace::TraceContext::start(1.0);
+                response = response.with_header("x-metamess-trace-id", ctx.trace_id_hex());
+            }
+            response.serialize_into(&mut bytes, false);
             conn.begin_write(bytes, true, now + self.config.request_timeout);
             self.pump_write(token, now);
         }
@@ -577,7 +596,17 @@ mod imp {
                             Ok(answered) => answered,
                             Err(_) => {
                                 metrics::record_panic();
-                                ("panic", Response::text(500, "internal error"))
+                                // The handler unwound mid-trace: finish the
+                                // orphaned trace (it still documents what
+                                // the request did before dying) so this
+                                // worker's next request can begin afresh.
+                                let response = Response::text(500, "internal error");
+                                let response = match metamess_telemetry::trace::end(u64::MAX) {
+                                    Some(fin) => response
+                                        .with_header("x-metamess-trace-id", fin.trace_id_hex()),
+                                    None => response,
+                                };
+                                ("panic", response)
                             }
                         };
                     // During drain, answer but close: no new keep-alive

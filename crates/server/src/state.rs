@@ -107,6 +107,12 @@ pub struct ServeState {
     /// an epoch swap (or a no-op reload) lands, so the steady state skips
     /// serialization entirely.
     healthz_cache: Mutex<Option<(u64, u64, Arc<str>)>>,
+    /// Slow-query threshold in µs (traces whose root exceeds it enter the
+    /// slow log regardless of sampling). Defaults to 100ms.
+    trace_slow_micros: AtomicU64,
+    /// Head-sampling rate as `f64` bits (atomics hold integers). Defaults
+    /// to 1.0 — sample everything until told otherwise.
+    trace_sample_bits: AtomicU64,
     /// Held for the server's lifetime: lets other readers and wranglers
     /// coexist, but makes `fsck --repair` fail fast instead of truncating
     /// files out from under live requests.
@@ -139,8 +145,29 @@ impl ServeState {
             reload_state: Mutex::new(signature),
             reloads: AtomicU64::new(0),
             healthz_cache: Mutex::new(None),
+            trace_slow_micros: AtomicU64::new(100_000),
+            trace_sample_bits: AtomicU64::new(1.0f64.to_bits()),
             _lock: lock,
         })
+    }
+
+    /// Applies the tracing knobs (`--slow-ms`, `--trace-sample-rate`). The
+    /// rate is clamped into `0.0..=1.0`; the threshold converts to µs with
+    /// saturation.
+    pub fn set_trace_config(&self, slow_ms: u64, sample_rate: f64) {
+        self.trace_slow_micros.store(slow_ms.saturating_mul(1000), Ordering::Relaxed);
+        let rate = metamess_telemetry::trace::clamp_sample_rate(sample_rate);
+        self.trace_sample_bits.store(rate.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Slow-query threshold in µs.
+    pub fn trace_slow_micros(&self) -> u64 {
+        self.trace_slow_micros.load(Ordering::Relaxed)
+    }
+
+    /// Head-sampling rate in `0.0..=1.0`.
+    pub fn trace_sample_rate(&self) -> f64 {
+        f64::from_bits(self.trace_sample_bits.load(Ordering::Relaxed))
     }
 
     /// The shard layout every epoch is built with.
@@ -382,6 +409,20 @@ mod tests {
         let after = state.epoch();
         assert_eq!(after.epoch, before.epoch, "failed reload must not swap the epoch");
         assert_eq!(after.datasets, before.datasets);
+    }
+
+    #[test]
+    fn trace_config_defaults_and_clamps() {
+        let dir = fixture_store("traceconf");
+        let state = ServeState::open(&dir).unwrap();
+        assert_eq!(state.trace_slow_micros(), 100_000, "default --slow-ms is 100");
+        assert_eq!(state.trace_sample_rate(), 1.0, "default samples everything");
+        state.set_trace_config(250, 7.5);
+        assert_eq!(state.trace_slow_micros(), 250_000);
+        assert_eq!(state.trace_sample_rate(), 1.0, "rate clamps high");
+        state.set_trace_config(0, -2.0);
+        assert_eq!(state.trace_slow_micros(), 0);
+        assert_eq!(state.trace_sample_rate(), 0.0, "rate clamps low");
     }
 
     #[cfg(unix)]

@@ -159,5 +159,28 @@ fn warm_keep_alive_search_stays_within_allocation_budget() {
         "cold /search made {cold_allocs} heap allocations (budget {COLD_SCORING_BUDGET})"
     );
 
+    // Scenario 3: with telemetry disabled the tracing layer is not merely
+    // cheap but allocation-FREE — begin/span/end on a request-shaped trace
+    // must never touch the heap, so `METAMESS_TELEMETRY=0` deployments pay
+    // nothing for the instrumentation points threaded through the hot path.
+    use metamess_telemetry::{trace, TraceContext};
+    // Warm-up outside the counted window: first call may lazily seed the
+    // per-thread id generator.
+    let _ = TraceContext::start(1.0);
+    let ((), trace_allocs) = counting(|| {
+        for _ in 0..16 {
+            let ctx = TraceContext::start(1.0);
+            let tracing = trace::begin(&ctx, "request");
+            assert!(!tracing, "trace::begin must refuse while telemetry is disabled");
+            trace::record_span("search.plan", 1, None);
+            trace::note_shards(1, 0);
+            assert!(trace::end(0).is_none());
+        }
+    });
+    assert_eq!(
+        trace_allocs, 0,
+        "disabled tracing made {trace_allocs} heap allocations (must be zero)"
+    );
+
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -397,6 +397,90 @@ fn metrics_endpoint_serves_prometheus_text() {
     server.stop();
 }
 
+/// Prometheus exposition-format conformance: the 0.0.4 content-type
+/// version tag, `# HELP` / `# TYPE` metadata for every family, and HELP
+/// directly preceding its TYPE — the shape scrapers validate before they
+/// stop warning about untyped series.
+#[test]
+fn metrics_exposition_is_prometheus_0_0_4_conformant() {
+    let server = serve(fixture_store("prom004"), |_| {});
+    // Serve one search so latency histograms exist in the snapshot.
+    let (status, _, _) = post(server.addr, "/search", r#"{"q":"with water_temperature"}"#);
+    assert_eq!(status, 200);
+    let (status, headers, body) = get(server.addr, "/metrics");
+    assert_eq!(status, 200);
+    let ctype = header(&headers, "content-type").unwrap();
+    assert!(
+        ctype.starts_with("text/plain; version=0.0.4"),
+        "scrapers key off the exposition version tag: {ctype}"
+    );
+    if !metamess_telemetry::enabled() {
+        server.stop();
+        return; // empty exposition under METAMESS_TELEMETRY=0
+    }
+    let text = String::from_utf8(body).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    let mut typed = 0usize;
+    for (i, line) in lines.iter().enumerate() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let name = rest.split(' ').next().unwrap();
+            let prev = i.checked_sub(1).map(|p| lines[p]).unwrap_or("");
+            assert!(
+                prev.starts_with(&format!("# HELP {name} ")),
+                "TYPE for {name} not directly preceded by its HELP: {prev:?}"
+            );
+            typed += 1;
+        }
+    }
+    assert!(typed > 0, "no # TYPE lines in exposition:\n{text}");
+    // Every sample line belongs to a family announced by a TYPE line.
+    for kind in ["counter", "gauge", "histogram"] {
+        assert!(text.contains(&format!(" {kind}\n")), "no {kind} family rendered:\n{text}");
+    }
+    server.stop();
+}
+
+/// Every handled response — success, 404, even protocol errors — carries
+/// an `X-Metamess-Trace-Id` header the client can quote when reporting a
+/// slow or failed request.
+#[test]
+fn every_response_carries_trace_id_over_the_wire() {
+    if !metamess_telemetry::enabled() {
+        return; // tracing is off wholesale under METAMESS_TELEMETRY=0
+    }
+    let server = serve(fixture_store("traceid"), |_| {});
+    let mut seen = std::collections::HashSet::new();
+    let exchanges: Vec<Vec<u8>> = vec![
+        get_bytes("/healthz"),
+        post_bytes("/search", r#"{"q":"with water_temperature"}"#),
+        get_bytes("/nope"),
+        // Valid-but-unknown method: routed 404 through the worker pool.
+        b"BOGUS /x HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n".to_vec(),
+        // Malformed method: a 400 answered straight from the event thread.
+        b"bogus /x HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n".to_vec(),
+    ];
+    for bytes in &exchanges {
+        let (_, headers, _) = raw(server.addr, bytes);
+        let id = header(&headers, "x-metamess-trace-id")
+            .unwrap_or_else(|| panic!("missing trace id on {:?}", String::from_utf8_lossy(bytes)));
+        assert_eq!(id.len(), 32, "trace id is 128-bit hex: {id}");
+        assert!(id.chars().all(|c| c.is_ascii_hexdigit()), "non-hex trace id: {id}");
+        assert!(seen.insert(id.to_string()), "trace id reused across requests: {id}");
+    }
+    // The search trace is retrievable from the flight recorder by id.
+    let (_, headers, _) =
+        raw(server.addr, &post_bytes("/search", r#"{"q":"with water_temperature"}"#));
+    let id = header(&headers, "x-metamess-trace-id").unwrap().to_string();
+    let (status, _, body) = get(server.addr, &format!("/debug/traces?id={id}"));
+    assert_eq!(status, 200, "{:?}", String::from_utf8_lossy(&body));
+    let v: serde_json::Value = serde_json::from_slice(&body).unwrap();
+    let trace = &v["traces"][0];
+    assert_eq!(trace["trace_id"], serde_json::Value::String(id));
+    assert_eq!(trace["spans"][0]["name"], "request");
+    assert!(trace["spans"][0]["micros"].as_u64().unwrap() < 10_000_000);
+    server.stop();
+}
+
 #[test]
 fn slow_loris_connections_do_not_starve_healthy_clients() {
     use std::sync::atomic::{AtomicBool, Ordering};

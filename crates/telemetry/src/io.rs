@@ -55,9 +55,17 @@ pub fn parse_json(text: &str) -> Option<MetricsSnapshot> {
             min: h.get("min")?.as_u64()?,
             max: h.get("max")?.as_u64()?,
             buckets: Vec::new(),
+            exemplar: None,
         };
         for b in h.get("buckets")?.as_array()? {
             snap.buckets.push((b.get(0)?.as_u64()?, b.get(1)?.as_u64()?));
+        }
+        // "exemplar" is optional (older files omit it), but when present it
+        // must be well-formed — same strictness as the rest of the schema.
+        if let Some(ex) = h.get("exemplar") {
+            let value = ex.get("value")?.as_u64()?;
+            let id = crate::trace::parse_trace_id(ex.get("trace_id")?.as_str()?)?;
+            snap.exemplar = Some((value, id));
         }
         out.histograms.insert(k.clone(), snap);
     }

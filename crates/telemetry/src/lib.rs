@@ -34,6 +34,15 @@
 //!   events and span durations to stderr (default: off).
 //! * `METAMESS_TELEMETRY` — `0`/`off`/`false` starts the global registry
 //!   disabled (default: enabled).
+//! * `METAMESS_TRACE_BUFFER` — flight-recorder capacity in completed
+//!   traces (default 256, clamped; see [`trace`]).
+//!
+//! ## Tracing
+//!
+//! Aggregates answer "where does time go on average"; the [`trace`]
+//! module answers "why was *this* request slow": request-scoped
+//! [`TraceContext`]s, parent-linked span trees, a bounded flight
+//! recorder, and a sampling-exempt slow-query log.
 
 #![warn(missing_docs)]
 
@@ -42,12 +51,14 @@ mod log;
 mod metric;
 mod registry;
 mod span;
+pub mod trace;
 
 pub use crate::log::{log_enabled, log_write, Level};
 pub use io::{load_snapshot, parse_json, persist_merged, telemetry_path};
 pub use metric::{bucket_bound, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{labeled, MetricsRegistry, MetricsSnapshot};
 pub use span::{Span, Stopwatch};
+pub use trace::{FinishedTrace, FlightRecorder, OwnedSpan, OwnedTrace, TraceContext};
 
 use std::sync::OnceLock;
 
@@ -67,6 +78,13 @@ pub fn global() -> &'static MetricsRegistry {
 /// disabled-path instrumentation site pays.
 pub fn enabled() -> bool {
     global().enabled()
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    /// Serializes unit tests that flip the global enabled flag (span and
+    /// trace tests share the registry, so the flips must not interleave).
+    pub(crate) static ENABLED_LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
 }
 
 #[cfg(test)]

@@ -131,6 +131,13 @@ pub struct Histogram {
     min: AtomicU64,
     max: AtomicU64,
     buckets: Vec<AtomicU64>,
+    // Largest-value exemplar: the observed value and the 128-bit trace id
+    // that produced it (split across two words). Updated with relaxed ops;
+    // a racy torn id under concurrent maxima is tolerable for a debugging
+    // pointer and never affects the distribution itself.
+    ex_val: AtomicU64,
+    ex_hi: AtomicU64,
+    ex_lo: AtomicU64,
 }
 
 impl Default for Histogram {
@@ -159,6 +166,9 @@ impl Histogram {
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
             buckets,
+            ex_val: AtomicU64::new(0),
+            ex_hi: AtomicU64::new(0),
+            ex_lo: AtomicU64::new(0),
         }
     }
 
@@ -169,6 +179,19 @@ impl Histogram {
         self.min.fetch_min(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
         self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one observation and, when `trace_id` is nonzero and the
+    /// value is a new high-water mark, remembers `(value, trace_id)` as
+    /// the histogram's exemplar — a concrete trace to pull up when the
+    /// tail buckets look bad.
+    pub fn record_with_exemplar(&self, v: u64, trace_id: u128) {
+        self.record(v);
+        if trace_id != 0 && v >= self.ex_val.load(Ordering::Relaxed) {
+            self.ex_val.store(v, Ordering::Relaxed);
+            self.ex_hi.store((trace_id >> 64) as u64, Ordering::Relaxed);
+            self.ex_lo.store(trace_id as u64, Ordering::Relaxed);
+        }
     }
 
     /// Number of recorded observations.
@@ -186,12 +209,15 @@ impl Histogram {
                 buckets.push((bucket_bound(ix), n));
             }
         }
+        let ex_id = ((self.ex_hi.load(Ordering::Relaxed) as u128) << 64)
+            | self.ex_lo.load(Ordering::Relaxed) as u128;
         HistogramSnapshot {
             count,
             sum: self.sum.load(Ordering::Relaxed),
             min: if count == 0 { 0 } else { self.min.load(Ordering::Relaxed) },
             max: self.max.load(Ordering::Relaxed),
             buckets,
+            exemplar: (ex_id != 0).then(|| (self.ex_val.load(Ordering::Relaxed), ex_id)),
         }
     }
 
@@ -201,6 +227,9 @@ impl Histogram {
         self.sum.store(0, Ordering::Relaxed);
         self.min.store(u64::MAX, Ordering::Relaxed);
         self.max.store(0, Ordering::Relaxed);
+        self.ex_val.store(0, Ordering::Relaxed);
+        self.ex_hi.store(0, Ordering::Relaxed);
+        self.ex_lo.store(0, Ordering::Relaxed);
         for b in &self.buckets {
             b.store(0, Ordering::Relaxed);
         }
@@ -225,6 +254,9 @@ pub struct HistogramSnapshot {
     pub max: u64,
     /// `(inclusive upper bound, count)` per non-empty bucket, bound-sorted.
     pub buckets: Vec<(u64, u64)>,
+    /// Largest-value exemplar `(value, trace_id)`, when one was recorded
+    /// via [`Histogram::record_with_exemplar`].
+    pub exemplar: Option<(u64, u128)>,
 }
 
 impl HistogramSnapshot {
@@ -271,6 +303,10 @@ impl HistogramSnapshot {
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        self.exemplar = match (self.exemplar, other.exemplar) {
+            (Some(a), Some(b)) => Some(if b.0 > a.0 { b } else { a }),
+            (a, b) => a.or(b),
+        };
         let mut merged: std::collections::BTreeMap<u64, u64> =
             self.buckets.iter().copied().collect();
         for &(bound, n) in &other.buckets {
@@ -363,6 +399,30 @@ mod tests {
         assert_eq!(empty, m);
         m.merge(&HistogramSnapshot::default());
         assert_eq!(empty, m);
+    }
+
+    #[test]
+    fn exemplar_tracks_largest_value() {
+        let h = Histogram::new();
+        h.record(10);
+        assert_eq!(h.snapshot().exemplar, None);
+        h.record_with_exemplar(50, 0xAA);
+        h.record_with_exemplar(20, 0xBB); // smaller: ignored
+        h.record_with_exemplar(90, 0); // zero id never becomes an exemplar
+        assert_eq!(h.snapshot().exemplar, Some((50, 0xAA)));
+        h.record_with_exemplar(70, 0xCC);
+        assert_eq!(h.snapshot().exemplar, Some((70, 0xCC)));
+        // merge keeps whichever exemplar has the larger value
+        let other = Histogram::new();
+        other.record_with_exemplar(99, 0xDD);
+        let mut m = h.snapshot();
+        m.merge(&other.snapshot());
+        assert_eq!(m.exemplar, Some((99, 0xDD)));
+        let mut m2 = other.snapshot();
+        m2.merge(&h.snapshot());
+        assert_eq!(m2.exemplar, Some((99, 0xDD)));
+        h.reset();
+        assert_eq!(h.snapshot().exemplar, None);
     }
 
     #[test]

@@ -144,6 +144,22 @@ fn split_labels(name: &str) -> (&str, Option<&str>) {
     }
 }
 
+/// `# HELP` text for a family, derived from the workspace naming scheme
+/// (`_total` counters, `_micros` duration histograms).
+fn help_text(base: &str, kind: &str) -> &'static str {
+    if base.ends_with("_micros") {
+        "Duration distribution in microseconds (log-bucketed, <=12.5% error)."
+    } else if base.ends_with("_bytes") {
+        "Size in bytes."
+    } else {
+        match kind {
+            "counter" => "Monotonic count of events.",
+            "gauge" => "Instantaneous value.",
+            _ => "Distribution of recorded values.",
+        }
+    }
+}
+
 /// Escapes a string for inclusion in a JSON string literal.
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -183,14 +199,18 @@ impl MetricsSnapshot {
         }
     }
 
-    /// Prometheus text exposition: `# TYPE` lines per family, histogram
-    /// bucket series with cumulative `le` labels (embedded labels from the
-    /// metric name are preserved).
+    /// Prometheus text exposition (text format 0.0.4): `# HELP` and
+    /// `# TYPE` lines per family, histogram bucket series with cumulative
+    /// `le` labels (embedded labels from the metric name are preserved),
+    /// and — when a histogram carries an exemplar — a comment line linking
+    /// its worst observation to a trace id (comments are ignored by 0.0.4
+    /// parsers, so the output stays conformant).
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
         let mut last_family = String::new();
         let mut type_line = |out: &mut String, base: &str, kind: &str| {
             if last_family != base {
+                let _ = writeln!(out, "# HELP {base} {}", help_text(base, kind));
                 let _ = writeln!(out, "# TYPE {base} {kind}");
                 last_family = base.to_string();
             }
@@ -226,6 +246,10 @@ impl MetricsSnapshot {
             let _ = writeln!(out, "{base}_bucket{} {}", series("le=\"+Inf\""), h.count);
             let _ = writeln!(out, "{base}_sum{} {}", series(""), h.sum);
             let _ = writeln!(out, "{base}_count{} {}", series(""), h.count);
+            if let Some((val, id)) = h.exemplar {
+                let _ =
+                    writeln!(out, "# exemplar {base}{} value={val} trace_id={id:032x}", series(""));
+            }
         }
         out
     }
@@ -238,6 +262,10 @@ impl MetricsSnapshot {
     ///  "histograms":{"name":{"count":2,"sum":9,"min":4,"max":5,
     ///                        "buckets":[[4,1],[5,1]]}}}
     /// ```
+    ///
+    /// A histogram with an exemplar additionally carries
+    /// `"exemplar":{"value":N,"trace_id":"<32 hex>"}` after `buckets`;
+    /// the key is omitted entirely when no exemplar was recorded.
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\"counters\":{");
         for (ix, (k, v)) in self.counters.iter().enumerate() {
@@ -273,7 +301,11 @@ impl MetricsSnapshot {
                 }
                 let _ = write!(out, "[{bound},{n}]");
             }
-            out.push_str("]}");
+            out.push(']');
+            if let Some((val, id)) = h.exemplar {
+                let _ = write!(out, ",\"exemplar\":{{\"value\":{val},\"trace_id\":\"{id:032x}\"}}");
+            }
+            out.push('}');
         }
         out.push_str("}}");
         out
@@ -372,16 +404,56 @@ mod tests {
         h.record(100);
         let text = r.render_prometheus();
         assert!(text.contains("# TYPE metamess_x_total counter"), "{text}");
+        assert!(text.contains("# HELP metamess_x_total Monotonic count of events."), "{text}");
         assert!(text.contains("metamess_x_total 3"));
-        // one TYPE line for the whole labeled family
+        // one HELP/TYPE pair for the whole labeled family
         assert_eq!(text.matches("# TYPE metamess_y_total counter").count(), 1, "{text}");
+        assert_eq!(text.matches("# HELP metamess_y_total").count(), 1, "{text}");
         assert!(text.contains("metamess_y_total{kind=\"a\"} 1"));
         assert!(text.contains("# TYPE metamess_g gauge"));
         // histogram series fold the name's labels in with le
         assert!(text.contains("metamess_h_micros_bucket{span=\"s\",le=\"3\"} 1"), "{text}");
         assert!(text.contains("metamess_h_micros_bucket{span=\"s\",le=\"+Inf\"} 2"));
+        assert!(text.contains("# HELP metamess_h_micros Duration distribution"), "{text}");
         assert!(text.contains("metamess_h_micros_sum{span=\"s\"} 103"));
         assert!(text.contains("metamess_h_micros_count{span=\"s\"} 2"));
+        // every HELP line directly precedes its TYPE line
+        let lines: Vec<&str> = text.lines().collect();
+        for (ix, line) in lines.iter().enumerate() {
+            if line.starts_with("# HELP ") {
+                assert!(lines[ix + 1].starts_with("# TYPE "), "{text}");
+            }
+        }
+    }
+
+    #[test]
+    fn prometheus_exemplar_is_a_comment_line() {
+        let r = MetricsRegistry::new(true);
+        let h = r.histogram(&labeled("metamess_h_micros", "span", "s"));
+        h.record_with_exemplar(500, 0xBEEF);
+        let text = r.render_prometheus();
+        let exemplar =
+            text.lines().find(|l| l.contains("exemplar")).expect("exemplar line rendered");
+        assert!(exemplar.starts_with('#'), "must be a comment for 0.0.4 parsers: {exemplar}");
+        assert!(exemplar.contains("value=500"), "{exemplar}");
+        assert!(exemplar.contains(&format!("trace_id={:032x}", 0xBEEFu128)), "{exemplar}");
+    }
+
+    #[test]
+    fn json_render_includes_exemplar_only_when_present() {
+        let r = MetricsRegistry::new(true);
+        r.histogram("plain").record(4);
+        let json = r.render_json();
+        assert!(!json.contains("exemplar"), "{json}");
+        r.histogram("plain").record_with_exemplar(9, 0xAB);
+        let json = r.render_json();
+        assert!(
+            json.contains(&format!(
+                "\"exemplar\":{{\"value\":9,\"trace_id\":\"{:032x}\"}}",
+                0xABu128
+            )),
+            "{json}"
+        );
     }
 
     #[test]

@@ -42,8 +42,18 @@ impl Span {
 impl Drop for Span {
     fn drop(&mut self) {
         if let Some(i) = self.inner.take() {
+            // A span unwound by a panic measures "work + unwind", which
+            // would pollute the phase latency histogram; record the event
+            // under a dedicated counter instead.
+            if std::thread::panicking() {
+                crate::global()
+                    .counter(&labeled("metamess_span_panicked_total", "span", i.name))
+                    .inc();
+                return;
+            }
             let micros = i.start.elapsed().as_micros() as u64;
             i.hist.record(micros);
+            crate::trace::record_span(i.name, micros, None);
             if log_enabled(Level::Debug) {
                 log_write(Level::Debug, "span", &format!("{} took {micros}µs", i.name));
             }
@@ -89,10 +99,7 @@ impl Stopwatch {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parking_lot::Mutex;
-
-    /// Serializes tests that flip the global enabled flag.
-    static ENABLED_LOCK: Mutex<()> = Mutex::new(());
+    use crate::test_support::ENABLED_LOCK;
 
     #[test]
     fn span_records_into_global_histogram() {
@@ -118,6 +125,27 @@ mod tests {
         }
         crate::global().set_enabled(true);
         assert_eq!(crate::global().histogram(&name).count(), before);
+    }
+
+    #[test]
+    fn panicking_span_records_counter_not_histogram() {
+        let _guard = ENABLED_LOCK.lock();
+        crate::global().set_enabled(true);
+        let hist = labeled("metamess_span_micros", "span", "test.panic");
+        let ctr = labeled("metamess_span_panicked_total", "span", "test.panic");
+        let hist_before = crate::global().histogram(&hist).count();
+        let ctr_before = crate::global().counter(&ctr).get();
+        let unwound = std::panic::catch_unwind(|| {
+            let _span = Span::enter("test.panic");
+            panic!("handler blew up");
+        });
+        assert!(unwound.is_err());
+        assert_eq!(
+            crate::global().histogram(&hist).count(),
+            hist_before,
+            "unwind time must not enter the latency histogram"
+        );
+        assert_eq!(crate::global().counter(&ctr).get(), ctr_before + 1);
     }
 
     #[test]

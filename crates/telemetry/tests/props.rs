@@ -159,6 +159,12 @@ fn snapshot_from_json(text: &str) -> MetricsSnapshot {
                     .iter()
                     .map(|b| (b[0].as_u64().unwrap(), b[1].as_u64().unwrap()))
                     .collect(),
+                exemplar: h.get("exemplar").map(|ex| {
+                    (
+                        ex["value"].as_u64().unwrap(),
+                        u128::from_str_radix(ex["trace_id"].as_str().unwrap(), 16).unwrap(),
+                    )
+                }),
             },
         );
     }

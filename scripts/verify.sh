@@ -50,9 +50,17 @@ cargo test -q -p metamess-telemetry
 echo "==> cargo test -q -p metamess-server (HTTP layer + socket integration)"
 cargo test -q -p metamess-server
 
+echo "==> trace zero-allocation gate (METAMESS_TELEMETRY=0 alloc guard)"
+# With telemetry disabled, the tracing instrumentation threaded through
+# the request hot path must not allocate at all — the counting-allocator
+# test asserts exactly zero heap allocations for begin/span/end.
+METAMESS_TELEMETRY=0 cargo test -q -p metamess-server --test alloc_guard
+
 echo "==> serve smoke: exp8 --quick (load, shed, hot reload, drain, event loop)"
 # The experiment asserts zero dropped in-flight requests across shutdown
-# and reload, runs the 10x-load + slow-loris event-loop scenario, and
+# and reload, runs the 10x-load + slow-loris event-loop scenario, gates
+# trace overhead (full head-sampling within 10% of the untraced p99 +2ms
+# noise floor — asserted in-process by the trace_overhead scenario), and
 # fails on a >25% p99 regression against the committed BENCH_serve.json
 # (bootstrapped from this very run when the file does not exist yet);
 # timeout guards against a hung event loop ever blocking CI.

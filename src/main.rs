@@ -10,6 +10,8 @@
 //! metamess fsck     <store-dir> [--json] [--repair]
 //! metamess serve    <store-dir> [--addr H:P] [--workers N] [--queue-depth N]
 //!                   [--drain-grace-ms N] [--shards N] [--partition P]
+//!                   [--slow-ms N] [--trace-sample-rate F]
+//! metamess trace    <store-dir> [--slow] [--json] [--id HEX]
 //! ```
 //!
 //! `wrangle` runs the full curation loop over an archive directory and
@@ -17,7 +19,8 @@
 //! the store directory; `search` and `summary` work from that store. Both
 //! wrangle and search fold their telemetry into
 //! `<store>/state/telemetry.json`, which `stats` renders as a table,
-//! Prometheus text, or JSON.
+//! Prometheus text, or JSON — and their request traces into
+//! `<store>/state/traces.json`, which `trace` renders as span trees.
 
 use metamess::core::{DurableCatalog, StoreOptions};
 use metamess::pipeline::Severity;
@@ -38,6 +41,7 @@ fn main() -> ExitCode {
         Some("validate") => cmd_validate(&args[1..]),
         Some("fsck") => cmd_fsck(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
             return ExitCode::from(2);
@@ -88,15 +92,26 @@ usage:
       report; exits nonzero when damage was found and not repaired
   metamess serve <store-dir> [--addr H:P] [--workers N] [--queue-depth N]
                  [--drain-grace-ms N] [--shards N] [--partition P]
+                 [--slow-ms N] [--trace-sample-rate F]
       serve the store over HTTP (POST /search, GET /datasets/<path>,
-      GET /browse, GET /healthz, GET /metrics, POST /admin/reload): one
-      nonblocking event thread multiplexes every connection and hands
-      complete requests to a bounded worker pool (--workers is clamped to
-      1..=256, --queue-depth to 0..=4096); excess load is shed with 503
-      Retry-After, and republished stores are hot-reloaded without dropping
-      requests (reloads rebuild the full shard set and swap it atomically);
-      SIGTERM / ctrl-c drain in-flight work before exiting, waiting up to
-      --drain-grace-ms (default 500) for worker threads to finish";
+      GET /browse, GET /healthz, GET /metrics, GET /debug/traces,
+      POST /admin/reload): one nonblocking event thread multiplexes every
+      connection and hands complete requests to a bounded worker pool
+      (--workers is clamped to 1..=256, --queue-depth to 0..=4096); excess
+      load is shed with 503 Retry-After, and republished stores are
+      hot-reloaded without dropping requests (reloads rebuild the full
+      shard set and swap it atomically); SIGTERM / ctrl-c drain in-flight
+      work before exiting, waiting up to --drain-grace-ms (default 500)
+      for worker threads to finish; every response carries an
+      X-Metamess-Trace-Id header — requests slower than --slow-ms
+      (default 100) always land in the slow-query log, and
+      --trace-sample-rate (0.0..=1.0, default 1.0) head-samples the
+      flight recorder
+  metamess trace <store-dir> [--slow] [--json] [--id HEX]
+      render request traces persisted by serve/search/wrangle as span
+      trees with per-span micros and shard attribution (default: recent
+      traces, newest first; --slow shows the slow-query log; --id picks
+      one trace by its 32-hex id; --json emits the /debug/traces shape)";
 
 fn parse_flag(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|ix| args.get(ix + 1).cloned())
@@ -220,12 +235,17 @@ fn cmd_wrangle(args: &[String]) -> Result<(), metamess::core::Error> {
     Ok(())
 }
 
-/// Folds this process's telemetry into `<store>/state/telemetry.json`.
-/// Best-effort: a no-op when telemetry is disabled or nothing was recorded.
+/// Folds this process's telemetry into `<store>/state/telemetry.json` and
+/// its request traces into `<store>/state/traces.json` (the file `metamess
+/// trace` reads). Best-effort: a no-op when telemetry is disabled or
+/// nothing was recorded.
 fn persist_telemetry(store_dir: &Path) -> Result<(), metamess::core::Error> {
     let path = metamess::telemetry_io::telemetry_path(store_dir);
     metamess::telemetry_io::persist_merged(&path)
         .map_err(|e| metamess::core::Error::io(format!("persist {}", path.display()), e))?;
+    let traces = metamess::telemetry::trace::traces_path(store_dir);
+    metamess::telemetry::trace::persist_traces(&traces)
+        .map_err(|e| metamess::core::Error::io(format!("persist {}", traces.display()), e))?;
     Ok(())
 }
 
@@ -299,6 +319,11 @@ fn cmd_search(args: &[String]) -> Result<(), metamess::core::Error> {
     }
     let engine = open_engine(Path::new(store_dir), spec)?;
     let query = Query::parse(&query_text)?;
+    // Trace the query like a served request would be (never sampled away:
+    // this run exists because someone wants to look at it). The trace is
+    // persisted below, so `metamess trace <store> --id <hex>` replays it.
+    let trace_ctx = metamess::telemetry::TraceContext::start(1.0);
+    let tracing = metamess::telemetry::trace::begin(&trace_ctx, "search");
     if explain {
         let (hits, breakdown) = engine.search_explain(&query);
         print!("{}", render_results(&hits));
@@ -306,6 +331,11 @@ fn cmd_search(args: &[String]) -> Result<(), metamess::core::Error> {
     } else {
         let hits = engine.search(&query);
         print!("{}", render_results(&hits));
+    }
+    if tracing {
+        if let Some(fin) = metamess::telemetry::trace::end(u64::MAX) {
+            println!("trace: {} ({}µs)", fin.trace_id_hex(), fin.micros);
+        }
     }
     persist_telemetry(Path::new(store_dir))?;
     Ok(())
@@ -437,6 +467,16 @@ fn cmd_serve(args: &[String]) -> Result<(), metamess::core::Error> {
             .map(std::time::Duration::from_millis)
             .map_err(|_| metamess::core::Error::invalid("bad --drain-grace-ms"))?;
     }
+    if let Some(s) = parse_flag(args, "--slow-ms") {
+        config.slow_ms =
+            s.parse::<u64>().map_err(|_| metamess::core::Error::invalid("bad --slow-ms"))?;
+    }
+    if let Some(r) = parse_flag(args, "--trace-sample-rate") {
+        // clamped to 0.0..=1.0 by Server::bind
+        config.trace_sample_rate = r
+            .parse::<f64>()
+            .map_err(|_| metamess::core::Error::invalid("bad --trace-sample-rate"))?;
+    }
     let spec = parse_shard_flags(args)?;
 
     let state = std::sync::Arc::new(metamess::server::ServeState::open_sharded(&store_dir, spec)?);
@@ -460,6 +500,49 @@ fn cmd_serve(args: &[String]) -> Result<(), metamess::core::Error> {
         summary.served, summary.shed, summary.dropped, summary.reloads
     );
     persist_telemetry(&store_dir)?;
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), metamess::core::Error> {
+    use metamess::telemetry::trace;
+    let store_dir = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .map(Path::new)
+        .ok_or_else(|| metamess::core::Error::invalid("trace needs a store directory"))?;
+    let json = args.iter().any(|a| a == "--json");
+    let slow = args.iter().any(|a| a == "--slow");
+    let path = trace::traces_path(store_dir);
+    let Some((recent, slow_log)) = trace::load_persisted_traces(&path) else {
+        println!("no traces recorded for {} yet (run search or serve first)", store_dir.display());
+        return Ok(());
+    };
+    let picked: Vec<trace::OwnedTrace> = if let Some(id) = parse_flag(args, "--id") {
+        let want = trace::parse_trace_id(&id)
+            .map(trace::trace_id_hex)
+            .ok_or_else(|| metamess::core::Error::invalid(format!("bad --id {id:?}")))?;
+        let found = recent
+            .into_iter()
+            .chain(slow_log)
+            .find(|t| t.trace_id == want)
+            .ok_or_else(|| metamess::core::Error::not_found("trace", want))?;
+        vec![found]
+    } else if slow {
+        slow_log
+    } else {
+        recent
+    };
+    if json {
+        println!("{}", trace::render_traces_json(&picked));
+        return Ok(());
+    }
+    if picked.is_empty() {
+        println!("no {} traces in {}", if slow { "slow" } else { "recent" }, path.display());
+        return Ok(());
+    }
+    for t in &picked {
+        print!("{}", t.render_tree());
+    }
     Ok(())
 }
 

@@ -47,6 +47,37 @@ fn full_cli_workflow() {
     assert!(ok, "{stderr}");
     assert!(stdout.contains("1. ["), "{stdout}");
 
+    // the search printed its trace id; `metamess trace --id` replays the
+    // span tree from the persisted flight recorder
+    let tid = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("trace: "))
+        .and_then(|l| l.split_whitespace().next())
+        .expect("search prints its trace id")
+        .to_string();
+    assert_eq!(tid.len(), 32, "{tid}");
+    assert!(store.join("state").join("traces.json").exists());
+    let (ok, stdout, stderr) = run(&["trace", store_s, "--id", &tid]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains(&format!("trace {tid}")), "{stdout}");
+    assert!(stdout.contains("search"), "{stdout}");
+    assert!(stdout.contains("shard.probe"), "{stdout}");
+    assert!(stdout.contains("shard="), "{stdout}");
+    // the wrangle run left its own span tree (one child per stage)
+    let (ok, stdout, stderr) = run(&["trace", store_s]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("wrangle"), "{stdout}");
+    assert!(stdout.contains("scan-archive"), "{stdout}");
+    // --json emits the /debug/traces document shape
+    let (ok, stdout, stderr) = run(&["trace", store_s, "--json"]);
+    assert!(ok, "{stderr}");
+    let v: serde_json::Value = serde_json::from_str(&stdout).expect("trace --json parses");
+    assert!(!v["traces"].as_array().unwrap().is_empty(), "{stdout}");
+    // an unknown id is a clean error
+    let (ok, _, stderr) = run(&["trace", store_s, "--id", &"f".repeat(32)]);
+    assert!(!ok);
+    assert!(stderr.contains("not found"), "{stderr}");
+
     // summary of a known dataset
     let (ok, stdout, stderr) = run(&["summary", store_s, "stations/saturn01/2010/01.csv"]);
     assert!(ok, "{stderr}");
@@ -257,8 +288,10 @@ fn telemetry_can_be_disabled() {
     run_env(&["generate", dir_s, "--months", "1", "--stations", "1"]);
     run_env(&["wrangle", dir_s]);
     let store = dir.join(".metamess");
-    // disabled runs record nothing, so no telemetry file is written
+    // disabled runs record nothing, so no telemetry or trace file is
+    // written
     assert!(!store.join("state").join("telemetry.json").exists());
+    assert!(!store.join("state").join("traces.json").exists());
     // --explain still works: phase timings are measured independently
     let stdout = run_env(&["search", store.to_str().unwrap(), "with", "salinity", "--explain"]);
     assert!(stdout.contains("phase breakdown"), "{stdout}");

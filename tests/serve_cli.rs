@@ -108,6 +108,27 @@ fn serve_cli_round_trip() {
         assert!(metrics_body.contains(line), "stats line missing from /metrics: {line}");
     }
 
+    // Every response carries an X-Metamess-Trace-Id; quoting it back at
+    // /debug/traces?id= replays the request's span tree.
+    let mut stream = TcpStream::connect(&addr).expect("connect for trace check");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream
+        .write_all(b"POST /search HTTP/1.1\r\nhost: t\r\ncontent-length: 21\r\nconnection: close\r\n\r\n{\"q\":\"with salinity\"}")
+        .expect("write traced request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read traced response");
+    let text = String::from_utf8_lossy(&raw).to_ascii_lowercase();
+    let tid = text
+        .lines()
+        .find_map(|l| l.strip_prefix("x-metamess-trace-id:").map(|v| v.trim().to_string()))
+        .expect("every response carries a trace id header");
+    assert_eq!(tid.len(), 32, "{tid}");
+    let (status, body) = get(&addr, &format!("/debug/traces?id={tid}"));
+    assert_eq!(status, 200, "{body}");
+    let doc: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(doc["traces"][0]["trace_id"], serde_json::Value::String(tid.clone()));
+    assert_eq!(doc["traces"][0]["spans"][0]["name"], "request");
+
     // SIGTERM: graceful drain, summary line, exit 0.
     let rc = unsafe { kill(child.id() as i32, SIGTERM) };
     assert_eq!(rc, 0, "kill(SIGTERM) failed");
@@ -121,4 +142,10 @@ fn serve_cli_round_trip() {
     // shared exposition now carries the server-side counters too.
     let stats = run(&["stats", store_s, "--prometheus"]);
     assert!(stats.contains("metamess_server_requests_total"), "{stats}");
+
+    // …and persisted its flight recorder: `metamess trace` replays the
+    // traced request offline, by the id the response header advertised.
+    let traces = run(&["trace", store_s, "--id", &tid]);
+    assert!(traces.contains(&format!("trace {tid}")), "{traces}");
+    assert!(traces.contains("request"), "{traces}");
 }
