@@ -1,0 +1,251 @@
+//! **E10 — Continuous ingestion: group commit, watch cycles, delta
+//! publication.**
+//!
+//! Three measurements over the live-service path:
+//!
+//! 1. **fsync amortization** — a 50-harvest burst published through a
+//!    zero-interval [`GroupCommit`] (one fsync per submission) vs a
+//!    windowed queue where concurrent submissions coalesce into one shared
+//!    fsync. Hard-asserts the windowed queue issues **≥ 4× fewer** fsyncs
+//!    and that both stores end bit-equivalent (same dataset count, same
+//!    generation).
+//! 2. **watch-cycle latency** — cold wrangle, unchanged-archive skip
+//!    cycles (fingerprint pre-check only), and a touched cycle that
+//!    re-runs the affected stages, sampled to p50/p95/p99.
+//! 3. **delta apply vs full reload** — a live [`ServeState`] picking up
+//!    each watch cycle's WAL tail in place (no store reopen) vs the cost
+//!    of a full snapshot+WAL reload, with the delta outcome hard-asserted.
+//!
+//! ```text
+//! cargo run --release -p metamess-bench --bin exp10_ingest [-- --quick] [--json [path]]
+//! ```
+//!
+//! `--quick` shrinks the archive and sample counts for CI smoke runs.
+//! `--json` writes a schema-stable `BENCH_ingest.json` with
+//! `ingest.fsync.*`, `ingest.cycle*`, `ingest.delta_apply.*`, and
+//! `ingest.full_reload.*` keys.
+
+use metamess_archive::{generate, ArchiveSpec};
+use metamess_bench::{json_flag, BenchReport};
+use metamess_core::store::{CompactionPolicy, GroupCommit, GroupCommitOptions};
+use metamess_core::{DatasetFeature, DurableCatalog, Mutation, StoreOptions, VariableFeature};
+use metamess_pipeline::{WatchOptions, Watcher};
+use metamess_server::{ReloadOutcome, ServeState};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Successful-WAL-fsync counter maintained by the store layer.
+fn fsyncs() -> u64 {
+    metamess_telemetry::global().counter("metamess_core_wal_fsyncs_total").get()
+}
+
+/// A fresh scratch directory under the system temp dir.
+fn fresh_dir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("metamess-exp10-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("create scratch dir");
+    d
+}
+
+/// One synthetic "harvest": `per_batch` dataset puts, unique per round.
+fn harvest_batch(round: usize, per_batch: usize) -> Vec<Mutation> {
+    (0..per_batch)
+        .map(|i| {
+            let mut f = DatasetFeature::new(format!("2013/04/harvest{round:03}_{i}.csv"));
+            f.variables.push(VariableFeature::new("salinity"));
+            Mutation::Put(Box::new(f))
+        })
+        .collect()
+}
+
+/// Copies the first `.csv` found under `archive` to a fresh name, the way
+/// an instrument drop-box gains a new upload.
+fn add_one_file(archive: &Path, round: usize) -> PathBuf {
+    let mut stack = vec![archive.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for e in std::fs::read_dir(&dir).expect("read archive dir") {
+            let p = e.expect("dir entry").path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|x| x == "csv")
+                && !p.file_name().is_some_and(|n| n.to_string_lossy().starts_with("fresh_upload"))
+            {
+                let dest = p.with_file_name(format!("fresh_upload_{round}.csv"));
+                std::fs::copy(&p, &dest).expect("copy csv");
+                return dest;
+            }
+        }
+    }
+    panic!("archive has no csv files");
+}
+
+fn mean_micros(samples: &[u64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().sum::<u64>() as f64 / samples.len() as f64
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = json_flag(&args, "BENCH_ingest.json");
+    let mut report = BenchReport::new("ingest");
+
+    // ---- 1. fsync amortization at a 50-harvest burst --------------------
+    let burst = 50; // the acceptance burst size, quick or not
+    let per_batch = if quick { 2 } else { 8 };
+    println!("== E10: continuous ingestion ==");
+    println!("-- group commit: {burst}-harvest burst, {per_batch} puts/harvest --");
+
+    // Baseline: zero commit window — every submission is its own fsync.
+    let base_dir = fresh_dir("base");
+    let store = DurableCatalog::open(base_dir.join("catalog"), StoreOptions::default())
+        .expect("open baseline store");
+    let queue = GroupCommit::new(
+        store,
+        GroupCommitOptions { commit_interval: Duration::ZERO, compaction: None },
+    );
+    let f0 = fsyncs();
+    let t0 = Instant::now();
+    for round in 0..burst {
+        queue
+            .submit(harvest_batch(round, per_batch))
+            .expect("submit")
+            .wait()
+            .expect("baseline fsync acks");
+    }
+    let baseline_micros = t0.elapsed().as_micros() as u64;
+    let baseline_fsyncs = fsyncs() - f0;
+    let base_store = queue.close().expect("close baseline queue");
+    let expected = burst * per_batch;
+    assert_eq!(base_store.catalog().len(), expected, "baseline lost a harvest");
+
+    // Windowed: submissions coalesce; acks land after the shared fsync.
+    let win_dir = fresh_dir("windowed");
+    let store = DurableCatalog::open(win_dir.join("catalog"), StoreOptions::default())
+        .expect("open windowed store");
+    let queue = GroupCommit::new(
+        store,
+        GroupCommitOptions { commit_interval: Duration::from_millis(25), compaction: None },
+    );
+    let f0 = fsyncs();
+    let t0 = Instant::now();
+    let tickets: Vec<_> = (0..burst)
+        .map(|round| queue.submit(harvest_batch(round, per_batch)).expect("submit"))
+        .collect();
+    for t in tickets {
+        t.wait().expect("windowed fsync acks");
+    }
+    let windowed_micros = t0.elapsed().as_micros() as u64;
+    let windowed_fsyncs = fsyncs() - f0;
+    let win_store = queue.close().expect("close windowed queue");
+    assert_eq!(win_store.catalog().len(), expected, "windowed lost an acked harvest");
+    assert_eq!(
+        win_store.catalog().generation(),
+        base_store.catalog().generation(),
+        "same burst must land on the same generation"
+    );
+
+    report.set("ingest.fsync.burst", burst as u64);
+    report.set("ingest.fsync.baseline", baseline_fsyncs);
+    report.set("ingest.fsync.windowed", windowed_fsyncs);
+    report.set("ingest.fsync.baseline_micros", baseline_micros);
+    report.set("ingest.fsync.windowed_micros", windowed_micros);
+    if metamess_telemetry::enabled() {
+        assert!(windowed_fsyncs >= 1, "windowed burst never fsynced");
+        assert!(
+            baseline_fsyncs >= 4 * windowed_fsyncs,
+            "group commit must amortize ≥4x: baseline {baseline_fsyncs} vs windowed {windowed_fsyncs}"
+        );
+        let factor = baseline_fsyncs as f64 / windowed_fsyncs as f64;
+        report.set_f64("ingest.fsync.amortization", factor);
+        println!(
+            "  fsyncs: {baseline_fsyncs} (per-harvest) vs {windowed_fsyncs} (windowed) — {factor:.1}x fewer"
+        );
+    } else {
+        println!("  telemetry disabled; fsync counters unavailable (amortization not asserted)");
+    }
+
+    // ---- 2. watch-cycle latency ----------------------------------------
+    let spec = if quick {
+        ArchiveSpec::tiny()
+    } else {
+        ArchiveSpec { stations: 4, cruises: 2, glider_missions: 1, months: 6, ..Default::default() }
+    };
+    let skip_cycles = if quick { 10 } else { 40 };
+    println!("-- watch cycles over a generated archive --");
+
+    let archive_dir = fresh_dir("archive");
+    generate(&spec).write_to(&archive_dir).expect("write archive");
+    let store_dir = fresh_dir("store");
+    let options = WatchOptions {
+        interval: Duration::from_millis(1),
+        commit_interval: Duration::ZERO,
+        max_cycles: None,
+        compaction: CompactionPolicy::default(),
+    };
+    let mut watcher = Watcher::new(&archive_dir, &store_dir, options).expect("open watcher");
+
+    let cold = watcher.run_cycle().expect("cold cycle");
+    assert!(cold.changed, "first cycle must wrangle the archive");
+    assert!(cold.datasets > 0, "cold cycle produced no datasets");
+    report.set("ingest.cycle_cold_micros", cold.micros);
+    report.set("ingest.datasets", cold.datasets as u64);
+    println!("  cold wrangle: {} datasets in {} µs", cold.datasets, cold.micros);
+
+    let mut skips = Vec::with_capacity(skip_cycles);
+    for _ in 0..skip_cycles {
+        let c = watcher.run_cycle().expect("skip cycle");
+        assert!(!c.changed, "unchanged archive must skip the pipeline");
+        skips.push(c.micros);
+    }
+    report.record_samples("ingest.cycle_unchanged", &skips);
+    println!("  unchanged cycle mean: {:.0} µs over {skip_cycles} cycles", mean_micros(&skips));
+
+    // ---- 3. delta apply vs full reload ---------------------------------
+    let rounds = if quick { 3 } else { 10 };
+    println!("-- live serve: delta apply vs full reload, {rounds} rounds --");
+    let state = ServeState::open(&store_dir).expect("open serve state");
+    let before = state.epoch().datasets;
+
+    let mut touch = Vec::with_capacity(rounds);
+    let mut deltas = Vec::with_capacity(rounds);
+    let mut applied = 0usize;
+    for round in 0..rounds {
+        add_one_file(&archive_dir, round);
+        let c = watcher.run_cycle().expect("touched cycle");
+        assert!(c.changed && c.mutations >= 1, "new upload must publish mutations");
+        touch.push(c.micros);
+        let t = Instant::now();
+        let outcome = state.poll_reload().expect("poll reload");
+        deltas.push(t.elapsed().as_micros() as u64);
+        if let ReloadOutcome::DeltaApplied { .. } = outcome {
+            applied += 1;
+        }
+    }
+    assert_eq!(applied, rounds, "every watch publish must reach serve via the in-place delta path");
+    assert_eq!(state.epoch().datasets, before + rounds, "served catalog missed an upload");
+    report.record_samples("ingest.cycle_touched", &touch);
+    report.record_samples("ingest.delta_apply", &deltas);
+    report.set("ingest.delta.applied", applied as u64);
+
+    let mut reloads = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let t = Instant::now();
+        state.reload().expect("full reload");
+        reloads.push(t.elapsed().as_micros() as u64);
+    }
+    report.record_samples("ingest.full_reload", &reloads);
+    let (dm, rm) = (mean_micros(&deltas), mean_micros(&reloads));
+    if dm > 0.0 {
+        report.set_f64("ingest.delta_vs_reload", rm / dm);
+    }
+    println!("  delta apply mean: {dm:.0} µs; full reload mean: {rm:.0} µs");
+
+    println!("{}", report.render());
+    if let Some(path) = json_path {
+        report.write(&path).expect("write BENCH_ingest.json");
+        println!("wrote {}", path.display());
+    }
+}

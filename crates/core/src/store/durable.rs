@@ -20,10 +20,11 @@ use super::snapshot::{read_snapshot_with, write_snapshot_with};
 use super::vfs::{std_vfs, Vfs};
 use super::wal::{RecoveryMode, ReplaySummary, Wal};
 use crate::catalog::{Catalog, Mutation};
-use crate::error::{IoContext, Result};
+use crate::error::{Error, IoContext, Result};
 use crate::feature::DatasetFeature;
 use crate::id::DatasetId;
 use metamess_telemetry::{event, Level, Stopwatch};
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -41,6 +42,44 @@ pub struct StoreOptions {
     /// `<store-dir>/quarantine` when unset; the CLI points it at
     /// `<store>/state/quarantine` so all anomalies live in one place.
     pub quarantine_dir: Option<PathBuf>,
+}
+
+/// When and how a [`DurableCatalog`] folds its WAL into a fresh snapshot.
+///
+/// Compaction is checkpointing with retention: the pre-compaction snapshot
+/// is copied into `retained/` (so an operator can rewind a bad publish)
+/// before the WAL is folded in, and the retained set is pruned to the
+/// newest `retain` copies afterwards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompactionPolicy {
+    /// Compact once `wal_bytes >= wal_ratio * snapshot_bytes`. A missing
+    /// snapshot counts as zero bytes, so any WAL growth past
+    /// `min_wal_bytes` compacts immediately on a fresh store.
+    pub wal_ratio: f64,
+    /// Never compact while the WAL is smaller than this many bytes,
+    /// regardless of ratio — tiny logs are cheaper to replay than to fold.
+    pub min_wal_bytes: u64,
+    /// Previous snapshots kept in `retained/` (0 disables retention).
+    pub retain: usize,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> CompactionPolicy {
+        CompactionPolicy { wal_ratio: 0.5, min_wal_bytes: 64 * 1024, retain: 2 }
+    }
+}
+
+/// What one [`DurableCatalog::compact`] call did.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CompactionReport {
+    /// WAL bytes folded into the new snapshot.
+    pub wal_bytes_folded: u64,
+    /// Size of the freshly written snapshot.
+    pub snapshot_bytes: u64,
+    /// Whether the previous snapshot was copied into `retained/`.
+    pub retained_previous: bool,
+    /// Retained snapshots removed by the retention policy.
+    pub pruned: usize,
 }
 
 /// What recovery found when opening a store.
@@ -300,6 +339,137 @@ impl DurableCatalog {
     pub fn pending_wal_records(&self) -> u64 {
         self.appends_since_checkpoint
     }
+
+    /// Current size of the WAL file in bytes (0 when absent).
+    pub fn wal_bytes(&self) -> u64 {
+        self.vfs.file_len(&self.dir.join("wal.log")).unwrap_or(0)
+    }
+
+    /// Current size of the snapshot file in bytes (0 when absent).
+    pub fn snapshot_bytes(&self) -> u64 {
+        self.vfs.file_len(&self.dir.join("snapshot.bin")).unwrap_or(0)
+    }
+
+    /// Whether `policy` says the WAL has outgrown the snapshot.
+    pub fn should_compact(&self, policy: &CompactionPolicy) -> bool {
+        let wal = self.wal_bytes();
+        wal >= policy.min_wal_bytes && wal as f64 >= policy.wal_ratio * self.snapshot_bytes() as f64
+    }
+
+    /// Compacts when [`DurableCatalog::should_compact`], else does nothing.
+    pub fn maybe_compact(&mut self, policy: &CompactionPolicy) -> Result<Option<CompactionReport>> {
+        if self.should_compact(policy) {
+            self.compact(policy).map(Some)
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Folds the WAL into a fresh snapshot, retaining the previous snapshot
+    /// under `retained/` and pruning that set to `policy.retain` copies.
+    ///
+    /// The ordering is chosen so a crash at any step loses no acked data:
+    ///
+    /// 1. flush+fsync the WAL — everything acked so far is on disk;
+    /// 2. copy the old snapshot into `retained/` (write + fsync + dir sync);
+    /// 3. write the new snapshot (atomic tmp + fsync + rename + dir sync);
+    /// 4. reset the WAL;
+    /// 5. prune `retained/` to the newest `policy.retain` entries.
+    ///
+    /// A crash between 3 and 4 leaves the folded WAL to be re-replayed over
+    /// the new snapshot, which is idempotent for catalog *content* (the
+    /// generation counter may run ahead — it is bookkeeping, not data). A
+    /// crash during 5 leaves extra retained copies, which the next
+    /// compaction prunes.
+    pub fn compact(&mut self, policy: &CompactionPolicy) -> Result<CompactionReport> {
+        let on = metamess_telemetry::enabled();
+        let timer = Stopwatch::start_if(on);
+        self.wal.flush_and_sync()?;
+        let wal_bytes_folded = self.wal_bytes();
+        let snap_path = self.dir.join("snapshot.bin");
+        let retained_dir = self.dir.join("retained");
+        let mut report = CompactionReport { wal_bytes_folded, ..CompactionReport::default() };
+        if policy.retain > 0 && self.vfs.exists(&snap_path) {
+            self.retain_snapshot(&snap_path, &retained_dir)?;
+            report.retained_previous = true;
+        }
+        write_snapshot_with(self.vfs.as_ref(), &snap_path, &self.catalog)?;
+        self.wal.reset()?;
+        self.appends_since_checkpoint = 0;
+        report.snapshot_bytes = self.snapshot_bytes();
+        report.pruned = self.prune_retained(&retained_dir, policy.retain)?;
+        if on {
+            let m = store_metrics();
+            m.compactions.inc();
+            m.snapshot_writes.inc();
+            m.compaction_pruned.add(report.pruned as u64);
+            m.compaction_micros.record(timer.micros());
+        }
+        event!(
+            Level::Info,
+            "store",
+            "compacted {}: folded {} wal bytes, pruned {} retained",
+            self.dir.display(),
+            report.wal_bytes_folded,
+            report.pruned
+        );
+        Ok(report)
+    }
+
+    /// Copies the current snapshot into `retained/` under a monotonically
+    /// increasing, zero-padded sequence name so lexical order is age order.
+    fn retain_snapshot(&self, snap_path: &Path, retained_dir: &Path) -> Result<()> {
+        self.vfs
+            .create_dir_all(retained_dir)
+            .io_ctx(format!("create retained dir {}", retained_dir.display()))?;
+        let next_seq = self
+            .retained_snapshots()?
+            .last()
+            .and_then(|p| retained_seq(p))
+            .map_or(1, |s| s.saturating_add(1));
+        let dest = retained_dir.join(format!("snapshot-{next_seq:010}.bin"));
+        let bytes = self.vfs.read(snap_path).io_ctx("read snapshot for retention")?;
+        let mut f = self
+            .vfs
+            .open_truncate(&dest)
+            .io_ctx(format!("create retained snapshot {}", dest.display()))?;
+        f.write_all(&bytes).io_ctx("write retained snapshot")?;
+        f.sync_all().io_ctx("sync retained snapshot")?;
+        drop(f);
+        self.vfs.sync_dir(retained_dir).io_ctx("sync retained dir")?;
+        Ok(())
+    }
+
+    /// Removes the oldest retained snapshots beyond `retain`, returning how
+    /// many were pruned.
+    fn prune_retained(&self, retained_dir: &Path, retain: usize) -> Result<usize> {
+        let snapshots = self.retained_snapshots()?;
+        let excess = snapshots.len().saturating_sub(retain);
+        for old in &snapshots[..excess] {
+            self.vfs
+                .remove_file(old)
+                .io_ctx(format!("prune retained snapshot {}", old.display()))?;
+        }
+        Ok(excess)
+    }
+
+    /// Retained snapshot paths, oldest first.
+    pub fn retained_snapshots(&self) -> Result<Vec<PathBuf>> {
+        let dir = self.dir.join("retained");
+        let mut files = self
+            .vfs
+            .list_dir(&dir)
+            .map_err(|e| Error::io(format!("list retained dir {}", dir.display()), e))?;
+        files.retain(|p| retained_seq(p).is_some());
+        Ok(files)
+    }
+}
+
+/// Parses the sequence number out of a `retained/snapshot-NNNNNNNNNN.bin`
+/// path; `None` for foreign files (which retention then leaves alone).
+fn retained_seq(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    name.strip_prefix("snapshot-")?.strip_suffix(".bin")?.parse().ok()
 }
 
 #[cfg(test)]
@@ -554,6 +724,74 @@ mod tests {
         }
         drop(a);
         let _repair = StoreLock::exclusive(lock_path(&dir)).unwrap();
+    }
+
+    #[test]
+    fn compact_folds_wal_and_retains_previous_snapshot() {
+        let dir = tmpdir("compact");
+        let policy = CompactionPolicy { wal_ratio: 0.5, min_wal_bytes: 1, retain: 2 };
+        let mut s = DurableCatalog::open(&dir, opts_sync()).unwrap();
+        s.put(DatasetFeature::new("a.csv")).unwrap();
+        s.checkpoint().unwrap();
+        s.put(DatasetFeature::new("b.csv")).unwrap();
+        assert!(s.should_compact(&policy));
+        let r = s.compact(&policy).unwrap();
+        assert!(r.retained_previous);
+        assert!(r.wal_bytes_folded > 0);
+        assert_eq!(r.pruned, 0);
+        assert_eq!(s.pending_wal_records(), 0);
+        assert_eq!(s.retained_snapshots().unwrap().len(), 1);
+        // The WAL is folded: a reopen loads everything from the snapshot.
+        drop(s);
+        let s = DurableCatalog::open(&dir, opts_sync()).unwrap();
+        assert_eq!(s.catalog().len(), 2);
+        assert_eq!(s.recovery_report().wal_mutations, 0);
+    }
+
+    #[test]
+    fn retention_prunes_to_newest_n() {
+        let dir = tmpdir("retention");
+        let policy = CompactionPolicy { wal_ratio: 0.0, min_wal_bytes: 0, retain: 2 };
+        let mut s = DurableCatalog::open(&dir, opts_sync()).unwrap();
+        for i in 0..5 {
+            s.put(DatasetFeature::new(format!("f{i}.csv"))).unwrap();
+            s.compact(&policy).unwrap();
+        }
+        let retained = s.retained_snapshots().unwrap();
+        assert_eq!(retained.len(), 2);
+        // Lexical order is age order: the survivors are the newest two.
+        let names: Vec<_> =
+            retained.iter().map(|p| p.file_name().unwrap().to_str().unwrap().to_string()).collect();
+        assert_eq!(names, vec!["snapshot-0000000003.bin", "snapshot-0000000004.bin"]);
+        // Each retained copy is a readable snapshot of its era.
+        let c = crate::store::snapshot::read_snapshot(&retained[1]).unwrap().unwrap();
+        assert_eq!(c.len(), 4, "snapshot 4 was taken before f4 was folded");
+    }
+
+    #[test]
+    fn retain_zero_disables_retention() {
+        let dir = tmpdir("retain0");
+        let policy = CompactionPolicy { wal_ratio: 0.0, min_wal_bytes: 0, retain: 0 };
+        let mut s = DurableCatalog::open(&dir, opts_sync()).unwrap();
+        s.put(DatasetFeature::new("a.csv")).unwrap();
+        s.compact(&policy).unwrap();
+        s.put(DatasetFeature::new("b.csv")).unwrap();
+        let r = s.compact(&policy).unwrap();
+        assert!(!r.retained_previous);
+        assert!(s.retained_snapshots().unwrap().is_empty());
+    }
+
+    #[test]
+    fn should_compact_honors_min_wal_bytes() {
+        let dir = tmpdir("minwal");
+        let mut s = DurableCatalog::open(&dir, opts_sync()).unwrap();
+        s.put(DatasetFeature::new("a.csv")).unwrap();
+        let huge_floor = CompactionPolicy { min_wal_bytes: u64::MAX, ..Default::default() };
+        assert!(!s.should_compact(&huge_floor));
+        let tiny_floor = CompactionPolicy { wal_ratio: 0.5, min_wal_bytes: 1, retain: 2 };
+        assert!(s.should_compact(&tiny_floor), "no snapshot yet: any wal growth qualifies");
+        assert!(s.maybe_compact(&huge_floor).unwrap().is_none());
+        assert!(s.maybe_compact(&tiny_floor).unwrap().is_some());
     }
 
     #[test]

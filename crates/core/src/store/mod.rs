@@ -11,6 +11,7 @@ pub mod crc;
 mod durable;
 mod frame;
 pub mod fsck;
+mod group_commit;
 mod ledger;
 mod lock;
 mod metrics;
@@ -20,8 +21,11 @@ mod vfs;
 mod wal;
 
 pub use crc::{crc32, Crc32};
-pub use durable::{DurableCatalog, RecoveryReport, StoreOptions};
+pub use durable::{
+    CompactionPolicy, CompactionReport, DurableCatalog, RecoveryReport, StoreOptions,
+};
 pub use fsck::{FsckFinding, FsckReport, FsckSeverity};
+pub use group_commit::{CommitTicket, GroupCommit, GroupCommitOptions};
 pub use ledger::{
     read_ledger, read_ledger_with, write_ledger, write_ledger_with, RunLedger, StageRecord,
     LEDGER_MAGIC,
@@ -32,4 +36,4 @@ pub use snapshot::{
     read_snapshot, read_snapshot_with, write_snapshot, write_snapshot_with, SNAPSHOT_MAGIC,
 };
 pub use vfs::{std_vfs, FaultKind, FaultPlan, FaultVfs, StdVfs, Vfs, VfsFile};
-pub use wal::{RecoveryMode, ReplaySummary, Wal, WAL_MAGIC};
+pub use wal::{RecoveryMode, ReplaySummary, TailRead, Wal, WAL_MAGIC};

@@ -59,6 +59,12 @@ pub trait Vfs: Send + Sync + std::fmt::Debug {
     fn exists(&self, path: &Path) -> bool;
     /// Length of the file at `path` in bytes.
     fn file_len(&self, path: &Path) -> io::Result<u64>;
+    /// Removes the file at `path`.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Lists the files directly inside `path`, sorted by name. A missing
+    /// directory reads as empty (retention pruning before the first
+    /// compaction).
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>>;
 }
 
 /// The shared production VFS: a `std::fs` passthrough.
@@ -136,6 +142,27 @@ impl Vfs for StdVfs {
 
     fn file_len(&self, path: &Path) -> io::Result<u64> {
         Ok(std::fs::metadata(path)?.len())
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        let entries = match std::fs::read_dir(path) {
+            Ok(e) => e,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+            Err(e) => return Err(e),
+        };
+        for entry in entries {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                out.push(entry.path());
+            }
+        }
+        out.sort();
+        Ok(out)
     }
 }
 
@@ -467,6 +494,18 @@ impl Vfs for FaultVfs {
     fn file_len(&self, path: &Path) -> io::Result<u64> {
         self.check_alive()?;
         self.inner.file_len(path)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.check_alive()?;
+        self.inner.remove_file(path)?;
+        self.state.lock().unwrap().synced_len.remove(path);
+        Ok(())
+    }
+
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        self.check_alive()?;
+        self.inner.list_dir(path)
     }
 }
 

@@ -32,12 +32,13 @@ pub const WAL_MAGIC: &[u8; 8] = b"MMWAL001";
 const MAX_RECORD_LEN: u32 = 64 * 1024 * 1024;
 
 /// How [`Wal::replay`] treats a damaged tail.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum RecoveryMode {
     /// Any invalid data is an error.
     Strict,
     /// A damaged *final* region is truncated away (normal crash recovery);
     /// damage followed by further valid data is still an error.
+    #[default]
     TruncateTail,
 }
 
@@ -48,6 +49,26 @@ pub struct ReplaySummary {
     pub mutations: Vec<Mutation>,
     /// Bytes of damaged tail that were truncated (0 when clean).
     pub truncated_bytes: u64,
+}
+
+/// Outcome of a [`Wal::read_tail`] incremental read.
+///
+/// Unlike [`ReplaySummary`], a tail read never mutates the log: a reader
+/// polling a WAL that another process is appending to must not truncate
+/// bytes the writer's buffer still holds, or the two would corrupt each
+/// other. Damage here therefore only *stops* the read.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TailRead {
+    /// Complete, CRC-valid mutations decoded from `offset` onwards.
+    pub mutations: Vec<Mutation>,
+    /// Byte offset just past the last valid record — pass this back as the
+    /// next poll's `offset`.
+    pub new_offset: u64,
+    /// Why the read stopped before end of file (`None` when it consumed
+    /// everything). A torn tail here usually means an append is in flight;
+    /// callers should re-poll from `new_offset` rather than assume
+    /// corruption.
+    pub stopped_early: Option<String>,
 }
 
 /// An open write-ahead log.
@@ -179,6 +200,85 @@ impl Wal {
             }
         }
         Ok(ReplaySummary { mutations, truncated_bytes: 0 })
+    }
+
+    /// Reads complete records from byte `offset` onwards without opening the
+    /// log for writing and without ever truncating it, using the standard
+    /// file system.
+    ///
+    /// This is the polling primitive for a live reader (e.g. `metamess
+    /// serve` following a `metamess watch` writer): an incomplete or invalid
+    /// record merely stops the read — the writer may still be mid-append —
+    /// and the caller re-polls from [`TailRead::new_offset`]. Passing
+    /// `offset = 0` starts after the magic header; an `offset` beyond the
+    /// current file length (the log shrank, i.e. was reset or compacted
+    /// underneath us) is an [`Error::Invalid`] so the caller can fall back
+    /// to a full reload.
+    pub fn read_tail(path: impl AsRef<Path>, offset: u64) -> Result<TailRead> {
+        Wal::read_tail_with(std_vfs().as_ref(), path, offset)
+    }
+
+    /// [`Wal::read_tail`] through an explicit [`Vfs`].
+    pub fn read_tail_with(vfs: &dyn Vfs, path: impl AsRef<Path>, offset: u64) -> Result<TailRead> {
+        let path = path.as_ref();
+        let bytes = match vfs.read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(TailRead { new_offset: offset, ..TailRead::default() })
+            }
+            Err(e) => return Err(Error::io(format!("open wal {}", path.display()), e)),
+        };
+        if offset > bytes.len() as u64 {
+            return Err(Error::invalid(format!(
+                "wal {}: tail offset {offset} beyond file length {} (log was reset)",
+                path.display(),
+                bytes.len()
+            )));
+        }
+        let mut pos = offset as usize;
+        if pos < WAL_MAGIC.len() {
+            if bytes.is_empty() {
+                return Ok(TailRead::default());
+            }
+            if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+                return Err(Error::corrupt(format!("wal {}: bad magic", path.display())));
+            }
+            pos = WAL_MAGIC.len();
+        }
+        let mut mutations = Vec::new();
+        let mut stopped_early = None;
+        while pos < bytes.len() {
+            if pos + 8 > bytes.len() {
+                stopped_early = Some("torn record header".into());
+                break;
+            }
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+            let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+            if len > MAX_RECORD_LEN {
+                stopped_early = Some(format!("record length {len} exceeds cap"));
+                break;
+            }
+            let start = pos + 8;
+            let end = start + len as usize;
+            if end > bytes.len() {
+                stopped_early = Some("torn record payload".into());
+                break;
+            }
+            let payload = &bytes[start..end];
+            if crc32(payload) != crc {
+                stopped_early = Some("crc mismatch".into());
+                break;
+            }
+            match serde_json::from_slice(payload) {
+                Ok(m) => mutations.push(m),
+                Err(e) => {
+                    stopped_early = Some(format!("undecodable mutation: {e}"));
+                    break;
+                }
+            }
+            pos = end;
+        }
+        Ok(TailRead { mutations, new_offset: pos as u64, stopped_early })
     }
 
     /// Appends one mutation. The record is durable after this call when the
@@ -410,6 +510,74 @@ mod tests {
         fs::write(&wal, &bytes).unwrap();
         assert!(Wal::replay(&wal, RecoveryMode::Strict).unwrap_err().is_corrupt());
         let r = Wal::replay(&wal, RecoveryMode::TruncateTail).unwrap();
+        assert!(r.mutations.is_empty());
+    }
+
+    #[test]
+    fn read_tail_follows_a_growing_log() {
+        let dir = tmpdir("tail");
+        let wal = dir.join("wal.log");
+        let mut w = Wal::open(&wal, true).unwrap();
+        w.append(&put("a.csv")).unwrap();
+        let first = Wal::read_tail(&wal, 0).unwrap();
+        assert_eq!(first.mutations.len(), 1);
+        assert!(first.stopped_early.is_none());
+        // Nothing new: same offset comes back, no mutations.
+        let idle = Wal::read_tail(&wal, first.new_offset).unwrap();
+        assert!(idle.mutations.is_empty());
+        assert_eq!(idle.new_offset, first.new_offset);
+        // The writer appends; the reader picks up only the new records.
+        w.append(&put("b.csv")).unwrap();
+        w.append(&put("c.csv")).unwrap();
+        let next = Wal::read_tail(&wal, first.new_offset).unwrap();
+        assert_eq!(next.mutations.len(), 2);
+        assert!(matches!(&next.mutations[0], Mutation::Put(f) if f.path == "b.csv"));
+    }
+
+    #[test]
+    fn read_tail_stops_at_torn_tail_without_truncating() {
+        let dir = tmpdir("tail-torn");
+        let wal = dir.join("wal.log");
+        {
+            let mut w = Wal::open(&wal, true).unwrap();
+            w.append(&put("a.csv")).unwrap();
+            w.append(&put("b.csv")).unwrap();
+        }
+        let full = fs::metadata(&wal).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&wal).unwrap();
+        f.set_len(full - 10).unwrap();
+        drop(f);
+        let r = Wal::read_tail(&wal, 0).unwrap();
+        assert_eq!(r.mutations.len(), 1, "complete prefix decoded");
+        assert!(r.stopped_early.is_some());
+        // Crucially the file is untouched: a live writer could still be
+        // holding the rest of that record.
+        assert_eq!(fs::metadata(&wal).unwrap().len(), full - 10);
+        // Re-polling after the "writer" completes the tail sees the record.
+        let mut bytes = fs::read(&wal).unwrap();
+        bytes.truncate(r.new_offset as usize);
+        let payload = serde_json::to_vec(&put("b.csv")).unwrap();
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        fs::write(&wal, &bytes).unwrap();
+        let r2 = Wal::read_tail(&wal, r.new_offset).unwrap();
+        assert_eq!(r2.mutations.len(), 1);
+        assert!(r2.stopped_early.is_none());
+    }
+
+    #[test]
+    fn read_tail_offset_beyond_len_is_invalid() {
+        let dir = tmpdir("tail-shrunk");
+        let wal = dir.join("wal.log");
+        {
+            let mut w = Wal::open(&wal, true).unwrap();
+            w.append(&put("a.csv")).unwrap();
+        }
+        let len = fs::metadata(&wal).unwrap().len();
+        assert!(Wal::read_tail(&wal, len + 1).is_err());
+        // Missing file with a zero offset is benign (nothing yet).
+        let r = Wal::read_tail(dir.join("nope.log"), 0).unwrap();
         assert!(r.mutations.is_empty());
     }
 

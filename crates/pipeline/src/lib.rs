@@ -13,6 +13,14 @@
 //! engine-backed runner uses content fingerprints over those
 //! declarations to skip stages whose inputs are unchanged since the last
 //! run — including across processes, via [`save_state`]/[`load_state`].
+//!
+//! The [`watch`] module turns the one-shot wrangle into **continuous
+//! ingestion**: a polling loop that re-runs only affected stages when the
+//! archive changes and publishes catalog deltas through a group-commit
+//! queue, so a live `metamess serve` can apply them without reopening the
+//! store.
+
+#![warn(missing_docs)]
 
 mod component;
 mod context;
@@ -22,6 +30,7 @@ mod engine;
 mod pipeline;
 mod stages;
 mod validate;
+pub mod watch;
 
 pub use component::{Component, Slot, StageReport, StageStatus};
 pub use context::{ArchiveInput, CtxView, PipelineContext, Severity, ValidationFinding};
@@ -36,3 +45,4 @@ pub use stages::{
 pub use validate::{
     ExpectedDatasets, FeatureSanity, FileTypeUniformity, NamesInVocabulary, Validate, Validator,
 };
+pub use watch::{CycleReport, WatchOptions, WatchReport, Watcher};

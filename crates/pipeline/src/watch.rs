@@ -1,0 +1,389 @@
+//! Continuous ingestion: poll an archive, re-wrangle what changed, and
+//! publish catalog deltas through a group-commit queue.
+//!
+//! A [`Watcher`] owns everything one `metamess watch` process needs: the
+//! pipeline context (with its fingerprint ledger, so unchanged stages are
+//! skipped), the standard pipeline, the curation loop, and a
+//! [`GroupCommit`] queue over the durable store. Each **cycle**:
+//!
+//! 1. scans the archive and compares its content fingerprint against the
+//!    previous cycle — an unchanged archive skips the pipeline entirely;
+//! 2. runs the curation loop to fixpoint (stage skipping makes this
+//!    incremental: only stages whose inputs changed re-execute), which is
+//!    recorded as a wrangle trace like any other run;
+//! 3. diffs the store's catalog against the freshly published catalog and
+//!    submits the resulting mutations as **one batch** to the group-commit
+//!    queue, acking only after the shared fsync lands;
+//! 4. saves the vocabulary *only when its version moved* (a rewritten
+//!    vocabulary file forces live readers into a full reload — see the
+//!    delta-publication signature check in `metamess-server`) and persists
+//!    the pipeline state for resume.
+//!
+//! Because publishes append to the WAL without checkpointing, a live
+//! `metamess serve` follows them via its WAL-tail delta path without
+//! reopening the store; the queue's background compaction folds the WAL
+//! into a fresh snapshot when it outgrows the configured ratio.
+//!
+//! Cycle telemetry lands in the `metamess_ingest_*` families (see
+//! `README.md § Running metamess as a live service`).
+
+use crate::context::{ArchiveInput, PipelineContext};
+use crate::curator::{CurationLoop, CuratorPolicy};
+use crate::engine::{load_state, save_state};
+use crate::pipeline::Pipeline;
+use metamess_core::store::{CompactionPolicy, GroupCommit, GroupCommitOptions};
+use metamess_core::{DurableCatalog, Result, StoreOptions};
+use metamess_harvest::scan::{archive_fingerprint, scan_directory};
+use metamess_telemetry::{global, Stopwatch};
+use metamess_vocab::Vocabulary;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tuning for a [`Watcher`].
+#[derive(Debug, Clone)]
+pub struct WatchOptions {
+    /// Pause between polling cycles.
+    pub interval: Duration,
+    /// Group-commit window: how long the store's flusher lets batches
+    /// coalesce before the shared fsync (zero = fsync per publish).
+    pub commit_interval: Duration,
+    /// Stop after this many cycles (`None` = run until stopped).
+    pub max_cycles: Option<u64>,
+    /// Background compaction policy for the store's WAL.
+    pub compaction: CompactionPolicy,
+}
+
+impl Default for WatchOptions {
+    fn default() -> WatchOptions {
+        WatchOptions {
+            interval: Duration::from_millis(1000),
+            commit_interval: Duration::from_millis(25),
+            max_cycles: None,
+            compaction: CompactionPolicy::default(),
+        }
+    }
+}
+
+/// What one polling cycle did.
+#[derive(Debug, Clone)]
+pub struct CycleReport {
+    /// 1-based cycle number.
+    pub cycle: u64,
+    /// Whether the archive fingerprint moved since the previous cycle
+    /// (`false` means the pipeline was skipped entirely).
+    pub changed: bool,
+    /// Mutations published to the store this cycle.
+    pub mutations: usize,
+    /// Datasets in the published catalog after the cycle.
+    pub datasets: usize,
+    /// End-to-end cycle latency in µs (scan through durable publish).
+    pub micros: u64,
+}
+
+/// Aggregate of a whole [`Watcher::run`].
+#[derive(Debug, Clone, Default)]
+pub struct WatchReport {
+    /// Cycles executed.
+    pub cycles: u64,
+    /// Cycles that skipped the pipeline (unchanged archive).
+    pub skipped: u64,
+    /// Total mutations published across all cycles.
+    pub mutations: usize,
+    /// Datasets in the published catalog at exit.
+    pub datasets: usize,
+}
+
+/// The continuous-ingestion loop: archive in, catalog deltas out.
+pub struct Watcher {
+    archive_dir: PathBuf,
+    vocab_path: PathBuf,
+    state_dir: PathBuf,
+    options: WatchOptions,
+    ctx: PipelineContext,
+    pipeline: Pipeline,
+    curator: CurationLoop,
+    commits: GroupCommit,
+    stop: Arc<AtomicBool>,
+    last_fingerprint: Option<u64>,
+    last_vocab_version: Option<u64>,
+    cycle: u64,
+    resumed: bool,
+}
+
+impl Watcher {
+    /// Opens the store under `store_dir` (creating it if needed), restores
+    /// pipeline state from a previous wrangle or watch, and prepares the
+    /// group-commit queue. Nothing runs until [`Watcher::run`] or
+    /// [`Watcher::run_cycle`].
+    pub fn new(
+        archive_dir: impl Into<PathBuf>,
+        store_dir: impl Into<PathBuf>,
+        options: WatchOptions,
+    ) -> Result<Watcher> {
+        let archive_dir = archive_dir.into();
+        let store_dir = store_dir.into();
+        let mut ctx = PipelineContext::new(
+            ArchiveInput::Dir(archive_dir.clone()),
+            Vocabulary::observatory_default(),
+        );
+        // keep the store out of the scan when it nests inside the archive
+        ctx.harvest.scan.exclude.push(".metamess".into());
+        let state_dir = store_dir.join("state");
+        let resumed = load_state(&mut ctx, &state_dir)?;
+        let vocab_path = store_dir.join("vocabulary.json");
+        let last_vocab_version = vocab_path.exists().then_some(ctx.vocab.version);
+        let store = DurableCatalog::open(store_dir.join("catalog"), StoreOptions::default())?;
+        let commits = GroupCommit::new(
+            store,
+            GroupCommitOptions {
+                commit_interval: options.commit_interval,
+                compaction: Some(options.compaction.clone()),
+            },
+        );
+        Ok(Watcher {
+            archive_dir,
+            vocab_path,
+            state_dir,
+            options,
+            ctx,
+            pipeline: Pipeline::standard(),
+            curator: CurationLoop::new(CuratorPolicy::default()),
+            commits,
+            stop: Arc::new(AtomicBool::new(false)),
+            last_fingerprint: None,
+            last_vocab_version,
+            cycle: 0,
+            resumed,
+        })
+    }
+
+    /// Whether [`Watcher::new`] restored state from a previous run.
+    pub fn resumed(&self) -> bool {
+        self.resumed
+    }
+
+    /// A flag that stops [`Watcher::run`] after the current cycle — hand
+    /// it to a signal handler.
+    pub fn stop_handle(&self) -> Arc<AtomicBool> {
+        self.stop.clone()
+    }
+
+    /// Runs one polling cycle: scan, (maybe) wrangle, publish, persist.
+    pub fn run_cycle(&mut self) -> Result<CycleReport> {
+        let started = Instant::now();
+        self.cycle += 1;
+        let entries = scan_directory(&self.archive_dir, &self.ctx.harvest.scan)?;
+        let fingerprint = archive_fingerprint(&entries);
+        if self.last_fingerprint == Some(fingerprint) {
+            let report = CycleReport {
+                cycle: self.cycle,
+                changed: false,
+                mutations: 0,
+                datasets: self.ctx.catalogs.published.len(),
+                micros: started.elapsed().as_micros() as u64,
+            };
+            record_cycle(&report, 0);
+            return Ok(report);
+        }
+        self.curator.run_to_fixpoint(&mut self.pipeline, &mut self.ctx)?;
+        // The store holds the previously published catalog; the diff is
+        // exactly the delta this cycle discovered. One submission per
+        // cycle — the group-commit window coalesces bursty cycles (and
+        // concurrent property writes) into a shared fsync.
+        let delta = self.commits.with_store(|s| s.catalog().diff(&self.ctx.catalogs.published))?;
+        let mutations = delta.len();
+        let wait = Stopwatch::start_if(metamess_telemetry::enabled());
+        if mutations > 0 {
+            self.commits.submit(delta)?.wait()?;
+        }
+        let wait_micros = wait.micros();
+        // Rewriting the vocabulary forces live readers into a full reload,
+        // so only save it when the curator actually moved the version.
+        if self.last_vocab_version != Some(self.ctx.vocab.version) {
+            self.ctx.vocab.save(&self.vocab_path)?;
+            self.last_vocab_version = Some(self.ctx.vocab.version);
+        }
+        save_state(&self.ctx, &self.state_dir)?;
+        self.last_fingerprint = Some(fingerprint);
+        let report = CycleReport {
+            cycle: self.cycle,
+            changed: true,
+            mutations,
+            datasets: self.ctx.catalogs.published.len(),
+            micros: started.elapsed().as_micros() as u64,
+        };
+        record_cycle(&report, wait_micros);
+        Ok(report)
+    }
+
+    /// Runs cycles until the stop flag is raised or `max_cycles` is
+    /// reached, sleeping `interval` between cycles (interruptibly), then
+    /// drains and closes the store. `on_cycle` observes every cycle —
+    /// print progress, persist telemetry, or ignore it.
+    pub fn run(mut self, mut on_cycle: impl FnMut(&CycleReport)) -> Result<WatchReport> {
+        let mut report = WatchReport::default();
+        while !self.stop.load(Ordering::Relaxed) {
+            let cycle = self.run_cycle()?;
+            report.cycles += 1;
+            report.mutations += cycle.mutations;
+            report.datasets = cycle.datasets;
+            if !cycle.changed {
+                report.skipped += 1;
+            }
+            on_cycle(&cycle);
+            if self.options.max_cycles.is_some_and(|max| report.cycles >= max) {
+                break;
+            }
+            let deadline = Instant::now() + self.options.interval;
+            while !self.stop.load(Ordering::Relaxed) {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                std::thread::sleep((deadline - now).min(Duration::from_millis(50)));
+            }
+        }
+        // Drains pending batches and fsyncs before returning.
+        self.commits.close().map(|_| report)
+    }
+
+    /// Read access to the published catalog as the watcher sees it.
+    pub fn published_len(&self) -> usize {
+        self.ctx.catalogs.published.len()
+    }
+}
+
+/// Records one cycle into the `metamess_ingest_*` telemetry families.
+fn record_cycle(report: &CycleReport, publish_wait_micros: u64) {
+    if !metamess_telemetry::enabled() {
+        return;
+    }
+    let g = global();
+    g.counter("metamess_ingest_cycles_total").add(1);
+    if !report.changed {
+        g.counter("metamess_ingest_cycles_skipped_total").add(1);
+    }
+    g.counter("metamess_ingest_published_mutations_total").add(report.mutations as u64);
+    g.histogram("metamess_ingest_cycle_micros").record(report.micros);
+    if report.changed {
+        g.histogram("metamess_ingest_publish_wait_micros").record(publish_wait_micros);
+    }
+    g.gauge("metamess_ingest_datasets").set(report.datasets as i64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metamess_archive::{generate, ArchiveSpec};
+    use std::path::Path;
+
+    fn fixture(name: &str) -> (PathBuf, PathBuf) {
+        let root = std::env::temp_dir().join(format!("mm-watch-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let archive = root.join("archive");
+        generate(&ArchiveSpec::tiny()).write_to(&archive).unwrap();
+        (archive, root.join("store"))
+    }
+
+    /// Copies the first data file in the archive to a new name, the way a
+    /// station upload lands a fresh observation file.
+    fn add_one_file(archive: &Path) -> PathBuf {
+        let mut stack = vec![archive.to_path_buf()];
+        while let Some(dir) = stack.pop() {
+            for e in std::fs::read_dir(&dir).unwrap() {
+                let p = e.unwrap().path();
+                if p.is_dir() {
+                    stack.push(p);
+                } else if p.extension().is_some_and(|x| x == "csv") {
+                    let dest = p.with_file_name("fresh_upload.csv");
+                    std::fs::copy(&p, &dest).unwrap();
+                    return dest;
+                }
+            }
+        }
+        panic!("archive has no csv files");
+    }
+
+    fn quick_options(cycles: Option<u64>) -> WatchOptions {
+        WatchOptions {
+            interval: Duration::from_millis(1),
+            commit_interval: Duration::ZERO,
+            max_cycles: cycles,
+            compaction: CompactionPolicy::default(),
+        }
+    }
+
+    #[test]
+    fn first_cycle_publishes_then_unchanged_cycles_skip() {
+        let (archive, store) = fixture("skip");
+        let mut w = Watcher::new(&archive, &store, quick_options(None)).unwrap();
+        assert!(!w.resumed());
+        let r1 = w.run_cycle().unwrap();
+        assert!(r1.changed);
+        assert!(r1.datasets > 0, "tiny archive must publish datasets");
+        assert!(r1.mutations > 0, "first cycle publishes everything");
+        let r2 = w.run_cycle().unwrap();
+        assert!(!r2.changed, "unchanged archive must skip the pipeline");
+        assert_eq!(r2.mutations, 0);
+        assert_eq!(r2.datasets, r1.datasets);
+    }
+
+    #[test]
+    fn a_new_file_flows_to_the_durable_store() {
+        let (archive, store) = fixture("delta");
+        let mut w = Watcher::new(&archive, &store, quick_options(None)).unwrap();
+        let r1 = w.run_cycle().unwrap();
+        add_one_file(&archive);
+        let r2 = w.run_cycle().unwrap();
+        assert!(r2.changed, "new file must change the archive fingerprint");
+        assert!(r2.mutations > 0, "the new dataset must be published as a delta");
+        assert_eq!(r2.datasets, r1.datasets + 1);
+        drop(w);
+        // The store on disk agrees with what the watcher reported.
+        let s = DurableCatalog::open(store.join("catalog"), StoreOptions::default()).unwrap();
+        assert_eq!(s.catalog().len(), r2.datasets);
+        assert!(
+            s.catalog().iter().any(|d| d.path.contains("fresh_upload")),
+            "the uploaded file must be durably cataloged"
+        );
+    }
+
+    #[test]
+    fn run_honors_max_cycles_and_reports_totals() {
+        let (archive, store) = fixture("run");
+        let w = Watcher::new(&archive, &store, quick_options(Some(3))).unwrap();
+        let mut seen = 0;
+        let report = w.run(|_| seen += 1).unwrap();
+        assert_eq!(report.cycles, 3);
+        assert_eq!(seen, 3);
+        assert_eq!(report.skipped, 2, "cycles 2 and 3 see an unchanged archive");
+        assert!(report.datasets > 0);
+    }
+
+    #[test]
+    fn stop_handle_ends_the_run() {
+        let (archive, store) = fixture("stop");
+        let w = Watcher::new(&archive, &store, quick_options(None)).unwrap();
+        let stop = w.stop_handle();
+        let report = w.run(move |_| stop.store(true, Ordering::Relaxed)).unwrap();
+        assert_eq!(report.cycles, 1, "raising the flag stops after the current cycle");
+    }
+
+    #[test]
+    fn a_second_watcher_resumes_from_saved_state() {
+        let (archive, store) = fixture("resume");
+        let mut w = Watcher::new(&archive, &store, quick_options(None)).unwrap();
+        let r1 = w.run_cycle().unwrap();
+        drop(w);
+        let mut w2 = Watcher::new(&archive, &store, quick_options(None)).unwrap();
+        assert!(w2.resumed(), "state saved by the first watcher must be restored");
+        assert_eq!(w2.published_len(), r1.datasets);
+        // Nothing changed on disk, but the fingerprint memory is per
+        // process — the cycle runs and publishes an empty delta.
+        let r2 = w2.run_cycle().unwrap();
+        assert_eq!(r2.mutations, 0, "an unchanged archive re-wrangle publishes nothing");
+        assert_eq!(r2.datasets, r1.datasets);
+    }
+}

@@ -1,0 +1,323 @@
+//! Cache survival analysis for in-place catalog deltas.
+//!
+//! When `metamess serve` applies a published delta without reopening the
+//! store, the catalog generation advances and every cached result list
+//! would normally be invalidated — even though most queries never touch
+//! the handful of datasets the delta changed. This module decides, per
+//! cached entry, whether its result list is *provably identical* under the
+//! new catalog, so [`ResultCache::retarget`](crate::ResultCache::retarget)
+//! can re-stamp it in place instead of dropping it.
+//!
+//! The proof obligations mirror the engine's execution model exactly:
+//!
+//! 1. **No spatial clause.** Nearest-neighbour collection makes membership
+//!    relative (any insertion can displace a neighbour), so spatial
+//!    queries are always evicted.
+//! 2. **Full list.** The cached list must hold `limit` hits; a shorter
+//!    list has room for any new candidate to walk in.
+//! 3. **Not listed.** No touched dataset may appear among the cached hits
+//!    (its content, and therefore its score or presence, changed).
+//! 4. **Membership stable.** Each touched dataset must be a candidate
+//!    either before *and* after, or neither — candidate membership is
+//!    recomputed here with the same index keys the shard builder uses, so
+//!    `candidates_total`, and with it the engine's full-scan decision,
+//!    provably cannot change.
+//! 5. **Ranks below the k-th hit.** The touched dataset's exact score
+//!    under the new catalog must order strictly after the worst cached hit
+//!    (score descending, then path ascending — the engine's tie-break), so
+//!    it cannot enter the top-k even under a full scan.
+//!
+//! Everything here is conservative: any parse failure, `Clear` mutation,
+//! or unprovable case evicts. A vocabulary change invalidates these proofs
+//! wholesale (index keys move); callers must fall back to a full reload in
+//! that case — see `ServeState::poll_reload` in `metamess-server`.
+
+use crate::engine::SearchHit;
+use crate::plan::QueryPlan;
+use crate::query::Query;
+use crate::score::score_dataset;
+use crate::shard::expanded_time;
+use metamess_core::catalog::{Catalog, Mutation};
+use metamess_core::feature::DatasetFeature;
+use metamess_core::id::DatasetId;
+use metamess_core::text::normalize_term;
+use metamess_vocab::Vocabulary;
+use std::collections::BTreeMap;
+
+/// One dataset a delta touched: its content before and after. `None`
+/// means absent (a `before` of `None` is an insert, an `after` of `None`
+/// a delete).
+#[derive(Debug, Clone)]
+pub struct TouchedDataset {
+    /// The dataset's identity.
+    pub id: DatasetId,
+    /// Content before the delta, when it existed.
+    pub before: Option<Box<DatasetFeature>>,
+    /// Content after the delta, when it still exists.
+    pub after: Option<Box<DatasetFeature>>,
+}
+
+/// Computes the per-dataset before/after pairs for a delta.
+///
+/// `before` and `after` are the catalog as it stood on either side of
+/// applying `mutations`. Returns `None` when the delta contains a `Clear`
+/// — then nothing survives and the caller should drop the whole cache.
+/// `SetProperty` mutations are neutral: properties are not scored.
+pub fn compute_touches(
+    before: &Catalog,
+    after: &Catalog,
+    mutations: &[Mutation],
+) -> Option<Vec<TouchedDataset>> {
+    let mut ids: BTreeMap<DatasetId, ()> = BTreeMap::new();
+    for m in mutations {
+        match m {
+            Mutation::Put(f) => {
+                ids.insert(f.id, ());
+            }
+            Mutation::Delete(id) => {
+                ids.insert(*id, ());
+            }
+            Mutation::SetProperty { .. } => {}
+            Mutation::Clear => return None,
+        }
+    }
+    Some(
+        ids.into_keys()
+            .map(|id| TouchedDataset {
+                id,
+                before: before.get(id).map(|f| Box::new(f.clone())),
+                after: after.get(id).map(|f| Box::new(f.clone())),
+            })
+            .collect(),
+    )
+}
+
+/// Whether the cached entry under `key` (holding `hits`) provably returns
+/// the identical list against the post-delta catalog.
+///
+/// `key` is the engine's cache key (`"{use_indexes}|{query_json}"`);
+/// `touches` comes from [`compute_touches`]; `vocab` must be the (shared,
+/// unchanged) vocabulary both catalogs were indexed under.
+pub fn entry_survives(
+    key: &str,
+    hits: &[SearchHit],
+    touches: &[TouchedDataset],
+    vocab: &Vocabulary,
+) -> bool {
+    let Some((_, query_json)) = key.split_once('|') else { return false };
+    let Ok(query) = serde_json::from_str::<Query>(query_json) else { return false };
+    if query.spatial.is_some() {
+        return false; // obligation 1
+    }
+    if query.limit == 0 || hits.len() < query.limit {
+        return false; // obligation 2
+    }
+    let Some(kth) = hits.last() else { return false };
+    let plan = QueryPlan::prepare(&query, vocab);
+    for touch in touches {
+        if hits.iter().any(|h| h.id == touch.id) {
+            return false; // obligation 3
+        }
+        let member_before =
+            touch.before.as_deref().is_some_and(|d| is_candidate(&query, &plan, d, vocab));
+        let member_after =
+            touch.after.as_deref().is_some_and(|d| is_candidate(&query, &plan, d, vocab));
+        if member_before != member_after {
+            return false; // obligation 4
+        }
+        if let Some(after) = touch.after.as_deref() {
+            let score = score_dataset(&query, after, vocab).total;
+            let ranks_below = score < kth.score || (score == kth.score && after.path > kth.path);
+            if !ranks_below {
+                return false; // obligation 5
+            }
+        }
+    }
+    true
+}
+
+/// Index-membership check mirroring `ShardEngine::probe` for non-spatial
+/// clauses: a dataset is a candidate when its time interval overlaps the
+/// query's padded window, or any of its index keys (canonical concept +
+/// ancestors, raw spelling, search spelling — exactly the shard builder's
+/// key set) matches a probe key of any query term.
+fn is_candidate(query: &Query, plan: &QueryPlan, d: &DatasetFeature, vocab: &Vocabulary) -> bool {
+    if let Some(window) = &query.time {
+        let expanded = expanded_time(window);
+        if d.time.as_ref().is_some_and(|t| t.overlaps(&expanded)) {
+            return true;
+        }
+    }
+    if plan.term_keys.iter().all(|k| k.is_empty()) {
+        return false;
+    }
+    for v in d.searchable_variables() {
+        let mut dataset_keys = vocab.canonical_keys(v.search_name());
+        dataset_keys.insert(normalize_term(&v.name));
+        dataset_keys.insert(normalize_term(v.search_name()));
+        for keys in &plan.term_keys {
+            if keys.iter().any(|k| dataset_keys.contains(k)) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SearchEngine;
+    use metamess_core::feature::VariableFeature;
+    use metamess_core::time::{TimeInterval, Timestamp};
+
+    fn feature(path: &str, var: &str) -> DatasetFeature {
+        let mut f = DatasetFeature::new(path);
+        f.variables.push(VariableFeature::new(var));
+        f
+    }
+
+    fn catalog(paths_vars: &[(&str, &str)]) -> Catalog {
+        let mut c = Catalog::new();
+        for (p, v) in paths_vars {
+            c.put(feature(p, v));
+        }
+        c
+    }
+
+    /// Real hits for `query` against `cat`, via an actual engine — the
+    /// predicate must agree with what the engine would recompute.
+    fn run(cat: &Catalog, vocab: &Vocabulary, query: &str) -> (String, Vec<SearchHit>) {
+        let engine = SearchEngine::build(cat, vocab.clone());
+        let q = Query::parse(query).unwrap();
+        let hits = engine.search(&q).to_vec();
+        let key = format!("{}|{}", true, serde_json::to_string(&q).unwrap());
+        (key, hits)
+    }
+
+    #[test]
+    fn clear_means_nothing_survives() {
+        let c = catalog(&[("a.csv", "salinity")]);
+        assert!(compute_touches(&c, &c, &[Mutation::Clear]).is_none());
+        assert!(compute_touches(&c, &c, &[]).is_some());
+    }
+
+    #[test]
+    fn set_property_touches_no_datasets() {
+        let c = catalog(&[("a.csv", "salinity")]);
+        let t = compute_touches(
+            &c,
+            &c,
+            &[Mutation::SetProperty { key: "k".into(), value: "v".into() }],
+        )
+        .unwrap();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn unrelated_insert_survives_full_list() {
+        let vocab = Vocabulary::observatory_default();
+        // Two salinity datasets fill a limit-2 query; a temperature dataset
+        // arrives — different concept, no membership, low score.
+        let before = catalog(&[("s1.csv", "salinity"), ("s2.csv", "salinity")]);
+        let mut after = before.clone();
+        let newcomer = feature("t1.csv", "water_temperature");
+        after.put(newcomer.clone());
+        let (key, hits) = run(&before, &vocab, "with salinity limit 2");
+        assert_eq!(hits.len(), 2);
+        let touches =
+            compute_touches(&before, &after, &[Mutation::Put(Box::new(newcomer))]).unwrap();
+        assert!(entry_survives(&key, &hits, &touches, &vocab));
+        // And the proof is honest: the engine agrees nothing changed.
+        let (_, hits_after) = run(&after, &vocab, "with salinity limit 2");
+        let paths: Vec<_> = hits.iter().map(|h| &h.path).collect();
+        let paths_after: Vec<_> = hits_after.iter().map(|h| &h.path).collect();
+        assert_eq!(paths, paths_after);
+    }
+
+    #[test]
+    fn matching_insert_is_evicted() {
+        let vocab = Vocabulary::observatory_default();
+        let before = catalog(&[("s1.csv", "salinity"), ("s2.csv", "salinity")]);
+        let mut after = before.clone();
+        let newcomer = feature("s0.csv", "salinity");
+        after.put(newcomer.clone());
+        let (key, hits) = run(&before, &vocab, "with salinity limit 2");
+        let touches =
+            compute_touches(&before, &after, &[Mutation::Put(Box::new(newcomer))]).unwrap();
+        assert!(
+            !entry_survives(&key, &hits, &touches, &vocab),
+            "a new candidate for the same concept must evict"
+        );
+    }
+
+    #[test]
+    fn delete_of_a_listed_hit_is_evicted() {
+        let vocab = Vocabulary::observatory_default();
+        let before = catalog(&[("s1.csv", "salinity"), ("s2.csv", "salinity")]);
+        let mut after = before.clone();
+        let id = before.get_by_path("s1.csv").unwrap().id;
+        after.delete(id);
+        let (key, hits) = run(&before, &vocab, "with salinity limit 2");
+        let touches = compute_touches(&before, &after, &[Mutation::Delete(id)]).unwrap();
+        assert!(!entry_survives(&key, &hits, &touches, &vocab));
+    }
+
+    #[test]
+    fn spatial_queries_never_survive() {
+        let vocab = Vocabulary::observatory_default();
+        let before = catalog(&[("s1.csv", "salinity"), ("s2.csv", "salinity")]);
+        let (key, hits) = run(&before, &vocab, "near 47.6,-122.3 within 50km limit 2");
+        assert_eq!(hits.len(), 2, "full scan still returns both datasets");
+        let mut after = before.clone();
+        let newcomer = feature("t1.csv", "water_temperature");
+        after.put(newcomer.clone());
+        let touches =
+            compute_touches(&before, &after, &[Mutation::Put(Box::new(newcomer))]).unwrap();
+        assert!(
+            !entry_survives(&key, &hits, &touches, &vocab),
+            "nearest-neighbour membership is relative: spatial entries must evict"
+        );
+    }
+
+    #[test]
+    fn short_list_is_evicted() {
+        let vocab = Vocabulary::observatory_default();
+        let before = catalog(&[("s1.csv", "salinity")]);
+        let (key, hits) = run(&before, &vocab, "with salinity limit 5");
+        assert!(hits.len() < 5);
+        let mut after = before.clone();
+        let newcomer = feature("t1.csv", "water_temperature");
+        after.put(newcomer.clone());
+        let touches =
+            compute_touches(&before, &after, &[Mutation::Put(Box::new(newcomer))]).unwrap();
+        assert!(!entry_survives(&key, &hits, &touches, &vocab));
+    }
+
+    #[test]
+    fn time_overlap_membership_uses_the_padded_window() {
+        let vocab = Vocabulary::observatory_default();
+        let q = Query::parse("from 2010-06-01 to 2010-06-30").unwrap();
+        let plan = QueryPlan::prepare(&q, &vocab);
+        let mut inside = DatasetFeature::new("in.csv");
+        inside.time = Some(TimeInterval::new(
+            Timestamp::from_ymd(2010, 5, 20).unwrap(),
+            Timestamp::from_ymd(2010, 5, 25).unwrap(),
+        ));
+        let mut outside = DatasetFeature::new("out.csv");
+        outside.time = Some(TimeInterval::new(
+            Timestamp::from_ymd(2011, 6, 1).unwrap(),
+            Timestamp::from_ymd(2011, 6, 30).unwrap(),
+        ));
+        // May 20–25 is outside the literal window but inside the padded one.
+        assert!(is_candidate(&q, &plan, &inside, &vocab));
+        assert!(!is_candidate(&q, &plan, &outside, &vocab));
+    }
+
+    #[test]
+    fn garbage_keys_are_conservatively_evicted() {
+        let vocab = Vocabulary::observatory_default();
+        assert!(!entry_survives("not a cache key", &[], &[], &vocab));
+        assert!(!entry_survives("true|{not json", &[], &[], &vocab));
+    }
+}

@@ -30,10 +30,16 @@
 //! * A generation-stamped LRU [`ResultCache`] serves repeated queries
 //!   against an unchanged published catalog without rescoring; entries are
 //!   invalidated simply by the catalog generation moving on publish, and
-//!   hit/miss counters are exposed for the benches.
+//!   hit/miss counters are exposed for the benches. Under live delta
+//!   publication the [`delta`] analysis re-stamps provably-unaffected
+//!   entries in place ([`ResultCache::retarget`]) so the cache survives
+//!   in-place catalog updates.
+
+#![warn(missing_docs)]
 
 mod browse;
 mod cache;
+pub mod delta;
 mod engine;
 mod explain;
 mod interval;
@@ -47,6 +53,7 @@ mod topk;
 
 pub use browse::{browse_all, browse_taxonomy, BrowseNode, BrowseTree};
 pub use cache::{CacheStats, ResultCache, DEFAULT_CACHE_CAPACITY};
+pub use delta::{compute_touches, entry_survives, TouchedDataset};
 pub use engine::{SearchEngine, SearchHit, ShardedEngine};
 pub use explain::SearchExplain;
 pub use interval::IntervalIndex;

@@ -13,6 +13,15 @@
 //! * `metamess_server_queue_depth` — connections waiting right now.
 //! * `metamess_server_reloads_total` — hot catalog reloads that swapped an
 //!   epoch.
+//! * `metamess_server_delta_applies_total` /
+//!   `metamess_server_delta_mutations_total` — epochs produced by applying
+//!   a WAL-tail delta in place (no store reopen), and the mutations those
+//!   deltas carried.
+//! * `metamess_server_delta_cache_survived_total` /
+//!   `metamess_server_delta_cache_dropped_total` — result-cache entries
+//!   re-stamped across a delta vs evicted by it.
+//! * `metamess_server_delta_apply_micros` — end-to-end delta apply latency
+//!   (tail read through epoch swap).
 //! * `metamess_server_panics_total` — panics caught by the worker pool
 //!   (the request gets a 500 or a dropped connection; the worker lives).
 //! * `metamess_server_conn_open` — connections currently owned by the
@@ -68,6 +77,20 @@ pub(crate) fn record_reload() {
     if metamess_telemetry::enabled() {
         global().counter("metamess_server_reloads_total").add(1);
     }
+}
+
+/// Records one in-place delta application: the mutation count it carried,
+/// how the result cache fared, and how long the whole apply took.
+pub(crate) fn record_delta_apply(mutations: usize, survived: usize, dropped: usize, micros: u64) {
+    if !metamess_telemetry::enabled() {
+        return;
+    }
+    let g = global();
+    g.counter("metamess_server_delta_applies_total").add(1);
+    g.counter("metamess_server_delta_mutations_total").add(mutations as u64);
+    g.counter("metamess_server_delta_cache_survived_total").add(survived as u64);
+    g.counter("metamess_server_delta_cache_dropped_total").add(dropped as u64);
+    g.histogram("metamess_server_delta_apply_micros").record(micros);
 }
 
 /// Records one caught panic (in a handler or a connection); the worker

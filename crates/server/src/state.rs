@@ -16,12 +16,32 @@
 //! state, or `fsck --repair` holding the exclusive store lock), the error
 //! is reported to the caller and the server **keeps serving the previous
 //! epoch** — a bad reload never takes the service down.
+//!
+//! ## Delta publication
+//!
+//! When a live writer (`metamess watch`) appends published deltas to the
+//! store WAL without checkpointing, the poll path skips reopening the
+//! store entirely: it follows the WAL tail with the non-truncating
+//! [`Wal::read_tail`], applies the decoded mutations to its own copy of
+//! the catalog, and swaps in an epoch built from that — preserving
+//! generation continuity (the generation is the mutation count, so the
+//! delta-applied catalog lands on exactly the generation a full reload
+//! would compute). Before the swap, provably-unaffected result-cache
+//! entries are re-stamped in place ([`ResultCache::retarget`] +
+//! `metamess_search::delta`), so cached lists for untouched queries keep
+//! pointer identity across the delta. Anything the delta path cannot
+//! prove — snapshot replaced (compaction), vocabulary changed, WAL reset,
+//! a `Clear` mutation — falls back to a full reload; full reloads use
+//! [`RecoveryMode::Strict`] so a torn tail mid-append by the live writer
+//! is never truncated out from under it (the reload fails, the previous
+//! epoch keeps serving, and the next poll retries).
 
 use crate::metrics;
-use metamess_core::store::{lock_path, StoreLock};
-use metamess_core::{DurableCatalog, Result, StoreOptions};
+use metamess_core::store::{lock_path, StoreLock, Wal};
+use metamess_core::{Catalog, DurableCatalog, RecoveryMode, Result, StoreOptions};
 use metamess_search::{
-    browse_all, BrowseTree, ResultCache, SearchEngine, ShardSpec, DEFAULT_CACHE_CAPACITY,
+    browse_all, compute_touches, entry_survives, BrowseTree, ResultCache, SearchEngine, ShardSpec,
+    DEFAULT_CACHE_CAPACITY,
 };
 use metamess_vocab::Vocabulary;
 use parking_lot::{Mutex, RwLock};
@@ -62,7 +82,25 @@ pub enum ReloadOutcome {
         /// The new epoch number.
         epoch: u64,
     },
+    /// A WAL-tail delta was applied in place: the store was **not**
+    /// reopened, and provably-unaffected cache entries survived the
+    /// generation bump.
+    DeltaApplied {
+        /// Generation served before the delta.
+        from: u64,
+        /// Generation served after the delta.
+        to: u64,
+        /// The new epoch number.
+        epoch: u64,
+        /// Mutations decoded from the WAL tail and applied.
+        mutations: usize,
+    },
 }
+
+/// Consecutive polls allowed to see WAL growth without decoding a single
+/// complete record before the delta path gives up and escalates to a full
+/// reload (real tail damage looks exactly like a writer stuck mid-append).
+const MAX_DELTA_STALLS: u32 = 3;
 
 /// Length + mtime of the files whose change implies a republish; lets the
 /// poll loop skip rebuilding the engine when nothing moved on disk.
@@ -70,6 +108,10 @@ pub enum ReloadOutcome {
 struct StoreSignature(Vec<(PathBuf, Option<(u64, Option<SystemTime>)>)>);
 
 impl StoreSignature {
+    const SNAPSHOT: usize = 0;
+    const WAL: usize = 1;
+    const VOCAB: usize = 2;
+
     fn capture(store_dir: &Path) -> StoreSignature {
         let files = [
             store_dir.join("catalog").join("snapshot.bin"),
@@ -86,6 +128,52 @@ impl StoreSignature {
                 .collect(),
         )
     }
+
+    /// The delta-publication precondition: the WAL strictly grew (or
+    /// appeared) and nothing else moved. A changed snapshot means a
+    /// checkpoint or compaction replaced the base; a changed vocabulary
+    /// invalidates every index-key proof; a shrunk WAL means a reset. All
+    /// of those need a full reload.
+    fn only_wal_grew(&self, newer: &StoreSignature) -> bool {
+        if self.0[Self::SNAPSHOT] != newer.0[Self::SNAPSHOT]
+            || self.0[Self::VOCAB] != newer.0[Self::VOCAB]
+        {
+            return false;
+        }
+        let len = |sig: &StoreSignature| sig.0[Self::WAL].1.map(|(len, _)| len);
+        match (len(self), len(newer)) {
+            (Some(old), Some(new)) => new > old,
+            (None, Some(_)) => true,
+            _ => false,
+        }
+    }
+}
+
+/// The serving-side replica a delta can be applied to: the catalog exactly
+/// as the current epoch was built from it, the vocabulary it was indexed
+/// under, and how many WAL bytes have been consumed so far.
+struct DeltaSource {
+    catalog: Catalog,
+    vocab: Vocabulary,
+    wal_offset: u64,
+    /// Consecutive polls that saw growth but decoded nothing (see
+    /// [`MAX_DELTA_STALLS`]).
+    stalls: u32,
+}
+
+/// Everything the reload lock guards: the last on-disk signature for cheap
+/// change detection, and the delta-application state.
+struct ReloadState {
+    signature: StoreSignature,
+    source: Option<DeltaSource>,
+}
+
+/// What the delta fast path concluded.
+enum DeltaTry {
+    /// Handled — either applied in place or provably nothing to do yet.
+    Done(ReloadOutcome),
+    /// Cannot be handled incrementally; caller must fully reload.
+    FullReload,
 }
 
 /// Everything the worker pool shares: store handle, current epoch, cache.
@@ -98,9 +186,9 @@ pub struct ServeState {
     /// Generation-stamped result cache, shared across epochs.
     cache: Arc<ResultCache>,
     current: RwLock<Arc<EngineEpoch>>,
-    /// Serializes reloads (poll thread vs `/admin/reload`) and remembers
-    /// the last on-disk signature for cheap change detection.
-    reload_state: Mutex<StoreSignature>,
+    /// Serializes reloads (poll thread vs `/admin/reload`) and holds the
+    /// last on-disk signature plus the delta-application source.
+    reload_state: Mutex<ReloadState>,
     reloads: AtomicU64,
     /// Cached `/healthz` JSON body keyed by `(epoch, reloads)`: the
     /// liveness probe is the hottest route and its body only changes when
@@ -136,13 +224,13 @@ impl ServeState {
         // as a change on the first poll (one redundant reload) instead of
         // being folded into the stored signature and never noticed.
         let signature = StoreSignature::capture(&store_dir);
-        let epoch = load_epoch(&store_dir, &cache, 0, spec)?;
+        let (epoch, source) = load_epoch(&store_dir, &cache, 0, spec, StoreOptions::default())?;
         Ok(ServeState {
             store_dir,
             spec,
             cache,
             current: RwLock::new(Arc::new(epoch)),
-            reload_state: Mutex::new(signature),
+            reload_state: Mutex::new(ReloadState { signature, source: Some(source) }),
             reloads: AtomicU64::new(0),
             healthz_cache: Mutex::new(None),
             trace_slow_micros: AtomicU64::new(100_000),
@@ -220,7 +308,7 @@ impl ServeState {
     /// Reopens the store and swaps in a new epoch if the generation
     /// advanced. On error the previous epoch keeps serving.
     pub fn reload(&self) -> Result<ReloadOutcome> {
-        let mut sig = self.reload_state.lock();
+        let mut guard = self.reload_state.lock();
         let previous = self.epoch();
         // Capture before reopening: a publish landing between the capture
         // and the open makes the next poll see a signature change and
@@ -228,8 +316,16 @@ impl ServeState {
         // fold that publish into the stored signature and serve the stale
         // epoch until yet another publish.
         let observed = StoreSignature::capture(&self.store_dir);
-        let next = load_epoch(&self.store_dir, &self.cache, previous.epoch + 1, self.spec)?;
-        *sig = observed;
+        // Strict recovery: a live `metamess watch` writer may be holding
+        // the WAL mid-append, and default TruncateTail recovery would chop
+        // its half-written record out from under it. A torn tail instead
+        // fails this reload — the previous epoch keeps serving and the
+        // next poll retries once the writer's append completes.
+        let options = StoreOptions { recovery: RecoveryMode::Strict, ..StoreOptions::default() };
+        let (next, source) =
+            load_epoch(&self.store_dir, &self.cache, previous.epoch + 1, self.spec, options)?;
+        guard.signature = observed;
+        guard.source = Some(source);
         if next.generation == previous.generation {
             return Ok(ReloadOutcome::Unchanged { generation: previous.generation });
         }
@@ -244,29 +340,129 @@ impl ServeState {
         Ok(outcome)
     }
 
-    /// Cheap poll-path reload: only reopens the store when the on-disk
-    /// signature (sizes + mtimes) moved since the last look.
+    /// Cheap poll-path reload: does nothing when the on-disk signature
+    /// (sizes + mtimes) is unchanged; applies the WAL tail in place when
+    /// only the WAL grew (live delta publication); reopens the store for
+    /// everything else.
     pub fn poll_reload(&self) -> Result<ReloadOutcome> {
+        let observed = StoreSignature::capture(&self.store_dir);
         {
-            let sig = self.reload_state.lock();
-            if *sig == StoreSignature::capture(&self.store_dir) {
+            let mut guard = self.reload_state.lock();
+            if guard.signature == observed {
                 return Ok(ReloadOutcome::Unchanged { generation: self.epoch().generation });
+            }
+            if guard.signature.only_wal_grew(&observed) {
+                match self.try_delta(&mut guard, observed) {
+                    DeltaTry::Done(outcome) => return Ok(outcome),
+                    DeltaTry::FullReload => {}
+                }
             }
         }
         self.reload()
     }
+
+    /// The delta fast path: follow the WAL tail from the last consumed
+    /// offset, apply the decoded mutations to the serving-side catalog
+    /// replica, retarget the cache, and swap an epoch built without
+    /// reopening the store. Caller has verified `only_wal_grew` and holds
+    /// the reload lock.
+    fn try_delta(&self, guard: &mut ReloadState, observed: StoreSignature) -> DeltaTry {
+        let Some(source) = guard.source.as_mut() else { return DeltaTry::FullReload };
+        let wal_path = self.store_dir.join("catalog").join("wal.log");
+        let tail = match Wal::read_tail(&wal_path, source.wal_offset) {
+            Ok(t) => t,
+            // Offset beyond the file or bad magic: the log was reset or
+            // replaced underneath us — only a full reload resynchronizes.
+            Err(_) => return DeltaTry::FullReload,
+        };
+        if tail.mutations.is_empty() {
+            let generation = self.epoch().generation;
+            if tail.stopped_early.is_some() {
+                // Growth but no complete record: a writer mid-append.
+                // Leave the stored signature stale so the next poll
+                // retries; escalate if it never resolves (real damage
+                // looks identical from here).
+                source.stalls += 1;
+                if source.stalls >= MAX_DELTA_STALLS {
+                    source.stalls = 0;
+                    return DeltaTry::FullReload;
+                }
+            } else {
+                // Clean end of log — the growth was already consumed by an
+                // earlier poll that read past its own signature capture.
+                source.stalls = 0;
+                guard.signature = observed;
+            }
+            return DeltaTry::Done(ReloadOutcome::Unchanged { generation });
+        }
+        source.stalls = 0;
+        let started = std::time::Instant::now();
+        let previous = self.epoch();
+        let from = previous.generation;
+        let mut catalog = source.catalog.clone();
+        for m in &tail.mutations {
+            catalog.apply(m);
+        }
+        // A `Clear` rebuilds the world; nothing in the cache survives and
+        // the replica proof breaks down — reopen instead.
+        let Some(touches) = compute_touches(&source.catalog, &catalog, &tail.mutations) else {
+            return DeltaTry::FullReload;
+        };
+        let to = catalog.generation();
+        let browse = browse_all(&catalog, &source.vocab);
+        let engine = SearchEngine::build_sharded(&catalog, source.vocab.clone(), self.spec)
+            .with_shared_cache(self.cache.clone());
+        let next = EngineEpoch {
+            engine,
+            browse,
+            generation: to,
+            epoch: previous.epoch + 1,
+            datasets: catalog.len(),
+        };
+        // Retarget BEFORE the swap: every cache entry either carries the
+        // new stamp already (and the new epoch hits the same Arc) or is
+        // gone. Retargeting after the swap would race the new epoch
+        // recomputing a survivor and overwriting it, losing the
+        // pointer-identity guarantee.
+        let vocab = &source.vocab;
+        let (survived, dropped) =
+            self.cache.retarget(from, to, |key, hits| entry_survives(key, hits, &touches, vocab));
+        *self.current.write() = Arc::new(next);
+        self.reloads.fetch_add(1, Ordering::Relaxed);
+        source.catalog = catalog;
+        source.wal_offset = tail.new_offset;
+        guard.signature = observed;
+        metrics::record_reload();
+        metrics::record_delta_apply(
+            tail.mutations.len(),
+            survived,
+            dropped,
+            started.elapsed().as_micros() as u64,
+        );
+        DeltaTry::Done(ReloadOutcome::DeltaApplied {
+            from,
+            to,
+            epoch: previous.epoch + 1,
+            mutations: tail.mutations.len(),
+        })
+    }
 }
 
-/// Opens the durable store and builds one serving epoch from it. The store
-/// handle is dropped after the build — the `ServeState` lifetime lock is
-/// what keeps repairers out.
+/// Opens the durable store and builds one serving epoch from it, plus the
+/// delta source future polls apply WAL tails to. The store handle is
+/// dropped after the build — the `ServeState` lifetime lock is what keeps
+/// repairers out.
 fn load_epoch(
     store_dir: &Path,
     cache: &Arc<ResultCache>,
     epoch: u64,
     spec: ShardSpec,
-) -> Result<EngineEpoch> {
-    let store = DurableCatalog::open(store_dir.join("catalog"), StoreOptions::default())?;
+    options: StoreOptions,
+) -> Result<(EngineEpoch, DeltaSource)> {
+    let store = DurableCatalog::open(store_dir.join("catalog"), options)?;
+    // Everything up to here is already folded into the catalog; the delta
+    // path resumes reading the WAL from this byte onwards.
+    let wal_offset = store.wal_bytes();
     let vocab_path = store_dir.join("vocabulary.json");
     let vocab = if vocab_path.exists() {
         Vocabulary::load(&vocab_path)?
@@ -276,15 +472,20 @@ fn load_epoch(
     let browse = browse_all(store.catalog(), &vocab);
     let generation = store.catalog().generation();
     let datasets = store.catalog().len();
-    let engine =
-        SearchEngine::build_sharded(store.catalog(), vocab, spec).with_shared_cache(cache.clone());
-    Ok(EngineEpoch { engine, browse, generation, epoch, datasets })
+    let catalog = store.catalog().clone();
+    let engine = SearchEngine::build_sharded(store.catalog(), vocab.clone(), spec)
+        .with_shared_cache(cache.clone());
+    Ok((
+        EngineEpoch { engine, browse, generation, epoch, datasets },
+        DeltaSource { catalog, vocab, wal_offset, stalls: 0 },
+    ))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use metamess_core::DatasetFeature;
+    use metamess_core::{DatasetFeature, VariableFeature};
+    use metamess_search::Query;
 
     fn fixture_store(name: &str) -> PathBuf {
         let d = std::env::temp_dir().join(format!("metamess-state-{name}-{}", std::process::id()));
@@ -301,6 +502,33 @@ mod tests {
         let mut s = DurableCatalog::open(dir.join("catalog"), StoreOptions::default()).unwrap();
         s.put(DatasetFeature::new(path)).unwrap();
         s.checkpoint().unwrap();
+    }
+
+    fn dataset(path: &str, var: &str) -> DatasetFeature {
+        let mut f = DatasetFeature::new(path);
+        f.variables.push(VariableFeature::new(var));
+        f
+    }
+
+    /// A store whose datasets carry variables, checkpointed so the WAL
+    /// starts empty — the shape a `metamess watch` writer leaves behind.
+    fn fixture_store_vars(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("metamess-state-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        let mut s = DurableCatalog::open(d.join("catalog"), StoreOptions::default()).unwrap();
+        s.put(dataset("2014/07/s1.csv", "salinity")).unwrap();
+        s.put(dataset("2014/07/s2.csv", "salinity")).unwrap();
+        s.checkpoint().unwrap();
+        d
+    }
+
+    /// Appends to the WAL without checkpointing — what the group-commit
+    /// publish path does between compactions.
+    fn append_without_checkpoint(dir: &Path, f: DatasetFeature) {
+        let mut s = DurableCatalog::open(dir.join("catalog"), StoreOptions::default()).unwrap();
+        s.put(f).unwrap();
+        s.flush().unwrap();
     }
 
     #[test]
@@ -409,6 +637,78 @@ mod tests {
         let after = state.epoch();
         assert_eq!(after.epoch, before.epoch, "failed reload must not swap the epoch");
         assert_eq!(after.datasets, before.datasets);
+    }
+
+    #[test]
+    fn delta_publication_applies_wal_tail_without_reopening() {
+        let dir = fixture_store_vars("delta");
+        let state = ServeState::open(&dir).unwrap();
+        let before = state.epoch();
+        // Warm the cache with a full-list, non-spatial query the delta
+        // provably cannot affect.
+        let q = Query::parse("with salinity limit 2").unwrap();
+        let cached = before.engine.search(&q);
+        assert_eq!(cached.len(), 2);
+        // A live writer appends an unrelated dataset to the WAL only.
+        append_without_checkpoint(&dir, dataset("2014/08/temp01.csv", "water_temperature"));
+        match state.poll_reload().unwrap() {
+            ReloadOutcome::DeltaApplied { from, to, epoch, mutations } => {
+                assert_eq!(from, before.generation);
+                assert!(to > from, "generation must advance monotonically");
+                assert_eq!(epoch, before.epoch + 1);
+                assert_eq!(mutations, 1);
+            }
+            other => panic!("expected a delta apply, got {other:?}"),
+        }
+        let after = state.epoch();
+        assert_eq!(after.datasets, 3, "the delta-applied epoch sees the new dataset");
+        let t = Query::parse("with temperature").unwrap();
+        let hits = after.engine.search(&t);
+        assert!(hits.iter().any(|h| h.path.contains("temp01")), "new dataset must be searchable");
+        // The unaffected cached list survived the generation bump — same
+        // allocation, not a recompute.
+        let again = after.engine.search(&q);
+        assert!(Arc::ptr_eq(&cached, &again), "unaffected cache entry must keep pointer identity");
+        assert_eq!(state.reloads(), 1);
+    }
+
+    #[test]
+    fn delta_evicts_affected_cache_entries() {
+        let dir = fixture_store_vars("deltaev");
+        let state = ServeState::open(&dir).unwrap();
+        let q = Query::parse("with salinity limit 2").unwrap();
+        let cached = state.epoch().engine.search(&q);
+        assert_eq!(cached.len(), 2);
+        // A third salinity dataset is a new candidate for the cached query
+        // — the entry must be evicted and recomputed.
+        append_without_checkpoint(&dir, dataset("2014/07/s0.csv", "salinity"));
+        match state.poll_reload().unwrap() {
+            ReloadOutcome::DeltaApplied { .. } => {}
+            other => panic!("expected a delta apply, got {other:?}"),
+        }
+        let again = state.epoch().engine.search(&q);
+        assert!(!Arc::ptr_eq(&cached, &again), "affected entry must be recomputed");
+    }
+
+    #[test]
+    fn delta_generation_matches_a_full_reload() {
+        let dir = fixture_store_vars("deltagen");
+        let state = ServeState::open(&dir).unwrap();
+        append_without_checkpoint(&dir, dataset("2014/08/temp01.csv", "water_temperature"));
+        let to = match state.poll_reload().unwrap() {
+            ReloadOutcome::DeltaApplied { to, .. } => to,
+            other => panic!("expected a delta apply, got {other:?}"),
+        };
+        // A checkpoint replaces the snapshot, forcing the next poll down
+        // the full-reload path — which must agree on the generation the
+        // delta computed (generation continuity).
+        let mut s = DurableCatalog::open(dir.join("catalog"), StoreOptions::default()).unwrap();
+        s.checkpoint().unwrap();
+        drop(s);
+        match state.poll_reload().unwrap() {
+            ReloadOutcome::Unchanged { generation } => assert_eq!(generation, to),
+            other => panic!("a checkpoint of already-applied state must be unchanged: {other:?}"),
+        }
     }
 
     #[test]

@@ -75,8 +75,24 @@ echo "==> shard smoke: exp9 --quick (scatter-gather identity + pruning)"
 # temporal partitioners actually prune shards on selective queries.
 timeout 300 cargo run --release -q -p metamess-bench --bin exp9_shard_scaling -- --quick
 
+echo "==> watch + serve: continuous-ingestion CLI integration test"
+# `metamess watch` wrangles into the store, a live serve picks the next
+# publish up through the in-place delta path, and the upload is searchable.
+cargo test -q --test watch_cli
+
+echo "==> ingest smoke: exp10 --quick (group-commit amortization, watch cycles, delta apply)"
+# Hard-asserts ≥4x fewer fsyncs at a 50-harvest burst under the commit
+# window, that unchanged cycles skip the pipeline, and that every watch
+# publish reaches serve via the in-place delta path.
+timeout 300 cargo run --release -q -p metamess-bench --bin exp10_ingest -- --quick
+
 echo "==> crash-consistency torture suite (${METAMESS_TORTURE_CASES} seeded cases)"
 cargo test -q -p metamess-core --test torture --release
+
+echo "==> group-commit torture suite (${METAMESS_TORTURE_CASES} seeded cases)"
+# Crash inside the commit window ⇒ the recovered catalog is the acked
+# prefix; compaction mid-fault never loses acked data.
+cargo test -q -p metamess-core --test torture_group_commit --release
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings

@@ -3,6 +3,9 @@
 //! ```text
 //! metamess generate <dir> [--seed N] [--months N] [--stations N]
 //! metamess wrangle  <dir> [--store <store-dir>] [--expert] [--explain]
+//! metamess watch    <dir> [--store <store-dir>] [--interval-ms N]
+//!                   [--commit-interval-ms N] [--max-cycles N]
+//!                   [--compact-ratio F] [--retain N]
 //! metamess search   <store-dir> <query...> [--explain] [--shards N] [--partition P]
 //! metamess summary  <store-dir> <dataset-path>
 //! metamess stats    <store-dir> [--prometheus|--json] [--reset]
@@ -34,6 +37,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("generate") => cmd_generate(&args[1..]),
         Some("wrangle") => cmd_wrangle(&args[1..]),
+        Some("watch") => cmd_watch(&args[1..]),
         Some("search") => cmd_search(&args[1..]),
         Some("summary") => cmd_summary(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
@@ -67,6 +71,19 @@ usage:
       persist the published catalog and vocabulary into the store directory
       (default: <dir>/.metamess); --expert adds the hand-curated synonym set;
       --explain prints the telemetry recorded during the run
+  metamess watch <dir> [--store <store-dir>] [--interval-ms N]
+                 [--commit-interval-ms N] [--max-cycles N]
+                 [--compact-ratio F] [--retain N]
+      continuous ingestion: poll the archive every --interval-ms (default
+      1000), re-wrangle only what changed (the fingerprint ledger skips
+      unchanged stages), and publish catalog deltas to the store through a
+      group-commit WAL — many cycles coalesce into one fsync within the
+      --commit-interval-ms window (default 25; 0 = fsync per publish). A
+      live `metamess serve` on the same store applies the deltas in place
+      without reopening. The WAL is folded into a fresh snapshot when it
+      outgrows --compact-ratio × snapshot bytes (default 0.5), keeping
+      --retain previous snapshots (default 2); --max-cycles stops after N
+      cycles (useful for scripting); ctrl-c stops after the current cycle
   metamess search <store-dir> <query...> [--explain] [--shards N] [--partition P]
       ranked search, e.g.:
       metamess search ./arc/.metamess near 45.5,-124.4 within 50km with salinity
@@ -231,6 +248,109 @@ fn cmd_wrangle(args: &[String]) -> Result<(), metamess::core::Error> {
     if explain {
         print!("{}", metamess::telemetry::global().snapshot().render_table());
     }
+    persist_telemetry(&store_dir)?;
+    Ok(())
+}
+
+/// Continuous ingestion: `metamess watch <dir>` — the wrangle loop run
+/// forever, publishing catalog deltas through the store's group-commit
+/// queue so a live `metamess serve` picks them up without reopening.
+fn cmd_watch(args: &[String]) -> Result<(), metamess::core::Error> {
+    use std::time::Duration;
+    let dir = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| metamess::core::Error::invalid("watch needs an archive directory"))?;
+    let store_dir = parse_flag(args, "--store")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| Path::new(dir).join(".metamess"));
+    let mut options = metamess::pipeline::WatchOptions::default();
+    if let Some(ms) = parse_flag(args, "--interval-ms") {
+        options.interval = ms
+            .parse::<u64>()
+            .map(Duration::from_millis)
+            .map_err(|_| metamess::core::Error::invalid("bad --interval-ms"))?;
+    }
+    if let Some(ms) = parse_flag(args, "--commit-interval-ms") {
+        options.commit_interval = ms
+            .parse::<u64>()
+            .map(Duration::from_millis)
+            .map_err(|_| metamess::core::Error::invalid("bad --commit-interval-ms"))?;
+    }
+    if let Some(n) = parse_flag(args, "--max-cycles") {
+        options.max_cycles =
+            Some(n.parse::<u64>().map_err(|_| metamess::core::Error::invalid("bad --max-cycles"))?);
+    }
+    if let Some(r) = parse_flag(args, "--compact-ratio") {
+        options.compaction.wal_ratio = r
+            .parse::<f64>()
+            .ok()
+            .filter(|r| r.is_finite() && *r > 0.0)
+            .ok_or_else(|| metamess::core::Error::invalid("bad --compact-ratio"))?;
+    }
+    if let Some(n) = parse_flag(args, "--retain") {
+        options.compaction.retain =
+            n.parse::<usize>().map_err(|_| metamess::core::Error::invalid("bad --retain"))?;
+    }
+
+    let watcher = metamess::pipeline::Watcher::new(dir, &store_dir, options.clone())?;
+    if watcher.resumed() {
+        println!(
+            "resuming from {} ({} datasets published)",
+            store_dir.join("state").display(),
+            watcher.published_len()
+        );
+    }
+    // Bridge SIGTERM / ctrl-c to the watcher's stop flag: the current
+    // cycle finishes (its publish is acked and state saved) before exit.
+    let stop = watcher.stop_handle();
+    let shutdown = metamess::server::ShutdownHandle::new();
+    shutdown.install_signal_handlers();
+    {
+        let stop = stop.clone();
+        let shutdown = shutdown.clone();
+        std::thread::spawn(move || {
+            while !shutdown.is_shutdown() {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        });
+    }
+    println!(
+        "watching {dir} -> {} (poll {}ms, commit window {}ms; ctrl-c to stop)",
+        store_dir.display(),
+        options.interval.as_millis(),
+        options.commit_interval.as_millis()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let telemetry_store = store_dir.clone();
+    let report = watcher.run(move |cycle| {
+        if cycle.changed {
+            println!(
+                "cycle {}: published {} mutation(s), {} datasets, {:.1}ms",
+                cycle.cycle,
+                cycle.mutations,
+                cycle.datasets,
+                cycle.micros as f64 / 1000.0
+            );
+            let _ = std::io::stdout().flush();
+            // Fold this cycle's telemetry in while we are still running so
+            // `metamess stats` sees live ingest.* numbers.
+            if let Err(e) = persist_telemetry(&telemetry_store) {
+                eprintln!("warning: telemetry persist failed: {e}");
+            }
+        }
+    })?;
+    println!(
+        "watched {} cycle(s) ({} unchanged), published {} mutation(s), {} datasets in {}",
+        report.cycles,
+        report.skipped,
+        report.mutations,
+        report.datasets,
+        store_dir.display()
+    );
     persist_telemetry(&store_dir)?;
     Ok(())
 }
