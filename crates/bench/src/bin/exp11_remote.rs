@@ -1,0 +1,197 @@
+//! **E11 — Remote shard protocol: fan-out cost and partial results.**
+//!
+//! Spawns in-process `shardd` fleets (real TCP listeners on loopback, real
+//! frame codec), sweeps shard counts, and hard-asserts that the remote
+//! coordinator's merged results are **bit-identical** to the in-process
+//! sharded engine at the same layout. Measures (a) scatter-gather fan-out
+//! latency per fleet size vs the in-process engine and (b) the partial-result
+//! rate after one shardd is killed under `--partial-policy degrade`.
+//!
+//! ```text
+//! cargo run --release -p metamess-bench --bin exp11_remote [-- --quick] [--json [path]]
+//! ```
+//!
+//! `--quick` shrinks the archive and the sweep for CI smoke runs. `--json`
+//! writes a schema-stable `BENCH_remote.json` with per-fleet-size latency
+//! percentiles (p50/p95/p99), the in-process baseline, and the degraded
+//! phase's partial rate.
+
+use metamess_archive::ArchiveSpec;
+use metamess_bench::{json_flag, sharded_engine_from_ctx, wrangle_archive, BenchReport};
+use metamess_remote::{PartialPolicy, RemoteOptions, RemoteShardSet, ShardHost, Shardd};
+use metamess_search::{Partitioner, Query, ShardSpec};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Broad: every facet at once, candidates everywhere.
+const BROAD: &str = "near 45.5,-124.4 within 50km from 2010-04-01 to 2010-09-30 \
+                     with temperature between 5 and 10 limit 5";
+/// Spatially selective: pruning bounds let the coordinator skip dials.
+const SPATIAL_SELECTIVE: &str = "near 45.5,-124.4 within 5km limit 3";
+/// Term-only: nothing prunable, the full fan-out cost.
+const TERMS: &str = "with salinity limit 10";
+
+/// Fast deadlines for a loopback fleet: generous enough for a loaded CI
+/// box, small enough that the kill phase converges quickly.
+fn fleet_options(policy: PartialPolicy) -> RemoteOptions {
+    RemoteOptions {
+        connect_timeout: Duration::from_millis(500),
+        read_timeout: Duration::from_secs(2),
+        retries: 1,
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(10),
+        partial_policy: policy,
+        ..RemoteOptions::default()
+    }
+}
+
+/// Builds and binds one shardd per shard of `spec` over the published
+/// catalog, returning the daemons and their dial addresses.
+fn spawn_fleet(
+    ctx: &metamess_pipeline::PipelineContext,
+    spec: ShardSpec,
+) -> (Vec<Shardd>, Vec<String>) {
+    let mut daemons = Vec::new();
+    let mut addrs = Vec::new();
+    for shard_id in 0..spec.count() {
+        let host = ShardHost::build(&ctx.catalogs.published, ctx.vocab.clone(), spec, shard_id)
+            .expect("build shard host");
+        let daemon = Shardd::spawn(Arc::new(host), "127.0.0.1:0").expect("spawn shardd");
+        addrs.push(daemon.local_addr().to_string());
+        daemons.push(daemon);
+    }
+    (daemons, addrs)
+}
+
+fn mean(samples: &[u64]) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    Duration::from_nanos(1000 * samples.iter().sum::<u64>() / samples.len() as u64)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = json_flag(&args, "BENCH_remote.json");
+    let mut report = BenchReport::new("remote");
+
+    let months = if quick { 12 } else { 36 };
+    let runs = if quick { 20 } else { 100 };
+    let sweep: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4] };
+
+    println!("E11: remote shard fan-out{}\n", if quick { " (--quick)" } else { "" });
+
+    let spec = ArchiveSpec { months, stations: 8, ..ArchiveSpec::default() };
+    let (ctx, _) = wrangle_archive(&spec);
+    println!(
+        "catalog: {} datasets ({} variables), {} months of station data\n",
+        ctx.catalogs.published.len(),
+        ctx.catalogs.published.variable_count(),
+        months
+    );
+    report.set("remote.datasets", ctx.catalogs.published.len() as u64);
+
+    let queries: Vec<(&str, Query)> =
+        [("broad", BROAD), ("spatial", SPATIAL_SELECTIVE), ("terms", TERMS)]
+            .into_iter()
+            .map(|(k, t)| (k, Query::parse(t).unwrap()))
+            .collect();
+
+    // ── sweep: fleet size vs in-process, bit-identity + latency ───────
+    println!("{:>8} {:>12} {:>12} {:>10}", "shardds", "remote", "in-process", "ratio");
+    for &shards in sweep {
+        let layout = ShardSpec::new(shards, Partitioner::Spatial);
+        let engine = sharded_engine_from_ctx(&ctx, layout);
+        let (daemons, addrs) = spawn_fleet(&ctx, layout);
+        let set = RemoteShardSet::connect(&addrs, fleet_options(PartialPolicy::Fail))
+            .expect("connect fleet");
+
+        // Bit-identity first: the wire must not change a single byte of
+        // the merged ranking. serde_json's float_roundtrip feature makes
+        // the JSON comparison exact for f64 scores.
+        for (name, q) in &queries {
+            let got = set.search(q).expect("remote search");
+            assert!(!got.partial, "healthy fleet returned partial for {name}");
+            let want = engine.search_uncached(q);
+            assert_eq!(got.hits, want, "remote diverges from local: query={name} shards={shards}");
+            let got_json = serde_json::to_string(&got.hits).unwrap();
+            let want_json = serde_json::to_string(&want).unwrap();
+            assert_eq!(
+                got_json, want_json,
+                "remote JSON not bit-identical: query={name} shards={shards}"
+            );
+        }
+
+        // Latency: the term query (full fan-out, no pruning shortcut).
+        let q = &queries.iter().find(|(n, _)| *n == "terms").unwrap().1;
+        let remote_samples: Vec<u64> = (0..runs)
+            .map(|_| {
+                let t = Instant::now();
+                std::hint::black_box(set.search(std::hint::black_box(q)).expect("remote search"));
+                t.elapsed().as_micros() as u64
+            })
+            .collect();
+        let local_samples: Vec<u64> = (0..runs)
+            .map(|_| {
+                let t = Instant::now();
+                std::hint::black_box(engine.search_uncached(std::hint::black_box(q)));
+                t.elapsed().as_micros() as u64
+            })
+            .collect();
+        let (r, l) = (mean(&remote_samples), mean(&local_samples));
+        println!(
+            "{:>8} {:>12.2?} {:>12.2?} {:>9.1}x",
+            shards,
+            r,
+            l,
+            r.as_secs_f64() / l.as_secs_f64().max(1e-9)
+        );
+        report.record_samples(&format!("remote.s{shards}"), &remote_samples);
+        report.record_samples(&format!("remote.s{shards}.inprocess"), &local_samples);
+
+        for d in daemons {
+            d.shutdown();
+        }
+    }
+
+    // ── degraded phase: kill one shardd, measure the partial rate ─────
+    let layout = ShardSpec::new(2, Partitioner::Hash);
+    let (mut daemons, addrs) = spawn_fleet(&ctx, layout);
+    let set = RemoteShardSet::connect(&addrs, fleet_options(PartialPolicy::Degrade))
+        .expect("connect degrade fleet");
+    let q = &queries.iter().find(|(n, _)| *n == "terms").unwrap().1;
+    let healthy = set.search(q).expect("healthy degrade-fleet search");
+    assert!(!healthy.partial, "fleet partial before the kill");
+
+    daemons.remove(1).shutdown();
+    let kill_runs: u64 = if quick { 10 } else { 40 };
+    let mut partials = 0u64;
+    for _ in 0..kill_runs {
+        let out = set.search(q).expect("degraded search must still answer");
+        if out.partial {
+            assert_eq!(out.failed, vec![1], "wrong shard marked failed");
+            partials += 1;
+        }
+    }
+    let rate = partials as f64 / kill_runs as f64;
+    println!(
+        "\ndegraded phase: killed shard 1 of 2, {partials}/{kill_runs} responses \
+         marked partial (rate {rate:.2}), zero coordinator errors"
+    );
+    assert_eq!(partials, kill_runs, "every post-kill response must be marked partial");
+    report.set("remote.degraded.queries", kill_runs);
+    report.set("remote.degraded.partial", partials);
+    report.set_f64("remote.degraded.partial_rate", rate);
+    let open =
+        set.health().iter().filter(|h| h.state == metamess_remote::CircuitState::Open).count();
+    report.set("remote.degraded.open_circuits", open as u64);
+    for d in daemons {
+        d.shutdown();
+    }
+
+    if let Some(path) = json_path {
+        report.write(&path).expect("write bench report");
+        println!("\nwrote {} metrics to {}", report.len(), path.display());
+    }
+}

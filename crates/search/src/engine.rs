@@ -83,7 +83,11 @@ thread_local! {
 }
 
 /// One ranked search result.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+///
+/// Serializes losslessly (`serde_json` is built with `float_roundtrip`),
+/// so a hit that crosses the remote shard protocol deserializes to the
+/// bit-identical score the shard computed.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SearchHit {
     /// Dataset id.
     pub id: DatasetId,
@@ -95,6 +99,25 @@ pub struct SearchHit {
     pub score: f64,
     /// Per-facet explanation.
     pub breakdown: ScoreBreakdown,
+}
+
+/// Partitions a catalog snapshot into per-shard member lists (`(global
+/// index, feature)` pairs in ascending global order) according to `spec`.
+/// Shared by [`ShardedEngine::build_sharded`] and the remote single-shard
+/// builder ([`crate::fanout::build_shard`]), so a `shardd` process and the
+/// in-process coordinator agree on which datasets shard `k` of `n` holds.
+pub(crate) fn partition_members(
+    catalog: &Catalog,
+    spec: ShardSpec,
+) -> Vec<Vec<(usize, DatasetFeature)>> {
+    let datasets: Vec<DatasetFeature> = catalog.iter().cloned().collect();
+    let assignment = spec.partitioner().assign(&datasets, spec.count());
+    let mut members: Vec<Vec<(usize, DatasetFeature)>> =
+        (0..spec.count()).map(|_| Vec::new()).collect();
+    for (gix, (d, s)) in datasets.into_iter().zip(assignment).enumerate() {
+        members[s].push((gix, d));
+    }
+    members
 }
 
 /// The historical name: a [`ShardedEngine`] with one shard behaves exactly
@@ -145,14 +168,8 @@ impl ShardedEngine {
     /// the spec was produced.
     pub fn build_sharded(catalog: &Catalog, vocab: Vocabulary, spec: ShardSpec) -> ShardedEngine {
         let spec = ShardSpec::new(spec.count(), spec.partitioner());
-        let datasets: Vec<DatasetFeature> = catalog.iter().cloned().collect();
-        let total = datasets.len();
-        let assignment = spec.partitioner().assign(&datasets, spec.count());
-        let mut members: Vec<Vec<(usize, DatasetFeature)>> =
-            (0..spec.count()).map(|_| Vec::new()).collect();
-        for (gix, (d, s)) in datasets.into_iter().zip(assignment).enumerate() {
-            members[s].push((gix, d));
-        }
+        let members = partition_members(catalog, spec);
+        let total = members.iter().map(Vec::len).sum();
         let shards: Vec<ShardEngine> =
             members.into_iter().map(|m| ShardEngine::build(m, &vocab)).collect();
         let mut by_id: HashMap<DatasetId, (u32, u32)> = HashMap::with_capacity(total);

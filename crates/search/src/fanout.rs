@@ -1,0 +1,414 @@
+//! Stateless fan-out building blocks for scatter-gather over shard
+//! engines that do **not** share an address space.
+//!
+//! The in-process [`ShardedEngine`](crate::ShardedEngine) probes, scores,
+//! and merges against `&ShardEngine` references. The remote shard
+//! protocol (crate `metamess-remote`) runs the same three phases, but the
+//! probe and score halves execute inside `metamess shardd` processes and
+//! only serializable summaries cross the wire. This module is the single
+//! definition of those halves, written so that
+//!
+//! ```text
+//! merge_hits(score_top(..) per shard, limit)
+//!     == ShardedEngine::search_uncached(..)   // bit-identical
+//! ```
+//!
+//! holds at any shard count and partitioner:
+//!
+//! * [`probe_summary`] is exactly `ShardEngine::probe` with the result
+//!   flattened into fixed-width integers;
+//! * [`plan_scatter`] replays the coordinator's decisions — the global
+//!   nearest-neighbour admission under `(distance, global index)` and the
+//!   cross-shard `candidates < limit*3` full-scan fallback — from
+//!   summaries alone;
+//! * [`score_top`] selects each shard's `limit`-best candidates under the
+//!   global rank order `(score desc, path asc)`. Because that order is a
+//!   *strict total* order (paths are unique per catalog), every global
+//!   top-`limit` hit is necessarily in its own shard's top-`limit`, so
+//!   [`merge_hits`] — flatten, sort under the same order, truncate —
+//!   reconstructs the global answer exactly. Scores survive the JSON hop
+//!   bit-exactly: the workspace builds `serde_json` with
+//!   `float_roundtrip`.
+//!
+//! [`build_shard`] builds shard `k` of `n` standalone, through the same
+//! partition assignment as `ShardedEngine::build_sharded`, so a fleet of
+//! `shardd` processes covers the catalog without overlap or gaps.
+
+use crate::engine::{partition_members, SearchHit};
+use crate::plan::QueryPlan;
+use crate::query::Query;
+use crate::shard::{expanded_time, ShardEngine, ShardSpec};
+use crate::topk::{LightHit, LightTopK};
+use metamess_core::catalog::Catalog;
+use metamess_core::time::TimeInterval;
+use metamess_vocab::Vocabulary;
+use std::cmp::Ordering;
+
+/// What one shard's probe produced, in wire-friendly form. The local
+/// candidate indices are `u32` (shards are bounded well below 4G members)
+/// and the nearest list keeps `(distance, global index, local index)` —
+/// everything [`plan_scatter`] needs to replay the coordinator's
+/// admission globally.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ProbeSummary {
+    /// Local indices selected by the window/term indexes (ascending,
+    /// unique).
+    pub certain: Vec<u32>,
+    /// Nearest-neighbour candidates as `(distance, global ix, local ix)`.
+    pub near: Vec<(f64, u64, u32)>,
+    /// Index walks skipped because the shard bound excluded the query.
+    pub bound_skips: u32,
+}
+
+/// The candidate-generation over-fetch: how many nearest neighbours each
+/// shard collects per probe. Must match on both ends of the wire — the
+/// shardd probes with it, the coordinator admits with it — so it is a
+/// pure function of the query limit (the same formula the in-process
+/// engine uses).
+pub fn generous(limit: usize) -> usize {
+    limit.saturating_mul(5).max(50)
+}
+
+/// Probes one shard and flattens the outcome for the wire. `generous`
+/// must be [`generous`]`(query.limit)`; it is a parameter only so the
+/// call site that already computed it does not recompute.
+pub fn probe_summary(
+    shard: &ShardEngine,
+    query: &Query,
+    plan: &QueryPlan,
+    generous: usize,
+) -> ProbeSummary {
+    let p = shard.probe(query, plan, generous);
+    ProbeSummary {
+        certain: p.certain.iter().map(|&ix| ix as u32).collect(),
+        near: p.near.iter().map(|&(d, gix, lix)| (d, gix as u64, lix as u32)).collect(),
+        bound_skips: p.bound_skips as u32,
+    }
+}
+
+/// What one shard must score, as decided by the coordinator.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ScoreWork {
+    /// Nothing — the shard contributed no candidates (pruned).
+    Skip,
+    /// Every dataset in the shard (the full-scan fallback).
+    Full,
+    /// Exactly these local indices (ascending, unique).
+    List(Vec<u32>),
+}
+
+/// Replays the coordinator's scatter decisions from per-shard probe
+/// summaries: global nearest-neighbour admission (when the query is
+/// spatial) and the cross-shard full-scan fallback. Returns the fallback
+/// flag (for telemetry) and one [`ScoreWork`] per shard, in shard order.
+///
+/// Mirrors `ShardedEngine::execute_plan` + `admit_nearest_globally` +
+/// `plan_units` exactly; the bit-identity tests in this module and the
+/// `shard_props` suite keep the two in lockstep.
+pub fn plan_scatter(query: &Query, summaries: &[ProbeSummary]) -> (bool, Vec<ScoreWork>) {
+    let forced = query.is_empty();
+    let mut certain: Vec<Vec<u32>> = summaries.iter().map(|s| s.certain.clone()).collect();
+    if !forced && query.spatial.is_some() {
+        // Admit nearest candidates under the global total order
+        // `(distance, global index)`, truncated to `generous` — the exact
+        // set the unsharded R-tree's single `nearest` call selects.
+        let mut near: Vec<(f64, u64, usize, u32)> = Vec::new();
+        for (s, summary) in summaries.iter().enumerate() {
+            near.extend(summary.near.iter().map(|&(dist, gix, lix)| (dist, gix, s, lix)));
+        }
+        near.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal).then_with(|| a.1.cmp(&b.1))
+        });
+        for &(_, _, s, lix) in near.iter().take(generous(query.limit)) {
+            certain[s].push(lix);
+        }
+        for c in certain.iter_mut() {
+            c.sort_unstable();
+            c.dedup();
+        }
+    }
+    let candidates_total: usize = if forced { 0 } else { certain.iter().map(Vec::len).sum() };
+    let full_scan = forced || candidates_total < query.limit.saturating_mul(3);
+    let works = certain
+        .into_iter()
+        .map(|c| {
+            if full_scan {
+                ScoreWork::Full
+            } else if c.is_empty() {
+                ScoreWork::Skip
+            } else {
+                ScoreWork::List(c)
+            }
+        })
+        .collect();
+    (full_scan, works)
+}
+
+/// Whether a probe round trip to a shard can be skipped outright for this
+/// query, given the shard's advertised temporal pruning bound. Only a
+/// pure time-window query qualifies: spatial queries always collect
+/// nearest neighbours (distance has no bound) and variable terms consult
+/// postings the coordinator cannot see. When it returns `true`, the
+/// shard's probe is exactly the empty summary (one bound skip), so
+/// synthesizing that locally changes nothing downstream.
+pub fn probe_prunable(query: &Query, time_bound: Option<&TimeInterval>) -> bool {
+    if query.is_empty() || query.spatial.is_some() || !query.variables.is_empty() {
+        return false;
+    }
+    match &query.time {
+        Some(window) => match time_bound {
+            Some(bound) => !bound.overlaps(&expanded_time(window)),
+            // No member carries a time interval — the interval index is
+            // empty and a time-only probe cannot select anything.
+            None => true,
+        },
+        None => false,
+    }
+}
+
+/// Scores one shard's assigned work and returns its `query.limit`-best
+/// hits under the global rank order `(score desc, path asc)`, best first.
+/// Candidates run through the allocation-free fast scorer; only the
+/// `≤ limit` survivors are materialized by the exact scorer (the same
+/// split the in-process engine uses, with the same debug assertion that
+/// the two scorers agree bit-for-bit).
+pub fn score_top(
+    shard: &ShardEngine,
+    query: &Query,
+    plan: &QueryPlan,
+    vocab: &Vocabulary,
+    work: &ScoreWork,
+) -> Vec<SearchHit> {
+    let rank_cmp = |a: &LightHit, b: &LightHit| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| shard.dataset(a.2 as usize).path.cmp(&shard.dataset(b.2 as usize).path))
+    };
+    let rank_lt = |a: &LightHit, b: &LightHit| rank_cmp(a, b) == Ordering::Less;
+    let mut lights: Vec<LightHit> = Vec::new();
+    {
+        let mut topk = LightTopK::new(query.limit, &mut lights);
+        match work {
+            ScoreWork::Skip => return Vec::new(),
+            ScoreWork::Full => {
+                for ix in 0..shard.len() {
+                    let s = shard.score_fast(query, &plan.prepared, ix);
+                    topk.push((s, 0, ix as u32), &rank_lt);
+                }
+            }
+            ScoreWork::List(ixs) => {
+                for &ix in ixs {
+                    let s = shard.score_fast(query, &plan.prepared, ix as usize);
+                    topk.push((s, 0, ix), &rank_lt);
+                }
+            }
+        }
+    }
+    lights.sort_by(rank_cmp);
+    lights
+        .iter()
+        .map(|&(score, _, lix)| {
+            let hit = shard.score_hit(query, &plan.prepared, vocab, lix as usize);
+            debug_assert_eq!(
+                hit.score.to_bits(),
+                score.to_bits(),
+                "fast scorer diverged from the exact scorer on {}",
+                hit.path
+            );
+            hit
+        })
+        .collect()
+}
+
+/// Merges per-shard top-`limit` hit lists into the global top-`limit`,
+/// best first. Correctness does not depend on the inputs being sorted —
+/// only on each list containing its shard's `limit`-best, which
+/// guarantees every global winner is present.
+pub fn merge_hits(per_shard: Vec<Vec<SearchHit>>, limit: usize) -> Vec<SearchHit> {
+    let mut all: Vec<SearchHit> = per_shard.into_iter().flatten().collect();
+    all.sort_by(|a, b| {
+        b.score.partial_cmp(&a.score).unwrap_or(Ordering::Equal).then_with(|| a.path.cmp(&b.path))
+    });
+    all.truncate(limit);
+    all
+}
+
+/// Builds shard `shard_ix` of the layout `spec` over a catalog snapshot,
+/// standalone — the engine a `metamess shardd` process hosts. Uses the
+/// same partition assignment as `ShardedEngine::build_sharded`, so `n`
+/// processes each building their own index cover the catalog exactly.
+/// `shard_ix` must be `< spec.count()`.
+pub fn build_shard(
+    catalog: &Catalog,
+    vocab: &Vocabulary,
+    spec: ShardSpec,
+    shard_ix: usize,
+) -> ShardEngine {
+    let spec = ShardSpec::new(spec.count(), spec.partitioner());
+    assert!(shard_ix < spec.count(), "shard index {shard_ix} out of 0..{}", spec.count());
+    let members = partition_members(catalog, spec).swap_remove(shard_ix);
+    ShardEngine::build(members, vocab)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::Partitioner;
+    use crate::ShardedEngine;
+    use metamess_core::feature::{DatasetFeature, NameResolution, VariableFeature};
+    use metamess_core::geo::{GeoBBox, GeoPoint};
+    use metamess_core::time::Timestamp;
+
+    fn make_dataset(
+        path: &str,
+        lat: f64,
+        lon: f64,
+        month: u32,
+        var: (&str, &str),
+    ) -> DatasetFeature {
+        let mut d = DatasetFeature::new(path);
+        d.title = path.to_string();
+        d.bbox = Some(GeoBBox::point(GeoPoint::new(lat, lon).unwrap()));
+        d.time = Some(TimeInterval::new(
+            Timestamp::from_ymd(2010, month, 1).unwrap(),
+            Timestamp::from_ymd(2010, month, 28).unwrap(),
+        ));
+        let mut v = VariableFeature::new(var.0);
+        v.resolve(var.1, NameResolution::KnownTranslation);
+        v.summary.observe(5.0);
+        v.summary.observe(10.0);
+        d.variables.push(v);
+        d
+    }
+
+    fn two_cluster_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        for i in 0..60 {
+            c.put(make_dataset(
+                &format!("north/{i:02}.csv"),
+                46.0 + (i % 10) as f64 * 0.01,
+                -124.0,
+                1 + (i % 6) as u32,
+                ("temp", "water_temperature"),
+            ));
+        }
+        for i in 0..60 {
+            c.put(make_dataset(
+                &format!("south/{i:02}.csv"),
+                -44.0 - (i % 10) as f64 * 0.01,
+                150.0,
+                7 + (i % 6) as u32,
+                ("sal", "salinity"),
+            ));
+        }
+        c
+    }
+
+    /// Runs the full fan-out pipeline over standalone shards, exactly as
+    /// the remote coordinator does (minus the wire).
+    fn fan_out(shards: &[ShardEngine], vocab: &Vocabulary, q: &Query) -> Vec<SearchHit> {
+        let plan = QueryPlan::prepare(q, vocab);
+        let g = generous(q.limit);
+        let summaries: Vec<ProbeSummary> = shards
+            .iter()
+            .map(|s| {
+                if q.is_empty() {
+                    ProbeSummary::default()
+                } else if probe_prunable(q, s.time_bound()) {
+                    ProbeSummary { bound_skips: 1, ..ProbeSummary::default() }
+                } else {
+                    probe_summary(s, q, &plan, g)
+                }
+            })
+            .collect();
+        let (_, works) = plan_scatter(q, &summaries);
+        let per: Vec<Vec<SearchHit>> =
+            shards.iter().zip(&works).map(|(s, w)| score_top(s, q, &plan, vocab, w)).collect();
+        merge_hits(per, q.limit)
+    }
+
+    #[test]
+    fn pipeline_bit_identical_to_sharded_engine() {
+        let c = two_cluster_catalog();
+        let vocab = Vocabulary::observatory_default();
+        let reference = ShardedEngine::build(&c, vocab.clone());
+        let queries = [
+            Query::parse("in 45.9,-124.1..46.2,-123.9 limit 5").unwrap(),
+            Query::parse("near 46.0,-124.0 within 10km with water_temperature limit 4").unwrap(),
+            Query::parse("from 2010-07-01 to 2010-09-30 with salinity limit 6").unwrap(),
+            Query::parse("from 2010-01-01 to 2010-02-15 limit 5").unwrap(),
+            Query::parse("with water_temperature limit 100").unwrap(),
+            Query::new(),
+        ];
+        for partitioner in [Partitioner::Hash, Partitioner::Spatial, Partitioner::Temporal] {
+            for count in [1usize, 2, 4, 7] {
+                let spec = ShardSpec::new(count, partitioner);
+                let shards: Vec<ShardEngine> =
+                    (0..count).map(|k| build_shard(&c, &vocab, spec, k)).collect();
+                for q in &queries {
+                    let expected = reference.search_uncached(q);
+                    let got = fan_out(&shards, &vocab, q);
+                    assert_eq!(got.len(), expected.len(), "{partitioner:?}/{count}");
+                    for (a, b) in got.iter().zip(expected.iter()) {
+                        assert_eq!(a, b, "{partitioner:?}/{count}");
+                        assert_eq!(a.score.to_bits(), b.score.to_bits(), "{partitioner:?}/{count}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn build_shard_partitions_cover_the_catalog_exactly() {
+        let c = two_cluster_catalog();
+        let vocab = Vocabulary::observatory_default();
+        let spec = ShardSpec::new(4, Partitioner::Spatial);
+        let local = ShardedEngine::build_sharded(&c, vocab.clone(), spec);
+        let mut total = 0usize;
+        for (k, member) in local.shards().iter().enumerate() {
+            let standalone = build_shard(&c, &vocab, spec, k);
+            assert_eq!(standalone.len(), member.len(), "shard {k}");
+            for l in 0..member.len() {
+                assert_eq!(standalone.dataset(l).path, member.dataset(l).path, "shard {k}/{l}");
+            }
+            total += standalone.len();
+        }
+        assert_eq!(total, local.len());
+    }
+
+    #[test]
+    fn probe_prunable_only_for_excluded_time_windows() {
+        let c = two_cluster_catalog();
+        let vocab = Vocabulary::observatory_default();
+        let spec = ShardSpec::new(2, Partitioner::Temporal);
+        let south = build_shard(&c, &vocab, spec, 1); // months 7..=12
+        let early = Query::parse("from 2010-01-01 to 2010-02-15 limit 5").unwrap();
+        assert!(probe_prunable(&early, south.time_bound()));
+        // the synthesized empty summary matches the real probe
+        let plan = QueryPlan::prepare(&early, &vocab);
+        let real = probe_summary(&south, &early, &plan, generous(early.limit));
+        assert!(real.certain.is_empty() && real.near.is_empty());
+        // overlapping window, spatial, and variable queries must dial
+        let late = Query::parse("from 2010-08-01 to 2010-09-30").unwrap();
+        assert!(!probe_prunable(&late, south.time_bound()));
+        let spatial = Query::parse("near 46.0,-124.0 from 2010-01-01 to 2010-02-15").unwrap();
+        assert!(!probe_prunable(&spatial, south.time_bound()));
+        let var = Query::parse("from 2010-01-01 to 2010-02-15 with salinity").unwrap();
+        assert!(!probe_prunable(&var, south.time_bound()));
+        assert!(!probe_prunable(&Query::new(), south.time_bound()));
+    }
+
+    #[test]
+    fn search_hit_roundtrips_bit_exactly_through_json() {
+        let c = two_cluster_catalog();
+        let vocab = Vocabulary::observatory_default();
+        let e = ShardedEngine::build(&c, vocab);
+        let q = Query::parse("near 46.0,-124.0 with water_temperature limit 5").unwrap();
+        for hit in e.search_uncached(&q) {
+            let json = serde_json::to_string(&hit).unwrap();
+            let back: SearchHit = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, hit);
+            assert_eq!(back.score.to_bits(), hit.score.to_bits());
+        }
+    }
+}

@@ -42,6 +42,7 @@ mod cache;
 pub mod delta;
 mod engine;
 mod explain;
+pub mod fanout;
 mod interval;
 mod plan;
 mod query;
@@ -56,6 +57,7 @@ pub use cache::{CacheStats, ResultCache, DEFAULT_CACHE_CAPACITY};
 pub use delta::{compute_touches, entry_survives, TouchedDataset};
 pub use engine::{SearchEngine, SearchHit, ShardedEngine};
 pub use explain::SearchExplain;
+pub use fanout::{ProbeSummary, ScoreWork};
 pub use interval::IntervalIndex;
 pub use plan::QueryPlan;
 pub use query::{Query, SpatialTerm, VariableTerm, Weights, MAX_LIMIT};

@@ -95,6 +95,42 @@ fn search(state: &ServeState, req: &Request) -> Response {
         explain: Option<&'a SearchExplain>,
     }
 
+    // `--remote`: scatter-gather across the shardd fleet. The body gains
+    // an explicit `partial` field and degraded responses are additionally
+    // marked with the `X-Metamess-Partial` header so callers that only
+    // look at headers still notice.
+    if let Some(remote) = state.remote() {
+        #[derive(Serialize)]
+        struct RemoteSearchBody<'a> {
+            generation: u64,
+            count: usize,
+            partial: bool,
+            hits: &'a [SearchHit],
+        }
+        if req.query_flag("explain") {
+            return error_json(400, "explain is not available over --remote");
+        }
+        return match remote.search(&query) {
+            Ok(out) => {
+                let resp = Response::json(
+                    200,
+                    render(&RemoteSearchBody {
+                        generation: out.generation,
+                        count: out.hits.len(),
+                        partial: out.partial,
+                        hits: &out.hits,
+                    }),
+                );
+                if out.partial {
+                    resp.with_header("x-metamess-partial", "true")
+                } else {
+                    resp
+                }
+            }
+            Err(e) => error_json(502, &format!("remote search failed: {e}")),
+        };
+    }
+
     let epoch = state.epoch();
     if req.query_flag("explain") {
         let (hits, explain) = epoch.engine.search_explain(&query);
@@ -390,6 +426,89 @@ mod tests {
         let (_, resp) = handle(&state, &post("/search", &[], r#"{"q":"with water_temperature"}"#));
         assert_eq!(resp.status, 200);
         assert_eq!(body_json(&resp)["count"].as_u64().unwrap(), 6);
+    }
+
+    #[test]
+    fn remote_search_serves_partial_results_with_marker() {
+        use metamess_remote::{
+            FaultAction, FaultTransport, PartialPolicy, RemoteOptions, RemoteShardSet, ShardHost,
+        };
+        use metamess_search::{Partitioner, ShardSpec};
+        use metamess_vocab::Vocabulary;
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        let d = std::env::temp_dir().join(format!("metamess-hand-remote-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        let mut s = DurableCatalog::open(d.join("catalog"), StoreOptions::default()).unwrap();
+        for i in 0..8 {
+            let mut f = DatasetFeature::new(format!("2014/07/site{i}.csv"));
+            f.variables.push(metamess_core::VariableFeature::new("water_temperature"));
+            s.put(f).unwrap();
+        }
+        s.checkpoint().unwrap();
+
+        // Host both shards in-process behind a fault transport; the
+        // coordinator is the production one.
+        let vocab = Vocabulary::observatory_default();
+        let spec = ShardSpec::new(2, Partitioner::Hash);
+        let hosts: Vec<Arc<ShardHost>> = (0..2)
+            .map(|k| Arc::new(ShardHost::build(s.catalog(), vocab.clone(), spec, k).unwrap()))
+            .collect();
+        let survivor_datasets = hosts[0].len() as u64;
+        drop(s);
+        let transport = Arc::new(FaultTransport::new(hosts));
+        let opts = RemoteOptions {
+            backoff_base: Duration::from_micros(100),
+            backoff_cap: Duration::from_millis(1),
+            partial_policy: PartialPolicy::Degrade,
+            ..RemoteOptions::default()
+        };
+        let set = RemoteShardSet::with_transport(transport.clone(), opts).unwrap();
+        let mut state = ServeState::open(PathBuf::from(&d)).unwrap();
+        state.set_remote(Arc::new(set));
+
+        // Healthy: full answer, no partial marker, remote healthz rows.
+        let (_, resp) = handle(&state, &post("/search", &[], r#"{"q":"with water_temperature"}"#));
+        assert_eq!(resp.status, 200);
+        let v = body_json(&resp);
+        assert_eq!(v["count"], 8);
+        assert_eq!(v["partial"], false);
+        assert!(!resp.extra_headers.iter().any(|(n, _)| n == "x-metamess-partial"));
+        let (_, resp) = handle(&state, &get("/healthz"));
+        let v = body_json(&resp);
+        assert_eq!(v["shards"], 2);
+        let rows = v["shard_states"].as_array().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0]["mode"], "remote");
+        assert_eq!(rows[0]["state"], "healthy");
+
+        // Kill shard 1: degrade policy serves the survivors, marked.
+        transport.push_actions(1, &[FaultAction::Timeout; 3]);
+        let (_, resp) = handle(&state, &post("/search", &[], r#"{"q":"with water_temperature"}"#));
+        assert_eq!(resp.status, 200);
+        let v = body_json(&resp);
+        assert_eq!(v["partial"], true);
+        assert_eq!(
+            v["count"].as_u64().unwrap(),
+            survivor_datasets,
+            "exactly the healthy shard's hits are served"
+        );
+        assert!(
+            resp.extra_headers.iter().any(|(n, v)| n == "x-metamess-partial" && v == "true"),
+            "degraded responses carry the partial header"
+        );
+        let (_, resp) = handle(&state, &get("/healthz"));
+        let v = body_json(&resp);
+        assert_eq!(v["shard_states"][1]["state"], "degraded", "one failed query");
+
+        // explain cannot be computed across the wire — clean 400.
+        let (_, resp) = handle(
+            &state,
+            &post("/search", &[("explain", "1")], r#"{"q":"with water_temperature"}"#),
+        );
+        assert_eq!(resp.status, 400);
     }
 
     #[test]

@@ -205,6 +205,18 @@ mod imp {
     /// Poll tick: upper bound on deadline/shutdown detection latency.
     const TICK: Duration = Duration::from_millis(25);
 
+    /// The shed 503 for one rejection: trace-id-stamped (fresh id per
+    /// shed, so the rejected client can quote it back) when telemetry is
+    /// on, the borrowed static blob — zero allocations — when it is off.
+    fn shed_payload() -> std::borrow::Cow<'static, [u8]> {
+        if metamess_telemetry::enabled() {
+            let id = metamess_telemetry::trace::TraceContext::start(0.0).trace_id;
+            std::borrow::Cow::Owned(http::shed_response_stamped(id))
+        } else {
+            std::borrow::Cow::Borrowed(http::shed_response_bytes())
+        }
+    }
+
     pub(super) fn run(server: Server) -> Result<ServeSummary> {
         let Server { listener, state, config, shutdown } = server;
         let queue = Arc::new(BoundedQueue::<Job>::new(config.queue_depth));
@@ -311,7 +323,7 @@ mod imp {
                 lp.dropped += 1;
                 metrics::record_drained_drop();
                 if let Some(conn) = lp.conns.get_mut(&token) {
-                    let _ = conn.stream.write(http::shed_response_bytes());
+                    let _ = conn.stream.write(&shed_payload());
                 }
                 lp.close(token);
             }
@@ -372,7 +384,7 @@ mod imp {
                             self.shed += 1;
                             metrics::record_shed();
                             let _ = stream.set_nonblocking(true);
-                            let _ = (&stream).write(http::shed_response_bytes());
+                            let _ = (&stream).write(&shed_payload());
                             continue; // drop closes
                         }
                         let conn = match Conn::new(stream, now) {
@@ -438,7 +450,7 @@ mod imp {
                     metrics::record_shed();
                     if let Some(conn) = self.conns.get_mut(&token) {
                         conn.begin_write(
-                            http::shed_response_bytes().to_vec(),
+                            shed_payload().into_owned(),
                             true,
                             now + self.config.request_timeout,
                         );
@@ -456,8 +468,8 @@ mod imp {
             let mut response = Response::text(status, message);
             if metamess_telemetry::enabled() {
                 // Protocol errors never reach the handler's tracer; mint
-                // an id anyway so even a 400 is correlatable in logs. (The
-                // pre-serialized shed 503 is the documented exception.)
+                // an id anyway so even a 400 is correlatable in logs (shed
+                // 503s get theirs stamped into the template the same way).
                 let ctx = metamess_telemetry::trace::TraceContext::start(1.0);
                 response = response.with_header("x-metamess-trace-id", ctx.trace_id_hex());
             }

@@ -39,6 +39,7 @@
 use crate::metrics;
 use metamess_core::store::{lock_path, StoreLock, Wal};
 use metamess_core::{Catalog, DurableCatalog, RecoveryMode, Result, StoreOptions};
+use metamess_remote::RemoteShardSet;
 use metamess_search::{
     browse_all, compute_touches, entry_survives, BrowseTree, ResultCache, SearchEngine, ShardSpec,
     DEFAULT_CACHE_CAPACITY,
@@ -201,10 +202,25 @@ pub struct ServeState {
     /// Head-sampling rate as `f64` bits (atomics hold integers). Defaults
     /// to 1.0 — sample everything until told otherwise.
     trace_sample_bits: AtomicU64,
+    /// When set, `/search` scatter-gathers across this remote shardd
+    /// fleet instead of the local epoch's engine (browse, summaries, and
+    /// reloads still run against the local store). Installed once at
+    /// startup via [`ServeState::set_remote`].
+    remote: Option<Arc<RemoteShardSet>>,
     /// Held for the server's lifetime: lets other readers and wranglers
     /// coexist, but makes `fsck --repair` fail fast instead of truncating
     /// files out from under live requests.
     _lock: StoreLock,
+}
+
+/// One row of the `/healthz` `shard_states` array.
+#[derive(serde::Serialize)]
+struct ShardStateRow {
+    id: u32,
+    mode: &'static str,
+    state: &'static str,
+    last_rtt_us: Option<u64>,
+    generation: u64,
 }
 
 impl ServeState {
@@ -235,8 +251,20 @@ impl ServeState {
             healthz_cache: Mutex::new(None),
             trace_slow_micros: AtomicU64::new(100_000),
             trace_sample_bits: AtomicU64::new(1.0f64.to_bits()),
+            remote: None,
             _lock: lock,
         })
+    }
+
+    /// Routes `/search` through a connected remote shardd fleet. Must be
+    /// called before the state is shared with workers.
+    pub fn set_remote(&mut self, remote: Arc<RemoteShardSet>) {
+        self.remote = Some(remote);
+    }
+
+    /// The remote fleet, when `--remote` is in effect.
+    pub fn remote(&self) -> Option<&Arc<RemoteShardSet>> {
+        self.remote.as_ref()
     }
 
     /// Applies the tracing knobs (`--slow-ms`, `--trace-sample-rate`). The
@@ -279,28 +307,45 @@ impl ServeState {
         self.reloads.load(Ordering::Relaxed)
     }
 
-    /// The `/healthz` JSON body, cached until the epoch or the reload
-    /// counter moves. Field order matches the historical serde rendering
-    /// so clients see byte-identical bodies.
+    /// The `/healthz` JSON body. In local mode it is cached until the
+    /// epoch or the reload counter moves (field order matches the
+    /// historical rendering, with the `shard_states` array appended). In
+    /// remote mode the body reflects live circuit state, so it is built
+    /// per request — the fleet health is the point of probing it.
     pub fn healthz_body(&self) -> Arc<str> {
         let epoch = self.epoch();
         let reloads = self.reloads();
+        if let Some(remote) = &self.remote {
+            let rows: Vec<ShardStateRow> = remote
+                .health()
+                .iter()
+                .map(|h| ShardStateRow {
+                    id: h.shard_id,
+                    mode: "remote",
+                    state: h.state.as_str(),
+                    last_rtt_us: h.last_rtt_us,
+                    generation: h.generation,
+                })
+                .collect();
+            return render_healthz(&epoch, remote.shard_count(), reloads, &rows).into();
+        }
         let mut cache = self.healthz_cache.lock();
         if let Some((e, r, body)) = cache.as_ref() {
             if *e == epoch.epoch && *r == reloads {
                 return Arc::clone(body);
             }
         }
-        let body: Arc<str> = format!(
-            "{{\"status\":\"ok\",\"generation\":{},\"epoch\":{},\"datasets\":{},\
-             \"shards\":{},\"reloads\":{}}}",
-            epoch.generation,
-            epoch.epoch,
-            epoch.datasets,
-            epoch.engine.shard_count(),
-            reloads
-        )
-        .into();
+        let rows: Vec<ShardStateRow> = (0..epoch.engine.shard_count())
+            .map(|k| ShardStateRow {
+                id: k as u32,
+                mode: "local",
+                state: "healthy",
+                last_rtt_us: None,
+                generation: epoch.generation,
+            })
+            .collect();
+        let body: Arc<str> =
+            render_healthz(&epoch, epoch.engine.shard_count(), reloads, &rows).into();
         *cache = Some((epoch.epoch, reloads, Arc::clone(&body)));
         body
     }
@@ -448,6 +493,27 @@ impl ServeState {
     }
 }
 
+/// Renders the `/healthz` body: the historical fields in their original
+/// order (the `shards` count is kept), then the machine-readable
+/// `shard_states` array.
+fn render_healthz(
+    epoch: &EngineEpoch,
+    shard_count: usize,
+    reloads: u64,
+    rows: &[ShardStateRow],
+) -> String {
+    format!(
+        "{{\"status\":\"ok\",\"generation\":{},\"epoch\":{},\"datasets\":{},\
+         \"shards\":{},\"reloads\":{},\"shard_states\":{}}}",
+        epoch.generation,
+        epoch.epoch,
+        epoch.datasets,
+        shard_count,
+        reloads,
+        serde_json::to_string(rows).expect("shard rows serialize"),
+    )
+}
+
 /// Opens the durable store and builds one serving epoch from it, plus the
 /// delta source future polls apply WAL tails to. The store handle is
 /// dropped after the build — the `ServeState` lifetime lock is what keeps
@@ -581,6 +647,24 @@ mod tests {
         let v: serde_json::Value = serde_json::from_str(&third).unwrap();
         assert_eq!(v["datasets"], 3);
         assert_eq!(v["reloads"], 1);
+    }
+
+    #[test]
+    fn healthz_reports_local_shard_states() {
+        use metamess_search::Partitioner;
+        let dir = fixture_store("healthzshards");
+        let state = ServeState::open_sharded(&dir, ShardSpec::new(2, Partitioner::Hash)).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&state.healthz_body()).unwrap();
+        assert_eq!(v["shards"], 2, "the historical count field is kept");
+        let rows = v["shard_states"].as_array().unwrap();
+        assert_eq!(rows.len(), 2);
+        for (k, row) in rows.iter().enumerate() {
+            assert_eq!(row["id"], k as u64);
+            assert_eq!(row["mode"], "local");
+            assert_eq!(row["state"], "healthy");
+            assert!(row["last_rtt_us"].is_null(), "local shards have no rtt");
+            assert_eq!(row["generation"], v["generation"]);
+        }
     }
 
     #[test]

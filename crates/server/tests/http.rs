@@ -53,6 +53,7 @@ fn serve(dir: PathBuf, tweak: impl FnOnce(&mut ServerConfig)) -> TestServer {
         drain_grace: Duration::from_millis(500),
         poll_interval: None,
         limits: Limits::default(),
+        ..ServerConfig::default()
     };
     tweak(&mut config);
     let state = Arc::new(ServeState::open(&dir).expect("open store"));
@@ -307,6 +308,14 @@ fn full_queue_sheds_with_503_and_retry_after() {
     let (status, headers, _) = raw(server.addr, b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n");
     assert_eq!(status, 503);
     assert_eq!(header(&headers, "retry-after"), Some("1"));
+    if metamess_telemetry::enabled() {
+        // Even a shed client gets a trace id to quote back: the template
+        // is stamped with a fresh id per rejection.
+        let id = header(&headers, "x-metamess-trace-id").expect("shed 503 carries a trace id");
+        assert_eq!(id.len(), 32, "trace id is 128-bit hex: {id}");
+        assert!(id.chars().all(|c| c.is_ascii_hexdigit()), "non-hex trace id: {id}");
+        assert!(id.chars().any(|c| c != '0'), "shed trace id never zero: {id}");
+    }
     // A's slot was healthy all along: completing the request serves it.
     a.write_all(b"connection: close\r\n\r\n").unwrap();
     let (status, _, _) = read_response(&mut a);
@@ -374,6 +383,46 @@ fn hot_reload_swaps_generation_without_dropping_service() {
     let summary = server.stop();
     assert_eq!(summary.reloads, 1);
     assert_eq!(summary.dropped, 0);
+}
+
+/// `/healthz` keeps the historical `shards` count and adds the
+/// machine-readable `shard_states` array: one row per shard with id,
+/// mode, circuit state, last observed rtt, and generation.
+#[test]
+fn healthz_reports_shard_states_over_the_wire() {
+    use metamess_search::{Partitioner, ShardSpec};
+    let dir = fixture_store("healthz-shards");
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_depth: 16,
+        poll_interval: None,
+        ..ServerConfig::default()
+    };
+    let state = Arc::new(
+        ServeState::open_sharded(&dir, ShardSpec::new(2, Partitioner::Hash)).expect("open store"),
+    );
+    let server = Server::bind(state, config).expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let shutdown = server.shutdown_handle();
+    let thread = std::thread::spawn(move || server.run());
+
+    let (status, _, body) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    let v: serde_json::Value = serde_json::from_slice(&body).unwrap();
+    assert_eq!(v["shards"], 2, "historical count field is kept: {v}");
+    let rows = v["shard_states"].as_array().expect("shard_states array");
+    assert_eq!(rows.len(), 2, "{v}");
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(row["id"], i as u64, "{v}");
+        assert_eq!(row["mode"], "local", "{v}");
+        assert_eq!(row["state"], "healthy", "{v}");
+        assert!(row["last_rtt_us"].is_null(), "local shards have no rtt: {v}");
+        assert_eq!(row["generation"], v["generation"], "{v}");
+    }
+
+    shutdown.trigger();
+    thread.join().expect("server thread").expect("serve summary");
 }
 
 #[test]

@@ -86,6 +86,19 @@ echo "==> ingest smoke: exp10 --quick (group-commit amortization, watch cycles, 
 # publish reaches serve via the in-place delta path.
 timeout 300 cargo run --release -q -p metamess-bench --bin exp10_ingest -- --quick
 
+echo "==> remote shard protocol: codec properties + fault-injection + e2e fleet"
+# Frame codec round-trip/truncation/CRC/version proptests, the
+# FaultTransport coordinator suite (fail vs degrade semantics, retry
+# budgets, circuit breaker), and real-TCP shardd fleets asserted
+# bit-identical to local sharding — including a mid-run kill.
+cargo test -q -p metamess-remote
+
+echo "==> remote smoke: exp11 --quick (shardd fleet identity + partial results)"
+# Hard-asserts remote scatter-gather is bit-identical to the in-process
+# sharded engine at every fleet size, and that killing one shardd under
+# the degrade policy marks every response partial with zero errors.
+timeout 300 cargo run --release -q -p metamess-bench --bin exp11_remote -- --quick
+
 echo "==> crash-consistency torture suite (${METAMESS_TORTURE_CASES} seeded cases)"
 cargo test -q -p metamess-core --test torture --release
 

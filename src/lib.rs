@@ -17,6 +17,8 @@
 //! * [`search`] — "Data Near Here" ranked search + summary pages
 //! * [`pipeline`] — the composable wrangling process and curation loop
 //! * [`telemetry`] — metrics registry, spans, and exposition formats
+//! * [`remote`] — the remote shard protocol: `shardd` processes hosting
+//!   catalog shards and the scatter-gather coordinator dialing them
 //! * [`server`] — embedded HTTP search service with bounded concurrency,
 //!   load shedding, and hot catalog reload
 //!
@@ -50,6 +52,7 @@ pub use metamess_discover as discover;
 pub use metamess_formats as formats;
 pub use metamess_harvest as harvest;
 pub use metamess_pipeline as pipeline;
+pub use metamess_remote as remote;
 pub use metamess_search as search;
 pub use metamess_server as server;
 pub use metamess_telemetry as telemetry;

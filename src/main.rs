@@ -7,13 +7,16 @@
 //!                   [--commit-interval-ms N] [--max-cycles N]
 //!                   [--compact-ratio F] [--retain N]
 //! metamess search   <store-dir> <query...> [--explain] [--shards N] [--partition P]
+//!                   [--remote H:P,H:P,...] [--partial-policy fail|degrade]
 //! metamess summary  <store-dir> <dataset-path>
 //! metamess stats    <store-dir> [--prometheus|--json] [--reset]
 //! metamess validate <dir>
 //! metamess fsck     <store-dir> [--json] [--repair]
+//! metamess shardd   <store-dir> --shard-id K/N [--partition P] [--listen H:P]
 //! metamess serve    <store-dir> [--addr H:P] [--workers N] [--queue-depth N]
 //!                   [--drain-grace-ms N] [--shards N] [--partition P]
 //!                   [--slow-ms N] [--trace-sample-rate F]
+//!                   [--remote H:P,H:P,...] [--partial-policy fail|degrade]
 //! metamess trace    <store-dir> [--slow] [--json] [--id HEX]
 //! ```
 //!
@@ -44,6 +47,7 @@ fn main() -> ExitCode {
         Some("browse") => cmd_browse(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("fsck") => cmd_fsck(&args[1..]),
+        Some("shardd") => cmd_shardd(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         _ => {
@@ -85,13 +89,17 @@ usage:
       --retain previous snapshots (default 2); --max-cycles stops after N
       cycles (useful for scripting); ctrl-c stops after the current cycle
   metamess search <store-dir> <query...> [--explain] [--shards N] [--partition P]
+                  [--remote H:P,H:P,...] [--partial-policy fail|degrade]
       ranked search, e.g.:
       metamess search ./arc/.metamess near 45.5,-124.4 within 50km with salinity
       --explain appends a per-phase breakdown (plan/probe/score/merge);
       --shards splits the catalog into N shards (clamped to 1..=256) searched
       scatter-gather; --partition picks the layout (hash|spatial|temporal —
       spatial/temporal give shards prunable bounds); results are identical
-      to unsharded at any shard count
+      to unsharded at any shard count; --remote scatter-gathers across a
+      comma-separated shardd fleet instead (bit-identical to local sharding
+      at the same layout) — --partial-policy degrade returns the healthy
+      shards' merge marked partial when a shard is down (default: fail)
   metamess summary <store-dir> <dataset-path>
       render the dataset summary page for a catalog entry
   metamess stats <store-dir> [--prometheus|--json] [--reset]
@@ -107,9 +115,16 @@ usage:
       --repair truncates damaged WAL tails and quarantines corrupt files
       into <store>/state/quarantine; --json emits the machine-readable
       report; exits nonzero when damage was found and not repaired
+  metamess shardd <store-dir> --shard-id K/N [--partition P] [--listen H:P]
+      host shard K of an N-shard layout over the store as a lean daemon
+      speaking the length-prefixed binary shard protocol; a serve or
+      search coordinator dials a fleet of these with --remote; the bound
+      address is printed at startup (port 0 picks a free port);
+      ctrl-c stops accepting and drains in-flight frames
   metamess serve <store-dir> [--addr H:P] [--workers N] [--queue-depth N]
                  [--drain-grace-ms N] [--shards N] [--partition P]
                  [--slow-ms N] [--trace-sample-rate F]
+                 [--remote H:P,H:P,...] [--partial-policy fail|degrade]
       serve the store over HTTP (POST /search, GET /datasets/<path>,
       GET /browse, GET /healthz, GET /metrics, GET /debug/traces,
       POST /admin/reload): one nonblocking event thread multiplexes every
@@ -123,7 +138,10 @@ usage:
       X-Metamess-Trace-Id header — requests slower than --slow-ms
       (default 100) always land in the slow-query log, and
       --trace-sample-rate (0.0..=1.0, default 1.0) head-samples the
-      flight recorder
+      flight recorder; --remote makes POST /search scatter-gather across
+      a shardd fleet (degraded responses under --partial-policy degrade
+      carry X-Metamess-Partial: true and a JSON partial flag; per-shard
+      circuit state appears in GET /healthz)
   metamess trace <store-dir> [--slow] [--json] [--id HEX]
       render request traces persisted by serve/search/wrangle as span
       trees with per-span micros and shard attribution (default: recent
@@ -408,8 +426,8 @@ fn open_engine(store_dir: &Path, spec: ShardSpec) -> Result<SearchEngine, metame
     Ok(SearchEngine::build_sharded(store.catalog(), vocab, spec))
 }
 
-/// Strips `--explain` plus the value-taking shard flags out of the
-/// positional arguments, leaving only the query words.
+/// Strips `--explain` plus the value-taking shard and remote flags out
+/// of the positional arguments, leaving only the query words.
 fn query_words(args: &[String]) -> Vec<String> {
     let mut words = Vec::new();
     let mut skip_value = false;
@@ -420,11 +438,39 @@ fn query_words(args: &[String]) -> Vec<String> {
         }
         match a.as_str() {
             "--explain" => {}
-            "--shards" | "--partition" => skip_value = true,
+            "--shards" | "--partition" | "--remote" | "--partial-policy" => skip_value = true,
             _ => words.push(a.clone()),
         }
     }
     words
+}
+
+/// Splits a `--remote` value into its comma-separated shardd addresses.
+fn parse_remote_addrs(value: &str) -> Result<Vec<String>, metamess::core::Error> {
+    let addrs: Vec<String> =
+        value.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect();
+    if addrs.is_empty() {
+        return Err(metamess::core::Error::invalid(
+            "--remote needs at least one host:port address",
+        ));
+    }
+    Ok(addrs)
+}
+
+/// Reads `--partial-policy fail|degrade` into coordinator options
+/// (default: fail — a down shard is an error unless degrade is asked for).
+fn parse_remote_options(
+    args: &[String],
+) -> Result<metamess::remote::RemoteOptions, metamess::core::Error> {
+    let mut opts = metamess::remote::RemoteOptions::default();
+    if let Some(p) = parse_flag(args, "--partial-policy") {
+        opts.partial_policy = metamess::remote::PartialPolicy::parse(&p).ok_or_else(|| {
+            metamess::core::Error::invalid(format!(
+                "bad --partial-policy {p:?} (expected fail or degrade)"
+            ))
+        })?;
+    }
+    Ok(opts)
 }
 
 fn cmd_search(args: &[String]) -> Result<(), metamess::core::Error> {
@@ -432,23 +478,43 @@ fn cmd_search(args: &[String]) -> Result<(), metamess::core::Error> {
         .first()
         .ok_or_else(|| metamess::core::Error::invalid("search needs a store directory"))?;
     let explain = args.iter().any(|a| a == "--explain");
+    let remote = parse_flag(args, "--remote");
     let spec = parse_shard_flags(args)?;
     let query_text = query_words(&args[1..]).join(" ");
     if query_text.trim().is_empty() {
         return Err(metamess::core::Error::invalid("search needs a query"));
     }
-    let engine = open_engine(Path::new(store_dir), spec)?;
     let query = Query::parse(&query_text)?;
+    if explain && remote.is_some() {
+        return Err(metamess::core::Error::invalid("--explain is not available over --remote"));
+    }
     // Trace the query like a served request would be (never sampled away:
     // this run exists because someone wants to look at it). The trace is
     // persisted below, so `metamess trace <store> --id <hex>` replays it.
     let trace_ctx = metamess::telemetry::TraceContext::start(1.0);
     let tracing = metamess::telemetry::trace::begin(&trace_ctx, "search");
-    if explain {
+    if let Some(remote) = remote {
+        // Scatter-gather over a shardd fleet: same probe/score/merge as
+        // local sharding, so the rendered results are bit-identical.
+        let set = metamess::remote::RemoteShardSet::connect(
+            &parse_remote_addrs(&remote)?,
+            parse_remote_options(args)?,
+        )?;
+        let out = set.search(&query)?;
+        print!("{}", render_results(&out.hits));
+        if out.partial {
+            println!(
+                "partial: shard(s) {:?} unavailable — degraded to the healthy shards' merge",
+                out.failed
+            );
+        }
+    } else if explain {
+        let engine = open_engine(Path::new(store_dir), spec)?;
         let (hits, breakdown) = engine.search_explain(&query);
         print!("{}", render_results(&hits));
         print!("{}", breakdown.render());
     } else {
+        let engine = open_engine(Path::new(store_dir), spec)?;
         let hits = engine.search(&query);
         print!("{}", render_results(&hits));
     }
@@ -557,6 +623,72 @@ fn cmd_fsck(args: &[String]) -> Result<(), metamess::core::Error> {
     Ok(())
 }
 
+/// `metamess shardd <store> --shard-id K/N` — host one shard of an
+/// N-shard layout as a lean daemon speaking the binary shard protocol.
+fn cmd_shardd(args: &[String]) -> Result<(), metamess::core::Error> {
+    use std::io::Write as _;
+    let store_dir = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .map(Path::new)
+        .ok_or_else(|| metamess::core::Error::invalid("shardd needs a store directory"))?;
+    let spec_arg = parse_flag(args, "--shard-id")
+        .ok_or_else(|| metamess::core::Error::invalid("shardd needs --shard-id K/N"))?;
+    let (shard_id, shard_count) = spec_arg
+        .split_once('/')
+        .and_then(|(k, n)| Some((k.parse::<usize>().ok()?, n.parse::<usize>().ok()?)))
+        .filter(|(k, n)| *n >= 1 && *n <= MAX_SHARDS && k < n)
+        .ok_or_else(|| {
+            metamess::core::Error::invalid(format!(
+                "bad --shard-id {spec_arg:?} (expected K/N with K < N <= {MAX_SHARDS})"
+            ))
+        })?;
+    let partitioner = match parse_flag(args, "--partition") {
+        Some(p) => Partitioner::parse(&p).ok_or_else(|| {
+            metamess::core::Error::invalid(format!(
+                "bad --partition {p:?} (expected hash, spatial or temporal)"
+            ))
+        })?,
+        None => Partitioner::Hash,
+    };
+    let listen = parse_flag(args, "--listen").unwrap_or_else(|| "127.0.0.1:0".to_string());
+
+    let (catalog_dir, vocab_path) = store_paths(store_dir);
+    let store = DurableCatalog::open(&catalog_dir, StoreOptions::default())?;
+    let vocab = if vocab_path.exists() {
+        Vocabulary::load(&vocab_path)?
+    } else {
+        Vocabulary::observatory_default()
+    };
+    let host = metamess::remote::ShardHost::build(
+        store.catalog(),
+        vocab,
+        ShardSpec::new(shard_count, partitioner),
+        shard_id,
+    )?;
+    let generation = host.generation();
+    let hosted = host.len();
+    drop(store);
+
+    let daemon = metamess::remote::Shardd::spawn(std::sync::Arc::new(host), &listen)?;
+    let shutdown = metamess::server::ShutdownHandle::new();
+    shutdown.install_signal_handlers();
+    // Flushed before blocking so wrappers can scrape the resolved port.
+    println!(
+        "shardd listening on {} (shard {shard_id}/{shard_count}, {hosted} dataset(s), \
+         generation {generation}; ctrl-c to stop)",
+        daemon.local_addr()
+    );
+    let _ = std::io::stdout().flush();
+    while !shutdown.is_shutdown() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    daemon.shutdown();
+    println!("shardd stopped");
+    persist_telemetry(store_dir)?;
+    Ok(())
+}
+
 fn cmd_serve(args: &[String]) -> Result<(), metamess::core::Error> {
     let store_dir = args
         .first()
@@ -599,7 +731,19 @@ fn cmd_serve(args: &[String]) -> Result<(), metamess::core::Error> {
     }
     let spec = parse_shard_flags(args)?;
 
-    let state = std::sync::Arc::new(metamess::server::ServeState::open_sharded(&store_dir, spec)?);
+    let mut state = metamess::server::ServeState::open_sharded(&store_dir, spec)?;
+    if let Some(remote) = parse_flag(args, "--remote") {
+        let addrs = parse_remote_addrs(&remote)?;
+        let set = metamess::remote::RemoteShardSet::connect(&addrs, parse_remote_options(args)?)?;
+        println!(
+            "remote fleet connected: {} shard(s), partition {}, generation {}",
+            addrs.len(),
+            set.partitioner(),
+            set.generation()
+        );
+        state.set_remote(std::sync::Arc::new(set));
+    }
+    let state = std::sync::Arc::new(state);
     let epoch = state.epoch();
     let server = metamess::server::Server::bind(state, config)?;
     server.shutdown_handle().install_signal_handlers();
